@@ -1,0 +1,91 @@
+// Command egacs-bench regenerates the paper's evaluation tables and figures
+// (Tables II-VI, IX, X; Figures 4-10) from the simulator. See DESIGN.md for
+// the experiment-to-module map and EXPERIMENTS.md for paper-vs-measured
+// comparisons.
+//
+// Examples:
+//
+//	egacs-bench -list
+//	egacs-bench -exp table5
+//	egacs-bench -exp all -scale bench -o results.txt
+//	egacs-bench -exp fig4 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (table2..table6, table9, fig4..fig10) or 'all'")
+		scale   = flag.String("scale", "small", "input scale: test|small|bench")
+		quick   = flag.Bool("quick", false, "restrict to three benchmarks for a fast pass")
+		seed    = flag.Uint64("seed", 42, "graph generator seed")
+		outFile = flag.String("o", "", "write results to file (default stdout)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var sc graph.Scale
+	switch *scale {
+	case "test":
+		sc = graph.ScaleTest
+	case "small":
+		sc = graph.ScaleSmall
+	case "bench":
+		sc = graph.ScaleBench
+	default:
+		fmt.Fprintf(os.Stderr, "egacs-bench: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	opts := bench.Options{Scale: sc, Seed: *seed, Quick: *quick}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.Experiments()
+	} else {
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+			os.Exit(1)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Desc)
+		for _, tb := range e.Run(opts) {
+			tb.Render(out)
+		}
+		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

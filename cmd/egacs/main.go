@@ -1,0 +1,254 @@
+// Command egacs compiles and runs one EGACS benchmark on one input graph
+// under a configurable machine model, ISA target, tasking system and
+// optimization set, printing the modeled execution time, dynamic statistics
+// and verification result.
+//
+// Examples:
+//
+//	egacs -bench bfs-wl -input road -scale bench
+//	egacs -bench sssp-nf -input rmat -machine amd -opts io+cc+np
+//	egacs -bench pr -graph web.el -target avx2-i32x8 -tasks 8
+//	egacs -bench bfs-wl -input road -emit       # print generated ISPC
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/spmd"
+	"repro/internal/vec"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "bfs-wl", "benchmark: "+fmt.Sprint(kernels.Names()))
+		input     = flag.String("input", "road", "generated input family: road|rmat|random")
+		scale     = flag.String("scale", "small", "generated input scale: test|small|bench|large")
+		graphFile = flag.String("graph", "", "load graph from file instead (edge list or DIMACS .gr)")
+		machName  = flag.String("machine", "intel", "machine model: intel|amd|phi|gpu")
+		target    = flag.String("target", "", "ISA target, e.g. avx512-i32x16 (default: machine preferred)")
+		tasks     = flag.Int("tasks", 0, "task count (0 = machine default)")
+		noSMT     = flag.Bool("nosmt", false, "pin one task per core")
+		taskSys   = flag.String("tasksys", "pthread", "tasking system: pthread|pthread_fs|cilk|openmp|tbb")
+		optStr    = flag.String("opts", "all", "optimizations: none|all|io+np+cc+fibers+fibercc")
+		src       = flag.Int("src", -1, "source node (-1 = max-degree node)")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		verify    = flag.Bool("verify", true, "check output against the serial reference")
+		emit      = flag.Bool("emit", false, "print the generated ISPC source and exit")
+		serial    = flag.Bool("serial", false, "run the serial build (scalar, 1 task, no opts)")
+		profile   = flag.Bool("profile", false, "print a per-kernel phase profile")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	)
+	flag.Parse()
+
+	bench, err := kernels.ByName(*benchName)
+	fail(err)
+
+	g, err := loadGraph(*graphFile, *input, *scale, *seed)
+	fail(err)
+	g = core.PrepareGraph(bench, g)
+
+	opts, err := opt.Parse(*optStr)
+	fail(err)
+
+	if *emit {
+		prog := opt.MustApply(bench.Prog, opts)
+		fmt.Print(codegen.EmitISPC(prog))
+		return
+	}
+
+	m, err := machine.ByName(*machName)
+	fail(err)
+	ts, err := spmd.TaskSystemByName(*taskSys)
+	fail(err)
+
+	cfg := core.Config{
+		Machine:        m,
+		Tasks:          *tasks,
+		NoSMT:          *noSMT,
+		TaskSys:        &ts,
+		Opts:           &opts,
+		ProfileKernels: *profile,
+	}
+	if *serial {
+		cfg = core.SerialConfig(m)
+	}
+	if *target != "" {
+		tgt, err := vec.ParseTarget(*target)
+		fail(err)
+		cfg.Target = tgt
+	}
+	if *src >= 0 {
+		cfg.Src = int32(*src)
+	} else {
+		cfg.Src = g.MaxDegreeNode()
+	}
+
+	if !*jsonOut {
+		fmt.Printf("benchmark: %s\ninput:     %s (%d nodes, %d edges)\nmachine:   %s\n",
+			bench.Name, g.Name, g.NumNodes(), g.NumEdges(), m)
+		shownTasks := cfg.Tasks
+		if shownTasks == 0 {
+			shownTasks = m.DefaultTasks
+		}
+		fmt.Printf("tasks:     %d  tasksys: %s  opts: %s  src: %d\n",
+			shownTasks, ts.Name, opts, cfg.Src)
+	}
+
+	res, err := core.Run(bench, g, cfg)
+	fail(err)
+
+	if *jsonOut {
+		verr := ""
+		if *verify {
+			if err := core.Verify(bench, g, res); err != nil {
+				verr = err.Error()
+			}
+		}
+		emitJSON(bench.Name, g, cfg, opts, res, verr)
+		if verr != "" {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("\ntime:      %.3f ms (modeled)\n", res.TimeMS)
+	s := res.Stats
+	fmt.Printf("instrs:    %d (%d vector ops, %d scalar ops)\n",
+		s.Instructions, s.VectorOps, s.ScalarOps)
+	fmt.Printf("atomics:   %d (%d worklist pushes)\n", s.Atomics, s.AtomicPushes)
+	fmt.Printf("launches:  %d  barriers: %d  work items: %d\n",
+		s.Launches, s.Barriers, s.WorkItems)
+	if w := res.Engine.Width(); w > 1 {
+		fmt.Printf("lane util: %.1f%% (width %d)\n", 100*s.LaneUtilization(w), w)
+	}
+
+	if *profile {
+		fmt.Println()
+		res.Engine.WriteProfile(os.Stdout)
+	}
+
+	if *verify {
+		if err := core.Verify(bench, g, res); err != nil {
+			fmt.Fprintf(os.Stderr, "VERIFY FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("verify:    output matches the serial reference")
+	}
+}
+
+// runReport is the -json output schema.
+type runReport struct {
+	Benchmark    string  `json:"benchmark"`
+	Graph        string  `json:"graph"`
+	Nodes        int32   `json:"nodes"`
+	Edges        int32   `json:"edges"`
+	Machine      string  `json:"machine"`
+	Target       string  `json:"target"`
+	Tasks        int     `json:"tasks"`
+	Opts         string  `json:"opts"`
+	Src          int32   `json:"src"`
+	TimeMS       float64 `json:"time_ms"`
+	Instructions int64   `json:"instructions"`
+	VectorOps    int64   `json:"vector_ops"`
+	ScalarOps    int64   `json:"scalar_ops"`
+	Atomics      int64   `json:"atomics"`
+	AtomicPushes int64   `json:"atomic_pushes"`
+	Launches     int64   `json:"launches"`
+	Barriers     int64   `json:"barriers"`
+	WorkItems    int64   `json:"work_items"`
+	LaneUtil     float64 `json:"lane_utilization"`
+	VerifyError  string  `json:"verify_error,omitempty"`
+	Verified     bool    `json:"verified"`
+}
+
+func emitJSON(benchName string, g *graph.CSR, cfg core.Config, opts opt.Options, res *core.Result, verifyErr string) {
+	st := res.Stats
+	rep := runReport{
+		Benchmark:    benchName,
+		Graph:        g.Name,
+		Nodes:        g.NumNodes(),
+		Edges:        g.NumEdges(),
+		Machine:      res.Engine.Machine.Name,
+		Target:       res.Engine.Target.String(),
+		Tasks:        res.Engine.NumTasks,
+		Opts:         opts.String(),
+		Src:          cfg.Src,
+		TimeMS:       res.TimeMS,
+		Instructions: st.Instructions,
+		VectorOps:    st.VectorOps,
+		ScalarOps:    st.ScalarOps,
+		Atomics:      st.Atomics,
+		AtomicPushes: st.AtomicPushes,
+		Launches:     st.Launches,
+		Barriers:     st.Barriers,
+		WorkItems:    st.WorkItems,
+		LaneUtil:     st.LaneUtilization(res.Engine.Width()),
+		VerifyError:  verifyErr,
+		Verified:     verifyErr == "",
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	fmt.Println(string(out))
+}
+
+func loadGraph(file, input, scale string, seed uint64) (*graph.CSR, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if g, err := graph.ReadBinary(f); err == nil {
+			return g, nil
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		if g, err := graph.ReadDIMACS(f); err == nil {
+			return g, nil
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		return graph.ReadEdgeList(f)
+	}
+	var sc graph.Scale
+	switch scale {
+	case "test":
+		sc = graph.ScaleTest
+	case "small":
+		sc = graph.ScaleSmall
+	case "bench":
+		sc = graph.ScaleBench
+	case "large":
+		sc = graph.ScaleLarge
+	default:
+		return nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	suite := graph.Suite(sc, seed)
+	switch input {
+	case "road":
+		return suite[0], nil
+	case "rmat":
+		return suite[1], nil
+	case "random":
+		return suite[2], nil
+	}
+	return nil, fmt.Errorf("unknown input %q (want road|rmat|random)", input)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egacs:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,666 @@
+package baselines
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/spmd"
+)
+
+const inf = kernels.Inf
+
+// --- BFS ---
+
+// algoBFSDirOpt is direction-optimizing BFS (Ligra/GraphIt): sparse rounds
+// push from the frontier with CAS claims; once the frontier's edge count
+// crosses m/denseDenom the round flips to a dense pull over in-edges with
+// early exit — the optimization that makes these frameworks "fundamentally
+// faster" than bfs-wl on low-diameter graphs (Section IV-A1).
+func algoBFSDirOpt(cx *ctx) error {
+	n := cx.g.NumNodes()
+	m := int(cx.g.NumEdges())
+	cx.transpose()
+	lvl := cx.e.AllocI("lvl", int(n))
+	for i := range lvl.I {
+		lvl.I[i] = inf
+	}
+	lvl.I[cx.src] = 0
+	capWL := m + int(n) + 16
+	cur := cx.newFrontier("cur", capWL)
+	next := cx.newFrontier("next", capWL)
+	cur.seed(cx.src)
+	frontierEdges := int(cx.g.Degree(cx.src))
+	nextEdges := cx.e.AllocI("ecnt", 1) // per-round out-degree tally
+
+	for level := int32(0); cur.size() > 0; level++ {
+		dense := cx.t.denseDenom > 0 &&
+			int(cur.size())+frontierEdges > m/cx.t.denseDenom
+		nextEdges.I[0] = 0
+		if dense {
+			cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+				start, end := taskRange(tc, n)
+				var buf []int32
+				var edges int32
+				for v := start; v < end; v++ {
+					tc.ScalarOps(cx.t.vertexOverheadOps)
+					if tc.ScalarLoadI(lvl, v) != inf {
+						continue
+					}
+					s, e := cx.trow(tc, v)
+					for p := s; p < e; p++ {
+						u := cx.tdst(tc, p)
+						if tc.ScalarLoadI(lvl, u) == level {
+							tc.ScalarStoreI(lvl, v, level+1)
+							buf = append(buf, v)
+							edges += cx.g.Degree(v)
+							break // the dense pull's early exit
+						}
+					}
+				}
+				cx.flush(tc, next, buf)
+				if edges > 0 {
+					tc.AtomicAddScalar(nextEdges, 0, edges, false)
+				}
+			})
+		} else {
+			sz := cur.size()
+			cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+				start, end := taskRange(tc, sz)
+				var buf []int32
+				var edges int32
+				for i := start; i < end; i++ {
+					u := cur.get(tc, i)
+					tc.ScalarOps(cx.t.vertexOverheadOps)
+					s, e := cx.row(tc, u)
+					for p := s; p < e; p++ {
+						d := cx.dst(tc, p)
+						if tc.ScalarLoadI(lvl, d) == inf {
+							// CAS claim (serialized engine: always wins).
+							tc.AtomicUpdateScalar(lvl, d, level+1)
+							buf = append(buf, d)
+							edges += cx.g.Degree(d)
+						}
+					}
+				}
+				cx.flush(tc, next, buf)
+				if edges > 0 {
+					tc.AtomicAddScalar(nextEdges, 0, edges, false)
+				}
+			})
+		}
+		frontierEdges = int(nextEdges.I[0])
+		cur, next = next, cur
+		next.clear()
+	}
+	cx.outI["lvl"] = lvl.I
+	return nil
+}
+
+// algoBFSWorklist is plain worklist BFS (Galois style, no direction
+// switching), with chunk-aggregated pushes.
+func algoBFSWorklist(cx *ctx) error {
+	n := cx.g.NumNodes()
+	capWL := int(cx.g.NumEdges()) + int(n) + 16
+	lvl := cx.e.AllocI("lvl", int(n))
+	for i := range lvl.I {
+		lvl.I[i] = inf
+	}
+	lvl.I[cx.src] = 0
+	lists := &struct{ cur, next *frontier }{
+		cx.newFrontier("cur", capWL),
+		cx.newFrontier("next", capWL),
+	}
+	lists.cur.seed(cx.src)
+	// Galois's runtime keeps worker threads alive across rounds (no
+	// per-round fork/join), so the whole driver runs inside one launch.
+	cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+		for level := int32(0); ; level++ {
+			sz := lists.cur.size()
+			if sz == 0 {
+				return
+			}
+			start, end := taskRange(tc, sz)
+			var buf []int32
+			for i := start; i < end; i++ {
+				u := lists.cur.get(tc, i)
+				tc.ScalarOps(cx.t.vertexOverheadOps)
+				s, e := cx.row(tc, u)
+				for p := s; p < e; p++ {
+					d := cx.dst(tc, p)
+					if tc.ScalarLoadI(lvl, d) == inf {
+						tc.AtomicUpdateScalar(lvl, d, level+1)
+						buf = append(buf, d)
+					}
+				}
+			}
+			cx.flush(tc, lists.next, buf)
+			tc.Barrier()
+			if tc.Index == 0 {
+				lists.cur, lists.next = lists.next, lists.cur
+				lists.next.clear()
+			}
+			tc.Barrier()
+		}
+	})
+	cx.outI["lvl"] = lvl.I
+	return nil
+}
+
+// --- SSSP ---
+
+// algoSSSPBellmanFord is frontier Bellman-Ford (Ligra/GraphIt): every round
+// relaxes all frontier edges and pushes improved nodes; no priority order,
+// so high-diameter weighted graphs pay many re-relaxations.
+func algoSSSPBellmanFord(cx *ctx) error {
+	n := cx.g.NumNodes()
+	capWL := int(cx.g.NumEdges()) + int(n) + 16
+	dist := cx.e.AllocI("dist", int(n))
+	for i := range dist.I {
+		dist.I[i] = inf
+	}
+	dist.I[cx.src] = 0
+	inNext := cx.e.AllocI("innext", int(n)) // round dedup bitmap
+	cur := cx.newFrontier("cur", capWL)
+	next := cx.newFrontier("next", capWL)
+	cur.seed(cx.src)
+	for cur.size() > 0 {
+		sz := cur.size()
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, sz)
+			var buf []int32
+			for i := start; i < end; i++ {
+				u := cur.get(tc, i)
+				tc.ScalarOps(cx.t.vertexOverheadOps)
+				du := tc.ScalarLoadI(dist, u)
+				s, e := cx.row(tc, u)
+				for p := s; p < e; p++ {
+					d := cx.dst(tc, p)
+					nd := du + cx.wt(tc, p)
+					if nd < tc.ScalarLoadI(dist, d) {
+						tc.AtomicUpdateScalar(dist, d, nd) // atomic min
+						if tc.ScalarLoadI(inNext, d) == 0 {
+							tc.AtomicUpdateScalar(inNext, d, 1) // CAS dedup
+							buf = append(buf, d)
+						}
+					}
+				}
+			}
+			cx.flush(tc, next, buf)
+		})
+		// Clear the dedup bitmap for the pushed nodes (Ligra's remove-
+		// duplicates pass).
+		szN := next.size()
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, szN)
+			for i := start; i < end; i++ {
+				tc.ScalarStoreI(inNext, next.get(tc, i), 0)
+			}
+		})
+		cur, next = next, cur
+		next.clear()
+	}
+	cx.outI["dist"] = dist.I
+	return nil
+}
+
+// algoSSSPDelta is delta-stepping-style SSSP (Galois): a near band below the
+// advancing threshold is processed to fixpoint, everything else waits in the
+// far list — the work-efficient schedule that keeps Galois competitive on
+// road networks.
+func algoSSSPDelta(cx *ctx) error {
+	n := cx.g.NumNodes()
+	capWL := int(cx.g.NumEdges()) + int(n) + 16
+	var maxW int32 = 1
+	for _, w := range cx.g.Weight {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	delta := maxW / 2
+	if delta < 1 {
+		delta = 1
+	}
+	threshold := delta
+
+	dist := cx.e.AllocI("dist", int(n))
+	for i := range dist.I {
+		dist.I[i] = inf
+	}
+	dist.I[cx.src] = 0
+	st := &struct {
+		near, nearNext, far *frontier
+		threshold           int32
+	}{
+		cx.newFrontier("near", capWL),
+		cx.newFrontier("nearnext", capWL),
+		cx.newFrontier("far", capWL),
+		threshold,
+	}
+	st.near.seed(cx.src)
+	// Asynchronous runtime: one launch for the whole computation, bands
+	// synchronized with barriers.
+	cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+		for {
+			for {
+				sz := st.near.size()
+				if sz == 0 {
+					break
+				}
+				start, end := taskRange(tc, sz)
+				var bufNear, bufFar []int32
+				for i := start; i < end; i++ {
+					u := st.near.get(tc, i)
+					tc.ScalarOps(cx.t.vertexOverheadOps)
+					du := tc.ScalarLoadI(dist, u)
+					s, e := cx.row(tc, u)
+					for p := s; p < e; p++ {
+						d := cx.dst(tc, p)
+						nd := du + cx.wt(tc, p)
+						if nd < tc.ScalarLoadI(dist, d) {
+							tc.AtomicUpdateScalar(dist, d, nd)
+							if nd < st.threshold {
+								bufNear = append(bufNear, d)
+							} else {
+								bufFar = append(bufFar, d)
+							}
+						}
+					}
+				}
+				cx.flush(tc, st.nearNext, bufNear)
+				cx.flush(tc, st.far, bufFar)
+				tc.Barrier()
+				if tc.Index == 0 {
+					st.near, st.nearNext = st.nearNext, st.near
+					st.nearNext.clear()
+				}
+				tc.Barrier()
+			}
+			empty := st.far.size() == 0
+			tc.Barrier()
+			if empty {
+				return
+			}
+			if tc.Index == 0 {
+				// Promote the far list wholesale and advance the band.
+				copy(st.near.items.I, st.far.items.I[:st.far.size()])
+				st.near.tail.I[0] = st.far.size()
+				st.far.clear()
+				st.threshold += delta
+			}
+			tc.Barrier()
+		}
+	})
+	cx.outI["dist"] = dist.I
+	return nil
+}
+
+// --- CC ---
+
+// algoCCLabelProp is frontier label propagation (Ligra/GraphIt): minimum
+// labels spread one hop per round, so convergence takes diameter rounds —
+// the behavior behind Ligra's very slow CC on road networks (Table X).
+func algoCCLabelProp(cx *ctx) error {
+	n := cx.g.NumNodes()
+	capWL := int(cx.g.NumEdges()) + int(n) + 16
+	comp := cx.e.AllocI("comp", int(n))
+	for i := range comp.I {
+		comp.I[i] = int32(i)
+	}
+	inNext := cx.e.AllocI("innext", int(n))
+	cur := cx.newFrontier("cur", capWL)
+	next := cx.newFrontier("next", capWL)
+	cur.seedAll(n)
+	for cur.size() > 0 {
+		sz := cur.size()
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, sz)
+			var buf []int32
+			for i := start; i < end; i++ {
+				u := cur.get(tc, i)
+				tc.ScalarOps(cx.t.vertexOverheadOps)
+				cu := tc.ScalarLoadI(comp, u)
+				s, e := cx.row(tc, u)
+				for p := s; p < e; p++ {
+					d := cx.dst(tc, p)
+					if cu < tc.ScalarLoadI(comp, d) {
+						tc.AtomicUpdateScalar(comp, d, cu) // atomic min
+						if tc.ScalarLoadI(inNext, d) == 0 {
+							tc.AtomicUpdateScalar(inNext, d, 1)
+							buf = append(buf, d)
+						}
+					}
+				}
+			}
+			cx.flush(tc, next, buf)
+		})
+		szN := next.size()
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, szN)
+			for i := start; i < end; i++ {
+				tc.ScalarStoreI(inNext, next.get(tc, i), 0)
+			}
+		})
+		cur, next = next, cur
+		next.clear()
+	}
+	cx.outI["comp"] = comp.I
+	return nil
+}
+
+// algoCCUnionFind is union-find CC (Galois): hook each edge's larger root
+// onto the smaller with path-halving finds, then compress — near-linear
+// work regardless of diameter.
+func algoCCUnionFind(cx *ctx) error {
+	n := cx.g.NumNodes()
+	parent := cx.e.AllocI("parent", int(n))
+	for i := range parent.I {
+		parent.I[i] = int32(i)
+	}
+	find := func(tc *spmd.TaskCtx, x int32) int32 {
+		for {
+			p := tc.ScalarLoadI(parent, x)
+			if p == x {
+				return x
+			}
+			gp := tc.ScalarLoadI(parent, p)
+			if gp != p {
+				tc.ScalarStoreI(parent, x, gp) // path halving
+			}
+			x = p
+		}
+	}
+	cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+		start, end := taskRange(tc, n)
+		for u := start; u < end; u++ {
+			tc.ScalarOps(cx.t.vertexOverheadOps)
+			s, e := cx.row(tc, u)
+			for p := s; p < e; p++ {
+				d := cx.dst(tc, p)
+				if d <= u {
+					continue // each undirected edge once
+				}
+				ru, rd := find(tc, u), find(tc, d)
+				if ru == rd {
+					continue
+				}
+				if ru < rd {
+					tc.AtomicUpdateScalar(parent, rd, ru) // CAS hook
+				} else {
+					tc.AtomicUpdateScalar(parent, ru, rd)
+				}
+			}
+		}
+	})
+	// Final flattening pass.
+	cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+		start, end := taskRange(tc, n)
+		for u := start; u < end; u++ {
+			tc.ScalarStoreI(parent, u, find(tc, u))
+		}
+	})
+	cx.outI["comp"] = parent.I
+	return nil
+}
+
+// --- TRI ---
+
+// algoTRI is ordered merge-intersection triangle counting on a sorted
+// symmetric graph, counting each triangle once via u < v < w.
+func algoTRI(cx *ctx) error {
+	n := cx.g.NumNodes()
+	count := cx.e.AllocI("count", 1)
+	cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+		start, end := taskRange(tc, n)
+		var local int32
+		for u := start; u < end; u++ {
+			tc.ScalarOps(cx.t.vertexOverheadOps)
+			su, eu := cx.row(tc, u)
+			for p := su; p < eu; p++ {
+				v := cx.dst(tc, p)
+				if v <= u {
+					continue
+				}
+				sv, ev := cx.row(tc, v)
+				i, j := su, sv
+				for i < eu && j < ev {
+					a := cx.dst(tc, i)
+					b := cx.dst(tc, j)
+					if a == b {
+						if a > v {
+							local++
+						}
+						i++
+						j++
+					} else if a < b {
+						i++
+					} else {
+						j++
+					}
+				}
+			}
+		}
+		if local != 0 {
+			tc.AtomicAddScalar(count, 0, local, false)
+		}
+	})
+	cx.outI["count"] = count.I
+	return nil
+}
+
+// --- MIS ---
+
+// algoMIS is priority-based Luby MIS with the EGACS priority function, so
+// all systems compute the identical set.
+func algoMIS(cx *ctx) error {
+	n := cx.g.NumNodes()
+	pri := cx.e.AllocI("pri", int(n))
+	for i := range pri.I {
+		pri.I[i] = hashPri(int32(i))
+	}
+	state := cx.e.AllocI("state", int(n)) // 0 undecided, 1 in, 2 out
+	cand := cx.e.AllocI("cand", int(n))
+	remaining := cx.e.AllocI("rem", 1)
+	for {
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, n)
+			for u := start; u < end; u++ {
+				tc.ScalarOps(cx.t.vertexOverheadOps)
+				if tc.ScalarLoadI(state, u) != 0 {
+					tc.ScalarStoreI(cand, u, 0)
+					continue
+				}
+				isMin := int32(1)
+				pu := tc.ScalarLoadI(pri, u)
+				s, e := cx.row(tc, u)
+				for p := s; p < e; p++ {
+					d := cx.dst(tc, p)
+					if tc.ScalarLoadI(state, d) != 0 {
+						continue
+					}
+					pd := tc.ScalarLoadI(pri, d)
+					if pd < pu || (pd == pu && d < u) {
+						isMin = 0
+						break
+					}
+				}
+				tc.ScalarStoreI(cand, u, isMin)
+			}
+		})
+		remaining.I[0] = 0
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, n)
+			var local int32
+			for u := start; u < end; u++ {
+				if tc.ScalarLoadI(state, u) != 0 {
+					continue
+				}
+				if tc.ScalarLoadI(cand, u) == 1 {
+					tc.ScalarStoreI(state, u, 1)
+					continue
+				}
+				s, e := cx.row(tc, u)
+				dropped := false
+				for p := s; p < e; p++ {
+					if tc.ScalarLoadI(cand, cx.dst(tc, p)) == 1 {
+						tc.ScalarStoreI(state, u, 2)
+						dropped = true
+						break
+					}
+				}
+				if !dropped {
+					local++
+				}
+			}
+			if local != 0 {
+				tc.AtomicAddScalar(remaining, 0, local, false)
+			}
+		})
+		if remaining.I[0] == 0 {
+			break
+		}
+	}
+	cx.outI["state"] = state.I
+	cx.outI["pri"] = pri.I
+	return nil
+}
+
+// --- PR ---
+
+// algoPRPull is pull-based PageRank over the transpose: no per-edge atomics,
+// one residual accumulation per task per round — the standard multicore
+// formulation all three frameworks use.
+func algoPRPull(cx *ctx) error {
+	cx.transpose()
+	n := cx.g.NumNodes()
+	rank := cx.e.AllocF("rank", int(n))
+	next := cx.e.AllocF("ranknext", int(n))
+	deg := cx.e.AllocI("deg", int(n))
+	errAcc := cx.e.AllocF("err", 1)
+	inv := float32(1) / float32(n)
+	for i := range rank.F {
+		rank.F[i] = inv
+		deg.I[i] = cx.g.Degree(int32(i))
+	}
+	base := float32(1-kernels.PRDamping) / float32(n)
+	for it := 0; it < kernels.PRMaxIter; it++ {
+		errAcc.F[0] = 0
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, n)
+			var localErr float32
+			for v := start; v < end; v++ {
+				tc.ScalarOps(cx.t.vertexOverheadOps)
+				s, e := cx.trow(tc, v)
+				var sum float32
+				for p := s; p < e; p++ {
+					u := cx.tdst(tc, p)
+					dg := tc.ScalarLoadI(deg, u)
+					if dg > 0 {
+						tc.ScalarOps(1) // divide
+						sum += tc.ScalarLoadF(rank, u) / float32(dg)
+					}
+				}
+				newr := base + kernels.PRDamping*sum
+				d := newr - rank.F[v]
+				if d < 0 {
+					d = -d
+				}
+				localErr += d
+				tc.ScalarOps(3) // damp, diff, abs
+				tc.ScalarStoreF(next, v, newr)
+			}
+			tc.AtomicAddFScalar(errAcc, 0, localErr)
+		})
+		rank, next = next, rank
+		if errAcc.F[0] <= kernels.PREps {
+			break
+		}
+	}
+	cx.outF["rank"] = rank.F
+	return nil
+}
+
+// --- MST ---
+
+// algoMSTBoruvka is Boruvka MST with union-find (Galois): each round scans
+// edges to find per-component minima (weight|edge encoded), grafts, and
+// compresses.
+func algoMSTBoruvka(cx *ctx) error {
+	n := cx.g.NumNodes()
+	comp := cx.e.AllocI("comp", int(n))
+	minedge := cx.e.AllocI("minedge", int(n))
+	total := cx.e.AllocI("mstwt", 1)
+	for i := range comp.I {
+		comp.I[i] = int32(i)
+	}
+	const bits = 24
+	grafts := cx.e.AllocI("grafts", 1)
+	for {
+		grafts.I[0] = 0
+		for i := range minedge.I {
+			minedge.I[i] = inf
+		}
+		// Find each component's minimum outgoing edge.
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, n)
+			for u := start; u < end; u++ {
+				tc.ScalarOps(cx.t.vertexOverheadOps)
+				cu := tc.ScalarLoadI(comp, u)
+				s, e := cx.row(tc, u)
+				for p := s; p < e; p++ {
+					d := cx.dst(tc, p)
+					cd := tc.ScalarLoadI(comp, d)
+					if cu == cd {
+						continue
+					}
+					enc := cx.wt(tc, p)<<bits | p
+					if enc < tc.ScalarLoadI(minedge, cu) {
+						tc.AtomicUpdateScalar(minedge, cu, enc)
+					}
+				}
+			}
+		})
+		// Graft larger roots onto smaller.
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, n)
+			var local, weight int32
+			for u := start; u < end; u++ {
+				if tc.ScalarLoadI(comp, u) != u {
+					continue
+				}
+				me := tc.ScalarLoadI(minedge, u)
+				if me == inf {
+					continue
+				}
+				eidx := me & (1<<bits - 1)
+				other := tc.ScalarLoadI(comp, tc.ScalarLoadI(cx.edgeDst, eidx))
+				if other < u {
+					tc.ScalarStoreI(comp, u, other)
+					weight += me >> bits
+					local++
+				}
+			}
+			if local != 0 {
+				tc.AtomicAddScalar(grafts, 0, local, false)
+				tc.AtomicAddScalar(total, 0, weight, false)
+			}
+		})
+		if grafts.I[0] == 0 {
+			break
+		}
+		// Compress.
+		cx.e.Launch(0, func(tc *spmd.TaskCtx) {
+			start, end := taskRange(tc, n)
+			for u := start; u < end; u++ {
+				for {
+					c := tc.ScalarLoadI(comp, u)
+					cc := tc.ScalarLoadI(comp, c)
+					if c == cc {
+						break
+					}
+					tc.ScalarStoreI(comp, u, cc)
+				}
+			}
+		})
+	}
+	cx.outI["mstwt"] = total.I
+	cx.outI["comp"] = comp.I
+	return nil
+}

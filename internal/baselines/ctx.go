@@ -1,0 +1,143 @@
+package baselines
+
+import (
+	"repro/internal/graph"
+	"repro/internal/spmd"
+)
+
+// ctx is the per-run execution context of a baseline algorithm: the scalar
+// engine, bound graph arrays, and output collection. All data accesses go
+// through cost-accounted TaskCtx operations so baseline times come from the
+// same machine model as EGACS times.
+type ctx struct {
+	e   *spmd.Engine
+	g   *graph.CSR
+	gt  *graph.CSR // transpose, bound lazily for pull/dense phases
+	src int32
+	t   tuning
+
+	rowPtr, edgeDst, edgeWt *spmd.Array
+	tRowPtr, tEdgeDst       *spmd.Array
+
+	outI map[string][]int32
+	outF map[string][]float32
+}
+
+func (cx *ctx) bind() {
+	cx.rowPtr = cx.e.BindI("g.rowptr", cx.g.RowPtr)
+	cx.edgeDst = cx.e.BindI("g.edgedst", cx.g.EdgeDst)
+	if cx.g.Weighted() {
+		cx.edgeWt = cx.e.BindI("g.edgewt", cx.g.Weight)
+	}
+}
+
+// transpose binds the reversed graph (untimed, like graph loading — all
+// frameworks that pull precompute it at load time).
+func (cx *ctx) transpose() {
+	if cx.gt != nil {
+		return
+	}
+	cx.gt = cx.g.Transpose()
+	cx.tRowPtr = cx.e.BindI("gt.rowptr", cx.gt.RowPtr)
+	cx.tEdgeDst = cx.e.BindI("gt.edgedst", cx.gt.EdgeDst)
+}
+
+// row loads a node's out-edge range (two scalar loads).
+func (cx *ctx) row(tc *spmd.TaskCtx, n int32) (int32, int32) {
+	return tc.ScalarLoadI(cx.rowPtr, n), tc.ScalarLoadI(cx.rowPtr, n+1)
+}
+
+// trow loads a node's in-edge range from the transpose.
+func (cx *ctx) trow(tc *spmd.TaskCtx, n int32) (int32, int32) {
+	return tc.ScalarLoadI(cx.tRowPtr, n), tc.ScalarLoadI(cx.tRowPtr, n+1)
+}
+
+// dst loads an out-edge destination, charging the framework's per-edge
+// abstraction overhead.
+func (cx *ctx) dst(tc *spmd.TaskCtx, e int32) int32 {
+	tc.ScalarOps(cx.t.edgeOverheadOps)
+	return tc.ScalarLoadI(cx.edgeDst, e)
+}
+
+// tdst loads an in-edge source from the transpose.
+func (cx *ctx) tdst(tc *spmd.TaskCtx, e int32) int32 {
+	tc.ScalarOps(cx.t.edgeOverheadOps)
+	return tc.ScalarLoadI(cx.tEdgeDst, e)
+}
+
+// wt loads an edge weight (1 when unweighted).
+func (cx *ctx) wt(tc *spmd.TaskCtx, e int32) int32 {
+	if cx.edgeWt == nil {
+		return 1
+	}
+	return tc.ScalarLoadI(cx.edgeWt, e)
+}
+
+// taskRange splits n items across the launch's tasks.
+func taskRange(tc *spmd.TaskCtx, n int32) (int32, int32) {
+	per := (n + int32(tc.Count) - 1) / int32(tc.Count)
+	start := int32(tc.Index) * per
+	end := start + per
+	if end > n {
+		end = n
+	}
+	if start > end {
+		start = end
+	}
+	return start, end
+}
+
+// frontier is a dense item list with a shared tail, the baseline analogue of
+// the EGACS worklist.
+type frontier struct {
+	items *spmd.Array
+	tail  *spmd.Array
+}
+
+func (cx *ctx) newFrontier(name string, capacity int) *frontier {
+	return &frontier{
+		items: cx.e.AllocI(name, capacity),
+		tail:  cx.e.AllocI(name+".tail", 1),
+	}
+}
+
+func (f *frontier) size() int32  { return f.tail.I[0] }
+func (f *frontier) clear()       { f.tail.I[0] = 0 }
+func (f *frontier) seed(x int32) { f.items.I[0] = x; f.tail.I[0] = 1 }
+func (f *frontier) seedAll(n int32) {
+	for i := int32(0); i < n; i++ {
+		f.items.I[i] = i
+	}
+	f.tail.I[0] = n
+}
+
+// get loads item i (cost-accounted).
+func (f *frontier) get(tc *spmd.TaskCtx, i int32) int32 {
+	return tc.ScalarLoadI(f.items, i)
+}
+
+// flush appends a task's locally buffered pushes: one tail reservation per
+// task plus a store per item. Non-chunked frameworks (Ligra's edgeMap pack)
+// additionally pay two bookkeeping ops per item for the prefix-sum copy.
+func (cx *ctx) flush(tc *spmd.TaskCtx, f *frontier, buf []int32) {
+	if len(buf) == 0 {
+		return
+	}
+	pos := tc.AtomicAddScalar(f.tail, 0, int32(len(buf)), true)
+	for i, v := range buf {
+		if !cx.t.chunkedPush {
+			tc.ScalarOps(2)
+		}
+		tc.ScalarStoreI(f.items, pos+int32(i), v)
+	}
+}
+
+// hashPri reproduces the EGACS InitHash priority function so MIS results
+// are comparable across systems.
+func hashPri(x int32) int32 {
+	u := uint32(x) * 2654435761
+	u ^= u >> 15
+	u *= 2246822519
+	u ^= u >> 13
+	return int32(u) & 0x7fffffff
+}

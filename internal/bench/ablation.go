@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/opt"
+)
+
+// Ablation sweeps the design constants DESIGN.md calls out — the
+// nested-parallelism big-node threshold, the fiber cap (the paper's
+// empirically-chosen 256), and SSSP's input-specific DELTA — showing why the
+// shipped defaults hold. This experiment extends the paper (which reports
+// only the chosen values).
+func Ablation(o Options) []*Table {
+	o = o.withDefaults()
+	m := machine.Intel8()
+	var tables []*Table
+
+	// --- NP big-node threshold (in SIMD widths) ---
+	bfs := o.benchSet()[0]
+	g := o.graphs()[1] // rmat: where NP matters
+	src := g.MaxDegreeNode()
+	npT := &Table{
+		ID:     "ablation",
+		Title:  "NP big-node threshold sweep (bfs-wl, rmat): factor x SIMD width",
+		Header: []string{"factor", "time-ms", "lane-util"},
+		Notes:  []string{"the shipped default is factor 1: whole-vector treatment from one vector's worth of edges"},
+	}
+	defFactor := codegen.BigDegreeFactor
+	for _, f := range []int{1, 2, 4, 8} {
+		codegen.BigDegreeFactor = f
+		res, err := core.Run(bfs, g, core.Config{Machine: m, Src: src})
+		if err != nil {
+			codegen.BigDegreeFactor = defFactor
+			panic(err)
+		}
+		npT.Rows = append(npT.Rows, []string{
+			fmt.Sprintf("%d", f), f3(res.TimeMS),
+			fmt.Sprintf("%.0f%%", 100*res.Stats.LaneUtilization(m.PreferredTarget.Width)),
+		})
+	}
+	codegen.BigDegreeFactor = defFactor
+	tables = append(tables, npT)
+
+	// --- Fiber cap (paper: MaxNumFibersPerTask = 256) ---
+	fibT := &Table{
+		ID:     "ablation",
+		Title:  "fiber cap sweep (bfs-cx, road)",
+		Header: []string{"max-fibers", "time-ms", "pushes"},
+		Notes:  []string{"the paper fixes the cap at 256 to bound fiber state while keeping bulk reservation effective"},
+	}
+	cx := o.benchSet()[0]
+	if !o.Quick {
+		for _, b := range o.benchSet() {
+			if b.Name == "bfs-cx" {
+				cx = b
+			}
+		}
+	}
+	road := o.graphs()[0]
+	rsrc := road.MaxDegreeNode()
+	defFibers := codegen.MaxFibersPerTask
+	for _, cap := range []int32{1, 16, 256, 4096} {
+		codegen.MaxFibersPerTask = cap
+		res, err := core.Run(cx, road, core.Config{Machine: m, Src: rsrc})
+		if err != nil {
+			codegen.MaxFibersPerTask = defFibers
+			panic(err)
+		}
+		fibT.Rows = append(fibT.Rows, []string{
+			fmt.Sprintf("%d", cap), f3(res.TimeMS),
+			fmt.Sprintf("%d", res.Stats.AtomicPushes),
+		})
+	}
+	codegen.MaxFibersPerTask = defFibers
+	tables = append(tables, fibT)
+
+	// --- SSSP DELTA (the paper's input-specific parameter) ---
+	var sssp = o.benchSet()[0]
+	for _, b := range o.benchSet() {
+		if b.Name == "sssp-nf" {
+			sssp = b
+		}
+	}
+	if sssp.Name == "sssp-nf" {
+		dT := &Table{
+			ID:     "ablation",
+			Title:  "SSSP near-far DELTA sweep (road)",
+			Header: []string{"delta", "time-ms", "work-items"},
+			Notes:  []string{"too small: many promotion rounds; too large: excess re-relaxation — the shipped default is maxWeight/2"},
+		}
+		for _, d := range []int32{4, 16, 32, 64, 256} {
+			res, err := core.Run(sssp, road, core.Config{
+				Machine: m, Src: rsrc, Params: map[string]int32{"delta": d},
+			})
+			if err != nil {
+				panic(err)
+			}
+			dT.Rows = append(dT.Rows, []string{
+				fmt.Sprintf("%d", d), f3(res.TimeMS),
+				fmt.Sprintf("%d", res.Stats.WorkItems),
+			})
+		}
+		tables = append(tables, dT)
+	}
+	return tables
+}
+
+// NeonExt compares EGACS on the ARM/NEON machine model against Intel/AVX512
+// and serial ARM — this reproduction's extension of the paper's deferred
+// future work ("leave evaluation of ARM NEON to future work").
+func NeonExt(o Options) []*Table {
+	o = o.withDefaults()
+	arm := machine.ARM64()
+	intel := machine.Intel8()
+	t := &Table{
+		ID:     "ext-neon",
+		Title:  "ARM NEON extension: speedup over each machine's serial build",
+		Header: []string{"benchmark", "input", "neon-simd", "neon-simd+mt", "avx512-simd+mt"},
+		Notes: []string{
+			"NEON lacks gathers/scatters/opmasks (AVX1-like lowering); the SIMD win survives but trails AVX512",
+		},
+	}
+	pc := newPrepCache()
+	sc := newSerialCache()
+	none := opt.None()
+	for _, b := range o.benchSet() {
+		for _, g := range o.graphs() {
+			gg := pc.graph(b, g)
+			src := gg.MaxDegreeNode()
+			armSerial := sc.ms(arm, b, gg, src)
+			intelSerial := sc.ms(intel, b, gg, src)
+			// Plain SIMD (no optimizations), matching Fig. 6's +SIMD column.
+			neon1 := runMS(b, gg, core.Config{Machine: arm, Tasks: 1, NoSMT: true, Opts: &none, Src: src})
+			neonMT := runMS(b, gg, core.Config{Machine: arm, Src: src})
+			avxMT := runMS(b, gg, core.Config{Machine: intel, Src: src})
+			t.Rows = append(t.Rows, []string{
+				b.Name, shortName(g),
+				f2(armSerial / neon1), f2(armSerial / neonMT), f2(intelSerial / avxMT),
+			})
+		}
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Fig4 reproduces the framework comparison (Fig. 4 + Table X): EGACS versus
+// Ligra, GraphIt and Galois on the Intel and AMD machines — speedups over
+// the serial EGACS build plus the raw millisecond table.
+func Fig4(o Options) []*Table {
+	o = o.withDefaults()
+	var tables []*Table
+	for _, m := range []*machine.Config{machine.Intel8(), machine.AMD32()} {
+		tables = append(tables, fig4Machine(o, m)...)
+	}
+	return tables
+}
+
+func fig4Machine(o Options, m *machine.Config) []*Table {
+	frameworks := baselines.Frameworks()
+	speed := &Table{
+		ID:     "fig4",
+		Title:  "speedup over serial, " + m.Name,
+		Header: []string{"benchmark", "input", "egacs", "ligra", "graphit", "galois"},
+	}
+	raw := &Table{
+		ID:     "table10",
+		Title:  "execution time (ms), " + m.Name,
+		Header: []string{"benchmark", "input", "serial", "egacs", "ligra", "graphit", "galois"},
+	}
+	pc := newPrepCache()
+	sc := newSerialCache()
+	wins := map[string]int{}
+	var egacsVs = map[string][]float64{}
+	for _, b := range o.benchSet() {
+		for _, g := range o.graphs() {
+			gg := pc.graph(b, g)
+			src := gg.MaxDegreeNode()
+			serial := sc.ms(m, b, gg, src)
+			egacs := runMS(b, gg, core.Config{Machine: m, Src: src})
+			speedRow := []string{b.Name, shortName(g), f2(serial / egacs)}
+			rawRow := []string{b.Name, shortName(g), f3(serial), f3(egacs)}
+			best := "egacs"
+			bestMS := egacs
+			for _, fw := range frameworks {
+				if !fw.Supports(b.Name) {
+					speedRow = append(speedRow, "n/a")
+					rawRow = append(rawRow, "n/a")
+					continue
+				}
+				res, err := fw.Run(b.Name, gg, m, 0, src)
+				if err != nil {
+					panic(fmt.Sprintf("bench: %s/%s: %v", fw.Name, b.Name, err))
+				}
+				speedRow = append(speedRow, f2(serial/res.TimeMS))
+				rawRow = append(rawRow, f3(res.TimeMS))
+				egacsVs[fw.Name] = append(egacsVs[fw.Name], res.TimeMS/egacs)
+				if res.TimeMS < bestMS {
+					best, bestMS = fw.Name, res.TimeMS
+				}
+			}
+			wins[best]++
+			speed.Rows = append(speed.Rows, speedRow)
+			raw.Rows = append(raw.Rows, rawRow)
+		}
+	}
+	for _, fw := range sortedKeys(egacsVs) {
+		speed.Notes = append(speed.Notes,
+			fmt.Sprintf("EGACS vs %s: %.2fx faster (geomean; paper Intel: Ligra 3.06x, GraphIt 1.53x, Galois 1.78x)",
+				fw, geomean(egacsVs[fw])))
+	}
+	for _, k := range sortedKeys(wins) {
+		speed.Notes = append(speed.Notes, fmt.Sprintf("fastest in %d configs: %s", wins[k], k))
+	}
+	return []*Table{speed, raw}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+// Fig9 reproduces the CPU-vs-GPU comparison (Fig. 9): GPU speedup over the
+// Intel EGACS build per benchmark and input, with and without data-transfer
+// time, plus the AMD and Phi columns.
+func Fig9(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		ID:    "fig9",
+		Title: "speedup over Intel EGACS (higher = faster than Intel CPU)",
+		Header: []string{"benchmark", "input", "amd", "phi",
+			"gpu", "gpu-no-transfer"},
+	}
+	intel, amd, phi := machine.Intel8(), machine.AMD32(), machine.Phi72()
+	pc := newPrepCache()
+	var gpuAll []float64
+	for _, b := range o.benchSet() {
+		for _, g := range o.graphs() {
+			gg := pc.graph(b, g)
+			src := gg.MaxDegreeNode()
+			intelMS := runMS(b, gg, core.Config{Machine: intel, Src: src})
+			amdMS := runMS(b, gg, core.Config{Machine: amd, Src: src})
+			phiMS := runMS(b, gg, core.Config{Machine: phi, Src: src})
+			gpuRes, err := gpusim.Run(b, gg, gpusim.Options{IncludeTransfer: true, Src: src})
+			if err != nil {
+				panic(err)
+			}
+			gpuNT, err := gpusim.Run(b, gg, gpusim.Options{IncludeTransfer: false, Src: src})
+			if err != nil {
+				panic(err)
+			}
+			t.Rows = append(t.Rows, []string{
+				b.Name, shortName(g),
+				f2(intelMS / amdMS), f2(intelMS / phiMS),
+				f2(intelMS / gpuRes.TimeMS), f2(intelMS / gpuNT.TimeMS),
+			})
+			gpuAll = append(gpuAll, intelMS/gpuRes.TimeMS)
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"GPU vs Intel EGACS geomean: %.2fx (paper: 1.76x including transfers)", geomean(gpuAll)))
+	return []*Table{t}
+}
+
+// Table9 reproduces the virtual-memory study (Table IX): per-application
+// memory footprint and the slowdown when physical memory is limited to 75%%
+// and 50%% of it, on both CPU (cgroups-style limit) and GPU (UVM
+// oversubscription).
+func Table9(o Options) []*Table {
+	o = o.withDefaults()
+	// The paper uses a larger road graph (OSM-EUR) for this study.
+	gs := o.graphs()
+	g := gs[0] // road family
+	t := &Table{
+		ID:    "table9",
+		Title: "memory footprint (MB) and slowdown at limited physical memory, road input",
+		Header: []string{"benchmark",
+			"gpu-MB", "gpu-75%", "gpu-50%",
+			"cpu-MB", "cpu-75%", "cpu-50%"},
+		Notes: []string{
+			"worklist kernels on the GPU collapse under UVM oversubscription (paper: >5000x, DNF); the CPU degrades gracefully",
+		},
+	}
+	intel := machine.Intel8()
+	pc := newPrepCache()
+	apps := o.benchSet()
+	if !o.Quick {
+		// The paper's Table IX covers these seven applications.
+		apps = nil
+		for _, n := range []string{"bfs-wl", "cc", "tri", "sssp-nf", "mis", "pr", "mst"} {
+			b, err := kernels.ByName(n)
+			if err != nil {
+				panic(err)
+			}
+			apps = append(apps, b)
+		}
+	}
+	for _, b := range apps {
+		gg := pc.graph(b, g)
+		src := gg.MaxDegreeNode()
+
+		// Unlimited-memory baselines.
+		gpuFull, err := gpusim.Run(b, gg, gpusim.Options{Src: src})
+		if err != nil {
+			panic(err)
+		}
+		cpuFull := runMS(b, gg, core.Config{Machine: intel, Src: src})
+		foot := gpuFull.Instance.FootprintBytes()
+
+		row := []string{b.Name, f1(float64(foot) / (1 << 20))}
+		for _, frac := range []float64{0.75, 0.50} {
+			limited, err := gpusim.Run(b, gg, gpusim.Options{
+				Src: src, PhysBytes: int64(frac * float64(foot)),
+			})
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, f1(limited.TimeMS/gpuFull.TimeMS))
+		}
+		row = append(row, f1(float64(foot)/(1<<20)))
+		for _, frac := range []float64{0.75, 0.50} {
+			res, _, err := gpusim.CPUWithMemLimit(b, gg, intel, int64(frac*float64(foot)), src)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, f1(res.TimeMS/cpuFull))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/vec"
+)
+
+// Table4 reproduces the lane-utilization study (Table IV): inner-loop SIMD
+// lane utilization and dynamic instruction counts, unoptimized vs fully
+// optimized, on the road and rmat inputs.
+func Table4(o Options) []*Table {
+	o = o.withDefaults()
+	m := machine.Intel8()
+	bfs := o.benchSet()[0]
+	t := &Table{
+		ID:     "table4",
+		Title:  "SIMD lane utilization (bfs-wl, avx512-i32x16, Intel)",
+		Header: []string{"input", "util-unopt", "util-opt", "instr-unopt", "instr-opt", "instr-reduction"},
+		Notes: []string{
+			"optimization raises utilization and cuts dynamic instructions, most on the skewed rmat input",
+		},
+	}
+	unopt := opt.Options{IO: true}
+	all := opt.All()
+	w := m.PreferredTarget.Width
+	for _, g := range o.graphs()[:2] { // road, rmat
+		src := g.MaxDegreeNode()
+		r1, err := core.Run(bfs, g, core.Config{Machine: m, Opts: &unopt, Src: src})
+		if err != nil {
+			panic(err)
+		}
+		r2, err := core.Run(bfs, g, core.Config{Machine: m, Opts: &all, Src: src})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			shortName(g),
+			fmt.Sprintf("%.0f%%", 100*r1.Stats.LaneUtilization(w)),
+			fmt.Sprintf("%.0f%%", 100*r2.Stats.LaneUtilization(w)),
+			fmt.Sprintf("%d", r1.Stats.Instructions),
+			fmt.Sprintf("%d", r2.Stats.Instructions),
+			f2(float64(r1.Stats.Instructions) / float64(r2.Stats.Instructions)),
+		})
+	}
+	return []*Table{t}
+}
+
+// Table5 reproduces the cooperative-conversion push-count study (Table V):
+// atomic worklist pushes under no CC, task-level CC, and (where applicable)
+// fiber-level CC.
+func Table5(o Options) []*Table {
+	o = o.withDefaults()
+	m := machine.Intel8()
+	t := &Table{
+		ID:     "table5",
+		Title:  "atomic worklist pushes (rmat input, Intel, NP always on)",
+		Header: []string{"benchmark", "unopt", "task-CC", "fiber-CC", "task-CC-reduction", "fiber-CC-extra"},
+		Notes: []string{
+			"task-level CC cuts pushes by about the SIMD width; fiber-level CC applies to bfs-cx and bfs-hb",
+		},
+	}
+	g := o.graphs()[1] // rmat
+	src := g.MaxDegreeNode()
+	pc := newPrepCache()
+	for _, b := range o.benchSet() {
+		gg := pc.graph(b, g)
+		unopt := opt.Options{NP: true, IO: true}
+		taskCC := opt.Options{NP: true, IO: true, CC: true}
+		fiberCC := opt.All()
+		r0, err := core.Run(b, gg, core.Config{Machine: m, Opts: &unopt, Src: src})
+		if err != nil {
+			panic(err)
+		}
+		if r0.Stats.AtomicPushes == 0 {
+			continue // no worklist pushes in this benchmark
+		}
+		r1, err := core.Run(b, gg, core.Config{Machine: m, Opts: &taskCC, Src: src})
+		if err != nil {
+			panic(err)
+		}
+		r2, err := core.Run(b, gg, core.Config{Machine: m, Opts: &fiberCC, Src: src})
+		if err != nil {
+			panic(err)
+		}
+		fiberCell := "n/a"
+		extra := "-"
+		if b.Prog.KernelByName("expand") != nil { // fiber-CC eligible
+			fiberCell = fmt.Sprintf("%d", r2.Stats.AtomicPushes)
+			extra = f1(float64(r1.Stats.AtomicPushes) / float64(r2.Stats.AtomicPushes))
+		}
+		t.Rows = append(t.Rows, []string{
+			b.Name,
+			fmt.Sprintf("%d", r0.Stats.AtomicPushes),
+			fmt.Sprintf("%d", r1.Stats.AtomicPushes),
+			fiberCell,
+			f1(float64(r0.Stats.AtomicPushes) / float64(r1.Stats.AtomicPushes)),
+			extra,
+		})
+	}
+	return []*Table{t}
+}
+
+// Fig5 reproduces the per-optimization breakdown (Fig. 5): speedup of each
+// optimization combination over the unoptimized SIMD version, per benchmark
+// and input, on the Intel machine.
+func Fig5(o Options) []*Table {
+	o = o.withDefaults()
+	m := machine.Intel8()
+	configs := opt.Configs()
+	header := []string{"benchmark", "input"}
+	for _, c := range configs[1:] {
+		header = append(header, c.Name)
+	}
+	t := &Table{
+		ID:     "fig5",
+		Title:  "speedup over unoptimized SIMD (Intel, 16 tasks)",
+		Header: header,
+		Notes: []string{
+			"individual optimizations can slow some kernel/input pairs down (paper range 0.62x-6.13x)",
+		},
+	}
+	pc := newPrepCache()
+	var all []float64
+	for _, b := range o.benchSet() {
+		for _, g := range o.graphs() {
+			gg := pc.graph(b, g)
+			src := gg.MaxDegreeNode()
+			base := runMS(b, gg, core.Config{Machine: m, Src: src, Opts: &configs[0].Opts})
+			row := []string{b.Name, shortName(g)}
+			for _, c := range configs[1:] {
+				c := c
+				ms := runMS(b, gg, core.Config{Machine: m, Src: src, Opts: &c.Opts})
+				sp := base / ms
+				row = append(row, f2(sp))
+				if c.Name == "io+cc+np+fibers" {
+					all = append(all, sp)
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("geomean all-optimizations speedup: %.2fx (paper: 1.67x over plain SIMD)", geomean(all)))
+	return []*Table{t}
+}
+
+// Fig6 reproduces the SIMD/multi-tasking attribution (Fig. 6): speedups of
+// +SIMD, +MT, +MT+SIMD and +MT+SIMD+Opt over the serial version, geomean
+// across benchmarks, per input.
+func Fig6(o Options) []*Table {
+	o = o.withDefaults()
+	m := machine.Intel8()
+	t := &Table{
+		ID:     "fig6",
+		Title:  "speedup over serial: SIMD vs multi-tasking (Intel)",
+		Header: []string{"input", "+SIMD", "+MT", "+MT+SIMD", "+MT+SIMD+Opt"},
+		Notes: []string{
+			"SIMD and MT compose; optimizations lift the combination further (paper: 8.06x/14.08x/17.02x for +MT+SIMD+Opt)",
+		},
+	}
+	pc := newPrepCache()
+	sc := newSerialCache()
+	none := opt.None()
+	allOpt := opt.All()
+	for _, g := range o.graphs() {
+		var simd, mt, mtSimd, mtSimdOpt []float64
+		for _, b := range o.benchSet() {
+			gg := pc.graph(b, g)
+			src := gg.MaxDegreeNode()
+			serial := sc.ms(m, b, gg, src)
+			// +SIMD: one task, vector target, no optimizations.
+			s1 := runMS(b, gg, core.Config{Machine: m, Tasks: 1, NoSMT: true, Opts: &none, Src: src})
+			// +MT: 16 tasks, scalar target.
+			s2 := runMS(b, gg, core.Config{Machine: m, Target: vec.TargetScalar, Opts: &none, Src: src})
+			// +MT+SIMD.
+			s3 := runMS(b, gg, core.Config{Machine: m, Opts: &none, Src: src})
+			// +MT+SIMD+Opt.
+			s4 := runMS(b, gg, core.Config{Machine: m, Opts: &allOpt, Src: src})
+			simd = append(simd, serial/s1)
+			mt = append(mt, serial/s2)
+			mtSimd = append(mtSimd, serial/s3)
+			mtSimdOpt = append(mtSimdOpt, serial/s4)
+		}
+		t.Rows = append(t.Rows, []string{
+			shortName(g), f2(geomean(simd)), f2(geomean(mt)),
+			f2(geomean(mtSimd)), f2(geomean(mtSimdOpt)),
+		})
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vec"
+)
+
+// Fig7 reproduces the SIMD-width and AVX-version sweep (Fig. 7): for each
+// AVX family at logical widths 4/8/16, the speedup of the multi-task run and
+// the single-task dynamic instruction count, both normalized to AVX1-4,
+// geomean across benchmarks, per input.
+func Fig7(o Options) []*Table {
+	o = o.withDefaults()
+	m := machine.Intel8()
+	targets := []vec.Target{
+		vec.TargetAVX1x4, vec.TargetAVX1x8, vec.TargetAVX1x16,
+		vec.TargetAVX2x4, vec.TargetAVX2x8, vec.TargetAVX2x16,
+		vec.TargetAVX512x4, vec.TargetAVX512x8, vec.TargetAVX512x16,
+	}
+	var tables []*Table
+	pc := newPrepCache()
+	for _, g := range o.graphs() {
+		t := &Table{
+			ID:     "fig7",
+			Title:  "AVX target sweep, input " + shortName(g) + " (normalized to avx1-i32x4)",
+			Header: []string{"target", "speedup", "dyn-instrs"},
+			Notes: []string{
+				"newer AVX versions execute fewer instructions; wider is not always faster",
+			},
+		}
+		type meas struct{ ms, instrs float64 }
+		results := map[vec.Target]meas{}
+		for _, tgt := range targets {
+			var msAll, instrAll []float64
+			for _, b := range o.benchSet() {
+				gg := pc.graph(b, g)
+				src := gg.MaxDegreeNode()
+				// Speedup: multi-task run.
+				ms := runMS(b, gg, core.Config{Machine: m, Target: tgt, Src: src})
+				// Instructions: single-task run, as the paper does to
+				// exclude barrier/launch/CAS-retry noise.
+				res, err := core.Run(b, gg, core.Config{
+					Machine: m, Target: tgt, Tasks: 1, NoSMT: true, Src: src,
+				})
+				if err != nil {
+					panic(err)
+				}
+				msAll = append(msAll, ms)
+				instrAll = append(instrAll, float64(res.Stats.Instructions))
+			}
+			results[tgt] = meas{geomean(msAll), geomean(instrAll)}
+		}
+		base := results[vec.TargetAVX1x4]
+		for _, tgt := range targets {
+			r := results[tgt]
+			t.Rows = append(t.Rows, []string{
+				tgt.String(),
+				f2(base.ms / r.ms),
+				f2(r.instrs / base.instrs),
+			})
+		}
+		// Headline checks from Section IV-B3.
+		if i512 := results[vec.TargetAVX512x16].instrs; i512 > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"avx1-16/avx2-16 instrs = %.2fx, avx2-16/avx512-16 instrs = %.2fx (paper: 1.59x, 1.41x)",
+				results[vec.TargetAVX1x16].instrs/results[vec.TargetAVX2x16].instrs,
+				results[vec.TargetAVX2x16].instrs/i512))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

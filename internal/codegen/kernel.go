@@ -1,0 +1,338 @@
+package codegen
+
+import (
+	"repro/internal/ir"
+	"repro/internal/spmd"
+	"repro/internal/vec"
+)
+
+// MaxFibersPerTask bounds fiber-specific state, set empirically in the paper
+// to 256 (Section III-B1). It is a variable so the ablation experiments can
+// sweep it; production code treats it as a constant.
+var MaxFibersPerTask int32 = 256
+
+// BigDegreeFactor: edge loops of nodes with at least BigDegreeFactor*W edges
+// are vectorized whole; smaller nodes go through the packed fine-grained
+// scheduler. Swept by the ablation experiments.
+var BigDegreeFactor = 1
+
+// kernelCode is one compiled kernel.
+type kernelCode struct {
+	prog *ir.Program
+	k    *ir.Kernel
+
+	nI, nF, nM int
+	itemSlot   int
+
+	body exec
+}
+
+func compileKernel(prog *ir.Program, k *ir.Kernel) (*kernelCode, error) {
+	c := &kcompiler{
+		prog:  prog,
+		k:     k,
+		slotI: map[string]int{},
+		slotF: map[string]int{},
+		slotM: map[string]int{},
+	}
+	itemSlot := c.declare(k.ItemVar, ir.I32)
+	body, err := c.compileStmts(k.Body)
+	if err != nil {
+		return nil, err
+	}
+	if k.FiberCC {
+		// Fiber-level CC reserves once from the pipeline out-list, so all
+		// pushes must target it.
+		var bad bool
+		ir.WalkStmts(k.Body, func(s ir.Stmt) {
+			if p, ok := s.(*ir.Push); ok && p.WL != "out" {
+				bad = true
+			}
+		})
+		if bad {
+			return nil, c.errf("fiber-level CC requires all pushes to target the pipeline worklist")
+		}
+	}
+	return &kernelCode{
+		prog: prog, k: k,
+		nI: c.nI, nF: c.nF, nM: c.nM,
+		itemSlot: itemSlot,
+		body:     body,
+	}, nil
+}
+
+// totalRegs is the live register estimate used to cost NP lane shuffles.
+func (kc *kernelCode) totalRegs() int { return kc.nI + kc.nF + kc.nM }
+
+// runTask executes the kernel for one task's slice of the domain. It is
+// called from both launch-per-iteration and outlined drivers.
+func (kc *kernelCode) runTask(in *Instance, tc *spmd.TaskCtx) {
+	in.E.MarkPhase(kc.k.Name)
+	W := tc.Width
+	var n int32
+	if kc.k.Domain == ir.DomainNodes {
+		n = in.G.NumNodes()
+	} else {
+		n = in.wl.In.SizeCounted(tc)
+	}
+	if n == 0 {
+		return
+	}
+	// Work is dealt in whole SIMD-width chunks (ISPC's foreach carves
+	// W-aligned blocks): small frontiers leave trailing tasks idle rather
+	// than fragmenting every task's chunk below the vector width.
+	chunksTotal := (n + int32(W) - 1) / int32(W)
+	chunksPer := (chunksTotal + int32(tc.Count) - 1) / int32(tc.Count)
+	start := int32(tc.Index) * chunksPer * int32(W)
+	end := start + chunksPer*int32(W)
+	if end > n {
+		end = n
+	}
+	if start >= end {
+		return
+	}
+
+	fr := kc.newFrame(in, tc)
+
+	if kc.k.FiberCC {
+		// Compute the task's total push count in advance (sum of item
+		// degrees) and reserve space with a single atomic.
+		total := kc.sumDegrees(in, tc, fr, start, end)
+		pos := in.wl.Out.Reserve(tc, total)
+		fr.resPos = &pos
+	}
+
+	chunks := (end - start + int32(W) - 1) / int32(W)
+	if kc.k.Fibers {
+		// NumFibersPerTask = min(MaxFibers, ceil(N / (W * tasks))) —
+		// the paper's dynamic fiber count.
+		fibers := (n + int32(W*tc.Count) - 1) / int32(W*tc.Count)
+		if fibers > MaxFibersPerTask {
+			fibers = MaxFibersPerTask
+		}
+		if fibers < 1 {
+			fibers = 1
+		}
+		// Fiber f processes chunks f, f+F, f+2F... — each virtual task
+		// owns a strided set, emulating thread-block scheduling.
+		for f := int32(0); f < fibers; f++ {
+			for ci := f; ci < chunks; ci += fibers {
+				tc.ScalarOps(2) // fiber loop bookkeeping
+				kc.runChunk(in, tc, fr, start+ci*int32(W), end)
+			}
+		}
+	} else {
+		for ci := int32(0); ci < chunks; ci++ {
+			kc.runChunk(in, tc, fr, start+ci*int32(W), end)
+		}
+	}
+}
+
+// sumDegrees computes the total out-degree of the task's items (the advance
+// push count for fiber-level CC), fully cost-accounted.
+func (kc *kernelCode) sumDegrees(in *Instance, tc *spmd.TaskCtx, fr *frame, start, end int32) int32 {
+	W := int32(tc.Width)
+	var total int32
+	for base := start; base < end; base += W {
+		cnt := end - base
+		if cnt > W {
+			cnt = W
+		}
+		m := vec.FullMask(int(cnt))
+		items := kc.loadItems(in, tc, base, m)
+		rs := tc.GatherI(in.rowPtr, items, m, vec.Vec{}, false)
+		tc.Op(vec.ClassALU, false)
+		items1 := vec.Bin(vec.OpAdd, items, vec.Splat(1), m, tc.Width)
+		re := tc.GatherI(in.rowPtr, items1, m, vec.Vec{}, false)
+		tc.Op(vec.ClassALU, false)
+		deg := vec.Bin(vec.OpSub, re, rs, m, tc.Width)
+		tc.Op(vec.ClassReduce, false)
+		total += vec.ReduceAdd(deg, m, tc.Width)
+	}
+	return total
+}
+
+// loadItems produces the item vector for a chunk: node ids for topology
+// kernels, worklist items (a unit-stride vector load) for worklist kernels.
+func (kc *kernelCode) loadItems(in *Instance, tc *spmd.TaskCtx, base int32, m vec.Mask) vec.Vec {
+	if kc.k.Domain == ir.DomainNodes {
+		tc.Op(vec.ClassALU, false)
+		return vec.Bin(vec.OpAdd, vec.Splat(base), vec.Iota(), m, tc.Width)
+	}
+	return tc.LoadVecI(in.wl.In.Items, base, m, vec.Vec{})
+}
+
+func (kc *kernelCode) runChunk(in *Instance, tc *spmd.TaskCtx, fr *frame, base, end int32) {
+	W := int32(tc.Width)
+	cnt := end - base
+	if cnt > W {
+		cnt = W
+	}
+	if cnt <= 0 {
+		return
+	}
+	m := vec.FullMask(int(cnt))
+	items := kc.loadItems(in, tc, base, m)
+	fr.regI[kc.itemSlot] = items
+	tc.Work(int(cnt))
+	kc.body(fr, m)
+}
+
+// --- ForEdges compilation ---
+
+func (c *kcompiler) compileForEdges(s *ir.ForEdges) (exec, error) {
+	node, err := c.compileI(s.Node)
+	if err != nil {
+		return nil, err
+	}
+	edgeSlot := c.declare(s.EdgeVar, ir.I32)
+
+	// Compile the body in inner-loop mode; for NP additionally record the
+	// outer variable set to reject discarded writes.
+	savedInner, savedOuter := c.inner, c.npOuter
+	c.inner = true
+	if s.Sched == ir.SchedNP {
+		outer := make(map[string]bool, c.nI+c.nF+c.nM)
+		for name := range c.slotI {
+			outer[name] = true
+		}
+		for name := range c.slotF {
+			outer[name] = true
+		}
+		for name := range c.slotM {
+			outer[name] = true
+		}
+		delete(outer, s.EdgeVar)
+		c.npOuter = outer
+	}
+	body, err := c.compileStmts(s.Body)
+	c.inner, c.npOuter = savedInner, savedOuter
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Sched == ir.SchedNP {
+		return c.buildNPLoop(node, edgeSlot, body), nil
+	}
+	return c.buildSerialLoop(node, edgeSlot, body), nil
+}
+
+// buildSerialLoop: each lane walks its own edge range in lockstep. Lane
+// utilization equals the fraction of lanes still having edges each round —
+// the Table IV "unoptimized" measurement.
+func (c *kcompiler) buildSerialLoop(node evalI, edgeSlot int, body exec) exec {
+	return func(fr *frame, m vec.Mask) {
+		if m.None() {
+			return
+		}
+		tc := fr.tc
+		nv := node(fr, m)
+		rs := tc.GatherI(fr.in.rowPtr, nv, m, vec.Vec{}, false)
+		tc.Op(vec.ClassALU, false)
+		nv1 := vec.Bin(vec.OpAdd, nv, vec.Splat(1), m, fr.W)
+		re := tc.GatherI(fr.in.rowPtr, nv1, m, vec.Vec{}, false)
+		e := rs
+		for {
+			tc.InnerOp(vec.ClassCmp, true, m.PopCount())
+			act := m & vec.CmpMask(vec.OpLt, e, re, m, fr.W)
+			if act.None() {
+				return
+			}
+			fr.regI[edgeSlot] = vec.Blend(act, e, fr.regI[edgeSlot], fr.W)
+			body(fr, act)
+			tc.InnerOp(vec.ClassALU, true, act.PopCount())
+			e = vec.Bin(vec.OpAdd, e, vec.Splat(1), act, fr.W)
+		}
+	}
+}
+
+// buildNPLoop: the inspector-executor nested-parallelism scheduler (Fig. 2).
+// High-degree nodes' edges are spread across all lanes chunk by chunk;
+// low-degree nodes' edges are packed with an exclusive prefix sum and
+// executed with near-full lanes. Outer per-lane state reaches the body
+// through permuted register frames.
+func (c *kcompiler) buildNPLoop(node evalI, edgeSlot int, body exec) exec {
+	return func(fr *frame, m vec.Mask) {
+		if m.None() {
+			return
+		}
+		tc := fr.tc
+		W := fr.W
+		nv := node(fr, m)
+		rs := tc.GatherI(fr.in.rowPtr, nv, m, vec.Vec{}, false)
+		tc.Op(vec.ClassALU, false)
+		nv1 := vec.Bin(vec.OpAdd, nv, vec.Splat(1), m, W)
+		re := tc.GatherI(fr.in.rowPtr, nv1, m, vec.Vec{}, false)
+		tc.Op(vec.ClassALU, false)
+		deg := vec.Bin(vec.OpSub, re, rs, m, W)
+
+		// Inspector: classify lanes.
+		tc.Op(vec.ClassCmp, false)
+		bigThr := int32(BigDegreeFactor * W)
+		bigM := vec.CmpMask(vec.OpGe, deg, vec.Splat(bigThr), m, W)
+		smallM := m &^ bigM
+
+		regs := len(fr.regI) + len(fr.regF) + len(fr.regM)
+
+		// High/medium-degree nodes: broadcast one lane's context to the
+		// whole vector and sweep its edge range W at a time.
+		for l := 0; l < W; l++ {
+			if !bigM.Bit(l) {
+				continue
+			}
+			tc.ScalarOps(2) // scheduler: select lane, set up bounds
+			tc.OpN(vec.ClassALU, false, regs)
+			pfr := fr.permuted(vec.Splat(int32(l)))
+			s0, t0 := rs[l], re[l]
+			for b := s0; b < t0; b += int32(W) {
+				cnt := t0 - b
+				if cnt > int32(W) {
+					cnt = int32(W)
+				}
+				em := vec.FullMask(int(cnt))
+				tc.InnerOp(vec.ClassALU, true, em.PopCount())
+				pfr.regI[edgeSlot] = vec.Bin(vec.OpAdd, vec.Splat(b), vec.Iota(), em, W)
+				body(pfr, em)
+			}
+		}
+
+		// Low-degree nodes: pack (source lane, edge index) pairs with an
+		// exclusive scan and execute them W at a time with permuted frames.
+		if smallM.None() {
+			return
+		}
+		tc.Op(vec.ClassScan, false)
+		offs, total := vec.ExclusiveScanAdd(deg, smallM, W)
+		if total == 0 {
+			return
+		}
+		var srcBuf, edgeBuf [vec.MaxWidth * vec.MaxWidth]int32
+		for l := 0; l < W; l++ {
+			if !smallM.Bit(l) {
+				continue
+			}
+			o := offs[l]
+			for j := int32(0); j < deg[l]; j++ {
+				srcBuf[o+j] = int32(l)
+				edgeBuf[o+j] = rs[l] + j
+			}
+		}
+		// The packing stores above are the scheduler's shared-memory
+		// writes; charged as one vstore per produced chunk.
+		chunkCount := (int(total) + W - 1) / W
+		tc.OpN(vec.ClassVStore, false, chunkCount)
+		for b := int32(0); b < total; b += int32(W) {
+			cnt := total - b
+			if cnt > int32(W) {
+				cnt = int32(W)
+			}
+			em := vec.FullMask(int(cnt))
+			tc.OpN(vec.ClassVLoad, false, 2) // scheduler reload of src/edge
+			src := vec.FromSlice(srcBuf[b : b+cnt])
+			tc.OpN(vec.ClassALU, false, regs) // lane shuffle of live state
+			pfr := fr.permuted(src)
+			pfr.regI[edgeSlot] = vec.FromSlice(edgeBuf[b : b+cnt])
+			body(pfr, em)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/spmd"
+)
+
+// runHost executes the pipe with the default translation: every kernel
+// invocation is a fresh task launch and loop control runs on the host —
+// launch overhead lands on the critical path once per iteration.
+func (in *Instance) runHost() {
+	in.execHost(in.M.Prog.Pipe)
+}
+
+func (in *Instance) execHost(stmts []ir.PipeStmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Invoke:
+			kc := in.M.kernels[s.Kernel]
+			in.E.Launch(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
+
+		case *ir.LoopWL:
+			for in.wl.In.Size() > 0 {
+				in.execHost(s.Body)
+				in.wl.Swap()
+			}
+
+		case *ir.LoopFlag:
+			flag := in.arrays[s.Flag]
+			for {
+				flag.I[0] = 0
+				in.execHost(s.Body)
+				done := flag.I[0] == 0
+				if s.IncParam != "" {
+					in.Params[s.IncParam]++
+				}
+				if done {
+					return
+				}
+			}
+
+		case *ir.LoopFixed:
+			n := s.N
+			if s.NParam != "" {
+				n = int(in.Params[s.NParam])
+			}
+			for i := 0; i < n; i++ {
+				in.execHost(s.Body)
+			}
+
+		case *ir.LoopConverge:
+			acc := in.arrays[s.Acc]
+			for it := 0; it < s.MaxIter; it++ {
+				acc.F[0] = 0
+				in.execHost(s.Body)
+				if acc.F[0] <= s.Eps {
+					return
+				}
+			}
+
+		case *ir.LoopNearFar:
+			kc := in.M.kernels[s.Kernel]
+			for {
+				for in.wl.In.Size() > 0 {
+					in.E.Launch(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
+					in.wl.Swap()
+				}
+				if in.far.Size() == 0 {
+					return
+				}
+				in.promoteFar(s.DeltaParam)
+			}
+
+		case *ir.SwapWL:
+			in.wl.Swap()
+
+		case *ir.LoopHybrid:
+			for in.wl.In.Size() > 0 {
+				if int(in.wl.In.Size())*s.ThreshDenom < int(in.G.NumNodes()) {
+					in.execHost(s.Small)
+				} else {
+					in.execHost(s.Big)
+				}
+				in.wl.Swap()
+				if s.IncParam != "" {
+					in.Params[s.IncParam]++
+				}
+			}
+
+		default:
+			panic(fmt.Sprintf("codegen: unknown pipe statement %T", s))
+		}
+	}
+}
+
+// promoteFar moves the far list into the near (pipeline-in) list and
+// advances the threshold by delta: one near-far bucket promotion.
+func (in *Instance) promoteFar(deltaParam string) {
+	in.wl.In.Clear()
+	in.wl.In.InitWith(in.far.Slice()...)
+	in.far.Clear()
+	in.Params["threshold"] += in.Params[deltaParam]
+}
+
+// runOutlined executes the pipe under Iteration Outlining: one task launch
+// for the entire driver, with loop control replicated across tasks and
+// synchronized by barriers (Listing 2's bfs_loop transformation). Shared
+// mutations (worklist swaps, flag clears, parameter bumps) are performed by
+// task 0 in a dedicated barrier-delimited segment so every task observes a
+// consistent view.
+func (in *Instance) runOutlined() {
+	in.E.Launch(0, func(tc *spmd.TaskCtx) {
+		in.execTask(in.M.Prog.Pipe, tc)
+	})
+}
+
+func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Invoke:
+			in.M.kernels[s.Kernel].runTask(in, tc)
+			tc.Barrier()
+
+		case *ir.LoopWL:
+			for {
+				if in.wl.In.Size() == 0 {
+					break
+				}
+				in.execTask(s.Body, tc)
+				if tc.Index == 0 {
+					in.wl.Swap()
+				}
+				tc.Barrier()
+			}
+
+		case *ir.LoopFlag:
+			flag := in.arrays[s.Flag]
+			for {
+				if tc.Index == 0 {
+					flag.I[0] = 0
+				}
+				tc.Barrier()
+				in.execTask(s.Body, tc)
+				done := flag.I[0] == 0
+				tc.Barrier() // everyone has read the flag
+				if tc.Index == 0 && s.IncParam != "" {
+					in.Params[s.IncParam]++
+				}
+				tc.Barrier() // parameter bump visible before next round
+				if done {
+					break
+				}
+			}
+
+		case *ir.LoopFixed:
+			n := s.N
+			if s.NParam != "" {
+				n = int(in.Params[s.NParam])
+			}
+			for i := 0; i < n; i++ {
+				in.execTask(s.Body, tc)
+			}
+
+		case *ir.LoopConverge:
+			acc := in.arrays[s.Acc]
+			for it := 0; it < s.MaxIter; it++ {
+				if tc.Index == 0 {
+					acc.F[0] = 0
+				}
+				tc.Barrier()
+				in.execTask(s.Body, tc)
+				done := acc.F[0] <= s.Eps
+				tc.Barrier() // everyone has read the accumulator
+				if done {
+					break
+				}
+			}
+
+		case *ir.LoopNearFar:
+			kc := in.M.kernels[s.Kernel]
+			for {
+				for {
+					if in.wl.In.Size() == 0 {
+						break
+					}
+					kc.runTask(in, tc)
+					tc.Barrier()
+					if tc.Index == 0 {
+						in.wl.Swap()
+					}
+					tc.Barrier()
+				}
+				empty := in.far.Size() == 0
+				tc.Barrier() // everyone has read the far size
+				if empty {
+					break
+				}
+				if tc.Index == 0 {
+					in.promoteFar(s.DeltaParam)
+				}
+				tc.Barrier()
+			}
+
+		case *ir.SwapWL:
+			if tc.Index == 0 {
+				in.wl.Swap()
+			}
+			tc.Barrier()
+
+		case *ir.LoopHybrid:
+			for {
+				if in.wl.In.Size() == 0 {
+					break
+				}
+				if int(in.wl.In.Size())*s.ThreshDenom < int(in.G.NumNodes()) {
+					in.execTask(s.Small, tc)
+				} else {
+					in.execTask(s.Big, tc)
+				}
+				if tc.Index == 0 {
+					in.wl.Swap()
+					if s.IncParam != "" {
+						in.Params[s.IncParam]++
+					}
+				}
+				tc.Barrier()
+			}
+
+		default:
+			panic(fmt.Sprintf("codegen: unknown pipe statement %T", s))
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package core is the EGACS compiler driver and public entry point: it takes
+// a benchmark (an IrGL IR program), applies the selected optimization passes,
+// compiles it through the backend, binds it to a machine model and a graph,
+// runs it, and reports modeled time plus execution statistics.
+//
+// Typical use:
+//
+//	bench, _ := kernels.ByName("bfs-wl")
+//	g := graph.Road(320, 320, 64, 1)
+//	res, err := core.Run(bench, g, core.Config{})        // all defaults
+//	fmt.Println(res.TimeMS, res.Stats.Instructions)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/spmd"
+	"repro/internal/vec"
+)
+
+// Config selects machine, target, tasking and optimization settings for one
+// run. The zero value gives the paper's default EGACS setup on the Intel
+// machine: avx512-i32x16, 16 pinned pthread tasks, all optimizations.
+type Config struct {
+	// Machine is the hardware model (default Intel8).
+	Machine *machine.Config
+	// Target is the ISA/width (default the machine's preferred target).
+	Target vec.Target
+	// Tasks is the launch width (default the machine's default task count).
+	Tasks int
+	// NoSMT pins at most one task per core.
+	NoSMT bool
+	// TaskSys selects the tasking runtime (default pinned pthread).
+	TaskSys *spmd.TaskSystem
+	// Opts selects compiler optimizations (default all: the "EGACS"
+	// configuration; use opt.None() for the plain SIMD build).
+	Opts *opt.Options
+	// Src is the source node for BFS/SSSP (default 0).
+	Src int32
+	// Params overrides program parameters (e.g. "delta").
+	Params map[string]int32
+	// Pager, when set, attaches the virtual-memory simulator.
+	Pager spmd.Pager
+	// ProfileKernels enables per-kernel phase attribution; read the result
+	// via Result.Engine.Profile() or WriteProfile.
+	ProfileKernels bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine == nil {
+		c.Machine = machine.Intel8()
+	}
+	if c.Target == (vec.Target{}) {
+		c.Target = c.Machine.PreferredTarget
+	}
+	if c.Tasks == 0 {
+		c.Tasks = c.Machine.DefaultTasks
+	}
+	if c.TaskSys == nil {
+		ts := spmd.Pthread
+		c.TaskSys = &ts
+	}
+	if c.Opts == nil {
+		o := opt.All()
+		c.Opts = &o
+	}
+	return c
+}
+
+// Result reports one run.
+type Result struct {
+	// TimeMS is the modeled execution time in milliseconds (algorithm
+	// only; graph loading and output writing excluded, as in the paper).
+	TimeMS float64
+	// Stats are the engine's dynamic counters.
+	Stats spmd.Stats
+	// Engine and Instance allow output inspection and re-runs.
+	Engine   *spmd.Engine
+	Instance *codegen.Instance
+}
+
+// PrepareGraph returns the input in the form the benchmark requires:
+// symmetrized (deduplicated, sorted) for undirected algorithms, the input
+// unchanged otherwise. Graph preparation is untimed, like graph loading.
+func PrepareGraph(b *kernels.Benchmark, g *graph.CSR) *graph.CSR {
+	if b.NeedsSymmetric {
+		return g.Symmetrize()
+	}
+	return g
+}
+
+// Run compiles the benchmark under cfg and executes it on g. The graph must
+// already be prepared (see PrepareGraph).
+func Run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	prog, err := opt.Apply(b.Prog, *cfg.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
+	}
+	mod, err := codegen.Compile(prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
+	}
+
+	e := spmd.New(cfg.Machine, cfg.Target, cfg.Tasks)
+	e.TaskSys = *cfg.TaskSys
+	e.NoSMT = cfg.NoSMT
+	e.Pager = cfg.Pager
+	if cfg.ProfileKernels {
+		e.EnableProfiling()
+	}
+
+	params := map[string]int32{"src": cfg.Src}
+	if b.Params != nil {
+		for k, v := range b.Params(g) {
+			params[k] = v
+		}
+	}
+	for k, v := range cfg.Params {
+		params[k] = v
+	}
+
+	inst, err := mod.Bind(e, g, params)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
+	}
+	inst.Run()
+	return &Result{
+		TimeMS:   e.TimeMS(),
+		Stats:    e.Stats,
+		Engine:   e,
+		Instance: inst,
+	}, nil
+}
+
+// Verify checks a run's outputs against the benchmark's serial reference.
+func Verify(b *kernels.Benchmark, g *graph.CSR, res *Result) error {
+	if b.Verify == nil {
+		return nil
+	}
+	src := res.Instance.Params["src"]
+	return b.Verify(g, res.Instance.ArrayI, res.Instance.ArrayF, src)
+}
+
+// RunVerified is Run followed by Verify.
+func RunVerified(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
+	res, err := Run(b, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := Verify(b, g, res); err != nil {
+		return nil, fmt.Errorf("core: %s on %s (%v): %w", b.Name, g.Name, cfg.Target, err)
+	}
+	return res, nil
+}
+
+// SerialConfig returns the serial-build configuration the paper derives by
+// marking all variables uniform and setting task and program counts to 1 and
+// recompiling — the launch-per-iteration pipe structure is retained, only
+// parallelism and optimizations are gone.
+func SerialConfig(m *machine.Config) Config {
+	none := opt.None()
+	return Config{
+		Machine: m,
+		Target:  vec.TargetScalar,
+		Tasks:   1,
+		NoSMT:   true,
+		Opts:    &none,
+	}
+}

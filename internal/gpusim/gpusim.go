@@ -1,0 +1,78 @@
+// Package gpusim runs the same compiled EGACS kernels on the GPU machine
+// model — 32-wide warps on 20 SMs with occupancy-based latency hiding — and
+// accounts host<->device transfers, enabling the paper's direct CPU-vs-GPU
+// comparison (Fig. 9) and the unified-memory oversubscription study
+// (Table IX). The GPU backend of the original compiler emits CUDA from the
+// same IR; here the same closure-compiled kernels execute at warp width.
+package gpusim
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+	"repro/internal/vmem"
+)
+
+// Options control a GPU run.
+type Options struct {
+	// IncludeTransfer adds PCIe transfer time for inputs and results
+	// (Fig. 9's default; the "No Data Transfer" series clears it).
+	IncludeTransfer bool
+	// PhysBytes, when positive, limits device memory and attaches the UVM
+	// paging model (Table IX). Zero means all data fits.
+	PhysBytes int64
+	// Src is the BFS/SSSP source.
+	Src int32
+	// Tasks overrides the modeled warp-context count (0 = default).
+	Tasks int
+}
+
+// Result augments a core result with GPU-specific accounting.
+type Result struct {
+	*core.Result
+	TransferMS float64
+	Pager      *vmem.Pager
+}
+
+// Run executes a benchmark on the GPU model. The graph must be prepared
+// (core.PrepareGraph).
+func Run(b *kernels.Benchmark, g *graph.CSR, o Options) (*Result, error) {
+	m := machine.QuadroP5000()
+	cuda := spmd.CUDA
+	cfg := core.Config{
+		Machine: m,
+		Tasks:   o.Tasks,
+		Src:     o.Src,
+		TaskSys: &cuda,
+	}
+	var pager *vmem.Pager
+	if o.PhysBytes > 0 {
+		pager = vmem.New(m.PageSize, o.PhysBytes, m.FaultCostNS)
+		cfg.Pager = pager
+	}
+	res, err := core.Run(b, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Result: res, Pager: pager}
+	if o.IncludeTransfer {
+		// Inputs (graph + algorithm state) go down; result arrays come
+		// back. Node-sized outputs dominate the return leg.
+		in := res.Instance.FootprintBytes()
+		ret := int64(g.NumNodes()) * 4
+		res.Engine.AddTransferBytes(in + ret)
+		out.TransferMS = m.TransferNS(in+ret) / 1e6
+		out.TimeMS = res.Engine.TimeMS()
+	}
+	return out, nil
+}
+
+// CPUWithMemLimit runs a benchmark on a CPU model with limited physical
+// memory (the cgroups condition of Table IX).
+func CPUWithMemLimit(b *kernels.Benchmark, g *graph.CSR, m *machine.Config, physBytes int64, src int32) (*core.Result, *vmem.Pager, error) {
+	pager := vmem.New(m.PageSize, physBytes, m.FaultCostNS)
+	res, err := core.Run(b, g, core.Config{Machine: m, Pager: pager, Src: src})
+	return res, pager, err
+}

@@ -1,0 +1,151 @@
+package gpusim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+func bfs(t *testing.T) *kernels.Benchmark {
+	t.Helper()
+	b, err := kernels.ByName("bfs-wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGPURunsAndVerifies(t *testing.T) {
+	g := graph.RMAT(9, 8, 16, 3)
+	b := bfs(t)
+	src := g.MaxDegreeNode()
+	res, err := Run(b, g, Options{Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(b, g, res.Result); err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeMS <= 0 {
+		t.Error("no modeled time")
+	}
+	if res.Pager != nil {
+		t.Error("pager attached without memory limit")
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	g := graph.Road(24, 24, 16, 4)
+	b := bfs(t)
+	noT, err := Run(b, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withT, err := Run(b, g, Options{IncludeTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withT.TransferMS <= 0 {
+		t.Fatal("no transfer time recorded")
+	}
+	diff := withT.TimeMS - noT.TimeMS
+	if diff < withT.TransferMS*0.99 || diff > withT.TransferMS*1.01 {
+		t.Errorf("transfer accounting off: diff %v vs transfer %v", diff, withT.TransferMS)
+	}
+}
+
+func TestGPULatencyHiding(t *testing.T) {
+	// The GPU machine must declare substantial latency hiding.
+	m := machine.QuadroP5000()
+	if m.StallHideFactor <= 0 || m.StallHideFactor >= 0.5 {
+		t.Errorf("StallHideFactor = %v, want deep hiding", m.StallHideFactor)
+	}
+}
+
+func TestUVMOversubscriptionCatastrophic(t *testing.T) {
+	g := graph.Road(48, 48, 16, 5)
+	b := bfs(t)
+	src := g.MaxDegreeNode()
+	full, err := Run(b, g, Options{Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foot := full.Instance.FootprintBytes()
+	half, err := Run(b, g, Options{Src: src, PhysBytes: foot / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Pager == nil || half.Pager.Faults == 0 {
+		t.Fatal("no faults under oversubscription")
+	}
+	slow := half.TimeMS / full.TimeMS
+	if slow < 5 {
+		t.Errorf("GPU 50%%-memory slowdown only %.1fx; UVM collapse expected", slow)
+	}
+	// Correctness survives paging.
+	if err := core.Verify(b, g, half.Result); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUMemLimitGraceful(t *testing.T) {
+	g := graph.Road(48, 48, 16, 5)
+	b := bfs(t)
+	src := g.MaxDegreeNode()
+	intel := machine.Intel8()
+	full, err := core.Run(b, g, core.Config{Machine: intel, Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foot := full.Instance.FootprintBytes()
+	limited, pager, err := CPUWithMemLimit(b, g, intel, foot/2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pager.Faults == 0 {
+		t.Fatal("no CPU faults under limit")
+	}
+	cpuSlow := limited.TimeMS / full.TimeMS
+	if cpuSlow < 1 {
+		t.Errorf("limited memory should not speed things up: %v", cpuSlow)
+	}
+	// The GPU's collapse must dwarf the CPU's degradation on the same
+	// workload and budget fraction (Table IX's core claim).
+	gpuFull, err := Run(b, g, Options{Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuHalf, err := Run(b, g, Options{Src: src, PhysBytes: gpuFull.Instance.FootprintBytes() / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuSlow := gpuHalf.TimeMS / gpuFull.TimeMS
+	if gpuSlow < 2*cpuSlow {
+		t.Errorf("GPU slowdown %.1fx not far worse than CPU %.1fx", gpuSlow, cpuSlow)
+	}
+}
+
+func TestGPUFasterThanSerialCPU(t *testing.T) {
+	// Sanity: the modeled GPU should beat the serial CPU build easily.
+	g := graph.Random(4096, 32768, 16, 7)
+	b := bfs(t)
+	src := g.MaxDegreeNode()
+	gpu, err := Run(b, g, Options{IncludeTransfer: true, Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := core.Run(b, g, func() core.Config {
+		c := core.SerialConfig(machine.Intel8())
+		c.Src = src
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.TimeMS >= serial.TimeMS {
+		t.Errorf("GPU %.3f ms not faster than serial CPU %.3f ms", gpu.TimeMS, serial.TimeMS)
+	}
+}

@@ -1,0 +1,254 @@
+// Package graph provides the compressed-sparse-row graph substrate shared by
+// the EGACS kernels and the baseline frameworks, together with generators for
+// the three input families the paper evaluates (road network, RMAT
+// scale-free, uniform random) and DIMACS/edge-list I/O.
+//
+// Following the paper, node and edge indices are 32-bit.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a directed graph in compressed sparse row form. Edges of node n are
+// EdgeDst[RowPtr[n]:RowPtr[n+1]], with optional parallel weights.
+type CSR struct {
+	Name    string
+	RowPtr  []int32 // length NumNodes()+1
+	EdgeDst []int32 // length NumEdges()
+	Weight  []int32 // nil for unweighted graphs, else parallel to EdgeDst
+}
+
+// NumNodes returns the node count.
+func (g *CSR) NumNodes() int32 { return int32(len(g.RowPtr) - 1) }
+
+// NumEdges returns the directed edge count.
+func (g *CSR) NumEdges() int32 { return int32(len(g.EdgeDst)) }
+
+// Degree returns the out-degree of node n.
+func (g *CSR) Degree(n int32) int32 { return g.RowPtr[n+1] - g.RowPtr[n] }
+
+// Neighbors returns the destination slice for node n (aliasing g's storage).
+func (g *CSR) Neighbors(n int32) []int32 {
+	return g.EdgeDst[g.RowPtr[n]:g.RowPtr[n+1]]
+}
+
+// EdgeWeight returns the weight of edge index e, or 1 for unweighted graphs.
+func (g *CSR) EdgeWeight(e int32) int32 {
+	if g.Weight == nil {
+		return 1
+	}
+	return g.Weight[e]
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *CSR) Weighted() bool { return g.Weight != nil }
+
+// FootprintBytes returns the in-memory size of the CSR arrays, used by the
+// virtual-memory experiments.
+func (g *CSR) FootprintBytes() int64 {
+	n := int64(len(g.RowPtr)+len(g.EdgeDst)) * 4
+	if g.Weight != nil {
+		n += int64(len(g.Weight)) * 4
+	}
+	return n
+}
+
+func (g *CSR) String() string {
+	return fmt.Sprintf("%s: %d nodes, %d edges, weighted=%v",
+		g.Name, g.NumNodes(), g.NumEdges(), g.Weighted())
+}
+
+// Edge is a source/destination/weight triple used during construction.
+type Edge struct {
+	Src, Dst, W int32
+}
+
+// FromEdges builds a CSR over numNodes nodes from an edge list. Edges are
+// grouped by source; relative order within a source is preserved. If
+// weighted is false the weight channel is dropped.
+func FromEdges(numNodes int32, edges []Edge, weighted bool) (*CSR, error) {
+	rowPtr := make([]int32, numNodes+1)
+	for _, e := range edges {
+		if e.Src < 0 || e.Src >= numNodes || e.Dst < 0 || e.Dst >= numNodes {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.Src, e.Dst, numNodes)
+		}
+		rowPtr[e.Src+1]++
+	}
+	for i := int32(0); i < numNodes; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	dst := make([]int32, len(edges))
+	var w []int32
+	if weighted {
+		w = make([]int32, len(edges))
+	}
+	cursor := make([]int32, numNodes)
+	copy(cursor, rowPtr[:numNodes])
+	for _, e := range edges {
+		p := cursor[e.Src]
+		cursor[e.Src]++
+		dst[p] = e.Dst
+		if weighted {
+			w[p] = e.W
+		}
+	}
+	return &CSR{RowPtr: rowPtr, EdgeDst: dst, Weight: w}, nil
+}
+
+// Edges materializes the edge list of g.
+func (g *CSR) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for n := int32(0); n < g.NumNodes(); n++ {
+		for e := g.RowPtr[n]; e < g.RowPtr[n+1]; e++ {
+			out = append(out, Edge{n, g.EdgeDst[e], g.EdgeWeight(e)})
+		}
+	}
+	return out
+}
+
+// Transpose returns the graph with all edges reversed (used by pull-style
+// kernels such as PageRank and by direction-optimizing BFS).
+func (g *CSR) Transpose() *CSR {
+	edges := make([]Edge, 0, g.NumEdges())
+	for n := int32(0); n < g.NumNodes(); n++ {
+		for e := g.RowPtr[n]; e < g.RowPtr[n+1]; e++ {
+			edges = append(edges, Edge{g.EdgeDst[e], n, g.EdgeWeight(e)})
+		}
+	}
+	t, err := FromEdges(g.NumNodes(), edges, g.Weighted())
+	if err != nil {
+		panic("graph: transpose of valid graph failed: " + err.Error())
+	}
+	t.Name = g.Name + "-T"
+	return t
+}
+
+// Symmetrize returns the graph with every edge mirrored (deduplicated), as
+// required by CC, MIS, TRI and MST which treat inputs as undirected.
+func (g *CSR) Symmetrize() *CSR {
+	type key struct{ a, b int32 }
+	seen := make(map[key]int32, g.NumEdges()*2)
+	edges := make([]Edge, 0, g.NumEdges()*2)
+	add := func(s, d, w int32) {
+		if s == d {
+			return // drop self loops; they carry no information for these kernels
+		}
+		k := key{s, d}
+		if prev, ok := seen[k]; ok {
+			if w < prev {
+				seen[k] = w
+			}
+			return
+		}
+		seen[k] = w
+		edges = append(edges, Edge{s, d, w})
+	}
+	for n := int32(0); n < g.NumNodes(); n++ {
+		for e := g.RowPtr[n]; e < g.RowPtr[n+1]; e++ {
+			d := g.EdgeDst[e]
+			w := g.EdgeWeight(e)
+			add(n, d, w)
+			add(d, n, w)
+		}
+	}
+	// Re-apply deduplicated minimum weights.
+	for i := range edges {
+		edges[i].W = seen[key{edges[i].Src, edges[i].Dst}]
+	}
+	s, err := FromEdges(g.NumNodes(), edges, g.Weighted())
+	if err != nil {
+		panic("graph: symmetrize of valid graph failed: " + err.Error())
+	}
+	s.Name = g.Name + "-sym"
+	s.SortAdjacency()
+	return s
+}
+
+// SortAdjacency sorts each node's neighbor list ascending (with weights
+// permuted alongside). Triangle counting's merge-based set intersection
+// requires sorted adjacency.
+func (g *CSR) SortAdjacency() {
+	for n := int32(0); n < g.NumNodes(); n++ {
+		lo, hi := g.RowPtr[n], g.RowPtr[n+1]
+		if g.Weight == nil {
+			s := g.EdgeDst[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			continue
+		}
+		idx := make([]int32, hi-lo)
+		for i := range idx {
+			idx[i] = lo + int32(i)
+		}
+		sort.Slice(idx, func(i, j int) bool { return g.EdgeDst[idx[i]] < g.EdgeDst[idx[j]] })
+		d := make([]int32, hi-lo)
+		w := make([]int32, hi-lo)
+		for i, e := range idx {
+			d[i] = g.EdgeDst[e]
+			w[i] = g.Weight[e]
+		}
+		copy(g.EdgeDst[lo:hi], d)
+		copy(g.Weight[lo:hi], w)
+	}
+}
+
+// Validate checks CSR structural invariants.
+func (g *CSR) Validate() error {
+	if len(g.RowPtr) == 0 {
+		return fmt.Errorf("graph: empty RowPtr")
+	}
+	if g.RowPtr[0] != 0 {
+		return fmt.Errorf("graph: RowPtr[0] = %d, want 0", g.RowPtr[0])
+	}
+	n := g.NumNodes()
+	for i := int32(0); i < n; i++ {
+		if g.RowPtr[i] > g.RowPtr[i+1] {
+			return fmt.Errorf("graph: RowPtr not monotone at node %d", i)
+		}
+	}
+	if g.RowPtr[n] != int32(len(g.EdgeDst)) {
+		return fmt.Errorf("graph: RowPtr[n]=%d != len(EdgeDst)=%d", g.RowPtr[n], len(g.EdgeDst))
+	}
+	for e, d := range g.EdgeDst {
+		if d < 0 || d >= n {
+			return fmt.Errorf("graph: edge %d dst %d out of range", e, d)
+		}
+	}
+	if g.Weight != nil && len(g.Weight) != len(g.EdgeDst) {
+		return fmt.Errorf("graph: weight length %d != edge length %d", len(g.Weight), len(g.EdgeDst))
+	}
+	return nil
+}
+
+// MaxDegreeNode returns the node with the largest out-degree: the standard
+// benchmark source for BFS/SSSP runs (source 0 may be isolated in scrambled
+// RMAT graphs).
+func (g *CSR) MaxDegreeNode() int32 {
+	var best, bestDeg int32
+	for n := int32(0); n < g.NumNodes(); n++ {
+		if d := g.Degree(n); d > bestDeg {
+			best, bestDeg = n, d
+		}
+	}
+	return best
+}
+
+// MaxDegree returns the largest out-degree.
+func (g *CSR) MaxDegree() int32 {
+	var m int32
+	for n := int32(0); n < g.NumNodes(); n++ {
+		if d := g.Degree(n); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AvgDegree returns the mean out-degree.
+func (g *CSR) AvgDegree() float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.NumNodes())
+}

@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func diamond() *CSR {
+	// 0 -> 1 -> 3, 0 -> 2 -> 3
+	g, err := FromEdges(4, []Edge{{0, 1, 5}, {0, 2, 7}, {1, 3, 2}, {2, 3, 1}}, true)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestFromEdgesBasics(t *testing.T) {
+	g := diamond()
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("size = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 0 {
+		t.Errorf("degrees wrong: %d %d", g.Degree(0), g.Degree(3))
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Errorf("Neighbors(0) = %v", nb)
+	}
+	if g.EdgeWeight(g.RowPtr[2]) != 1 {
+		t.Errorf("weight of 2->3 = %d", g.EdgeWeight(g.RowPtr[2]))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestFromEdgesRejectsOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 5, 1}}, false); err == nil {
+		t.Error("accepted out-of-range dst")
+	}
+	if _, err := FromEdges(2, []Edge{{-1, 0, 1}}, false); err == nil {
+		t.Error("accepted negative src")
+	}
+}
+
+func TestUnweightedDefaultsToOne(t *testing.T) {
+	g, _ := FromEdges(2, []Edge{{0, 1, 99}}, false)
+	if g.Weighted() {
+		t.Error("unweighted graph reports Weighted")
+	}
+	if g.EdgeWeight(0) != 1 {
+		t.Errorf("unweighted EdgeWeight = %d, want 1", g.EdgeWeight(0))
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := diamond()
+	edges := g.Edges()
+	g2, err := FromEdges(g.NumNodes(), edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed")
+	}
+	for n := int32(0); n < g.NumNodes(); n++ {
+		a, b := g.Neighbors(n), g2.Neighbors(n)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed", n)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d neighbor %d changed", n, i)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := diamond()
+	tr := g.Transpose()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degree(3) != 2 || tr.Degree(0) != 0 {
+		t.Errorf("transpose degrees wrong: in(3)=%d in(0)=%d", tr.Degree(3), tr.Degree(0))
+	}
+	// Transposing twice restores the edge multiset.
+	back := tr.Transpose()
+	if back.NumEdges() != g.NumEdges() {
+		t.Error("double transpose changed edge count")
+	}
+	// Weight preserved: edge 1->3 weight 2 appears as 3->1 weight 2.
+	found := false
+	for e := tr.RowPtr[3]; e < tr.RowPtr[4]; e++ {
+		if tr.EdgeDst[e] == 1 && tr.Weight[e] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transpose lost weight on 1->3")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g, _ := FromEdges(3, []Edge{{0, 1, 5}, {1, 0, 3}, {1, 1, 9}, {1, 2, 4}}, true)
+	s := g.Symmetrize()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Self loop dropped; 0-1 deduplicated with min weight; 1-2 mirrored.
+	if s.NumEdges() != 4 {
+		t.Fatalf("symmetrized edges = %d, want 4", s.NumEdges())
+	}
+	for _, e := range s.Edges() {
+		if e.Src == e.Dst {
+			t.Error("self loop survived")
+		}
+		if (e.Src == 0 && e.Dst == 1) || (e.Src == 1 && e.Dst == 0) {
+			if e.W != 3 {
+				t.Errorf("0-1 weight = %d, want min 3", e.W)
+			}
+		}
+	}
+	// Every edge has its mirror.
+	for _, e := range s.Edges() {
+		ok := false
+		for _, f := range s.Neighbors(e.Dst) {
+			if f == e.Src {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("edge %d->%d has no mirror", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestSortAdjacency(t *testing.T) {
+	g, _ := FromEdges(2, []Edge{{0, 1, 10}, {0, 0, 20}, {0, 1, 30}}, true)
+	g.SortAdjacency()
+	nb := g.Neighbors(0)
+	if nb[0] != 0 || nb[1] != 1 || nb[2] != 1 {
+		t.Fatalf("sorted neighbors = %v", nb)
+	}
+	// Weight 20 must follow dst 0.
+	if g.Weight[0] != 20 {
+		t.Errorf("weights not permuted with dsts: %v", g.Weight)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := diamond()
+	g.RowPtr[2] = 100
+	if g.Validate() == nil {
+		t.Error("Validate accepted non-monotone RowPtr")
+	}
+	g = diamond()
+	g.EdgeDst[0] = 77
+	if g.Validate() == nil {
+		t.Error("Validate accepted out-of-range dst")
+	}
+	g = diamond()
+	g.Weight = g.Weight[:2]
+	if g.Validate() == nil {
+		t.Error("Validate accepted short weight array")
+	}
+}
+
+func TestDegreeStatsAndFootprint(t *testing.T) {
+	g := diamond()
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	if g.AvgDegree() != 1.0 {
+		t.Errorf("AvgDegree = %v", g.AvgDegree())
+	}
+	want := int64(5+4+4) * 4
+	if g.FootprintBytes() != want {
+		t.Errorf("FootprintBytes = %d, want %d", g.FootprintBytes(), want)
+	}
+}
+
+// Property: for any random edge list, FromEdges preserves the per-source
+// multiset of (dst, weight) pairs and total edge count.
+func TestFromEdgesProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 32
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{int32(raw[i] % n), int32(raw[i+1] % n), int32(i)})
+		}
+		g, err := FromEdges(n, edges, true)
+		if err != nil {
+			return false
+		}
+		if g.NumEdges() != int32(len(edges)) {
+			return false
+		}
+		// Count per-source edges.
+		var deg [n]int32
+		for _, e := range edges {
+			deg[e.Src]++
+		}
+		for i := int32(0); i < n; i++ {
+			if g.Degree(i) != deg[i] {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package graph
+
+import "fmt"
+
+// rng is a SplitMix64 generator: tiny, fast, deterministic across platforms.
+// The generators must be reproducible independent of Go's math/rand version,
+// since golden test values and experiment tables depend on them.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Road generates a planar road-network-like graph: a w x h grid where each
+// cell connects to its right and down neighbors (both directions), with a
+// fraction of edges perturbed to act as diagonals/ramps and uniform random
+// weights in [1, maxW]. Like USA-Road it has uniform low degree (~4) and a
+// diameter of O(w+h), which is what makes worklist algorithms iterate for
+// thousands of rounds on it.
+func Road(w, h int, maxW int32, seed uint64) *CSR {
+	r := newRNG(seed)
+	n := int32(w * h)
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	edges := make([]Edge, 0, int(n)*4)
+	weight := func() int32 {
+		if maxW <= 1 {
+			return 1
+		}
+		return 1 + int32(r.intn(int64(maxW)))
+	}
+	addBoth := func(a, b int32) {
+		wt := weight()
+		edges = append(edges, Edge{a, b, wt}, Edge{b, a, wt})
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				addBoth(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				addBoth(id(x, y), id(x, y+1))
+			}
+			// Occasional diagonal "ramp" edges (~6% of cells) keep the
+			// degree distribution from being perfectly regular.
+			if x+1 < w && y+1 < h && r.intn(16) == 0 {
+				addBoth(id(x, y), id(x+1, y+1))
+			}
+		}
+	}
+	g, err := FromEdges(n, edges, true)
+	if err != nil {
+		panic("graph: road generator produced invalid edges: " + err.Error())
+	}
+	g.Name = fmt.Sprintf("road-%dx%d", w, h)
+	g.SortAdjacency()
+	return g
+}
+
+// RMAT generates a scale-free graph with 2^scale nodes and edgeFactor*2^scale
+// directed edges using the standard R-MAT recursion with the Graph500
+// parameters (a,b,c,d) = (0.57, 0.19, 0.19, 0.05). Weights are uniform in
+// [1, maxW]. Node ids are scrambled so degree does not correlate with id.
+// Like RMAT22 in the paper, the result is highly skewed: a few hubs with
+// enormous degree and a long tail of low-degree nodes.
+func RMAT(scale int, edgeFactor int, maxW int32, seed uint64) *CSR {
+	const a, b, c = 0.57, 0.19, 0.19
+	r := newRNG(seed)
+	n := int32(1) << uint(scale)
+	m := int(n) * edgeFactor
+	// Feistel-style id scramble (bijective on [0, 2^scale)).
+	scramble := func(x int32) int32 {
+		u := uint64(x)
+		u = (u*0x5851f42d + 0x14057b7e) & uint64(n-1)
+		u = (u ^ (u >> uint(scale/2))) & uint64(n-1)
+		return int32((u*2862933555777941757 + 3037000493) & uint64(n-1))
+	}
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		var src, dst int32
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.float64()
+			switch {
+			case p < a:
+				// top-left quadrant: no bits set
+			case p < a+b:
+				dst |= 1 << uint(bit)
+			case p < a+b+c:
+				src |= 1 << uint(bit)
+			default:
+				src |= 1 << uint(bit)
+				dst |= 1 << uint(bit)
+			}
+		}
+		w := int32(1)
+		if maxW > 1 {
+			w = 1 + int32(r.intn(int64(maxW)))
+		}
+		edges = append(edges, Edge{scramble(src), scramble(dst), w})
+		src, dst = 0, 0
+	}
+	g, err := FromEdges(n, edges, true)
+	if err != nil {
+		panic("graph: rmat generator produced invalid edges: " + err.Error())
+	}
+	g.Name = fmt.Sprintf("rmat%d", scale)
+	g.SortAdjacency()
+	return g
+}
+
+// Random generates a uniform random directed multigraph with n nodes and m
+// edges (endpoints chosen independently and uniformly), matching the paper's
+// "Random" input family (r4-2e23-style): uniform medium degree, low
+// diameter. Weights are uniform in [1, maxW].
+func Random(n int32, m int, maxW int32, seed uint64) *CSR {
+	r := newRNG(seed)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		s := int32(r.intn(int64(n)))
+		d := int32(r.intn(int64(n)))
+		w := int32(1)
+		if maxW > 1 {
+			w = 1 + int32(r.intn(int64(maxW)))
+		}
+		edges = append(edges, Edge{s, d, w})
+	}
+	g, err := FromEdges(n, edges, true)
+	if err != nil {
+		panic("graph: random generator produced invalid edges: " + err.Error())
+	}
+	g.Name = fmt.Sprintf("random-n%d-m%d", n, m)
+	g.SortAdjacency()
+	return g
+}
+
+// Scale selects the benchmark input sizes. The paper's graphs (USA-Road 23M
+// nodes, RMAT22, Random 8M) are scaled down so the full experiment matrix
+// completes on a development machine; the degree distribution and diameter
+// properties that drive the results are preserved per family.
+type Scale int
+
+const (
+	// Tiny inputs for unit tests.
+	ScaleTest Scale = iota
+	// Small inputs for quick runs and examples.
+	ScaleSmall
+	// Default benchmark scale used by the experiment harness.
+	ScaleBench
+	// Large inputs for the virtual-memory experiment.
+	ScaleLarge
+)
+
+// Suite returns the three paper input families at the given scale:
+// road (USA-Road analogue), rmat (RMAT22 analogue), random.
+func Suite(s Scale, seed uint64) []*CSR {
+	switch s {
+	case ScaleTest:
+		return []*CSR{
+			Road(16, 16, 64, seed),
+			RMAT(8, 8, 64, seed),
+			Random(256, 2048, 64, seed),
+		}
+	case ScaleSmall:
+		return []*CSR{
+			Road(64, 64, 64, seed),
+			RMAT(12, 8, 64, seed),
+			Random(4096, 32768, 64, seed),
+		}
+	case ScaleBench:
+		return []*CSR{
+			Road(320, 320, 64, seed),        // ~102k nodes, ~420k directed edges, diameter ~640
+			RMAT(16, 8, 64, seed),           // 65k nodes, 524k edges, skewed
+			Random(80000, 640000, 64, seed), // 80k nodes, 640k edges, uniform deg 8
+		}
+	case ScaleLarge:
+		return []*CSR{
+			Road(1024, 1024, 64, seed),
+			RMAT(18, 8, 64, seed),
+			Random(500000, 4000000, 64, seed),
+		}
+	}
+	panic("graph: unknown scale")
+}

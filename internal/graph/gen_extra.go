@@ -1,0 +1,111 @@
+package graph
+
+import "fmt"
+
+// Additional generator families beyond the paper's three benchmark inputs,
+// provided for library completeness (the experiment harness does not use
+// them).
+
+// SmallWorld generates a Watts–Strogatz small-world graph: a ring lattice of
+// n nodes each connected to its k nearest neighbors per side, with every
+// lattice edge rewired to a uniform random endpoint with probability beta.
+// Low beta keeps high clustering; small beta > 0 already collapses the
+// diameter — the classic small-world regime.
+func SmallWorld(n int32, k int, beta float64, maxW int32, seed uint64) *CSR {
+	if k < 1 {
+		k = 1
+	}
+	r := newRNG(seed)
+	weight := func() int32 {
+		if maxW <= 1 {
+			return 1
+		}
+		return 1 + int32(r.intn(int64(maxW)))
+	}
+	type undirected struct{ a, b int32 }
+	seen := map[undirected]bool{}
+	var edges []Edge
+	add := func(a, b int32) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := undirected{a, b}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		w := weight()
+		edges = append(edges, Edge{a, b, w}, Edge{b, a, w})
+	}
+	for i := int32(0); i < n; i++ {
+		for j := 1; j <= k; j++ {
+			dst := (i + int32(j)) % n
+			if r.float64() < beta {
+				dst = int32(r.intn(int64(n)))
+			}
+			add(i, dst)
+		}
+	}
+	g, err := FromEdges(n, edges, true)
+	if err != nil {
+		panic("graph: small-world generator produced invalid edges: " + err.Error())
+	}
+	g.Name = fmt.Sprintf("smallworld-n%d-k%d", n, k)
+	g.SortAdjacency()
+	return g
+}
+
+// PreferentialAttachment generates a Barabási–Albert scale-free graph: nodes
+// arrive one at a time and attach m undirected edges to existing nodes with
+// probability proportional to current degree (implemented with the standard
+// repeated-endpoints trick: sampling a uniform position in the edge-endpoint
+// list is degree-proportional).
+func PreferentialAttachment(n int32, m int, maxW int32, seed uint64) *CSR {
+	if m < 1 {
+		m = 1
+	}
+	if n < int32(m)+1 {
+		n = int32(m) + 1
+	}
+	r := newRNG(seed)
+	weight := func() int32 {
+		if maxW <= 1 {
+			return 1
+		}
+		return 1 + int32(r.intn(int64(maxW)))
+	}
+	// Seed clique over the first m+1 nodes.
+	var edges []Edge
+	endpoints := make([]int32, 0, int(n)*m*2)
+	addUndirected := func(a, b int32) {
+		w := weight()
+		edges = append(edges, Edge{a, b, w}, Edge{b, a, w})
+		endpoints = append(endpoints, a, b)
+	}
+	for a := int32(0); a <= int32(m); a++ {
+		for b := a + 1; b <= int32(m); b++ {
+			addUndirected(a, b)
+		}
+	}
+	for v := int32(m) + 1; v < n; v++ {
+		attached := map[int32]bool{}
+		for len(attached) < m {
+			target := endpoints[r.intn(int64(len(endpoints)))]
+			if target == v || attached[target] {
+				continue
+			}
+			attached[target] = true
+			addUndirected(v, target)
+		}
+	}
+	g, err := FromEdges(n, edges, true)
+	if err != nil {
+		panic("graph: preferential-attachment generator produced invalid edges: " + err.Error())
+	}
+	g.Name = fmt.Sprintf("ba-n%d-m%d", n, m)
+	g.SortAdjacency()
+	return g
+}

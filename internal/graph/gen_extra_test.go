@@ -1,0 +1,141 @@
+package graph
+
+import "testing"
+
+func bfsHops(g *CSR, src int32) []int32 {
+	lvl := make([]int32, g.NumNodes())
+	for i := range lvl {
+		lvl[i] = -1
+	}
+	lvl[src] = 0
+	q := []int32{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.Neighbors(u) {
+			if lvl[v] < 0 {
+				lvl[v] = lvl[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return lvl
+}
+
+func maxHops(g *CSR, src int32) int32 {
+	var m int32
+	for _, l := range bfsHops(g, src) {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+func TestSmallWorldProperties(t *testing.T) {
+	// beta=0: pure ring lattice, diameter ~ n/(2k).
+	ring := SmallWorld(512, 2, 0, 8, 3)
+	if err := ring.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every node of the unrewired lattice has degree 2k (undirected -> 2k
+	// out-edges after mirroring).
+	for n := int32(0); n < ring.NumNodes(); n++ {
+		if ring.Degree(n) != 4 {
+			t.Fatalf("ring node %d degree %d, want 4", n, ring.Degree(n))
+		}
+	}
+	// Rewiring shrinks the diameter dramatically (the small-world effect).
+	rewired := SmallWorld(512, 2, 0.1, 8, 3)
+	if err := rewired.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dRing, dRw := maxHops(ring, 0), maxHops(rewired, 0)
+	if dRing < 64 {
+		t.Errorf("ring diameter %d suspiciously small", dRing)
+	}
+	if dRw*4 > dRing {
+		t.Errorf("rewired diameter %d not far below ring's %d", dRw, dRing)
+	}
+	// Symmetric by construction.
+	for _, e := range rewired.Edges() {
+		found := false
+		for _, d := range rewired.Neighbors(e.Dst) {
+			if d == e.Src {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge %d-%d not mirrored", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestPreferentialAttachmentProperties(t *testing.T) {
+	g := PreferentialAttachment(2048, 4, 8, 9)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Scale-free: heavy right tail.
+	if float64(g.MaxDegree()) < 4*g.AvgDegree() {
+		t.Errorf("BA max degree %d vs avg %.1f: not heavy-tailed", g.MaxDegree(), g.AvgDegree())
+	}
+	// Connected (attachment always links new nodes to the existing graph).
+	for i, l := range bfsHops(g, 0) {
+		if l < 0 {
+			t.Fatalf("node %d unreachable", i)
+		}
+	}
+	// Early nodes accumulate higher degree than late arrivals on average
+	// (the rich-get-richer signature).
+	var early, late float64
+	n := g.NumNodes()
+	for i := int32(0); i < n/10; i++ {
+		early += float64(g.Degree(i))
+		late += float64(g.Degree(n - 1 - i))
+	}
+	if early <= late {
+		t.Errorf("early-node degree mass %.0f not above late %.0f", early, late)
+	}
+}
+
+func TestGenExtraDeterministic(t *testing.T) {
+	a := PreferentialAttachment(256, 3, 8, 7)
+	b := PreferentialAttachment(256, 3, 8, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range a.EdgeDst {
+		if a.EdgeDst[i] != b.EdgeDst[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+	c := SmallWorld(64, 2, 0.5, 8, 1)
+	d := SmallWorld(64, 2, 0.5, 8, 2)
+	same := c.NumEdges() == d.NumEdges()
+	if same {
+		for i := range c.EdgeDst {
+			if c.EdgeDst[i] != d.EdgeDst[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical small-world graphs")
+	}
+}
+
+func TestPAParameterClamping(t *testing.T) {
+	g := PreferentialAttachment(2, 5, 1, 1) // n < m+1 clamps n
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 6 {
+		t.Errorf("clamped nodes = %d, want m+1=6", g.NumNodes())
+	}
+	sw := SmallWorld(16, 0, 0, 1, 1) // k clamps to 1
+	if sw.NumEdges() == 0 {
+		t.Error("k-clamped small world has no edges")
+	}
+}

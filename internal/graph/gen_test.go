@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRoadProperties(t *testing.T) {
+	g := Road(16, 16, 64, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 256 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Road graphs are symmetric by construction.
+	for _, e := range g.Edges() {
+		found := false
+		for _, d := range g.Neighbors(e.Dst) {
+			if d == e.Src {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge %d->%d not mirrored", e.Src, e.Dst)
+		}
+	}
+	// Low uniform degree: max degree is tiny (grid + occasional diagonal).
+	if g.MaxDegree() > 8 {
+		t.Errorf("road max degree = %d, want <= 8", g.MaxDegree())
+	}
+	if g.AvgDegree() < 3 || g.AvgDegree() > 5 {
+		t.Errorf("road avg degree = %v, want ~4", g.AvgDegree())
+	}
+	// Weights in range.
+	for _, w := range g.Weight {
+		if w < 1 || w > 64 {
+			t.Fatalf("weight %d out of [1,64]", w)
+		}
+	}
+}
+
+func TestRoadConnected(t *testing.T) {
+	g := Road(10, 10, 8, 7)
+	// BFS from 0 must reach every node (grid is connected).
+	seen := make([]bool, g.NumNodes())
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, d := range g.Neighbors(n) {
+			if !seen[d] {
+				seen[d] = true
+				count++
+				queue = append(queue, d)
+			}
+		}
+	}
+	if count != int(g.NumNodes()) {
+		t.Fatalf("road graph disconnected: reached %d of %d", count, g.NumNodes())
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	g := RMAT(10, 8, 64, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1024 || g.NumEdges() != 8192 {
+		t.Fatalf("size = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	// Skew: the max degree must dwarf the average (scale-free shape).
+	if float64(g.MaxDegree()) < 5*g.AvgDegree() {
+		t.Errorf("rmat not skewed: max %d vs avg %v", g.MaxDegree(), g.AvgDegree())
+	}
+	// And a large fraction of nodes should have below-average degree.
+	below := 0
+	for n := int32(0); n < g.NumNodes(); n++ {
+		if float64(g.Degree(n)) < g.AvgDegree() {
+			below++
+		}
+	}
+	if float64(below) < 0.55*float64(g.NumNodes()) {
+		t.Errorf("rmat degree distribution not heavy-tailed: %d/%d below average", below, g.NumNodes())
+	}
+}
+
+func TestRandomProperties(t *testing.T) {
+	g := Random(1000, 8000, 64, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1000 || g.NumEdges() != 8000 {
+		t.Fatalf("size = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	// Uniform: max degree within a small factor of average (Chernoff).
+	if float64(g.MaxDegree()) > 4*g.AvgDegree() {
+		t.Errorf("random graph too skewed: max %d vs avg %v", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RMAT(8, 4, 16, 42)
+	b := RMAT(8, 4, 16, 42)
+	c := RMAT(8, 4, 16, 43)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.EdgeDst {
+		if a.EdgeDst[i] != b.EdgeDst[i] || a.Weight[i] != b.Weight[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	same := true
+	for i := range a.EdgeDst {
+		if i < len(c.EdgeDst) && a.EdgeDst[i] != c.EdgeDst[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestAdjacencySortedByGenerators(t *testing.T) {
+	for _, g := range Suite(ScaleTest, 9) {
+		for n := int32(0); n < g.NumNodes(); n++ {
+			nb := g.Neighbors(n)
+			if !sort.SliceIsSorted(nb, func(i, j int) bool { return nb[i] < nb[j] }) {
+				t.Fatalf("%s node %d adjacency unsorted", g.Name, n)
+			}
+		}
+	}
+}
+
+func TestSuiteScales(t *testing.T) {
+	for _, s := range []Scale{ScaleTest, ScaleSmall, ScaleBench} {
+		gs := Suite(s, 1)
+		if len(gs) != 3 {
+			t.Fatalf("scale %d: %d graphs", s, len(gs))
+		}
+		for _, g := range gs {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("scale %d %s: %v", s, g.Name, err)
+			}
+		}
+	}
+	// Sizes increase with scale.
+	if Suite(ScaleSmall, 1)[0].NumNodes() <= Suite(ScaleTest, 1)[0].NumNodes() {
+		t.Error("scales not increasing")
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := newRNG(11)
+	for i := 0; i < 1000; i++ {
+		f := r.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 out of range: %v", f)
+		}
+		n := r.intn(10)
+		if n < 0 || n >= 10 {
+			t.Fatalf("intn out of range: %v", n)
+		}
+	}
+}

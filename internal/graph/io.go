@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS writes g in the 9th DIMACS shortest-path challenge .gr format
+// (1-based node ids, "a src dst weight" arc lines), the format USA-Road is
+// distributed in.
+func WriteDIMACS(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "c %s\np sp %d %d\n", g.Name, g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	for n := int32(0); n < g.NumNodes(); n++ {
+		for e := g.RowPtr[n]; e < g.RowPtr[n+1]; e++ {
+			if _, err := fmt.Fprintf(bw, "a %d %d %d\n", n+1, g.EdgeDst[e]+1, g.EdgeWeight(e)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses a DIMACS .gr graph.
+func ReadDIMACS(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int32 = -1
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, fmt.Errorf("graph: line %d: malformed problem line %q", line, text)
+			}
+			nn, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node count: %v", line, err)
+			}
+			mm, err := strconv.ParseInt(fields[3], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge count: %v", line, err)
+			}
+			n = int32(nn)
+			edges = make([]Edge, 0, mm)
+		case "a":
+			if n < 0 {
+				return nil, fmt.Errorf("graph: line %d: arc before problem line", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: malformed arc %q", line, text)
+			}
+			s, err1 := strconv.ParseInt(fields[1], 10, 32)
+			d, err2 := strconv.ParseInt(fields[2], 10, 32)
+			wt, err3 := strconv.ParseInt(fields[3], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad arc numbers in %q", line, text)
+			}
+			edges = append(edges, Edge{int32(s - 1), int32(d - 1), int32(wt)})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	g, err := FromEdges(n, edges, true)
+	if err != nil {
+		return nil, err
+	}
+	g.Name = "dimacs"
+	return g, nil
+}
+
+// WriteEdgeList writes "src dst [weight]" lines, 0-based.
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	for n := int32(0); n < g.NumNodes(); n++ {
+		for e := g.RowPtr[n]; e < g.RowPtr[n+1]; e++ {
+			var err error
+			if g.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d %d %d\n", n, g.EdgeDst[e], g.Weight[e])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", n, g.EdgeDst[e])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses "src dst [weight]" lines (0-based, '#' comments). The
+// node count is one more than the largest id seen.
+func ReadEdgeList(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	var maxID int32 = -1
+	weighted := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graph: line %d: want 2 or 3 fields, got %d", line, len(fields))
+		}
+		s, err1 := strconv.ParseInt(fields[0], 10, 32)
+		d, err2 := strconv.ParseInt(fields[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoints in %q", line, text)
+		}
+		wt := int64(1)
+		if len(fields) == 3 {
+			var err error
+			wt, err = strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight in %q", line, text)
+			}
+			weighted = true
+		}
+		edges = append(edges, Edge{int32(s), int32(d), int32(wt)})
+		if int32(s) > maxID {
+			maxID = int32(s)
+		}
+		if int32(d) > maxID {
+			maxID = int32(d)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g, err := FromEdges(maxID+1, edges, weighted)
+	if err != nil {
+		return nil, err
+	}
+	g.Name = "edgelist"
+	return g, nil
+}

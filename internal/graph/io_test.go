@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := Road(8, 8, 16, 2)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("size changed: %d/%d vs %d/%d",
+			back.NumNodes(), back.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for n := int32(0); n < g.NumNodes(); n++ {
+		a, b := g.Neighbors(n), back.Neighbors(n)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed", n)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d neighbors differ", n)
+			}
+			if g.Weight[g.RowPtr[n]+int32(i)] != back.Weight[back.RowPtr[n]+int32(i)] {
+				t.Fatalf("node %d weights differ", n)
+			}
+		}
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"a 1 2 3\n",             // arc before problem line
+		"p sp x y\n",            // malformed problem line
+		"p sp 2 1\na 1 two 3\n", // bad number
+		"p sp 2 1\nq 1 2 3\n",   // unknown record
+		"p sp 2 1\na 1 2\n",     // short arc
+		"",                      // missing problem line
+		"p sp 2 1\na 1 9 3\n",   // out of range
+	}
+	for _, c := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadDIMACS accepted %q", c)
+		}
+	}
+}
+
+func TestReadDIMACSSkipsComments(t *testing.T) {
+	in := "c hello\n\np sp 2 1\nc mid\na 1 2 7\n"
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 || g.Weight[0] != 7 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := RMAT(6, 4, 8, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges changed: %d vs %d", back.NumEdges(), g.NumEdges())
+	}
+	if !back.Weighted() {
+		t.Error("weights lost")
+	}
+}
+
+func TestEdgeListUnweighted(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("parsed %v", g)
+	}
+	if g.Weighted() {
+		t.Error("unweighted input produced weights")
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	for _, c := range []string{"0\n", "0 1 2 3\n", "a b\n", "0 1 x\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadEdgeList accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,523 @@
+// Package ir defines the IrGL-like intermediate representation for graph
+// algorithm programs: data-parallel kernels over nodes or worklist items with
+// nested edge loops, predicated control flow, per-lane atomics, worklist
+// pushes, and an orchestration Pipe describing the iterative driver loop.
+//
+// The optimization passes (internal/opt) transform and annotate this IR —
+// Iteration Outlining on the Pipe, Nested Parallelism on ForEdges loops,
+// Cooperative Conversion on Push statements, and Fibers on kernels — and the
+// backend (internal/codegen) lowers it to executable form over the SPMD
+// engine, mirroring the structure of the paper's retargeted IrGL compiler.
+package ir
+
+import "fmt"
+
+// Type is the IR value type of a variable or array element.
+type Type uint8
+
+const (
+	I32 Type = iota
+	F32
+	Bool // lane predicate
+)
+
+var typeNames = [...]string{I32: "i32", F32: "f32", Bool: "bool"}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return "type?"
+}
+
+// BinOp is the IR binary operator set (superset over int and float; the
+// validator checks operand types).
+type BinOp uint8
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Min
+	Max
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	// Logical mask combinators (Bool x Bool -> Bool).
+	LAnd
+	LOr
+)
+
+var binOpNames = [...]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Rem: "%",
+	And: "&", Or: "|", Xor: "^", Shl: "<<", Shr: ">>",
+	Min: "min", Max: "max",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	LAnd: "&&", LOr: "||",
+}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return "op?"
+}
+
+// IsCompare reports whether op yields a Bool.
+func (op BinOp) IsCompare() bool { return op >= Eq && op <= Ge }
+
+// IsLogical reports whether op combines Bools.
+func (op BinOp) IsLogical() bool { return op == LAnd || op == LOr }
+
+// --- Expressions ---
+
+// Expr is an IR expression; expressions are varying (per program instance)
+// unless they reference only uniform sources.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ConstI is an int32 literal.
+type ConstI struct{ V int32 }
+
+// ConstF is a float32 literal.
+type ConstF struct{ V float32 }
+
+// Param references a uniform runtime parameter (e.g. "src", "delta"),
+// broadcast to all lanes.
+type Param struct{ Name string }
+
+// Var references a kernel-local variable or the kernel's item variable.
+type Var struct{ Name string }
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	A, B Expr
+}
+
+// Not negates a Bool expression.
+type Not struct{ A Expr }
+
+// Sel is a lane-wise select: Cond ? A : B.
+type Sel struct {
+	Cond, A, B Expr
+}
+
+// Load reads Arr[Idx] (a gather when Idx is varying).
+type Load struct {
+	Arr string
+	Idx Expr
+}
+
+// NumNodes is the uniform node count of the input graph.
+type NumNodes struct{}
+
+// RowStart is the CSR row start offset of a node: graph.rowptr[node].
+type RowStart struct{ Node Expr }
+
+// RowEnd is the CSR row end offset of a node: graph.rowptr[node+1].
+type RowEnd struct{ Node Expr }
+
+// EdgeDst is the destination of a CSR edge index.
+type EdgeDst struct{ Edge Expr }
+
+// EdgeWt is the weight of a CSR edge index (1 when unweighted).
+type EdgeWt struct{ Edge Expr }
+
+// ToF converts an I32 expression to F32.
+type ToF struct{ A Expr }
+
+// ToI truncates an F32 expression to I32.
+type ToI struct{ A Expr }
+
+func (*ConstI) exprNode()   {}
+func (*ConstF) exprNode()   {}
+func (*Param) exprNode()    {}
+func (*Var) exprNode()      {}
+func (*Bin) exprNode()      {}
+func (*Not) exprNode()      {}
+func (*Sel) exprNode()      {}
+func (*Load) exprNode()     {}
+func (*NumNodes) exprNode() {}
+func (*RowStart) exprNode() {}
+func (*RowEnd) exprNode()   {}
+func (*EdgeDst) exprNode()  {}
+func (*EdgeWt) exprNode()   {}
+func (*ToF) exprNode()      {}
+func (*ToI) exprNode()      {}
+
+func (e *ConstI) String() string   { return fmt.Sprintf("%d", e.V) }
+func (e *ConstF) String() string   { return fmt.Sprintf("%g", e.V) }
+func (e *Param) String() string    { return "$" + e.Name }
+func (e *Var) String() string      { return e.Name }
+func (e *Bin) String() string      { return fmt.Sprintf("(%s %s %s)", e.A, e.Op, e.B) }
+func (e *Not) String() string      { return fmt.Sprintf("!%s", e.A) }
+func (e *Sel) String() string      { return fmt.Sprintf("(%s ? %s : %s)", e.Cond, e.A, e.B) }
+func (e *Load) String() string     { return fmt.Sprintf("%s[%s]", e.Arr, e.Idx) }
+func (e *NumNodes) String() string { return "nnodes" }
+func (e *RowStart) String() string { return fmt.Sprintf("rowstart(%s)", e.Node) }
+func (e *RowEnd) String() string   { return fmt.Sprintf("rowend(%s)", e.Node) }
+func (e *EdgeDst) String() string  { return fmt.Sprintf("edgedst(%s)", e.Edge) }
+func (e *EdgeWt) String() string   { return fmt.Sprintf("edgewt(%s)", e.Edge) }
+func (e *ToF) String() string      { return fmt.Sprintf("f32(%s)", e.A) }
+func (e *ToI) String() string      { return fmt.Sprintf("i32(%s)", e.A) }
+
+// --- Statements ---
+
+// Stmt is an IR statement executed under the current lane mask.
+type Stmt interface {
+	stmtNode()
+}
+
+// Decl declares and initializes a kernel-local varying variable.
+type Decl struct {
+	Name string
+	T    Type
+	Init Expr
+}
+
+// Assign updates a kernel-local variable.
+type Assign struct {
+	Name string
+	Val  Expr
+}
+
+// Store writes Arr[Idx] = Val (a scatter when Idx is varying).
+type Store struct {
+	Arr string
+	Idx Expr
+	Val Expr
+}
+
+// If executes Then under mask&cond and Else under mask&^cond.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While iterates Body while any active lane satisfies Cond.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// EdgeSchedule selects the ForEdges execution strategy.
+type EdgeSchedule uint8
+
+const (
+	// SchedSerial: each lane walks its own edge range in lockstep — the
+	// naive mapping with poor utilization on skewed inputs.
+	SchedSerial EdgeSchedule = iota
+	// SchedNP: the inspector-executor nested-parallelism scheduler that
+	// redistributes high-degree nodes' edges across all lanes and packs
+	// low-degree work with a prefix sum (Section III-B2).
+	SchedNP
+)
+
+// ForEdges iterates over the CSR edges of Node, binding EdgeVar to the edge
+// index per lane. The optimizer sets Sched.
+type ForEdges struct {
+	EdgeVar string
+	Node    Expr
+	Body    []Stmt
+	Sched   EdgeSchedule
+}
+
+// PushMode selects how a Push reserves worklist space.
+type PushMode uint8
+
+const (
+	// PushUnopt: one atomic reservation per active lane.
+	PushUnopt PushMode = iota
+	// PushCoop: task-level cooperative conversion — popcnt, one atomic,
+	// packed store (Section III-C).
+	PushCoop
+	// PushReserved: fiber-level cooperative conversion — space was
+	// reserved in bulk; lanes write with packed stores only.
+	PushReserved
+)
+
+// Push appends Val's active lanes to a worklist. WL names a worklist role:
+// "out" (default pipeline list), "near" or "far" (SSSP near-far).
+type Push struct {
+	WL   string
+	Val  Expr
+	Mode PushMode
+}
+
+// AtomicMin performs per-lane atomic min on Arr[Idx] with Val, optionally
+// binding a Bool variable to the "improved" mask.
+type AtomicMin struct {
+	Arr     string
+	Idx     Expr
+	Val     Expr
+	Success string // "" to ignore
+}
+
+// AtomicCAS performs per-lane compare-and-swap on Arr[Idx], storing New if
+// the current value equals Old, optionally binding the winners mask.
+type AtomicCAS struct {
+	Arr      string
+	Idx      Expr
+	Old, New Expr
+	Success  string
+}
+
+// AtomicAdd performs per-lane atomic add on Arr[Idx] (distinct addresses).
+type AtomicAdd struct {
+	Arr string
+	Idx Expr
+	Val Expr
+}
+
+// AccumAdd reduces Val across active lanes and atomically adds the result to
+// the global accumulator array Acc (element 0): the vector-to-scalar atomic
+// class. Used for PR convergence error and TRI counting.
+type AccumAdd struct {
+	Acc string
+	Val Expr
+}
+
+// SetFlag sets the named global flag array's element 0 to 1 if any lane is
+// active (the topology-driven "changed" signal). Lowered to a racy benign
+// store, as IrGL does.
+type SetFlag struct{ Flag string }
+
+func (*Decl) stmtNode()      {}
+func (*Assign) stmtNode()    {}
+func (*Store) stmtNode()     {}
+func (*If) stmtNode()        {}
+func (*While) stmtNode()     {}
+func (*ForEdges) stmtNode()  {}
+func (*Push) stmtNode()      {}
+func (*AtomicMin) stmtNode() {}
+func (*AtomicCAS) stmtNode() {}
+func (*AtomicAdd) stmtNode() {}
+func (*AccumAdd) stmtNode()  {}
+func (*SetFlag) stmtNode()   {}
+
+// --- Kernels ---
+
+// Domain is a kernel's iteration space.
+type Domain uint8
+
+const (
+	// DomainNodes iterates over all graph nodes.
+	DomainNodes Domain = iota
+	// DomainWL iterates over the current input worklist's items.
+	DomainWL
+)
+
+// Kernel is one data-parallel operator.
+type Kernel struct {
+	Name string
+	// Domain selects the iteration space; ItemVar binds the node id
+	// (DomainNodes) or worklist item (DomainWL) per program instance.
+	Domain  Domain
+	ItemVar string
+	Body    []Stmt
+
+	// Fibers enables thread-block emulation for this kernel (set by the
+	// Fibers pass).
+	Fibers bool
+	// FiberCC enables fiber-level cooperative conversion; only legal when
+	// PushCountComputable.
+	FiberCC bool
+	// PushCountComputable marks kernels whose total push count per item
+	// can be computed in advance (the node's out-degree), enabling
+	// fiber-level CC. True for bfs-cx and bfs-hb style kernels.
+	PushCountComputable bool
+}
+
+// --- Pipe (orchestration) ---
+
+// PipeStmt is one step of the iterative driver.
+type PipeStmt interface {
+	pipeStmt()
+}
+
+// Invoke launches a kernel over its domain.
+type Invoke struct{ Kernel string }
+
+// LoopWL repeats Body while the pipeline worklist is non-empty, swapping the
+// in/out pair after each round (the IrGL Pipe construct).
+type LoopWL struct{ Body []PipeStmt }
+
+// LoopFlag clears Flag, runs Body, and repeats while Flag was set (the
+// topology-driven convergence loop). When IncParam is non-empty, the named
+// runtime parameter is incremented after every round (bfs-tp's level
+// counter).
+type LoopFlag struct {
+	Flag     string
+	IncParam string
+	Body     []PipeStmt
+}
+
+// LoopFixed runs Body N times (N from a parameter when NParam is set).
+type LoopFixed struct {
+	N      int
+	NParam string
+	Body   []PipeStmt
+}
+
+// LoopConverge clears Acc, runs Body, and repeats while Acc[0] > Eps, up to
+// MaxIter rounds (PageRank's L1-residual loop).
+type LoopConverge struct {
+	Acc     string
+	Eps     float32
+	MaxIter int
+	Body    []PipeStmt
+}
+
+// LoopNearFar is the SSSP near-far driver: process the near list to
+// fixpoint, then promote the far list with an advanced threshold, until both
+// are empty. Kernel names the relax operator.
+type LoopNearFar struct {
+	Kernel     string
+	DeltaParam string
+}
+
+// SwapWL swaps the pipeline worklist pair mid-round, letting multi-kernel
+// rounds chain lists (bfs-cx's claim -> expand).
+type SwapWL struct{}
+
+// LoopHybrid drives hybrid worklist/topology execution (bfs-hb): per round,
+// run Small when the frontier is below NumNodes/ThreshDenom, Big otherwise;
+// swap the worklist pair and bump IncParam after every round; stop when the
+// frontier empties.
+type LoopHybrid struct {
+	ThreshDenom int
+	Small, Big  []PipeStmt
+	IncParam    string
+}
+
+func (*Invoke) pipeStmt()       {}
+func (*SwapWL) pipeStmt()       {}
+func (*LoopHybrid) pipeStmt()   {}
+func (*LoopWL) pipeStmt()       {}
+func (*LoopFlag) pipeStmt()     {}
+func (*LoopFixed) pipeStmt()    {}
+func (*LoopConverge) pipeStmt() {}
+func (*LoopNearFar) pipeStmt()  {}
+
+// --- Program ---
+
+// SizeSpec gives an array's length in terms of the input graph.
+type SizeSpec uint8
+
+const (
+	SizeNodes SizeSpec = iota
+	SizeEdges
+	SizeOne
+)
+
+// InitMode selects an array's initial contents before the pipe runs.
+type InitMode uint8
+
+const (
+	// InitZero: all zeros.
+	InitZero InitMode = iota
+	// InitSplat: all elements = InitI/InitF.
+	InitSplat
+	// InitIota: element i = i (component labels).
+	InitIota
+	// InitSplatExceptSrc: all elements = InitI except index $src = SrcVal
+	// (BFS/SSSP distance arrays).
+	InitSplatExceptSrc
+	// InitHash: element i = a positive pseudo-random hash of i (MIS
+	// priorities).
+	InitHash
+	// InitDegree: element i = out-degree of node i.
+	InitDegree
+	// InitInvN: every element = 1/NumNodes (f32 only; PageRank's initial
+	// rank).
+	InitInvN
+)
+
+// ArrayDecl declares a global data array.
+type ArrayDecl struct {
+	Name   string
+	T      Type
+	Size   SizeSpec
+	Init   InitMode
+	InitI  int32
+	InitF  float32
+	SrcVal int32 // value at $src for InitSplatExceptSrc
+}
+
+// WLInit selects how the pipeline input worklist is seeded.
+type WLInit uint8
+
+const (
+	// WLNone: program uses no worklist.
+	WLNone WLInit = iota
+	// WLSrc: worklist starts with the $src parameter.
+	WLSrc
+	// WLAllNodes: worklist starts with every node.
+	WLAllNodes
+)
+
+// Outlining is the Pipe execution strategy, set by the IO pass.
+type Outlining uint8
+
+const (
+	// LaunchPerIteration: every pipe iteration launches fresh tasks — the
+	// default translation, paying launch overhead on the critical path.
+	LaunchPerIteration Outlining = iota
+	// Outlined: the whole iterative loop runs inside a single launch with
+	// in-kernel barriers between rounds (Iteration Outlining,
+	// Section III-A).
+	Outlined
+)
+
+// Program is a complete IrGL graph algorithm.
+type Program struct {
+	Name string
+
+	Arrays  []ArrayDecl
+	Kernels []*Kernel
+	Pipe    []PipeStmt
+
+	WLInit WLInit
+	// WLCapEdges sizes worklists by edge count (needed when a round can
+	// push one item per edge); otherwise they are sized by node count.
+	WLCapEdges bool
+
+	Outline Outlining
+
+	// DefaultParams supplies parameter defaults (e.g. delta for SSSP).
+	DefaultParams map[string]int32
+}
+
+// KernelByName returns the named kernel or nil.
+func (p *Program) KernelByName(name string) *Kernel {
+	for _, k := range p.Kernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// ArrayByName returns the named array declaration or nil.
+func (p *Program) ArrayByName(name string) *ArrayDecl {
+	for i := range p.Arrays {
+		if p.Arrays[i].Name == name {
+			return &p.Arrays[i]
+		}
+	}
+	return nil
+}

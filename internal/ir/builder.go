@@ -1,0 +1,85 @@
+package ir
+
+// Terse constructors for authoring kernels in Go, in rough order of the
+// grammar. These keep kernel definitions (internal/kernels) close to the
+// IrGL originals in shape.
+
+// CI builds an int constant.
+func CI(v int32) *ConstI { return &ConstI{V: v} }
+
+// CF builds a float constant.
+func CF(v float32) *ConstF { return &ConstF{V: v} }
+
+// P references a uniform runtime parameter.
+func P(name string) *Param { return &Param{Name: name} }
+
+// V references a local variable.
+func V(name string) *Var { return &Var{Name: name} }
+
+// B builds a binary expression.
+func B(op BinOp, a, b Expr) *Bin { return &Bin{Op: op, A: a, B: b} }
+
+// AddE, SubE, MulE build arithmetic expressions.
+func AddE(a, b Expr) *Bin { return B(Add, a, b) }
+func SubE(a, b Expr) *Bin { return B(Sub, a, b) }
+func MulE(a, b Expr) *Bin { return B(Mul, a, b) }
+
+// EqE, NeE, LtE, LeE, GtE, GeE build comparisons.
+func EqE(a, b Expr) *Bin { return B(Eq, a, b) }
+func NeE(a, b Expr) *Bin { return B(Ne, a, b) }
+func LtE(a, b Expr) *Bin { return B(Lt, a, b) }
+func LeE(a, b Expr) *Bin { return B(Le, a, b) }
+func GtE(a, b Expr) *Bin { return B(Gt, a, b) }
+func GeE(a, b Expr) *Bin { return B(Ge, a, b) }
+
+// AndE, OrE combine predicates.
+func AndE(a, b Expr) *Bin { return B(LAnd, a, b) }
+func OrE(a, b Expr) *Bin  { return B(LOr, a, b) }
+
+// MinE, MaxE build lane-wise min/max.
+func MinE(a, b Expr) *Bin { return B(Min, a, b) }
+func MaxE(a, b Expr) *Bin { return B(Max, a, b) }
+
+// NotE negates a predicate.
+func NotE(a Expr) *Not { return &Not{A: a} }
+
+// SelE builds a lane select.
+func SelE(cond, a, b Expr) *Sel { return &Sel{Cond: cond, A: a, B: b} }
+
+// Ld loads Arr[Idx].
+func Ld(arr string, idx Expr) *Load { return &Load{Arr: arr, Idx: idx} }
+
+// DeclI declares an int variable.
+func DeclI(name string, init Expr) *Decl { return &Decl{Name: name, T: I32, Init: init} }
+
+// DeclF declares a float variable.
+func DeclF(name string, init Expr) *Decl { return &Decl{Name: name, T: F32, Init: init} }
+
+// DeclB declares a predicate variable.
+func DeclB(name string, init Expr) *Decl { return &Decl{Name: name, T: Bool, Init: init} }
+
+// Set assigns a variable.
+func Set(name string, val Expr) *Assign { return &Assign{Name: name, Val: val} }
+
+// St stores Arr[Idx] = Val.
+func St(arr string, idx, val Expr) *Store { return &Store{Arr: arr, Idx: idx, Val: val} }
+
+// IfS builds an if with no else.
+func IfS(cond Expr, then ...Stmt) *If { return &If{Cond: cond, Then: then} }
+
+// IfElse builds an if/else.
+func IfElse(cond Expr, then, els []Stmt) *If { return &If{Cond: cond, Then: then, Else: els} }
+
+// WhileS builds a while loop.
+func WhileS(cond Expr, body ...Stmt) *While { return &While{Cond: cond, Body: body} }
+
+// ForE builds an edge loop over Node's CSR row.
+func ForE(edgeVar string, node Expr, body ...Stmt) *ForEdges {
+	return &ForEdges{EdgeVar: edgeVar, Node: node, Body: body}
+}
+
+// PushOut pushes to the pipeline worklist.
+func PushOut(val Expr) *Push { return &Push{WL: "out", Val: val} }
+
+// PushTo pushes to a named worklist role ("near"/"far").
+func PushTo(wl string, val Expr) *Push { return &Push{WL: wl, Val: val} }

@@ -1,0 +1,177 @@
+package ir
+
+// Clone returns a deep copy of the program. Optimization passes clone before
+// annotating so one authored program can be compiled under many option sets.
+func (p *Program) Clone() *Program {
+	out := *p
+	out.Arrays = append([]ArrayDecl(nil), p.Arrays...)
+	out.Kernels = make([]*Kernel, len(p.Kernels))
+	for i, k := range p.Kernels {
+		ck := *k
+		ck.Body = cloneStmts(k.Body)
+		out.Kernels[i] = &ck
+	}
+	out.Pipe = clonePipe(p.Pipe)
+	if p.DefaultParams != nil {
+		out.DefaultParams = make(map[string]int32, len(p.DefaultParams))
+		for k, v := range p.DefaultParams {
+			out.DefaultParams[k] = v
+		}
+	}
+	return &out
+}
+
+func clonePipe(ss []PipeStmt) []PipeStmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]PipeStmt, len(ss))
+	for i, s := range ss {
+		switch s := s.(type) {
+		case *Invoke:
+			c := *s
+			out[i] = &c
+		case *LoopWL:
+			out[i] = &LoopWL{Body: clonePipe(s.Body)}
+		case *LoopFlag:
+			out[i] = &LoopFlag{Flag: s.Flag, IncParam: s.IncParam, Body: clonePipe(s.Body)}
+		case *LoopFixed:
+			out[i] = &LoopFixed{N: s.N, NParam: s.NParam, Body: clonePipe(s.Body)}
+		case *LoopConverge:
+			out[i] = &LoopConverge{Acc: s.Acc, Eps: s.Eps, MaxIter: s.MaxIter, Body: clonePipe(s.Body)}
+		case *LoopNearFar:
+			c := *s
+			out[i] = &c
+		case *SwapWL:
+			out[i] = &SwapWL{}
+		case *LoopHybrid:
+			out[i] = &LoopHybrid{
+				ThreshDenom: s.ThreshDenom,
+				Small:       clonePipe(s.Small),
+				Big:         clonePipe(s.Big),
+				IncParam:    s.IncParam,
+			}
+		default:
+			panic("ir: clone of unknown pipe statement")
+		}
+	}
+	return out
+}
+
+func cloneStmts(ss []Stmt) []Stmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Decl:
+		c := *s
+		c.Init = cloneExpr(s.Init)
+		return &c
+	case *Assign:
+		c := *s
+		c.Val = cloneExpr(s.Val)
+		return &c
+	case *Store:
+		c := *s
+		c.Idx, c.Val = cloneExpr(s.Idx), cloneExpr(s.Val)
+		return &c
+	case *If:
+		return &If{Cond: cloneExpr(s.Cond), Then: cloneStmts(s.Then), Else: cloneStmts(s.Else)}
+	case *While:
+		return &While{Cond: cloneExpr(s.Cond), Body: cloneStmts(s.Body)}
+	case *ForEdges:
+		return &ForEdges{EdgeVar: s.EdgeVar, Node: cloneExpr(s.Node), Body: cloneStmts(s.Body), Sched: s.Sched}
+	case *Push:
+		c := *s
+		c.Val = cloneExpr(s.Val)
+		return &c
+	case *AtomicMin:
+		c := *s
+		c.Idx, c.Val = cloneExpr(s.Idx), cloneExpr(s.Val)
+		return &c
+	case *AtomicCAS:
+		c := *s
+		c.Idx, c.Old, c.New = cloneExpr(s.Idx), cloneExpr(s.Old), cloneExpr(s.New)
+		return &c
+	case *AtomicAdd:
+		c := *s
+		c.Idx, c.Val = cloneExpr(s.Idx), cloneExpr(s.Val)
+		return &c
+	case *AccumAdd:
+		c := *s
+		c.Val = cloneExpr(s.Val)
+		return &c
+	case *SetFlag:
+		c := *s
+		return &c
+	}
+	panic("ir: clone of unknown statement")
+}
+
+func cloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ConstI:
+		c := *e
+		return &c
+	case *ConstF:
+		c := *e
+		return &c
+	case *Param:
+		c := *e
+		return &c
+	case *Var:
+		c := *e
+		return &c
+	case *Bin:
+		return &Bin{Op: e.Op, A: cloneExpr(e.A), B: cloneExpr(e.B)}
+	case *Not:
+		return &Not{A: cloneExpr(e.A)}
+	case *Sel:
+		return &Sel{Cond: cloneExpr(e.Cond), A: cloneExpr(e.A), B: cloneExpr(e.B)}
+	case *Load:
+		return &Load{Arr: e.Arr, Idx: cloneExpr(e.Idx)}
+	case *NumNodes:
+		return &NumNodes{}
+	case *RowStart:
+		return &RowStart{Node: cloneExpr(e.Node)}
+	case *RowEnd:
+		return &RowEnd{Node: cloneExpr(e.Node)}
+	case *EdgeDst:
+		return &EdgeDst{Edge: cloneExpr(e.Edge)}
+	case *EdgeWt:
+		return &EdgeWt{Edge: cloneExpr(e.Edge)}
+	case *ToF:
+		return &ToF{A: cloneExpr(e.A)}
+	case *ToI:
+		return &ToI{A: cloneExpr(e.A)}
+	}
+	panic("ir: clone of unknown expression")
+}
+
+// WalkStmts calls fn for every statement in the list, recursing into nested
+// bodies. Used by optimization passes.
+func WalkStmts(ss []Stmt, fn func(Stmt)) {
+	for _, s := range ss {
+		fn(s)
+		switch s := s.(type) {
+		case *If:
+			WalkStmts(s.Then, fn)
+			WalkStmts(s.Else, fn)
+		case *While:
+			WalkStmts(s.Body, fn)
+		case *ForEdges:
+			WalkStmts(s.Body, fn)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+package ir
+
+import "fmt"
+
+// Validate checks a program for structural and type errors: undefined
+// variables, arrays, kernels or worklist roles; type mismatches; pushes in
+// programs without worklists; and illegal optimization annotations. The
+// backend relies on validated programs and panics rather than re-checking.
+func Validate(p *Program) error {
+	if p.Name == "" {
+		return fmt.Errorf("ir: program has no name")
+	}
+	if len(p.Kernels) == 0 {
+		return fmt.Errorf("ir: program %s has no kernels", p.Name)
+	}
+	seen := map[string]bool{}
+	for _, a := range p.Arrays {
+		if a.Name == "" {
+			return fmt.Errorf("ir: %s: unnamed array", p.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("ir: %s: duplicate array %q", p.Name, a.Name)
+		}
+		seen[a.Name] = true
+		if a.Init == InitHash && a.T != I32 {
+			return fmt.Errorf("ir: %s: array %q: InitHash requires i32", p.Name, a.Name)
+		}
+		if a.Init == InitIota && a.T != I32 {
+			return fmt.Errorf("ir: %s: array %q: InitIota requires i32", p.Name, a.Name)
+		}
+	}
+	kseen := map[string]bool{}
+	for _, k := range p.Kernels {
+		if kseen[k.Name] {
+			return fmt.Errorf("ir: %s: duplicate kernel %q", p.Name, k.Name)
+		}
+		kseen[k.Name] = true
+		if err := validateKernel(p, k); err != nil {
+			return err
+		}
+		if k.Domain == DomainWL && p.WLInit == WLNone {
+			return fmt.Errorf("ir: %s: kernel %q iterates a worklist but program declares none", p.Name, k.Name)
+		}
+		if k.FiberCC && !k.PushCountComputable {
+			return fmt.Errorf("ir: %s: kernel %q: fiber-level CC requires a computable push count", p.Name, k.Name)
+		}
+		if k.FiberCC && !k.Fibers {
+			return fmt.Errorf("ir: %s: kernel %q: fiber-level CC requires fibers", p.Name, k.Name)
+		}
+	}
+	if len(p.Pipe) == 0 {
+		return fmt.Errorf("ir: %s: empty pipe", p.Name)
+	}
+	return validatePipe(p, p.Pipe)
+}
+
+func validatePipe(p *Program, stmts []PipeStmt) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Invoke:
+			if p.KernelByName(s.Kernel) == nil {
+				return fmt.Errorf("ir: %s: pipe invokes unknown kernel %q", p.Name, s.Kernel)
+			}
+		case *LoopWL:
+			if p.WLInit == WLNone {
+				return fmt.Errorf("ir: %s: LoopWL without a worklist", p.Name)
+			}
+			if err := validatePipe(p, s.Body); err != nil {
+				return err
+			}
+		case *LoopFlag:
+			if a := p.ArrayByName(s.Flag); a == nil || a.T != I32 {
+				return fmt.Errorf("ir: %s: LoopFlag flag %q must be a declared i32 array", p.Name, s.Flag)
+			}
+			if err := validatePipe(p, s.Body); err != nil {
+				return err
+			}
+		case *LoopFixed:
+			if s.N <= 0 && s.NParam == "" {
+				return fmt.Errorf("ir: %s: LoopFixed needs N or NParam", p.Name)
+			}
+			if err := validatePipe(p, s.Body); err != nil {
+				return err
+			}
+		case *LoopConverge:
+			if a := p.ArrayByName(s.Acc); a == nil || a.T != F32 {
+				return fmt.Errorf("ir: %s: LoopConverge accumulator %q must be a declared f32 array", p.Name, s.Acc)
+			}
+			if s.MaxIter <= 0 {
+				return fmt.Errorf("ir: %s: LoopConverge needs MaxIter > 0", p.Name)
+			}
+			if err := validatePipe(p, s.Body); err != nil {
+				return err
+			}
+		case *LoopNearFar:
+			if p.KernelByName(s.Kernel) == nil {
+				return fmt.Errorf("ir: %s: LoopNearFar names unknown kernel %q", p.Name, s.Kernel)
+			}
+			if s.DeltaParam == "" {
+				return fmt.Errorf("ir: %s: LoopNearFar needs a delta parameter", p.Name)
+			}
+			if p.WLInit == WLNone {
+				return fmt.Errorf("ir: %s: LoopNearFar without a worklist", p.Name)
+			}
+		case *SwapWL:
+			if p.WLInit == WLNone {
+				return fmt.Errorf("ir: %s: SwapWL without a worklist", p.Name)
+			}
+		case *LoopHybrid:
+			if p.WLInit == WLNone {
+				return fmt.Errorf("ir: %s: LoopHybrid without a worklist", p.Name)
+			}
+			if s.ThreshDenom <= 0 {
+				return fmt.Errorf("ir: %s: LoopHybrid needs ThreshDenom > 0", p.Name)
+			}
+			if len(s.Small) == 0 || len(s.Big) == 0 {
+				return fmt.Errorf("ir: %s: LoopHybrid needs both Small and Big bodies", p.Name)
+			}
+			if err := validatePipe(p, s.Small); err != nil {
+				return err
+			}
+			if err := validatePipe(p, s.Big); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ir: %s: unknown pipe statement %T", p.Name, s)
+		}
+	}
+	return nil
+}
+
+// scope tracks variable types during kernel validation.
+type scope struct {
+	p    *Program
+	k    *Kernel
+	vars map[string]Type
+}
+
+func validateKernel(p *Program, k *Kernel) error {
+	if k.Name == "" {
+		return fmt.Errorf("ir: %s: unnamed kernel", p.Name)
+	}
+	if k.ItemVar == "" {
+		return fmt.Errorf("ir: %s: kernel %q has no item variable", p.Name, k.Name)
+	}
+	if len(k.Body) == 0 {
+		return fmt.Errorf("ir: %s: kernel %q has empty body", p.Name, k.Name)
+	}
+	sc := &scope{p: p, k: k, vars: map[string]Type{k.ItemVar: I32}}
+	return sc.stmts(k.Body)
+}
+
+func (sc *scope) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := sc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sc *scope) errf(format string, args ...any) error {
+	prefix := fmt.Sprintf("ir: %s/%s: ", sc.p.Name, sc.k.Name)
+	return fmt.Errorf(prefix+format, args...)
+}
+
+func (sc *scope) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Decl:
+		if _, dup := sc.vars[s.Name]; dup {
+			return sc.errf("redeclaration of %q", s.Name)
+		}
+		t, err := sc.typeOf(s.Init)
+		if err != nil {
+			return err
+		}
+		if t != s.T {
+			return sc.errf("decl %q: init is %v, want %v", s.Name, t, s.T)
+		}
+		sc.vars[s.Name] = s.T
+	case *Assign:
+		want, ok := sc.vars[s.Name]
+		if !ok {
+			return sc.errf("assignment to undeclared %q", s.Name)
+		}
+		t, err := sc.typeOf(s.Val)
+		if err != nil {
+			return err
+		}
+		if t != want {
+			return sc.errf("assign %q: value is %v, want %v", s.Name, t, want)
+		}
+	case *Store:
+		a := sc.p.ArrayByName(s.Arr)
+		if a == nil {
+			return sc.errf("store to undeclared array %q", s.Arr)
+		}
+		if err := sc.expect(s.Idx, I32, "store index"); err != nil {
+			return err
+		}
+		if err := sc.expect(s.Val, a.T, "store value"); err != nil {
+			return err
+		}
+	case *If:
+		if err := sc.expect(s.Cond, Bool, "if condition"); err != nil {
+			return err
+		}
+		if err := sc.stmts(s.Then); err != nil {
+			return err
+		}
+		return sc.stmts(s.Else)
+	case *While:
+		if err := sc.expect(s.Cond, Bool, "while condition"); err != nil {
+			return err
+		}
+		return sc.stmts(s.Body)
+	case *ForEdges:
+		if err := sc.expect(s.Node, I32, "ForEdges node"); err != nil {
+			return err
+		}
+		if _, dup := sc.vars[s.EdgeVar]; dup {
+			return sc.errf("ForEdges shadows %q", s.EdgeVar)
+		}
+		sc.vars[s.EdgeVar] = I32
+		err := sc.stmts(s.Body)
+		delete(sc.vars, s.EdgeVar)
+		return err
+	case *Push:
+		switch s.WL {
+		case "out", "near", "far":
+		default:
+			return sc.errf("push to unknown worklist role %q", s.WL)
+		}
+		if sc.p.WLInit == WLNone {
+			return sc.errf("push in a program without worklists")
+		}
+		return sc.expect(s.Val, I32, "push value")
+	case *AtomicMin, *AtomicCAS, *AtomicAdd:
+		return sc.atomic(s)
+	case *AccumAdd:
+		a := sc.p.ArrayByName(s.Acc)
+		if a == nil {
+			return sc.errf("accumulate into undeclared array %q", s.Acc)
+		}
+		t, err := sc.typeOf(s.Val)
+		if err != nil {
+			return err
+		}
+		if t == Bool {
+			return sc.errf("cannot accumulate a predicate")
+		}
+		if t != a.T {
+			return sc.errf("accumulate %v into %v array %q", t, a.T, s.Acc)
+		}
+	case *SetFlag:
+		a := sc.p.ArrayByName(s.Flag)
+		if a == nil || a.T != I32 {
+			return sc.errf("SetFlag %q: not a declared i32 array", s.Flag)
+		}
+	default:
+		return sc.errf("unknown statement %T", s)
+	}
+	return nil
+}
+
+func (sc *scope) atomic(s Stmt) error {
+	bindSuccess := func(name string) error {
+		if name == "" {
+			return nil
+		}
+		if _, dup := sc.vars[name]; dup {
+			return sc.errf("atomic success var %q redeclares", name)
+		}
+		sc.vars[name] = Bool
+		return nil
+	}
+	switch s := s.(type) {
+	case *AtomicMin:
+		a := sc.p.ArrayByName(s.Arr)
+		if a == nil || a.T != I32 {
+			return sc.errf("AtomicMin on %q: not a declared i32 array", s.Arr)
+		}
+		if err := sc.expect(s.Idx, I32, "AtomicMin index"); err != nil {
+			return err
+		}
+		if err := sc.expect(s.Val, I32, "AtomicMin value"); err != nil {
+			return err
+		}
+		return bindSuccess(s.Success)
+	case *AtomicCAS:
+		a := sc.p.ArrayByName(s.Arr)
+		if a == nil || a.T != I32 {
+			return sc.errf("AtomicCAS on %q: not a declared i32 array", s.Arr)
+		}
+		for _, pair := range []struct {
+			e Expr
+			n string
+		}{{s.Idx, "index"}, {s.Old, "old"}, {s.New, "new"}} {
+			if err := sc.expect(pair.e, I32, "AtomicCAS "+pair.n); err != nil {
+				return err
+			}
+		}
+		return bindSuccess(s.Success)
+	case *AtomicAdd:
+		a := sc.p.ArrayByName(s.Arr)
+		if a == nil || a.T == Bool {
+			return sc.errf("AtomicAdd on %q: not a declared numeric array", s.Arr)
+		}
+		if err := sc.expect(s.Idx, I32, "AtomicAdd index"); err != nil {
+			return err
+		}
+		return sc.expect(s.Val, a.T, "AtomicAdd value")
+	}
+	panic("unreachable")
+}
+
+func (sc *scope) expect(e Expr, want Type, what string) error {
+	t, err := sc.typeOf(e)
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return sc.errf("%s: got %v, want %v", what, t, want)
+	}
+	return nil
+}
+
+func (sc *scope) typeOf(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *ConstI:
+		return I32, nil
+	case *ConstF:
+		return F32, nil
+	case *Param:
+		return I32, nil
+	case *Var:
+		t, ok := sc.vars[e.Name]
+		if !ok {
+			return 0, sc.errf("use of undeclared variable %q", e.Name)
+		}
+		return t, nil
+	case *Bin:
+		ta, err := sc.typeOf(e.A)
+		if err != nil {
+			return 0, err
+		}
+		tb, err := sc.typeOf(e.B)
+		if err != nil {
+			return 0, err
+		}
+		if ta != tb {
+			return 0, sc.errf("operator %v mixes %v and %v", e.Op, ta, tb)
+		}
+		switch {
+		case e.Op.IsLogical():
+			if ta != Bool {
+				return 0, sc.errf("operator %v needs bool operands, got %v", e.Op, ta)
+			}
+			return Bool, nil
+		case e.Op.IsCompare():
+			if ta == Bool {
+				return 0, sc.errf("comparison %v on bool operands", e.Op)
+			}
+			return Bool, nil
+		default:
+			if ta == Bool {
+				return 0, sc.errf("arithmetic %v on bool operands", e.Op)
+			}
+			if ta == F32 {
+				switch e.Op {
+				case Add, Sub, Mul, Div, Min, Max:
+				default:
+					return 0, sc.errf("operator %v not defined on f32", e.Op)
+				}
+			}
+			return ta, nil
+		}
+	case *Not:
+		if err := sc.expect(e.A, Bool, "negation"); err != nil {
+			return 0, err
+		}
+		return Bool, nil
+	case *Sel:
+		if err := sc.expect(e.Cond, Bool, "select condition"); err != nil {
+			return 0, err
+		}
+		ta, err := sc.typeOf(e.A)
+		if err != nil {
+			return 0, err
+		}
+		tb, err := sc.typeOf(e.B)
+		if err != nil {
+			return 0, err
+		}
+		if ta != tb {
+			return 0, sc.errf("select arms differ: %v vs %v", ta, tb)
+		}
+		return ta, nil
+	case *Load:
+		a := sc.p.ArrayByName(e.Arr)
+		if a == nil {
+			return 0, sc.errf("load from undeclared array %q", e.Arr)
+		}
+		if err := sc.expect(e.Idx, I32, "load index"); err != nil {
+			return 0, err
+		}
+		return a.T, nil
+	case *NumNodes:
+		return I32, nil
+	case *RowStart:
+		if err := sc.expect(e.Node, I32, "rowstart"); err != nil {
+			return 0, err
+		}
+		return I32, nil
+	case *RowEnd:
+		if err := sc.expect(e.Node, I32, "rowend"); err != nil {
+			return 0, err
+		}
+		return I32, nil
+	case *EdgeDst:
+		if err := sc.expect(e.Edge, I32, "edgedst"); err != nil {
+			return 0, err
+		}
+		return I32, nil
+	case *EdgeWt:
+		if err := sc.expect(e.Edge, I32, "edgewt"); err != nil {
+			return 0, err
+		}
+		return I32, nil
+	case *ToF:
+		if err := sc.expect(e.A, I32, "f32 conversion"); err != nil {
+			return 0, err
+		}
+		return F32, nil
+	case *ToI:
+		if err := sc.expect(e.A, F32, "i32 conversion"); err != nil {
+			return 0, err
+		}
+		return I32, nil
+	}
+	return 0, sc.errf("unknown expression %T", e)
+}

@@ -1,0 +1,262 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// validBFS builds a minimal well-formed worklist BFS program.
+func validBFS() *Program {
+	return &Program{
+		Name: "bfs",
+		Arrays: []ArrayDecl{
+			{Name: "lvl", T: I32, Size: SizeNodes, Init: InitSplatExceptSrc, InitI: 1 << 30},
+		},
+		WLInit:     WLSrc,
+		WLCapEdges: true,
+		Kernels: []*Kernel{{
+			Name:    "bfs",
+			Domain:  DomainWL,
+			ItemVar: "node",
+			Body: []Stmt{
+				DeclI("d", Ld("lvl", V("node"))),
+				ForE("e", V("node"),
+					DeclI("dst", &EdgeDst{Edge: V("e")}),
+					&AtomicMin{Arr: "lvl", Idx: V("dst"), Val: AddE(V("d"), CI(1)), Success: "won"},
+					IfS(V("won"), PushOut(V("dst"))),
+				),
+			},
+		}},
+		Pipe: []PipeStmt{&LoopWL{Body: []PipeStmt{&Invoke{Kernel: "bfs"}}}},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := Validate(validBFS()); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func wantErr(t *testing.T, p *Program, substr string) {
+	t.Helper()
+	err := Validate(p)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestValidateRejectsStructuralErrors(t *testing.T) {
+	p := validBFS()
+	p.Name = ""
+	wantErr(t, p, "no name")
+
+	p = validBFS()
+	p.Kernels = nil
+	wantErr(t, p, "no kernels")
+
+	p = validBFS()
+	p.Pipe = nil
+	wantErr(t, p, "empty pipe")
+
+	p = validBFS()
+	p.Arrays = append(p.Arrays, ArrayDecl{Name: "lvl", T: I32})
+	wantErr(t, p, "duplicate array")
+
+	p = validBFS()
+	p.Kernels = append(p.Kernels, p.Kernels[0])
+	wantErr(t, p, "duplicate kernel")
+
+	p = validBFS()
+	p.Kernels[0].ItemVar = ""
+	wantErr(t, p, "no item variable")
+
+	p = validBFS()
+	p.Kernels[0].Body = nil
+	wantErr(t, p, "empty body")
+}
+
+func TestValidateRejectsNameErrors(t *testing.T) {
+	p := validBFS()
+	p.Pipe = []PipeStmt{&Invoke{Kernel: "nope"}}
+	wantErr(t, p, "unknown kernel")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{Set("ghost", CI(1))}
+	wantErr(t, p, "undeclared")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{DeclI("x", Ld("ghost", CI(0)))}
+	wantErr(t, p, "undeclared array")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{&Push{WL: "sideways", Val: CI(1)}}
+	wantErr(t, p, "worklist role")
+}
+
+func TestValidateRejectsTypeErrors(t *testing.T) {
+	p := validBFS()
+	p.Kernels[0].Body = []Stmt{DeclI("x", CF(1.5))}
+	wantErr(t, p, "init is f32")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{DeclI("x", CI(1)), Set("x", EqE(CI(1), CI(2)))}
+	wantErr(t, p, "want i32")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{IfS(CI(1), PushOut(CI(0)))}
+	wantErr(t, p, "if condition")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{DeclI("x", AddE(CI(1), CF(2)))}
+	wantErr(t, p, "mixes")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{DeclB("b", AndE(EqE(CI(1), CI(1)), CI(3)))}
+	wantErr(t, p, "mixes")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{DeclB("b", LtE(EqE(CI(1), CI(1)), EqE(CI(1), CI(1))))}
+	wantErr(t, p, "comparison")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{DeclF("f", B(Rem, CF(1), CF(2)))}
+	wantErr(t, p, "not defined on f32")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{DeclI("x", SelE(EqE(CI(1), CI(1)), CI(1), CF(2)))}
+	wantErr(t, p, "select arms differ")
+}
+
+func TestValidateRedeclaration(t *testing.T) {
+	p := validBFS()
+	p.Kernels[0].Body = []Stmt{DeclI("x", CI(1)), DeclI("x", CI(2))}
+	wantErr(t, p, "redeclaration")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{ForE("node", V("node"), PushOut(CI(1)))}
+	wantErr(t, p, "shadows")
+}
+
+func TestValidateAtomics(t *testing.T) {
+	p := validBFS()
+	p.Arrays = append(p.Arrays, ArrayDecl{Name: "rank", T: F32, Size: SizeNodes})
+	p.Kernels[0].Body = []Stmt{&AtomicMin{Arr: "rank", Idx: V("node"), Val: CI(1)}}
+	wantErr(t, p, "not a declared i32 array")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{&AtomicCAS{Arr: "lvl", Idx: V("node"), Old: CI(0), New: CF(1)}}
+	wantErr(t, p, "AtomicCAS new")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{
+		&AtomicCAS{Arr: "lvl", Idx: V("node"), Old: CI(0), New: CI(1), Success: "node"},
+	}
+	wantErr(t, p, "redeclares")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{&AtomicAdd{Arr: "lvl", Idx: V("node"), Val: CI(1)}}
+	if err := Validate(p); err != nil {
+		t.Errorf("valid AtomicAdd rejected: %v", err)
+	}
+}
+
+func TestValidateAccumAndFlags(t *testing.T) {
+	p := validBFS()
+	p.Kernels[0].Body = []Stmt{&AccumAdd{Acc: "missing", Val: CI(1)}}
+	wantErr(t, p, "undeclared")
+
+	p = validBFS()
+	p.Arrays = append(p.Arrays, ArrayDecl{Name: "err", T: F32, Size: SizeOne})
+	p.Kernels[0].Body = []Stmt{&AccumAdd{Acc: "err", Val: CI(1)}}
+	wantErr(t, p, "accumulate i32 into f32")
+
+	p = validBFS()
+	p.Kernels[0].Body = []Stmt{&SetFlag{Flag: "nothing"}}
+	wantErr(t, p, "SetFlag")
+}
+
+func TestValidatePipeLoops(t *testing.T) {
+	p := validBFS()
+	p.Pipe = []PipeStmt{&LoopFlag{Flag: "missing", Body: []PipeStmt{&Invoke{Kernel: "bfs"}}}}
+	wantErr(t, p, "LoopFlag")
+
+	p = validBFS()
+	p.Pipe = []PipeStmt{&LoopFixed{Body: []PipeStmt{&Invoke{Kernel: "bfs"}}}}
+	wantErr(t, p, "LoopFixed")
+
+	p = validBFS()
+	p.Pipe = []PipeStmt{&LoopConverge{Acc: "lvl", Eps: 0.1, MaxIter: 5}}
+	wantErr(t, p, "LoopConverge")
+
+	p = validBFS()
+	p.Pipe = []PipeStmt{&LoopNearFar{Kernel: "bfs"}}
+	wantErr(t, p, "delta parameter")
+
+	p = validBFS()
+	p.Pipe = []PipeStmt{&LoopNearFar{Kernel: "ghost", DeltaParam: "delta"}}
+	wantErr(t, p, "unknown kernel")
+}
+
+func TestValidateOptimizationAnnotations(t *testing.T) {
+	p := validBFS()
+	p.Kernels[0].Fibers = true
+	p.Kernels[0].FiberCC = true // but PushCountComputable is false
+	wantErr(t, p, "computable push count")
+
+	p = validBFS()
+	p.Kernels[0].PushCountComputable = true
+	p.Kernels[0].FiberCC = true // fibers not enabled
+	wantErr(t, p, "requires fibers")
+}
+
+func TestValidateWorklistRequirements(t *testing.T) {
+	p := validBFS()
+	p.WLInit = WLNone
+	wantErr(t, p, "worklist")
+}
+
+func TestValidateInitModes(t *testing.T) {
+	p := validBFS()
+	p.Arrays = append(p.Arrays, ArrayDecl{Name: "pri", T: F32, Init: InitHash})
+	wantErr(t, p, "InitHash")
+
+	p = validBFS()
+	p.Arrays = append(p.Arrays, ArrayDecl{Name: "lbl", T: F32, Init: InitIota})
+	wantErr(t, p, "InitIota")
+}
+
+func TestHelperLookups(t *testing.T) {
+	p := validBFS()
+	if p.KernelByName("bfs") == nil || p.KernelByName("nope") != nil {
+		t.Error("KernelByName wrong")
+	}
+	if p.ArrayByName("lvl") == nil || p.ArrayByName("nope") != nil {
+		t.Error("ArrayByName wrong")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := AddE(Ld("lvl", V("n")), CI(1))
+	if got := e.String(); got != "(lvl[n] + 1)" {
+		t.Errorf("String = %q", got)
+	}
+	s := SelE(LtE(V("a"), V("b")), V("a"), V("b"))
+	if got := s.String(); !strings.Contains(got, "?") {
+		t.Errorf("select String = %q", got)
+	}
+	if (&RowStart{Node: V("n")}).String() != "rowstart(n)" {
+		t.Error("RowStart String")
+	}
+	if (&Param{Name: "src"}).String() != "$src" {
+		t.Error("Param String")
+	}
+	if I32.String() != "i32" || Bool.String() != "bool" {
+		t.Error("Type String")
+	}
+	if Add.String() != "+" || LAnd.String() != "&&" {
+		t.Error("BinOp String")
+	}
+}

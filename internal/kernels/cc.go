@@ -1,0 +1,125 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// CC is connected components via hooking and pointer jumping
+// (Shiloach–Vishkin style): each round hooks the larger component label onto
+// the smaller across every edge, then compresses label chains, converging in
+// O(log n) rounds. Requires a symmetrized input.
+func CC() *Benchmark {
+	prog := &ir.Program{
+		Name: "cc",
+		Arrays: []ir.ArrayDecl{
+			{Name: "comp", T: ir.I32, Size: ir.SizeNodes, Init: ir.InitIota},
+			{Name: "changed", T: ir.I32, Size: ir.SizeOne, Init: ir.InitZero},
+		},
+		Kernels: []*ir.Kernel{
+			{
+				Name:    "hook",
+				Domain:  ir.DomainNodes,
+				ItemVar: "n",
+				Body: []ir.Stmt{
+					ir.ForE("e", ir.V("n"),
+						ir.DeclI("cn", ir.Ld("comp", ir.V("n"))),
+						ir.DeclI("cd", ir.Ld("comp", &ir.EdgeDst{Edge: ir.V("e")})),
+						ir.IfS(ir.LtE(ir.V("cn"), ir.V("cd")), // hook cd's label down to cn
+							&ir.AtomicMin{Arr: "comp", Idx: ir.V("cd"), Val: ir.V("cn"), Success: "w1"},
+							ir.IfS(ir.V("w1"), &ir.SetFlag{Flag: "changed"}),
+						),
+						ir.IfS(ir.GtE(ir.V("cn"), ir.V("cd")),
+							ir.IfS(ir.NeE(ir.V("cn"), ir.V("cd")),
+								&ir.AtomicMin{Arr: "comp", Idx: ir.V("cn"), Val: ir.V("cd"), Success: "w2"},
+								ir.IfS(ir.V("w2"), &ir.SetFlag{Flag: "changed"}),
+							),
+						),
+					),
+				},
+			},
+			{
+				Name:    "jump",
+				Domain:  ir.DomainNodes,
+				ItemVar: "n",
+				Body: []ir.Stmt{
+					ir.WhileS(ir.NeE(ir.Ld("comp", ir.Ld("comp", ir.V("n"))), ir.Ld("comp", ir.V("n"))),
+						ir.St("comp", ir.V("n"), ir.Ld("comp", ir.Ld("comp", ir.V("n")))),
+					),
+				},
+			},
+		},
+		Pipe: []ir.PipeStmt{&ir.LoopFlag{
+			Flag: "changed",
+			Body: []ir.PipeStmt{&ir.Invoke{Kernel: "hook"}, &ir.Invoke{Kernel: "jump"}},
+		}},
+	}
+	return &Benchmark{
+		Name:           "cc",
+		Prog:           prog,
+		NeedsSymmetric: true,
+		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, _ int32) error {
+			got := get("comp")
+			want := RefCC(g)
+			// Partitions must match: same label iff same reference component.
+			labelOf := map[int32]int32{}
+			for i := range got {
+				w := want[i]
+				if rep, ok := labelOf[got[i]]; ok {
+					if rep != w {
+						return fmt.Errorf("cc: label %d spans reference components %d and %d", got[i], rep, w)
+					}
+				} else {
+					labelOf[got[i]] = w
+				}
+			}
+			// And distinct reference components must have distinct labels.
+			seen := map[int32]int32{}
+			for i := range got {
+				if lbl, ok := seen[want[i]]; ok {
+					if lbl != got[i] {
+						return fmt.Errorf("cc: reference component %d got labels %d and %d", want[i], lbl, got[i])
+					}
+				} else {
+					seen[want[i]] = got[i]
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RefCC labels components with union-find; labels are each component's
+// minimum node id.
+func RefCC(g *graph.CSR) []int32 {
+	n := int(g.NumNodes())
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := int32(0); u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			ru, rv := find(u), find(v)
+			if ru < rv {
+				parent[rv] = ru
+			} else if rv < ru {
+				parent[ru] = rv
+			}
+		}
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = find(int32(i))
+	}
+	return out
+}

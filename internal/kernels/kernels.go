@@ -1,0 +1,79 @@
+// Package kernels defines the ten benchmark graph algorithms of the paper's
+// evaluation (Table VIII) as IrGL IR programs: four BFS variants (worklist,
+// claim/expand, topology-driven, hybrid), near-far SSSP, connected
+// components, triangle counting, maximal independent set, PageRank, and
+// Boruvka MST — together with serial reference implementations used to
+// verify every compiled configuration's output.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// Inf is the "unreached" distance/level marker (fits int32 with headroom for
+// weight additions).
+const Inf int32 = 1 << 30
+
+// Benchmark couples a program with its input requirements and a verifier.
+type Benchmark struct {
+	Name string
+	// Prog is the unoptimized program; run it through opt.Apply.
+	Prog *ir.Program
+	// NeedsSymmetric marks algorithms defined on undirected graphs (cc,
+	// tri, mis, mst); the harness symmetrizes inputs for them.
+	NeedsSymmetric bool
+	// Params returns input-specific parameter defaults (e.g. SSSP delta).
+	Params func(g *graph.CSR) map[string]int32
+	// Verify checks outputs (by bound array) against the serial reference.
+	Verify func(g *graph.CSR, get func(name string) []int32, getF func(name string) []float32, src int32) error
+}
+
+// All returns the paper's benchmark suite in presentation order (Table VIII).
+func All() []*Benchmark {
+	return []*Benchmark{
+		BFSWL(), BFSCX(), BFSTP(), BFSHB(),
+		SSSPNF(), CC(), TRI(), MIS(), PR(), MST(),
+	}
+}
+
+// Extensions returns benchmarks added beyond the paper's suite.
+func Extensions() []*Benchmark {
+	return []*Benchmark{KCore(), PRDelta()}
+}
+
+// AllWithExtensions returns the paper suite followed by the extensions.
+func AllWithExtensions() []*Benchmark {
+	return append(All(), Extensions()...)
+}
+
+// ByName returns the named benchmark (paper suite or extension).
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range AllWithExtensions() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown benchmark %q", name)
+}
+
+// Names lists benchmark names in order.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+func verifyLevels(g *graph.CSR, got []int32, src int32) error {
+	want := RefBFS(g, src)
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("bfs level of node %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// MIS computes a maximal independent set with Luby's algorithm over static
+// pseudo-random priorities (ties broken by node id). Each round, undecided
+// nodes that are local priority minima join the set; their neighbors drop
+// out. With fixed priorities the result is the unique greedy MIS in
+// (priority, id) order, which the reference reproduces exactly. Requires a
+// symmetrized input.
+func MIS() *Benchmark {
+	prog := &ir.Program{
+		Name: "mis",
+		Arrays: []ir.ArrayDecl{
+			{Name: "pri", T: ir.I32, Size: ir.SizeNodes, Init: ir.InitHash},
+			{Name: "state", T: ir.I32, Size: ir.SizeNodes, Init: ir.InitZero}, // 0 undecided, 1 in, 2 out
+			{Name: "cand", T: ir.I32, Size: ir.SizeNodes, Init: ir.InitZero},
+			{Name: "changed", T: ir.I32, Size: ir.SizeOne, Init: ir.InitZero},
+		},
+		Kernels: []*ir.Kernel{
+			{
+				// select: undecided local minima become candidates. The
+				// candidacy bit is cleared through memory so the nested
+				// loop stays NP-eligible (no outer register writes).
+				Name:    "select",
+				Domain:  ir.DomainNodes,
+				ItemVar: "n",
+				Body: []ir.Stmt{
+					ir.IfElse(ir.EqE(ir.Ld("state", ir.V("n")), ir.CI(0)),
+						[]ir.Stmt{
+							ir.St("cand", ir.V("n"), ir.CI(1)),
+							ir.DeclI("p", ir.Ld("pri", ir.V("n"))),
+							ir.ForE("e", ir.V("n"),
+								ir.DeclI("dst", &ir.EdgeDst{Edge: ir.V("e")}),
+								ir.IfS(ir.EqE(ir.Ld("state", ir.V("dst")), ir.CI(0)),
+									ir.DeclI("pd", ir.Ld("pri", ir.V("dst"))),
+									ir.IfS(ir.OrE(ir.LtE(ir.V("pd"), ir.V("p")),
+										ir.AndE(ir.EqE(ir.V("pd"), ir.V("p")), ir.LtE(ir.V("dst"), ir.V("n")))),
+										ir.St("cand", ir.V("n"), ir.CI(0)),
+									),
+								),
+							),
+						},
+						[]ir.Stmt{ir.St("cand", ir.V("n"), ir.CI(0))},
+					),
+				},
+			},
+			{
+				// update: candidates join the set; neighbors of candidates
+				// drop out; survivors raise the flag for another round.
+				Name:    "update",
+				Domain:  ir.DomainNodes,
+				ItemVar: "n",
+				Body: []ir.Stmt{
+					ir.IfS(ir.EqE(ir.Ld("state", ir.V("n")), ir.CI(0)),
+						ir.IfElse(ir.EqE(ir.Ld("cand", ir.V("n")), ir.CI(1)),
+							[]ir.Stmt{ir.St("state", ir.V("n"), ir.CI(1))},
+							[]ir.Stmt{
+								ir.ForE("e", ir.V("n"),
+									ir.IfS(ir.EqE(ir.Ld("cand", &ir.EdgeDst{Edge: ir.V("e")}), ir.CI(1)),
+										ir.St("state", ir.V("n"), ir.CI(2)),
+									),
+								),
+								ir.IfS(ir.EqE(ir.Ld("state", ir.V("n")), ir.CI(0)),
+									&ir.SetFlag{Flag: "changed"},
+								),
+							},
+						),
+					),
+				},
+			},
+		},
+		Pipe: []ir.PipeStmt{&ir.LoopFlag{
+			Flag: "changed",
+			Body: []ir.PipeStmt{&ir.Invoke{Kernel: "select"}, &ir.Invoke{Kernel: "update"}},
+		}},
+	}
+	return &Benchmark{
+		Name:           "mis",
+		Prog:           prog,
+		NeedsSymmetric: true,
+		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, _ int32) error {
+			state := get("state")
+			pri := get("pri")
+			want := RefMIS(g, pri)
+			for i := range want {
+				inSet := state[i] == 1
+				if state[i] != 1 && state[i] != 2 {
+					return fmt.Errorf("mis: node %d undecided (state %d)", i, state[i])
+				}
+				if inSet != want[i] {
+					return fmt.Errorf("mis: node %d in-set = %v, want %v", i, inSet, want[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RefMIS computes the greedy lexicographically-first MIS in (priority, id)
+// order: the unique fixpoint of Luby's algorithm under fixed priorities.
+func RefMIS(g *graph.CSR, pri []int32) []bool {
+	n := int(g.NumNodes())
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	less := func(a, b int32) bool {
+		if pri[a] != pri[b] {
+			return pri[a] < pri[b]
+		}
+		return a < b
+	}
+	sort.Slice(order, func(i, j int) bool { return less(order[i], order[j]) })
+	in := make([]bool, n)
+	out := make([]bool, n)
+	for _, v := range order {
+		if out[v] {
+			continue
+		}
+		in[v] = true
+		for _, d := range g.Neighbors(v) {
+			out[d] = true
+		}
+	}
+	return in
+}

@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// PageRank constants shared by EGACS, the references and the baselines:
+// damping factor, L1-residual convergence threshold, iteration cap.
+const (
+	PRDamping = 0.85
+	PREps     = 1e-3
+	PRMaxIter = 60
+)
+
+// PR is push-style PageRank: each node scatters rank/degree to its
+// out-neighbors with per-lane atomic float adds (lowered to cmpxchg loops —
+// the atomic pressure the paper blames for PR's profile), then an apply
+// kernel folds in the damping term and accumulates the L1 residual that
+// drives convergence.
+func PR() *Benchmark {
+	prog := &ir.Program{
+		Name: "pr",
+		Arrays: []ir.ArrayDecl{
+			{Name: "rank", T: ir.F32, Size: ir.SizeNodes, Init: ir.InitInvN},
+			{Name: "nextin", T: ir.F32, Size: ir.SizeNodes, Init: ir.InitZero},
+			{Name: "deg", T: ir.I32, Size: ir.SizeNodes, Init: ir.InitDegree},
+			{Name: "err", T: ir.F32, Size: ir.SizeOne, Init: ir.InitZero},
+		},
+		Kernels: []*ir.Kernel{
+			{
+				Name:    "scatter",
+				Domain:  ir.DomainNodes,
+				ItemVar: "n",
+				Body: []ir.Stmt{
+					ir.DeclI("dg", ir.Ld("deg", ir.V("n"))),
+					ir.IfS(ir.GtE(ir.V("dg"), ir.CI(0)),
+						ir.DeclF("contrib", ir.B(ir.Div, ir.Ld("rank", ir.V("n")), &ir.ToF{A: ir.V("dg")})),
+						ir.ForE("e", ir.V("n"),
+							&ir.AtomicAdd{Arr: "nextin", Idx: &ir.EdgeDst{Edge: ir.V("e")}, Val: ir.V("contrib")},
+						),
+					),
+				},
+			},
+			{
+				Name:    "apply",
+				Domain:  ir.DomainNodes,
+				ItemVar: "n",
+				Body: []ir.Stmt{
+					ir.DeclF("base", ir.B(ir.Div, ir.CF(1-PRDamping), &ir.ToF{A: &ir.NumNodes{}})),
+					ir.DeclF("newr", ir.AddE(ir.V("base"),
+						ir.MulE(ir.CF(PRDamping), ir.Ld("nextin", ir.V("n"))))),
+					ir.DeclF("diff", ir.SubE(ir.V("newr"), ir.Ld("rank", ir.V("n")))),
+					ir.DeclF("absdiff", ir.SelE(ir.GeE(ir.V("diff"), ir.CF(0)),
+						ir.V("diff"), ir.SubE(ir.CF(0), ir.V("diff")))),
+					&ir.AccumAdd{Acc: "err", Val: ir.V("absdiff")},
+					ir.St("rank", ir.V("n"), ir.V("newr")),
+					ir.St("nextin", ir.V("n"), ir.CF(0)),
+				},
+			},
+		},
+		Pipe: []ir.PipeStmt{&ir.LoopConverge{
+			Acc: "err", Eps: PREps, MaxIter: PRMaxIter,
+			Body: []ir.PipeStmt{&ir.Invoke{Kernel: "scatter"}, &ir.Invoke{Kernel: "apply"}},
+		}},
+	}
+	return &Benchmark{
+		Name: "pr",
+		Prog: prog,
+		Verify: func(g *graph.CSR, _ func(string) []int32, getF func(string) []float32, _ int32) error {
+			got := getF("rank")
+			want := RefPR(g)
+			for i := range want {
+				if math.Abs(float64(got[i]-want[i])) > 1e-4+1e-2*float64(want[i]) {
+					return fmt.Errorf("pr rank of node %d = %g, want %g", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RefPR runs the same damped power iteration serially in float32 with the
+// same convergence rule.
+func RefPR(g *graph.CSR) []float32 {
+	n := int(g.NumNodes())
+	rank := make([]float32, n)
+	next := make([]float32, n)
+	inv := float32(1) / float32(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	base := float32(1-PRDamping) / float32(n)
+	for it := 0; it < PRMaxIter; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for u := int32(0); u < g.NumNodes(); u++ {
+			deg := g.Degree(u)
+			if deg == 0 {
+				continue
+			}
+			contrib := rank[u] / float32(deg)
+			for _, v := range g.Neighbors(u) {
+				next[v] += contrib
+			}
+		}
+		var err float32
+		for i := range rank {
+			newr := base + PRDamping*next[i]
+			d := newr - rank[i]
+			if d < 0 {
+				d = -d
+			}
+			err += d
+			rank[i] = newr
+		}
+		if err <= PREps {
+			break
+		}
+	}
+	return rank
+}

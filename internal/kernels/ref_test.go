@@ -1,0 +1,258 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func path4() *graph.CSR {
+	// 0 -1- 1 -2- 2 -3- 3 (undirected, weighted)
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 0, W: 1},
+		{Src: 1, Dst: 2, W: 2}, {Src: 2, Dst: 1, W: 2},
+		{Src: 2, Dst: 3, W: 3}, {Src: 3, Dst: 2, W: 3},
+	}, true)
+	if err != nil {
+		panic(err)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func TestRefBFSPath(t *testing.T) {
+	lvl := RefBFS(path4(), 0)
+	want := []int32{0, 1, 2, 3}
+	for i, w := range want {
+		if lvl[i] != w {
+			t.Errorf("lvl[%d] = %d, want %d", i, lvl[i], w)
+		}
+	}
+	// Unreachable nodes stay Inf; out-of-range source is total.
+	iso, _ := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1, W: 1}}, false)
+	lvl = RefBFS(iso, 0)
+	if lvl[2] != Inf {
+		t.Error("unreachable node must stay Inf")
+	}
+	lvl = RefBFS(iso, -1)
+	if lvl[0] != Inf {
+		t.Error("invalid source must reach nothing")
+	}
+}
+
+func TestRefSSSPPath(t *testing.T) {
+	dist := RefSSSP(path4(), 0)
+	want := []int32{0, 1, 3, 6}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], w)
+		}
+	}
+}
+
+// Property: on unit-weight graphs, SSSP distances equal BFS levels.
+func TestSSSPEqualsBFSOnUnitWeights(t *testing.T) {
+	f := func(seed uint16) bool {
+		g := graph.Random(64, 256, 1, uint64(seed))
+		src := g.MaxDegreeNode()
+		bfs := RefBFS(g, src)
+		sssp := RefSSSP(g, src)
+		for i := range bfs {
+			if bfs[i] != sssp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefCCPartitions(t *testing.T) {
+	// Two components: {0,1,2}, {3,4}.
+	g, _ := graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 0, W: 1},
+		{Src: 1, Dst: 2, W: 1}, {Src: 2, Dst: 1, W: 1},
+		{Src: 3, Dst: 4, W: 1}, {Src: 4, Dst: 3, W: 1},
+	}, false)
+	comp := RefCC(g)
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("first component split")
+	}
+	if comp[3] != comp[4] || comp[0] == comp[3] {
+		t.Error("components merged or split")
+	}
+	// Labels are component minima.
+	if comp[0] != 0 || comp[3] != 3 {
+		t.Errorf("labels not minima: %v", comp)
+	}
+}
+
+func TestRefTRICounts(t *testing.T) {
+	// A triangle plus a pendant edge: exactly one triangle.
+	g, _ := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 0, W: 1},
+		{Src: 1, Dst: 2, W: 1}, {Src: 2, Dst: 1, W: 1},
+		{Src: 0, Dst: 2, W: 1}, {Src: 2, Dst: 0, W: 1},
+		{Src: 2, Dst: 3, W: 1}, {Src: 3, Dst: 2, W: 1},
+	}, false)
+	g.SortAdjacency()
+	if got := RefTRI(g); got != 1 {
+		t.Errorf("triangles = %d, want 1", got)
+	}
+	// K4 has 4 triangles.
+	var edges []graph.Edge
+	for u := int32(0); u < 4; u++ {
+		for v := int32(0); v < 4; v++ {
+			if u != v {
+				edges = append(edges, graph.Edge{Src: u, Dst: v, W: 1})
+			}
+		}
+	}
+	k4, _ := graph.FromEdges(4, edges, false)
+	k4.SortAdjacency()
+	if got := RefTRI(k4); got != 4 {
+		t.Errorf("K4 triangles = %d, want 4", got)
+	}
+}
+
+func TestRefMISIndependentAndMaximal(t *testing.T) {
+	g := graph.Road(8, 8, 4, 3).Symmetrize()
+	pri := make([]int32, g.NumNodes())
+	for i := range pri {
+		pri[i] = int32((i * 2654435761) & 0x7fffffff)
+	}
+	in := RefMIS(g, pri)
+	for u := int32(0); u < g.NumNodes(); u++ {
+		if in[u] {
+			for _, v := range g.Neighbors(u) {
+				if in[v] {
+					t.Fatalf("adjacent nodes %d,%d both in set", u, v)
+				}
+			}
+		} else {
+			// Maximality: some neighbor must be in the set.
+			any := false
+			for _, v := range g.Neighbors(u) {
+				if in[v] {
+					any = true
+				}
+			}
+			if !any {
+				t.Fatalf("node %d excluded with no in-set neighbor", u)
+			}
+		}
+	}
+}
+
+func TestRefMSTPath(t *testing.T) {
+	// MST of the weighted path is all edges: 1+2+3 = 6.
+	if got := RefMST(path4()); got != 6 {
+		t.Errorf("path MST = %d, want 6", got)
+	}
+	// A cycle with one heavy edge: the heavy edge is dropped.
+	g, _ := graph.FromEdges(3, []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 0, W: 1},
+		{Src: 1, Dst: 2, W: 2}, {Src: 2, Dst: 1, W: 2},
+		{Src: 0, Dst: 2, W: 10}, {Src: 2, Dst: 0, W: 10},
+	}, true)
+	if got := RefMST(g); got != 3 {
+		t.Errorf("cycle MST = %d, want 3", got)
+	}
+}
+
+func TestRefPRSumsToOne(t *testing.T) {
+	g := graph.Random(128, 1024, 4, 5)
+	rank := RefPR(g)
+	var sum float64
+	for _, r := range rank {
+		sum += float64(r)
+	}
+	// Dangling nodes leak mass; with edgefactor 8 the leak is small.
+	if sum < 0.5 || sum > 1.05 {
+		t.Errorf("rank sum = %v, want ~1", sum)
+	}
+}
+
+func TestSuiteRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("suite has %d benchmarks, want 10", len(names))
+	}
+	want := []string{"bfs-wl", "bfs-cx", "bfs-tp", "bfs-hb", "sssp-nf", "cc", "tri", "mis", "pr", "mst"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("benchmark %d = %s, want %s", i, names[i], n)
+		}
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%s): %v", n, err)
+		}
+	}
+	if _, err := ByName("apsp"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	// Symmetric requirements.
+	for _, n := range []string{"cc", "tri", "mis", "mst"} {
+		b, _ := ByName(n)
+		if !b.NeedsSymmetric {
+			t.Errorf("%s should need a symmetric input", n)
+		}
+	}
+	for _, n := range []string{"bfs-wl", "sssp-nf", "pr"} {
+		b, _ := ByName(n)
+		if b.NeedsSymmetric {
+			t.Errorf("%s should not need a symmetric input", n)
+		}
+	}
+}
+
+func TestSSSPParamsPickDelta(t *testing.T) {
+	b, _ := ByName("sssp-nf")
+	g := graph.Road(8, 8, 64, 1)
+	p := b.Params(g)
+	if p["delta"] < 1 || p["delta"] > 64 {
+		t.Errorf("delta = %d", p["delta"])
+	}
+}
+
+func TestRefKCoreProperties(t *testing.T) {
+	g := graph.RMAT(9, 8, 8, 7).Symmetrize()
+	for _, k := range []int32{2, 3, 5} {
+		in := RefKCore(g, k)
+		for u := int32(0); u < g.NumNodes(); u++ {
+			if !in[u] {
+				continue
+			}
+			var live int32
+			for _, v := range g.Neighbors(u) {
+				if in[v] {
+					live++
+				}
+			}
+			if live < k {
+				t.Fatalf("k=%d: node %d kept with %d live neighbors", k, u, live)
+			}
+		}
+	}
+	// Monotone: the 5-core is contained in the 2-core.
+	in2, in5 := RefKCore(g, 2), RefKCore(g, 5)
+	for i := range in5 {
+		if in5[i] && !in2[i] {
+			t.Fatal("5-core not contained in 2-core")
+		}
+	}
+}
+
+func TestKCoreExtensionRegistered(t *testing.T) {
+	if len(All()) != 10 {
+		t.Fatal("paper suite must stay at 10 benchmarks")
+	}
+	if len(AllWithExtensions()) != 12 {
+		t.Fatal("extension suite should add kcore and pr-delta")
+	}
+	if _, err := ByName("kcore"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package machine
+
+// MemModel is a lightweight cache-hierarchy simulator: direct-mapped L1 and
+// L2 per core plus a shared L3, probed with synthetic byte addresses. It
+// exists to give the cost model locality — gather cost depends on which level
+// each lane's address hits (Table VI), and optimizations that change
+// iteration order (Fibers, Section IV-A2) change hit rates.
+//
+// Direct-mapped tag arrays keep a probe at a handful of nanoseconds so whole
+// benchmark graphs can be simulated. Associativity is deliberately ignored:
+// conflict detail is irrelevant to the paper's shapes.
+type MemModel struct {
+	cfg *Config
+	l1  []cacheArr // per core
+	l2  []cacheArr // per core
+	l3  cacheArr   // shared (absent when L3Size == 0)
+
+	lineShift uint
+
+	// Counters.
+	Hits     [NumLevels]int64
+	Accesses int64
+}
+
+type cacheArr struct {
+	tags []int64
+	mask int64
+}
+
+func newCacheArr(sizeBytes, lineSize int) cacheArr {
+	sets := sizeBytes / lineSize
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two for mask indexing.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	tags := make([]int64, p)
+	for i := range tags {
+		tags[i] = -1
+	}
+	return cacheArr{tags: tags, mask: int64(p - 1)}
+}
+
+func (c *cacheArr) probe(lineAddr int64) bool {
+	slot := &c.tags[lineAddr&c.mask]
+	if *slot == lineAddr {
+		return true
+	}
+	*slot = lineAddr
+	return false
+}
+
+// NewMemModel builds a memory model for the given machine.
+func NewMemModel(cfg *Config) *MemModel {
+	mm := &MemModel{cfg: cfg}
+	ls := cfg.LineSize
+	if ls == 0 {
+		ls = 64
+	}
+	for mm.lineShift = 0; 1<<mm.lineShift < ls; mm.lineShift++ {
+	}
+	mm.l1 = make([]cacheArr, cfg.Cores)
+	mm.l2 = make([]cacheArr, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		mm.l1[i] = newCacheArr(cfg.L1Size, ls)
+		mm.l2[i] = newCacheArr(cfg.L2Size, ls)
+	}
+	if cfg.L3Size > 0 {
+		mm.l3 = newCacheArr(cfg.L3Size, ls)
+	}
+	return mm
+}
+
+// Access simulates one data access by the given core and returns the level
+// that satisfied it, updating all levels on the way.
+func (mm *MemModel) Access(core int, addr int64) Level {
+	mm.Accesses++
+	if core >= len(mm.l1) {
+		core %= len(mm.l1)
+	}
+	line := addr >> mm.lineShift
+	if mm.l1[core].probe(line) {
+		mm.Hits[L1]++
+		return L1
+	}
+	if mm.l2[core].probe(line) {
+		mm.Hits[L2]++
+		return L2
+	}
+	if mm.l3.tags != nil && mm.l3.probe(line) {
+		mm.Hits[L3]++
+		return L3
+	}
+	mm.Hits[Mem]++
+	return Mem
+}
+
+// Reset clears all cache contents and counters.
+func (mm *MemModel) Reset() {
+	for i := range mm.l1 {
+		for j := range mm.l1[i].tags {
+			mm.l1[i].tags[j] = -1
+		}
+		for j := range mm.l2[i].tags {
+			mm.l2[i].tags[j] = -1
+		}
+	}
+	for j := range mm.l3.tags {
+		mm.l3.tags[j] = -1
+	}
+	mm.Hits = [NumLevels]int64{}
+	mm.Accesses = 0
+}
+
+// HitRate returns the fraction of accesses satisfied at the given level.
+func (mm *MemModel) HitRate(lvl Level) float64 {
+	if mm.Accesses == 0 {
+		return 0
+	}
+	return float64(mm.Hits[lvl]) / float64(mm.Accesses)
+}
+
+// AddrSpace hands out non-overlapping synthetic base addresses for the data
+// arrays a kernel touches, so cache and paging simulation see a realistic
+// layout. Bases are page-aligned and allocation is append-only.
+type AddrSpace struct {
+	next     int64
+	pageSize int64
+}
+
+// NewAddrSpace creates an address space with the given page alignment.
+func NewAddrSpace(pageSize int) *AddrSpace {
+	if pageSize <= 0 {
+		pageSize = 4 << 10
+	}
+	return &AddrSpace{next: int64(pageSize), pageSize: int64(pageSize)}
+}
+
+// Alloc reserves sizeBytes and returns the base address.
+func (as *AddrSpace) Alloc(sizeBytes int64) int64 {
+	base := as.next
+	n := (sizeBytes + as.pageSize - 1) / as.pageSize * as.pageSize
+	as.next += n
+	return base
+}
+
+// Footprint returns the total bytes allocated so far.
+func (as *AddrSpace) Footprint() int64 { return as.next - as.pageSize }

@@ -1,0 +1,361 @@
+// Package machine models the evaluation hardware: CPU core/SMT topology,
+// the cache hierarchy, per-ISA memory access costs and frequency. It converts
+// the instruction and memory-access streams produced by the SPMD engine into
+// modeled execution time.
+//
+// The absolute cost constants are calibrated from the paper's own
+// microbenchmarks (Table VI gather load-to-use latencies, Table II launch
+// overheads) and public latency figures for the three evaluation CPUs and the
+// Quadro P5000. Shapes — who wins, crossovers, scaling rolloffs — come from
+// the measured instruction streams, lane masks and memory traces, not from
+// these constants.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// Level identifies where a memory access was satisfied.
+type Level uint8
+
+const (
+	L1 Level = iota
+	L2
+	L3
+	Mem
+	NumLevels
+)
+
+var levelNames = [...]string{L1: "L1", L2: "L2", L3: "L3", Mem: "Mem"}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return "level?"
+}
+
+// Config describes one machine. All latencies are in core cycles unless noted.
+type Config struct {
+	Name    string
+	IsGPU   bool
+	Cores   int
+	SMTWays int     // hardware threads per core
+	FreqGHz float64 // used to convert cycles to wall time
+
+	// PreferredTarget is the ISA/width the paper uses on this machine.
+	PreferredTarget vec.Target
+	// DefaultTasks is the task count the paper launches on this machine.
+	DefaultTasks int
+
+	// IPC is the sustained scalar+vector issue rate of one hardware thread
+	// with no memory stalls. Out-of-order server cores sustain ~3; Phi's
+	// narrow cores ~1; a GPU SM warp-scheduler issues ~1 per cycle per
+	// scheduler (4 schedulers are folded into SM accounting in gpusim).
+	IPC float64
+
+	// Cache sizes in bytes. L1 and L2 are per-core, L3 is shared.
+	L1Size, L2Size, L3Size int
+	LineSize               int
+
+	// ScalarLoadCost is the effective per-access stall (cycles) for scalar
+	// loads satisfied at each level; out-of-order overlap is folded in,
+	// which is why L1/L2 are near zero on the big cores (Table VI:
+	// Scalar8 ≈ 0.30 ns per word at L1 ≈ fully hidden).
+	ScalarLoadCost [NumLevels]float64
+
+	// GatherLaneCost is the effective per-lane stall (cycles) for hardware
+	// gather instructions at each level. A gather cannot retire until its
+	// slowest lane arrives, which is why per-word gather cost exceeds the
+	// scalar cost on out-of-order cores (Table VI: AVX2 1.02 ns vs Scalar8
+	// 0.30 ns at L1).
+	GatherLaneCost [NumLevels]float64
+
+	// AtomicCycles is the latency of one hardware atomic RMW as seen by
+	// the issuing thread.
+	AtomicCycles float64
+
+	// AtomicSerialCycles is the system-wide serialization throughput cost
+	// of same-address atomics (the worklist tail). Zero means equal to
+	// AtomicCycles. GPUs resolve same-address atomics in the L2 at a few
+	// cycles per op, far below the per-thread latency — the reason massive
+	// warp counts can still share one worklist counter.
+	AtomicSerialCycles float64
+
+	// StallHideFactor scales exposed memory stalls (default 1 when zero).
+	// The GPU sets it well below 1: with up to 64 resident warps per SM the
+	// warp scheduler hides most memory latency, which is exactly why GPUs
+	// tolerate gathers that stall CPUs (Section III-D).
+	StallHideFactor float64
+
+	// ContentionFactor inflates L3/Mem stall costs as hardware threads
+	// fill up: cost *= 1 + ContentionFactor*(activeThreads-1)/(maxThreads-1).
+	// Calibrated from the paper's observation that AMD L3 latency rose
+	// 2.30x from 16 to 32 threads (Section IV-D2).
+	ContentionFactor float64
+
+	// BarrierBaseCycles+BarrierPerTaskCycles model an in-kernel barrier.
+	BarrierBaseCycles    float64
+	BarrierPerTaskCycles float64
+
+	// GPU-only: streaming multiprocessors, resident warps per SM, and PCIe
+	// bandwidth for host<->device transfers.
+	SMs          int
+	WarpsPerSM   int
+	PCIeGBs      float64
+	GPUMemGB     float64
+	FaultCostNS  float64 // cost of one demand-paging fault (UVM far-fault / CPU major fault)
+	MinorFaultNS float64 // CPU minor fault / page-table fill
+	PageSize     int     // paging granularity in bytes
+}
+
+// HWThreads returns the total hardware thread count.
+func (c *Config) HWThreads() int { return c.Cores * c.SMTWays }
+
+// CyclesToNS converts modeled cycles to nanoseconds.
+func (c *Config) CyclesToNS(cycles float64) float64 { return cycles / c.FreqGHz }
+
+// NSToCycles converts nanoseconds to modeled cycles.
+func (c *Config) NSToCycles(ns float64) float64 { return ns * c.FreqGHz }
+
+func (c *Config) String() string {
+	return fmt.Sprintf("%s (%dc/%dt @ %.1fGHz, %v)",
+		c.Name, c.Cores, c.HWThreads(), c.FreqGHz, c.PreferredTarget)
+}
+
+// Intel8 models the Xeon Silver 4108: 8 cores, 2-way SMT, AVX512, 1.8 GHz
+// base. The paper launches 16 tasks with the avx512-i32x16 target here.
+func Intel8() *Config {
+	return &Config{
+		Name:            "intel-xeon-4108",
+		Cores:           8,
+		SMTWays:         2,
+		FreqGHz:         1.8,
+		PreferredTarget: vec.TargetAVX512x16,
+		DefaultTasks:    16,
+		IPC:             3.0,
+		L1Size:          32 << 10,
+		L2Size:          1 << 20,
+		L3Size:          11 << 20,
+		LineSize:        64,
+		// Table VI (Intel column), converted at 1.8 GHz and de-rated for
+		// out-of-order overlap. The firm calibration point is L1, where the
+		// microcoded gather loses to scalar loads (1.02 vs 0.30 ns/word);
+		// at deeper levels the gather's 16-wide memory-level parallelism
+		// makes its effective per-lane cost competitive or better.
+		ScalarLoadCost: [NumLevels]float64{0.5, 2.0, 8.0, 55.0},
+		GatherLaneCost: [NumLevels]float64{1.7, 1.8, 3.5, 18.0},
+		AtomicCycles:   22,
+		// AMD showed 2.30x L3 inflation at full threads; Intel's mesh is a
+		// bit milder.
+		ContentionFactor:     1.1,
+		BarrierBaseCycles:    400,
+		BarrierPerTaskCycles: 60,
+		MinorFaultNS:         250,
+		FaultCostNS:          3500, // major fault to fast swap
+		PageSize:             4 << 10,
+	}
+}
+
+// AMD32 models the EPYC 7502P: 32 cores, 2-way SMT, AVX2, 2.5 GHz. The paper
+// launches 64 tasks with the avx2-i32x8 target here.
+func AMD32() *Config {
+	return &Config{
+		Name:                 "amd-epyc-7502p",
+		Cores:                32,
+		SMTWays:              2,
+		FreqGHz:              2.5,
+		PreferredTarget:      vec.TargetAVX2x8,
+		DefaultTasks:         64,
+		IPC:                  3.0,
+		L1Size:               32 << 10,
+		L2Size:               512 << 10,
+		L3Size:               128 << 20,
+		LineSize:             64,
+		ScalarLoadCost:       [NumLevels]float64{0.5, 2.2, 10.0, 70.0},
+		GatherLaneCost:       [NumLevels]float64{1.9, 2.0, 4.5, 24.0},
+		AtomicCycles:         25,
+		ContentionFactor:     1.3, // measured 2.30x L3 latency 16->32 threads
+		BarrierBaseCycles:    500,
+		BarrierPerTaskCycles: 50,
+		MinorFaultNS:         250,
+		FaultCostNS:          3500,
+		PageSize:             4 << 10,
+	}
+}
+
+// Phi72 models the Xeon Phi 7290: 72 cores, 4-way SMT, AVX512, 1.5 GHz,
+// narrow in-order-ish cores that cannot hide scalar load latency (Table VI:
+// Scalar16 at 1.51 ns/word vs AVX512 gather 0.98 ns — the only machine where
+// the gather wins).
+func Phi72() *Config {
+	return &Config{
+		Name:            "xeon-phi-7290",
+		Cores:           72,
+		SMTWays:         4,
+		FreqGHz:         1.5,
+		PreferredTarget: vec.TargetAVX512x16,
+		DefaultTasks:    288,
+		IPC:             1.0,
+		L1Size:          32 << 10,
+		L2Size:          512 << 10,
+		L3Size:          16 << 20, // MCDRAM-as-cache stand-in
+		LineSize:        64,
+		// Weak OoO: scalar loads barely overlap, so scalar per-word cost
+		// exceeds the gather's per-lane cost at L1.
+		ScalarLoadCost:       [NumLevels]float64{2.3, 6.0, 18.0, 120.0},
+		GatherLaneCost:       [NumLevels]float64{1.5, 3.0, 8.0, 45.0},
+		AtomicCycles:         40,
+		ContentionFactor:     2.2, // 72c x 4t saturates MCDRAM: Fig 10 shows 0.58x
+		BarrierBaseCycles:    900,
+		BarrierPerTaskCycles: 40,
+		MinorFaultNS:         400,
+		FaultCostNS:          5000,
+		PageSize:             4 << 10,
+	}
+}
+
+// QuadroP5000 models the GPU: 20 SMs, 32-wide warps, up to 64 resident warps
+// per SM, GDDR5X, PCIe 3.0 x16 (~12 GB/s effective), 16 GB device memory,
+// and UVM far-faults costing ~45 us per migrated page group.
+func QuadroP5000() *Config {
+	return &Config{
+		Name:  "quadro-p5000",
+		IsGPU: true,
+		Cores: 20, // SMs
+		// Each modeled task stands for a group of resident warps sharing a
+		// warp-scheduler slot; the full 64-warp residency shows up as
+		// latency hiding (StallHideFactor), not as 1280 modeled contexts.
+		SMTWays:         8,
+		FreqGHz:         1.6,
+		PreferredTarget: vec.TargetGPU32,
+		DefaultTasks:    20 * 8,
+		IPC:             4.0, // 4 warp schedulers per SM
+		StallHideFactor: 0.12,
+		L1Size:          48 << 10,
+		L2Size:          2 << 20, // device-wide L2 treated per-SM slice
+		L3Size:          0,
+		LineSize:        128,
+		// High raw latency, but warp-level SMT hides most of it; gpusim
+		// divides exposed stall by resident-warp occupancy.
+		ScalarLoadCost:       [NumLevels]float64{8, 30, 30, 350},
+		GatherLaneCost:       [NumLevels]float64{4, 20, 20, 300},
+		AtomicCycles:         30,
+		ContentionFactor:     0.4,
+		BarrierBaseCycles:    600,
+		BarrierPerTaskCycles: 2,
+		SMs:                  20,
+		WarpsPerSM:           64,
+		AtomicSerialCycles:   4,
+		PCIeGBs:              12.0,
+		GPUMemGB:             16.0,
+		FaultCostNS:          45000, // UVM far-fault + migration
+		MinorFaultNS:         45000,
+		PageSize:             64 << 10, // UVM migration granularity
+	}
+}
+
+// ARM64 models a Graviton2-class ARM server (extension beyond the paper,
+// which defers NEON evaluation to future work): 64 Neoverse-N1 cores, no
+// SMT, 2.5 GHz, 4-wide NEON without gathers, scatters or mask registers.
+func ARM64() *Config {
+	return &Config{
+		Name:            "arm-graviton2",
+		Cores:           64,
+		SMTWays:         1,
+		FreqGHz:         2.5,
+		PreferredTarget: vec.TargetNEON4,
+		DefaultTasks:    64,
+		IPC:             3.0,
+		L1Size:          64 << 10,
+		L2Size:          1 << 20,
+		L3Size:          32 << 20,
+		LineSize:        64,
+		ScalarLoadCost:  [NumLevels]float64{0.5, 2.0, 9.0, 65.0},
+		// No hardware gather: the emulated path uses scalar loads, so this
+		// table only covers the (unused) native-gather case symmetrically.
+		GatherLaneCost:       [NumLevels]float64{0.5, 2.0, 9.0, 65.0},
+		AtomicCycles:         28, // LSE atomics
+		ContentionFactor:     1.0,
+		BarrierBaseCycles:    500,
+		BarrierPerTaskCycles: 45,
+		MinorFaultNS:         250,
+		FaultCostNS:          3500,
+		PageSize:             4 << 10,
+	}
+}
+
+// ByName returns a predefined machine configuration.
+func ByName(name string) (*Config, error) {
+	switch name {
+	case "intel", "intel8", "xeon":
+		return Intel8(), nil
+	case "amd", "amd32", "epyc":
+		return AMD32(), nil
+	case "phi", "phi72", "knl":
+		return Phi72(), nil
+	case "gpu", "p5000", "quadro":
+		return QuadroP5000(), nil
+	case "arm", "arm64", "graviton":
+		return ARM64(), nil
+	}
+	return nil, fmt.Errorf("machine: unknown machine %q (want intel|amd|phi|gpu|arm)", name)
+}
+
+// SerialAtomicCost returns the serialization throughput cost of one
+// contended atomic.
+func (c *Config) SerialAtomicCost() float64 {
+	if c.AtomicSerialCycles > 0 {
+		return c.AtomicSerialCycles
+	}
+	return c.AtomicCycles
+}
+
+// LatencyScale returns the multiplier applied to L3/Mem stall costs when
+// active hardware threads out of the machine's total are running.
+func (c *Config) LatencyScale(activeThreads int) float64 {
+	total := c.HWThreads()
+	if activeThreads <= 1 || total <= 1 {
+		return 1
+	}
+	if activeThreads > total {
+		activeThreads = total
+	}
+	return 1 + c.ContentionFactor*float64(activeThreads-1)/float64(total-1)
+}
+
+// LoadCost returns the stall cost in cycles of a scalar load satisfied at
+// level lvl with the given active-thread contention.
+func (c *Config) LoadCost(lvl Level, activeThreads int) float64 {
+	cost := c.ScalarLoadCost[lvl]
+	if lvl >= L3 {
+		cost *= c.LatencyScale(activeThreads)
+	}
+	return cost
+}
+
+// GatherCost returns the stall cost in cycles of one lane of a hardware
+// gather satisfied at level lvl with the given contention.
+func (c *Config) GatherCost(lvl Level, activeThreads int) float64 {
+	cost := c.GatherLaneCost[lvl]
+	if lvl >= L3 {
+		cost *= c.LatencyScale(activeThreads)
+	}
+	return cost
+}
+
+// BarrierCost returns the modeled cost in cycles of one barrier across tasks.
+func (c *Config) BarrierCost(tasks int) float64 {
+	return c.BarrierBaseCycles + c.BarrierPerTaskCycles*float64(tasks)
+}
+
+// TransferNS returns the host<->device transfer time for n bytes, zero for
+// CPUs.
+func (c *Config) TransferNS(bytes int64) float64 {
+	if !c.IsGPU || c.PCIeGBs <= 0 {
+		return 0
+	}
+	return float64(bytes) / c.PCIeGBs // bytes / (GB/s) == ns
+}

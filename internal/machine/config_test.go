@@ -1,0 +1,133 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestPredefinedMachines(t *testing.T) {
+	intel, amd, phi, gpu := Intel8(), AMD32(), Phi72(), QuadroP5000()
+	if intel.HWThreads() != 16 {
+		t.Errorf("Intel threads = %d, want 16", intel.HWThreads())
+	}
+	if amd.HWThreads() != 64 {
+		t.Errorf("AMD threads = %d, want 64", amd.HWThreads())
+	}
+	if phi.HWThreads() != 288 {
+		t.Errorf("Phi threads = %d, want 288", phi.HWThreads())
+	}
+	if intel.PreferredTarget != vec.TargetAVX512x16 {
+		t.Error("Intel target should be avx512-i32x16")
+	}
+	if amd.PreferredTarget != vec.TargetAVX2x8 {
+		t.Error("AMD target should be avx2-i32x8")
+	}
+	if !gpu.IsGPU || gpu.SMs != 20 || gpu.PreferredTarget != vec.TargetGPU32 {
+		t.Error("GPU config wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"intel", "amd", "phi", "gpu", "epyc", "p5000"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("pdp11"); err == nil {
+		t.Error("ByName should reject unknown machines")
+	}
+}
+
+func TestCycleConversion(t *testing.T) {
+	c := Intel8() // 1.8 GHz
+	ns := c.CyclesToNS(1800)
+	if ns != 1000 {
+		t.Errorf("1800 cycles @1.8GHz = %v ns, want 1000", ns)
+	}
+	if got := c.NSToCycles(ns); got != 1800 {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestLatencyScaleMonotone(t *testing.T) {
+	c := AMD32()
+	prev := 0.0
+	for threads := 1; threads <= c.HWThreads(); threads *= 2 {
+		s := c.LatencyScale(threads)
+		if s < prev {
+			t.Fatalf("LatencyScale not monotone at %d threads: %v < %v", threads, s, prev)
+		}
+		prev = s
+	}
+	if c.LatencyScale(1) != 1 {
+		t.Error("single thread must have no contention")
+	}
+	full := c.LatencyScale(c.HWThreads())
+	if full < 2.0 || full > 2.6 {
+		t.Errorf("AMD full-thread L3 inflation = %vx, want ~2.3x (paper measurement)", full)
+	}
+	// Clamps above the thread count.
+	if c.LatencyScale(10*c.HWThreads()) != full {
+		t.Error("LatencyScale should clamp at HWThreads")
+	}
+}
+
+func TestLoadAndGatherCosts(t *testing.T) {
+	c := Intel8()
+	// Deeper levels cost strictly more.
+	for lvl := L1; lvl < Mem; lvl++ {
+		if c.LoadCost(lvl, 1) >= c.LoadCost(lvl+1, 1) {
+			t.Errorf("scalar cost not increasing at %v", lvl)
+		}
+		if c.GatherCost(lvl, 1) >= c.GatherCost(lvl+1, 1) {
+			t.Errorf("gather cost not increasing at %v", lvl)
+		}
+	}
+	// On the big OoO cores the gather per-lane cost exceeds the scalar
+	// per-word cost (the paper's Table VI observation)...
+	if c.GatherCost(L1, 1) <= c.LoadCost(L1, 1) {
+		t.Error("Intel gather should cost more per word than scalar at L1")
+	}
+	// ...while on Phi the gather wins at L1 (the only machine where it does).
+	phi := Phi72()
+	if phi.GatherCost(L1, 1) >= phi.LoadCost(L1, 1) {
+		t.Error("Phi gather should cost less per word than scalar at L1")
+	}
+	// Contention only affects L3 and beyond.
+	if c.LoadCost(L1, 16) != c.LoadCost(L1, 1) {
+		t.Error("L1 cost must not see contention")
+	}
+	if c.LoadCost(Mem, 16) <= c.LoadCost(Mem, 1) {
+		t.Error("Mem cost must rise with contention")
+	}
+}
+
+func TestBarrierCost(t *testing.T) {
+	c := Intel8()
+	if c.BarrierCost(16) <= c.BarrierCost(1) {
+		t.Error("barrier cost should grow with tasks")
+	}
+}
+
+func TestTransferNS(t *testing.T) {
+	gpu := QuadroP5000()
+	cpu := Intel8()
+	if cpu.TransferNS(1<<30) != 0 {
+		t.Error("CPU transfers must be free")
+	}
+	got := gpu.TransferNS(12 << 30) // 12 GB at 12 GB/s ~ 1 s
+	if got < 0.9e9 || got > 1.2e9 {
+		t.Errorf("GPU transfer of 12GB = %v ns, want ~1e9", got)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := Intel8().String()
+	if s == "" {
+		t.Error("empty String")
+	}
+	if L3.String() != "L3" || Mem.String() != "Mem" {
+		t.Error("level names wrong")
+	}
+}

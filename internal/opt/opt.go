@@ -1,0 +1,219 @@
+// Package opt implements the GPU-derived throughput optimizations the paper
+// retargets to CPU SIMD, as IR-to-IR annotation passes:
+//
+//   - Iteration Outlining (IO): move the iterative Pipe loop inside a single
+//     task launch, replacing per-iteration launches with in-kernel barriers
+//     (Section III-A, Listing 2).
+//   - Nested Parallelism (NP): replace the serial per-lane edge loop with the
+//     inspector-executor scheduler that redistributes skewed inner-loop work
+//     across lanes (Section III-B2, Fig. 2).
+//   - Cooperative Conversion (CC): aggregate per-lane atomic worklist pushes
+//     into one atomic per vector at task level (Section III-C).
+//   - Fibers: emulate CUDA thread blocks by multiplexing virtual tasks onto
+//     each OS thread, enabling fiber-level CC where push counts are
+//     computable in advance (Section III-B1).
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Options selects which optimizations to apply. The zero value is the
+// unoptimized SIMD build.
+type Options struct {
+	IO      bool
+	NP      bool
+	CC      bool
+	Fibers  bool
+	FiberCC bool
+}
+
+// None returns the unoptimized configuration.
+func None() Options { return Options{} }
+
+// All returns the fully optimized configuration the paper calls "EGACS".
+func All() Options {
+	return Options{IO: true, NP: true, CC: true, Fibers: true, FiberCC: true}
+}
+
+// Parse reads a +-separated option string such as "io+np+cc" or "all"/"none".
+func Parse(s string) (Options, error) {
+	switch s {
+	case "", "none", "unopt":
+		return None(), nil
+	case "all":
+		return All(), nil
+	}
+	var o Options
+	for _, part := range strings.Split(s, "+") {
+		switch part {
+		case "io":
+			o.IO = true
+		case "np":
+			o.NP = true
+		case "cc":
+			o.CC = true
+		case "fibers":
+			o.Fibers = true
+		case "fibercc":
+			o.Fibers, o.FiberCC = true, true
+		default:
+			return Options{}, fmt.Errorf("opt: unknown optimization %q", part)
+		}
+	}
+	return o, nil
+}
+
+func (o Options) String() string {
+	if o == (Options{}) {
+		return "none"
+	}
+	var parts []string
+	if o.IO {
+		parts = append(parts, "io")
+	}
+	if o.NP {
+		parts = append(parts, "np")
+	}
+	if o.CC {
+		parts = append(parts, "cc")
+	}
+	if o.Fibers {
+		parts = append(parts, "fibers")
+	}
+	if o.FiberCC {
+		parts = append(parts, "fibercc")
+	}
+	return strings.Join(parts, "+")
+}
+
+// Apply clones the program and runs the selected passes, returning the
+// transformed program. The input is never modified. The result is
+// re-validated; pass bugs surface here rather than in the backend.
+func Apply(p *ir.Program, o Options) (*ir.Program, error) {
+	out := Simplify(p) // scalar cleanups run unconditionally, as in ISPC/LLVM
+	if o.IO {
+		iterationOutlining(out)
+	}
+	if o.NP {
+		nestedParallelism(out)
+	}
+	if o.CC {
+		cooperativeConversion(out)
+	}
+	if o.Fibers {
+		fibers(out, o.FiberCC && o.CC)
+	}
+	if err := ir.Validate(out); err != nil {
+		return nil, fmt.Errorf("opt: %v produced invalid IR: %w", o, err)
+	}
+	return out, nil
+}
+
+// MustApply is Apply for known-valid programs (kernels shipped in-tree).
+func MustApply(p *ir.Program, o Options) *ir.Program {
+	out, err := Apply(p, o)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// iterationOutlining marks the pipe for single-launch execution. The backend
+// then runs the whole driver loop inside one launch, synchronizing rounds
+// with barriers, exactly as Listing 2 transforms bfs into bfs_loop.
+func iterationOutlining(p *ir.Program) {
+	p.Outline = ir.Outlined
+}
+
+// nestedParallelism switches edge loops to the inspector-executor schedule.
+// Loops whose bodies assign variables declared outside the loop are skipped:
+// redistribution runs bodies on permuted lane frames whose register writes
+// are discarded, so such loops cannot be redistributed (they must write
+// through arrays, atomics or pushes to be NP-eligible).
+func nestedParallelism(p *ir.Program) {
+	for _, k := range p.Kernels {
+		ir.WalkStmts(k.Body, func(s ir.Stmt) {
+			if fe, ok := s.(*ir.ForEdges); ok && edgeLoopNPSafe(fe) {
+				fe.Sched = ir.SchedNP
+			}
+		})
+	}
+}
+
+// edgeLoopNPSafe reports whether every variable the body assigns is declared
+// inside the body (statements appear in program order, so declarations are
+// walked before their uses).
+func edgeLoopNPSafe(fe *ir.ForEdges) bool {
+	declared := map[string]bool{fe.EdgeVar: true}
+	safe := true
+	ir.WalkStmts(fe.Body, func(s ir.Stmt) {
+		switch s := s.(type) {
+		case *ir.Decl:
+			declared[s.Name] = true
+		case *ir.AtomicMin:
+			if s.Success != "" {
+				declared[s.Success] = true
+			}
+		case *ir.AtomicCAS:
+			if s.Success != "" {
+				declared[s.Success] = true
+			}
+		case *ir.ForEdges:
+			declared[s.EdgeVar] = true
+		case *ir.Assign:
+			if !declared[s.Name] {
+				safe = false
+			}
+		}
+	})
+	return safe
+}
+
+// cooperativeConversion aggregates pushes at task level.
+func cooperativeConversion(p *ir.Program) {
+	for _, k := range p.Kernels {
+		ir.WalkStmts(k.Body, func(s ir.Stmt) {
+			if push, ok := s.(*ir.Push); ok {
+				push.Mode = ir.PushCoop
+			}
+		})
+	}
+}
+
+// fibers enables thread-block emulation on every kernel; when fiberCC is set
+// it additionally upgrades pushes to bulk-reserved mode in kernels whose
+// push count is computable in advance (bfs-cx, bfs-hb).
+func fibers(p *ir.Program, fiberCC bool) {
+	for _, k := range p.Kernels {
+		k.Fibers = true
+		if fiberCC && k.PushCountComputable {
+			k.FiberCC = true
+			ir.WalkStmts(k.Body, func(s ir.Stmt) {
+				if push, ok := s.(*ir.Push); ok {
+					push.Mode = ir.PushReserved
+				}
+			})
+		}
+	}
+}
+
+// Configs returns the named optimization combinations evaluated in Fig. 5,
+// in presentation order.
+func Configs() []struct {
+	Name string
+	Opts Options
+} {
+	return []struct {
+		Name string
+		Opts Options
+	}{
+		{"unopt", None()},
+		{"io", Options{IO: true}},
+		{"io+cc+np", Options{IO: true, CC: true, NP: true}},
+		{"io+cc+np+fibers", Options{IO: true, CC: true, NP: true, Fibers: true, FiberCC: true}},
+	}
+}

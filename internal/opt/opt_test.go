@@ -1,0 +1,216 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// testProgram builds a worklist program with one edge loop and one push,
+// marked push-count-computable so fiber-level CC applies.
+func testProgram() *ir.Program {
+	return &ir.Program{
+		Name: "test",
+		Arrays: []ir.ArrayDecl{
+			{Name: "lvl", T: ir.I32, Size: ir.SizeNodes, Init: ir.InitSplatExceptSrc, InitI: 1 << 30},
+		},
+		WLInit:     ir.WLSrc,
+		WLCapEdges: true,
+		Kernels: []*ir.Kernel{{
+			Name:                "k",
+			Domain:              ir.DomainWL,
+			ItemVar:             "node",
+			PushCountComputable: true,
+			Body: []ir.Stmt{
+				ir.ForE("e", ir.V("node"),
+					ir.DeclI("dst", &ir.EdgeDst{Edge: ir.V("e")}),
+					ir.IfS(ir.EqE(ir.Ld("lvl", ir.V("dst")), ir.CI(1<<30)),
+						ir.PushOut(ir.V("dst"))),
+				),
+			},
+		}},
+		Pipe: []ir.PipeStmt{&ir.LoopWL{Body: []ir.PipeStmt{&ir.Invoke{Kernel: "k"}}}},
+	}
+}
+
+func findForEdges(k *ir.Kernel) *ir.ForEdges {
+	var fe *ir.ForEdges
+	ir.WalkStmts(k.Body, func(s ir.Stmt) {
+		if f, ok := s.(*ir.ForEdges); ok {
+			fe = f
+		}
+	})
+	return fe
+}
+
+func findPush(k *ir.Kernel) *ir.Push {
+	var p *ir.Push
+	ir.WalkStmts(k.Body, func(s ir.Stmt) {
+		if pp, ok := s.(*ir.Push); ok {
+			p = pp
+		}
+	})
+	return p
+}
+
+func TestApplyNoneLeavesDefaults(t *testing.T) {
+	p := testProgram()
+	out, err := Apply(p, None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := out.Kernels[0]
+	if out.Outline != ir.LaunchPerIteration {
+		t.Error("unexpected outlining")
+	}
+	if findForEdges(k).Sched != ir.SchedSerial {
+		t.Error("unexpected NP")
+	}
+	if findPush(k).Mode != ir.PushUnopt {
+		t.Error("unexpected CC")
+	}
+	if k.Fibers || k.FiberCC {
+		t.Error("unexpected fibers")
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	p := testProgram()
+	out, err := Apply(p, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := out.Kernels[0]
+	if out.Outline != ir.Outlined {
+		t.Error("IO not applied")
+	}
+	if findForEdges(k).Sched != ir.SchedNP {
+		t.Error("NP not applied")
+	}
+	if !k.Fibers || !k.FiberCC {
+		t.Error("fibers not applied")
+	}
+	if findPush(k).Mode != ir.PushReserved {
+		t.Error("fiber-level CC should upgrade pushes to reserved mode")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	p := testProgram()
+	if _, err := Apply(p, All()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Outline != ir.LaunchPerIteration {
+		t.Error("input outlining mutated")
+	}
+	if p.Kernels[0].Fibers {
+		t.Error("input kernel mutated")
+	}
+	if findPush(p.Kernels[0]).Mode != ir.PushUnopt {
+		t.Error("input push mutated")
+	}
+	if findForEdges(p.Kernels[0]).Sched != ir.SchedSerial {
+		t.Error("input edge loop mutated")
+	}
+}
+
+func TestFiberCCRequiresComputablePushes(t *testing.T) {
+	p := testProgram()
+	p.Kernels[0].PushCountComputable = false
+	out, err := Apply(p, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := out.Kernels[0]
+	if k.FiberCC {
+		t.Error("fiber CC applied to non-computable kernel")
+	}
+	// Task-level CC still applies.
+	if findPush(k).Mode != ir.PushCoop {
+		t.Error("task-level CC should still apply")
+	}
+	if !k.Fibers {
+		t.Error("fibers should still apply")
+	}
+}
+
+func TestCCWithoutFibers(t *testing.T) {
+	out, err := Apply(testProgram(), Options{CC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findPush(out.Kernels[0]).Mode != ir.PushCoop {
+		t.Error("CC alone should use coop pushes")
+	}
+	if out.Kernels[0].Fibers {
+		t.Error("fibers leaked in")
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	cases := map[string]Options{
+		"":                None(),
+		"none":            None(),
+		"all":             All(),
+		"io":              {IO: true},
+		"io+cc+np":        {IO: true, CC: true, NP: true},
+		"io+fibercc":      {IO: true, Fibers: true, FiberCC: true},
+		"np+cc+fibers+io": {IO: true, NP: true, CC: true, Fibers: true},
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := Parse("io+warp"); err == nil {
+		t.Error("Parse accepted unknown pass")
+	}
+	if All().String() != "io+np+cc+fibers+fibercc" {
+		t.Errorf("All().String() = %q", All().String())
+	}
+	if None().String() != "none" {
+		t.Errorf("None().String() = %q", None().String())
+	}
+}
+
+func TestConfigsCoverFig5(t *testing.T) {
+	cfgs := Configs()
+	if len(cfgs) != 4 {
+		t.Fatalf("Configs = %d entries", len(cfgs))
+	}
+	if cfgs[0].Name != "unopt" || cfgs[3].Opts.Fibers != true {
+		t.Error("Configs order wrong")
+	}
+}
+
+func TestMustApplyPanicsOnInvalid(t *testing.T) {
+	p := testProgram()
+	// A store to an undeclared array is invalid and survives simplification
+	// (a dead pure assignment would just be eliminated).
+	p.Kernels[0].Body = []ir.Stmt{ir.St("ghost", ir.CI(0), ir.CI(1))}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustApply(p, All())
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := testProgram()
+	c := p.Clone()
+	c.Kernels[0].Name = "changed"
+	c.Arrays[0].Name = "changed"
+	findPush(c.Kernels[0]).Mode = ir.PushCoop
+	if p.Kernels[0].Name != "k" || p.Arrays[0].Name != "lvl" {
+		t.Error("clone shares kernel/array metadata")
+	}
+	if findPush(p.Kernels[0]).Mode != ir.PushUnopt {
+		t.Error("clone shares statements")
+	}
+}

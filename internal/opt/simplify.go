@@ -1,0 +1,443 @@
+package opt
+
+import "repro/internal/ir"
+
+// Simplify performs the classic scalar cleanups the original compiler
+// inherits from ISPC/LLVM: constant folding, algebraic identities,
+// branch folding on constant predicates, and elimination of unused
+// declarations. It runs before the throughput passes in Apply so the
+// annotated IR the backend sees is already clean.
+//
+// Folding is deliberately conservative: only pure arithmetic is folded
+// (loads and graph accessors have cost-model side effects and are never
+// dropped unless the whole declaration is dead), and division/remainder by a
+// constant zero is left in place to preserve the target's total semantics.
+func Simplify(p *ir.Program) *ir.Program {
+	out := p.Clone()
+	for _, k := range out.Kernels {
+		// Folding and dead-code elimination enable each other (a dead decl
+		// can empty an if, an emptied if can kill a decl), so iterate to a
+		// fixpoint; kernel bodies are small, convergence takes 2-3 rounds.
+		for {
+			before := countStmts(k.Body)
+			k.Body = simplifyStmts(k.Body)
+			k.Body = eliminateDeadDecls(k.Body)
+			if countStmts(k.Body) == before {
+				break
+			}
+		}
+		if len(k.Body) == 0 {
+			// The whole kernel was dead code. Keep a no-op anchor so the
+			// IR stays valid (the backend still owes the kernel's launch
+			// and scheduling semantics even when its body does nothing).
+			k.Body = []ir.Stmt{ir.DeclI("_nop", ir.V(k.ItemVar))}
+		}
+	}
+	return out
+}
+
+func countStmts(ss []ir.Stmt) int {
+	n := 0
+	ir.WalkStmts(ss, func(ir.Stmt) { n++ })
+	return n
+}
+
+// --- constant folding ---
+
+// constOf extracts an int literal.
+func constOf(e ir.Expr) (int32, bool) {
+	c, ok := e.(*ir.ConstI)
+	if !ok {
+		return 0, false
+	}
+	return c.V, true
+}
+
+func constFOf(e ir.Expr) (float32, bool) {
+	c, ok := e.(*ir.ConstF)
+	if !ok {
+		return 0, false
+	}
+	return c.V, true
+}
+
+// boolConst represents a folded predicate: nil = unknown.
+func foldPredicate(e ir.Expr) (bool, bool) {
+	b, ok := e.(*ir.Bin)
+	if !ok || !b.Op.IsCompare() {
+		return false, false
+	}
+	a, okA := constOf(b.A)
+	c, okB := constOf(b.B)
+	if !okA || !okB {
+		return false, false
+	}
+	switch b.Op {
+	case ir.Eq:
+		return a == c, true
+	case ir.Ne:
+		return a != c, true
+	case ir.Lt:
+		return a < c, true
+	case ir.Le:
+		return a <= c, true
+	case ir.Gt:
+		return a > c, true
+	case ir.Ge:
+		return a >= c, true
+	}
+	return false, false
+}
+
+func foldExpr(e ir.Expr) ir.Expr {
+	switch e := e.(type) {
+	case *ir.Bin:
+		e.A, e.B = foldExpr(e.A), foldExpr(e.B)
+		if e.Op.IsLogical() || e.Op.IsCompare() {
+			return e
+		}
+		if av, ok := constOf(e.A); ok {
+			if bv, ok := constOf(e.B); ok {
+				if v, ok := foldIntOp(e.Op, av, bv); ok {
+					return ir.CI(v)
+				}
+				return e
+			}
+		}
+		if av, ok := constFOf(e.A); ok {
+			if bv, ok := constFOf(e.B); ok {
+				if v, ok := foldFloatOp(e.Op, av, bv); ok {
+					return ir.CF(v)
+				}
+				return e
+			}
+		}
+		return foldIdentity(e)
+	case *ir.Not:
+		e.A = foldExpr(e.A)
+		if inner, ok := e.A.(*ir.Not); ok {
+			return inner.A // !!x -> x
+		}
+		return e
+	case *ir.Sel:
+		e.Cond, e.A, e.B = foldExpr(e.Cond), foldExpr(e.A), foldExpr(e.B)
+		if v, ok := foldPredicate(e.Cond); ok {
+			if v {
+				return e.A
+			}
+			return e.B
+		}
+		return e
+	case *ir.Load:
+		e.Idx = foldExpr(e.Idx)
+		return e
+	case *ir.RowStart:
+		e.Node = foldExpr(e.Node)
+		return e
+	case *ir.RowEnd:
+		e.Node = foldExpr(e.Node)
+		return e
+	case *ir.EdgeDst:
+		e.Edge = foldExpr(e.Edge)
+		return e
+	case *ir.EdgeWt:
+		e.Edge = foldExpr(e.Edge)
+		return e
+	case *ir.ToF:
+		e.A = foldExpr(e.A)
+		if v, ok := constOf(e.A); ok {
+			return ir.CF(float32(v))
+		}
+		return e
+	case *ir.ToI:
+		e.A = foldExpr(e.A)
+		if v, ok := constFOf(e.A); ok {
+			return ir.CI(int32(v))
+		}
+		return e
+	default:
+		return e
+	}
+}
+
+func foldIntOp(op ir.BinOp, a, b int32) (int32, bool) {
+	switch op {
+	case ir.Add:
+		return a + b, true
+	case ir.Sub:
+		return a - b, true
+	case ir.Mul:
+		return a * b, true
+	case ir.Div:
+		if b == 0 {
+			return 0, false // preserve the runtime's total-division semantics
+		}
+		return a / b, true
+	case ir.Rem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.And:
+		return a & b, true
+	case ir.Or:
+		return a | b, true
+	case ir.Xor:
+		return a ^ b, true
+	case ir.Shl:
+		return a << (uint32(b) & 31), true
+	case ir.Shr:
+		return a >> (uint32(b) & 31), true
+	case ir.Min:
+		if a < b {
+			return a, true
+		}
+		return b, true
+	case ir.Max:
+		if a > b {
+			return a, true
+		}
+		return b, true
+	}
+	return 0, false
+}
+
+func foldFloatOp(op ir.BinOp, a, b float32) (float32, bool) {
+	switch op {
+	case ir.Add:
+		return a + b, true
+	case ir.Sub:
+		return a - b, true
+	case ir.Mul:
+		return a * b, true
+	case ir.Div:
+		return a / b, true
+	case ir.Min:
+		if a < b {
+			return a, true
+		}
+		return b, true
+	case ir.Max:
+		if a > b {
+			return a, true
+		}
+		return b, true
+	}
+	return 0, false
+}
+
+// foldIdentity applies x+0, x-0, x*1, x*0, x|0, x&-1, x^0, x<<0, x>>0.
+// Only the right operand is matched (the canonical form the kernels use);
+// x*0 folds to 0 only when x is side-effect free.
+func foldIdentity(e *ir.Bin) ir.Expr {
+	bv, ok := constOf(e.B)
+	if !ok {
+		return e
+	}
+	switch {
+	case bv == 0 && (e.Op == ir.Add || e.Op == ir.Sub || e.Op == ir.Or ||
+		e.Op == ir.Xor || e.Op == ir.Shl || e.Op == ir.Shr):
+		return e.A
+	case bv == 1 && e.Op == ir.Mul:
+		return e.A
+	case bv == 0 && e.Op == ir.Mul && pureExpr(e.A):
+		return ir.CI(0)
+	case bv == -1 && e.Op == ir.And:
+		return e.A
+	}
+	return e
+}
+
+// pureExpr reports whether evaluating e has no cost-model side effects
+// (no memory accesses).
+func pureExpr(e ir.Expr) bool {
+	switch e := e.(type) {
+	case *ir.ConstI, *ir.ConstF, *ir.Param, *ir.Var, *ir.NumNodes:
+		return true
+	case *ir.Bin:
+		return pureExpr(e.A) && pureExpr(e.B)
+	case *ir.Not:
+		return pureExpr(e.A)
+	case *ir.Sel:
+		return pureExpr(e.Cond) && pureExpr(e.A) && pureExpr(e.B)
+	case *ir.ToF:
+		return pureExpr(e.A)
+	case *ir.ToI:
+		return pureExpr(e.A)
+	default:
+		// Loads, graph accessors: cost-model effects.
+		return false
+	}
+}
+
+// --- statement simplification ---
+
+func simplifyStmts(ss []ir.Stmt) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, simplifyStmt(s)...)
+	}
+	return out
+}
+
+func simplifyStmt(s ir.Stmt) []ir.Stmt {
+	switch s := s.(type) {
+	case *ir.Decl:
+		s.Init = foldExpr(s.Init)
+	case *ir.Assign:
+		s.Val = foldExpr(s.Val)
+	case *ir.Store:
+		s.Idx, s.Val = foldExpr(s.Idx), foldExpr(s.Val)
+	case *ir.If:
+		s.Cond = foldExpr(s.Cond)
+		s.Then = simplifyStmts(s.Then)
+		s.Else = simplifyStmts(s.Else)
+		if v, ok := foldPredicate(s.Cond); ok {
+			if v {
+				return s.Then
+			}
+			return s.Else
+		}
+		if len(s.Then) == 0 && len(s.Else) == 0 {
+			return nil
+		}
+	case *ir.While:
+		s.Cond = foldExpr(s.Cond)
+		s.Body = simplifyStmts(s.Body)
+		if v, ok := foldPredicate(s.Cond); ok && !v {
+			return nil // while(false)
+		}
+	case *ir.ForEdges:
+		s.Node = foldExpr(s.Node)
+		s.Body = simplifyStmts(s.Body)
+	case *ir.Push:
+		s.Val = foldExpr(s.Val)
+	case *ir.AtomicMin:
+		s.Idx, s.Val = foldExpr(s.Idx), foldExpr(s.Val)
+	case *ir.AtomicCAS:
+		s.Idx, s.Old, s.New = foldExpr(s.Idx), foldExpr(s.Old), foldExpr(s.New)
+	case *ir.AtomicAdd:
+		s.Idx, s.Val = foldExpr(s.Idx), foldExpr(s.Val)
+	case *ir.AccumAdd:
+		s.Val = foldExpr(s.Val)
+	}
+	return []ir.Stmt{s}
+}
+
+// --- dead declaration elimination ---
+
+// eliminateDeadDecls removes Decl statements whose variable is never read
+// and whose initializer is pure, iterating to a fixpoint (removing one dead
+// declaration can kill another).
+func eliminateDeadDecls(ss []ir.Stmt) []ir.Stmt {
+	for {
+		uses := map[string]int{}
+		countUses(ss, uses)
+		// Assignments whose value has cost-model effects cannot be removed,
+		// which keeps their target's declaration live too.
+		pinned := map[string]bool{}
+		ir.WalkStmts(ss, func(s ir.Stmt) {
+			if a, ok := s.(*ir.Assign); ok && !pureExpr(a.Val) {
+				pinned[a.Name] = true
+			}
+		})
+		removed := false
+		ss = filterDecls(ss, uses, pinned, &removed)
+		if !removed {
+			return ss
+		}
+	}
+}
+
+func countUses(ss []ir.Stmt, uses map[string]int) {
+	var visitExpr func(e ir.Expr)
+	visitExpr = func(e ir.Expr) {
+		switch e := e.(type) {
+		case *ir.Var:
+			uses[e.Name]++
+		case *ir.Bin:
+			visitExpr(e.A)
+			visitExpr(e.B)
+		case *ir.Not:
+			visitExpr(e.A)
+		case *ir.Sel:
+			visitExpr(e.Cond)
+			visitExpr(e.A)
+			visitExpr(e.B)
+		case *ir.Load:
+			visitExpr(e.Idx)
+		case *ir.RowStart:
+			visitExpr(e.Node)
+		case *ir.RowEnd:
+			visitExpr(e.Node)
+		case *ir.EdgeDst:
+			visitExpr(e.Edge)
+		case *ir.EdgeWt:
+			visitExpr(e.Edge)
+		case *ir.ToF:
+			visitExpr(e.A)
+		case *ir.ToI:
+			visitExpr(e.A)
+		}
+	}
+	ir.WalkStmts(ss, func(s ir.Stmt) {
+		switch s := s.(type) {
+		case *ir.Decl:
+			visitExpr(s.Init)
+		case *ir.Assign:
+			// An assignment keeps the variable alive only if something
+			// reads it; the write itself is not a use, but its value is.
+			visitExpr(s.Val)
+		case *ir.Store:
+			visitExpr(s.Idx)
+			visitExpr(s.Val)
+		case *ir.If:
+			visitExpr(s.Cond)
+		case *ir.While:
+			visitExpr(s.Cond)
+		case *ir.ForEdges:
+			visitExpr(s.Node)
+		case *ir.Push:
+			visitExpr(s.Val)
+		case *ir.AtomicMin:
+			visitExpr(s.Idx)
+			visitExpr(s.Val)
+		case *ir.AtomicCAS:
+			visitExpr(s.Idx)
+			visitExpr(s.Old)
+			visitExpr(s.New)
+		case *ir.AtomicAdd:
+			visitExpr(s.Idx)
+			visitExpr(s.Val)
+		case *ir.AccumAdd:
+			visitExpr(s.Val)
+		}
+	})
+}
+
+func filterDecls(ss []ir.Stmt, uses map[string]int, pinned map[string]bool, removed *bool) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(ss))
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *ir.Decl:
+			if uses[s.Name] == 0 && !pinned[s.Name] && pureExpr(s.Init) {
+				*removed = true
+				continue
+			}
+		case *ir.Assign:
+			if uses[s.Name] == 0 && pureExpr(s.Val) {
+				*removed = true
+				continue
+			}
+		case *ir.If:
+			s.Then = filterDecls(s.Then, uses, pinned, removed)
+			s.Else = filterDecls(s.Else, uses, pinned, removed)
+		case *ir.While:
+			s.Body = filterDecls(s.Body, uses, pinned, removed)
+		case *ir.ForEdges:
+			s.Body = filterDecls(s.Body, uses, pinned, removed)
+		}
+		out = append(out, s)
+	}
+	return out
+}

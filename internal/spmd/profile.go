@@ -1,0 +1,128 @@
+package spmd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Phase profiling attributes engine statistics and modeled cycles to named
+// phases (the compiled kernels). Attribution is snapshot-based: MarkPhase
+// closes the running phase and opens the next, so the per-op hot paths pay
+// nothing. Cooperative scheduling guarantees all tasks pass a kernel
+// boundary before any proceeds, so phase transitions are globally ordered.
+type profiler struct {
+	phases   map[string]*PhaseStats
+	current  string
+	lastStat Stats
+	lastCyc  float64
+}
+
+// PhaseStats is one phase's share of a run. Visits counts task-level
+// entries (one kernel invocation across T tasks contributes T visits).
+type PhaseStats struct {
+	Name   string
+	Stats  Stats
+	Cycles float64
+	Visits int64
+}
+
+// EnableProfiling turns on phase attribution (small constant overhead per
+// kernel invocation).
+func (e *Engine) EnableProfiling() {
+	e.prof = &profiler{phases: map[string]*PhaseStats{}}
+}
+
+// MarkPhase records entry into a named phase; the interval since the last
+// mark is attributed to the previous phase. No-op unless profiling is on.
+func (e *Engine) MarkPhase(name string) {
+	p := e.prof
+	if p == nil {
+		return
+	}
+	p.flush(e)
+	p.current = name
+	ps := p.phases[name]
+	if ps == nil {
+		ps = &PhaseStats{Name: name}
+		p.phases[name] = ps
+	}
+	ps.Visits++
+}
+
+func (p *profiler) flush(e *Engine) {
+	if p.current != "" {
+		ps := p.phases[p.current]
+		delta := e.Stats
+		deltaSub(&delta, &p.lastStat)
+		ps.Stats.Add(&delta)
+		ps.Cycles += e.cycles - p.lastCyc
+	}
+	p.lastStat = e.Stats
+	p.lastCyc = e.cycles
+}
+
+// deltaSub computes a - b in place (counters only grow, so deltas are
+// non-negative).
+func deltaSub(a, b *Stats) {
+	a.Instructions -= b.Instructions
+	for i := range a.ByClass {
+		a.ByClass[i] -= b.ByClass[i]
+	}
+	a.VectorOps -= b.VectorOps
+	a.ScalarOps -= b.ScalarOps
+	a.Atomics -= b.Atomics
+	a.AtomicPushes -= b.AtomicPushes
+	a.InnerVectorOps -= b.InnerVectorOps
+	a.InnerActiveLanes -= b.InnerActiveLanes
+	a.Launches -= b.Launches
+	a.Barriers -= b.Barriers
+	a.WorkItems -= b.WorkItems
+	a.PageFaults -= b.PageFaults
+}
+
+// Profile closes the running phase and returns per-phase statistics sorted
+// by descending cycles. Nil when profiling is off.
+func (e *Engine) Profile() []*PhaseStats {
+	if e.prof == nil {
+		return nil
+	}
+	e.prof.flush(e)
+	e.prof.current = ""
+	out := make([]*PhaseStats, 0, len(e.prof.phases))
+	for _, ps := range e.prof.phases {
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteProfile renders the profile as an aligned table.
+func (e *Engine) WriteProfile(w io.Writer) {
+	phases := e.Profile()
+	if phases == nil {
+		fmt.Fprintln(w, "profiling not enabled")
+		return
+	}
+	var total float64
+	for _, ps := range phases {
+		total += ps.Cycles
+	}
+	fmt.Fprintf(w, "%-12s %8s %7s %12s %10s %8s %8s\n",
+		"phase", "ms", "%time", "instrs", "atomics", "visits", "util%")
+	for _, ps := range phases {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * ps.Cycles / total
+		}
+		fmt.Fprintf(w, "%-12s %8.3f %6.1f%% %12d %10d %8d %7.1f%%\n",
+			ps.Name, e.Machine.CyclesToNS(ps.Cycles)/1e6, pct,
+			ps.Stats.Instructions, ps.Stats.Atomics, ps.Visits,
+			100*ps.Stats.LaneUtilization(e.Width()))
+	}
+}

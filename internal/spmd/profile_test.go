@@ -1,0 +1,72 @@
+package spmd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/vec"
+)
+
+func TestProfileAttributesPhases(t *testing.T) {
+	e := New(machine.Intel8(), vec.TargetAVX512x16, 2)
+	e.EnableProfiling()
+	e.Launch(2, func(tc *TaskCtx) {
+		e.MarkPhase("light")
+		tc.OpN(vec.ClassALU, false, 10)
+		tc.Barrier()
+		e.MarkPhase("heavy")
+		tc.OpN(vec.ClassALU, false, 100000)
+	})
+	phases := e.Profile()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	// Sorted by cycles: heavy first.
+	if phases[0].Name != "heavy" || phases[1].Name != "light" {
+		t.Fatalf("order: %s, %s", phases[0].Name, phases[1].Name)
+	}
+	if phases[0].Stats.Instructions != 200000 {
+		t.Errorf("heavy instrs = %d, want 200000 (2 tasks x 100000)", phases[0].Stats.Instructions)
+	}
+	if phases[1].Stats.Instructions != 20 {
+		t.Errorf("light instrs = %d, want 20", phases[1].Stats.Instructions)
+	}
+	if phases[0].Visits != 2 || phases[1].Visits != 2 {
+		t.Errorf("visits = %d/%d, want 2 each (task-level)", phases[0].Visits, phases[1].Visits)
+	}
+	if phases[0].Cycles <= phases[1].Cycles {
+		t.Error("heavy phase should carry more cycles")
+	}
+}
+
+func TestProfileDisabledIsNil(t *testing.T) {
+	e := New(machine.Intel8(), vec.TargetAVX512x16, 1)
+	e.MarkPhase("x") // no-op
+	if e.Profile() != nil {
+		t.Error("Profile without EnableProfiling should be nil")
+	}
+	var buf bytes.Buffer
+	e.WriteProfile(&buf)
+	if !strings.Contains(buf.String(), "not enabled") {
+		t.Errorf("disabled render: %q", buf.String())
+	}
+}
+
+func TestWriteProfileRenders(t *testing.T) {
+	e := New(machine.Intel8(), vec.TargetAVX512x16, 1)
+	e.EnableProfiling()
+	e.Launch(1, func(tc *TaskCtx) {
+		e.MarkPhase("work")
+		tc.OpN(vec.ClassALU, false, 5)
+	})
+	var buf bytes.Buffer
+	e.WriteProfile(&buf)
+	out := buf.String()
+	for _, want := range []string{"phase", "work", "%time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}

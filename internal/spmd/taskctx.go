@@ -1,0 +1,407 @@
+package spmd
+
+import (
+	"repro/internal/machine"
+	"repro/internal/vec"
+)
+
+// TaskCtx is the per-task execution context handed to launch bodies. It
+// exposes the ISPC builtins (taskIndex/taskCount/programCount), cost-counted
+// memory and atomic primitives, and the in-kernel barrier.
+//
+// The compiled kernels perform all vector computation through internal/vec
+// directly and report instruction costs through Op/InnerOp; memory and
+// atomics go through the methods here so that cache, paging and contention
+// modeling see every access.
+type TaskCtx struct {
+	E     *Engine
+	Index int // taskIndex
+	Count int // taskCount
+	Width int // programCount
+
+	hw, core int
+
+	compute float64 // cycles of issued instructions since last barrier
+	stall   float64 // cycles of exposed memory/atomic stalls since last barrier
+
+	resume, yield chan struct{}
+	done          bool
+	abort         bool
+	panicked      any
+}
+
+type abortSentinel struct{}
+
+// Barrier synchronizes all live tasks of the current launch.
+func (tc *TaskCtx) Barrier() {
+	tc.yield <- struct{}{}
+	<-tc.resume
+	if tc.abort {
+		panic(abortSentinel{})
+	}
+}
+
+// Aborted reports whether the scheduler asked this task to unwind.
+func (tc *TaskCtx) Aborted() bool { return tc.abort }
+
+// --- Instruction accounting ---
+
+// Op records one logical vector operation of the given class, lowering it to
+// the target's dynamic instruction count.
+func (tc *TaskCtx) Op(class vec.OpClass, masked bool) {
+	n := int64(tc.E.Target.Lower(class, masked))
+	tc.E.Stats.Instructions += n
+	tc.E.Stats.ByClass[class] += n
+	tc.E.Stats.VectorOps++
+	tc.compute += float64(n) / tc.E.Machine.IPC
+}
+
+// OpN records n logical vector operations of the given class.
+func (tc *TaskCtx) OpN(class vec.OpClass, masked bool, n int) {
+	if n <= 0 {
+		return
+	}
+	in := int64(tc.E.Target.Lower(class, masked)) * int64(n)
+	tc.E.Stats.Instructions += in
+	tc.E.Stats.ByClass[class] += in
+	tc.E.Stats.VectorOps += int64(n)
+	tc.compute += float64(in) / tc.E.Machine.IPC
+}
+
+// InnerOp records one vector operation inside a kernel's inner (edge) loop
+// together with its active lane count, feeding the Table IV lane-utilization
+// measurement.
+func (tc *TaskCtx) InnerOp(class vec.OpClass, masked bool, active int) {
+	tc.Op(class, masked)
+	tc.E.Stats.InnerVectorOps++
+	tc.E.Stats.InnerActiveLanes += int64(active)
+}
+
+// ScalarOps records n uniform scalar ALU instructions.
+func (tc *TaskCtx) ScalarOps(n int) {
+	if n <= 0 {
+		return
+	}
+	tc.E.Stats.Instructions += int64(n)
+	tc.E.Stats.ByClass[vec.ClassScalar] += int64(n)
+	tc.E.Stats.ScalarOps += int64(n)
+	tc.compute += float64(n) / tc.E.Machine.IPC
+}
+
+// Work records processed worklist items (a useful-work proxy).
+func (tc *TaskCtx) Work(n int) { tc.E.Stats.WorkItems += int64(n) }
+
+func (tc *TaskCtx) addStall(cycles float64) {
+	tc.stall += cycles * tc.E.StallScale
+}
+
+func (tc *TaskCtx) touchPage(addr int64) {
+	if tc.E.Pager == nil {
+		return
+	}
+	ns, fault := tc.E.Pager.Touch(addr)
+	if fault {
+		tc.E.Stats.PageFaults++
+	}
+	if ns > 0 {
+		tc.E.faultNS += ns
+	}
+}
+
+// access runs one address through the cache model and pager and returns the
+// level that satisfied it.
+func (tc *TaskCtx) access(addr int64) machine.Level {
+	tc.touchPage(addr)
+	return tc.E.Mem.Access(tc.core, addr)
+}
+
+// --- Memory operations ---
+
+// GatherI gathers a.I[idx[i]] for active lanes with full cost accounting.
+// inner marks inner-loop operations for utilization measurement.
+func (tc *TaskCtx) GatherI(a *Array, idx vec.Vec, m vec.Mask, old vec.Vec, inner bool) vec.Vec {
+	if inner {
+		tc.InnerOp(vec.ClassGather, true, m.PopCount())
+	} else {
+		tc.Op(vec.ClassGather, true)
+	}
+	native := tc.E.Target.HasNativeGather()
+	for i := 0; i < tc.Width; i++ {
+		if !m.Bit(i) {
+			continue
+		}
+		lvl := tc.access(a.Addr(idx[i]))
+		if native {
+			tc.addStall(tc.E.Machine.GatherCost(lvl, tc.E.activeThreads))
+		} else {
+			tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+		}
+	}
+	return vec.Gather(a.I, idx, m, tc.Width, old)
+}
+
+// GatherF is GatherI for float arrays.
+func (tc *TaskCtx) GatherF(a *Array, idx vec.Vec, m vec.Mask, old vec.FVec, inner bool) vec.FVec {
+	if inner {
+		tc.InnerOp(vec.ClassGather, true, m.PopCount())
+	} else {
+		tc.Op(vec.ClassGather, true)
+	}
+	native := tc.E.Target.HasNativeGather()
+	for i := 0; i < tc.Width; i++ {
+		if !m.Bit(i) {
+			continue
+		}
+		lvl := tc.access(a.Addr(idx[i]))
+		if native {
+			tc.addStall(tc.E.Machine.GatherCost(lvl, tc.E.activeThreads))
+		} else {
+			tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+		}
+	}
+	return vec.GatherF(a.F, idx, m, tc.Width, old)
+}
+
+// ScatterI scatters val to a.I[idx[i]] for active lanes.
+func (tc *TaskCtx) ScatterI(a *Array, idx, val vec.Vec, m vec.Mask) {
+	tc.Op(vec.ClassScatter, true)
+	for i := 0; i < tc.Width; i++ {
+		if m.Bit(i) {
+			tc.access(a.Addr(idx[i]))
+		}
+	}
+	// Stores retire through the write buffer; no exposed stall is charged,
+	// matching the scalar-store treatment.
+	vec.Scatter(a.I, idx, val, m, tc.Width)
+}
+
+// ScatterF is ScatterI for float arrays.
+func (tc *TaskCtx) ScatterF(a *Array, idx vec.Vec, val vec.FVec, m vec.Mask) {
+	tc.Op(vec.ClassScatter, true)
+	for i := 0; i < tc.Width; i++ {
+		if m.Bit(i) {
+			tc.access(a.Addr(idx[i]))
+		}
+	}
+	vec.ScatterF(a.F, idx, val, m, tc.Width)
+}
+
+// LoadVecI performs a unit-stride vector load from a.I[start:].
+func (tc *TaskCtx) LoadVecI(a *Array, start int32, m vec.Mask, old vec.Vec) vec.Vec {
+	tc.Op(vec.ClassVLoad, false)
+	for i := 0; i < tc.Width; i++ {
+		if m.Bit(i) {
+			lvl := tc.access(a.Addr(start + int32(i)))
+			if i == 0 || lvl != machine.L1 {
+				tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+			}
+		}
+	}
+	return vec.LoadConsecutive(a.I, start, m, tc.Width, old)
+}
+
+// StoreVecI performs a unit-stride vector store to a.I[start:].
+func (tc *TaskCtx) StoreVecI(a *Array, start int32, val vec.Vec, m vec.Mask) {
+	tc.Op(vec.ClassVStore, m != vec.FullMask(tc.Width))
+	for i := 0; i < tc.Width; i++ {
+		if m.Bit(i) {
+			tc.access(a.Addr(start + int32(i)))
+		}
+	}
+	vec.StoreConsecutive(a.I, start, val, m, tc.Width)
+}
+
+// PackedStore packs active lanes of val to a.I[start:] and returns the count
+// (ISPC packed_store_active).
+func (tc *TaskCtx) PackedStore(a *Array, start int32, val vec.Vec, m vec.Mask) int {
+	tc.Op(vec.ClassPacked, true)
+	n := m.PopCount()
+	for i := 0; i < n; i++ {
+		tc.access(a.Addr(start + int32(i)))
+	}
+	return vec.PackedStoreActive(a.I, start, val, m, tc.Width)
+}
+
+// ScalarLoadI loads a.I[idx] as a uniform value.
+func (tc *TaskCtx) ScalarLoadI(a *Array, idx int32) int32 {
+	tc.E.Stats.Instructions++
+	tc.E.Stats.ByClass[vec.ClassScalarLoad]++
+	tc.E.Stats.ScalarOps++
+	tc.compute += 1 / tc.E.Machine.IPC
+	lvl := tc.access(a.Addr(idx))
+	tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+	return a.I[idx]
+}
+
+// ScalarStoreI stores a uniform value to a.I[idx].
+func (tc *TaskCtx) ScalarStoreI(a *Array, idx int32, v int32) {
+	tc.E.Stats.Instructions++
+	tc.E.Stats.ByClass[vec.ClassScalarStore]++
+	tc.E.Stats.ScalarOps++
+	tc.compute += 1 / tc.E.Machine.IPC
+	tc.access(a.Addr(idx))
+	a.I[idx] = v
+}
+
+// ScalarLoadF loads a.F[idx] as a uniform float.
+func (tc *TaskCtx) ScalarLoadF(a *Array, idx int32) float32 {
+	tc.E.Stats.Instructions++
+	tc.E.Stats.ByClass[vec.ClassScalarLoad]++
+	tc.E.Stats.ScalarOps++
+	tc.compute += 1 / tc.E.Machine.IPC
+	lvl := tc.access(a.Addr(idx))
+	tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+	return a.F[idx]
+}
+
+// ScalarStoreF stores a uniform float to a.F[idx].
+func (tc *TaskCtx) ScalarStoreF(a *Array, idx int32, v float32) {
+	tc.E.Stats.Instructions++
+	tc.E.Stats.ByClass[vec.ClassScalarStore]++
+	tc.E.Stats.ScalarOps++
+	tc.compute += 1 / tc.E.Machine.IPC
+	tc.access(a.Addr(idx))
+	a.F[idx] = v
+}
+
+// --- Atomic operations ---
+
+// countAtomics records n hardware atomics. contended marks atomics that hit
+// a shared location (worklist tail index): those serialize across all tasks
+// and impose a segment-wide floor on progress. push marks worklist pushes
+// for the Table V counter.
+func (tc *TaskCtx) countAtomics(n int, contended, push bool) {
+	if n <= 0 {
+		return
+	}
+	tc.E.Stats.Atomics += int64(n)
+	tc.E.Stats.Instructions += int64(n)
+	tc.E.Stats.ByClass[vec.ClassAtomic] += int64(n)
+	if push {
+		tc.E.Stats.AtomicPushes += int64(n)
+	}
+	tc.addStall(tc.E.Machine.AtomicCycles * float64(n))
+	if contended {
+		tc.E.segSerialAtomics += tc.E.Machine.SerialAtomicCost() * float64(n)
+	}
+}
+
+// AtomicAddScalar atomically adds delta to a.I[idx] and returns the old
+// value (a lock xadd on a shared scalar — the worklist-reservation pattern).
+func (tc *TaskCtx) AtomicAddScalar(a *Array, idx int32, delta int32, push bool) int32 {
+	tc.access(a.Addr(idx))
+	tc.countAtomics(1, true, push)
+	old := a.I[idx]
+	a.I[idx] = old + delta
+	return old
+}
+
+// AtomicUpdateScalar atomically overwrites a.I[idx] (a CAS/atomic-min on a
+// per-node location: uncontended, no global serialization floor) and
+// returns the old value.
+func (tc *TaskCtx) AtomicUpdateScalar(a *Array, idx int32, newVal int32) int32 {
+	tc.access(a.Addr(idx))
+	tc.countAtomics(1, false, false)
+	old := a.I[idx]
+	a.I[idx] = newVal
+	return old
+}
+
+// AtomicAddLanes performs per-lane atomic adds: a.I[idx[i]] += val[i] for
+// active lanes (the unoptimized vector-to-vector atomic class, lowered to a
+// hardware atomic per active lane).
+func (tc *TaskCtx) AtomicAddLanes(a *Array, idx, val vec.Vec, m vec.Mask, push bool) {
+	n := m.PopCount()
+	for i := 0; i < tc.Width; i++ {
+		if m.Bit(i) {
+			tc.access(a.Addr(idx[i]))
+			a.I[idx[i]] += val[i]
+		}
+	}
+	tc.countAtomics(n, false, push)
+}
+
+// AtomicAddLanesContended is AtomicAddLanes against a shared scalar location
+// (all lanes target the same address): the unoptimized worklist push pattern.
+func (tc *TaskCtx) AtomicAddLanesContended(a *Array, idx int32, m vec.Mask, push bool) vec.Vec {
+	n := m.PopCount()
+	var out vec.Vec
+	for i := 0; i < tc.Width; i++ {
+		if m.Bit(i) {
+			tc.access(a.Addr(idx))
+			out[i] = a.I[idx]
+			a.I[idx]++
+		}
+	}
+	tc.countAtomics(n, true, push)
+	return out
+}
+
+// AtomicAddFLanes performs per-lane atomic float adds on distinct locations
+// (lowered to compare-exchange loops on hardware, as ISPC does for float
+// atomics — the pattern that makes PageRank atomic-heavy).
+func (tc *TaskCtx) AtomicAddFLanes(a *Array, idx vec.Vec, val vec.FVec, m vec.Mask) {
+	n := m.PopCount()
+	for i := 0; i < tc.Width; i++ {
+		if m.Bit(i) {
+			tc.access(a.Addr(idx[i]))
+			a.F[idx[i]] += val[i]
+		}
+	}
+	tc.countAtomics(n, false, false)
+}
+
+// AtomicAddFScalar atomically accumulates a float into a shared scalar
+// (vector-to-scalar reduction + one atomic, ISPC atomic_add_global).
+func (tc *TaskCtx) AtomicAddFScalar(a *Array, idx int32, delta float32) {
+	tc.Op(vec.ClassReduce, false)
+	tc.access(a.Addr(idx))
+	tc.countAtomics(1, true, false)
+	a.F[idx] += delta
+}
+
+// AtomicMinLanes performs per-lane atomic mins on distinct locations,
+// returning a mask of lanes that lowered the stored value (SSSP/BFS relax).
+func (tc *TaskCtx) AtomicMinLanes(a *Array, idx, val vec.Vec, m vec.Mask) vec.Mask {
+	var improved vec.Mask
+	n := 0
+	for i := 0; i < tc.Width; i++ {
+		if !m.Bit(i) {
+			continue
+		}
+		n++
+		tc.access(a.Addr(idx[i]))
+		if val[i] < a.I[idx[i]] {
+			a.I[idx[i]] = val[i]
+			improved = improved.Set(i)
+		}
+	}
+	tc.countAtomics(n, false, false)
+	return improved
+}
+
+// AtomicCASLanes performs per-lane compare-and-swap on distinct locations,
+// returning the mask of lanes that won (stored new).
+func (tc *TaskCtx) AtomicCASLanes(a *Array, idx, old, new vec.Vec, m vec.Mask) vec.Mask {
+	var won vec.Mask
+	n := 0
+	for i := 0; i < tc.Width; i++ {
+		if !m.Bit(i) {
+			continue
+		}
+		n++
+		tc.access(a.Addr(idx[i]))
+		if a.I[idx[i]] == old[i] {
+			a.I[idx[i]] = new[i]
+			won = won.Set(i)
+		}
+	}
+	tc.countAtomics(n, false, false)
+	return won
+}
+
+// LocalAtomicLanes models an ISPC local (intra-task) atomic: lockstep
+// execution means no hardware atomic is needed, only the lane loop.
+func (tc *TaskCtx) LocalAtomicLanes(m vec.Mask) {
+	tc.OpN(vec.ClassALU, true, 1)
+}

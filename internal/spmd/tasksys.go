@@ -1,0 +1,72 @@
+package spmd
+
+import "fmt"
+
+// TaskSystem models one of ISPC's selectable tasking back ends
+// (Section III-A). Functionally all systems run the same tasks; they differ
+// only in modeled overhead:
+//
+//   - LaunchBaseNS + LaunchPerTaskNS*tasks is charged per launch. Table II's
+//     empty-launch microbenchmark measures exactly this, with the pthread
+//     system the slowest and Cilk the fastest.
+//   - RuntimePerLaunchNS is additional steady-state overhead (steal queues,
+//     wakeup fan-out) charged only for launches that do real work. It is why
+//     OpenMP, not Cilk, is the fastest system on the real BFS-WL benchmark
+//     (Table III) even though Cilk wins the empty-launch test.
+type TaskSystem struct {
+	Name               string
+	LaunchBaseNS       float64
+	LaunchPerTaskNS    float64
+	RuntimePerLaunchNS float64
+}
+
+// The five tasking systems ISPC supports on Linux, with overheads calibrated
+// to the relative ordering of Tables II and III. EGACS uses the pinned
+// pthread system by default, as in the paper's evaluation setup.
+var (
+	Pthread = TaskSystem{
+		Name: "pthread", LaunchBaseNS: 9000, LaunchPerTaskNS: 850, RuntimePerLaunchNS: 2500,
+	}
+	PthreadFS = TaskSystem{
+		Name: "pthread_fs", LaunchBaseNS: 4200, LaunchPerTaskNS: 420, RuntimePerLaunchNS: 1800,
+	}
+	Cilk = TaskSystem{
+		Name: "cilk", LaunchBaseNS: 700, LaunchPerTaskNS: 55, RuntimePerLaunchNS: 2200,
+	}
+	OpenMP = TaskSystem{
+		Name: "openmp", LaunchBaseNS: 1100, LaunchPerTaskNS: 75, RuntimePerLaunchNS: 600,
+	}
+	TBB = TaskSystem{
+		Name: "tbb", LaunchBaseNS: 1600, LaunchPerTaskNS: 120, RuntimePerLaunchNS: 1400,
+	}
+	// CUDA models a GPU kernel launch: a near-constant host-side cost
+	// independent of the grid size (the hardware distributes blocks).
+	CUDA = TaskSystem{
+		Name: "cuda", LaunchBaseNS: 8000, LaunchPerTaskNS: 0, RuntimePerLaunchNS: 2000,
+	}
+)
+
+// TaskSystems lists all modeled systems in presentation order.
+func TaskSystems() []TaskSystem {
+	return []TaskSystem{Pthread, PthreadFS, Cilk, OpenMP, TBB}
+}
+
+// TaskSystemByName looks a system up by its name.
+func TaskSystemByName(name string) (TaskSystem, error) {
+	for _, ts := range TaskSystems() {
+		if ts.Name == name {
+			return ts, nil
+		}
+	}
+	return TaskSystem{}, fmt.Errorf("spmd: unknown task system %q", name)
+}
+
+// LaunchCostNS returns the modeled cost of one launch of n tasks. empty
+// selects the microbenchmark condition (no steady-state runtime overhead).
+func (ts TaskSystem) LaunchCostNS(n int, empty bool) float64 {
+	c := ts.LaunchBaseNS + ts.LaunchPerTaskNS*float64(n)
+	if !empty {
+		c += ts.RuntimePerLaunchNS
+	}
+	return c
+}

@@ -1,0 +1,117 @@
+package vec
+
+// Memory primitives. Addresses are element indices into []int32 / []float32
+// backing arrays; the cache model (internal/machine) translates them to byte
+// addresses for locality accounting.
+
+// Gather loads base[idx[i]] into lane i for each active lane. Inactive lanes
+// keep old's value (merge semantics, matching AVX512 vpgatherdd {k}).
+// Out-of-range indices on active lanes panic: the IR validator guarantees
+// kernels never emit them, so a violation is an internal bug worth crashing
+// on rather than corrupting results.
+func Gather(base []int32, idx Vec, m Mask, w int, old Vec) Vec {
+	out := old
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			out[i] = base[idx[i]]
+		}
+	}
+	return out
+}
+
+// GatherF is Gather for float32 arrays.
+func GatherF(base []float32, idx Vec, m Mask, w int, old FVec) FVec {
+	out := old
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			out[i] = base[idx[i]]
+		}
+	}
+	return out
+}
+
+// Scatter stores lane i of val to base[idx[i]] for each active lane
+// (vpscatterdd). If two active lanes target the same index, the
+// highest-numbered lane wins, matching AVX512 scatter ordering.
+func Scatter(base []int32, idx Vec, val Vec, m Mask, w int) {
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			base[idx[i]] = val[i]
+		}
+	}
+}
+
+// ScatterF is Scatter for float32 arrays.
+func ScatterF(base []float32, idx Vec, val FVec, m Mask, w int) {
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			base[idx[i]] = val[i]
+		}
+	}
+}
+
+// LoadConsecutive loads base[start+i] into lane i for active lanes: the
+// standard vector load emitted for unit-stride accesses.
+func LoadConsecutive(base []int32, start int32, m Mask, w int, old Vec) Vec {
+	out := old
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			out[i] = base[start+int32(i)]
+		}
+	}
+	return out
+}
+
+// StoreConsecutive stores lane i to base[start+i] for active lanes.
+func StoreConsecutive(base []int32, start int32, val Vec, m Mask, w int) {
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			base[start+int32(i)] = val[i]
+		}
+	}
+}
+
+// PackedStoreActive packs the active lanes of val (in lane order) and stores
+// them to consecutive locations starting at base[start]. It returns the
+// number of lanes stored. This is ISPC's packed_store_active, the primitive
+// behind cooperative worklist pushes.
+func PackedStoreActive(base []int32, start int32, val Vec, m Mask, w int) int {
+	n := 0
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			base[start+int32(n)] = val[i]
+			n++
+		}
+	}
+	return n
+}
+
+// PackActive compacts the active lanes of val into the low lanes of the
+// result and reports how many there are. Used by the nested-parallelism
+// fine-grained scheduler to redistribute low-degree work.
+func PackActive(val Vec, m Mask, w int) (Vec, int) {
+	var out Vec
+	n := 0
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			out[n] = val[i]
+			n++
+		}
+	}
+	return out, n
+}
+
+// Broadcast returns a vector with every lane holding val's lane src
+// (vpbroadcastd on a selected element).
+func Broadcast(val Vec, src int) Vec {
+	return Splat(val[src])
+}
+
+// Extract returns lane i of v (vpextrd / movd).
+func Extract(v Vec, i int) int32 { return v[i] }
+
+// Insert returns v with lane i set to x (vpinsrd).
+func Insert(v Vec, i int, x int32) Vec {
+	v[i] = x
+	return v
+}

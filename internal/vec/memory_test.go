@@ -1,0 +1,190 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	base := make([]int32, 64)
+	for i := range base {
+		base[i] = int32(i * 10)
+	}
+	idx := FromSlice([]int32{3, 0, 63, 7, 7, 1, 2, 9})
+	old := Splat(-1)
+	got := Gather(base, idx, FullMask(8), 8, old)
+	want := []int32{30, 0, 630, 70, 70, 10, 20, 90}
+	for i, x := range want {
+		if got[i] != x {
+			t.Errorf("Gather lane %d = %d, want %d", i, got[i], x)
+		}
+	}
+	// Inactive lanes keep old value.
+	got = Gather(base, idx, Mask(0).Set(2), 8, old)
+	if got[0] != -1 || got[2] != 630 {
+		t.Errorf("merge-masked gather wrong: %v", got[:4])
+	}
+
+	dst := make([]int32, 64)
+	Scatter(dst, idx, Splat(7), FullMask(8), 8)
+	for _, i := range []int32{3, 0, 63, 7, 1, 2, 9} {
+		if dst[i] != 7 {
+			t.Errorf("Scatter missed index %d", i)
+		}
+	}
+	if dst[4] != 0 {
+		t.Error("Scatter wrote to untargeted index")
+	}
+}
+
+func TestScatterConflictHighestLaneWins(t *testing.T) {
+	dst := make([]int32, 4)
+	idx := FromSlice([]int32{2, 2, 2, 2})
+	val := FromSlice([]int32{10, 11, 12, 13})
+	Scatter(dst, idx, val, FullMask(4), 4)
+	if dst[2] != 13 {
+		t.Errorf("conflict resolution: got %d, want 13 (highest lane)", dst[2])
+	}
+}
+
+func TestGatherScatterF(t *testing.T) {
+	base := []float32{0.5, 1.5, 2.5, 3.5}
+	idx := FromSlice([]int32{2, 0})
+	got := GatherF(base, idx, FullMask(2), 2, SplatF(-1))
+	if got[0] != 2.5 || got[1] != 0.5 {
+		t.Errorf("GatherF = %v", got[:2])
+	}
+	dst := make([]float32, 4)
+	ScatterF(dst, idx, FVec{9.5, 8.5}, FullMask(2), 2)
+	if dst[2] != 9.5 || dst[0] != 8.5 {
+		t.Errorf("ScatterF = %v", dst)
+	}
+}
+
+func TestConsecutiveLoadStore(t *testing.T) {
+	base := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	v := LoadConsecutive(base, 2, FullMask(4), 4, Splat(-1))
+	for i := 0; i < 4; i++ {
+		if v[i] != int32(2+i) {
+			t.Fatalf("LoadConsecutive lane %d = %d", i, v[i])
+		}
+	}
+	StoreConsecutive(base, 5, Splat(99), Mask(0).Set(0).Set(2), 4)
+	if base[5] != 99 || base[6] != 6 || base[7] != 99 || base[8] != 8 {
+		t.Errorf("masked StoreConsecutive = %v", base[5:9])
+	}
+}
+
+func TestPackedStoreActive(t *testing.T) {
+	base := make([]int32, 8)
+	val := FromSlice([]int32{10, 11, 12, 13, 14, 15, 16, 17})
+	m := Mask(0).Set(1).Set(4).Set(7)
+	n := PackedStoreActive(base, 2, val, m, 8)
+	if n != 3 {
+		t.Fatalf("PackedStoreActive count = %d, want 3", n)
+	}
+	if base[2] != 11 || base[3] != 14 || base[4] != 17 {
+		t.Errorf("packed values = %v", base[2:5])
+	}
+	if base[0] != 0 || base[5] != 0 {
+		t.Error("PackedStoreActive wrote outside its range")
+	}
+}
+
+// Property: PackedStoreActive stores exactly PopCount(m) values in lane
+// order, equal to the active lanes of val.
+func TestPackedStoreActiveProperty(t *testing.T) {
+	f := func(raw [16]int32, mraw uint16) bool {
+		val := FromSlice(raw[:])
+		m := Mask(mraw)
+		base := make([]int32, 20)
+		n := PackedStoreActive(base, 0, val, m, 16)
+		if n != m.PopCount() {
+			return false
+		}
+		k := 0
+		for i := 0; i < 16; i++ {
+			if m.Bit(i) {
+				if base[k] != raw[i] {
+					return false
+				}
+				k++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackActive(t *testing.T) {
+	val := FromSlice([]int32{10, 11, 12, 13})
+	packed, n := PackActive(val, Mask(0).Set(0).Set(3), 4)
+	if n != 2 || packed[0] != 10 || packed[1] != 13 {
+		t.Errorf("PackActive = %v n=%d", packed[:2], n)
+	}
+}
+
+func TestBroadcastExtractInsert(t *testing.T) {
+	v := FromSlice([]int32{5, 6, 7, 8})
+	b := Broadcast(v, 2)
+	if b[0] != 7 || b[31] != 7 {
+		t.Errorf("Broadcast = %v", b[:4])
+	}
+	if Extract(v, 3) != 8 {
+		t.Error("Extract wrong")
+	}
+	v2 := Insert(v, 1, 42)
+	if v2[1] != 42 || v[1] != 6 {
+		t.Error("Insert must copy")
+	}
+}
+
+func TestGatherPanicsOnActiveOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range active lane")
+		}
+	}()
+	base := make([]int32, 4)
+	Gather(base, Splat(100), FullMask(4), 4, Vec{})
+}
+
+func TestGatherIgnoresInactiveOutOfRange(t *testing.T) {
+	base := make([]int32, 4)
+	idx := FromSlice([]int32{1, 9999, 2, -5})
+	got := Gather(base, idx, Mask(0).Set(0).Set(2), 4, Splat(-7))
+	if got[1] != -7 || got[3] != -7 {
+		t.Errorf("inactive lanes disturbed: %v", got[:4])
+	}
+}
+
+func BenchmarkGather16(b *testing.B) {
+	base := make([]int32, 1<<20)
+	r := rand.New(rand.NewSource(3))
+	idx := randVec(r, 16)
+	for i := 0; i < 16; i++ {
+		idx[i] = int32(uint32(idx[i]) % (1 << 20))
+	}
+	m := FullMask(16)
+	var sink Vec
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = Gather(base, idx, m, 16, sink)
+	}
+	_ = sink
+}
+
+func BenchmarkBinAdd16(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	x, y := randVec(r, 16), randVec(r, 16)
+	m := FullMask(16)
+	var sink Vec
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = Bin(OpAdd, x, y, m, 16)
+	}
+	_ = sink
+}

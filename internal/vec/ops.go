@@ -1,0 +1,274 @@
+package vec
+
+// BinOp identifies a two-operand vector operation.
+type BinOp uint8
+
+// Binary operations. The arithmetic set matches what the EGACS kernels need:
+// 32-bit integer lanes with wrapping semantics, as on AVX.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv // division by zero yields 0 in that lane (kernels guard it; keep total)
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // arithmetic shift right, as ISPC int32 >>
+	OpMin
+	OpMax
+	// Comparisons produce 0/1 lanes (and a Mask via CmpMask).
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var binOpNames = [...]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpMin: "min", OpMax: "max",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return "binop?"
+}
+
+// IsCompare reports whether op is one of the comparison operations.
+func (op BinOp) IsCompare() bool { return op >= OpEq }
+
+func applyBin(op BinOp, a, b int32) int32 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case OpRem:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (uint32(b) & 31)
+	case OpShr:
+		return a >> (uint32(b) & 31)
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpEq:
+		return b2i(a == b)
+	case OpNe:
+		return b2i(a != b)
+	case OpLt:
+		return b2i(a < b)
+	case OpLe:
+		return b2i(a <= b)
+	case OpGt:
+		return b2i(a > b)
+	case OpGe:
+		return b2i(a >= b)
+	}
+	panic("vec: unknown binary op")
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Bin applies op lane-wise under mask m: inactive lanes keep a's value
+// (merge-masking, as AVX512 {k} merge semantics).
+func Bin(op BinOp, a, b Vec, m Mask, w int) Vec {
+	out := a
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			out[i] = applyBin(op, a[i], b[i])
+		}
+	}
+	return out
+}
+
+// CmpMask applies comparison op lane-wise under mask m and returns the lanes
+// (within m) for which it holds.
+func CmpMask(op BinOp, a, b Vec, m Mask, w int) Mask {
+	var out Mask
+	for i := 0; i < w; i++ {
+		if m.Bit(i) && applyBin(op, a[i], b[i]) != 0 {
+			out = out.Set(i)
+		}
+	}
+	return out
+}
+
+// Blend selects t's lanes where m is set, f's lanes elsewhere (vpblendvb /
+// masked move).
+func Blend(m Mask, t, f Vec, w int) Vec {
+	out := f
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			out[i] = t[i]
+		}
+	}
+	return out
+}
+
+// BlendF is Blend for float vectors.
+func BlendF(m Mask, t, f FVec, w int) FVec {
+	out := f
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			out[i] = t[i]
+		}
+	}
+	return out
+}
+
+// FBinOp identifies a two-operand float vector operation.
+type FBinOp uint8
+
+// Float binary operations used by PageRank and SSSP heuristics.
+const (
+	FAdd FBinOp = iota
+	FSub
+	FMul
+	FDiv
+	FMin
+	FMax
+	// Comparisons.
+	FLt
+	FLe
+	FGt
+	FGe
+	FEq
+)
+
+var fBinOpNames = [...]string{
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv",
+	FMin: "fmin", FMax: "fmax",
+	FLt: "flt", FLe: "fle", FGt: "fgt", FGe: "fge", FEq: "feq",
+}
+
+func (op FBinOp) String() string {
+	if int(op) < len(fBinOpNames) {
+		return fBinOpNames[op]
+	}
+	return "fbinop?"
+}
+
+// IsCompare reports whether op is one of the float comparison operations.
+func (op FBinOp) IsCompare() bool { return op >= FLt }
+
+func applyFBin(op FBinOp, a, b float32) float32 {
+	switch op {
+	case FAdd:
+		return a + b
+	case FSub:
+		return a - b
+	case FMul:
+		return a * b
+	case FDiv:
+		return a / b
+	case FMin:
+		if a < b {
+			return a
+		}
+		return b
+	case FMax:
+		if a > b {
+			return a
+		}
+		return b
+	}
+	panic("vec: unknown float binary op")
+}
+
+// FBin applies op lane-wise under mask m with merge-masking.
+func FBin(op FBinOp, a, b FVec, m Mask, w int) FVec {
+	out := a
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			out[i] = applyFBin(op, a[i], b[i])
+		}
+	}
+	return out
+}
+
+// FCmpMask applies float comparison op under mask m.
+func FCmpMask(op FBinOp, a, b FVec, m Mask, w int) Mask {
+	var out Mask
+	for i := 0; i < w; i++ {
+		if !m.Bit(i) {
+			continue
+		}
+		var hold bool
+		switch op {
+		case FLt:
+			hold = a[i] < b[i]
+		case FLe:
+			hold = a[i] <= b[i]
+		case FGt:
+			hold = a[i] > b[i]
+		case FGe:
+			hold = a[i] >= b[i]
+		case FEq:
+			hold = a[i] == b[i]
+		default:
+			panic("vec: FCmpMask on non-comparison op")
+		}
+		if hold {
+			out = out.Set(i)
+		}
+	}
+	return out
+}
+
+// Abs returns lane-wise absolute value under mask.
+func Abs(a Vec, m Mask, w int) Vec {
+	out := a
+	for i := 0; i < w; i++ {
+		if m.Bit(i) && out[i] < 0 {
+			out[i] = -out[i]
+		}
+	}
+	return out
+}
+
+// FAbs returns lane-wise float absolute value under mask.
+func FAbs(a FVec, m Mask, w int) FVec {
+	out := a
+	for i := 0; i < w; i++ {
+		if m.Bit(i) && out[i] < 0 {
+			out[i] = -out[i]
+		}
+	}
+	return out
+}

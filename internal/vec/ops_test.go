@@ -1,0 +1,165 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBinMatchesScalar is the core lane-exactness property: every vector
+// binary op under every mask must equal the scalar op applied lane-wise to
+// active lanes, with inactive lanes untouched.
+func TestBinMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ops := []BinOp{OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpMin, OpMax, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, w := range []int{1, 4, 8, 16, 32} {
+		for _, op := range ops {
+			for trial := 0; trial < 50; trial++ {
+				a, b := randVec(r, w), randVec(r, w)
+				m := randMask(r, w)
+				got := Bin(op, a, b, m, w)
+				for i := 0; i < w; i++ {
+					want := a[i]
+					if m.Bit(i) {
+						want = applyBin(op, a[i], b[i])
+					}
+					if got[i] != want {
+						t.Fatalf("w=%d op=%v lane=%d: got %d want %d (a=%d b=%d m=%v)",
+							w, op, i, got[i], want, a[i], b[i], m.Bit(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBinDivRemByZeroTotal(t *testing.T) {
+	a := Splat(10)
+	b := Splat(0)
+	m := FullMask(8)
+	if got := Bin(OpDiv, a, b, m, 8); got[0] != 0 {
+		t.Errorf("div by zero lane = %d, want 0", got[0])
+	}
+	if got := Bin(OpRem, a, b, m, 8); got[0] != 0 {
+		t.Errorf("rem by zero lane = %d, want 0", got[0])
+	}
+}
+
+func TestShiftMasksCount(t *testing.T) {
+	a := Splat(1)
+	b := Splat(33) // 33 & 31 == 1
+	got := Bin(OpShl, a, b, FullMask(4), 4)
+	if got[0] != 2 {
+		t.Errorf("shl 33 = %d, want 2 (count masked mod 32)", got[0])
+	}
+	neg := Splat(-8)
+	got = Bin(OpShr, neg, Splat(1), FullMask(4), 4)
+	if got[0] != -4 {
+		t.Errorf("shr arithmetic = %d, want -4", got[0])
+	}
+}
+
+func TestCmpMask(t *testing.T) {
+	a := FromSlice([]int32{1, 5, 3, 7})
+	b := FromSlice([]int32{2, 2, 3, 9})
+	m := CmpMask(OpLt, a, b, FullMask(4), 4)
+	want := Mask(0).Set(0).Set(3)
+	if m != want {
+		t.Errorf("CmpMask(lt) = %v, want %v", m, want)
+	}
+	// Inactive lanes can never appear in the result.
+	m = CmpMask(OpLt, a, b, Mask(0).Set(3), 4)
+	if m != Mask(0).Set(3) {
+		t.Errorf("CmpMask under partial mask = %v", m)
+	}
+}
+
+func TestBlend(t *testing.T) {
+	tr := Splat(1)
+	fa := Splat(2)
+	m := Mask(0).Set(1).Set(2)
+	got := Blend(m, tr, fa, 4)
+	want := []int32{2, 1, 1, 2}
+	for i, x := range want {
+		if got[i] != x {
+			t.Errorf("Blend lane %d = %d, want %d", i, got[i], x)
+		}
+	}
+}
+
+func TestFBinMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ops := []FBinOp{FAdd, FSub, FMul, FDiv, FMin, FMax}
+	for _, w := range []int{4, 8, 16} {
+		for _, op := range ops {
+			for trial := 0; trial < 30; trial++ {
+				var a, b FVec
+				for i := 0; i < w; i++ {
+					a[i] = r.Float32()*100 - 50
+					b[i] = r.Float32()*100 - 49 // avoid exact zero divisor
+				}
+				m := randMask(r, w)
+				got := FBin(op, a, b, m, w)
+				for i := 0; i < w; i++ {
+					want := a[i]
+					if m.Bit(i) {
+						want = applyFBin(op, a[i], b[i])
+					}
+					if got[i] != want {
+						t.Fatalf("w=%d op=%v lane=%d: got %v want %v", w, op, i, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFCmpMask(t *testing.T) {
+	a := FVec{1.5, 2.5, 3.5, 3.5}
+	b := FVec{2.0, 2.0, 3.5, 3.0}
+	if m := FCmpMask(FLt, a, b, FullMask(4), 4); m != Mask(1) {
+		t.Errorf("FLt = %v", m)
+	}
+	if m := FCmpMask(FGe, a, b, FullMask(4), 4); m != Mask(0).Set(1).Set(2).Set(3) {
+		t.Errorf("FGe = %v", m)
+	}
+	if m := FCmpMask(FEq, a, b, FullMask(4), 4); m != Mask(0).Set(2) {
+		t.Errorf("FEq = %v", m)
+	}
+}
+
+func TestAbs(t *testing.T) {
+	v := FromSlice([]int32{-3, 4, -5, 0})
+	got := Abs(v, FullMask(4), 4)
+	want := []int32{3, 4, 5, 0}
+	for i, x := range want {
+		if got[i] != x {
+			t.Errorf("Abs lane %d = %d, want %d", i, got[i], x)
+		}
+	}
+	// Masked-out lanes keep their (negative) values.
+	got = Abs(v, Mask(0).Set(1), 4)
+	if got[0] != -3 {
+		t.Errorf("Abs modified inactive lane: %d", got[0])
+	}
+	f := FVec{-1.5, 2.5}
+	gf := FAbs(f, FullMask(2), 2)
+	if gf[0] != 1.5 || gf[1] != 2.5 {
+		t.Errorf("FAbs = %v", gf[:2])
+	}
+}
+
+func TestOpStringNames(t *testing.T) {
+	if OpAdd.String() != "add" || OpGe.String() != "ge" {
+		t.Error("BinOp names wrong")
+	}
+	if FAdd.String() != "fadd" || FEq.String() != "feq" {
+		t.Error("FBinOp names wrong")
+	}
+	if !OpEq.IsCompare() || OpMax.IsCompare() {
+		t.Error("IsCompare misclassifies")
+	}
+	if !FLt.IsCompare() || FMul.IsCompare() {
+		t.Error("FBinOp IsCompare misclassifies")
+	}
+}

@@ -1,0 +1,100 @@
+package vec
+
+// Cross-lane reductions and scans. These correspond to ISPC's reduce_add /
+// reduce_min / reduce_max library functions and the exclusive prefix sum used
+// by the nested-parallelism scheduler.
+
+// ReduceAdd sums the active lanes.
+func ReduceAdd(v Vec, m Mask, w int) int32 {
+	var s int32
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			s += v[i]
+		}
+	}
+	return s
+}
+
+// ReduceAddF sums the active float lanes.
+func ReduceAddF(v FVec, m Mask, w int) float32 {
+	var s float32
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			s += v[i]
+		}
+	}
+	return s
+}
+
+// ReduceMin returns the minimum over active lanes, or def if none are active.
+func ReduceMin(v Vec, m Mask, w int, def int32) int32 {
+	out := def
+	seen := false
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			if !seen || v[i] < out {
+				out = v[i]
+				seen = true
+			}
+		}
+	}
+	return out
+}
+
+// ReduceMax returns the maximum over active lanes, or def if none are active.
+func ReduceMax(v Vec, m Mask, w int, def int32) int32 {
+	out := def
+	seen := false
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			if !seen || v[i] > out {
+				out = v[i]
+				seen = true
+			}
+		}
+	}
+	return out
+}
+
+// ExclusiveScanAdd computes the exclusive prefix sum of the active lanes in
+// lane order, writing results only to active lanes (inactive lanes get 0),
+// and returns the total. This is the inspector step of the fine-grained
+// nested-parallelism scheduler: given per-lane work counts it yields each
+// lane's starting offset in the packed work array.
+func ExclusiveScanAdd(v Vec, m Mask, w int) (Vec, int32) {
+	var out Vec
+	var run int32
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			out[i] = run
+			run += v[i]
+		}
+	}
+	return out, run
+}
+
+// FirstActive returns the index of the lowest active lane, or -1 if none.
+func FirstActive(m Mask, w int) int {
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReduceEqual reports whether all active lanes hold the same value, and
+// returns that value (0 and false when no lanes are active or they differ).
+func ReduceEqual(v Vec, m Mask, w int) (int32, bool) {
+	first := FirstActive(m, w)
+	if first < 0 {
+		return 0, false
+	}
+	x := v[first]
+	for i := first + 1; i < w; i++ {
+		if m.Bit(i) && v[i] != x {
+			return 0, false
+		}
+	}
+	return x, true
+}

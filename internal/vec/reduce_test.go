@@ -1,0 +1,113 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceAdd(t *testing.T) {
+	v := FromSlice([]int32{1, 2, 3, 4})
+	if got := ReduceAdd(v, FullMask(4), 4); got != 10 {
+		t.Errorf("ReduceAdd = %d", got)
+	}
+	if got := ReduceAdd(v, Mask(0).Set(1).Set(3), 4); got != 6 {
+		t.Errorf("masked ReduceAdd = %d", got)
+	}
+	if got := ReduceAdd(v, 0, 4); got != 0 {
+		t.Errorf("empty ReduceAdd = %d", got)
+	}
+}
+
+func TestReduceAddF(t *testing.T) {
+	v := FVec{0.5, 1.5, 2.0}
+	if got := ReduceAddF(v, FullMask(3), 3); got != 4.0 {
+		t.Errorf("ReduceAddF = %v", got)
+	}
+}
+
+func TestReduceMinMax(t *testing.T) {
+	v := FromSlice([]int32{5, -2, 9, 0})
+	if got := ReduceMin(v, FullMask(4), 4, 100); got != -2 {
+		t.Errorf("ReduceMin = %d", got)
+	}
+	if got := ReduceMax(v, FullMask(4), 4, -100); got != 9 {
+		t.Errorf("ReduceMax = %d", got)
+	}
+	if got := ReduceMin(v, 0, 4, 42); got != 42 {
+		t.Errorf("empty ReduceMin = %d, want default", got)
+	}
+	if got := ReduceMax(v, Mask(0).Set(1), 4, 7); got != -2 {
+		t.Errorf("single-lane ReduceMax = %d", got)
+	}
+}
+
+// Property: exclusive scan offsets are exactly the running sums of prior
+// active lanes, and the returned total is the full masked sum.
+func TestExclusiveScanAddProperty(t *testing.T) {
+	f := func(raw [16]uint8, mraw uint16) bool {
+		var v Vec
+		for i, x := range raw {
+			v[i] = int32(x)
+		}
+		m := Mask(mraw)
+		scan, total := ExclusiveScanAdd(v, m, 16)
+		var run int32
+		for i := 0; i < 16; i++ {
+			if m.Bit(i) {
+				if scan[i] != run {
+					return false
+				}
+				run += v[i]
+			}
+		}
+		return total == run
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstActive(t *testing.T) {
+	if got := FirstActive(0, 16); got != -1 {
+		t.Errorf("FirstActive(empty) = %d", got)
+	}
+	if got := FirstActive(Mask(0).Set(5).Set(9), 16); got != 5 {
+		t.Errorf("FirstActive = %d", got)
+	}
+}
+
+func TestReduceEqual(t *testing.T) {
+	v := Splat(7)
+	if x, ok := ReduceEqual(v, FullMask(8), 8); !ok || x != 7 {
+		t.Errorf("ReduceEqual uniform = %d,%v", x, ok)
+	}
+	v[3] = 8
+	if _, ok := ReduceEqual(v, FullMask(8), 8); ok {
+		t.Error("ReduceEqual should fail on differing lanes")
+	}
+	if x, ok := ReduceEqual(v, Mask(0).Set(3), 8); !ok || x != 8 {
+		t.Errorf("single-lane ReduceEqual = %d,%v", x, ok)
+	}
+	if _, ok := ReduceEqual(v, 0, 8); ok {
+		t.Error("empty ReduceEqual should report false")
+	}
+}
+
+func TestReduceAddMatchesScalarLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		w := []int{4, 8, 16, 32}[trial%4]
+		v := randVec(r, w)
+		m := randMask(r, w)
+		var want int32
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				want += v[i]
+			}
+		}
+		if got := ReduceAdd(v, m, w); got != want {
+			t.Fatalf("ReduceAdd w=%d: got %d want %d", w, got, want)
+		}
+	}
+}

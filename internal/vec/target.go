@@ -1,0 +1,273 @@
+package vec
+
+import "fmt"
+
+// ISA identifies the instruction-set family a kernel is lowered to. The CPU
+// families mirror the paper's AVX1/AVX2/AVX512 study (Section IV-B); GPU is
+// the 32-wide warp ISA used for the CPU-vs-GPU comparison; Scalar is the
+// serial build obtained by marking everything uniform.
+type ISA uint8
+
+const (
+	Scalar ISA = iota
+	AVX1
+	AVX2
+	AVX512
+	GPU
+	// NEON is the 128-bit ARM extension — the paper leaves its evaluation
+	// to future work; this reproduction includes it as an extension. Like
+	// AVX1 it has neither gathers, scatters nor mask registers.
+	NEON
+)
+
+var isaNames = [...]string{
+	Scalar: "scalar", AVX1: "avx1", AVX2: "avx2", AVX512: "avx512", GPU: "gpu",
+	NEON: "neon",
+}
+
+func (i ISA) String() string {
+	if int(i) < len(isaNames) {
+		return isaNames[i]
+	}
+	return "isa?"
+}
+
+// Target is an ISA at a logical SIMD width, e.g. avx2-i32x16 (AVX2 hardware
+// with 16 logical lanes, issued as two 8-wide instructions — exactly how
+// ISPC's avx2-i32x16 target works).
+type Target struct {
+	ISA   ISA
+	Width int // logical lanes; 1 for Scalar, up to MaxWidth
+}
+
+// Standard targets matching the paper's evaluation matrix.
+var (
+	TargetScalar    = Target{Scalar, 1}
+	TargetAVX1x4    = Target{AVX1, 4}
+	TargetAVX1x8    = Target{AVX1, 8}
+	TargetAVX1x16   = Target{AVX1, 16}
+	TargetAVX2x4    = Target{AVX2, 4}
+	TargetAVX2x8    = Target{AVX2, 8}
+	TargetAVX2x16   = Target{AVX2, 16}
+	TargetAVX512x4  = Target{AVX512, 4}
+	TargetAVX512x8  = Target{AVX512, 8}
+	TargetAVX512x16 = Target{AVX512, 16}
+	TargetGPU32     = Target{GPU, 32}
+	TargetNEON4     = Target{NEON, 4}
+	TargetNEON8     = Target{NEON, 8}
+)
+
+// ParseTarget parses names like "avx512-i32x16", "avx2-i32x8", "scalar",
+// "gpu".
+func ParseTarget(s string) (Target, error) {
+	switch s {
+	case "scalar", "serial":
+		return TargetScalar, nil
+	case "gpu", "cuda":
+		return TargetGPU32, nil
+	case "neon", "neon-i32x4":
+		return TargetNEON4, nil
+	case "neon-i32x8":
+		return TargetNEON8, nil
+	}
+	var isa ISA
+	var w int
+	n, err := fmt.Sscanf(s, "avx%d-i32x%d", new(int), &w)
+	_ = n
+	if err != nil {
+		return Target{}, fmt.Errorf("vec: unrecognized target %q", s)
+	}
+	var v int
+	fmt.Sscanf(s, "avx%d-", &v)
+	switch v {
+	case 1:
+		isa = AVX1
+	case 2:
+		isa = AVX2
+	case 512:
+		isa = AVX512
+	default:
+		return Target{}, fmt.Errorf("vec: unrecognized AVX version in %q", s)
+	}
+	if w != 4 && w != 8 && w != 16 {
+		return Target{}, fmt.Errorf("vec: unsupported width %d in %q", w, s)
+	}
+	return Target{isa, w}, nil
+}
+
+func (t Target) String() string {
+	switch t.ISA {
+	case Scalar:
+		return "scalar"
+	case GPU:
+		return "gpu-i32x32"
+	case AVX1:
+		return fmt.Sprintf("avx1-i32x%d", t.Width)
+	case AVX2:
+		return fmt.Sprintf("avx2-i32x%d", t.Width)
+	case AVX512:
+		return fmt.Sprintf("avx512-i32x%d", t.Width)
+	case NEON:
+		return fmt.Sprintf("neon-i32x%d", t.Width)
+	}
+	return "target?"
+}
+
+// NativeWidth returns the widest 32-bit integer operation the ISA issues in
+// one instruction. AVX1 integer ops are SSE-class (4 lanes — 256-bit AVX1
+// only covers floats); AVX2 is 8; AVX512 is 16; a GPU warp is 32.
+func (t Target) NativeWidth() int {
+	switch t.ISA {
+	case Scalar:
+		return 1
+	case AVX1, NEON:
+		return 4
+	case AVX2:
+		return 8
+	case AVX512:
+		return 16
+	case GPU:
+		return 32
+	}
+	panic("vec: unknown ISA")
+}
+
+// Chunks returns how many native instructions one logical-width operation
+// needs: ceil(Width / NativeWidth).
+func (t Target) Chunks() int {
+	n := t.NativeWidth()
+	return (t.Width + n - 1) / n
+}
+
+// HasNativeGather reports whether the ISA has a hardware gather instruction
+// (introduced in AVX2).
+func (t Target) HasNativeGather() bool {
+	return t.ISA == AVX2 || t.ISA == AVX512 || t.ISA == GPU
+}
+
+// HasNativeScatter reports whether the ISA has a hardware scatter
+// instruction (introduced in AVX512).
+func (t Target) HasNativeScatter() bool {
+	return t.ISA == AVX512 || t.ISA == GPU
+}
+
+// HasMaskRegisters reports whether predication is architecturally free
+// (AVX512 opmask registers; GPUs predicate in hardware). Without them, every
+// masked operation needs an extra blend to merge results.
+func (t Target) HasMaskRegisters() bool {
+	return t.ISA == AVX512 || t.ISA == GPU
+}
+
+// OpClass buckets operations for instruction accounting and the latency
+// model.
+type OpClass uint8
+
+const (
+	ClassALU         OpClass = iota // vector arithmetic/logical
+	ClassCmp                        // vector compare (+movemask where no opmask)
+	ClassBlend                      // select/merge
+	ClassGather                     // indexed vector load
+	ClassScatter                    // indexed vector store
+	ClassVLoad                      // unit-stride vector load
+	ClassVStore                     // unit-stride vector store
+	ClassPacked                     // packed_store_active / compress
+	ClassReduce                     // cross-lane reduction
+	ClassScan                       // exclusive prefix sum
+	ClassConvert                    // int<->float conversion
+	ClassScalar                     // uniform scalar op
+	ClassScalarLoad                 // uniform scalar load
+	ClassScalarStore                // uniform scalar store
+	ClassAtomic                     // scalar hardware atomic (lock-prefixed)
+	NumOpClasses
+)
+
+var opClassNames = [...]string{
+	ClassALU: "alu", ClassCmp: "cmp", ClassBlend: "blend",
+	ClassGather: "gather", ClassScatter: "scatter",
+	ClassVLoad: "vload", ClassVStore: "vstore", ClassPacked: "packed",
+	ClassReduce: "reduce", ClassScan: "scan", ClassConvert: "convert",
+	ClassScalar: "scalar", ClassScalarLoad: "sload", ClassScalarStore: "sstore",
+	ClassAtomic: "atomic",
+}
+
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return "class?"
+}
+
+// Lower returns the number of dynamic machine instructions one logical
+// operation of class c expands to on target t (the Intel-Pin-style count used
+// for Fig. 7). masked applies the predication penalty on ISAs without mask
+// registers.
+func (t Target) Lower(c OpClass, masked bool) int {
+	w := t.Width
+	ch := t.Chunks()
+	n := 0
+	switch c {
+	case ClassALU, ClassConvert:
+		n = ch
+		if masked && !t.HasMaskRegisters() {
+			n += ch // blend to merge inactive lanes
+		}
+	case ClassCmp:
+		n = ch
+		if !t.HasMaskRegisters() {
+			n += ch // movemask to materialize the predicate
+		}
+	case ClassBlend, ClassVLoad:
+		n = ch
+	case ClassVStore:
+		n = ch
+		if masked && !t.HasMaskRegisters() {
+			n += ch // load+blend+store read-modify-write
+		}
+	case ClassGather:
+		if t.HasNativeGather() {
+			n = ch
+		} else {
+			// Scalar emulation: extract index, load, insert — per lane.
+			n = 3 * w
+		}
+	case ClassScatter:
+		if t.HasNativeScatter() {
+			n = ch
+		} else {
+			n = 3 * w
+		}
+	case ClassPacked:
+		if t.ISA == AVX512 || t.ISA == GPU {
+			n = 2 * ch // vpcompressd + store
+		} else {
+			// Shuffle-table emulation: popcnt, table load, permute, store.
+			n = 4 * ch
+		}
+	case ClassReduce:
+		n = log2ceil(t.NativeWidth())*ch + (ch - 1) + 1
+	case ClassScan:
+		if t.ISA == AVX512 || t.ISA == GPU {
+			n = 2*log2ceil(w) + 2
+		} else {
+			n = w + 2 // serialized scalar scan
+		}
+	case ClassScalar, ClassScalarLoad, ClassScalarStore:
+		n = 1
+	case ClassAtomic:
+		n = 1
+	default:
+		panic(fmt.Sprintf("vec: unknown op class %d", c))
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func log2ceil(x int) int {
+	n := 0
+	for p := 1; p < x; p <<= 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,163 @@
+package vec
+
+import "testing"
+
+func TestParseTarget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Target
+	}{
+		{"scalar", TargetScalar},
+		{"serial", TargetScalar},
+		{"gpu", TargetGPU32},
+		{"avx1-i32x8", TargetAVX1x8},
+		{"avx2-i32x8", TargetAVX2x8},
+		{"avx2-i32x16", TargetAVX2x16},
+		{"avx512-i32x16", TargetAVX512x16},
+		{"avx512-i32x4", TargetAVX512x4},
+	}
+	for _, c := range cases {
+		got, err := ParseTarget(c.in)
+		if err != nil {
+			t.Errorf("ParseTarget(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTarget(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "avx3-i32x8", "avx2-i32x5", "mmx"} {
+		if _, err := ParseTarget(bad); err == nil {
+			t.Errorf("ParseTarget(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTargetStringRoundTrip(t *testing.T) {
+	for _, tgt := range []Target{TargetAVX1x4, TargetAVX2x16, TargetAVX512x8} {
+		back, err := ParseTarget(tgt.String())
+		if err != nil || back != tgt {
+			t.Errorf("round trip %v -> %q -> %v (%v)", tgt, tgt.String(), back, err)
+		}
+	}
+	if TargetScalar.String() != "scalar" || TargetGPU32.String() != "gpu-i32x32" {
+		t.Error("special target names wrong")
+	}
+}
+
+func TestNativeWidthAndChunks(t *testing.T) {
+	cases := []struct {
+		tgt    Target
+		native int
+		chunks int
+	}{
+		{TargetAVX1x16, 4, 4},
+		{TargetAVX1x8, 4, 2},
+		{TargetAVX2x8, 8, 1},
+		{TargetAVX2x16, 8, 2},
+		{TargetAVX512x16, 16, 1},
+		{TargetAVX512x8, 16, 1},
+		{TargetGPU32, 32, 1},
+		{TargetScalar, 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.tgt.NativeWidth(); got != c.native {
+			t.Errorf("%v NativeWidth = %d, want %d", c.tgt, got, c.native)
+		}
+		if got := c.tgt.Chunks(); got != c.chunks {
+			t.Errorf("%v Chunks = %d, want %d", c.tgt, got, c.chunks)
+		}
+	}
+}
+
+func TestHardwareFeatureMatrix(t *testing.T) {
+	// AVX2 introduced gathers; AVX512 introduced scatters and opmasks.
+	if TargetAVX1x8.HasNativeGather() {
+		t.Error("AVX1 must not have native gather")
+	}
+	if !TargetAVX2x8.HasNativeGather() || TargetAVX2x8.HasNativeScatter() {
+		t.Error("AVX2 feature set wrong")
+	}
+	if !TargetAVX512x16.HasNativeGather() || !TargetAVX512x16.HasNativeScatter() ||
+		!TargetAVX512x16.HasMaskRegisters() {
+		t.Error("AVX512 feature set wrong")
+	}
+	if TargetAVX2x8.HasMaskRegisters() {
+		t.Error("AVX2 has no opmask registers")
+	}
+	if !TargetGPU32.HasMaskRegisters() || !TargetGPU32.HasNativeScatter() {
+		t.Error("GPU predication/scatter wrong")
+	}
+}
+
+// TestLowerOrdering verifies the instruction-count trends the paper observes
+// (Section IV-B3): at the same logical width, newer AVX versions need fewer
+// dynamic instructions, driven by native gathers, scatters and predication.
+func TestLowerOrdering(t *testing.T) {
+	classes := []OpClass{ClassALU, ClassCmp, ClassGather, ClassScatter, ClassPacked}
+	for _, c := range classes {
+		a1 := TargetAVX1x16.Lower(c, true)
+		a2 := TargetAVX2x16.Lower(c, true)
+		a512 := TargetAVX512x16.Lower(c, true)
+		if !(a512 <= a2 && a2 <= a1) {
+			t.Errorf("class %v: counts not monotone avx512(%d) <= avx2(%d) <= avx1(%d)",
+				c, a512, a2, a1)
+		}
+	}
+	// Strictly fewer for gather at width 16.
+	if !(TargetAVX512x16.Lower(ClassGather, true) < TargetAVX1x16.Lower(ClassGather, true)) {
+		t.Error("AVX512 gather must be strictly cheaper than AVX1 emulation")
+	}
+}
+
+func TestLowerMaskingPenalty(t *testing.T) {
+	// On ISAs without opmasks, masked ALU ops pay a blend.
+	if TargetAVX2x8.Lower(ClassALU, true) <= TargetAVX2x8.Lower(ClassALU, false) {
+		t.Error("AVX2 masked ALU should cost more than unmasked")
+	}
+	// With opmasks, predication is free.
+	if TargetAVX512x16.Lower(ClassALU, true) != TargetAVX512x16.Lower(ClassALU, false) {
+		t.Error("AVX512 masked ALU should cost the same as unmasked")
+	}
+}
+
+func TestLowerWidthScaling(t *testing.T) {
+	// avx2-i32x16 issues two 8-wide instructions per ALU op.
+	if got := TargetAVX2x16.Lower(ClassALU, false); got != 2 {
+		t.Errorf("avx2-i32x16 ALU = %d instrs, want 2", got)
+	}
+	if got := TargetAVX512x16.Lower(ClassALU, false); got != 1 {
+		t.Errorf("avx512-i32x16 ALU = %d instrs, want 1", got)
+	}
+	// Scalar target: everything is 1 instruction per op.
+	if got := TargetScalar.Lower(ClassALU, false); got != 1 {
+		t.Errorf("scalar ALU = %d", got)
+	}
+	// All classes yield at least one instruction on every target.
+	targets := []Target{TargetScalar, TargetAVX1x4, TargetAVX2x8, TargetAVX512x16, TargetGPU32}
+	for _, tgt := range targets {
+		for c := OpClass(0); c < NumOpClasses; c++ {
+			if got := tgt.Lower(c, false); got < 1 {
+				t.Errorf("%v %v = %d instrs", tgt, c, got)
+			}
+		}
+	}
+}
+
+func TestISAAndClassNames(t *testing.T) {
+	if AVX512.String() != "avx512" || Scalar.String() != "scalar" {
+		t.Error("ISA names wrong")
+	}
+	if ClassGather.String() != "gather" || ClassAtomic.String() != "atomic" {
+		t.Error("OpClass names wrong")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 16: 4, 32: 5}
+	for x, want := range cases {
+		if got := log2ceil(x); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", x, got, want)
+		}
+	}
+}

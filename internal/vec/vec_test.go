@@ -1,0 +1,145 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullMask(t *testing.T) {
+	cases := []struct {
+		w    int
+		want Mask
+	}{
+		{0, 0}, {1, 1}, {4, 0xf}, {8, 0xff}, {16, 0xffff}, {32, 0xffffffff},
+	}
+	for _, c := range cases {
+		if got := FullMask(c.w); got != c.want {
+			t.Errorf("FullMask(%d) = %x, want %x", c.w, got, c.want)
+		}
+	}
+}
+
+func TestMaskBits(t *testing.T) {
+	var m Mask
+	m = m.Set(3).Set(7).Set(31)
+	if !m.Bit(3) || !m.Bit(7) || !m.Bit(31) {
+		t.Fatalf("set bits not readable: %v", m)
+	}
+	if m.Bit(0) || m.Bit(4) {
+		t.Fatalf("unset bits read as set: %v", m)
+	}
+	m = m.Clear(7)
+	if m.Bit(7) {
+		t.Fatalf("cleared bit still set")
+	}
+	if got := m.PopCount(); got != 2 {
+		t.Fatalf("PopCount = %d, want 2", got)
+	}
+}
+
+func TestMaskPopCountMatchesNaive(t *testing.T) {
+	f := func(x uint32) bool {
+		m := Mask(x)
+		n := 0
+		for i := 0; i < 32; i++ {
+			if m.Bit(i) {
+				n++
+			}
+		}
+		return n == m.PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskAnyNoneAll(t *testing.T) {
+	if Mask(0).Any() {
+		t.Error("zero mask reports Any")
+	}
+	if !Mask(0).None() {
+		t.Error("zero mask not None")
+	}
+	if !FullMask(8).All(8) {
+		t.Error("full 8-mask not All(8)")
+	}
+	if FullMask(8).Clear(3).All(8) {
+		t.Error("mask with hole reports All")
+	}
+	if !FullMask(16).All(8) {
+		t.Error("wider mask should satisfy All(8)")
+	}
+}
+
+func TestSplatIota(t *testing.T) {
+	s := Splat(42)
+	for i := 0; i < MaxWidth; i++ {
+		if s[i] != 42 {
+			t.Fatalf("Splat lane %d = %d", i, s[i])
+		}
+	}
+	io := Iota()
+	for i := 0; i < MaxWidth; i++ {
+		if io[i] != int32(i) {
+			t.Fatalf("Iota lane %d = %d", i, io[i])
+		}
+	}
+}
+
+func TestFromSliceAndSlice(t *testing.T) {
+	v := FromSlice([]int32{5, 6, 7})
+	if v[0] != 5 || v[1] != 6 || v[2] != 7 || v[3] != 0 {
+		t.Fatalf("FromSlice = %v", v[:4])
+	}
+	s := v.Slice(3)
+	if len(s) != 3 || s[2] != 7 {
+		t.Fatalf("Slice = %v", s)
+	}
+	// Returned slice must be a copy.
+	s[0] = 99
+	if v[0] != 5 {
+		t.Fatal("Slice aliases vector storage")
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	f := func(raw [8]int16) bool {
+		var v Vec
+		for i, x := range raw {
+			v[i] = int32(x)
+		}
+		back := v.ToF(8).ToI(8)
+		for i := 0; i < 8; i++ {
+			if back[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	m := Mask(0).Set(0).Set(2)
+	if got := m.String(); got != "101" {
+		t.Errorf("String = %q, want %q", got, "101")
+	}
+	if got := Mask(0).String(); got != "" {
+		t.Errorf("empty mask String = %q", got)
+	}
+}
+
+func randVec(r *rand.Rand, w int) Vec {
+	var v Vec
+	for i := 0; i < w; i++ {
+		v[i] = int32(r.Uint32())
+	}
+	return v
+}
+
+func randMask(r *rand.Rand, w int) Mask {
+	return Mask(r.Uint32()) & FullMask(w)
+}

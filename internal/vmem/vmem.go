@@ -1,0 +1,85 @@
+// Package vmem simulates demand paging for the Table IX virtual-memory
+// experiments: an LRU-resident set over the engine's synthetic address
+// space, with per-device fault costs. On the CPU this stands in for the
+// cgroups memory limit the paper uses; on the GPU it models CUDA unified
+// memory (UVM) far-faults, whose ~45 microsecond service time is what makes
+// irregular kernels on oversubscribed GPUs catastrophically slow (the
+// paper's >5000x DNFs).
+package vmem
+
+import "container/list"
+
+// Pager is an LRU paging simulator implementing spmd.Pager.
+type Pager struct {
+	pageShift uint
+	capacity  int // resident pages
+	faultNS   float64
+
+	lru      *list.List              // front = most recent
+	resident map[int64]*list.Element // page -> lru node
+
+	// Faults counts demand-paging faults (including compulsory ones).
+	Faults int64
+	// Evictions counts capacity evictions.
+	Evictions int64
+	// Touches counts all page touches.
+	Touches int64
+}
+
+// New creates a pager with the given page size, physical-memory budget in
+// bytes, and per-fault cost in nanoseconds. A non-positive budget panics:
+// the experiments always configure a fraction of the measured footprint.
+func New(pageSize int, physBytes int64, faultNS float64) *Pager {
+	if pageSize <= 0 {
+		pageSize = 4 << 10
+	}
+	var shift uint
+	for 1<<shift < pageSize {
+		shift++
+	}
+	capacity := int(physBytes >> shift)
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pager{
+		pageShift: shift,
+		capacity:  capacity,
+		faultNS:   faultNS,
+		lru:       list.New(),
+		resident:  make(map[int64]*list.Element, capacity),
+	}
+}
+
+// Touch records an access to addr, returning the extra stall in nanoseconds
+// and whether a fault occurred.
+func (p *Pager) Touch(addr int64) (float64, bool) {
+	p.Touches++
+	page := addr >> p.pageShift
+	if el, ok := p.resident[page]; ok {
+		p.lru.MoveToFront(el)
+		return 0, false
+	}
+	p.Faults++
+	if p.lru.Len() >= p.capacity {
+		victim := p.lru.Back()
+		p.lru.Remove(victim)
+		delete(p.resident, victim.Value.(int64))
+		p.Evictions++
+	}
+	p.resident[page] = p.lru.PushFront(page)
+	return p.faultNS, true
+}
+
+// ResidentPages returns the current resident-set size in pages.
+func (p *Pager) ResidentPages() int { return p.lru.Len() }
+
+// Capacity returns the configured physical capacity in pages.
+func (p *Pager) Capacity() int { return p.capacity }
+
+// FaultRate returns faults per touch.
+func (p *Pager) FaultRate() float64 {
+	if p.Touches == 0 {
+		return 0
+	}
+	return float64(p.Faults) / float64(p.Touches)
+}

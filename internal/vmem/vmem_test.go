@@ -1,0 +1,106 @@
+package vmem
+
+import "testing"
+
+func TestColdFaultsThenHits(t *testing.T) {
+	p := New(4096, 10*4096, 1000)
+	ns, fault := p.Touch(0)
+	if !fault || ns != 1000 {
+		t.Fatalf("cold touch: ns=%v fault=%v", ns, fault)
+	}
+	ns, fault = p.Touch(100) // same page
+	if fault || ns != 0 {
+		t.Fatalf("warm touch: ns=%v fault=%v", ns, fault)
+	}
+	if p.Faults != 1 || p.Touches != 2 {
+		t.Errorf("counters: %d faults %d touches", p.Faults, p.Touches)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := New(4096, 2*4096, 1) // 2 resident pages
+	p.Touch(0 * 4096)
+	p.Touch(1 * 4096)
+	p.Touch(0 * 4096) // page 0 now most recent
+	p.Touch(2 * 4096) // evicts page 1
+	if p.Evictions != 1 {
+		t.Fatalf("evictions = %d", p.Evictions)
+	}
+	if _, fault := p.Touch(0 * 4096); fault {
+		t.Error("page 0 should have survived (LRU)")
+	}
+	if _, fault := p.Touch(1 * 4096); !fault {
+		t.Error("page 1 should have been evicted")
+	}
+	if p.ResidentPages() != 2 || p.Capacity() != 2 {
+		t.Errorf("resident=%d cap=%d", p.ResidentPages(), p.Capacity())
+	}
+}
+
+func TestWorkingSetFitsNoSteadyFaults(t *testing.T) {
+	p := New(4096, 64*4096, 10)
+	for pass := 0; pass < 3; pass++ {
+		for i := int64(0); i < 32; i++ {
+			p.Touch(i * 4096)
+		}
+	}
+	if p.Faults != 32 {
+		t.Errorf("faults = %d, want 32 compulsory only", p.Faults)
+	}
+}
+
+func TestThrashing(t *testing.T) {
+	// Sequential sweep over 2x capacity with LRU: every touch faults.
+	p := New(4096, 16*4096, 10)
+	for pass := 0; pass < 2; pass++ {
+		for i := int64(0); i < 32; i++ {
+			p.Touch(i * 4096)
+		}
+	}
+	if p.FaultRate() < 0.99 {
+		t.Errorf("sweep thrash fault rate = %v, want ~1", p.FaultRate())
+	}
+}
+
+func TestFaultCostDominatesOnGPU(t *testing.T) {
+	// Identical access stream and byte budget: the UVM-style pager (45 us
+	// faults) must accumulate vastly more stall than the CPU pager (3.5 us
+	// faults). This is the mechanism behind the paper's >5000x GPU DNFs.
+	cpu := New(4<<10, 1<<20, 3500)
+	gpu := New(4<<10, 1<<20, 45000)
+	var cpuNS, gpuNS float64
+	state := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		addr := int64(state % (8 << 20))
+		ns, _ := cpu.Touch(addr)
+		cpuNS += ns
+		ns, _ = gpu.Touch(addr)
+		gpuNS += ns
+	}
+	if cpu.Faults != gpu.Faults {
+		t.Fatalf("same stream, different faults: %d vs %d", cpu.Faults, gpu.Faults)
+	}
+	if gpuNS < 10*cpuNS {
+		t.Errorf("GPU paging stall %v ns not >> CPU %v ns", gpuNS, cpuNS)
+	}
+}
+
+func TestDefaultsAndMinCapacity(t *testing.T) {
+	p := New(0, 1, 5)
+	if p.Capacity() != 1 {
+		t.Errorf("minimum capacity = %d", p.Capacity())
+	}
+	p.Touch(0)
+	p.Touch(1 << 40)
+	if p.ResidentPages() != 1 {
+		t.Error("capacity 1 must keep one page")
+	}
+	if p.FaultRate() != 1 {
+		t.Errorf("FaultRate = %v", p.FaultRate())
+	}
+	var empty Pager
+	if (&empty).FaultRate() != 0 {
+		t.Error("zero-touch fault rate")
+	}
+}

@@ -1,0 +1,159 @@
+// Package worklist implements the concurrent dense worklists that
+// work-efficient EGACS kernels use to track active nodes (Section III-C).
+// A worklist is an items array plus a shared tail counter; pushes reserve
+// space by atomically advancing the tail. Three push strategies mirror the
+// paper's cooperative-conversion levels:
+//
+//   - PushLanes: one hardware atomic per active lane (unoptimized).
+//   - PushCoop: popcnt(lanemask()) + one atomic + packed_store_active per
+//     vector (task-level cooperative conversion).
+//   - Reserve + WriteReserved: a single atomic for many vectors' worth of
+//     pushes whose count is known in advance (fiber-level cooperative
+//     conversion, applicable to bfs-cx and bfs-hb).
+package worklist
+
+import (
+	"fmt"
+
+	"repro/internal/spmd"
+	"repro/internal/vec"
+)
+
+// WL is one dense worklist.
+type WL struct {
+	Name  string
+	Items *spmd.Array
+	tail  *spmd.Array // single shared scalar
+}
+
+// New allocates a worklist with the given capacity.
+func New(e *spmd.Engine, name string, capacity int) *WL {
+	return &WL{
+		Name:  name,
+		Items: e.AllocI(name+".items", capacity),
+		tail:  e.AllocI(name+".tail", 1),
+	}
+}
+
+// Cap returns the worklist capacity.
+func (w *WL) Cap() int { return w.Items.Len() }
+
+// Size returns the current item count (host-side, uncounted).
+func (w *WL) Size() int32 { return w.tail.I[0] }
+
+// SizeCounted returns the item count as a counted uniform scalar load.
+func (w *WL) SizeCounted(tc *spmd.TaskCtx) int32 {
+	return tc.ScalarLoadI(w.tail, 0)
+}
+
+// Clear empties the worklist (host-side).
+func (w *WL) Clear() { w.tail.I[0] = 0 }
+
+// InitSequence fills the worklist with 0..n-1 (host-side, e.g. the initial
+// all-nodes worklist of CC or MIS).
+func (w *WL) InitSequence(n int32) {
+	if int(n) > w.Cap() {
+		panic(fmt.Sprintf("worklist %s: InitSequence(%d) exceeds capacity %d", w.Name, n, w.Cap()))
+	}
+	for i := int32(0); i < n; i++ {
+		w.Items.I[i] = i
+	}
+	w.tail.I[0] = n
+}
+
+// InitWith fills the worklist with the given items (host-side).
+func (w *WL) InitWith(items ...int32) {
+	if len(items) > w.Cap() {
+		panic(fmt.Sprintf("worklist %s: InitWith(%d items) exceeds capacity %d", w.Name, len(items), w.Cap()))
+	}
+	copy(w.Items.I, items)
+	w.tail.I[0] = int32(len(items))
+}
+
+// Slice returns the current items (aliasing storage; host-side inspection).
+func (w *WL) Slice() []int32 { return w.Items.I[:w.Size()] }
+
+// Get gathers items at the given positions for active lanes.
+func (w *WL) Get(tc *spmd.TaskCtx, pos vec.Vec, m vec.Mask, old vec.Vec) vec.Vec {
+	return tc.GatherI(w.Items, pos, m, old, false)
+}
+
+func (w *WL) checkRoom(n int32) {
+	if int(w.tail.I[0])+int(n) > w.Cap() {
+		panic(fmt.Sprintf("worklist %s overflow: %d + %d > cap %d",
+			w.Name, w.tail.I[0], n, w.Cap()))
+	}
+}
+
+// PushLanes pushes active lanes of val with one atomic reservation per lane:
+// the unoptimized vector-to-scalar atomic pattern.
+func (w *WL) PushLanes(tc *spmd.TaskCtx, val vec.Vec, m vec.Mask) {
+	n := int32(m.PopCount())
+	if n == 0 {
+		return
+	}
+	w.checkRoom(n)
+	slots := tc.AtomicAddLanesContended(w.tail, 0, m, true)
+	tc.ScatterI(w.Items, slots, val, m)
+}
+
+// PushCoop pushes active lanes with task-level cooperative conversion:
+// popcnt of the lane mask, a single atomic reservation, and a packed store
+// (the push_task pattern from Section III-C).
+func (w *WL) PushCoop(tc *spmd.TaskCtx, val vec.Vec, m vec.Mask) {
+	n := int32(m.PopCount())
+	if n == 0 {
+		// The mask popcount still executes.
+		tc.ScalarOps(1)
+		return
+	}
+	w.checkRoom(n)
+	tc.ScalarOps(1) // popcnt(lanemask())
+	idx := tc.AtomicAddScalar(w.tail, 0, n, true)
+	tc.PackedStore(w.Items, idx, val, m)
+}
+
+// Reserve atomically reserves n slots and returns the starting index:
+// fiber-level cooperative conversion where the total push count is known in
+// advance.
+func (w *WL) Reserve(tc *spmd.TaskCtx, n int32) int32 {
+	if n == 0 {
+		return w.tail.I[0]
+	}
+	w.checkRoom(n)
+	return tc.AtomicAddScalar(w.tail, 0, n, true)
+}
+
+// WriteReserved packs active lanes of val into previously reserved space at
+// pos and returns the number written (no atomic).
+func (w *WL) WriteReserved(tc *spmd.TaskCtx, pos int32, val vec.Vec, m vec.Mask) int32 {
+	return int32(tc.PackedStore(w.Items, pos, val, m))
+}
+
+// PushHost appends an item without cost accounting (pipe setup between
+// launches).
+func (w *WL) PushHost(item int32) {
+	w.checkRoom(1)
+	w.Items.I[w.tail.I[0]] = item
+	w.tail.I[0]++
+}
+
+// Pair is a double-buffered in/out worklist pair, swapped between pipe
+// iterations.
+type Pair struct {
+	In, Out *WL
+}
+
+// NewPair allocates a double-buffered pair.
+func NewPair(e *spmd.Engine, name string, capacity int) *Pair {
+	return &Pair{
+		In:  New(e, name+".in", capacity),
+		Out: New(e, name+".out", capacity),
+	}
+}
+
+// Swap exchanges in and out and clears the new out.
+func (p *Pair) Swap() {
+	p.In, p.Out = p.Out, p.In
+	p.Out.Clear()
+}
