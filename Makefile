@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test race fuzz ci clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the graph readers (satellite of the robustness layer).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadDIMACS$$' -fuzztime 10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime 10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s ./internal/graph
+
+ci: vet build race
+
+clean:
+	$(GO) clean ./...

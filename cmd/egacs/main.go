@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/machine"
@@ -46,6 +49,13 @@ func main() {
 		serial    = flag.Bool("serial", false, "run the serial build (scalar, 1 task, no opts)")
 		profile   = flag.Bool("profile", false, "print a per-kernel phase profile")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+
+		faultProb = flag.Float64("fault-inject", 0, "per-access probability of injected gather/scatter index faults")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault injector seed (same seed reproduces the same trace)")
+		maxIters  = flag.Int("max-iters", 0, "abort any pipe loop after this many iterations (0 = unlimited)")
+		deadline  = flag.Duration("deadline", 0, "wall-clock deadline for the run, e.g. 30s (0 = none)")
+		stallWin  = flag.Int("stall-window", 0, "identical-frontier iterations before declaring non-convergence (0 = off)")
+		fallback  = flag.Bool("fallback", false, "degrade gracefully: retry, then scalar baselines, then serial reference")
 	)
 	flag.Parse()
 
@@ -92,6 +102,19 @@ func main() {
 		cfg.Src = g.MaxDegreeNode()
 	}
 
+	cfg.Budget = fault.Budget{MaxIters: *maxIters, StallWindow: *stallWin}
+	if *deadline > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+		defer cancel()
+		cfg.Budget.Ctx = ctx
+	}
+	if *faultProb > 0 {
+		cfg.Inject = fault.NewInjector(*faultSeed, fault.Config{
+			GatherIndex:  *faultProb,
+			ScatterIndex: *faultProb,
+		})
+	}
+
 	if !*jsonOut {
 		fmt.Printf("benchmark: %s\ninput:     %s (%d nodes, %d edges)\nmachine:   %s\n",
 			bench.Name, g.Name, g.NumNodes(), g.NumEdges(), m)
@@ -103,7 +126,15 @@ func main() {
 			shownTasks, ts.Name, opts, cfg.Src)
 	}
 
+	if *fallback {
+		runResilient(bench, g, cfg, *jsonOut, *verify)
+		return
+	}
+
 	res, err := core.Run(bench, g, cfg)
+	if err != nil && cfg.Inject != nil && !*jsonOut {
+		fmt.Fprintf(os.Stderr, "fault trace:\n%s", cfg.Inject.TraceString())
+	}
 	fail(err)
 
 	if *jsonOut {
@@ -143,6 +174,68 @@ func main() {
 		}
 		fmt.Println("verify:    output matches the serial reference")
 	}
+}
+
+// runResilient executes with graceful degradation and reports which path
+// served the result.
+func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonOut, verify bool) {
+	res, err := core.RunResilient(bench, g, cfg)
+	if err != nil {
+		if cfg.Inject != nil {
+			fmt.Fprintf(os.Stderr, "fault trace:\n%s", cfg.Inject.TraceString())
+		}
+		fail(err)
+	}
+	verr := ""
+	if verify {
+		if err := res.Output.Verify(bench, g, cfg.Src); err != nil {
+			verr = err.Error()
+		}
+	}
+	if jsonOut {
+		rep := resilientReport{
+			Benchmark:   bench.Name,
+			Graph:       g.Name,
+			ServedPath:  res.Path,
+			Degraded:    res.Degraded(),
+			VerifyError: verr,
+			Verified:    verr == "",
+		}
+		for _, aerr := range res.Attempts {
+			rep.Attempts = append(rep.Attempts, aerr.Error())
+		}
+		if cfg.Inject != nil {
+			rep.FaultTrace = cfg.Inject.TraceString()
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		fail(err)
+		fmt.Println(string(out))
+	} else {
+		for i, aerr := range res.Attempts {
+			fmt.Printf("attempt %d: %v\n", i+1, aerr)
+		}
+		fmt.Printf("served by: %s (degraded=%v)\n", res.Path, res.Degraded())
+		if verr != "" {
+			fmt.Fprintf(os.Stderr, "VERIFY FAILED: %v\n", verr)
+		} else if verify {
+			fmt.Println("verify:    output matches the serial reference")
+		}
+	}
+	if verr != "" {
+		os.Exit(1)
+	}
+}
+
+// resilientReport is the -json output schema under -fallback.
+type resilientReport struct {
+	Benchmark   string   `json:"benchmark"`
+	Graph       string   `json:"graph"`
+	ServedPath  string   `json:"served_path"`
+	Degraded    bool     `json:"degraded"`
+	Attempts    []string `json:"attempt_errors,omitempty"`
+	FaultTrace  string   `json:"fault_trace,omitempty"`
+	VerifyError string   `json:"verify_error,omitempty"`
+	Verified    bool     `json:"verified"`
 }
 
 // runReport is the -json output schema.
@@ -207,14 +300,25 @@ func loadGraph(file, input, scale string, seed uint64) (*graph.CSR, error) {
 			return nil, err
 		}
 		defer f.Close()
-		if g, err := graph.ReadBinary(f); err == nil {
+		// Format sniffing: fall through on a format mismatch, but stop on
+		// definite corruption — the file matched a format and is broken, and
+		// the next parser's error would only mask the real one.
+		g, err := graph.ReadBinary(f)
+		if err == nil {
 			return g, nil
+		}
+		if errors.Is(err, fault.ErrCorruptGraph) {
+			return nil, fmt.Errorf("%s: %w", file, err)
 		}
 		if _, err := f.Seek(0, 0); err != nil {
 			return nil, err
 		}
-		if g, err := graph.ReadDIMACS(f); err == nil {
+		g, err = graph.ReadDIMACS(f)
+		if err == nil {
 			return g, nil
+		}
+		if errors.Is(err, fault.ErrCorruptGraph) {
+			return nil, fmt.Errorf("%s: %w", file, err)
 		}
 		if _, err := f.Seek(0, 0); err != nil {
 			return nil, err

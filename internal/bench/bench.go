@@ -19,10 +19,18 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 )
+
+// RunBudget bounds every experiment run that does not set its own budget: a
+// regression that stops a kernel from converging fails the experiment with a
+// typed error instead of spinning the suite forever. The iteration cap is
+// far above any legitimate run on the evaluation inputs (deep road grids
+// need thousands of BFS iterations; none need a million).
+var RunBudget = fault.Budget{MaxIters: 1 << 20, StallWindow: 4096}
 
 // Table is one renderable result table.
 type Table struct {
@@ -166,6 +174,9 @@ func geomean(xs []float64) float64 {
 
 // runMS executes one EGACS configuration and returns modeled milliseconds.
 func runMS(b *kernels.Benchmark, g *graph.CSR, cfg core.Config) float64 {
+	if !cfg.Budget.Enabled() {
+		cfg.Budget = RunBudget
+	}
 	res, err := core.Run(b, g, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("bench: %s on %s: %v", b.Name, g.Name, err))

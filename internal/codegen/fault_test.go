@@ -1,0 +1,78 @@
+package codegen
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// stallProg spins forever: the kernel pushes every popped node straight back
+// to the out list, so the frontier never changes.
+func stallProg(outline ir.Outlining) *ir.Program {
+	return &ir.Program{
+		Name:    "stall",
+		Arrays:  []ir.ArrayDecl{{Name: "x", T: ir.I32, Size: ir.SizeNodes}},
+		WLInit:  ir.WLSrc,
+		Outline: outline,
+		Kernels: []*ir.Kernel{{
+			Name: "spin", Domain: ir.DomainWL, ItemVar: "node",
+			Body: []ir.Stmt{ir.PushOut(ir.V("node"))},
+		}},
+		Pipe: []ir.PipeStmt{&ir.LoopWL{Body: []ir.PipeStmt{&ir.Invoke{Kernel: "spin"}}}},
+	}
+}
+
+func bindStalled(t *testing.T, outline ir.Outlining, b fault.Budget) *Instance {
+	t.Helper()
+	m := MustCompile(stallProg(outline))
+	e := newEngine()
+	e.Budget = b
+	in, err := m.Bind(e, graph.Road(4, 4, 4, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestStallWatchdog(t *testing.T) {
+	for _, outline := range []ir.Outlining{ir.LaunchPerIteration, ir.Outlined} {
+		in := bindStalled(t, outline, fault.Budget{StallWindow: 8})
+		err := in.Run()
+		if !errors.Is(err, fault.ErrNonConvergence) {
+			t.Fatalf("outline=%v: stalled loop returned %v", outline, err)
+		}
+		var ce *fault.ConvergenceError
+		if !errors.As(err, &ce) || ce.Window != 8 || ce.Loop != "loop-wl" {
+			t.Errorf("outline=%v: detail = %+v", outline, ce)
+		}
+	}
+}
+
+func TestIterationBudget(t *testing.T) {
+	for _, outline := range []ir.Outlining{ir.LaunchPerIteration, ir.Outlined} {
+		in := bindStalled(t, outline, fault.Budget{MaxIters: 10})
+		err := in.Run()
+		if !errors.Is(err, fault.ErrBudgetExceeded) {
+			t.Fatalf("outline=%v: unbounded loop returned %v", outline, err)
+		}
+		var be *fault.BudgetError
+		if !errors.As(err, &be) || be.Resource != "iterations" {
+			t.Errorf("outline=%v: detail = %+v", outline, be)
+		}
+	}
+}
+
+func TestDeadlineBudget(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := bindStalled(t, ir.LaunchPerIteration, fault.Budget{Ctx: ctx})
+	err := in.Run()
+	var be *fault.BudgetError
+	if !errors.As(err, &be) || be.Resource != "deadline" {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+}

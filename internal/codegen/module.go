@@ -157,7 +157,7 @@ func (in *Instance) FootprintBytes() int64 {
 // initState (re)initializes arrays and worklists per their declarations;
 // this setup is untimed, matching the methodology of timing only the
 // algorithm (Section IV: "excluding graph loading and output writing").
-func (in *Instance) initState() {
+func (in *Instance) initState() error {
 	src := in.Params["src"]
 	nn := in.G.NumNodes()
 	for _, d := range in.M.Prog.Arrays {
@@ -202,17 +202,22 @@ func (in *Instance) initState() {
 		in.wl.In.Clear()
 		in.wl.Out.Clear()
 		in.far.Clear()
-		in.wl.In.InitWith(src)
+		if err := in.wl.In.InitWith(src); err != nil {
+			return err
+		}
 	case ir.WLAllNodes:
 		in.wl.In.Clear()
 		in.wl.Out.Clear()
 		in.far.Clear()
-		in.wl.In.InitSequence(nn)
+		if err := in.wl.In.InitSequence(nn); err != nil {
+			return err
+		}
 	}
 	// Near-far threshold starts at one delta.
 	if d, ok := in.Params["delta"]; ok {
 		in.Params["threshold"] = d
 	}
+	return nil
 }
 
 func hash32(x int32) int32 {
@@ -224,12 +229,15 @@ func hash32(x int32) int32 {
 }
 
 // Run initializes state and executes the pipe, advancing the engine's
-// modeled clock and statistics.
-func (in *Instance) Run() {
-	in.initState()
-	if in.M.Prog.Outline == ir.Outlined {
-		in.runOutlined()
-	} else {
-		in.runHost()
+// modeled clock and statistics. Failures — bounds violations, worklist
+// overflows, budget exhaustion, stalled loops, recovered kernel panics —
+// surface as typed errors matching the internal/fault taxonomy.
+func (in *Instance) Run() error {
+	if err := in.initState(); err != nil {
+		return err
 	}
+	if in.M.Prog.Outline == ir.Outlined {
+		return in.runOutlined()
+	}
+	return in.runHost()
 }

@@ -3,41 +3,114 @@ package codegen
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/spmd"
 )
 
+// loopGuard bounds one pipe loop: it enforces the engine budget's iteration
+// cap and wall-clock deadline at every loop head, and arms the stalled-
+// frontier watchdog for worklist-driven loops. In outlined mode every task
+// replicates loop control, so each replica carries its own guard; all
+// replicas observe identical shared state between barriers and therefore
+// trip deterministically at the same loop head.
+type loopGuard struct {
+	in    *Instance
+	loop  string
+	iters int
+	sig   uint64
+	same  int
+}
+
+func (in *Instance) newGuard(loop string) *loopGuard {
+	return &loopGuard{in: in, loop: loop}
+}
+
+// frontierSig hashes a worklist's contents (FNV-1a over items + length), the
+// progress signature watched by the non-convergence watchdog.
+func frontierSig(items []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range items {
+		h = (h ^ uint64(uint32(x))) * 1099511628211
+	}
+	return (h ^ uint64(len(items))) * 1099511628211
+}
+
+// tick runs the per-iteration checks. watch arms the frontier watchdog over
+// the pipeline-in worklist (worklist loops only).
+func (g *loopGuard) tick(watch bool) error {
+	g.iters++
+	g.in.E.MarkIteration(int64(g.iters))
+	b := g.in.E.Budget
+	if err := b.CheckIters(g.iters); err != nil {
+		return err
+	}
+	if err := b.CheckCtx(); err != nil {
+		return err
+	}
+	if watch && b.StallWindow > 0 {
+		sig := frontierSig(g.in.wl.In.Slice())
+		if g.iters > 1 && sig == g.sig {
+			g.same++
+			if g.same >= b.StallWindow {
+				return &fault.ConvergenceError{
+					Loop: g.loop, Iterations: g.iters, Window: b.StallWindow,
+				}
+			}
+		} else {
+			g.same = 0
+		}
+		g.sig = sig
+	}
+	return nil
+}
+
 // runHost executes the pipe with the default translation: every kernel
 // invocation is a fresh task launch and loop control runs on the host —
 // launch overhead lands on the critical path once per iteration.
-func (in *Instance) runHost() {
-	in.execHost(in.M.Prog.Pipe)
+func (in *Instance) runHost() error {
+	return in.execHost(in.M.Prog.Pipe)
 }
 
-func (in *Instance) execHost(stmts []ir.PipeStmt) {
+func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 	for _, s := range stmts {
 		switch s := s.(type) {
 		case *ir.Invoke:
 			kc := in.M.kernels[s.Kernel]
-			in.E.Launch(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
+			err := in.E.Launch(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
+			if err != nil {
+				return err
+			}
 
 		case *ir.LoopWL:
+			g := in.newGuard("loop-wl")
 			for in.wl.In.Size() > 0 {
-				in.execHost(s.Body)
+				if err := g.tick(true); err != nil {
+					return err
+				}
+				if err := in.execHost(s.Body); err != nil {
+					return err
+				}
 				in.wl.Swap()
 			}
 
 		case *ir.LoopFlag:
 			flag := in.arrays[s.Flag]
+			g := in.newGuard("loop-flag")
 			for {
+				if err := g.tick(false); err != nil {
+					return err
+				}
 				flag.I[0] = 0
-				in.execHost(s.Body)
+				if err := in.execHost(s.Body); err != nil {
+					return err
+				}
 				done := flag.I[0] == 0
 				if s.IncParam != "" {
 					in.Params[s.IncParam]++
 				}
 				if done {
-					return
+					break
 				}
 			}
 
@@ -46,42 +119,75 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) {
 			if s.NParam != "" {
 				n = int(in.Params[s.NParam])
 			}
+			g := in.newGuard("loop-fixed")
 			for i := 0; i < n; i++ {
-				in.execHost(s.Body)
+				if err := g.tick(false); err != nil {
+					return err
+				}
+				if err := in.execHost(s.Body); err != nil {
+					return err
+				}
 			}
 
 		case *ir.LoopConverge:
 			acc := in.arrays[s.Acc]
+			g := in.newGuard("loop-converge")
 			for it := 0; it < s.MaxIter; it++ {
+				if err := g.tick(false); err != nil {
+					return err
+				}
 				acc.F[0] = 0
-				in.execHost(s.Body)
+				if err := in.execHost(s.Body); err != nil {
+					return err
+				}
 				if acc.F[0] <= s.Eps {
-					return
+					break
 				}
 			}
 
 		case *ir.LoopNearFar:
 			kc := in.M.kernels[s.Kernel]
+			outer := in.newGuard("loop-nearfar")
+			inner := in.newGuard("loop-nearfar-inner")
 			for {
+				if err := outer.tick(false); err != nil {
+					return err
+				}
 				for in.wl.In.Size() > 0 {
-					in.E.Launch(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
+					if err := inner.tick(true); err != nil {
+						return err
+					}
+					err := in.E.Launch(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
+					if err != nil {
+						return err
+					}
 					in.wl.Swap()
 				}
 				if in.far.Size() == 0 {
-					return
+					break
 				}
-				in.promoteFar(s.DeltaParam)
+				if err := in.promoteFar(s.DeltaParam); err != nil {
+					return err
+				}
 			}
 
 		case *ir.SwapWL:
 			in.wl.Swap()
 
 		case *ir.LoopHybrid:
+			g := in.newGuard("loop-hybrid")
 			for in.wl.In.Size() > 0 {
+				if err := g.tick(true); err != nil {
+					return err
+				}
+				var err error
 				if int(in.wl.In.Size())*s.ThreshDenom < int(in.G.NumNodes()) {
-					in.execHost(s.Small)
+					err = in.execHost(s.Small)
 				} else {
-					in.execHost(s.Big)
+					err = in.execHost(s.Big)
+				}
+				if err != nil {
+					return err
 				}
 				in.wl.Swap()
 				if s.IncParam != "" {
@@ -93,15 +199,19 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) {
 			panic(fmt.Sprintf("codegen: unknown pipe statement %T", s))
 		}
 	}
+	return nil
 }
 
 // promoteFar moves the far list into the near (pipeline-in) list and
 // advances the threshold by delta: one near-far bucket promotion.
-func (in *Instance) promoteFar(deltaParam string) {
+func (in *Instance) promoteFar(deltaParam string) error {
 	in.wl.In.Clear()
-	in.wl.In.InitWith(in.far.Slice()...)
+	if err := in.wl.In.InitWith(in.far.Slice()...); err != nil {
+		return err
+	}
 	in.far.Clear()
 	in.Params["threshold"] += in.Params[deltaParam]
+	return nil
 }
 
 // runOutlined executes the pipe under Iteration Outlining: one task launch
@@ -109,11 +219,19 @@ func (in *Instance) promoteFar(deltaParam string) {
 // synchronized by barriers (Listing 2's bfs_loop transformation). Shared
 // mutations (worklist swaps, flag clears, parameter bumps) are performed by
 // task 0 in a dedicated barrier-delimited segment so every task observes a
-// consistent view.
-func (in *Instance) runOutlined() {
-	in.E.Launch(0, func(tc *spmd.TaskCtx) {
+// consistent view. Guard violations unwind through TaskCtx.Fail, so the
+// launch returns the same typed errors as host-mode execution.
+func (in *Instance) runOutlined() error {
+	return in.E.Launch(0, func(tc *spmd.TaskCtx) {
 		in.execTask(in.M.Prog.Pipe, tc)
 	})
+}
+
+// tickTask is the outlined-mode guard check: a violation unwinds the task.
+func (g *loopGuard) tickTask(tc *spmd.TaskCtx, watch bool) {
+	if err := g.tick(watch); err != nil {
+		tc.Fail(err)
+	}
 }
 
 func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
@@ -124,10 +242,12 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 			tc.Barrier()
 
 		case *ir.LoopWL:
+			g := in.newGuard("loop-wl")
 			for {
 				if in.wl.In.Size() == 0 {
 					break
 				}
+				g.tickTask(tc, true)
 				in.execTask(s.Body, tc)
 				if tc.Index == 0 {
 					in.wl.Swap()
@@ -137,7 +257,9 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 
 		case *ir.LoopFlag:
 			flag := in.arrays[s.Flag]
+			g := in.newGuard("loop-flag")
 			for {
+				g.tickTask(tc, false)
 				if tc.Index == 0 {
 					flag.I[0] = 0
 				}
@@ -159,13 +281,17 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 			if s.NParam != "" {
 				n = int(in.Params[s.NParam])
 			}
+			g := in.newGuard("loop-fixed")
 			for i := 0; i < n; i++ {
+				g.tickTask(tc, false)
 				in.execTask(s.Body, tc)
 			}
 
 		case *ir.LoopConverge:
 			acc := in.arrays[s.Acc]
+			g := in.newGuard("loop-converge")
 			for it := 0; it < s.MaxIter; it++ {
+				g.tickTask(tc, false)
 				if tc.Index == 0 {
 					acc.F[0] = 0
 				}
@@ -180,11 +306,15 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 
 		case *ir.LoopNearFar:
 			kc := in.M.kernels[s.Kernel]
+			outer := in.newGuard("loop-nearfar")
+			inner := in.newGuard("loop-nearfar-inner")
 			for {
+				outer.tickTask(tc, false)
 				for {
 					if in.wl.In.Size() == 0 {
 						break
 					}
+					inner.tickTask(tc, true)
 					kc.runTask(in, tc)
 					tc.Barrier()
 					if tc.Index == 0 {
@@ -198,7 +328,9 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 					break
 				}
 				if tc.Index == 0 {
-					in.promoteFar(s.DeltaParam)
+					if err := in.promoteFar(s.DeltaParam); err != nil {
+						tc.Fail(err)
+					}
 				}
 				tc.Barrier()
 			}
@@ -210,10 +342,12 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 			tc.Barrier()
 
 		case *ir.LoopHybrid:
+			g := in.newGuard("loop-hybrid")
 			for {
 				if in.wl.In.Size() == 0 {
 					break
 				}
+				g.tickTask(tc, true)
 				if int(in.wl.In.Size())*s.ThreshDenom < int(in.G.NumNodes()) {
 					in.execTask(s.Small, tc)
 				} else {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/codegen"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/machine"
@@ -49,6 +50,11 @@ type Config struct {
 	// ProfileKernels enables per-kernel phase attribution; read the result
 	// via Result.Engine.Profile() or WriteProfile.
 	ProfileKernels bool
+	// Budget bounds the run (iteration cap, modeled-cycle cap, stall
+	// watchdog, wall-clock deadline). The zero value disables all limits.
+	Budget fault.Budget
+	// Inject attaches a deterministic fault injector to the run's engine.
+	Inject *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +100,21 @@ func PrepareGraph(b *kernels.Benchmark, g *graph.CSR) *graph.CSR {
 	return g
 }
 
+// runParams resolves the effective parameter map: src, then benchmark
+// defaults for the input, then explicit overrides.
+func runParams(b *kernels.Benchmark, g *graph.CSR, cfg Config) map[string]int32 {
+	params := map[string]int32{"src": cfg.Src}
+	if b.Params != nil {
+		for k, v := range b.Params(g) {
+			params[k] = v
+		}
+	}
+	for k, v := range cfg.Params {
+		params[k] = v
+	}
+	return params
+}
+
 // Run compiles the benchmark under cfg and executes it on g. The graph must
 // already be prepared (see PrepareGraph).
 func Run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
@@ -111,25 +132,19 @@ func Run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
 	e.TaskSys = *cfg.TaskSys
 	e.NoSMT = cfg.NoSMT
 	e.Pager = cfg.Pager
+	e.Budget = cfg.Budget
+	e.Inject = cfg.Inject
 	if cfg.ProfileKernels {
 		e.EnableProfiling()
 	}
 
-	params := map[string]int32{"src": cfg.Src}
-	if b.Params != nil {
-		for k, v := range b.Params(g) {
-			params[k] = v
-		}
-	}
-	for k, v := range cfg.Params {
-		params[k] = v
-	}
-
-	inst, err := mod.Bind(e, g, params)
+	inst, err := mod.Bind(e, g, runParams(b, g, cfg))
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
 	}
-	inst.Run()
+	if err := inst.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
+	}
 	return &Result{
 		TimeMS:   e.TimeMS(),
 		Stats:    e.Stats,

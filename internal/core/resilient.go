@@ -1,0 +1,65 @@
+package core
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// RunResilient executes a benchmark with graceful degradation: the vector
+// engine first (retried once, since injected faults are drawn per-access and
+// may clear on a second attempt), then each scalar baseline framework that
+// implements the benchmark, then the benchmark's serial reference. The
+// result reports which path served and the error of every failed attempt.
+//
+// The graph must already be prepared (see PrepareGraph). Budget and injector
+// settings in cfg apply to the vector attempts only — fallbacks exist
+// precisely to survive them.
+func RunResilient(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*kernels.ResilientResult, error) {
+	cfg = cfg.withDefaults()
+	vector := func() (*kernels.RunOutput, error) {
+		res, err := Run(b, g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return outputOf(b, res), nil
+	}
+	return kernels.RunResilient(b, g, runParams(b, g, cfg), cfg.Src,
+		vector, baselineFallbacks(b, cfg))
+}
+
+// outputOf collects a run's declared output arrays into a RunOutput.
+func outputOf(b *kernels.Benchmark, res *Result) *kernels.RunOutput {
+	out := &kernels.RunOutput{I: map[string][]int32{}, F: map[string][]float32{}}
+	for _, d := range b.Prog.Arrays {
+		if a := res.Instance.ArrayI(d.Name); a != nil {
+			out.I[d.Name] = a
+		} else if f := res.Instance.ArrayF(d.Name); f != nil {
+			out.F[d.Name] = f
+		}
+	}
+	return out
+}
+
+// baselineFallbacks wraps the scalar baseline frameworks that implement b as
+// fallback runners, in framework presentation order.
+func baselineFallbacks(b *kernels.Benchmark, cfg Config) []kernels.FallbackRunner {
+	var out []kernels.FallbackRunner
+	for _, fw := range baselines.Frameworks() {
+		fw := fw
+		if !fw.Supports(b.Name) {
+			continue
+		}
+		out = append(out, kernels.FallbackRunner{
+			Name: fw.Name,
+			Run: func(b *kernels.Benchmark, g *graph.CSR, src int32) (*kernels.RunOutput, error) {
+				res, err := fw.Run(b.Name, g, cfg.Machine, cfg.Tasks, src)
+				if err != nil {
+					return nil, err
+				}
+				return &kernels.RunOutput{I: res.OutI, F: res.OutF}, nil
+			},
+		})
+	}
+	return out
+}

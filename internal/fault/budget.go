@@ -1,0 +1,57 @@
+package fault
+
+import (
+	"context"
+)
+
+// Budget bounds one run of the execution engine. The zero value disables all
+// limits. Budgets are enforced at launch boundaries and pipe-loop heads, the
+// natural preemption points of the cooperative engine.
+type Budget struct {
+	// MaxIters caps the iteration count of any single pipe loop; exceeding
+	// it yields a BudgetError("iterations"). 0 disables.
+	MaxIters int
+	// MaxCycles caps total modeled core cycles; exceeding it yields a
+	// BudgetError("cycles"). 0 disables.
+	MaxCycles float64
+	// StallWindow arms the non-convergence watchdog: if a worklist loop's
+	// frontier is bit-identical for this many consecutive iterations the run
+	// aborts with a ConvergenceError. 0 disables.
+	StallWindow int
+	// Ctx carries a wall-clock deadline or cancellation; a done context
+	// yields a BudgetError("deadline"). nil disables.
+	Ctx context.Context
+}
+
+// Enabled reports whether any limit is armed.
+func (b Budget) Enabled() bool {
+	return b.MaxIters > 0 || b.MaxCycles > 0 || b.StallWindow > 0 || b.Ctx != nil
+}
+
+// CheckCtx returns a typed error when the budget's context is done.
+func (b Budget) CheckCtx() error {
+	if b.Ctx == nil {
+		return nil
+	}
+	if err := b.Ctx.Err(); err != nil {
+		return &BudgetError{Resource: "deadline", Cause: err}
+	}
+	return nil
+}
+
+// CheckCycles returns a typed error when used modeled cycles exceed the cap.
+func (b Budget) CheckCycles(used float64) error {
+	if b.MaxCycles > 0 && used > b.MaxCycles {
+		return &BudgetError{Resource: "cycles", Limit: b.MaxCycles, Used: used}
+	}
+	return nil
+}
+
+// CheckIters returns a typed error when a loop's iteration count exceeds the
+// cap.
+func (b Budget) CheckIters(iters int) error {
+	if b.MaxIters > 0 && iters > b.MaxIters {
+		return &BudgetError{Resource: "iterations", Limit: float64(b.MaxIters), Used: float64(iters)}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTaxonomyUnwrapsToSentinels(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel error
+	}{
+		{&BoundsError{Op: "gather", Array: "lvl", Lane: 3, Index: 99, Len: 10}, ErrOutOfBounds},
+		{&OverflowError{Worklist: "pipe.out", Size: 8, Push: 4, Cap: 10}, ErrWorklistOverflow},
+		{&ConvergenceError{Loop: "loop-wl", Iterations: 52, Window: 16}, ErrNonConvergence},
+		{&BudgetError{Resource: "cycles", Limit: 100, Used: 150}, ErrBudgetExceeded},
+		{&PanicError{Task: 2, Kernel: "bfs", Iteration: 7, Value: "boom"}, ErrKernelPanic},
+	}
+	all := []error{ErrOutOfBounds, ErrWorklistOverflow, ErrNonConvergence,
+		ErrCorruptGraph, ErrBudgetExceeded, ErrKernelPanic}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%T does not unwrap to %v", c.err, c.sentinel)
+		}
+		for _, other := range all {
+			if other != c.sentinel && errors.Is(c.err, other) {
+				t.Errorf("%T wrongly matches %v", c.err, other)
+			}
+		}
+		if c.err.Error() == "" {
+			t.Errorf("%T has empty message", c.err)
+		}
+	}
+}
+
+func TestBoundsErrorDetail(t *testing.T) {
+	err := &BoundsError{Op: "gather", Array: "lvl", Lane: 5, Index: -3, Len: 64}
+	msg := err.Error()
+	for _, want := range []string{"gather", "lvl", "lane 5", "-3", "64"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	var be *BoundsError
+	if !errors.As(error(err), &be) || be.Lane != 5 {
+		t.Error("errors.As lost lane detail")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{GatherIndex: 0.3, ScatterIndex: 0.2, Overflow: 0.1}
+	run := func(seed uint64) (string, []int32) {
+		in := NewInjector(seed, cfg)
+		var got []int32
+		for i := 0; i < 200; i++ {
+			idx, _ := in.CorruptIndex("gather", "a", i%8, int32(i), 100)
+			got = append(got, idx)
+			if i%3 == 0 {
+				in.CorruptIndex("scatter", "b", i%8, int32(i), 50)
+			}
+			if i%7 == 0 {
+				in.ForceOverflow("wl")
+			}
+		}
+		return in.TraceString(), got
+	}
+	t1, g1 := run(42)
+	t2, g2 := run(42)
+	if t1 != t2 {
+		t.Fatalf("same seed, different traces:\n%s\nvs\n%s", t1, t2)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("same seed, different corruption at %d: %d vs %d", i, g1[i], g2[i])
+		}
+	}
+	if t1 == "" {
+		t.Fatal("no faults injected at 30% over 200 draws")
+	}
+	t3, _ := run(43)
+	if t1 == t3 {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestInjectorReset(t *testing.T) {
+	in := NewInjector(7, Config{GatherIndex: 0.5})
+	for i := 0; i < 50; i++ {
+		in.CorruptIndex("gather", "a", 0, int32(i), 10)
+	}
+	first := in.TraceString()
+	in.Reset()
+	for i := 0; i < 50; i++ {
+		in.CorruptIndex("gather", "a", 0, int32(i), 10)
+	}
+	if in.TraceString() != first {
+		t.Error("Reset did not rewind the stream")
+	}
+}
+
+func TestInjectorCorruptsOutOfRange(t *testing.T) {
+	in := NewInjector(1, Config{GatherIndex: 1.0})
+	for i := 0; i < 64; i++ {
+		idx, injected := in.CorruptIndex("gather", "a", 0, 5, 10)
+		if !injected {
+			t.Fatal("probability 1.0 did not inject")
+		}
+		if idx >= 0 && idx < 10 {
+			t.Fatalf("injected index %d is in range", idx)
+		}
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	if idx, ok := in.CorruptIndex("gather", "a", 0, 3, 10); ok || idx != 3 {
+		t.Error("nil injector corrupted an index")
+	}
+	if in.ForceOverflow("wl") {
+		t.Error("nil injector forced an overflow")
+	}
+	if in.Trace() != nil {
+		t.Error("nil injector has a trace")
+	}
+}
+
+func TestInjectorCorruptCSR(t *testing.T) {
+	in := NewInjector(3, Config{RowPtr: 1.0})
+	rp := []int32{0, 2, 4, 6}
+	n := in.CorruptCSR(rp, 6)
+	if n != len(rp) {
+		t.Fatalf("corrupted %d of %d entries at probability 1", n, len(rp))
+	}
+	for i, v := range rp {
+		if v <= 6 {
+			t.Errorf("entry %d = %d not driven past edge count", i, v)
+		}
+	}
+}
+
+func TestBudgetChecks(t *testing.T) {
+	var zero Budget
+	if zero.Enabled() {
+		t.Error("zero budget reports enabled")
+	}
+	if zero.CheckCtx() != nil || zero.CheckCycles(1e18) != nil || zero.CheckIters(1<<30) != nil {
+		t.Error("zero budget enforces limits")
+	}
+
+	b := Budget{MaxIters: 10, MaxCycles: 100}
+	if err := b.CheckIters(10); err != nil {
+		t.Errorf("at-limit iters rejected: %v", err)
+	}
+	if err := b.CheckIters(11); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("over-limit iters: %v", err)
+	}
+	if err := b.CheckCycles(101); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("over-limit cycles: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := Budget{Ctx: ctx}
+	if err := d.CheckCtx(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("cancelled ctx: %v", err)
+	}
+	var be *BudgetError
+	if err := d.CheckCtx(); !errors.As(err, &be) || be.Resource != "deadline" {
+		t.Error("deadline violation missing resource detail")
+	}
+}

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InjectorConfig sets per-site fault probabilities in [0,1].
+type InjectorConfig struct {
+	// GatherIndex is the per-active-lane probability that a gather index is
+	// driven out of the addressed array's range.
+	GatherIndex float64
+	// ScatterIndex is the same for scatter (and per-lane atomic) indices.
+	ScatterIndex float64
+	// RowPtr is the per-entry probability that CorruptCSR flips a row
+	// pointer.
+	RowPtr float64
+	// Overflow is the per-check probability that a worklist room check is
+	// forced to report overflow.
+	Overflow float64
+}
+
+// Event is one injected fault, in injection order.
+type Event struct {
+	Seq  int    // 0-based injection sequence number
+	Kind string // "gather", "scatter", "rowptr", "overflow"
+	Site string // array or worklist name
+	Lane int    // SIMD lane, -1 when not lane-addressed
+	Old  int32  // value before corruption (0 for overflow)
+	New  int32  // injected value (0 for overflow)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s@%s lane=%d %d->%d", e.Seq, e.Kind, e.Site, e.Lane, e.Old, e.New)
+}
+
+// Injector is a seeded deterministic fault injector. Given the same seed,
+// configuration and (deterministic) execution, it corrupts the same sites in
+// the same order, so every failure is reproducible from its seed. A nil
+// *Injector is valid and injects nothing.
+type Injector struct {
+	icfg  InjectorConfig
+	seed  uint64
+	state uint64
+	trace []Event
+}
+
+// Config is an alias of InjectorConfig, the conventional name at call sites
+// (fault.Config{...}).
+type Config = InjectorConfig
+
+// NewInjector returns an injector over a splitmix64 stream seeded with seed.
+func NewInjector(seed uint64, cfg Config) *Injector {
+	return &Injector{icfg: cfg, seed: seed, state: seed}
+}
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// Reset rewinds the random stream to the seed and clears the trace, so a
+// second identically-ordered run reproduces the same faults.
+func (in *Injector) Reset() {
+	in.state = in.seed
+	in.trace = nil
+}
+
+// Trace returns the injected faults so far, in order.
+func (in *Injector) Trace() []Event {
+	if in == nil {
+		return nil
+	}
+	return append([]Event(nil), in.trace...)
+}
+
+// TraceString renders the trace one event per line (for golden comparisons).
+func (in *Injector) TraceString() string {
+	if in == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range in.trace {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// next advances the splitmix64 stream.
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// chance draws one uniform [0,1) variate and compares against p.
+func (in *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(in.next()>>11)/(1<<53) < p
+}
+
+func (in *Injector) record(kind, site string, lane int, old, new int32) {
+	in.trace = append(in.trace, Event{
+		Seq: len(in.trace), Kind: kind, Site: site, Lane: lane, Old: old, New: new,
+	})
+}
+
+// CorruptIndex possibly replaces one memory-primitive index with an
+// out-of-range value. kind is "gather" or "scatter" (selecting the configured
+// probability), site names the addressed array, lane the SIMD lane, idx the
+// genuine index and n the array length. It reports whether injection
+// happened. Each call with an applicable probability advances the random
+// stream exactly once (plus once more on injection), keeping traces aligned
+// across runs.
+func (in *Injector) CorruptIndex(kind, site string, lane int, idx int32, n int) (int32, bool) {
+	if in == nil {
+		return idx, false
+	}
+	var p float64
+	switch kind {
+	case "gather":
+		p = in.icfg.GatherIndex
+	case "scatter":
+		p = in.icfg.ScatterIndex
+	}
+	if p <= 0 || !in.chance(p) {
+		return idx, false
+	}
+	// Out-of-range replacement: past the end, or negative every 4th draw.
+	d := in.next()
+	bad := int32(n) + int32(d%13)
+	if d%4 == 0 {
+		bad = -1 - int32(d%7)
+	}
+	in.record(kind, site, lane, idx, bad)
+	return bad, true
+}
+
+// ForceOverflow reports whether a worklist room check should be forced to
+// fail, simulating exhaustion of the list's backing storage.
+func (in *Injector) ForceOverflow(site string) bool {
+	if in == nil || in.icfg.Overflow <= 0 {
+		return false
+	}
+	if !in.chance(in.icfg.Overflow) {
+		return false
+	}
+	in.record("overflow", site, -1, 0, 0)
+	return true
+}
+
+// CorruptCSR flips row-pointer entries of the given arrays in place with the
+// configured RowPtr probability and returns the number of corruptions. The
+// caller owns the (typically copied) slices; pair with CSR.Validate to
+// exercise ErrCorruptGraph paths.
+func (in *Injector) CorruptCSR(rowPtr []int32, numEdges int32) int {
+	if in == nil || in.icfg.RowPtr <= 0 {
+		return 0
+	}
+	count := 0
+	for i := range rowPtr {
+		if !in.chance(in.icfg.RowPtr) {
+			continue
+		}
+		old := rowPtr[i]
+		bad := numEdges + 1 + int32(in.next()%64)
+		rowPtr[i] = bad
+		in.record("rowptr", "rowptr", i, old, bad)
+		count++
+	}
+	return count
+}

@@ -54,6 +54,8 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("graph: binary header: %w", err)
 	}
+	// A magic mismatch is a format mismatch, not corruption: callers sniffing
+	// formats must be able to fall through to the text parsers.
 	if magic != csrMagic {
 		return nil, fmt.Errorf("graph: bad magic %q (not a CSR1 file)", magic)
 	}
@@ -63,23 +65,20 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 			return nil, fmt.Errorf("graph: binary header: %w", err)
 		}
 	}
-	const maxCount = 1 << 30 // 4 GiB of int32s: sanity bound against corrupt headers
+	const maxCount = 1 << 30 // int32 index limit: sanity bound against corrupt headers
 	if nodes >= maxCount || edges >= maxCount {
-		return nil, fmt.Errorf("graph: implausible sizes in header: %d nodes, %d edges", nodes, edges)
+		return nil, corruptf("graph: implausible sizes in header: %d nodes, %d edges", nodes, edges)
 	}
-	g := &CSR{
-		Name:    "binary",
-		RowPtr:  make([]int32, nodes+1),
-		EdgeDst: make([]int32, edges),
+	g := &CSR{Name: "binary"}
+	var err error
+	if g.RowPtr, err = readInt32s(br, int(nodes)+1); err != nil {
+		return nil, fmt.Errorf("graph: binary payload: %w", err)
+	}
+	if g.EdgeDst, err = readInt32s(br, int(edges)); err != nil {
+		return nil, fmt.Errorf("graph: binary payload: %w", err)
 	}
 	if flags&1 != 0 {
-		g.Weight = make([]int32, edges)
-	}
-	for _, arr := range [][]int32{g.RowPtr, g.EdgeDst, g.Weight} {
-		if arr == nil {
-			continue
-		}
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+		if g.Weight, err = readInt32s(br, int(edges)); err != nil {
 			return nil, fmt.Errorf("graph: binary payload: %w", err)
 		}
 	}
@@ -87,4 +86,28 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("graph: binary file inconsistent: %w", err)
 	}
 	return g, nil
+}
+
+// readInt32s reads exactly n little-endian int32s, growing the destination in
+// chunks so a corrupt header claiming billions of entries allocates no more
+// than the stream actually provides.
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	const chunk = 1 << 20
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]int32, 0, first)
+	for len(out) < n {
+		c := n - len(out)
+		if c > chunk {
+			c = chunk
+		}
+		buf := make([]int32, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
 }

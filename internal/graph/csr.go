@@ -9,7 +9,20 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/fault"
 )
+
+// MaxNodes bounds the node count accepted from external inputs. It keeps a
+// short corrupt header from demanding a multi-gigabyte allocation and leaves
+// headroom below the int32 index limit.
+const MaxNodes = 1 << 28
+
+// corruptf builds a structural-integrity error wrapping fault.ErrCorruptGraph,
+// so readers and validators surface through the typed taxonomy.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, fault.ErrCorruptGraph)...)
+}
 
 // CSR is a directed graph in compressed sparse row form. Edges of node n are
 // EdgeDst[RowPtr[n]:RowPtr[n+1]], with optional parallel weights.
@@ -69,10 +82,13 @@ type Edge struct {
 // grouped by source; relative order within a source is preserved. If
 // weighted is false the weight channel is dropped.
 func FromEdges(numNodes int32, edges []Edge, weighted bool) (*CSR, error) {
+	if numNodes < 0 || numNodes > MaxNodes {
+		return nil, corruptf("graph: node count %d outside [0,%d]", numNodes, MaxNodes)
+	}
 	rowPtr := make([]int32, numNodes+1)
 	for _, e := range edges {
 		if e.Src < 0 || e.Src >= numNodes || e.Dst < 0 || e.Dst >= numNodes {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.Src, e.Dst, numNodes)
+			return nil, corruptf("graph: edge (%d,%d) out of range [0,%d)", e.Src, e.Dst, numNodes)
 		}
 		rowPtr[e.Src+1]++
 	}
@@ -193,30 +209,31 @@ func (g *CSR) SortAdjacency() {
 	}
 }
 
-// Validate checks CSR structural invariants.
+// Validate checks CSR structural invariants. Violations wrap
+// fault.ErrCorruptGraph.
 func (g *CSR) Validate() error {
 	if len(g.RowPtr) == 0 {
-		return fmt.Errorf("graph: empty RowPtr")
+		return corruptf("graph: empty RowPtr")
 	}
 	if g.RowPtr[0] != 0 {
-		return fmt.Errorf("graph: RowPtr[0] = %d, want 0", g.RowPtr[0])
+		return corruptf("graph: RowPtr[0] = %d, want 0", g.RowPtr[0])
 	}
 	n := g.NumNodes()
 	for i := int32(0); i < n; i++ {
 		if g.RowPtr[i] > g.RowPtr[i+1] {
-			return fmt.Errorf("graph: RowPtr not monotone at node %d", i)
+			return corruptf("graph: RowPtr not monotone at node %d", i)
 		}
 	}
 	if g.RowPtr[n] != int32(len(g.EdgeDst)) {
-		return fmt.Errorf("graph: RowPtr[n]=%d != len(EdgeDst)=%d", g.RowPtr[n], len(g.EdgeDst))
+		return corruptf("graph: RowPtr[n]=%d != len(EdgeDst)=%d", g.RowPtr[n], len(g.EdgeDst))
 	}
 	for e, d := range g.EdgeDst {
 		if d < 0 || d >= n {
-			return fmt.Errorf("graph: edge %d dst %d out of range", e, d)
+			return corruptf("graph: edge %d dst %d out of range", e, d)
 		}
 	}
 	if g.Weight != nil && len(g.Weight) != len(g.EdgeDst) {
-		return fmt.Errorf("graph: weight length %d != edge length %d", len(g.Weight), len(g.EdgeDst))
+		return corruptf("graph: weight length %d != edge length %d", len(g.Weight), len(g.EdgeDst))
 	}
 	return nil
 }

@@ -53,7 +53,15 @@ func ReadDIMACS(r io.Reader) (*CSR, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad edge count: %v", line, err)
 			}
+			if nn < 0 || nn > MaxNodes || mm < 0 {
+				return nil, corruptf("graph: line %d: implausible problem size %d nodes, %d edges", line, nn, mm)
+			}
 			n = int32(nn)
+			// Cap the initial allocation: a corrupt header must not
+			// reserve more than the arc lines actually deliver.
+			if mm > 1<<20 {
+				mm = 1 << 20
+			}
 			edges = make([]Edge, 0, mm)
 		case "a":
 			if n < 0 {
@@ -81,6 +89,9 @@ func ReadDIMACS(r io.Reader) (*CSR, error) {
 	}
 	g, err := FromEdges(n, edges, true)
 	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	g.Name = "dimacs"
@@ -139,6 +150,9 @@ func ReadEdgeList(r io.Reader) (*CSR, error) {
 			}
 			weighted = true
 		}
+		if s < 0 || s > MaxNodes-1 || d < 0 || d > MaxNodes-1 {
+			return nil, corruptf("graph: line %d: node id outside [0,%d) in %q", line, MaxNodes, text)
+		}
 		edges = append(edges, Edge{int32(s), int32(d), int32(wt)})
 		if int32(s) > maxID {
 			maxID = int32(s)
@@ -152,6 +166,9 @@ func ReadEdgeList(r io.Reader) (*CSR, error) {
 	}
 	g, err := FromEdges(maxID+1, edges, weighted)
 	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	g.Name = "edgelist"

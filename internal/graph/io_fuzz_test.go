@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// The fuzz targets assert the reader contract: any byte stream either parses
+// into a CSR that passes Validate, or returns an error — never a panic.
+
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add([]byte("p sp 4 3\na 1 2 5\na 2 3 5\na 3 4 5\n"))
+	f.Add([]byte("c comment\np sp 2 1\na 1 2 1\n"))
+	f.Add([]byte("p sp -1 -1\n"))
+	f.Add([]byte("p sp 2 999999999999\na 1 2 1\n"))
+	f.Add([]byte("a 1 2 3\n"))
+	f.Add([]byte("p sp 3 1\na 0 9 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails Validate: %v", verr)
+		}
+	})
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 0\n"))
+	f.Add([]byte("# comment\n0 1 7\n1 0 7\n"))
+	f.Add([]byte("-1 0\n"))
+	f.Add([]byte("2147483647 0\n"))
+	f.Add([]byte("0 1 2 3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails Validate: %v", verr)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	g := Road(4, 4, 4, 1)
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])           // truncated payload
+	f.Add(valid[:10])                     // truncated header
+	f.Add([]byte("CSR1\x00\x00\x00\x00")) // header only
+	f.Add([]byte("NOPE\x00\x00\x00\x00")) // bad magic
+	huge := append([]byte("CSR1"), make([]byte, 12)...)
+	huge[8], huge[9], huge[10], huge[11] = 0xff, 0xff, 0xff, 0x7f // 2^31-1 nodes
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails Validate: %v", verr)
+		}
+	})
+}
+
+// Corrupt inputs must surface through the typed taxonomy so callers can
+// distinguish bad data from I/O failures.
+func TestReadersReturnCorruptGraph(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"dimacs-oob-arc", dimacsErr(t, "p sp 3 1\na 1 9 1\n")},
+		{"dimacs-negative-size", dimacsErr(t, "p sp -4 1\n")},
+		{"edgelist-negative-id", edgeErr(t, "-1 0\n")},
+		{"edgelist-huge-id", edgeErr(t, "300000000 0\n")},
+		{"binary-implausible-header", binErr(t, []byte("CSR1\x00\x00\x00\x00\xff\xff\xff\x7f\x00\x00\x00\x00"))},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: corrupt input accepted", c.name)
+			continue
+		}
+		if !errors.Is(c.err, fault.ErrCorruptGraph) {
+			t.Errorf("%s: error %v does not wrap ErrCorruptGraph", c.name, c.err)
+		}
+	}
+}
+
+func dimacsErr(t *testing.T, in string) error {
+	t.Helper()
+	_, err := ReadDIMACS(strings.NewReader(in))
+	return err
+}
+
+func edgeErr(t *testing.T, in string) error {
+	t.Helper()
+	_, err := ReadEdgeList(strings.NewReader(in))
+	return err
+}
+
+func binErr(t *testing.T, in []byte) error {
+	t.Helper()
+	_, err := ReadBinary(bytes.NewReader(in))
+	return err
+}

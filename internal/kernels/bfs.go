@@ -41,6 +41,9 @@ func BFSWL() *Benchmark {
 	return &Benchmark{
 		Name: "bfs-wl",
 		Prog: prog,
+		Reference: func(g *graph.CSR, _ map[string]int32, src int32) *RunOutput {
+			return &RunOutput{I: map[string][]int32{"lvl": RefBFS(g, src)}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, src int32) error {
 			return verifyLevels(g, get("lvl"), src)
 		},
@@ -98,6 +101,9 @@ func BFSCX() *Benchmark {
 	return &Benchmark{
 		Name: "bfs-cx",
 		Prog: prog,
+		Reference: func(g *graph.CSR, _ map[string]int32, src int32) *RunOutput {
+			return &RunOutput{I: map[string][]int32{"lvl": RefBFS(g, src)}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, src int32) error {
 			return verifyLevels(g, get("lvl"), src)
 		},
@@ -141,6 +147,9 @@ func BFSTP() *Benchmark {
 	return &Benchmark{
 		Name: "bfs-tp",
 		Prog: prog,
+		Reference: func(g *graph.CSR, _ map[string]int32, src int32) *RunOutput {
+			return &RunOutput{I: map[string][]int32{"lvl": RefBFS(g, src)}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, src int32) error {
 			return verifyLevels(g, get("lvl"), src)
 		},
@@ -222,6 +231,9 @@ func BFSHB() *Benchmark {
 	return &Benchmark{
 		Name: "bfs-hb",
 		Prog: prog,
+		Reference: func(g *graph.CSR, _ map[string]int32, src int32) *RunOutput {
+			return &RunOutput{I: map[string][]int32{"lvl": RefBFS(g, src)}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, src int32) error {
 			return verifyLevels(g, get("lvl"), src)
 		},

@@ -60,6 +60,9 @@ func CC() *Benchmark {
 		Name:           "cc",
 		Prog:           prog,
 		NeedsSymmetric: true,
+		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
+			return &RunOutput{I: map[string][]int32{"comp": RefCC(g)}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, _ int32) error {
 			got := get("comp")
 			want := RefCC(g)

@@ -65,6 +65,26 @@ func KCore() *Benchmark {
 			}
 			return map[string]int32{"k": k}
 		},
+		Reference: func(g *graph.CSR, params map[string]int32, _ int32) *RunOutput {
+			k := params["k"]
+			want := RefKCore(g, k)
+			alive := make([]int32, len(want))
+			deg := make([]int32, len(want))
+			for n, ok := range want {
+				if !ok {
+					continue
+				}
+				alive[n] = 1
+				var live int32
+				for _, d := range g.Neighbors(int32(n)) {
+					if want[d] {
+						live++
+					}
+				}
+				deg[n] = live
+			}
+			return &RunOutput{I: map[string][]int32{"alive": alive, "deg": deg}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, _ int32) error {
 			alive := get("alive")
 			// Recover k from the peeled state: use the reference over all

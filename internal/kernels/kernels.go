@@ -29,6 +29,10 @@ type Benchmark struct {
 	Params func(g *graph.CSR) map[string]int32
 	// Verify checks outputs (by bound array) against the serial reference.
 	Verify func(g *graph.CSR, get func(name string) []int32, getF func(name string) []float32, src int32) error
+	// Reference computes the benchmark's output arrays serially: the last
+	// resort of RunResilient's degradation chain. The returned maps use the
+	// same array names as the compiled program, so Verify accepts them.
+	Reference func(g *graph.CSR, params map[string]int32, src int32) *RunOutput
 }
 
 // All returns the paper's benchmark suite in presentation order (Table VIII).

@@ -85,6 +85,19 @@ func MIS() *Benchmark {
 		Name:           "mis",
 		Prog:           prog,
 		NeedsSymmetric: true,
+		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
+			pri := refPri(int(g.NumNodes()))
+			in := RefMIS(g, pri)
+			state := make([]int32, len(in))
+			for i, ok := range in {
+				if ok {
+					state[i] = 1
+				} else {
+					state[i] = 2
+				}
+			}
+			return &RunOutput{I: map[string][]int32{"state": state, "pri": pri}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, _ int32) error {
 			state := get("state")
 			pri := get("pri")

@@ -98,6 +98,12 @@ func MST() *Benchmark {
 		Name:           "mst",
 		Prog:           prog,
 		NeedsSymmetric: true,
+		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
+			return &RunOutput{I: map[string][]int32{
+				"mstwt": {RefMST(g)},
+				"comp":  RefCC(g),
+			}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, _ int32) error {
 			got := get("mstwt")[0]
 			want := RefMST(g)

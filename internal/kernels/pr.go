@@ -70,6 +70,9 @@ func PR() *Benchmark {
 	return &Benchmark{
 		Name: "pr",
 		Prog: prog,
+		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
+			return &RunOutput{F: map[string][]float32{"rank": RefPR(g)}}
+		},
 		Verify: func(g *graph.CSR, _ func(string) []int32, getF func(string) []float32, _ int32) error {
 			got := getF("rank")
 			want := RefPR(g)

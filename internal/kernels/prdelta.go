@@ -70,6 +70,9 @@ func PRDelta() *Benchmark {
 	return &Benchmark{
 		Name: "pr-delta",
 		Prog: prog,
+		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
+			return &RunOutput{F: map[string][]float32{"rank": RefPRDelta(g)}}
+		},
 		Verify: func(g *graph.CSR, _ func(string) []int32, getF func(string) []float32, _ int32) error {
 			got := getF("rank")
 			want := RefPRDelta(g)

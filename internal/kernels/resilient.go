@@ -1,0 +1,115 @@
+package kernels
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// RunOutput is one run's output arrays, keyed by the program's array names
+// ("lvl", "dist", "comp", "rank", ...). The vector engine, the scalar
+// baseline frameworks and the serial references all report through it, so
+// degradation is transparent to result consumers.
+type RunOutput struct {
+	I map[string][]int32
+	F map[string][]float32
+}
+
+// GetI returns an int array by name (nil when absent), matching the
+// Benchmark.Verify accessor shape.
+func (o *RunOutput) GetI(name string) []int32 { return o.I[name] }
+
+// GetF returns a float array by name (nil when absent).
+func (o *RunOutput) GetF(name string) []float32 { return o.F[name] }
+
+// Verify checks the output against the benchmark's serial reference.
+func (o *RunOutput) Verify(b *Benchmark, g *graph.CSR, src int32) error {
+	if b.Verify == nil {
+		return nil
+	}
+	return b.Verify(g, o.GetI, o.GetF, src)
+}
+
+// FallbackRunner is one scalar implementation that can serve a benchmark
+// when the vector engine fails. The indirection keeps this package free of a
+// dependency on internal/baselines (which itself imports kernels); the core
+// driver wires the baseline frameworks in.
+type FallbackRunner struct {
+	// Name identifies the path in ResilientResult.Path (e.g. "ligra").
+	Name string
+	// Run executes the benchmark scalarly; a nil func or an error moves the
+	// chain to the next fallback.
+	Run func(b *Benchmark, g *graph.CSR, src int32) (*RunOutput, error)
+}
+
+// ResilientResult reports which path of the degradation chain served a
+// resilient run, with the errors of every failed attempt.
+type ResilientResult struct {
+	Output *RunOutput
+	// Path is "vector", "vector-retry", a fallback's name, or "reference".
+	Path string
+	// Attempts holds the error of each failed attempt, in order; empty when
+	// the first vector attempt succeeded.
+	Attempts []error
+}
+
+// Degraded reports whether a non-vector path served the result.
+func (r *ResilientResult) Degraded() bool {
+	return r.Path != "vector" && r.Path != "vector-retry"
+}
+
+// RunResilient executes a benchmark with graceful degradation: the vector
+// attempt is retried once on failure (transient injected faults may clear),
+// then each fallback runs in order, and finally the benchmark's serial
+// Reference serves the result. Every failure is recorded in Attempts; an
+// error returns only when every path is exhausted.
+func RunResilient(b *Benchmark, g *graph.CSR, params map[string]int32, src int32,
+	vector func() (*RunOutput, error), fallbacks []FallbackRunner) (*ResilientResult, error) {
+	res := &ResilientResult{}
+	for attempt := 0; attempt < 2; attempt++ {
+		out, err := vector()
+		if err == nil {
+			res.Output = out
+			res.Path = "vector"
+			if attempt > 0 {
+				res.Path = "vector-retry"
+			}
+			return res, nil
+		}
+		res.Attempts = append(res.Attempts, err)
+	}
+	for _, fb := range fallbacks {
+		if fb.Run == nil {
+			continue
+		}
+		out, err := fb.Run(b, g, src)
+		if err == nil {
+			res.Output = out
+			res.Path = fb.Name
+			return res, nil
+		}
+		res.Attempts = append(res.Attempts, fmt.Errorf("%s: %w", fb.Name, err))
+	}
+	if b.Reference != nil {
+		res.Output = b.Reference(g, params, src)
+		res.Path = "reference"
+		return res, nil
+	}
+	return res, fmt.Errorf("kernels: %s: all execution paths failed: %w",
+		b.Name, errors.Join(res.Attempts...))
+}
+
+// refPri reproduces the InitHash priority initialization of the compiled MIS
+// program, so serial references agree with the vector kernels on priorities.
+func refPri(n int) []int32 {
+	pri := make([]int32, n)
+	for i := range pri {
+		u := uint32(i) * 2654435761
+		u ^= u >> 15
+		u *= 2246822519
+		u ^= u >> 13
+		pri[i] = int32(u) & 0x7fffffff
+	}
+	return pri
+}

@@ -1,0 +1,104 @@
+package kernels
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Every benchmark's serial Reference must satisfy its own verifier — the
+// last link of the degradation chain has to produce accepted results.
+func TestReferencePassesVerify(t *testing.T) {
+	g := graph.Random(200, 1200, 16, 7)
+	g.SortAdjacency()
+	sym := g.Symmetrize()
+	for _, b := range AllWithExtensions() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if b.Reference == nil {
+				t.Fatal("benchmark has no Reference")
+			}
+			in := g
+			if b.NeedsSymmetric {
+				in = sym
+			}
+			params := map[string]int32{}
+			if b.Params != nil {
+				for k, v := range b.Params(in) {
+					params[k] = v
+				}
+			}
+			out := b.Reference(in, params, 0)
+			if err := out.Verify(b, in, 0); err != nil {
+				t.Errorf("reference output rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunResilientChain(t *testing.T) {
+	b, err := ByName("bfs-wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := path4()
+	boom := errors.New("vector blew up")
+	ok := &RunOutput{I: map[string][]int32{"lvl": RefBFS(g, 0)}}
+
+	calls := 0
+	failN := func(n int) func() (*RunOutput, error) {
+		calls = 0
+		return func() (*RunOutput, error) {
+			calls++
+			if calls <= n {
+				return nil, fmt.Errorf("attempt %d: %w", calls, boom)
+			}
+			return ok, nil
+		}
+	}
+
+	res, err := RunResilient(b, g, nil, 0, failN(0), nil)
+	if err != nil || res.Path != "vector" || len(res.Attempts) != 0 {
+		t.Errorf("clean run: path=%s attempts=%d err=%v", res.Path, len(res.Attempts), err)
+	}
+
+	res, err = RunResilient(b, g, nil, 0, failN(1), nil)
+	if err != nil || res.Path != "vector-retry" || len(res.Attempts) != 1 {
+		t.Errorf("retry run: path=%s attempts=%d err=%v", res.Path, len(res.Attempts), err)
+	}
+	if res.Degraded() {
+		t.Error("retry path reported as degraded")
+	}
+
+	fb := []FallbackRunner{
+		{Name: "broken", Run: func(*Benchmark, *graph.CSR, int32) (*RunOutput, error) {
+			return nil, errors.New("also down")
+		}},
+		{Name: "scalar", Run: func(*Benchmark, *graph.CSR, int32) (*RunOutput, error) {
+			return ok, nil
+		}},
+	}
+	res, err = RunResilient(b, g, nil, 0, failN(99), fb)
+	if err != nil || res.Path != "scalar" || !res.Degraded() {
+		t.Errorf("fallback run: path=%s err=%v", res.Path, err)
+	}
+	// vector x2 + broken fallback
+	if len(res.Attempts) != 3 {
+		t.Errorf("fallback run recorded %d attempts, want 3", len(res.Attempts))
+	}
+
+	res, err = RunResilient(b, g, nil, 0, failN(99), nil)
+	if err != nil || res.Path != "reference" {
+		t.Errorf("reference run: path=%s err=%v", res.Path, err)
+	}
+	if err := res.Output.Verify(b, g, 0); err != nil {
+		t.Errorf("reference output rejected: %v", err)
+	}
+
+	noRef := &Benchmark{Name: "stub"}
+	if _, err := RunResilient(noRef, g, nil, 0, failN(99), nil); !errors.Is(err, boom) {
+		t.Errorf("exhausted chain error %v does not wrap the cause", err)
+	}
+}

@@ -62,6 +62,9 @@ func SSSPNF() *Benchmark {
 			}
 			return map[string]int32{"delta": maxW / 2}
 		},
+		Reference: func(g *graph.CSR, _ map[string]int32, src int32) *RunOutput {
+			return &RunOutput{I: map[string][]int32{"dist": RefSSSP(g, src)}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, src int32) error {
 			want := RefSSSP(g, src)
 			got := get("dist")

@@ -54,6 +54,9 @@ func TRI() *Benchmark {
 		Name:           "tri",
 		Prog:           prog,
 		NeedsSymmetric: true,
+		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
+			return &RunOutput{I: map[string][]int32{"count": {RefTRI(g)}}}
+		},
 		Verify: func(g *graph.CSR, get func(string) []int32, _ func(string) []float32, _ int32) error {
 			got := get("count")[0]
 			want := RefTRI(g)

@@ -3,6 +3,7 @@ package spmd
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/vec"
 )
@@ -32,7 +33,17 @@ type Engine struct {
 	Addr  *machine.AddrSpace
 	Pager Pager
 
+	// Budget bounds runs on this engine (modeled cycles, wall-clock
+	// deadline, pipe-loop iterations). The zero value disables all limits.
+	Budget fault.Budget
+	// Inject, when non-nil, deterministically corrupts memory-primitive
+	// indices and worklist room checks to exercise failure paths.
+	Inject *fault.Injector
+
 	Stats Stats
+
+	phase string // current kernel phase, attached to failure context
+	iter  int64  // current pipe iteration, attached to failure context
 
 	cycles     float64 // modeled time in core cycles
 	transferNS float64 // host<->device transfers (GPU only)
@@ -148,10 +159,26 @@ func (e *Engine) LaunchEmpty(n int) {
 	e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, true))
 }
 
+// MarkIteration records the current pipe-loop iteration for failure context.
+func (e *Engine) MarkIteration(i int64) { e.iter = i }
+
 // Launch runs body on n tasks (0 selects the engine default) with
 // deterministic cooperative scheduling, and advances the modeled clock.
 // Tasks may call TaskCtx.Barrier; all live tasks synchronize there.
-func (e *Engine) Launch(n int, body func(*TaskCtx)) {
+//
+// Launch returns a typed error (matching the internal/fault taxonomy) when a
+// task fails via TaskCtx.Fail, when a task body panics, or when the engine's
+// budget is exhausted at the launch boundary. A failing launch drains and
+// aborts all sibling tasks before returning, so no goroutines leak. Call
+// sites that predate the failure model may ignore the result: without a
+// budget or injector configured, the only error source is a kernel bug.
+func (e *Engine) Launch(n int, body func(*TaskCtx)) error {
+	if err := e.Budget.CheckCtx(); err != nil {
+		return err
+	}
+	if err := e.Budget.CheckCycles(e.cycles); err != nil {
+		return err
+	}
 	if n <= 0 {
 		n = e.NumTasks
 	}
@@ -209,7 +236,7 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) {
 			<-tc.yield
 			if tc.panicked != nil {
 				// Drain remaining tasks so their goroutines exit, then
-				// propagate the failure.
+				// surface the failure as a typed error.
 				for _, other := range tcs {
 					if other != tc && !other.done {
 						other.abort = true
@@ -217,7 +244,14 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) {
 						<-other.yield
 					}
 				}
-				panic(fmt.Sprintf("spmd: task %d panicked: %v", tc.Index, tc.panicked))
+				if tf, ok := tc.panicked.(taskFailure); ok {
+					return fmt.Errorf("task %d (kernel %q, iteration %d): %w",
+						tc.Index, e.phase, e.iter, tf.err)
+				}
+				return &fault.PanicError{
+					Task: tc.Index, Kernel: e.phase, Iteration: e.iter,
+					Value: tc.panicked,
+				}
 			}
 		}
 		e.cycles += e.aggregateSegment(tcs)
@@ -232,6 +266,7 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) {
 			e.cycles += e.Machine.BarrierCost(n)
 		}
 	}
+	return nil
 }
 
 // aggregateSegment folds the per-task compute and stall cycles accumulated

@@ -1,9 +1,12 @@
 package spmd
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/vec"
 )
@@ -227,24 +230,112 @@ func TestUncontendedAtomicsScale(t *testing.T) {
 	}
 }
 
-func TestPanicPropagates(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("expected panic to propagate")
-		}
-		if !strings.Contains(r.(string), "task 2") {
-			t.Errorf("panic message missing task id: %v", r)
-		}
-	}()
+func TestPanicBecomesTypedError(t *testing.T) {
 	e := newTestEngine(4)
-	e.Launch(4, func(tc *TaskCtx) {
+	err := e.Launch(4, func(tc *TaskCtx) {
 		tc.Barrier()
 		if tc.Index == 2 {
 			panic("boom")
 		}
 		tc.Barrier()
 	})
+	if err == nil {
+		t.Fatal("expected panicking launch to return an error")
+	}
+	if !errors.Is(err, fault.ErrKernelPanic) {
+		t.Errorf("error %v does not match ErrKernelPanic", err)
+	}
+	var pe *fault.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a PanicError", err)
+	}
+	if pe.Task != 2 || pe.Value != "boom" {
+		t.Errorf("PanicError detail = task %d value %v", pe.Task, pe.Value)
+	}
+}
+
+func TestFailReturnsTypedError(t *testing.T) {
+	e := newTestEngine(4)
+	e.MarkPhase("bfs-test")
+	e.MarkIteration(7)
+	boom := &fault.BoundsError{Op: "gather", Array: "lvl", Lane: 3, Index: 99, Len: 10}
+	err := e.Launch(4, func(tc *TaskCtx) {
+		tc.Barrier()
+		if tc.Index == 1 {
+			tc.Fail(boom)
+		}
+		tc.Barrier()
+	})
+	if !errors.Is(err, fault.ErrOutOfBounds) {
+		t.Fatalf("error %v does not match ErrOutOfBounds", err)
+	}
+	var be *fault.BoundsError
+	if !errors.As(err, &be) || be.Lane != 3 {
+		t.Error("bounds detail lost through Launch")
+	}
+	for _, want := range []string{"task 1", "bfs-test", "iteration 7"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing context %q", err, want)
+		}
+	}
+}
+
+func TestGatherOOBFailsLaunch(t *testing.T) {
+	e := newTestEngine(1)
+	a := e.AllocI("lvl", 8)
+	err := e.Launch(1, func(tc *TaskCtx) {
+		tc.GatherI(a, vec.Splat(42), vec.FullMask(4), vec.Vec{}, false)
+	})
+	var be *fault.BoundsError
+	if !errors.As(err, &be) {
+		t.Fatalf("gather OOB returned %v, want BoundsError", err)
+	}
+	if be.Array != "lvl" || be.Index != 42 || be.Len != 8 {
+		t.Errorf("detail = %+v", be)
+	}
+}
+
+func TestInjectedGatherFault(t *testing.T) {
+	run := func() (error, string) {
+		e := newTestEngine(2)
+		e.Inject = fault.NewInjector(11, fault.Config{GatherIndex: 0.05})
+		a := e.AllocI("dist", 64)
+		err := e.Launch(2, func(tc *TaskCtx) {
+			for round := 0; round < 40; round++ {
+				tc.GatherI(a, vec.Iota(), vec.FullMask(16), vec.Vec{}, true)
+			}
+		})
+		return err, e.Inject.TraceString()
+	}
+	err1, trace1 := run()
+	err2, trace2 := run()
+	if !errors.Is(err1, fault.ErrOutOfBounds) {
+		t.Fatalf("injected fault surfaced as %v", err1)
+	}
+	if err2 == nil || err1.Error() != err2.Error() || trace1 != trace2 {
+		t.Error("same seed did not reproduce the same failure trace")
+	}
+	if trace1 == "" {
+		t.Error("injector left no trace")
+	}
+}
+
+func TestBudgetStopsLaunch(t *testing.T) {
+	e := newTestEngine(2)
+	e.Budget = fault.Budget{MaxCycles: 1}
+	e.AddCycles(10)
+	err := e.Launch(2, func(tc *TaskCtx) { t.Error("body ran past budget") })
+	if !errors.Is(err, fault.ErrBudgetExceeded) {
+		t.Errorf("over-budget launch returned %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e2 := newTestEngine(2)
+	e2.Budget = fault.Budget{Ctx: ctx}
+	if err := e2.Launch(2, func(tc *TaskCtx) {}); !errors.Is(err, fault.ErrBudgetExceeded) {
+		t.Errorf("cancelled-context launch returned %v", err)
+	}
 }
 
 func TestResetTime(t *testing.T) {

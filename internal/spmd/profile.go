@@ -34,8 +34,10 @@ func (e *Engine) EnableProfiling() {
 }
 
 // MarkPhase records entry into a named phase; the interval since the last
-// mark is attributed to the previous phase. No-op unless profiling is on.
+// mark is attributed to the previous phase. The phase name is always
+// retained for failure context; statistics attribution needs profiling on.
 func (e *Engine) MarkPhase(name string) {
+	e.phase = name
 	p := e.prof
 	if p == nil {
 		return

@@ -1,6 +1,9 @@
 package spmd
 
 import (
+	"errors"
+
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/vec"
 )
@@ -31,6 +34,60 @@ type TaskCtx struct {
 }
 
 type abortSentinel struct{}
+
+// taskFailure wraps a typed error thrown by TaskCtx.Fail; Engine.Launch
+// recovers it and returns the error with task/kernel/iteration context.
+type taskFailure struct{ err error }
+
+// Fail aborts the current task with a typed error. The enclosing Launch
+// drains sibling tasks and returns the error wrapped with task context.
+// Fail does not return.
+func (tc *TaskCtx) Fail(err error) {
+	panic(taskFailure{err})
+}
+
+// failBounds attaches the array name to a bounds violation and unwinds.
+func (tc *TaskCtx) failBounds(err error, a *Array) {
+	var be *fault.BoundsError
+	if errors.As(err, &be) && be.Array == "" {
+		be.Array = a.Name
+	}
+	tc.Fail(err)
+}
+
+// corruptIdx routes active-lane indices through the engine's fault injector
+// (nil-safe no-op). kind is "gather" or "scatter".
+func (tc *TaskCtx) corruptIdx(kind string, a *Array, idx vec.Vec, m vec.Mask) vec.Vec {
+	in := tc.E.Inject
+	if in == nil {
+		return idx
+	}
+	n := a.Len()
+	for i := 0; i < tc.Width; i++ {
+		if m.Bit(i) {
+			if bad, ok := in.CorruptIndex(kind, a.Name, i, idx[i], n); ok {
+				idx[i] = bad
+			}
+		}
+	}
+	return idx
+}
+
+// checkScalar validates one uniform element index, unwinding the task with a
+// typed bounds error on violation.
+func (tc *TaskCtx) checkScalar(op string, a *Array, idx int32) {
+	if idx < 0 || int(idx) >= a.Len() {
+		tc.Fail(&fault.BoundsError{Op: op, Array: a.Name, Lane: -1, Index: idx, Len: a.Len()})
+	}
+}
+
+// checkLane validates one lane's element index inside a hand-rolled atomic
+// loop, unwinding the task on violation.
+func (tc *TaskCtx) checkLane(op string, a *Array, lane int, idx int32) {
+	if idx < 0 || int(idx) >= a.Len() {
+		tc.Fail(&fault.BoundsError{Op: op, Array: a.Name, Lane: lane, Index: idx, Len: a.Len()})
+	}
+}
 
 // Barrier synchronizes all live tasks of the current launch.
 func (tc *TaskCtx) Barrier() {
@@ -120,6 +177,7 @@ func (tc *TaskCtx) access(addr int64) machine.Level {
 // GatherI gathers a.I[idx[i]] for active lanes with full cost accounting.
 // inner marks inner-loop operations for utilization measurement.
 func (tc *TaskCtx) GatherI(a *Array, idx vec.Vec, m vec.Mask, old vec.Vec, inner bool) vec.Vec {
+	idx = tc.corruptIdx("gather", a, idx, m)
 	if inner {
 		tc.InnerOp(vec.ClassGather, true, m.PopCount())
 	} else {
@@ -130,6 +188,7 @@ func (tc *TaskCtx) GatherI(a *Array, idx vec.Vec, m vec.Mask, old vec.Vec, inner
 		if !m.Bit(i) {
 			continue
 		}
+		tc.checkLane("gather", a, i, idx[i])
 		lvl := tc.access(a.Addr(idx[i]))
 		if native {
 			tc.addStall(tc.E.Machine.GatherCost(lvl, tc.E.activeThreads))
@@ -142,6 +201,7 @@ func (tc *TaskCtx) GatherI(a *Array, idx vec.Vec, m vec.Mask, old vec.Vec, inner
 
 // GatherF is GatherI for float arrays.
 func (tc *TaskCtx) GatherF(a *Array, idx vec.Vec, m vec.Mask, old vec.FVec, inner bool) vec.FVec {
+	idx = tc.corruptIdx("gather", a, idx, m)
 	if inner {
 		tc.InnerOp(vec.ClassGather, true, m.PopCount())
 	} else {
@@ -152,6 +212,7 @@ func (tc *TaskCtx) GatherF(a *Array, idx vec.Vec, m vec.Mask, old vec.FVec, inne
 		if !m.Bit(i) {
 			continue
 		}
+		tc.checkLane("gather", a, i, idx[i])
 		lvl := tc.access(a.Addr(idx[i]))
 		if native {
 			tc.addStall(tc.E.Machine.GatherCost(lvl, tc.E.activeThreads))
@@ -164,9 +225,11 @@ func (tc *TaskCtx) GatherF(a *Array, idx vec.Vec, m vec.Mask, old vec.FVec, inne
 
 // ScatterI scatters val to a.I[idx[i]] for active lanes.
 func (tc *TaskCtx) ScatterI(a *Array, idx, val vec.Vec, m vec.Mask) {
+	idx = tc.corruptIdx("scatter", a, idx, m)
 	tc.Op(vec.ClassScatter, true)
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
+			tc.checkLane("scatter", a, i, idx[i])
 			tc.access(a.Addr(idx[i]))
 		}
 	}
@@ -177,9 +240,11 @@ func (tc *TaskCtx) ScatterI(a *Array, idx, val vec.Vec, m vec.Mask) {
 
 // ScatterF is ScatterI for float arrays.
 func (tc *TaskCtx) ScatterF(a *Array, idx vec.Vec, val vec.FVec, m vec.Mask) {
+	idx = tc.corruptIdx("scatter", a, idx, m)
 	tc.Op(vec.ClassScatter, true)
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
+			tc.checkLane("scatter", a, i, idx[i])
 			tc.access(a.Addr(idx[i]))
 		}
 	}
@@ -191,6 +256,7 @@ func (tc *TaskCtx) LoadVecI(a *Array, start int32, m vec.Mask, old vec.Vec) vec.
 	tc.Op(vec.ClassVLoad, false)
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
+			tc.checkLane("vload", a, i, start+int32(i))
 			lvl := tc.access(a.Addr(start + int32(i)))
 			if i == 0 || lvl != machine.L1 {
 				tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
@@ -205,6 +271,7 @@ func (tc *TaskCtx) StoreVecI(a *Array, start int32, val vec.Vec, m vec.Mask) {
 	tc.Op(vec.ClassVStore, m != vec.FullMask(tc.Width))
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
+			tc.checkLane("vstore", a, i, start+int32(i))
 			tc.access(a.Addr(start + int32(i)))
 		}
 	}
@@ -219,11 +286,16 @@ func (tc *TaskCtx) PackedStore(a *Array, start int32, val vec.Vec, m vec.Mask) i
 	for i := 0; i < n; i++ {
 		tc.access(a.Addr(start + int32(i)))
 	}
-	return vec.PackedStoreActive(a.I, start, val, m, tc.Width)
+	out, err := vec.PackedStoreActiveChecked(a.I, start, val, m, tc.Width)
+	if err != nil {
+		tc.failBounds(err, a)
+	}
+	return out
 }
 
 // ScalarLoadI loads a.I[idx] as a uniform value.
 func (tc *TaskCtx) ScalarLoadI(a *Array, idx int32) int32 {
+	tc.checkScalar("scalar-load", a, idx)
 	tc.E.Stats.Instructions++
 	tc.E.Stats.ByClass[vec.ClassScalarLoad]++
 	tc.E.Stats.ScalarOps++
@@ -235,6 +307,7 @@ func (tc *TaskCtx) ScalarLoadI(a *Array, idx int32) int32 {
 
 // ScalarStoreI stores a uniform value to a.I[idx].
 func (tc *TaskCtx) ScalarStoreI(a *Array, idx int32, v int32) {
+	tc.checkScalar("scalar-store", a, idx)
 	tc.E.Stats.Instructions++
 	tc.E.Stats.ByClass[vec.ClassScalarStore]++
 	tc.E.Stats.ScalarOps++
@@ -245,6 +318,7 @@ func (tc *TaskCtx) ScalarStoreI(a *Array, idx int32, v int32) {
 
 // ScalarLoadF loads a.F[idx] as a uniform float.
 func (tc *TaskCtx) ScalarLoadF(a *Array, idx int32) float32 {
+	tc.checkScalar("scalar-load", a, idx)
 	tc.E.Stats.Instructions++
 	tc.E.Stats.ByClass[vec.ClassScalarLoad]++
 	tc.E.Stats.ScalarOps++
@@ -256,6 +330,7 @@ func (tc *TaskCtx) ScalarLoadF(a *Array, idx int32) float32 {
 
 // ScalarStoreF stores a uniform float to a.F[idx].
 func (tc *TaskCtx) ScalarStoreF(a *Array, idx int32, v float32) {
+	tc.checkScalar("scalar-store", a, idx)
 	tc.E.Stats.Instructions++
 	tc.E.Stats.ByClass[vec.ClassScalarStore]++
 	tc.E.Stats.ScalarOps++
@@ -289,6 +364,7 @@ func (tc *TaskCtx) countAtomics(n int, contended, push bool) {
 // AtomicAddScalar atomically adds delta to a.I[idx] and returns the old
 // value (a lock xadd on a shared scalar — the worklist-reservation pattern).
 func (tc *TaskCtx) AtomicAddScalar(a *Array, idx int32, delta int32, push bool) int32 {
+	tc.checkScalar("atomic-add", a, idx)
 	tc.access(a.Addr(idx))
 	tc.countAtomics(1, true, push)
 	old := a.I[idx]
@@ -300,6 +376,7 @@ func (tc *TaskCtx) AtomicAddScalar(a *Array, idx int32, delta int32, push bool) 
 // per-node location: uncontended, no global serialization floor) and
 // returns the old value.
 func (tc *TaskCtx) AtomicUpdateScalar(a *Array, idx int32, newVal int32) int32 {
+	tc.checkScalar("atomic-update", a, idx)
 	tc.access(a.Addr(idx))
 	tc.countAtomics(1, false, false)
 	old := a.I[idx]
@@ -311,9 +388,11 @@ func (tc *TaskCtx) AtomicUpdateScalar(a *Array, idx int32, newVal int32) int32 {
 // active lanes (the unoptimized vector-to-vector atomic class, lowered to a
 // hardware atomic per active lane).
 func (tc *TaskCtx) AtomicAddLanes(a *Array, idx, val vec.Vec, m vec.Mask, push bool) {
+	idx = tc.corruptIdx("scatter", a, idx, m)
 	n := m.PopCount()
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
+			tc.checkLane("atomic-add", a, i, idx[i])
 			tc.access(a.Addr(idx[i]))
 			a.I[idx[i]] += val[i]
 		}
@@ -324,6 +403,7 @@ func (tc *TaskCtx) AtomicAddLanes(a *Array, idx, val vec.Vec, m vec.Mask, push b
 // AtomicAddLanesContended is AtomicAddLanes against a shared scalar location
 // (all lanes target the same address): the unoptimized worklist push pattern.
 func (tc *TaskCtx) AtomicAddLanesContended(a *Array, idx int32, m vec.Mask, push bool) vec.Vec {
+	tc.checkScalar("atomic-add", a, idx)
 	n := m.PopCount()
 	var out vec.Vec
 	for i := 0; i < tc.Width; i++ {
@@ -341,9 +421,11 @@ func (tc *TaskCtx) AtomicAddLanesContended(a *Array, idx int32, m vec.Mask, push
 // (lowered to compare-exchange loops on hardware, as ISPC does for float
 // atomics — the pattern that makes PageRank atomic-heavy).
 func (tc *TaskCtx) AtomicAddFLanes(a *Array, idx vec.Vec, val vec.FVec, m vec.Mask) {
+	idx = tc.corruptIdx("scatter", a, idx, m)
 	n := m.PopCount()
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
+			tc.checkLane("atomic-add", a, i, idx[i])
 			tc.access(a.Addr(idx[i]))
 			a.F[idx[i]] += val[i]
 		}
@@ -354,6 +436,7 @@ func (tc *TaskCtx) AtomicAddFLanes(a *Array, idx vec.Vec, val vec.FVec, m vec.Ma
 // AtomicAddFScalar atomically accumulates a float into a shared scalar
 // (vector-to-scalar reduction + one atomic, ISPC atomic_add_global).
 func (tc *TaskCtx) AtomicAddFScalar(a *Array, idx int32, delta float32) {
+	tc.checkScalar("atomic-add", a, idx)
 	tc.Op(vec.ClassReduce, false)
 	tc.access(a.Addr(idx))
 	tc.countAtomics(1, true, false)
@@ -363,6 +446,7 @@ func (tc *TaskCtx) AtomicAddFScalar(a *Array, idx int32, delta float32) {
 // AtomicMinLanes performs per-lane atomic mins on distinct locations,
 // returning a mask of lanes that lowered the stored value (SSSP/BFS relax).
 func (tc *TaskCtx) AtomicMinLanes(a *Array, idx, val vec.Vec, m vec.Mask) vec.Mask {
+	idx = tc.corruptIdx("scatter", a, idx, m)
 	var improved vec.Mask
 	n := 0
 	for i := 0; i < tc.Width; i++ {
@@ -370,6 +454,7 @@ func (tc *TaskCtx) AtomicMinLanes(a *Array, idx, val vec.Vec, m vec.Mask) vec.Ma
 			continue
 		}
 		n++
+		tc.checkLane("atomic-min", a, i, idx[i])
 		tc.access(a.Addr(idx[i]))
 		if val[i] < a.I[idx[i]] {
 			a.I[idx[i]] = val[i]
@@ -383,6 +468,7 @@ func (tc *TaskCtx) AtomicMinLanes(a *Array, idx, val vec.Vec, m vec.Mask) vec.Ma
 // AtomicCASLanes performs per-lane compare-and-swap on distinct locations,
 // returning the mask of lanes that won (stored new).
 func (tc *TaskCtx) AtomicCASLanes(a *Array, idx, old, new vec.Vec, m vec.Mask) vec.Mask {
+	idx = tc.corruptIdx("scatter", a, idx, m)
 	var won vec.Mask
 	n := 0
 	for i := 0; i < tc.Width; i++ {
@@ -390,6 +476,7 @@ func (tc *TaskCtx) AtomicCASLanes(a *Array, idx, old, new vec.Vec, m vec.Mask) v
 			continue
 		}
 		n++
+		tc.checkLane("atomic-cas", a, i, idx[i])
 		tc.access(a.Addr(idx[i]))
 		if a.I[idx[i]] == old[i] {
 			a.I[idx[i]] = new[i]

@@ -1,7 +1,9 @@
 package vec
 
 import (
+	"errors"
 	"math/rand"
+	"repro/internal/fault"
 	"testing"
 	"testing/quick"
 )
@@ -187,4 +189,81 @@ func BenchmarkBinAdd16(b *testing.B) {
 		sink = Bin(OpAdd, x, y, m, 16)
 	}
 	_ = sink
+}
+
+func TestCheckedOpsAcceptValid(t *testing.T) {
+	base := []int32{10, 20, 30, 40}
+	fbase := []float32{1, 2, 3, 4}
+	idx := FromSlice([]int32{3, 1, 0, 2})
+	if v, err := GatherChecked(base, idx, FullMask(4), 4, Splat(-1)); err != nil || v[0] != 40 {
+		t.Errorf("GatherChecked = %v, %v", v[:4], err)
+	}
+	if v, err := GatherFChecked(fbase, idx, FullMask(4), 4, SplatF(-1)); err != nil || v[0] != 4 {
+		t.Errorf("GatherFChecked = %v, %v", v[:4], err)
+	}
+	if err := ScatterChecked(base, idx, Splat(9), FullMask(4), 4); err != nil {
+		t.Errorf("ScatterChecked: %v", err)
+	}
+	if err := ScatterFChecked(fbase, idx, SplatF(9), FullMask(4), 4); err != nil {
+		t.Errorf("ScatterFChecked: %v", err)
+	}
+	if v, err := LoadConsecutiveChecked(base, 1, FullMask(3), 3, Splat(-1)); err != nil || v[0] != 9 {
+		t.Errorf("LoadConsecutiveChecked = %v, %v", v[:3], err)
+	}
+	if err := StoreConsecutiveChecked(base, 0, Splat(5), FullMask(4), 4); err != nil {
+		t.Errorf("StoreConsecutiveChecked: %v", err)
+	}
+	if n, err := PackedStoreActiveChecked(base, 1, Splat(8), Mask(0b0101), 4); err != nil || n != 2 {
+		t.Errorf("PackedStoreActiveChecked = %d, %v", n, err)
+	}
+}
+
+func TestCheckedOpsRejectOutOfRange(t *testing.T) {
+	base := []int32{1, 2, 3, 4}
+	fbase := []float32{1, 2, 3, 4}
+	bad := FromSlice([]int32{0, 1, 99, 2}) // lane 2 out of range
+	neg := FromSlice([]int32{0, -5, 1, 2}) // lane 1 negative
+
+	check := func(name string, err error, wantLane int, wantIdx int32) {
+		t.Helper()
+		var be *fault.BoundsError
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: error %v is not a BoundsError", name, err)
+		}
+		if !errors.Is(err, fault.ErrOutOfBounds) {
+			t.Errorf("%s: does not match ErrOutOfBounds", name)
+		}
+		if be.Lane != wantLane || be.Index != wantIdx || be.Len != 4 {
+			t.Errorf("%s: detail lane=%d idx=%d len=%d, want lane=%d idx=%d len=4",
+				name, be.Lane, be.Index, be.Len, wantLane, wantIdx)
+		}
+	}
+
+	_, err := GatherChecked(base, bad, FullMask(4), 4, Vec{})
+	check("gather", err, 2, 99)
+	_, err = GatherFChecked(fbase, neg, FullMask(4), 4, FVec{})
+	check("gatherF", err, 1, -5)
+	check("scatter", ScatterChecked(base, bad, Splat(0), FullMask(4), 4), 2, 99)
+	check("scatterF", ScatterFChecked(fbase, neg, SplatF(0), FullMask(4), 4), 1, -5)
+	_, err = LoadConsecutiveChecked(base, 2, FullMask(4), 4, Vec{})
+	check("vload", err, 2, 4)
+	check("vstore", StoreConsecutiveChecked(base, -2, Splat(0), FullMask(4), 4), 0, -2)
+	_, err = PackedStoreActiveChecked(base, 2, Splat(0), FullMask(4), 4)
+	if !errors.Is(err, fault.ErrOutOfBounds) {
+		t.Errorf("packed-store: %v", err)
+	}
+
+	// Inactive out-of-range lanes are ignored, matching masked hardware
+	// semantics.
+	if _, err := GatherChecked(base, bad, Mask(0b0011), 4, Vec{}); err != nil {
+		t.Errorf("masked-off bad lane rejected: %v", err)
+	}
+	// Scatter rejection must not partially store.
+	cp := []int32{1, 2, 3, 4}
+	ScatterChecked(cp, bad, Splat(77), FullMask(4), 4)
+	for i, v := range []int32{1, 2, 3, 4} {
+		if cp[i] != v {
+			t.Error("failed scatter stored lanes before the violation")
+		}
+	}
 }

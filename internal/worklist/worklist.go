@@ -13,17 +13,26 @@
 package worklist
 
 import (
-	"fmt"
-
+	"repro/internal/fault"
 	"repro/internal/spmd"
 	"repro/internal/vec"
 )
+
+// DebugPanics restores the legacy crash-on-overflow behavior: capacity
+// violations panic instead of surfacing typed errors. Tests of the overflow
+// detection itself use it; production paths leave it off.
+var DebugPanics bool
 
 // WL is one dense worklist.
 type WL struct {
 	Name  string
 	Items *spmd.Array
 	tail  *spmd.Array // single shared scalar
+	e     *spmd.Engine
+	// Grow lets the list reallocate (doubling) instead of failing when a
+	// push or init exceeds capacity. Injected overflows fire regardless,
+	// so fault campaigns exercise the overflow path even on growable lists.
+	Grow bool
 }
 
 // New allocates a worklist with the given capacity.
@@ -32,6 +41,7 @@ func New(e *spmd.Engine, name string, capacity int) *WL {
 		Name:  name,
 		Items: e.AllocI(name+".items", capacity),
 		tail:  e.AllocI(name+".tail", 1),
+		e:     e,
 	}
 }
 
@@ -50,24 +60,29 @@ func (w *WL) SizeCounted(tc *spmd.TaskCtx) int32 {
 func (w *WL) Clear() { w.tail.I[0] = 0 }
 
 // InitSequence fills the worklist with 0..n-1 (host-side, e.g. the initial
-// all-nodes worklist of CC or MIS).
-func (w *WL) InitSequence(n int32) {
-	if int(n) > w.Cap() {
-		panic(fmt.Sprintf("worklist %s: InitSequence(%d) exceeds capacity %d", w.Name, n, w.Cap()))
+// all-nodes worklist of CC or MIS). Exceeding capacity grows the list when
+// Grow is set and returns a typed overflow error otherwise.
+func (w *WL) InitSequence(n int32) error {
+	w.Clear()
+	if err := w.ensureRoom(n); err != nil {
+		return err
 	}
 	for i := int32(0); i < n; i++ {
 		w.Items.I[i] = i
 	}
 	w.tail.I[0] = n
+	return nil
 }
 
 // InitWith fills the worklist with the given items (host-side).
-func (w *WL) InitWith(items ...int32) {
-	if len(items) > w.Cap() {
-		panic(fmt.Sprintf("worklist %s: InitWith(%d items) exceeds capacity %d", w.Name, len(items), w.Cap()))
+func (w *WL) InitWith(items ...int32) error {
+	w.Clear()
+	if err := w.ensureRoom(int32(len(items))); err != nil {
+		return err
 	}
 	copy(w.Items.I, items)
 	w.tail.I[0] = int32(len(items))
+	return nil
 }
 
 // Slice returns the current items (aliasing storage; host-side inspection).
@@ -78,10 +93,54 @@ func (w *WL) Get(tc *spmd.TaskCtx, pos vec.Vec, m vec.Mask, old vec.Vec) vec.Vec
 	return tc.GatherI(w.Items, pos, m, old, false)
 }
 
-func (w *WL) checkRoom(n int32) {
-	if int(w.tail.I[0])+int(n) > w.Cap() {
-		panic(fmt.Sprintf("worklist %s overflow: %d + %d > cap %d",
-			w.Name, w.tail.I[0], n, w.Cap()))
+// overflowErr builds the typed error for a failed room check.
+func (w *WL) overflowErr(n int32, injected bool) *fault.OverflowError {
+	return &fault.OverflowError{
+		Worklist: w.Name, Size: w.tail.I[0], Push: n,
+		Cap: int32(w.Cap()), Injected: injected,
+	}
+}
+
+// grow reallocates the items array to hold at least need elements, doubling
+// capacity. Cooperative scheduling makes the swap safe mid-launch: exactly
+// one task runs at a time and positions already reserved stay valid.
+func (w *WL) grow(need int) {
+	newCap := 2 * w.Cap()
+	if newCap < need {
+		newCap = need
+	}
+	items := w.e.AllocI(w.Name+".items", newCap)
+	copy(items.I, w.Items.I)
+	w.Items = items
+}
+
+// ensureRoom makes room for n more items. Forced-overflow injection yields a
+// typed error regardless of Grow; genuine exhaustion grows the list when
+// Grow is set, panics under DebugPanics, and returns a typed error otherwise.
+func (w *WL) ensureRoom(n int32) error {
+	if w.e != nil && w.e.Inject.ForceOverflow(w.Name) {
+		return w.overflowErr(n, true)
+	}
+	need := int(w.tail.I[0]) + int(n)
+	if need <= w.Cap() {
+		return nil
+	}
+	if w.Grow {
+		w.grow(need)
+		return nil
+	}
+	err := w.overflowErr(n, false)
+	if DebugPanics {
+		panic(err.Error())
+	}
+	return err
+}
+
+// checkRoom is the task-side room check: a violation unwinds the task with a
+// typed error that the enclosing Launch returns.
+func (w *WL) checkRoom(tc *spmd.TaskCtx, n int32) {
+	if err := w.ensureRoom(n); err != nil {
+		tc.Fail(err)
 	}
 }
 
@@ -92,7 +151,7 @@ func (w *WL) PushLanes(tc *spmd.TaskCtx, val vec.Vec, m vec.Mask) {
 	if n == 0 {
 		return
 	}
-	w.checkRoom(n)
+	w.checkRoom(tc, n)
 	slots := tc.AtomicAddLanesContended(w.tail, 0, m, true)
 	tc.ScatterI(w.Items, slots, val, m)
 }
@@ -107,7 +166,7 @@ func (w *WL) PushCoop(tc *spmd.TaskCtx, val vec.Vec, m vec.Mask) {
 		tc.ScalarOps(1)
 		return
 	}
-	w.checkRoom(n)
+	w.checkRoom(tc, n)
 	tc.ScalarOps(1) // popcnt(lanemask())
 	idx := tc.AtomicAddScalar(w.tail, 0, n, true)
 	tc.PackedStore(w.Items, idx, val, m)
@@ -120,7 +179,7 @@ func (w *WL) Reserve(tc *spmd.TaskCtx, n int32) int32 {
 	if n == 0 {
 		return w.tail.I[0]
 	}
-	w.checkRoom(n)
+	w.checkRoom(tc, n)
 	return tc.AtomicAddScalar(w.tail, 0, n, true)
 }
 
@@ -132,10 +191,13 @@ func (w *WL) WriteReserved(tc *spmd.TaskCtx, pos int32, val vec.Vec, m vec.Mask)
 
 // PushHost appends an item without cost accounting (pipe setup between
 // launches).
-func (w *WL) PushHost(item int32) {
-	w.checkRoom(1)
+func (w *WL) PushHost(item int32) error {
+	if err := w.ensureRoom(1); err != nil {
+		return err
+	}
 	w.Items.I[w.tail.I[0]] = item
 	w.tail.I[0]++
+	return nil
 }
 
 // Pair is a double-buffered in/out worklist pair, swapped between pipe

@@ -1,8 +1,11 @@
 package worklist
 
 import (
+	"errors"
 	"sort"
 	"testing"
+
+	"repro/internal/fault"
 
 	"repro/internal/machine"
 	"repro/internal/spmd"
@@ -38,15 +41,92 @@ func TestInitAndHostOps(t *testing.T) {
 	}
 }
 
-func TestInitOverflowPanics(t *testing.T) {
+func TestInitOverflowTypedError(t *testing.T) {
 	e := newEngine()
 	w := New(e, "wl", 2)
+	err := w.InitSequence(5)
+	if !errors.Is(err, fault.ErrWorklistOverflow) {
+		t.Fatalf("InitSequence overflow returned %v", err)
+	}
+	var oe *fault.OverflowError
+	if !errors.As(err, &oe) || oe.Worklist != "wl" || oe.Push != 5 || oe.Cap != 2 {
+		t.Errorf("overflow detail = %+v", oe)
+	}
+	if err := w.InitWith(1, 2, 3); !errors.Is(err, fault.ErrWorklistOverflow) {
+		t.Errorf("InitWith overflow returned %v", err)
+	}
+	if err := w.InitWith(1, 2); err != nil {
+		t.Errorf("in-capacity InitWith failed: %v", err)
+	}
+}
+
+func TestInitOverflowDebugPanics(t *testing.T) {
+	DebugPanics = true
 	defer func() {
+		DebugPanics = false
 		if recover() == nil {
-			t.Fatal("expected panic")
+			t.Fatal("expected panic under DebugPanics")
 		}
 	}()
+	e := newEngine()
+	w := New(e, "wl", 2)
 	w.InitSequence(5)
+}
+
+func TestGrowOnOverflow(t *testing.T) {
+	e := newEngine()
+	w := New(e, "wl", 4)
+	w.Grow = true
+	if err := w.InitSequence(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(3); i < 40; i++ {
+		if err := w.PushHost(i); err != nil {
+			t.Fatalf("grow-enabled PushHost(%d) failed: %v", i, err)
+		}
+	}
+	if w.Cap() < 40 || w.Size() != 40 {
+		t.Fatalf("cap=%d size=%d after growth", w.Cap(), w.Size())
+	}
+	for i, v := range w.Slice() {
+		if v != int32(i) {
+			t.Fatalf("item %d = %d after growth", i, v)
+		}
+	}
+}
+
+func TestGrowOnTaskPush(t *testing.T) {
+	e := newEngine()
+	w := New(e, "wl", 4)
+	w.Grow = true
+	err := e.Launch(2, func(tc *spmd.TaskCtx) {
+		for round := 0; round < 4; round++ {
+			w.PushCoop(tc, vec.Iota(), vec.FullMask(16))
+		}
+	})
+	if err != nil {
+		t.Fatalf("grow-enabled push failed: %v", err)
+	}
+	if w.Size() != 2*4*16 {
+		t.Errorf("size = %d, want %d", w.Size(), 2*4*16)
+	}
+}
+
+func TestInjectedOverflow(t *testing.T) {
+	e := newEngine()
+	e.Inject = fault.NewInjector(5, fault.Config{Overflow: 1.0})
+	w := New(e, "wl", 1024)
+	w.Grow = true // injection must fire even on growable lists
+	err := e.Launch(1, func(tc *spmd.TaskCtx) {
+		w.PushCoop(tc, vec.Iota(), vec.FullMask(16))
+	})
+	var oe *fault.OverflowError
+	if !errors.As(err, &oe) || !oe.Injected {
+		t.Fatalf("injected overflow surfaced as %v", err)
+	}
+	if len(e.Inject.Trace()) == 0 {
+		t.Error("injector left no trace")
+	}
 }
 
 // collectPushed verifies no-loss/no-duplication: every pushed value appears
@@ -197,17 +277,19 @@ func TestPushEmptyMaskNoAtomic(t *testing.T) {
 	}
 }
 
-func TestOverflowPanics(t *testing.T) {
+func TestOverflowTypedError(t *testing.T) {
 	e := newEngine()
 	w := New(e, "wl", 4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected overflow panic")
-		}
-	}()
-	e.Launch(1, func(tc *spmd.TaskCtx) {
+	err := e.Launch(1, func(tc *spmd.TaskCtx) {
 		w.PushCoop(tc, vec.Iota(), vec.FullMask(16))
 	})
+	if !errors.Is(err, fault.ErrWorklistOverflow) {
+		t.Fatalf("overflow push returned %v", err)
+	}
+	var oe *fault.OverflowError
+	if !errors.As(err, &oe) || oe.Push != 16 || oe.Cap != 4 {
+		t.Errorf("overflow detail = %+v", oe)
+	}
 }
 
 func TestGetGathersItems(t *testing.T) {
