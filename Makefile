@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz ci clean
+.PHONY: build vet test race race-parallel fuzz bench profile ci clean
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,28 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race-check the scheduler and staging layers with parallel host execution
+# forced on for every engine the tests construct.
+race-parallel:
+	EGACS_HOST_EXEC=parallel $(GO) test -race ./internal/spmd/... ./internal/worklist/...
+
 # Short fuzz pass over the graph readers (satellite of the robustness layer).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadDIMACS$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s ./internal/graph
 
-ci: vet build race
+# Wall-clock cooperative-vs-parallel comparison per kernel; writes BENCH_2.json.
+bench:
+	BENCH_OUT=$(CURDIR)/BENCH_2.json $(GO) test -run '^$$' -bench '^BenchmarkHostExec$$' -benchtime 3x .
+
+# CPU+heap profile of the flagship kernel under the parallel scheduler.
+profile:
+	$(GO) run ./cmd/egacs -bench bfs-wl -input rmat -scale bench \
+		-cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
+
+ci: vet build race race-parallel
 
 clean:
 	$(GO) clean ./...

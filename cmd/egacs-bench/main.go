@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -29,6 +31,8 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "graph generator seed")
 		outFile = flag.String("o", "", "write results to file (default stdout)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file after the runs")
 	)
 	flag.Parse()
 
@@ -80,6 +84,22 @@ func main() {
 		todo = []bench.Experiment{e}
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	for _, e := range todo {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Desc)
@@ -87,5 +107,19 @@ func main() {
 			tb.Render(out)
 		}
 		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/codegen"
 	"repro/internal/core"
@@ -49,6 +51,9 @@ func main() {
 		serial    = flag.Bool("serial", false, "run the serial build (scalar, 1 task, no opts)")
 		profile   = flag.Bool("profile", false, "print a per-kernel phase profile")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		hostPar   = flag.Bool("host-parallel", true, "run SPMD tasks concurrently on host cores (modeled time is unchanged); false selects the cooperative reference scheduler. -fault-inject and -profile force the live scheduler")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file after the run")
 
 		faultProb = flag.Float64("fault-inject", 0, "per-access probability of injected gather/scatter index faults")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault injector seed (same seed reproduces the same trace)")
@@ -91,6 +96,11 @@ func main() {
 	if *serial {
 		cfg = core.SerialConfig(m)
 	}
+	if *hostPar {
+		cfg.HostExec = core.HostParallel
+	} else {
+		cfg.HostExec = core.HostCooperative
+	}
 	if *target != "" {
 		tgt, err := vec.ParseTarget(*target)
 		fail(err)
@@ -127,11 +137,14 @@ func main() {
 	}
 
 	if *fallback {
-		runResilient(bench, g, cfg, *jsonOut, *verify)
+		runResilient(bench, g, cfg, *jsonOut, *verify, *cpuProf, *memProf)
 		return
 	}
 
+	stopCPU := startCPUProfile(*cpuProf)
 	res, err := core.Run(bench, g, cfg)
+	stopCPU()
+	writeMemProfile(*memProf)
 	if err != nil && cfg.Inject != nil && !*jsonOut {
 		fmt.Fprintf(os.Stderr, "fault trace:\n%s", cfg.Inject.TraceString())
 	}
@@ -178,8 +191,11 @@ func main() {
 
 // runResilient executes with graceful degradation and reports which path
 // served the result.
-func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonOut, verify bool) {
+func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonOut, verify bool, cpuProf, memProf string) {
+	stopCPU := startCPUProfile(cpuProf)
 	res, err := core.RunResilient(bench, g, cfg)
+	stopCPU()
+	writeMemProfile(memProf)
 	if err != nil {
 		if cfg.Inject != nil {
 			fmt.Fprintf(os.Stderr, "fault trace:\n%s", cfg.Inject.TraceString())
@@ -348,6 +364,34 @@ func loadGraph(file, input, scale string, seed uint64) (*graph.CSR, error) {
 		return suite[2], nil
 	}
 	return nil, fmt.Errorf("unknown input %q (want road|rmat|random)", input)
+}
+
+// startCPUProfile brackets the run itself (not graph generation or
+// compilation) so the profile shows where simulated execution spends host
+// time. The returned stop function flushes and closes the profile; it must
+// run before any os.Exit.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	fail(err)
+	fail(pprof.StartCPUProfile(f))
+	return func() {
+		pprof.StopCPUProfile()
+		fail(f.Close())
+	}
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	fail(err)
+	runtime.GC() // materialize the live heap before the snapshot
+	fail(pprof.WriteHeapProfile(f))
+	fail(f.Close())
 }
 
 func fail(err error) {

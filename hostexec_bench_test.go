@@ -1,0 +1,155 @@
+// Host-execution benchmark: wall-clock cost of the cooperative reference
+// scheduler vs. the parallel scheduler, per kernel, with modeled cycles
+// recorded alongside to show they are mode-independent.
+//
+// `make bench` runs this with BENCH_OUT=BENCH_2.json, which makes TestMain
+// write a machine-readable report after the run. The wall-clock speedup
+// column is only meaningful on a multi-core runner: with GOMAXPROCS=1 the
+// parallel scheduler degenerates to one goroutine per task on one core and
+// speedup hovers around 1x.
+package repro_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// hostExecSample accumulates both modes' timings for one kernel.
+type hostExecSample struct {
+	Kernel        string  `json:"kernel"`
+	Graph         string  `json:"graph"`
+	ModeledCycles float64 `json:"modeled_cycles"`
+	CoopWallNsOp  float64 `json:"cooperative_wall_ns_per_op"`
+	ParWallNsOp   float64 `json:"parallel_wall_ns_per_op"`
+	Speedup       float64 `json:"wall_speedup"`
+}
+
+var hostExecResults = struct {
+	sync.Mutex
+	byKernel map[string]*hostExecSample
+}{byKernel: map[string]*hostExecSample{}}
+
+// hostExecReport is the BENCH_2.json schema.
+type hostExecReport struct {
+	Generated   string           `json:"generated"`
+	GoVersion   string           `json:"go_version"`
+	NumCPU      int              `json:"num_cpu"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Note        string           `json:"note"`
+	Kernels     []hostExecSample `json:"kernels"`
+	GeomeanWall float64          `json:"geomean_wall_speedup"`
+}
+
+func recordHostExec(kernel, graphName, mode string, cycles, nsPerOp float64) {
+	hostExecResults.Lock()
+	defer hostExecResults.Unlock()
+	s := hostExecResults.byKernel[kernel]
+	if s == nil {
+		s = &hostExecSample{Kernel: kernel, Graph: graphName}
+		hostExecResults.byKernel[kernel] = s
+	}
+	s.ModeledCycles = cycles
+	switch mode {
+	case "cooperative":
+		s.CoopWallNsOp = nsPerOp
+	case "parallel":
+		s.ParWallNsOp = nsPerOp
+	}
+}
+
+// writeHostExecReport writes BENCH_OUT if any BenchmarkHostExec sub-benchmark
+// ran. Called from TestMain so it fires once, after all sub-benchmarks.
+func writeHostExecReport() {
+	path := os.Getenv("BENCH_OUT")
+	if path == "" {
+		return
+	}
+	hostExecResults.Lock()
+	defer hostExecResults.Unlock()
+	if len(hostExecResults.byKernel) == 0 {
+		return
+	}
+	rep := hostExecReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "modeled_cycles are identical in both modes by construction " +
+			"(see DESIGN.md, Execution vs. costing); wall_speedup needs a " +
+			"multi-core runner to exceed 1x",
+	}
+	logProd := 1.0
+	n := 0
+	for _, s := range hostExecResults.byKernel {
+		if s.CoopWallNsOp > 0 && s.ParWallNsOp > 0 {
+			s.Speedup = s.CoopWallNsOp / s.ParWallNsOp
+			logProd *= s.Speedup
+			n++
+		}
+		rep.Kernels = append(rep.Kernels, *s)
+	}
+	sort.Slice(rep.Kernels, func(i, j int) bool { return rep.Kernels[i].Kernel < rep.Kernels[j].Kernel })
+	if n > 0 {
+		rep.GeomeanWall = math.Pow(logProd, 1/float64(n))
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "BENCH_OUT:", err)
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	writeHostExecReport()
+	os.Exit(code)
+}
+
+// BenchmarkHostExec times every paper kernel end to end under the
+// cooperative reference scheduler and the parallel scheduler. Modeled cycles
+// are reported as a custom metric and must agree between the two modes (the
+// differential test in internal/core enforces bit-identity; here they are
+// recorded for the report).
+func BenchmarkHostExec(b *testing.B) {
+	raw := graph.RMAT(12, 8, 16, 42)
+	modes := []struct {
+		name string
+		exec core.HostExec
+	}{
+		{"cooperative", core.HostCooperative},
+		{"parallel", core.HostParallel},
+	}
+	for _, k := range kernels.All() {
+		g := core.PrepareGraph(k, raw)
+		cfg := core.Config{Src: g.MaxDegreeNode()}
+		for _, mode := range modes {
+			cfg.HostExec = mode.exec
+			b.Run(k.Name+"/"+mode.name, func(b *testing.B) {
+				var cycles float64
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(k, g, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Engine.TimeCycles()
+				}
+				b.ReportMetric(cycles, "modeled-cycles")
+				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				recordHostExec(k.Name, g.Name, mode.name, cycles, nsPerOp)
+			})
+		}
+	}
+}

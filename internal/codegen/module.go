@@ -116,6 +116,14 @@ func (m *Module) Bind(e *spmd.Engine, g *graph.CSR, params map[string]int32) (*I
 		}
 		in.wl = worklist.NewPair(e, "pipe", capacity)
 		in.far = worklist.New(e, "far", capacity)
+		if e.DeferredExec() {
+			// Deferred tasks can stage duplicate claims for the same node
+			// (each wins against its own view), so a round's pushes may
+			// exceed the live-mode capacity bound; let the lists grow.
+			in.wl.In.Grow = true
+			in.wl.Out.Grow = true
+			in.far.Grow = true
+		}
 	}
 	return in, nil
 }

@@ -77,7 +77,10 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 		switch s := s.(type) {
 		case *ir.Invoke:
 			kc := in.M.kernels[s.Kernel]
-			err := in.E.Launch(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
+			// Host-mode kernel bodies never hit a barrier, so use the
+			// barrier-free launch: inline in the serial modes, a plain
+			// fan-out in parallel mode.
+			err := in.E.LaunchNoBarrier(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
 			if err != nil {
 				return err
 			}
@@ -157,7 +160,7 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 					if err := inner.tick(true); err != nil {
 						return err
 					}
-					err := in.E.Launch(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
+					err := in.E.LaunchNoBarrier(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
 					if err != nil {
 						return err
 					}

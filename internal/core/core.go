@@ -17,12 +17,59 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/opt"
 	"repro/internal/spmd"
 	"repro/internal/vec"
 )
+
+// HostExec selects how the engine executes SPMD tasks on the host machine.
+// All choices produce identical modeled times; they differ in wall-clock
+// speed and in which diagnostics they support.
+type HostExec int
+
+const (
+	// HostAuto (the zero value) keeps the engine's default, which honors
+	// the EGACS_HOST_EXEC environment variable ("parallel", "cooperative",
+	// "live") and is the live scheduler when unset — so library callers
+	// and calibrated tests see unchanged modeled numbers unless they opt
+	// in.
+	HostAuto HostExec = iota
+	// HostParallel runs tasks concurrently on real goroutines with
+	// deferred effects (spmd.ExecParallel). The cmd binaries default to
+	// it via -host-parallel.
+	HostParallel
+	// HostCooperative runs the deferred-effect cooperative reference
+	// scheduler (spmd.ExecDeferred) — serial, bit-identical to
+	// HostParallel.
+	HostCooperative
+	// HostLive runs the legacy live cooperative scheduler
+	// (spmd.ExecLive) with immediate effects.
+	HostLive
+)
+
+// resolveExec maps the config knob to an engine mode. Programs marked
+// LiveAtomics need cross-task atomic visibility within a segment and always
+// run live; fault injection and profiling are downgraded engine-side (see
+// spmd.Engine.DeferredExec). envDefault is the engine's EGACS_HOST_EXEC
+// resolution, kept when the knob is HostAuto.
+func resolveExec(h HostExec, prog *ir.Program, envDefault spmd.Exec) spmd.Exec {
+	if prog.LiveAtomics {
+		return spmd.ExecLive
+	}
+	switch h {
+	case HostParallel:
+		return spmd.ExecParallel
+	case HostCooperative:
+		return spmd.ExecDeferred
+	case HostLive:
+		return spmd.ExecLive
+	default:
+		return envDefault
+	}
+}
 
 // Config selects machine, target, tasking and optimization settings for one
 // run. The zero value gives the paper's default EGACS setup on the Intel
@@ -55,6 +102,10 @@ type Config struct {
 	Budget fault.Budget
 	// Inject attaches a deterministic fault injector to the run's engine.
 	Inject *fault.Injector
+	// HostExec selects the execution strategy (parallel host execution by
+	// default; see the HostExec constants). Fault injection, profiling and
+	// LiveAtomics programs fall back to the live cooperative scheduler.
+	HostExec HostExec
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +185,7 @@ func Run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
 	e.Pager = cfg.Pager
 	e.Budget = cfg.Budget
 	e.Inject = cfg.Inject
+	e.Exec = resolveExec(cfg.HostExec, prog, e.Exec)
 	if cfg.ProfileKernels {
 		e.EnableProfiling()
 	}

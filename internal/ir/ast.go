@@ -498,6 +498,13 @@ type Program struct {
 
 	Outline Outlining
 
+	// LiveAtomics marks programs whose correctness depends on tasks
+	// observing each other's atomic updates within a launch segment (e.g.
+	// k-core's decrement-then-threshold cascade). The engine runs such
+	// programs in live cooperative mode instead of the deferred/parallel
+	// schedulers, whose effects only become visible at barriers.
+	LiveAtomics bool
+
 	// DefaultParams supplies parameter defaults (e.g. delta for SSSP).
 	DefaultParams map[string]int32
 }

@@ -49,7 +49,12 @@ func KCore() *Benchmark {
 				),
 			},
 		}},
-		Pipe:          []ir.PipeStmt{&ir.LoopWL{Body: []ir.PipeStmt{&ir.Invoke{Kernel: "peel"}}}},
+		Pipe: []ir.PipeStmt{&ir.LoopWL{Body: []ir.PipeStmt{&ir.Invoke{Kernel: "peel"}}}},
+		// Peeling relies on tasks seeing each other's degree decrements
+		// within a round: two tasks may each decrement deg[x] once, and
+		// only the combined value crosses the k threshold. Deferred
+		// execution would hide the crossing, so force the live scheduler.
+		LiveAtomics:   true,
 		DefaultParams: map[string]int32{"k": 3},
 	}
 	return &Benchmark{

@@ -64,7 +64,12 @@ func PRDelta() *Benchmark {
 				),
 			},
 		}},
-		Pipe:          []ir.PipeStmt{&ir.LoopWL{Body: []ir.PipeStmt{&ir.Invoke{Kernel: "push"}}}},
+		Pipe: []ir.PipeStmt{&ir.LoopWL{Body: []ir.PipeStmt{&ir.Invoke{Kernel: "push"}}}},
+		// Residual propagation accumulates cross-task AtomicAdds that the
+		// same round's threshold reads must observe; deferred execution
+		// would defer them past the reads and stall convergence, so force
+		// the live scheduler.
+		LiveAtomics:   true,
 		DefaultParams: map[string]int32{"epsmil": prDeltaEpsMil},
 	}
 	return &Benchmark{

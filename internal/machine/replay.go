@@ -1,0 +1,42 @@
+package machine
+
+// AccessKind classifies a memory access for stall costing. The deferred SPMD
+// scheduler records (addr, kind) pairs during concurrent task execution and
+// replays them here in deterministic task order, so cache-state evolution —
+// and therefore every level hit and every stall cycle — is identical to a
+// serial run.
+type AccessKind uint8
+
+const (
+	// AccPlain probes the hierarchy but exposes no stall (stores retire
+	// through the write buffer; atomics charge their fixed cost separately).
+	AccPlain AccessKind = iota
+	// AccLoad is a scalar load or a software-gather lane: full load latency.
+	AccLoad
+	// AccGather is a hardware-gather lane: gather latency at the hit level.
+	AccGather
+	// AccStream is a unit-stride vector-load continuation lane: it stalls
+	// only when the line is not already in L1 (the leading lane of the
+	// vector pays AccLoad).
+	AccStream
+)
+
+// ReplayAccess is the trace-replay entry point on the memory model: it runs
+// one recorded access through the hierarchy on the given core, mutating tags
+// exactly as a live access would, and returns the exposed stall in cycles
+// under the given active-thread count. Live execution and deferred replay
+// share this path, so costing is bit-identical between them by construction.
+func (mm *MemModel) ReplayAccess(core int, addr int64, kind AccessKind, threads int) float64 {
+	lvl := mm.Access(core, addr)
+	switch kind {
+	case AccLoad:
+		return mm.cfg.LoadCost(lvl, threads)
+	case AccGather:
+		return mm.cfg.GatherCost(lvl, threads)
+	case AccStream:
+		if lvl != L1 {
+			return mm.cfg.LoadCost(lvl, threads)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,367 @@
+package spmd
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/vec"
+)
+
+// Deferred execution splits what a task computes from how its effects and
+// costs are ordered, so tasks can run concurrently while modeled time stays
+// bit-identical to the serial reference:
+//
+//   - Every task observes the segment-start committed state plus its own
+//     writes (a private pending map). Cross-task writes become visible only
+//     at the next barrier — each task behaves like the first task of a
+//     cooperative schedule.
+//   - Writes and atomics append to a private, ordered operation log; memory
+//     accesses append (addr, kind) events to a private trace; worklist
+//     pushes stage into private batches.
+//   - At every barrier and launch boundary the engine merges task state in
+//     task order: batches materialize into the shared worklists
+//     (deterministic reservation), traces replay through machine.MemModel
+//     (reproducing the serial access order, hence identical hit levels and
+//     stalls), operation logs apply, and stat shards fold into Engine.Stats.
+//
+// Both the cooperative reference scheduler (ExecDeferred) and the parallel
+// scheduler (ExecParallel) execute exactly this semantics with exactly this
+// merge order, so their modeled cycles, instruction counts and outputs are
+// bit-identical by construction.
+
+// pendKey addresses one element of one array in a task's pending-write map.
+type pendKey struct {
+	a   *Array
+	idx int32
+}
+
+// Operation-log opcodes. Adds merge as commutative deltas; mins and CASes
+// merge against the live value so the committed state transitions exactly
+// once per location regardless of how many tasks believe they won.
+const (
+	opStoreI = uint8(iota)
+	opStoreF
+	opAddI
+	opAddF
+	opMinI
+	opCASI
+)
+
+// memOp is one logged write, applied to the committed arrays at merge time.
+type memOp struct {
+	a   *Array
+	idx int32
+	op  uint8
+	iv  int32   // value (store/add/min/CAS-new)
+	old int32   // CAS expected value
+	fv  float32 // float value
+}
+
+// Access-trace encoding: one int64 per access.
+//
+//	committed: addr<<3 | kind<<1 | 0
+//	staged:    batch<<34 | offset<<3 | kind<<1 | 1
+//
+// Staged events reference a push batch whose final position in the shared
+// worklist is unknown until materialization; the merge resolves them against
+// the batch's committed (array, start) before replaying.
+const (
+	accStagedBit  = int64(1)
+	accKindShift  = 1
+	accAddrShift  = 3
+	accOffMask    = int64(1)<<31 - 1
+	accBatchShift = 34
+)
+
+// PushTarget is implemented by worklists: Materialize commits a task's
+// staged items at the current tail (growing if permitted) and reports the
+// backing array and start index so staged trace events can be resolved.
+type PushTarget interface {
+	Materialize(items []int32) (*Array, int32, error)
+}
+
+// PushBatch accumulates one task's staged pushes to one target within a
+// segment. Offsets into the batch are stable; the batch's absolute position
+// is assigned at merge time in task order, reproducing the layout a serial
+// schedule would produce.
+type PushBatch struct {
+	target PushTarget
+	index  int // position in the task's batch list (trace encoding)
+	items  []int32
+
+	// Resolved at materialization.
+	arr   *Array
+	start int32
+}
+
+// Len returns the number of staged items.
+func (b *PushBatch) Len() int32 { return int32(len(b.items)) }
+
+// StageMasked appends the active lanes of val in lane order and returns
+// their starting offset within the batch.
+func (b *PushBatch) StageMasked(val vec.Vec, m vec.Mask, width int) int32 {
+	off := int32(len(b.items))
+	for i := 0; i < width; i++ {
+		if m.Bit(i) {
+			b.items = append(b.items, val[i])
+		}
+	}
+	return off
+}
+
+// ReserveSlots extends the batch by n zeroed slots and returns their
+// starting offset (the deferred analogue of an atomic tail reservation).
+func (b *PushBatch) ReserveSlots(n int32) int32 {
+	off := int32(len(b.items))
+	for j := int32(0); j < n; j++ {
+		b.items = append(b.items, 0)
+	}
+	return off
+}
+
+// WriteAt packs the active lanes of val into the batch starting at pos and
+// returns the number written, extending the batch if a kernel writes past
+// its reservation.
+func (b *PushBatch) WriteAt(pos int32, val vec.Vec, m vec.Mask, width int) int32 {
+	k := pos
+	for i := 0; i < width; i++ {
+		if !m.Bit(i) {
+			continue
+		}
+		if int(k) < len(b.items) {
+			b.items[k] = val[i]
+		} else {
+			b.items = append(b.items, val[i])
+		}
+		k++
+	}
+	return k - pos
+}
+
+// deferredCtx is one task's private effect state for the current segment.
+type deferredCtx struct {
+	pendI map[pendKey]int32
+	pendF map[pendKey]float32
+	dirty map[*Array]struct{}
+
+	ops []memOp
+	acc []int64
+
+	batches []*PushBatch
+	batchOf map[PushTarget]*PushBatch
+
+	serialAtomics float64
+}
+
+func newDeferredCtx() *deferredCtx {
+	return &deferredCtx{
+		pendI:   make(map[pendKey]int32),
+		pendF:   make(map[pendKey]float32),
+		dirty:   make(map[*Array]struct{}),
+		batchOf: make(map[PushTarget]*PushBatch),
+	}
+}
+
+// reset clears the segment state, keeping allocated capacity.
+func (d *deferredCtx) reset() {
+	clear(d.pendI)
+	clear(d.pendF)
+	clear(d.dirty)
+	clear(d.batchOf)
+	d.ops = d.ops[:0]
+	d.acc = d.acc[:0]
+	d.batches = d.batches[:0]
+	d.serialAtomics = 0
+}
+
+// loadI reads one element under the task's view: its own pending write if
+// present, the segment-start committed value otherwise.
+func (d *deferredCtx) loadI(a *Array, idx int32) int32 {
+	if _, ok := d.dirty[a]; ok {
+		if v, ok := d.pendI[pendKey{a, idx}]; ok {
+			return v
+		}
+	}
+	return a.I[idx]
+}
+
+func (d *deferredCtx) loadF(a *Array, idx int32) float32 {
+	if _, ok := d.dirty[a]; ok {
+		if v, ok := d.pendF[pendKey{a, idx}]; ok {
+			return v
+		}
+	}
+	return a.F[idx]
+}
+
+func (d *deferredCtx) storeI(a *Array, idx, v int32) {
+	d.pendI[pendKey{a, idx}] = v
+	d.dirty[a] = struct{}{}
+	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opStoreI, iv: v})
+}
+
+func (d *deferredCtx) storeF(a *Array, idx int32, v float32) {
+	d.pendF[pendKey{a, idx}] = v
+	d.dirty[a] = struct{}{}
+	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opStoreF, fv: v})
+}
+
+func (d *deferredCtx) addI(a *Array, idx, delta int32) int32 {
+	old := d.loadI(a, idx)
+	d.pendI[pendKey{a, idx}] = old + delta
+	d.dirty[a] = struct{}{}
+	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opAddI, iv: delta})
+	return old
+}
+
+func (d *deferredCtx) addF(a *Array, idx int32, delta float32) {
+	d.pendF[pendKey{a, idx}] = d.loadF(a, idx) + delta
+	d.dirty[a] = struct{}{}
+	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opAddF, fv: delta})
+}
+
+// minI lowers the task-local view and logs a min to merge against the live
+// value. Call only when v improves on loadI's result.
+func (d *deferredCtx) minI(a *Array, idx, v int32) {
+	d.pendI[pendKey{a, idx}] = v
+	d.dirty[a] = struct{}{}
+	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opMinI, iv: v})
+}
+
+// casI records a compare-and-swap that succeeded under the task's view.
+func (d *deferredCtx) casI(a *Array, idx, old, v int32) {
+	d.pendI[pendKey{a, idx}] = v
+	d.dirty[a] = struct{}{}
+	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opCASI, iv: v, old: old})
+}
+
+// applyOp commits one logged write. Values were counted at execution time;
+// application is functional only.
+func applyOp(o *memOp) {
+	switch o.op {
+	case opStoreI:
+		o.a.I[o.idx] = o.iv
+	case opStoreF:
+		o.a.F[o.idx] = o.fv
+	case opAddI:
+		o.a.I[o.idx] += o.iv
+	case opAddF:
+		o.a.F[o.idx] += o.fv
+	case opMinI:
+		if o.iv < o.a.I[o.idx] {
+			o.a.I[o.idx] = o.iv
+		}
+	case opCASI:
+		if o.a.I[o.idx] == o.old {
+			o.a.I[o.idx] = o.iv
+		}
+	}
+}
+
+// --- TaskCtx deferred plumbing ---
+
+// Deferred reports whether this task runs with deferred effects (private
+// shards merged at barriers). The worklist package branches on it to stage
+// pushes instead of mutating shared tails.
+func (tc *TaskCtx) Deferred() bool { return tc.def != nil }
+
+// noteAccess accounts one memory access. Live mode pages and probes the
+// cache immediately; deferred mode appends a trace event replayed at the
+// segment boundary. Both paths cost through machine.ReplayAccess, so stalls
+// are identical by construction.
+func (tc *TaskCtx) noteAccess(addr int64, kind machine.AccessKind) {
+	if d := tc.def; d != nil {
+		d.acc = append(d.acc, addr<<accAddrShift|int64(kind)<<accKindShift)
+		return
+	}
+	tc.touchPage(addr)
+	tc.addStall(tc.E.Mem.ReplayAccess(tc.core, addr, kind, tc.E.activeThreads))
+}
+
+// Batch returns the task's staging batch for the given push target, creating
+// it on first use. Creation order is the materialization order within the
+// task, mirroring the program order of a serial schedule.
+func (tc *TaskCtx) Batch(t PushTarget) *PushBatch {
+	d := tc.def
+	b := d.batchOf[t]
+	if b == nil {
+		b = &PushBatch{target: t, index: len(d.batches)}
+		d.batchOf[t] = b
+		d.batches = append(d.batches, b)
+	}
+	return b
+}
+
+// NoteShared records a cost-only access to a shared scalar location (a
+// worklist tail) in the task's trace.
+func (tc *TaskCtx) NoteShared(a *Array, idx int32) {
+	tc.noteAccess(a.Addr(idx), machine.AccPlain)
+}
+
+// NoteStaged records n cost-only accesses to staged batch slots [off,off+n):
+// their absolute addresses resolve at materialization.
+func (tc *TaskCtx) NoteStaged(b *PushBatch, off, n int32) {
+	d := tc.def
+	for j := int32(0); j < n; j++ {
+		d.acc = append(d.acc,
+			int64(b.index)<<accBatchShift|int64(off+j)<<accAddrShift|
+				int64(machine.AccPlain)<<accKindShift|accStagedBit)
+	}
+}
+
+// CountAtomics exposes atomic-instruction accounting to the worklist
+// package's deferred push paths.
+func (tc *TaskCtx) CountAtomics(n int, contended, push bool) {
+	tc.countAtomics(n, contended, push)
+}
+
+// --- Engine-side merge ---
+
+// replayAccesses replays one task's trace through the memory model and
+// pager, charging exposed stalls to the task.
+func (e *Engine) replayAccesses(tc *TaskCtx) {
+	d := tc.def
+	for _, ev := range d.acc {
+		var addr int64
+		if ev&accStagedBit != 0 {
+			b := d.batches[ev>>accBatchShift]
+			addr = b.arr.Addr(b.start + int32((ev>>accAddrShift)&accOffMask))
+		} else {
+			addr = ev >> accAddrShift
+		}
+		tc.touchPage(addr)
+		kind := machine.AccessKind((ev >> accKindShift) & 3)
+		tc.addStall(e.Mem.ReplayAccess(tc.core, addr, kind, e.activeThreads))
+	}
+}
+
+// mergeSegment commits all tasks' deferred state in task order: batches
+// materialize (deterministic reservation), traces replay (deterministic
+// cache evolution), operation logs apply, stat shards and serialized-atomic
+// floors fold in. A materialization failure (worklist overflow on a
+// non-growable list) aborts the merge with a task-attributed typed error.
+func (e *Engine) mergeSegment(tcs []*TaskCtx) error {
+	for _, tc := range tcs {
+		d := tc.def
+		if d == nil {
+			continue
+		}
+		for _, b := range d.batches {
+			arr, start, err := b.target.Materialize(b.items)
+			if err != nil {
+				return fmt.Errorf("task %d (kernel %q, iteration %d): %w",
+					tc.Index, e.phaseName(), e.iter.Load(), err)
+			}
+			b.arr, b.start = arr, start
+		}
+		e.replayAccesses(tc)
+		for i := range d.ops {
+			applyOp(&d.ops[i])
+		}
+		e.Stats.Add(&tc.shard)
+		tc.shard = Stats{}
+		e.segSerialAtomics += d.serialAtomics
+		d.reset()
+	}
+	return nil
+}

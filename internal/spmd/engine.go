@@ -2,10 +2,34 @@ package spmd
 
 import (
 	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/vec"
+)
+
+// Exec selects how Launch executes task bodies.
+type Exec uint8
+
+const (
+	// ExecLive is the legacy mode: deterministic cooperative scheduling
+	// with immediate effects — every Op, memory access and atomic mutates
+	// shared engine state as it executes. Required by fault injection and
+	// kernel profiling, and the mode all baseline engines run in.
+	ExecLive Exec = iota
+	// ExecDeferred runs the same cooperative schedule with deferred
+	// effects: tasks observe segment-start state plus their own writes,
+	// and all effects merge at barriers in task order. This is the
+	// reference semantics the parallel scheduler is differential-tested
+	// against.
+	ExecDeferred
+	// ExecParallel runs deferred-effect tasks concurrently on real
+	// goroutines, one per task, synchronizing at barriers. Modeled
+	// cycles, statistics and outputs are bit-identical to ExecDeferred.
+	ExecParallel
 )
 
 // Engine executes SPMD launches against one machine model and accumulates
@@ -29,6 +53,10 @@ type Engine struct {
 	// below 1 to reflect latency hiding by high warp occupancy.
 	StallScale float64
 
+	// Exec selects the execution strategy. Fault injection and profiling
+	// force ExecLive regardless of this setting (see execMode).
+	Exec Exec
+
 	Mem   *machine.MemModel
 	Addr  *machine.AddrSpace
 	Pager Pager
@@ -42,8 +70,8 @@ type Engine struct {
 
 	Stats Stats
 
-	phase string // current kernel phase, attached to failure context
-	iter  int64  // current pipe iteration, attached to failure context
+	phase atomic.Pointer[string] // current kernel phase, attached to failure context
+	iter  atomic.Int64           // current pipe iteration, attached to failure context
 
 	cycles     float64 // modeled time in core cycles
 	transferNS float64 // host<->device transfers (GPU only)
@@ -55,8 +83,24 @@ type Engine struct {
 	prof *profiler // nil unless EnableProfiling was called
 }
 
+// ExecFromEnv returns the execution mode selected by the EGACS_HOST_EXEC
+// environment variable ("parallel", "cooperative", "live"); ExecLive when
+// unset or unrecognized. CI uses it to force every engine onto the parallel
+// scheduler under the race detector.
+func ExecFromEnv() Exec {
+	switch os.Getenv("EGACS_HOST_EXEC") {
+	case "parallel":
+		return ExecParallel
+	case "cooperative":
+		return ExecDeferred
+	default:
+		return ExecLive
+	}
+}
+
 // New creates an engine for the given machine, target and task count. A task
-// count of 0 selects the machine's default.
+// count of 0 selects the machine's default. The execution mode defaults to
+// EGACS_HOST_EXEC's choice (live when unset); callers override Exec directly.
 func New(cfg *machine.Config, target vec.Target, tasks int) *Engine {
 	if tasks <= 0 {
 		tasks = cfg.DefaultTasks
@@ -66,6 +110,7 @@ func New(cfg *machine.Config, target vec.Target, tasks int) *Engine {
 		scale = 1
 	}
 	return &Engine{
+		Exec:       ExecFromEnv(),
 		Machine:    cfg,
 		Target:     target,
 		TaskSys:    Pthread, // EGACS default: pinned pthread tasking
@@ -130,6 +175,31 @@ func (e *Engine) ResetTime() {
 	e.Stats = Stats{}
 }
 
+// execMode resolves the effective execution mode for the next launch. Fault
+// injection corrupts state mid-segment (deferred replay would observe the
+// corruption at the wrong time), and kernel profiling reads global stats at
+// phase boundaries mid-launch; both force the live cooperative path.
+func (e *Engine) execMode() Exec {
+	if e.Inject != nil || e.prof != nil {
+		return ExecLive
+	}
+	return e.Exec
+}
+
+// DeferredExec reports whether launches on this engine run with deferred
+// effects (serially or in parallel). The worklist layer uses it to enable
+// growth on lists whose deferred reservations may exceed the live-mode
+// capacity bound.
+func (e *Engine) DeferredExec() bool { return e.execMode() != ExecLive }
+
+// phaseName returns the current kernel phase for failure context.
+func (e *Engine) phaseName() string {
+	if p := e.phase.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // hwThreadOf maps a task index to a hardware thread under the pinning
 // policy: tasks fill one thread per core first, then additional SMT ways
 // (Linux-style logical CPU enumeration, as the paper's pinned runs use).
@@ -160,11 +230,68 @@ func (e *Engine) LaunchEmpty(n int) {
 }
 
 // MarkIteration records the current pipe-loop iteration for failure context.
-func (e *Engine) MarkIteration(i int64) { e.iter = i }
+func (e *Engine) MarkIteration(i int64) { e.iter.Store(i) }
 
-// Launch runs body on n tasks (0 selects the engine default) with
-// deterministic cooperative scheduling, and advances the modeled clock.
-// Tasks may call TaskCtx.Barrier; all live tasks synchronize there.
+// newTask builds one TaskCtx for a launch of n tasks. Live tasks account
+// directly into the engine's stats; deferred tasks get a private shard and
+// effect context. withChans attaches the cooperative scheduler's handoff
+// channels.
+func (e *Engine) newTask(i, n int, mode Exec, withChans bool) *TaskCtx {
+	hwt := e.hwThreadOf(i)
+	tc := &TaskCtx{
+		E:     e,
+		Index: i,
+		Count: n,
+		Width: e.Target.Width,
+		hw:    hwt,
+		core:  e.coreOf(hwt),
+	}
+	if mode == ExecLive {
+		tc.st = &e.Stats
+	} else {
+		tc.st = &tc.shard
+		tc.def = newDeferredCtx()
+	}
+	if withChans {
+		tc.resume = make(chan struct{})
+		tc.yield = make(chan struct{})
+	}
+	return tc
+}
+
+// setActiveThreads caps the contention-scaling thread count at the number of
+// hardware threads available under the pinning policy.
+func (e *Engine) setActiveThreads(n int) {
+	hw := e.Machine.HWThreads()
+	if e.NoSMT {
+		hw = e.Machine.Cores
+	}
+	e.activeThreads = n
+	if e.activeThreads > hw {
+		e.activeThreads = hw
+	}
+}
+
+// taskError converts a recovered task panic into the typed launch error.
+func (e *Engine) taskError(tc *TaskCtx) error {
+	if tf, ok := tc.panicked.(taskFailure); ok {
+		return fmt.Errorf("task %d (kernel %q, iteration %d): %w",
+			tc.Index, e.phaseName(), e.iter.Load(), tf.err)
+	}
+	return &fault.PanicError{
+		Task: tc.Index, Kernel: e.phaseName(), Iteration: e.iter.Load(),
+		Value: tc.panicked,
+	}
+}
+
+// Launch runs body on n tasks (0 selects the engine default) and advances
+// the modeled clock. Tasks may call TaskCtx.Barrier; all live tasks
+// synchronize there. Depending on the engine's execution mode the tasks run
+// on the deterministic cooperative scheduler (ExecLive with immediate
+// effects, ExecDeferred with barrier-merged effects) or concurrently on real
+// goroutines (ExecParallel). All modes produce identical modeled time; the
+// deferred modes additionally produce identical statistics and outputs to
+// each other.
 //
 // Launch returns a typed error (matching the internal/fault taxonomy) when a
 // task fails via TaskCtx.Fail, when a task body panics, or when the engine's
@@ -184,29 +311,23 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) error {
 	}
 	e.Stats.Launches++
 	e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false))
+	e.setActiveThreads(n)
 
-	hw := e.Machine.HWThreads()
-	if e.NoSMT {
-		hw = e.Machine.Cores
+	mode := e.execMode()
+	if mode == ExecParallel {
+		return e.runParallel(n, body)
 	}
-	e.activeThreads = n
-	if e.activeThreads > hw {
-		e.activeThreads = hw
-	}
+	return e.runCooperative(n, mode, body)
+}
 
+// runCooperative executes a launch on the deterministic cooperative
+// scheduler: one goroutine per task, resumed one at a time in task order,
+// yielding at barriers. In ExecDeferred mode each segment's private effects
+// merge in task order before the segment cost aggregates.
+func (e *Engine) runCooperative(n int, mode Exec, body func(*TaskCtx)) error {
 	tcs := make([]*TaskCtx, n)
 	for i := 0; i < n; i++ {
-		hwt := e.hwThreadOf(i)
-		tc := &TaskCtx{
-			E:      e,
-			Index:  i,
-			Count:  n,
-			Width:  e.Target.Width,
-			hw:     hwt,
-			core:   e.coreOf(hwt),
-			resume: make(chan struct{}),
-			yield:  make(chan struct{}),
-		}
+		tc := e.newTask(i, n, mode, true)
 		tcs[i] = tc
 		go func(tc *TaskCtx) {
 			defer func() {
@@ -226,6 +347,16 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) error {
 		}(tc)
 	}
 
+	drain := func(failed *TaskCtx) {
+		for _, other := range tcs {
+			if other != failed && !other.done {
+				other.abort = true
+				other.resume <- struct{}{}
+				<-other.yield
+			}
+		}
+	}
+
 	running := n
 	for running > 0 {
 		for _, tc := range tcs {
@@ -237,21 +368,14 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) error {
 			if tc.panicked != nil {
 				// Drain remaining tasks so their goroutines exit, then
 				// surface the failure as a typed error.
-				for _, other := range tcs {
-					if other != tc && !other.done {
-						other.abort = true
-						other.resume <- struct{}{}
-						<-other.yield
-					}
-				}
-				if tf, ok := tc.panicked.(taskFailure); ok {
-					return fmt.Errorf("task %d (kernel %q, iteration %d): %w",
-						tc.Index, e.phase, e.iter, tf.err)
-				}
-				return &fault.PanicError{
-					Task: tc.Index, Kernel: e.phase, Iteration: e.iter,
-					Value: tc.panicked,
-				}
+				drain(tc)
+				return e.taskError(tc)
+			}
+		}
+		if mode != ExecLive {
+			if err := e.mergeSegment(tcs); err != nil {
+				drain(nil)
+				return err
 			}
 		}
 		e.cycles += e.aggregateSegment(tcs)
@@ -266,6 +390,80 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) error {
 			e.cycles += e.Machine.BarrierCost(n)
 		}
 	}
+	return nil
+}
+
+// LaunchNoBarrier runs body on n tasks that never call TaskCtx.Barrier — the
+// common single-segment launch emitted for per-kernel host pipelines. In the
+// serial modes the bodies run inline on the calling goroutine in task order,
+// eliminating all goroutine and channel overhead; in parallel mode they fan
+// out on a WaitGroup without barrier machinery. Effects and costs are
+// identical to Launch for barrier-free bodies. A body that does call Barrier
+// fails with a typed error.
+func (e *Engine) LaunchNoBarrier(n int, body func(*TaskCtx)) error {
+	if err := e.Budget.CheckCtx(); err != nil {
+		return err
+	}
+	if err := e.Budget.CheckCycles(e.cycles); err != nil {
+		return err
+	}
+	if n <= 0 {
+		n = e.NumTasks
+	}
+	e.Stats.Launches++
+	e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false))
+	e.setActiveThreads(n)
+
+	mode := e.execMode()
+	tcs := make([]*TaskCtx, n)
+	for i := 0; i < n; i++ {
+		tcs[i] = e.newTask(i, n, mode, false)
+	}
+
+	run := func(tc *TaskCtx) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isAbort := r.(abortSentinel); !isAbort {
+					tc.panicked = r
+				}
+			}
+		}()
+		body(tc)
+	}
+
+	if mode == ExecParallel {
+		var wg sync.WaitGroup
+		for _, tc := range tcs {
+			wg.Add(1)
+			go func(tc *TaskCtx) {
+				defer wg.Done()
+				run(tc)
+			}(tc)
+		}
+		wg.Wait()
+	} else {
+		for _, tc := range tcs {
+			run(tc)
+			if tc.panicked != nil {
+				break
+			}
+		}
+	}
+
+	// Deterministic failure selection: the lowest-index failed task wins,
+	// matching the cooperative scheduler's sweep order.
+	for _, tc := range tcs {
+		if tc.panicked != nil {
+			return e.taskError(tc)
+		}
+	}
+
+	if mode != ExecLive {
+		if err := e.mergeSegment(tcs); err != nil {
+			return err
+		}
+	}
+	e.cycles += e.aggregateSegment(tcs)
 	return nil
 }
 

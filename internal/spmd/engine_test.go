@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/fault"
@@ -39,10 +40,10 @@ func TestLaunchRunsAllTasks(t *testing.T) {
 
 func TestLaunchDefaultTaskCount(t *testing.T) {
 	e := newTestEngine(0) // machine default: 16
-	n := 0
-	e.Launch(0, func(tc *TaskCtx) { n++ })
-	if n != 16 {
-		t.Errorf("default tasks = %d, want 16", n)
+	var n atomic.Int32
+	e.Launch(0, func(tc *TaskCtx) { n.Add(1) })
+	if n.Load() != 16 {
+		t.Errorf("default tasks = %d, want 16", n.Load())
 	}
 }
 

@@ -35,9 +35,11 @@ func (e *Engine) EnableProfiling() {
 
 // MarkPhase records entry into a named phase; the interval since the last
 // mark is attributed to the previous phase. The phase name is always
-// retained for failure context; statistics attribution needs profiling on.
+// retained for failure context (stored atomically — parallel launches mark
+// phases from concurrent tasks); statistics attribution needs profiling on,
+// which forces the live cooperative scheduler.
 func (e *Engine) MarkPhase(name string) {
-	e.phase = name
+	e.phase.Store(&name)
 	p := e.prof
 	if p == nil {
 		return

@@ -4,11 +4,18 @@
 // (internal/machine), and aggregates per-task cycles into modeled execution
 // time with launch, barrier, SMT and atomic-serialization effects.
 //
-// Tasks are scheduled cooperatively and deterministically: between barriers,
-// tasks run to completion one at a time in task order on a single goroutine
-// each, handing off through channels. Modeled time is unaffected by host
-// scheduling, so every run of a kernel on a given graph produces identical
-// results, identical instruction counts and identical modeled times.
+// Tasks execute in one of three modes (Engine.Exec). ExecLive is the legacy
+// reference: tasks are scheduled cooperatively and deterministically —
+// between barriers, tasks run to completion one at a time in task order on a
+// single goroutine each, handing off through channels, with every effect
+// applied immediately. ExecDeferred runs the same cooperative schedule under
+// deferred-effect semantics (private per-task shards and traces, merged at
+// barriers in task order; see deferred.go), and ExecParallel runs those
+// deferred-effect tasks concurrently on real goroutines (parallel.go). In
+// every mode, modeled time is unaffected by host scheduling: every run of a
+// kernel on a given graph produces identical results, identical instruction
+// counts and identical modeled times, and the two deferred modes are
+// bit-identical to each other by construction.
 package spmd
 
 import (

@@ -2,6 +2,7 @@ package spmd
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/fault"
 	"repro/internal/machine"
@@ -16,6 +17,12 @@ import (
 // directly and report instruction costs through Op/InnerOp; memory and
 // atomics go through the methods here so that cache, paging and contention
 // modeling see every access.
+//
+// In live mode (ExecLive) every primitive mutates shared engine state
+// immediately. In the deferred modes the task accounts into a private stats
+// shard (st points at shard), records memory accesses into a private trace,
+// and routes reads/writes through its deferredCtx; the engine merges
+// everything at barrier and launch boundaries in task order.
 type TaskCtx struct {
 	E     *Engine
 	Index int // taskIndex
@@ -23,6 +30,16 @@ type TaskCtx struct {
 	Width int // programCount
 
 	hw, core int
+
+	// st is where instruction/atomic statistics accumulate: &E.Stats in
+	// live mode, &shard in the deferred modes.
+	st    *Stats
+	shard Stats
+
+	// def holds the task's private deferred-effect state; nil in live mode.
+	def *deferredCtx
+	// ph is the barrier phaser of a parallel launch; nil otherwise.
+	ph *phaser
 
 	compute float64 // cycles of issued instructions since last barrier
 	stall   float64 // cycles of exposed memory/atomic stalls since last barrier
@@ -89,8 +106,16 @@ func (tc *TaskCtx) checkLane(op string, a *Array, lane int, idx int32) {
 	}
 }
 
-// Barrier synchronizes all live tasks of the current launch.
+// Barrier synchronizes all live tasks of the current launch. Calling it from
+// a LaunchNoBarrier body is a kernel bug and fails the task.
 func (tc *TaskCtx) Barrier() {
+	if tc.ph != nil {
+		tc.ph.barrier()
+		return
+	}
+	if tc.resume == nil {
+		tc.Fail(fmt.Errorf("TaskCtx.Barrier inside a barrier-free launch: %w", fault.ErrKernelPanic))
+	}
 	tc.yield <- struct{}{}
 	<-tc.resume
 	if tc.abort {
@@ -107,9 +132,9 @@ func (tc *TaskCtx) Aborted() bool { return tc.abort }
 // the target's dynamic instruction count.
 func (tc *TaskCtx) Op(class vec.OpClass, masked bool) {
 	n := int64(tc.E.Target.Lower(class, masked))
-	tc.E.Stats.Instructions += n
-	tc.E.Stats.ByClass[class] += n
-	tc.E.Stats.VectorOps++
+	tc.st.Instructions += n
+	tc.st.ByClass[class] += n
+	tc.st.VectorOps++
 	tc.compute += float64(n) / tc.E.Machine.IPC
 }
 
@@ -119,9 +144,9 @@ func (tc *TaskCtx) OpN(class vec.OpClass, masked bool, n int) {
 		return
 	}
 	in := int64(tc.E.Target.Lower(class, masked)) * int64(n)
-	tc.E.Stats.Instructions += in
-	tc.E.Stats.ByClass[class] += in
-	tc.E.Stats.VectorOps += int64(n)
+	tc.st.Instructions += in
+	tc.st.ByClass[class] += in
+	tc.st.VectorOps += int64(n)
 	tc.compute += float64(in) / tc.E.Machine.IPC
 }
 
@@ -130,8 +155,8 @@ func (tc *TaskCtx) OpN(class vec.OpClass, masked bool, n int) {
 // measurement.
 func (tc *TaskCtx) InnerOp(class vec.OpClass, masked bool, active int) {
 	tc.Op(class, masked)
-	tc.E.Stats.InnerVectorOps++
-	tc.E.Stats.InnerActiveLanes += int64(active)
+	tc.st.InnerVectorOps++
+	tc.st.InnerActiveLanes += int64(active)
 }
 
 // ScalarOps records n uniform scalar ALU instructions.
@@ -139,37 +164,32 @@ func (tc *TaskCtx) ScalarOps(n int) {
 	if n <= 0 {
 		return
 	}
-	tc.E.Stats.Instructions += int64(n)
-	tc.E.Stats.ByClass[vec.ClassScalar] += int64(n)
-	tc.E.Stats.ScalarOps += int64(n)
+	tc.st.Instructions += int64(n)
+	tc.st.ByClass[vec.ClassScalar] += int64(n)
+	tc.st.ScalarOps += int64(n)
 	tc.compute += float64(n) / tc.E.Machine.IPC
 }
 
 // Work records processed worklist items (a useful-work proxy).
-func (tc *TaskCtx) Work(n int) { tc.E.Stats.WorkItems += int64(n) }
+func (tc *TaskCtx) Work(n int) { tc.st.WorkItems += int64(n) }
 
 func (tc *TaskCtx) addStall(cycles float64) {
 	tc.stall += cycles * tc.E.StallScale
 }
 
+// touchPage runs one address through the pager. It executes only while the
+// engine is single-threaded: at live execution or at boundary replay.
 func (tc *TaskCtx) touchPage(addr int64) {
 	if tc.E.Pager == nil {
 		return
 	}
 	ns, fault := tc.E.Pager.Touch(addr)
 	if fault {
-		tc.E.Stats.PageFaults++
+		tc.st.PageFaults++
 	}
 	if ns > 0 {
 		tc.E.faultNS += ns
 	}
-}
-
-// access runs one address through the cache model and pager and returns the
-// level that satisfied it.
-func (tc *TaskCtx) access(addr int64) machine.Level {
-	tc.touchPage(addr)
-	return tc.E.Mem.Access(tc.core, addr)
 }
 
 // --- Memory operations ---
@@ -183,18 +203,25 @@ func (tc *TaskCtx) GatherI(a *Array, idx vec.Vec, m vec.Mask, old vec.Vec, inner
 	} else {
 		tc.Op(vec.ClassGather, true)
 	}
-	native := tc.E.Target.HasNativeGather()
+	kind := machine.AccLoad // software gather: per-lane scalar loads
+	if tc.E.Target.HasNativeGather() {
+		kind = machine.AccGather
+	}
 	for i := 0; i < tc.Width; i++ {
 		if !m.Bit(i) {
 			continue
 		}
 		tc.checkLane("gather", a, i, idx[i])
-		lvl := tc.access(a.Addr(idx[i]))
-		if native {
-			tc.addStall(tc.E.Machine.GatherCost(lvl, tc.E.activeThreads))
-		} else {
-			tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+		tc.noteAccess(a.Addr(idx[i]), kind)
+	}
+	if d := tc.def; d != nil {
+		out := old
+		for i := 0; i < tc.Width; i++ {
+			if m.Bit(i) {
+				out[i] = d.loadI(a, idx[i])
+			}
 		}
+		return out
 	}
 	return vec.Gather(a.I, idx, m, tc.Width, old)
 }
@@ -207,18 +234,25 @@ func (tc *TaskCtx) GatherF(a *Array, idx vec.Vec, m vec.Mask, old vec.FVec, inne
 	} else {
 		tc.Op(vec.ClassGather, true)
 	}
-	native := tc.E.Target.HasNativeGather()
+	kind := machine.AccLoad
+	if tc.E.Target.HasNativeGather() {
+		kind = machine.AccGather
+	}
 	for i := 0; i < tc.Width; i++ {
 		if !m.Bit(i) {
 			continue
 		}
 		tc.checkLane("gather", a, i, idx[i])
-		lvl := tc.access(a.Addr(idx[i]))
-		if native {
-			tc.addStall(tc.E.Machine.GatherCost(lvl, tc.E.activeThreads))
-		} else {
-			tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+		tc.noteAccess(a.Addr(idx[i]), kind)
+	}
+	if d := tc.def; d != nil {
+		out := old
+		for i := 0; i < tc.Width; i++ {
+			if m.Bit(i) {
+				out[i] = d.loadF(a, idx[i])
+			}
 		}
+		return out
 	}
 	return vec.GatherF(a.F, idx, m, tc.Width, old)
 }
@@ -230,11 +264,19 @@ func (tc *TaskCtx) ScatterI(a *Array, idx, val vec.Vec, m vec.Mask) {
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
 			tc.checkLane("scatter", a, i, idx[i])
-			tc.access(a.Addr(idx[i]))
+			// Stores retire through the write buffer; no exposed stall is
+			// charged, matching the scalar-store treatment.
+			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
 		}
 	}
-	// Stores retire through the write buffer; no exposed stall is charged,
-	// matching the scalar-store treatment.
+	if d := tc.def; d != nil {
+		for i := 0; i < tc.Width; i++ {
+			if m.Bit(i) {
+				d.storeI(a, idx[i], val[i])
+			}
+		}
+		return
+	}
 	vec.Scatter(a.I, idx, val, m, tc.Width)
 }
 
@@ -245,23 +287,43 @@ func (tc *TaskCtx) ScatterF(a *Array, idx vec.Vec, val vec.FVec, m vec.Mask) {
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
 			tc.checkLane("scatter", a, i, idx[i])
-			tc.access(a.Addr(idx[i]))
+			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
 		}
+	}
+	if d := tc.def; d != nil {
+		for i := 0; i < tc.Width; i++ {
+			if m.Bit(i) {
+				d.storeF(a, idx[i], val[i])
+			}
+		}
+		return
 	}
 	vec.ScatterF(a.F, idx, val, m, tc.Width)
 }
 
 // LoadVecI performs a unit-stride vector load from a.I[start:].
 func (tc *TaskCtx) LoadVecI(a *Array, start int32, m vec.Mask, old vec.Vec) vec.Vec {
-	tc.Op(vec.ClassVLoad, false)
+	tc.Op(vec.ClassVLoad, m != vec.FullMask(tc.Width))
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
 			tc.checkLane("vload", a, i, start+int32(i))
-			lvl := tc.access(a.Addr(start + int32(i)))
-			if i == 0 || lvl != machine.L1 {
-				tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+			// The leading lane pays the full load latency; continuation
+			// lanes stall only when their line is not already in L1.
+			kind := machine.AccStream
+			if i == 0 {
+				kind = machine.AccLoad
+			}
+			tc.noteAccess(a.Addr(start+int32(i)), kind)
+		}
+	}
+	if d := tc.def; d != nil {
+		out := old
+		for i := 0; i < tc.Width; i++ {
+			if m.Bit(i) {
+				out[i] = d.loadI(a, start+int32(i))
 			}
 		}
+		return out
 	}
 	return vec.LoadConsecutive(a.I, start, m, tc.Width, old)
 }
@@ -272,8 +334,16 @@ func (tc *TaskCtx) StoreVecI(a *Array, start int32, val vec.Vec, m vec.Mask) {
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
 			tc.checkLane("vstore", a, i, start+int32(i))
-			tc.access(a.Addr(start + int32(i)))
+			tc.noteAccess(a.Addr(start+int32(i)), machine.AccPlain)
 		}
+	}
+	if d := tc.def; d != nil {
+		for i := 0; i < tc.Width; i++ {
+			if m.Bit(i) {
+				d.storeI(a, start+int32(i), val[i])
+			}
+		}
+		return
 	}
 	vec.StoreConsecutive(a.I, start, val, m, tc.Width)
 }
@@ -284,7 +354,18 @@ func (tc *TaskCtx) PackedStore(a *Array, start int32, val vec.Vec, m vec.Mask) i
 	tc.Op(vec.ClassPacked, true)
 	n := m.PopCount()
 	for i := 0; i < n; i++ {
-		tc.access(a.Addr(start + int32(i)))
+		tc.noteAccess(a.Addr(start+int32(i)), machine.AccPlain)
+	}
+	if d := tc.def; d != nil {
+		k := start
+		for i := 0; i < tc.Width; i++ {
+			if m.Bit(i) {
+				tc.checkLane("packed-store", a, i, k)
+				d.storeI(a, k, val[i])
+				k++
+			}
+		}
+		return int(k - start)
 	}
 	out, err := vec.PackedStoreActiveChecked(a.I, start, val, m, tc.Width)
 	if err != nil {
@@ -296,46 +377,58 @@ func (tc *TaskCtx) PackedStore(a *Array, start int32, val vec.Vec, m vec.Mask) i
 // ScalarLoadI loads a.I[idx] as a uniform value.
 func (tc *TaskCtx) ScalarLoadI(a *Array, idx int32) int32 {
 	tc.checkScalar("scalar-load", a, idx)
-	tc.E.Stats.Instructions++
-	tc.E.Stats.ByClass[vec.ClassScalarLoad]++
-	tc.E.Stats.ScalarOps++
+	tc.st.Instructions++
+	tc.st.ByClass[vec.ClassScalarLoad]++
+	tc.st.ScalarOps++
 	tc.compute += 1 / tc.E.Machine.IPC
-	lvl := tc.access(a.Addr(idx))
-	tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+	tc.noteAccess(a.Addr(idx), machine.AccLoad)
+	if d := tc.def; d != nil {
+		return d.loadI(a, idx)
+	}
 	return a.I[idx]
 }
 
 // ScalarStoreI stores a uniform value to a.I[idx].
 func (tc *TaskCtx) ScalarStoreI(a *Array, idx int32, v int32) {
 	tc.checkScalar("scalar-store", a, idx)
-	tc.E.Stats.Instructions++
-	tc.E.Stats.ByClass[vec.ClassScalarStore]++
-	tc.E.Stats.ScalarOps++
+	tc.st.Instructions++
+	tc.st.ByClass[vec.ClassScalarStore]++
+	tc.st.ScalarOps++
 	tc.compute += 1 / tc.E.Machine.IPC
-	tc.access(a.Addr(idx))
+	tc.noteAccess(a.Addr(idx), machine.AccPlain)
+	if d := tc.def; d != nil {
+		d.storeI(a, idx, v)
+		return
+	}
 	a.I[idx] = v
 }
 
 // ScalarLoadF loads a.F[idx] as a uniform float.
 func (tc *TaskCtx) ScalarLoadF(a *Array, idx int32) float32 {
 	tc.checkScalar("scalar-load", a, idx)
-	tc.E.Stats.Instructions++
-	tc.E.Stats.ByClass[vec.ClassScalarLoad]++
-	tc.E.Stats.ScalarOps++
+	tc.st.Instructions++
+	tc.st.ByClass[vec.ClassScalarLoad]++
+	tc.st.ScalarOps++
 	tc.compute += 1 / tc.E.Machine.IPC
-	lvl := tc.access(a.Addr(idx))
-	tc.addStall(tc.E.Machine.LoadCost(lvl, tc.E.activeThreads))
+	tc.noteAccess(a.Addr(idx), machine.AccLoad)
+	if d := tc.def; d != nil {
+		return d.loadF(a, idx)
+	}
 	return a.F[idx]
 }
 
 // ScalarStoreF stores a uniform float to a.F[idx].
 func (tc *TaskCtx) ScalarStoreF(a *Array, idx int32, v float32) {
 	tc.checkScalar("scalar-store", a, idx)
-	tc.E.Stats.Instructions++
-	tc.E.Stats.ByClass[vec.ClassScalarStore]++
-	tc.E.Stats.ScalarOps++
+	tc.st.Instructions++
+	tc.st.ByClass[vec.ClassScalarStore]++
+	tc.st.ScalarOps++
 	tc.compute += 1 / tc.E.Machine.IPC
-	tc.access(a.Addr(idx))
+	tc.noteAccess(a.Addr(idx), machine.AccPlain)
+	if d := tc.def; d != nil {
+		d.storeF(a, idx, v)
+		return
+	}
 	a.F[idx] = v
 }
 
@@ -349,24 +442,32 @@ func (tc *TaskCtx) countAtomics(n int, contended, push bool) {
 	if n <= 0 {
 		return
 	}
-	tc.E.Stats.Atomics += int64(n)
-	tc.E.Stats.Instructions += int64(n)
-	tc.E.Stats.ByClass[vec.ClassAtomic] += int64(n)
+	tc.st.Atomics += int64(n)
+	tc.st.Instructions += int64(n)
+	tc.st.ByClass[vec.ClassAtomic] += int64(n)
 	if push {
-		tc.E.Stats.AtomicPushes += int64(n)
+		tc.st.AtomicPushes += int64(n)
 	}
 	tc.addStall(tc.E.Machine.AtomicCycles * float64(n))
 	if contended {
-		tc.E.segSerialAtomics += tc.E.Machine.SerialAtomicCost() * float64(n)
+		if d := tc.def; d != nil {
+			d.serialAtomics += tc.E.Machine.SerialAtomicCost() * float64(n)
+		} else {
+			tc.E.segSerialAtomics += tc.E.Machine.SerialAtomicCost() * float64(n)
+		}
 	}
 }
 
 // AtomicAddScalar atomically adds delta to a.I[idx] and returns the old
 // value (a lock xadd on a shared scalar — the worklist-reservation pattern).
+// Deferred tasks see their own accumulated view; the deltas merge exactly.
 func (tc *TaskCtx) AtomicAddScalar(a *Array, idx int32, delta int32, push bool) int32 {
 	tc.checkScalar("atomic-add", a, idx)
-	tc.access(a.Addr(idx))
+	tc.noteAccess(a.Addr(idx), machine.AccPlain)
 	tc.countAtomics(1, true, push)
+	if d := tc.def; d != nil {
+		return d.addI(a, idx, delta)
+	}
 	old := a.I[idx]
 	a.I[idx] = old + delta
 	return old
@@ -377,8 +478,13 @@ func (tc *TaskCtx) AtomicAddScalar(a *Array, idx int32, delta int32, push bool) 
 // returns the old value.
 func (tc *TaskCtx) AtomicUpdateScalar(a *Array, idx int32, newVal int32) int32 {
 	tc.checkScalar("atomic-update", a, idx)
-	tc.access(a.Addr(idx))
+	tc.noteAccess(a.Addr(idx), machine.AccPlain)
 	tc.countAtomics(1, false, false)
+	if d := tc.def; d != nil {
+		old := d.loadI(a, idx)
+		d.storeI(a, idx, newVal)
+		return old
+	}
 	old := a.I[idx]
 	a.I[idx] = newVal
 	return old
@@ -390,11 +496,16 @@ func (tc *TaskCtx) AtomicUpdateScalar(a *Array, idx int32, newVal int32) int32 {
 func (tc *TaskCtx) AtomicAddLanes(a *Array, idx, val vec.Vec, m vec.Mask, push bool) {
 	idx = tc.corruptIdx("scatter", a, idx, m)
 	n := m.PopCount()
+	d := tc.def
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
 			tc.checkLane("atomic-add", a, i, idx[i])
-			tc.access(a.Addr(idx[i]))
-			a.I[idx[i]] += val[i]
+			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+			if d != nil {
+				d.addI(a, idx[i], val[i])
+			} else {
+				a.I[idx[i]] += val[i]
+			}
 		}
 	}
 	tc.countAtomics(n, false, push)
@@ -405,12 +516,17 @@ func (tc *TaskCtx) AtomicAddLanes(a *Array, idx, val vec.Vec, m vec.Mask, push b
 func (tc *TaskCtx) AtomicAddLanesContended(a *Array, idx int32, m vec.Mask, push bool) vec.Vec {
 	tc.checkScalar("atomic-add", a, idx)
 	n := m.PopCount()
+	d := tc.def
 	var out vec.Vec
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
-			tc.access(a.Addr(idx))
-			out[i] = a.I[idx]
-			a.I[idx]++
+			tc.noteAccess(a.Addr(idx), machine.AccPlain)
+			if d != nil {
+				out[i] = d.addI(a, idx, 1)
+			} else {
+				out[i] = a.I[idx]
+				a.I[idx]++
+			}
 		}
 	}
 	tc.countAtomics(n, true, push)
@@ -419,15 +535,22 @@ func (tc *TaskCtx) AtomicAddLanesContended(a *Array, idx int32, m vec.Mask, push
 
 // AtomicAddFLanes performs per-lane atomic float adds on distinct locations
 // (lowered to compare-exchange loops on hardware, as ISPC does for float
-// atomics — the pattern that makes PageRank atomic-heavy).
+// atomics — the pattern that makes PageRank atomic-heavy). Deferred tasks
+// log deltas that merge in task order — the same accumulation order as the
+// cooperative schedule, so float sums are bit-identical.
 func (tc *TaskCtx) AtomicAddFLanes(a *Array, idx vec.Vec, val vec.FVec, m vec.Mask) {
 	idx = tc.corruptIdx("scatter", a, idx, m)
 	n := m.PopCount()
+	d := tc.def
 	for i := 0; i < tc.Width; i++ {
 		if m.Bit(i) {
 			tc.checkLane("atomic-add", a, i, idx[i])
-			tc.access(a.Addr(idx[i]))
-			a.F[idx[i]] += val[i]
+			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+			if d != nil {
+				d.addF(a, idx[i], val[i])
+			} else {
+				a.F[idx[i]] += val[i]
+			}
 		}
 	}
 	tc.countAtomics(n, false, false)
@@ -438,25 +561,38 @@ func (tc *TaskCtx) AtomicAddFLanes(a *Array, idx vec.Vec, val vec.FVec, m vec.Ma
 func (tc *TaskCtx) AtomicAddFScalar(a *Array, idx int32, delta float32) {
 	tc.checkScalar("atomic-add", a, idx)
 	tc.Op(vec.ClassReduce, false)
-	tc.access(a.Addr(idx))
+	tc.noteAccess(a.Addr(idx), machine.AccPlain)
 	tc.countAtomics(1, true, false)
+	if d := tc.def; d != nil {
+		d.addF(a, idx, delta)
+		return
+	}
 	a.F[idx] += delta
 }
 
 // AtomicMinLanes performs per-lane atomic mins on distinct locations,
 // returning a mask of lanes that lowered the stored value (SSSP/BFS relax).
+// A deferred task's improved mask is computed against its own view; the
+// logged mins merge monotonically (committed values only decrease), so the
+// converged fixed point is unaffected.
 func (tc *TaskCtx) AtomicMinLanes(a *Array, idx, val vec.Vec, m vec.Mask) vec.Mask {
 	idx = tc.corruptIdx("scatter", a, idx, m)
 	var improved vec.Mask
 	n := 0
+	d := tc.def
 	for i := 0; i < tc.Width; i++ {
 		if !m.Bit(i) {
 			continue
 		}
 		n++
 		tc.checkLane("atomic-min", a, i, idx[i])
-		tc.access(a.Addr(idx[i]))
-		if val[i] < a.I[idx[i]] {
+		tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+		if d != nil {
+			if val[i] < d.loadI(a, idx[i]) {
+				d.minI(a, idx[i], val[i])
+				improved = improved.Set(i)
+			}
+		} else if val[i] < a.I[idx[i]] {
 			a.I[idx[i]] = val[i]
 			improved = improved.Set(i)
 		}
@@ -466,19 +602,27 @@ func (tc *TaskCtx) AtomicMinLanes(a *Array, idx, val vec.Vec, m vec.Mask) vec.Ma
 }
 
 // AtomicCASLanes performs per-lane compare-and-swap on distinct locations,
-// returning the mask of lanes that won (stored new).
+// returning the mask of lanes that won (stored new). A deferred task wins
+// against its own view; at merge the logged CAS applies only if the
+// committed value still matches, so each location transitions exactly once.
 func (tc *TaskCtx) AtomicCASLanes(a *Array, idx, old, new vec.Vec, m vec.Mask) vec.Mask {
 	idx = tc.corruptIdx("scatter", a, idx, m)
 	var won vec.Mask
 	n := 0
+	d := tc.def
 	for i := 0; i < tc.Width; i++ {
 		if !m.Bit(i) {
 			continue
 		}
 		n++
 		tc.checkLane("atomic-cas", a, i, idx[i])
-		tc.access(a.Addr(idx[i]))
-		if a.I[idx[i]] == old[i] {
+		tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+		if d != nil {
+			if d.loadI(a, idx[i]) == old[i] {
+				d.casI(a, idx[i], old[i], new[i])
+				won = won.Set(i)
+			}
+		} else if a.I[idx[i]] == old[i] {
 			a.I[idx[i]] = new[i]
 			won = won.Set(i)
 		}

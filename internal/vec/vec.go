@@ -67,6 +67,8 @@ func (m Mask) None() bool { return m == 0 }
 func (m Mask) All(w int) bool { return m&FullMask(w) == FullMask(w) }
 
 // String renders the mask as a lane diagram, lowest lane first, e.g. "1101".
+// Trailing inactive lanes are trimmed, but at least one lane is always
+// rendered, so the zero mask prints "0" rather than an empty string.
 func (m Mask) String() string {
 	var b strings.Builder
 	for i := 0; i < 32; i++ {
@@ -76,7 +78,11 @@ func (m Mask) String() string {
 			b.WriteByte('0')
 		}
 	}
-	return strings.TrimRight(b.String(), "0")
+	s := strings.TrimRight(b.String(), "0")
+	if s == "" {
+		s = "0"
+	}
+	return s
 }
 
 // Splat returns a vector with all lanes set to x.

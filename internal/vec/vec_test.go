@@ -123,12 +123,22 @@ func TestConvertRoundTrip(t *testing.T) {
 }
 
 func TestMaskString(t *testing.T) {
-	m := Mask(0).Set(0).Set(2)
-	if got := m.String(); got != "101" {
-		t.Errorf("String = %q, want %q", got, "101")
+	tests := []struct {
+		name string
+		m    Mask
+		want string
+	}{
+		{"zero", Mask(0), "0"},
+		{"lane0", Mask(0).Set(0), "1"},
+		{"lanes0and2", Mask(0).Set(0).Set(2), "101"},
+		{"lane3only", Mask(0).Set(3), "0001"},
+		{"full4", FullMask(4), "1111"},
+		{"high-lane", Mask(0).Set(31), "00000000000000000000000000000001"},
 	}
-	if got := Mask(0).String(); got != "" {
-		t.Errorf("empty mask String = %q", got)
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("%s: String = %q, want %q", tt.name, got, tt.want)
+		}
 	}
 }
 

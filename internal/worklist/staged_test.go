@@ -1,0 +1,104 @@
+package worklist
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+	"repro/internal/vec"
+)
+
+func newModeEngine(mode spmd.Exec) *spmd.Engine {
+	e := spmd.New(machine.Intel8(), vec.TargetAVX512x16, 4)
+	e.Exec = mode
+	return e
+}
+
+// pushAll drives all three push strategies from 4 tasks across barriers and
+// returns the worklist's exact item sequence plus the engine's counters.
+func pushAll(t *testing.T, mode spmd.Exec) ([]int32, float64, spmd.Stats) {
+	t.Helper()
+	e := newModeEngine(mode)
+	w := New(e, "wl", 4096)
+	err := e.Launch(4, func(tc *spmd.TaskCtx) {
+		for round := 0; round < 3; round++ {
+			base := int32(tc.Index*1000 + round*100)
+			val := vec.Bin(vec.OpAdd, vec.Iota(), vec.Splat(base), vec.FullMask(16), 16)
+			m := vec.Mask(0x5A5A) & vec.FullMask(16)
+			w.PushCoop(tc, val, m)
+			w.PushLanes(tc, val, vec.Mask(0x00F0))
+			pos := w.Reserve(tc, int32(m.PopCount()))
+			n := w.WriteReserved(tc, pos, val, m)
+			if int(n) != m.PopCount() {
+				t.Errorf("WriteReserved wrote %d, want %d", n, m.PopCount())
+			}
+			tc.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatalf("mode %d: %v", mode, err)
+	}
+	return append([]int32(nil), w.Slice()...), e.TimeCycles(), e.Stats
+}
+
+// TestStagedPushesMatchLiveExactly: in a cooperative schedule, deferred
+// staging materializes batches in task order with per-task program order —
+// the exact layout live pushes produce — so worklist contents (and therefore
+// next-iteration lane masks), modeled cycles and counters must all be
+// bit-identical across live, deferred and parallel execution.
+func TestStagedPushesMatchLiveExactly(t *testing.T) {
+	items, cyc, stats := pushAll(t, spmd.ExecLive)
+	if len(items) == 0 {
+		t.Fatal("no items pushed")
+	}
+	for _, mode := range []spmd.Exec{spmd.ExecDeferred, spmd.ExecParallel} {
+		i2, c2, s2 := pushAll(t, mode)
+		if !reflect.DeepEqual(i2, items) {
+			t.Errorf("mode %d: item sequence diverges from live", mode)
+		}
+		if c2 != cyc {
+			t.Errorf("mode %d: cycles %v != live %v", mode, c2, cyc)
+		}
+		if s2 != stats {
+			t.Errorf("mode %d: stats diverge:\n%v\n%v", mode, &s2, &stats)
+		}
+	}
+}
+
+// TestStagedOverflowSurfacesTypedError: a non-growable list must fail the
+// launch with the worklist's typed overflow error even when the overflow is
+// only detected at boundary materialization.
+func TestStagedOverflowSurfacesTypedError(t *testing.T) {
+	for _, mode := range []spmd.Exec{spmd.ExecDeferred, spmd.ExecParallel} {
+		e := newModeEngine(mode)
+		w := New(e, "tiny", 8)
+		err := e.Launch(4, func(tc *spmd.TaskCtx) {
+			w.PushCoop(tc, vec.Iota(), vec.FullMask(16))
+		})
+		if !errors.Is(err, fault.ErrWorklistOverflow) {
+			t.Fatalf("mode %d: overflow surfaced as %v", mode, err)
+		}
+	}
+}
+
+// TestStagedGrowth: growable lists absorb deferred over-capacity pushes at
+// materialization.
+func TestStagedGrowth(t *testing.T) {
+	e := newModeEngine(spmd.ExecParallel)
+	w := New(e, "grow", 8)
+	w.Grow = true
+	err := e.Launch(4, func(tc *spmd.TaskCtx) {
+		for round := 0; round < 4; round++ {
+			w.PushCoop(tc, vec.Iota(), vec.FullMask(16))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(w.Size()); got != 4*4*16 {
+		t.Errorf("size = %d, want %d", got, 4*4*16)
+	}
+}

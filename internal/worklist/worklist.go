@@ -102,8 +102,10 @@ func (w *WL) overflowErr(n int32, injected bool) *fault.OverflowError {
 }
 
 // grow reallocates the items array to hold at least need elements, doubling
-// capacity. Cooperative scheduling makes the swap safe mid-launch: exactly
-// one task runs at a time and positions already reserved stay valid.
+// capacity. The swap only happens while the engine is single-threaded — in
+// live mode exactly one task runs at a time, and in the deferred modes grow
+// is reached only from host-side init or boundary materialization — and
+// positions already reserved stay valid.
 func (w *WL) grow(need int) {
 	newCap := 2 * w.Cap()
 	if newCap < need {
@@ -146,9 +148,24 @@ func (w *WL) checkRoom(tc *spmd.TaskCtx, n int32) {
 
 // PushLanes pushes active lanes of val with one atomic reservation per lane:
 // the unoptimized vector-to-scalar atomic pattern.
+//
+// Deferred tasks stage the items into a private batch that materializes at
+// the segment boundary in task order; the cost sequence (per-lane tail
+// atomics, scatter op, per-slot item accesses) mirrors the live path.
 func (w *WL) PushLanes(tc *spmd.TaskCtx, val vec.Vec, m vec.Mask) {
 	n := int32(m.PopCount())
 	if n == 0 {
+		return
+	}
+	if tc.Deferred() {
+		b := tc.Batch(w)
+		for i := int32(0); i < n; i++ {
+			tc.NoteShared(w.tail, 0)
+		}
+		tc.CountAtomics(int(n), true, true)
+		off := b.StageMasked(val, m, tc.Width)
+		tc.Op(vec.ClassScatter, true)
+		tc.NoteStaged(b, off, n)
 		return
 	}
 	w.checkRoom(tc, n)
@@ -166,6 +183,16 @@ func (w *WL) PushCoop(tc *spmd.TaskCtx, val vec.Vec, m vec.Mask) {
 		tc.ScalarOps(1)
 		return
 	}
+	if tc.Deferred() {
+		tc.ScalarOps(1) // popcnt(lanemask())
+		tc.NoteShared(w.tail, 0)
+		tc.CountAtomics(1, true, true)
+		b := tc.Batch(w)
+		off := b.StageMasked(val, m, tc.Width)
+		tc.Op(vec.ClassPacked, true)
+		tc.NoteStaged(b, off, n)
+		return
+	}
 	w.checkRoom(tc, n)
 	tc.ScalarOps(1) // popcnt(lanemask())
 	idx := tc.AtomicAddScalar(w.tail, 0, n, true)
@@ -174,8 +201,19 @@ func (w *WL) PushCoop(tc *spmd.TaskCtx, val vec.Vec, m vec.Mask) {
 
 // Reserve atomically reserves n slots and returns the starting index:
 // fiber-level cooperative conversion where the total push count is known in
-// advance.
+// advance. Deferred tasks reserve inside their private batch and get a
+// batch-relative position; WriteReserved resolves against the same batch, so
+// callers that treat the result as an advancing cursor work unchanged.
 func (w *WL) Reserve(tc *spmd.TaskCtx, n int32) int32 {
+	if tc.Deferred() {
+		b := tc.Batch(w)
+		if n == 0 {
+			return b.Len()
+		}
+		tc.NoteShared(w.tail, 0)
+		tc.CountAtomics(1, true, true)
+		return b.ReserveSlots(n)
+	}
 	if n == 0 {
 		return w.tail.I[0]
 	}
@@ -186,8 +224,31 @@ func (w *WL) Reserve(tc *spmd.TaskCtx, n int32) int32 {
 // WriteReserved packs active lanes of val into previously reserved space at
 // pos and returns the number written (no atomic).
 func (w *WL) WriteReserved(tc *spmd.TaskCtx, pos int32, val vec.Vec, m vec.Mask) int32 {
+	if tc.Deferred() {
+		b := tc.Batch(w)
+		tc.Op(vec.ClassPacked, true)
+		n := b.WriteAt(pos, val, m, tc.Width)
+		tc.NoteStaged(b, pos, n)
+		return n
+	}
 	return int32(tc.PackedStore(w.Items, pos, val, m))
 }
+
+// Materialize implements spmd.PushTarget: it commits one task's staged items
+// at the current tail — the deterministic reservation step of the deferred
+// merge — growing the list when permitted and returning the backing array
+// and start index so staged cost traces can resolve to real addresses.
+func (w *WL) Materialize(items []int32) (*spmd.Array, int32, error) {
+	if err := w.ensureRoom(int32(len(items))); err != nil {
+		return nil, 0, err
+	}
+	start := w.tail.I[0]
+	copy(w.Items.I[start:], items)
+	w.tail.I[0] = start + int32(len(items))
+	return w.Items, start, nil
+}
+
+var _ spmd.PushTarget = (*WL)(nil)
 
 // PushHost appends an item without cost accounting (pipe setup between
 // launches).
