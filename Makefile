@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel fuzz bench profile ci clean
+.PHONY: build vet test race race-parallel fuzz bench bench-smoke profile ci clean
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s ./internal/graph
 
-# Wall-clock cooperative-vs-parallel comparison per kernel; writes BENCH_2.json.
+# Wall-clock cooperative-vs-parallel comparison per kernel, with allocation
+# stats; writes BENCH_3.json and embeds the ns/op delta against the
+# BENCH_2.json baseline in the report note.
 bench:
-	BENCH_OUT=$(CURDIR)/BENCH_2.json $(GO) test -run '^$$' -bench '^BenchmarkHostExec$$' -benchtime 3x .
+	BENCH_OUT=$(CURDIR)/BENCH_3.json BENCH_BASELINE=$(CURDIR)/BENCH_2.json \
+		$(GO) test -run '^$$' -bench '^BenchmarkHostExec$$' -benchtime 3x -benchmem .
+
+# One-iteration pass over every benchmark in the repo: catches benchmarks that
+# no longer compile or crash without paying for real measurement (CI job).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # CPU+heap profile of the flagship kernel under the parallel scheduler.
 profile:
@@ -35,7 +43,7 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof
 	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
-ci: vet build race race-parallel
+ci: vet build race race-parallel bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -33,6 +33,11 @@ type hostExecSample struct {
 	CoopWallNsOp  float64 `json:"cooperative_wall_ns_per_op"`
 	ParWallNsOp   float64 `json:"parallel_wall_ns_per_op"`
 	Speedup       float64 `json:"wall_speedup"`
+	CoopAllocsOp  float64 `json:"cooperative_allocs_per_op"`
+	CoopBytesOp   float64 `json:"cooperative_bytes_per_op"`
+	ParAllocsOp   float64 `json:"parallel_allocs_per_op"`
+	ParBytesOp    float64 `json:"parallel_bytes_per_op"`
+	CoopNsVsBase  float64 `json:"cooperative_ns_ratio_vs_baseline,omitempty"`
 }
 
 var hostExecResults = struct {
@@ -51,7 +56,7 @@ type hostExecReport struct {
 	GeomeanWall float64          `json:"geomean_wall_speedup"`
 }
 
-func recordHostExec(kernel, graphName, mode string, cycles, nsPerOp float64) {
+func recordHostExec(kernel, graphName, mode string, cycles, nsPerOp, allocsOp, bytesOp float64) {
 	hostExecResults.Lock()
 	defer hostExecResults.Unlock()
 	s := hostExecResults.byKernel[kernel]
@@ -63,9 +68,36 @@ func recordHostExec(kernel, graphName, mode string, cycles, nsPerOp float64) {
 	switch mode {
 	case "cooperative":
 		s.CoopWallNsOp = nsPerOp
+		s.CoopAllocsOp = allocsOp
+		s.CoopBytesOp = bytesOp
 	case "parallel":
 		s.ParWallNsOp = nsPerOp
+		s.ParAllocsOp = allocsOp
+		s.ParBytesOp = bytesOp
 	}
+}
+
+// loadBaseline reads the previous benchmark report (BENCH_BASELINE, default
+// BENCH_2.json next to BENCH_OUT) for before/after comparison; nil when
+// absent or unreadable.
+func loadBaseline() map[string]hostExecSample {
+	path := os.Getenv("BENCH_BASELINE")
+	if path == "" {
+		path = "BENCH_2.json"
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rep hostExecReport
+	if json.Unmarshal(raw, &rep) != nil {
+		return nil
+	}
+	base := make(map[string]hostExecSample, len(rep.Kernels))
+	for _, s := range rep.Kernels {
+		base[s.Kernel] = s
+	}
+	return base
 }
 
 // writeHostExecReport writes BENCH_OUT if any BenchmarkHostExec sub-benchmark
@@ -89,19 +121,31 @@ func writeHostExecReport() {
 			"(see DESIGN.md, Execution vs. costing); wall_speedup needs a " +
 			"multi-core runner to exceed 1x",
 	}
+	base := loadBaseline()
 	logProd := 1.0
 	n := 0
+	baseProd := 1.0
+	nBase := 0
 	for _, s := range hostExecResults.byKernel {
 		if s.CoopWallNsOp > 0 && s.ParWallNsOp > 0 {
 			s.Speedup = s.CoopWallNsOp / s.ParWallNsOp
 			logProd *= s.Speedup
 			n++
 		}
+		if b, ok := base[s.Kernel]; ok && b.CoopWallNsOp > 0 && s.CoopWallNsOp > 0 {
+			s.CoopNsVsBase = s.CoopWallNsOp / b.CoopWallNsOp
+			baseProd *= s.CoopNsVsBase
+			nBase++
+		}
 		rep.Kernels = append(rep.Kernels, *s)
 	}
 	sort.Slice(rep.Kernels, func(i, j int) bool { return rep.Kernels[i].Kernel < rep.Kernels[j].Kernel })
 	if n > 0 {
 		rep.GeomeanWall = math.Pow(logProd, 1/float64(n))
+	}
+	if nBase > 0 {
+		rep.Note += fmt.Sprintf("; geomean cooperative ns/op vs baseline (%d kernels): %.3fx",
+			nBase, math.Pow(baseProd, 1/float64(nBase)))
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err == nil {
@@ -138,7 +182,10 @@ func BenchmarkHostExec(b *testing.B) {
 		for _, mode := range modes {
 			cfg.HostExec = mode.exec
 			b.Run(k.Name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
 				var cycles float64
+				var ms0, ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms0)
 				for i := 0; i < b.N; i++ {
 					res, err := core.Run(k, g, cfg)
 					if err != nil {
@@ -146,9 +193,12 @@ func BenchmarkHostExec(b *testing.B) {
 					}
 					cycles = res.Engine.TimeCycles()
 				}
+				runtime.ReadMemStats(&ms1)
 				b.ReportMetric(cycles, "modeled-cycles")
 				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
-				recordHostExec(k.Name, g.Name, mode.name, cycles, nsPerOp)
+				allocsOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+				bytesOp := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N)
+				recordHostExec(k.Name, g.Name, mode.name, cycles, nsPerOp, allocsOp, bytesOp)
 			})
 		}
 	}

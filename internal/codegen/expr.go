@@ -23,38 +23,80 @@ type frame struct {
 	// resPos is the fiber-level cooperative-conversion write cursor,
 	// shared across permuted frame copies.
 	resPos *int32
+
+	// scratch is the lazily-allocated destination frame permuted() reuses.
+	// Only one permuted copy of a frame is live at a time (the NP scheduler
+	// finishes each chunk before making the next), and a nested NP loop
+	// permutes the scratch frame itself, so each nesting level gets its own.
+	scratch *frame
 }
 
-func (kc *kernelCode) newFrame(in *Instance, tc *spmd.TaskCtx) *frame {
+func newRegFrame(nI, nF, nM int) *frame {
 	return &frame{
-		in:   in,
-		tc:   tc,
-		W:    tc.Width,
-		regI: make([]vec.Vec, kc.nI),
-		regF: make([]vec.FVec, kc.nF),
-		regM: make([]vec.Mask, kc.nM),
+		regI: make([]vec.Vec, nI),
+		regF: make([]vec.FVec, nF),
+		regM: make([]vec.Mask, nM),
 	}
+}
+
+// newFrame checks the per-kernel pool before allocating. Pooled frames come
+// back with stale registers, which must be zeroed: compiled code may read a
+// slot before writing it and must see the same zero value a fresh frame
+// provides.
+func (kc *kernelCode) newFrame(in *Instance, tc *spmd.TaskCtx) *frame {
+	fr, _ := kc.frames.Get().(*frame)
+	if fr == nil {
+		fr = newRegFrame(kc.nI, kc.nF, kc.nM)
+	} else {
+		for i := range fr.regI {
+			fr.regI[i] = vec.Vec{}
+		}
+		for i := range fr.regF {
+			fr.regF[i] = vec.FVec{}
+		}
+		for i := range fr.regM {
+			fr.regM[i] = 0
+		}
+	}
+	fr.in, fr.tc, fr.W, fr.resPos = in, tc, tc.Width, nil
+	return fr
+}
+
+// putFrame returns a frame (and its permuted-scratch chain) to the pool,
+// dropping the per-launch pointers so pooled frames don't pin instances.
+func (kc *kernelCode) putFrame(fr *frame) {
+	for f := fr; f != nil; f = f.scratch {
+		f.in, f.tc, f.resPos = nil, nil, nil
+	}
+	kc.frames.Put(fr)
 }
 
 // permuted returns a copy of fr whose registers are lane-permuted by src:
 // out[i] = reg[src[i]]. The copy's register writes are discarded when the
 // inner loop finishes — NP bodies communicate through memory, atomics and
 // pushes only (enforced at compile time). The shuffle cost is charged by the
-// caller.
+// caller. The returned frame is fr's scratch frame, overwritten wholesale on
+// every call; callers must not hold it across another permuted(src) on fr.
 func (fr *frame) permuted(src vec.Vec) *frame {
-	out := *fr
-	out.regI = make([]vec.Vec, len(fr.regI))
-	out.regF = make([]vec.FVec, len(fr.regF))
-	out.regM = make([]vec.Mask, len(fr.regM))
+	out := fr.scratch
+	if out == nil {
+		out = newRegFrame(len(fr.regI), len(fr.regF), len(fr.regM))
+		fr.scratch = out
+	}
+	out.in, out.tc, out.W, out.resPos = fr.in, fr.tc, fr.W, fr.resPos
 	for r := range fr.regI {
+		var v vec.Vec
 		for l := 0; l < fr.W; l++ {
-			out.regI[r][l] = fr.regI[r][src[l]]
+			v[l] = fr.regI[r][src[l]]
 		}
+		out.regI[r] = v
 	}
 	for r := range fr.regF {
+		var v vec.FVec
 		for l := 0; l < fr.W; l++ {
-			out.regF[r][l] = fr.regF[r][src[l]]
+			v[l] = fr.regF[r][src[l]]
 		}
+		out.regF[r] = v
 	}
 	for r := range fr.regM {
 		var m vec.Mask
@@ -65,7 +107,7 @@ func (fr *frame) permuted(src vec.Vec) *frame {
 		}
 		out.regM[r] = m
 	}
-	return &out
+	return out
 }
 
 // evalI/evalF/evalM are compiled expression forms.

@@ -1,6 +1,8 @@
 package codegen
 
 import (
+	"sync"
+
 	"repro/internal/ir"
 	"repro/internal/spmd"
 	"repro/internal/vec"
@@ -25,6 +27,10 @@ type kernelCode struct {
 	itemSlot   int
 
 	body exec
+
+	// frames pools register frames across tasks and launches; register
+	// layout is per-kernel, so the pool lives here.
+	frames sync.Pool
 }
 
 func compileKernel(prog *ir.Program, k *ir.Kernel) (*kernelCode, error) {
@@ -93,6 +99,7 @@ func (kc *kernelCode) runTask(in *Instance, tc *spmd.TaskCtx) {
 	}
 
 	fr := kc.newFrame(in, tc)
+	defer kc.putFrame(fr)
 
 	if kc.k.FiberCC {
 		// Compute the task's total push count in advance (sum of item

@@ -71,26 +71,40 @@ func TestParallelMatchesCooperativeBitwise(t *testing.T) {
 }
 
 // TestParallelRepeatable reruns one worklist-heavy benchmark several times in
-// parallel mode: host scheduling must never leak into modeled time or stats.
+// both deferred modes: host scheduling must never leak into modeled time,
+// stats or outputs, and no data structure on the merge path may iterate in a
+// nondeterministic order. (The deferred effect state is slices traversed in
+// insertion order — shadows by array id, batches by first-use order — so the
+// only ordered map traversal left on a result-affecting path is the profiler,
+// which sorts before reporting.)
 func TestParallelRepeatable(t *testing.T) {
 	b, _ := kernels.ByName("sssp-nf")
 	g := PrepareGraph(b, graph.RMAT(9, 8, 16, 4))
-	var cycles float64
-	var stats spmd.Stats
-	for trial := 0; trial < 5; trial++ {
-		res, err := Run(b, g, Config{Tasks: 8, HostExec: HostParallel})
-		if err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
-		}
-		if trial == 0 {
-			cycles, stats = res.Engine.TimeCycles(), res.Stats
-			continue
-		}
-		if res.Engine.TimeCycles() != cycles {
-			t.Fatalf("trial %d: cycles %v != %v", trial, res.Engine.TimeCycles(), cycles)
-		}
-		if !reflect.DeepEqual(res.Stats, stats) {
-			t.Fatalf("trial %d: stats diverge", trial)
+	for _, mode := range []HostExec{HostCooperative, HostParallel} {
+		var cycles float64
+		var stats spmd.Stats
+		var outI map[string][]int32
+		var outF map[string][]float32
+		for trial := 0; trial < 5; trial++ {
+			res, err := Run(b, g, Config{Tasks: 8, HostExec: mode})
+			if err != nil {
+				t.Fatalf("mode %d trial %d: %v", mode, trial, err)
+			}
+			ri, rf := snapshotOutputs(res)
+			if trial == 0 {
+				cycles, stats, outI, outF = res.Engine.TimeCycles(), res.Stats, ri, rf
+				continue
+			}
+			if res.Engine.TimeCycles() != cycles {
+				t.Fatalf("mode %d trial %d: cycles %v != %v",
+					mode, trial, res.Engine.TimeCycles(), cycles)
+			}
+			if !reflect.DeepEqual(res.Stats, stats) {
+				t.Fatalf("mode %d trial %d: stats diverge", mode, trial)
+			}
+			if !reflect.DeepEqual(ri, outI) || !reflect.DeepEqual(rf, outF) {
+				t.Fatalf("mode %d trial %d: outputs diverge", mode, trial)
+			}
 		}
 	}
 }

@@ -40,3 +40,26 @@ func (mm *MemModel) ReplayAccess(core int, addr int64, kind AccessKind, threads 
 	}
 	return 0
 }
+
+// LineShift returns log2 of the cache line size, the granularity at which
+// the deferred trace recorder may fold consecutive same-line accesses into
+// one run-length word.
+func (mm *MemModel) LineShift() uint { return mm.lineShift }
+
+// ReplayRepeat accounts n back-to-back repeats of an access whose line the
+// immediately preceding access installed: each repeat is a guaranteed L1 hit
+// (nothing intervened to evict it), so no tag probe is needed. Hit counters
+// advance exactly as n individual Access calls would, and the returned value
+// is the per-repeat exposed stall — the caller accumulates it once per
+// repeat so float summation stays bit-identical to an uncompressed replay.
+func (mm *MemModel) ReplayRepeat(kind AccessKind, threads, n int) float64 {
+	mm.Accesses += int64(n)
+	mm.Hits[L1] += int64(n)
+	switch kind {
+	case AccLoad:
+		return mm.cfg.LoadCost(L1, threads)
+	case AccGather:
+		return mm.cfg.GatherCost(L1, threads)
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+package spmd
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// allocSink is a minimal PushTarget for exercising the staging hot path
+// without importing the worklist package (which would cycle).
+type allocSink struct {
+	arr  *Array
+	tail int32
+	id   int32
+}
+
+func newAllocSink(e *Engine, capacity int) *allocSink {
+	return &allocSink{arr: e.AllocI("sink", capacity), id: e.RegisterPushTarget()}
+}
+
+func (s *allocSink) PushID() int32 { return s.id }
+
+func (s *allocSink) Materialize(items []int32) (*Array, int32, error) {
+	start := s.tail
+	copy(s.arr.I[start:], items)
+	s.tail += int32(len(items))
+	return s.arr, start, nil
+}
+
+// TestDeferredHotPathAllocationFree pins the tentpole property: once shadow
+// buffers, logs, traces and batches have grown to working size, the per-lane
+// deferred hot path — gather, scatter, per-lane atomics, push staging —
+// performs zero heap allocations. A regression here means a map, a fresh
+// buffer, or an interface box crept back into the inner loop.
+func TestDeferredHotPathAllocationFree(t *testing.T) {
+	e := newModeEngine(1, ExecDeferred)
+	a := e.AllocI("a", 64)
+	f := e.AllocF("f", 64)
+	sink := newAllocSink(e, 1)
+	tc := e.newTask(0, 1, ExecDeferred, false)
+	m := vec.FullMask(16)
+	idx := vec.Iota()
+	val := vec.Splat(7)
+
+	work := func() {
+		v := tc.GatherI(a, idx, m, vec.Vec{}, false)
+		tc.ScatterI(a, idx, v, m)
+		fv := tc.GatherF(f, idx, m, vec.FVec{}, false)
+		tc.ScatterF(f, idx, fv, m)
+		tc.AtomicAddLanes(a, idx, val, m, false)
+		b := tc.Batch(sink)
+		off := b.StageMasked(val, m, tc.Width)
+		tc.NoteStaged(b, off, int32(m.PopCount()))
+	}
+	// Grow every buffer past what the measured runs will need, then reset to
+	// the (capacity-preserving) segment-start state.
+	for i := 0; i < 300; i++ {
+		work()
+	}
+	tc.def.reset()
+	if allocs := testing.AllocsPerRun(200, work); allocs != 0 {
+		t.Errorf("deferred hot path allocates %.1f objects per op sequence, want 0", allocs)
+	}
+}
+
+// TestPoolReuseAcrossLaunches drives many launches through one engine so
+// deferred contexts, shadows and batches are recycled from the pool, and
+// checks the results stay bit-identical to live execution and across repeated
+// runs. Launches alternate which half of the array they write while always
+// reading all of it, so a stale shadow epoch or a leftover batch from a
+// previous launch would surface as a wrong value.
+//
+// The repeated-run comparison doubles as the determinism guard for the
+// former map-based implementation: the deferred structures are now slices
+// traversed in insertion order (shadows by array id, batches by first-use
+// order), and the remaining map iterations in the codebase — kernel array
+// footprints (module.go) and profile accumulation (profile.go) — fold
+// commutatively or sort before reporting.
+func TestPoolReuseAcrossLaunches(t *testing.T) {
+	run := func(mode Exec) (float64, Stats, []int32) {
+		e := newModeEngine(4, mode)
+		a := e.AllocI("a", 128)
+		sum := e.AllocI("sum", 4)
+		m := vec.FullMask(16)
+		for launch := 0; launch < 6; launch++ {
+			half := int32(launch%2) * 64
+			err := e.Launch(4, func(tc *TaskCtx) {
+				base := int32(tc.Index * 16)
+				// Read the task's stripe of both halves into a shared checksum.
+				for _, start := range [2]int32{base, 64 + base} {
+					idx := vec.Bin(vec.OpAdd, vec.Iota(), vec.Splat(start), m, 16)
+					v := tc.GatherI(a, idx, m, vec.Vec{}, false)
+					tc.Op(vec.ClassReduce, false)
+					tc.AtomicAddScalar(sum, int32(tc.Index), vec.ReduceAdd(v, m, 16), false)
+				}
+				tc.Barrier()
+				// Write this launch's half, each task a disjoint 16-wide stripe.
+				widx := vec.Bin(vec.OpAdd, vec.Iota(), vec.Splat(half+base), m, 16)
+				v := tc.GatherI(a, widx, m, vec.Vec{}, false)
+				v = vec.Bin(vec.OpAdd, v, vec.Splat(int32(launch+1)), m, tc.Width)
+				tc.Op(vec.ClassALU, false)
+				tc.ScatterI(a, widx, v, m)
+			})
+			if err != nil {
+				t.Fatalf("mode %d launch %d: %v", mode, launch, err)
+			}
+			// Host-side mutation between launches: a shadow entry surviving the
+			// launch boundary (a missed epoch bump) would mask these values in
+			// the next launch's gathers and diverge from live execution.
+			for j := range a.I {
+				a.I[j] += int32(j % 3)
+			}
+		}
+		out := append(append([]int32(nil), a.I...), sum.I...)
+		return e.TimeCycles(), e.Stats, out
+	}
+
+	cyc, stats, out := run(ExecLive)
+	for _, mode := range []Exec{ExecDeferred, ExecParallel} {
+		for trial := 0; trial < 2; trial++ {
+			c, s, o := run(mode)
+			if c != cyc {
+				t.Errorf("mode %d trial %d: cycles %v != live %v", mode, trial, c, cyc)
+			}
+			if s != stats {
+				t.Errorf("mode %d trial %d: stats diverge:\n%v\n%v", mode, trial, &s, &stats)
+			}
+			if !reflect.DeepEqual(o, out) {
+				t.Errorf("mode %d trial %d: outputs diverge from live", mode, trial)
+			}
+		}
+	}
+}

@@ -12,9 +12,9 @@ import (
 // bit-identical to the serial reference:
 //
 //   - Every task observes the segment-start committed state plus its own
-//     writes (a private pending map). Cross-task writes become visible only
-//     at the next barrier — each task behaves like the first task of a
-//     cooperative schedule.
+//     writes (a private epoch-stamped shadow of each array it wrote).
+//     Cross-task writes become visible only at the next barrier — each task
+//     behaves like the first task of a cooperative schedule.
 //   - Writes and atomics append to a private, ordered operation log; memory
 //     accesses append (addr, kind) events to a private trace; worklist
 //     pushes stage into private batches.
@@ -28,11 +28,36 @@ import (
 // scheduler (ExecParallel) execute exactly this semantics with exactly this
 // merge order, so their modeled cycles, instruction counts and outputs are
 // bit-identical by construction.
+//
+// The per-lane hot path (loadI/storeI/noteAccess/Batch) is allocation-free
+// and hash-free in steady state: pending writes live in direct-indexed
+// shadow buffers invalidated by an epoch bump, push batches resolve through
+// a dense-id table, and all segment buffers are pooled with capacity
+// carried across segments and launches (Engine.defPool).
 
-// pendKey addresses one element of one array in a task's pending-write map.
-type pendKey struct {
-	a   *Array
-	idx int32
+// shadow is one task's pending-write view of one array: a direct-indexed
+// value buffer plus a per-element epoch stamp. An element holds a pending
+// write iff stamp[idx] == epoch, so clearing the whole shadow at a segment
+// boundary is a single counter bump — no per-element work, no map.
+type shadow struct {
+	arr   *Array
+	stamp []uint32
+	valI  []int32   // non-nil iff arr.I is
+	valF  []float32 // non-nil iff arr.F is
+	epoch uint32
+}
+
+// clear invalidates every pending element in O(1) by advancing the epoch.
+// On the (astronomically rare) wrap to 0 the stamps are rewritten so stale
+// entries can never alias a future epoch.
+func (sh *shadow) clear() {
+	sh.epoch++
+	if sh.epoch == 0 {
+		for i := range sh.stamp {
+			sh.stamp[i] = 0
+		}
+		sh.epoch = 1
+	}
 }
 
 // Operation-log opcodes. Adds merge as commutative deltas; mins and CASes
@@ -57,36 +82,53 @@ type memOp struct {
 	fv  float32 // float value
 }
 
-// Access-trace encoding: one int64 per access.
+// Access-trace encoding: one int64 per event, carrying a repeat count so a
+// run of accesses to one cache line (or one staged-slot range) costs one
+// trace word instead of one per lane:
 //
-//	committed: addr<<3 | kind<<1 | 0
-//	staged:    batch<<34 | offset<<3 | kind<<1 | 1
+//	committed: rep<<56 | addr<<3 | kind<<1 | 0
+//	staged:    rep<<56 | batch<<34 | offset<<3 | kind<<1 | 1
 //
-// Staged events reference a push batch whose final position in the shared
-// worklist is unknown until materialization; the merge resolves them against
-// the batch's committed (array, start) before replaying.
+// rep is the number of extra repeats beyond the first access (0..127, the
+// sign bit stays clear). A committed word with rep > 0 encodes rep+1
+// back-to-back accesses of the same kind to the same line: replay probes the
+// hierarchy once and accounts the repeats as guaranteed L1 hits
+// (machine.ReplayRepeat), so replay work scales with touched lines, not
+// lanes. A staged word with rep > 0 encodes rep+1 consecutive batch slots;
+// their absolute addresses resolve at materialization, so replay expands
+// them individually.
 const (
 	accStagedBit  = int64(1)
 	accKindShift  = 1
 	accAddrShift  = 3
 	accOffMask    = int64(1)<<31 - 1
 	accBatchShift = 34
+	accBatchMask  = int64(1)<<22 - 1
+	accAddrMask   = int64(1)<<53 - 1
+	accCountShift = 56
+	accMaxCount   = int64(127)
 )
 
 // PushTarget is implemented by worklists: Materialize commits a task's
 // staged items at the current tail (growing if permitted) and reports the
 // backing array and start index so staged trace events can be resolved.
+// PushID returns the target's dense engine-assigned id
+// (Engine.RegisterPushTarget), which tasks use to index their batch table
+// without hashing.
 type PushTarget interface {
 	Materialize(items []int32) (*Array, int32, error)
+	PushID() int32
 }
 
 // PushBatch accumulates one task's staged pushes to one target within a
 // segment. Offsets into the batch are stable; the batch's absolute position
 // is assigned at merge time in task order, reproducing the layout a serial
-// schedule would produce.
+// schedule would produce. Batches are pooled per task context: reset returns
+// them to a free list with item capacity intact.
 type PushBatch struct {
 	target PushTarget
-	index  int // position in the task's batch list (trace encoding)
+	id     int32 // dense PushTarget id (batchTab slot)
+	index  int   // position in the task's batch list (trace encoding)
 	items  []int32
 
 	// Resolved at materialization.
@@ -139,99 +181,149 @@ func (b *PushBatch) WriteAt(pos int32, val vec.Vec, m vec.Mask, width int) int32
 }
 
 // deferredCtx is one task's private effect state for the current segment.
+// Contexts are pooled on the engine across launches, so the shadow buffers,
+// logs and batches below keep their capacity for the lifetime of a kernel
+// pipeline.
 type deferredCtx struct {
-	pendI map[pendKey]int32
-	pendF map[pendKey]float32
-	dirty map[*Array]struct{}
+	// shadows holds this task's pending-write buffers, direct-indexed by
+	// Array id (engine-assigned, dense). Entries persist across segments
+	// and launches; a segment boundary only bumps each shadow's epoch.
+	shadows []*shadow
 
 	ops []memOp
 	acc []int64
 
-	batches []*PushBatch
-	batchOf map[PushTarget]*PushBatch
+	batches  []*PushBatch
+	batchTab []*PushBatch // direct-indexed by PushTarget id
+	freeB    []*PushBatch
+
+	// dedupShift enables line-level trace compression when non-zero: two
+	// consecutive accesses with equal addr>>dedupShift share a cache line,
+	// so the second is recorded as a repeat. Zero (no compression) when a
+	// pager is attached, because page-residency bookkeeping needs every
+	// access replayed at its own address.
+	dedupShift uint
 
 	serialAtomics float64
 }
 
-func newDeferredCtx() *deferredCtx {
-	return &deferredCtx{
-		pendI:   make(map[pendKey]int32),
-		pendF:   make(map[pendKey]float32),
-		dirty:   make(map[*Array]struct{}),
-		batchOf: make(map[PushTarget]*PushBatch),
+// shadowFor returns the task's shadow for a, creating it lazily sized to the
+// array. Array ids are dense per engine, so the lookup is a slice index.
+func (d *deferredCtx) shadowFor(a *Array) *shadow {
+	id := int(a.id)
+	if id >= len(d.shadows) {
+		d.shadows = append(d.shadows, make([]*shadow, id+1-len(d.shadows))...)
 	}
+	sh := d.shadows[id]
+	if sh == nil {
+		sh = &shadow{arr: a, stamp: make([]uint32, a.Len()), epoch: 1}
+		if a.I != nil {
+			sh.valI = make([]int32, a.Len())
+		} else {
+			sh.valF = make([]float32, a.Len())
+		}
+		d.shadows[id] = sh
+	} else if sh.arr != a {
+		// Ids are engine-scoped; a collision means an array from a foreign
+		// engine reached this engine's launch.
+		panic(fmt.Sprintf("spmd: array %q does not belong to this engine", a.Name))
+	}
+	return sh
 }
 
-// reset clears the segment state, keeping allocated capacity.
+// reset clears the segment state, keeping allocated capacity: shadows are
+// invalidated by epoch bumps and batches return to the free list.
 func (d *deferredCtx) reset() {
-	clear(d.pendI)
-	clear(d.pendF)
-	clear(d.dirty)
-	clear(d.batchOf)
+	for _, sh := range d.shadows {
+		if sh != nil {
+			sh.clear()
+		}
+	}
+	for _, b := range d.batches {
+		d.batchTab[b.id] = nil
+		b.target = nil
+		b.arr = nil
+		b.items = b.items[:0]
+		d.freeB = append(d.freeB, b)
+	}
+	d.batches = d.batches[:0]
 	d.ops = d.ops[:0]
 	d.acc = d.acc[:0]
-	d.batches = d.batches[:0]
 	d.serialAtomics = 0
 }
 
 // loadI reads one element under the task's view: its own pending write if
-// present, the segment-start committed value otherwise.
+// present, the segment-start committed value otherwise. The lookup is two
+// array indexes and an epoch compare — no hashing, no allocation.
 func (d *deferredCtx) loadI(a *Array, idx int32) int32 {
-	if _, ok := d.dirty[a]; ok {
-		if v, ok := d.pendI[pendKey{a, idx}]; ok {
-			return v
+	if id := int(a.id); id < len(d.shadows) {
+		if sh := d.shadows[id]; sh != nil && sh.stamp[idx] == sh.epoch {
+			return sh.valI[idx]
 		}
 	}
 	return a.I[idx]
 }
 
 func (d *deferredCtx) loadF(a *Array, idx int32) float32 {
-	if _, ok := d.dirty[a]; ok {
-		if v, ok := d.pendF[pendKey{a, idx}]; ok {
-			return v
+	if id := int(a.id); id < len(d.shadows) {
+		if sh := d.shadows[id]; sh != nil && sh.stamp[idx] == sh.epoch {
+			return sh.valF[idx]
 		}
 	}
 	return a.F[idx]
 }
 
 func (d *deferredCtx) storeI(a *Array, idx, v int32) {
-	d.pendI[pendKey{a, idx}] = v
-	d.dirty[a] = struct{}{}
+	sh := d.shadowFor(a)
+	sh.stamp[idx] = sh.epoch
+	sh.valI[idx] = v
 	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opStoreI, iv: v})
 }
 
 func (d *deferredCtx) storeF(a *Array, idx int32, v float32) {
-	d.pendF[pendKey{a, idx}] = v
-	d.dirty[a] = struct{}{}
+	sh := d.shadowFor(a)
+	sh.stamp[idx] = sh.epoch
+	sh.valF[idx] = v
 	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opStoreF, fv: v})
 }
 
 func (d *deferredCtx) addI(a *Array, idx, delta int32) int32 {
-	old := d.loadI(a, idx)
-	d.pendI[pendKey{a, idx}] = old + delta
-	d.dirty[a] = struct{}{}
+	sh := d.shadowFor(a)
+	old := a.I[idx]
+	if sh.stamp[idx] == sh.epoch {
+		old = sh.valI[idx]
+	}
+	sh.stamp[idx] = sh.epoch
+	sh.valI[idx] = old + delta
 	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opAddI, iv: delta})
 	return old
 }
 
 func (d *deferredCtx) addF(a *Array, idx int32, delta float32) {
-	d.pendF[pendKey{a, idx}] = d.loadF(a, idx) + delta
-	d.dirty[a] = struct{}{}
+	sh := d.shadowFor(a)
+	old := a.F[idx]
+	if sh.stamp[idx] == sh.epoch {
+		old = sh.valF[idx]
+	}
+	sh.stamp[idx] = sh.epoch
+	sh.valF[idx] = old + delta
 	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opAddF, fv: delta})
 }
 
 // minI lowers the task-local view and logs a min to merge against the live
 // value. Call only when v improves on loadI's result.
 func (d *deferredCtx) minI(a *Array, idx, v int32) {
-	d.pendI[pendKey{a, idx}] = v
-	d.dirty[a] = struct{}{}
+	sh := d.shadowFor(a)
+	sh.stamp[idx] = sh.epoch
+	sh.valI[idx] = v
 	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opMinI, iv: v})
 }
 
 // casI records a compare-and-swap that succeeded under the task's view.
 func (d *deferredCtx) casI(a *Array, idx, old, v int32) {
-	d.pendI[pendKey{a, idx}] = v
-	d.dirty[a] = struct{}{}
+	sh := d.shadowFor(a)
+	sh.stamp[idx] = sh.epoch
+	sh.valI[idx] = v
 	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opCASI, iv: v, old: old})
 }
 
@@ -267,10 +359,24 @@ func (tc *TaskCtx) Deferred() bool { return tc.def != nil }
 
 // noteAccess accounts one memory access. Live mode pages and probes the
 // cache immediately; deferred mode appends a trace event replayed at the
-// segment boundary. Both paths cost through machine.ReplayAccess, so stalls
-// are identical by construction.
+// segment boundary — folding the access into the previous trace word when
+// both hit the same cache line, so gather/scatter runs over hot lines cost
+// one word, not one per lane. Both paths cost through machine.ReplayAccess,
+// so stalls are identical by construction.
 func (tc *TaskCtx) noteAccess(addr int64, kind machine.AccessKind) {
 	if d := tc.def; d != nil {
+		if s := d.dedupShift; s != 0 {
+			if n := len(d.acc); n > 0 {
+				last := d.acc[n-1]
+				if last&accStagedBit == 0 &&
+					(last>>accKindShift)&3 == int64(kind) &&
+					last>>accCountShift < accMaxCount &&
+					((last>>accAddrShift)&accAddrMask)>>s == addr>>s {
+					d.acc[n-1] = last + 1<<accCountShift
+					return
+				}
+			}
+		}
 		d.acc = append(d.acc, addr<<accAddrShift|int64(kind)<<accKindShift)
 		return
 	}
@@ -280,15 +386,28 @@ func (tc *TaskCtx) noteAccess(addr int64, kind machine.AccessKind) {
 
 // Batch returns the task's staging batch for the given push target, creating
 // it on first use. Creation order is the materialization order within the
-// task, mirroring the program order of a serial schedule.
+// task, mirroring the program order of a serial schedule. Targets resolve
+// through a dense-id table; batch objects are pooled across segments.
 func (tc *TaskCtx) Batch(t PushTarget) *PushBatch {
 	d := tc.def
-	b := d.batchOf[t]
-	if b == nil {
-		b = &PushBatch{target: t, index: len(d.batches)}
-		d.batchOf[t] = b
-		d.batches = append(d.batches, b)
+	id := int(t.PushID())
+	if id < len(d.batchTab) {
+		if b := d.batchTab[id]; b != nil {
+			return b
+		}
+	} else {
+		d.batchTab = append(d.batchTab, make([]*PushBatch, id+1-len(d.batchTab))...)
 	}
+	var b *PushBatch
+	if n := len(d.freeB); n > 0 {
+		b = d.freeB[n-1]
+		d.freeB = d.freeB[:n-1]
+	} else {
+		b = &PushBatch{}
+	}
+	b.target, b.id, b.index = t, int32(id), len(d.batches)
+	d.batchTab[id] = b
+	d.batches = append(d.batches, b)
 	return b
 }
 
@@ -299,13 +418,21 @@ func (tc *TaskCtx) NoteShared(a *Array, idx int32) {
 }
 
 // NoteStaged records n cost-only accesses to staged batch slots [off,off+n):
-// their absolute addresses resolve at materialization.
+// their absolute addresses resolve at materialization. Consecutive slots
+// pack into run-length trace words.
 func (tc *TaskCtx) NoteStaged(b *PushBatch, off, n int32) {
 	d := tc.def
-	for j := int32(0); j < n; j++ {
+	for n > 0 {
+		c := int64(n) - 1
+		if c > accMaxCount {
+			c = accMaxCount
+		}
 		d.acc = append(d.acc,
-			int64(b.index)<<accBatchShift|int64(off+j)<<accAddrShift|
+			c<<accCountShift|int64(b.index)<<accBatchShift|
+				int64(off)<<accAddrShift|
 				int64(machine.AccPlain)<<accKindShift|accStagedBit)
+		off += int32(c) + 1
+		n -= int32(c) + 1
 	}
 }
 
@@ -318,20 +445,37 @@ func (tc *TaskCtx) CountAtomics(n int, contended, push bool) {
 // --- Engine-side merge ---
 
 // replayAccesses replays one task's trace through the memory model and
-// pager, charging exposed stalls to the task.
+// pager, charging exposed stalls to the task. A committed word's repeats are
+// guaranteed L1 hits (the first access of the run installed the line and
+// nothing intervened), so they account through machine.ReplayRepeat without
+// re-probing; stalls still accumulate per access to keep the float sum
+// bit-identical to an uncompressed replay.
 func (e *Engine) replayAccesses(tc *TaskCtx) {
 	d := tc.def
 	for _, ev := range d.acc {
-		var addr int64
-		if ev&accStagedBit != 0 {
-			b := d.batches[ev>>accBatchShift]
-			addr = b.arr.Addr(b.start + int32((ev>>accAddrShift)&accOffMask))
-		} else {
-			addr = ev >> accAddrShift
-		}
-		tc.touchPage(addr)
 		kind := machine.AccessKind((ev >> accKindShift) & 3)
+		rep := int(ev >> accCountShift)
+		if ev&accStagedBit != 0 {
+			b := d.batches[(ev>>accBatchShift)&accBatchMask]
+			off := int32((ev >> accAddrShift) & accOffMask)
+			for j := int32(0); j <= int32(rep); j++ {
+				addr := b.arr.Addr(b.start + off + j)
+				tc.touchPage(addr)
+				tc.addStall(e.Mem.ReplayAccess(tc.core, addr, kind, e.activeThreads))
+			}
+			continue
+		}
+		addr := (ev >> accAddrShift) & accAddrMask
+		tc.touchPage(addr)
 		tc.addStall(e.Mem.ReplayAccess(tc.core, addr, kind, e.activeThreads))
+		if rep > 0 {
+			c := e.Mem.ReplayRepeat(kind, e.activeThreads, rep)
+			if c != 0 {
+				for j := 0; j < rep; j++ {
+					tc.addStall(c)
+				}
+			}
+		}
 	}
 }
 

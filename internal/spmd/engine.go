@@ -80,6 +80,20 @@ type Engine struct {
 	segSerialAtomics float64 // serialized (contended) atomic cycles this segment
 	activeThreads    int     // for contention scaling, set per launch
 
+	// nArrays/nPush hand out the dense ids that deferred tasks use to
+	// direct-index shadow buffers and push-batch tables.
+	nArrays int32
+	nPush   int32
+
+	// defPool recycles deferredCtx objects across launches so shadow
+	// buffers, traces, logs and batches keep their capacity for the whole
+	// kernel pipeline instead of reallocating per launch.
+	defPool sync.Pool
+
+	// aggScratch holds aggregateSegment's per-core accumulators, reused
+	// across segments (aggregation always runs single-threaded).
+	aggScratch []float64
+
 	prof *profiler // nil unless EnableProfiling was called
 }
 
@@ -124,25 +138,41 @@ func New(cfg *machine.Config, target vec.Target, tasks int) *Engine {
 // Width returns the SIMD width of the engine's target.
 func (e *Engine) Width() int { return e.Target.Width }
 
+// register assigns the next dense engine-scoped array id.
+func (e *Engine) register(a *Array) *Array {
+	a.id = e.nArrays
+	e.nArrays++
+	return a
+}
+
 // AllocI allocates a zeroed int32 array with a synthetic address.
 func (e *Engine) AllocI(name string, n int) *Array {
-	return &Array{Name: name, I: make([]int32, n), Base: e.Addr.Alloc(int64(n) * 4)}
+	return e.register(&Array{Name: name, I: make([]int32, n), Base: e.Addr.Alloc(int64(n) * 4)})
 }
 
 // AllocF allocates a zeroed float32 array with a synthetic address.
 func (e *Engine) AllocF(name string, n int) *Array {
-	return &Array{Name: name, F: make([]float32, n), Base: e.Addr.Alloc(int64(n) * 4)}
+	return e.register(&Array{Name: name, F: make([]float32, n), Base: e.Addr.Alloc(int64(n) * 4)})
 }
 
 // BindI wraps an existing slice (e.g. a CSR row-pointer array) as an Array,
 // assigning it a synthetic address range.
 func (e *Engine) BindI(name string, data []int32) *Array {
-	return &Array{Name: name, I: data, Base: e.Addr.Alloc(int64(len(data)) * 4)}
+	return e.register(&Array{Name: name, I: data, Base: e.Addr.Alloc(int64(len(data)) * 4)})
 }
 
 // BindF wraps an existing float slice as an Array.
 func (e *Engine) BindF(name string, data []float32) *Array {
-	return &Array{Name: name, F: data, Base: e.Addr.Alloc(int64(len(data)) * 4)}
+	return e.register(&Array{Name: name, F: data, Base: e.Addr.Alloc(int64(len(data)) * 4)})
+}
+
+// RegisterPushTarget hands out the next dense push-target id; worklists call
+// it once at construction so deferred tasks can index their batch table
+// directly instead of hashing the target.
+func (e *Engine) RegisterPushTarget() int32 {
+	id := e.nPush
+	e.nPush++
+	return id
 }
 
 // TimeCycles returns the modeled kernel time in cycles (excluding transfers).
@@ -250,13 +280,43 @@ func (e *Engine) newTask(i, n int, mode Exec, withChans bool) *TaskCtx {
 		tc.st = &e.Stats
 	} else {
 		tc.st = &tc.shard
-		tc.def = newDeferredCtx()
+		tc.def = e.getDeferredCtx()
 	}
 	if withChans {
 		tc.resume = make(chan struct{})
 		tc.yield = make(chan struct{})
 	}
 	return tc
+}
+
+// getDeferredCtx acquires a pooled deferred-effect context. Trace
+// compression (line-level access dedup) is enabled only when no pager is
+// attached: with demand paging every access must replay at its own address.
+func (e *Engine) getDeferredCtx() *deferredCtx {
+	d, _ := e.defPool.Get().(*deferredCtx)
+	if d == nil {
+		d = &deferredCtx{}
+	}
+	if e.Pager == nil {
+		d.dedupShift = e.Mem.LineShift()
+	} else {
+		d.dedupShift = 0
+	}
+	return d
+}
+
+// releaseTasks returns the tasks' deferred contexts to the engine pool at
+// the end of a launch (including error paths), carrying buffer capacity and
+// shadow allocations over to the next launch.
+func (e *Engine) releaseTasks(tcs []*TaskCtx) {
+	for _, tc := range tcs {
+		if tc == nil || tc.def == nil {
+			continue
+		}
+		tc.def.reset()
+		e.defPool.Put(tc.def)
+		tc.def = nil
+	}
 }
 
 // setActiveThreads caps the contention-scaling thread count at the number of
@@ -326,6 +386,7 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) error {
 // merge in task order before the segment cost aggregates.
 func (e *Engine) runCooperative(n int, mode Exec, body func(*TaskCtx)) error {
 	tcs := make([]*TaskCtx, n)
+	defer e.releaseTasks(tcs)
 	for i := 0; i < n; i++ {
 		tc := e.newTask(i, n, mode, true)
 		tcs[i] = tc
@@ -416,6 +477,7 @@ func (e *Engine) LaunchNoBarrier(n int, body func(*TaskCtx)) error {
 
 	mode := e.execMode()
 	tcs := make([]*TaskCtx, n)
+	defer e.releaseTasks(tcs)
 	for i := 0; i < n; i++ {
 		tcs[i] = e.newTask(i, n, mode, false)
 	}
@@ -475,8 +537,15 @@ func (e *Engine) LaunchNoBarrier(n int, body func(*TaskCtx)) error {
 // serialization floor.
 func (e *Engine) aggregateSegment(tcs []*TaskCtx) float64 {
 	cores := e.Machine.Cores
-	coreCompute := make([]float64, cores)
-	coreThreadMax := make([]float64, cores)
+	if len(e.aggScratch) < 2*cores {
+		e.aggScratch = make([]float64, 2*cores)
+	} else {
+		for i := range e.aggScratch[:2*cores] {
+			e.aggScratch[i] = 0
+		}
+	}
+	coreCompute := e.aggScratch[:cores]
+	coreThreadMax := e.aggScratch[cores : 2*cores]
 	for _, tc := range tcs {
 		coreCompute[tc.core] += tc.compute
 		if t := tc.compute + tc.stall; t > coreThreadMax[tc.core] {

@@ -115,6 +115,7 @@ func (p *phaser) abort() {
 // the ExecDeferred cooperative reference.
 func (e *Engine) runParallel(n int, body func(*TaskCtx)) error {
 	tcs := make([]*TaskCtx, n)
+	defer e.releaseTasks(tcs)
 	p := newPhaser(e, tcs, n)
 	for i := 0; i < n; i++ {
 		tcs[i] = e.newTask(i, n, ExecParallel, false)

@@ -101,12 +101,16 @@ type Pager interface {
 }
 
 // Array is a named data array with a synthetic base address for cache and
-// paging simulation. Exactly one of I and F is non-nil.
+// paging simulation. Exactly one of I and F is non-nil. Arrays must be
+// created through the engine (AllocI/AllocF/BindI/BindF), which assigns the
+// dense engine-scoped id that deferred tasks use to index their shadow
+// buffers without hashing.
 type Array struct {
 	Name string
 	I    []int32
 	F    []float32
 	Base int64
+	id   int32
 }
 
 // Len returns the element count.

@@ -194,6 +194,29 @@ func (tc *TaskCtx) touchPage(addr int64) {
 
 // --- Memory operations ---
 
+// gatherKind returns the access kind of one gather lane: a hardware-gather
+// lane on targets with native gather, a scalar load otherwise.
+func (tc *TaskCtx) gatherKind() machine.AccessKind {
+	if tc.E.Target.HasNativeGather() {
+		return machine.AccGather
+	}
+	return machine.AccLoad // software gather: per-lane scalar loads
+}
+
+// maskedAccess is the shared bounds-check + cost-accounting loop behind
+// every gather/scatter flavor: each active lane of idx is validated against
+// a and its access recorded with the given kind. Written once so the
+// per-lane hot path stays identical across GatherI/GatherF/ScatterI/
+// ScatterF.
+func (tc *TaskCtx) maskedAccess(op string, a *Array, idx vec.Vec, m vec.Mask, kind machine.AccessKind) {
+	for i := 0; i < tc.Width; i++ {
+		if m.Bit(i) {
+			tc.checkLane(op, a, i, idx[i])
+			tc.noteAccess(a.Addr(idx[i]), kind)
+		}
+	}
+}
+
 // GatherI gathers a.I[idx[i]] for active lanes with full cost accounting.
 // inner marks inner-loop operations for utilization measurement.
 func (tc *TaskCtx) GatherI(a *Array, idx vec.Vec, m vec.Mask, old vec.Vec, inner bool) vec.Vec {
@@ -203,17 +226,7 @@ func (tc *TaskCtx) GatherI(a *Array, idx vec.Vec, m vec.Mask, old vec.Vec, inner
 	} else {
 		tc.Op(vec.ClassGather, true)
 	}
-	kind := machine.AccLoad // software gather: per-lane scalar loads
-	if tc.E.Target.HasNativeGather() {
-		kind = machine.AccGather
-	}
-	for i := 0; i < tc.Width; i++ {
-		if !m.Bit(i) {
-			continue
-		}
-		tc.checkLane("gather", a, i, idx[i])
-		tc.noteAccess(a.Addr(idx[i]), kind)
-	}
+	tc.maskedAccess("gather", a, idx, m, tc.gatherKind())
 	if d := tc.def; d != nil {
 		out := old
 		for i := 0; i < tc.Width; i++ {
@@ -234,17 +247,7 @@ func (tc *TaskCtx) GatherF(a *Array, idx vec.Vec, m vec.Mask, old vec.FVec, inne
 	} else {
 		tc.Op(vec.ClassGather, true)
 	}
-	kind := machine.AccLoad
-	if tc.E.Target.HasNativeGather() {
-		kind = machine.AccGather
-	}
-	for i := 0; i < tc.Width; i++ {
-		if !m.Bit(i) {
-			continue
-		}
-		tc.checkLane("gather", a, i, idx[i])
-		tc.noteAccess(a.Addr(idx[i]), kind)
-	}
+	tc.maskedAccess("gather", a, idx, m, tc.gatherKind())
 	if d := tc.def; d != nil {
 		out := old
 		for i := 0; i < tc.Width; i++ {
@@ -257,18 +260,13 @@ func (tc *TaskCtx) GatherF(a *Array, idx vec.Vec, m vec.Mask, old vec.FVec, inne
 	return vec.GatherF(a.F, idx, m, tc.Width, old)
 }
 
-// ScatterI scatters val to a.I[idx[i]] for active lanes.
+// ScatterI scatters val to a.I[idx[i]] for active lanes. Stores retire
+// through the write buffer; no exposed stall is charged (AccPlain), matching
+// the scalar-store treatment.
 func (tc *TaskCtx) ScatterI(a *Array, idx, val vec.Vec, m vec.Mask) {
 	idx = tc.corruptIdx("scatter", a, idx, m)
 	tc.Op(vec.ClassScatter, true)
-	for i := 0; i < tc.Width; i++ {
-		if m.Bit(i) {
-			tc.checkLane("scatter", a, i, idx[i])
-			// Stores retire through the write buffer; no exposed stall is
-			// charged, matching the scalar-store treatment.
-			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
-		}
-	}
+	tc.maskedAccess("scatter", a, idx, m, machine.AccPlain)
 	if d := tc.def; d != nil {
 		for i := 0; i < tc.Width; i++ {
 			if m.Bit(i) {
@@ -284,12 +282,7 @@ func (tc *TaskCtx) ScatterI(a *Array, idx, val vec.Vec, m vec.Mask) {
 func (tc *TaskCtx) ScatterF(a *Array, idx vec.Vec, val vec.FVec, m vec.Mask) {
 	idx = tc.corruptIdx("scatter", a, idx, m)
 	tc.Op(vec.ClassScatter, true)
-	for i := 0; i < tc.Width; i++ {
-		if m.Bit(i) {
-			tc.checkLane("scatter", a, i, idx[i])
-			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
-		}
-	}
+	tc.maskedAccess("scatter", a, idx, m, machine.AccPlain)
 	if d := tc.def; d != nil {
 		for i := 0; i < tc.Width; i++ {
 			if m.Bit(i) {

@@ -102,3 +102,32 @@ func TestStagedGrowth(t *testing.T) {
 		t.Errorf("size = %d, want %d", got, 4*4*16)
 	}
 }
+
+// TestStagedPushSteadyStateAllocs pins the pooled-buffer property at the
+// worklist level: after a warm-up launch has sized the engine's pooled
+// deferred contexts, a launch performing hundreds of staged pushes allocates
+// only the small per-launch constant (task contexts and the launch's own
+// bookkeeping) — nothing proportional to the push count. Before pooling, the
+// same launch allocated thousands of objects (one map entry and trace word
+// per push).
+func TestStagedPushSteadyStateAllocs(t *testing.T) {
+	e := newModeEngine(spmd.ExecDeferred)
+	w := New(e, "wl", 1<<16)
+	body := func(tc *spmd.TaskCtx) {
+		val := vec.Iota()
+		m := vec.FullMask(16)
+		for i := 0; i < 256; i++ {
+			w.PushCoop(tc, val, m)
+		}
+	}
+	launch := func() {
+		w.Clear()
+		if err := e.LaunchNoBarrier(2, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	launch() // warm-up: size pooled batches, traces and logs
+	if allocs := testing.AllocsPerRun(20, launch); allocs > 32 {
+		t.Errorf("steady-state deferred push launch allocates %.0f objects, want <= 32", allocs)
+	}
+}

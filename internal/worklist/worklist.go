@@ -29,6 +29,7 @@ type WL struct {
 	Items *spmd.Array
 	tail  *spmd.Array // single shared scalar
 	e     *spmd.Engine
+	id    int32 // dense push-target id (deferred batch-table slot)
 	// Grow lets the list reallocate (doubling) instead of failing when a
 	// push or init exceeds capacity. Injected overflows fire regardless,
 	// so fault campaigns exercise the overflow path even on growable lists.
@@ -42,8 +43,13 @@ func New(e *spmd.Engine, name string, capacity int) *WL {
 		Items: e.AllocI(name+".items", capacity),
 		tail:  e.AllocI(name+".tail", 1),
 		e:     e,
+		id:    e.RegisterPushTarget(),
 	}
 }
+
+// PushID implements spmd.PushTarget: the engine-assigned dense id deferred
+// tasks use to find this list's staging batch without hashing.
+func (w *WL) PushID() int32 { return w.id }
 
 // Cap returns the worklist capacity.
 func (w *WL) Cap() int { return w.Items.Len() }
