@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel fuzz bench bench-smoke profile ci clean
+.PHONY: build vet test race race-parallel fuzz bench bench-smoke trace-smoke profile ci clean
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s ./internal/graph
 
 # Wall-clock cooperative-vs-parallel comparison per kernel, with allocation
-# stats; writes BENCH_3.json and embeds the ns/op delta against the
-# BENCH_2.json baseline in the report note.
+# stats and observability annotations (lane utilization, L1 hit rate, trace
+# event / metric row counts); writes BENCH_4.json and embeds the ns/op delta
+# against the BENCH_3.json baseline in the report note.
 bench:
-	BENCH_OUT=$(CURDIR)/BENCH_3.json BENCH_BASELINE=$(CURDIR)/BENCH_2.json \
+	BENCH_OUT=$(CURDIR)/BENCH_4.json BENCH_BASELINE=$(CURDIR)/BENCH_3.json \
 		$(GO) test -run '^$$' -bench '^BenchmarkHostExec$$' -benchtime 3x -benchmem .
 
 # One-iteration pass over every benchmark in the repo: catches benchmarks that
@@ -37,13 +38,22 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# End-to-end trace check: run a kernel with -trace, then validate the written
+# file against the Chrome trace-event schema (CI job).
+trace-smoke:
+	$(GO) run ./cmd/egacs -bench bfs-wl -input rmat -scale test \
+		-trace $(CURDIR)/trace-smoke.json -metrics $(CURDIR)/trace-smoke.jsonl
+	EGACS_TRACE_FILE=$(CURDIR)/trace-smoke.json \
+		$(GO) test -run '^TestTraceFileValid$$' -v ./internal/obs
+	@rm -f $(CURDIR)/trace-smoke.json $(CURDIR)/trace-smoke.jsonl
+
 # CPU+heap profile of the flagship kernel under the parallel scheduler.
 profile:
 	$(GO) run ./cmd/egacs -bench bfs-wl -input rmat -scale bench \
 		-cpuprofile cpu.prof -memprofile mem.prof
 	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
-ci: vet build race race-parallel bench-smoke
+ci: vet build race race-parallel bench-smoke trace-smoke
 
 clean:
 	$(GO) clean ./...

@@ -21,18 +21,21 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (table2..table6, table9, fig4..fig10) or 'all'")
-		scale   = flag.String("scale", "small", "input scale: test|small|bench")
-		quick   = flag.Bool("quick", false, "restrict to three benchmarks for a fast pass")
-		seed    = flag.Uint64("seed", 42, "graph generator seed")
-		outFile = flag.String("o", "", "write results to file (default stdout)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file after the runs")
+		exp        = flag.String("exp", "", "experiment id (table2..table6, table9, fig4..fig10) or 'all'")
+		scale      = flag.String("scale", "small", "input scale: test|small|bench")
+		quick      = flag.Bool("quick", false, "restrict to three benchmarks for a fast pass")
+		seed       = flag.Uint64("seed", 42, "graph generator seed")
+		outFile    = flag.String("o", "", "write results to file (default stdout)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file after the runs")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of experiment wall times to this file")
+		metricsOut = flag.String("metrics", "", "write each experiment's headline numbers (registry) as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -60,6 +63,13 @@ func main() {
 		os.Exit(1)
 	}
 	opts := bench.Options{Scale: sc, Seed: *seed, Quick: *quick}
+	if *metricsOut != "" {
+		opts.Registry = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
 
 	out := os.Stdout
 	if *outFile != "" {
@@ -102,11 +112,40 @@ func main() {
 
 	for _, e := range todo {
 		start := time.Now()
+		var traceStart float64
+		if tracer != nil {
+			traceStart = tracer.HostNow()
+		}
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Desc)
 		for _, tb := range e.Run(opts) {
 			tb.Render(out)
 		}
+		if tracer != nil {
+			tracer.Complete(obs.ProcHost, obs.TidHost, e.ID, traceStart, tracer.HostNow()-traceStart)
+		}
 		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d experiment spans -> %s\n", tracer.Len(), *traceOut)
+	}
+	if opts.Registry != nil {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = opts.Registry.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d observations -> %s\n", opts.Registry.Len(), *metricsOut)
 	}
 
 	if *memProf != "" {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/spmd"
 	"repro/internal/vec"
@@ -34,26 +35,28 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "bfs-wl", "benchmark: "+fmt.Sprint(kernels.Names()))
-		input     = flag.String("input", "road", "generated input family: road|rmat|random")
-		scale     = flag.String("scale", "small", "generated input scale: test|small|bench|large")
-		graphFile = flag.String("graph", "", "load graph from file instead (edge list or DIMACS .gr)")
-		machName  = flag.String("machine", "intel", "machine model: intel|amd|phi|gpu")
-		target    = flag.String("target", "", "ISA target, e.g. avx512-i32x16 (default: machine preferred)")
-		tasks     = flag.Int("tasks", 0, "task count (0 = machine default)")
-		noSMT     = flag.Bool("nosmt", false, "pin one task per core")
-		taskSys   = flag.String("tasksys", "pthread", "tasking system: pthread|pthread_fs|cilk|openmp|tbb")
-		optStr    = flag.String("opts", "all", "optimizations: none|all|io+np+cc+fibers+fibercc")
-		src       = flag.Int("src", -1, "source node (-1 = max-degree node)")
-		seed      = flag.Uint64("seed", 42, "generator seed")
-		verify    = flag.Bool("verify", true, "check output against the serial reference")
-		emit      = flag.Bool("emit", false, "print the generated ISPC source and exit")
-		serial    = flag.Bool("serial", false, "run the serial build (scalar, 1 task, no opts)")
-		profile   = flag.Bool("profile", false, "print a per-kernel phase profile")
-		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
-		hostPar   = flag.Bool("host-parallel", true, "run SPMD tasks concurrently on host cores (modeled time is unchanged); false selects the cooperative reference scheduler. -fault-inject and -profile force the live scheduler")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		benchName  = flag.String("bench", "bfs-wl", "benchmark: "+fmt.Sprint(kernels.Names()))
+		input      = flag.String("input", "road", "generated input family: road|rmat|random")
+		scale      = flag.String("scale", "small", "generated input scale: test|small|bench|large")
+		graphFile  = flag.String("graph", "", "load graph from file instead (edge list or DIMACS .gr)")
+		machName   = flag.String("machine", "intel", "machine model: intel|amd|phi|gpu")
+		target     = flag.String("target", "", "ISA target, e.g. avx512-i32x16 (default: machine preferred)")
+		tasks      = flag.Int("tasks", 0, "task count (0 = machine default)")
+		noSMT      = flag.Bool("nosmt", false, "pin one task per core")
+		taskSys    = flag.String("tasksys", "pthread", "tasking system: pthread|pthread_fs|cilk|openmp|tbb")
+		optStr     = flag.String("opts", "all", "optimizations: none|all|io+np+cc+fibers+fibercc")
+		src        = flag.Int("src", -1, "source node (-1 = max-degree node)")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		verify     = flag.Bool("verify", true, "check output against the serial reference")
+		emit       = flag.Bool("emit", false, "print the generated ISPC source and exit")
+		serial     = flag.Bool("serial", false, "run the serial build (scalar, 1 task, no opts)")
+		profile    = flag.Bool("profile", false, "print a per-kernel phase profile")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		hostPar    = flag.Bool("host-parallel", true, "run SPMD tasks concurrently on host cores (modeled time is unchanged); false selects the cooperative reference scheduler. -fault-inject forces the live scheduler; -profile works in every mode")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline (modeled + host clocks) to this file; open in Perfetto or chrome://tracing")
+		metricsOut = flag.String("metrics", "", "write per-iteration metrics (frontier, lane utilization, cache hits, ...) as JSONL to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file after the run")
 
 		faultProb = flag.Float64("fault-inject", 0, "per-access probability of injected gather/scatter index faults")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault injector seed (same seed reproduces the same trace)")
@@ -119,10 +122,21 @@ func main() {
 		cfg.Budget.Ctx = ctx
 	}
 	if *faultProb > 0 {
+		if *traceOut != "" {
+			fail(errors.New("-fault-inject and -trace are incompatible: fault injection " +
+				"forces the live scheduler and perturbs the modeled timeline, so the trace " +
+				"would not be the deterministic timeline -trace promises"))
+		}
 		cfg.Inject = fault.NewInjector(*faultSeed, fault.Config{
 			GatherIndex:  *faultProb,
 			ScatterIndex: *faultProb,
 		})
+	}
+	if *traceOut != "" {
+		cfg.Trace = obs.NewTracer(0)
+	}
+	if *metricsOut != "" {
+		cfg.Metrics = obs.NewMetrics(0)
 	}
 
 	if !*jsonOut {
@@ -137,7 +151,7 @@ func main() {
 	}
 
 	if *fallback {
-		runResilient(bench, g, cfg, *jsonOut, *verify, *cpuProf, *memProf)
+		runResilient(bench, g, cfg, *jsonOut, *verify, *cpuProf, *memProf, *traceOut, *metricsOut)
 		return
 	}
 
@@ -149,6 +163,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fault trace:\n%s", cfg.Inject.TraceString())
 	}
 	fail(err)
+	exportObs(cfg, *traceOut, *metricsOut, *jsonOut)
 
 	if *jsonOut {
 		verr := ""
@@ -189,9 +204,29 @@ func main() {
 	}
 }
 
+// exportObs writes the trace and metrics files attached to the run, with a
+// one-line summary each in text mode. The trace spans all attempts when the
+// run degraded, which is exactly what a timeline of the process should show.
+func exportObs(cfg core.Config, tracePath, metricsPath string, jsonOut bool) {
+	if cfg.Trace != nil && tracePath != "" {
+		fail(cfg.Trace.WriteFile(tracePath))
+		if !jsonOut {
+			fmt.Printf("trace:     %d events (%d dropped) -> %s\n",
+				cfg.Trace.Len(), cfg.Trace.Dropped(), tracePath)
+		}
+	}
+	if cfg.Metrics != nil && metricsPath != "" {
+		fail(cfg.Metrics.WriteFile(metricsPath))
+		if !jsonOut {
+			fmt.Printf("metrics:   %d iteration samples -> %s\n",
+				cfg.Metrics.Len(), metricsPath)
+		}
+	}
+}
+
 // runResilient executes with graceful degradation and reports which path
 // served the result.
-func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonOut, verify bool, cpuProf, memProf string) {
+func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonOut, verify bool, cpuProf, memProf, tracePath, metricsPath string) {
 	stopCPU := startCPUProfile(cpuProf)
 	res, err := core.RunResilient(bench, g, cfg)
 	stopCPU()
@@ -202,6 +237,7 @@ func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonO
 		}
 		fail(err)
 	}
+	exportObs(cfg, tracePath, metricsPath, jsonOut)
 	verr := ""
 	if verify {
 		if err := res.Output.Verify(bench, g, cfg.Src); err != nil {

@@ -23,9 +23,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
-// hostExecSample accumulates both modes' timings for one kernel.
+// hostExecSample accumulates both modes' timings for one kernel, plus the
+// observability annotations from one instrumented (untimed) run.
 type hostExecSample struct {
 	Kernel        string  `json:"kernel"`
 	Graph         string  `json:"graph"`
@@ -38,6 +41,10 @@ type hostExecSample struct {
 	ParAllocsOp   float64 `json:"parallel_allocs_per_op"`
 	ParBytesOp    float64 `json:"parallel_bytes_per_op"`
 	CoopNsVsBase  float64 `json:"cooperative_ns_ratio_vs_baseline,omitempty"`
+	LaneUtil      float64 `json:"lane_utilization,omitempty"`
+	L1HitRate     float64 `json:"l1_hit_rate,omitempty"`
+	TraceEvents   int     `json:"trace_events,omitempty"`
+	MetricRows    int     `json:"metric_rows,omitempty"`
 }
 
 var hostExecResults = struct {
@@ -75,6 +82,20 @@ func recordHostExec(kernel, graphName, mode string, cycles, nsPerOp, allocsOp, b
 		s.ParAllocsOp = allocsOp
 		s.ParBytesOp = bytesOp
 	}
+}
+
+func recordHostExecObs(kernel, graphName string, laneUtil, l1Rate float64, traceEvents, metricRows int) {
+	hostExecResults.Lock()
+	defer hostExecResults.Unlock()
+	s := hostExecResults.byKernel[kernel]
+	if s == nil {
+		s = &hostExecSample{Kernel: kernel, Graph: graphName}
+		hostExecResults.byKernel[kernel] = s
+	}
+	s.LaneUtil = laneUtil
+	s.L1HitRate = l1Rate
+	s.TraceEvents = traceEvents
+	s.MetricRows = metricRows
 }
 
 // loadBaseline reads the previous benchmark report (BENCH_BASELINE, default
@@ -179,6 +200,24 @@ func BenchmarkHostExec(b *testing.B) {
 	for _, k := range kernels.All() {
 		g := core.PrepareGraph(k, raw)
 		cfg := core.Config{Src: g.MaxDegreeNode()}
+		// One instrumented run per kernel, outside the timed loops, annotates
+		// the report row with observability numbers. The modeled timeline is
+		// mode-invariant across the deferred schedulers, so one cooperative
+		// run speaks for both timed modes.
+		icfg := cfg
+		icfg.HostExec = core.HostCooperative
+		icfg.Trace = obs.NewTracer(0)
+		icfg.Metrics = obs.NewMetrics(0)
+		if res, err := core.Run(k, g, icfg); err == nil {
+			mc := res.Engine.Mem.Counters()
+			l1 := 0.0
+			if mc.Accesses > 0 {
+				l1 = float64(mc.Hits[machine.L1]) / float64(mc.Accesses)
+			}
+			recordHostExecObs(k.Name, g.Name,
+				res.Stats.LaneUtilization(res.Engine.Width()), l1,
+				icfg.Trace.Len(), icfg.Metrics.Len())
+		}
 		for _, mode := range modes {
 			cfg.HostExec = mode.exec
 			b.Run(k.Name+"/"+mode.name, func(b *testing.B) {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // RunBudget bounds every experiment run that does not set its own budget: a
@@ -85,6 +86,19 @@ type Options struct {
 	// Quick restricts the benchmark set to bfs-wl/sssp-nf/pr for fast
 	// regeneration passes.
 	Quick bool
+	// Registry, when set, collects each experiment's headline numbers
+	// (lane utilization, push reductions, geomean speedups) under
+	// "<experiment>/<detail>" names so reports like BENCH_*.json can carry
+	// them next to the wall-clock rows.
+	Registry *obs.Registry
+}
+
+// observe records a headline number into the attached registry; without one
+// it is a no-op, so experiments sprinkle observations freely.
+func (o Options) observe(name string, v float64) {
+	if o.Registry != nil {
+		o.Registry.Observe(name, v)
+	}
 }
 
 func (o Options) withDefaults() Options {

@@ -37,6 +37,10 @@ func Table4(o Options) []*Table {
 		if err != nil {
 			panic(err)
 		}
+		o.observe("table4/"+shortName(g)+"/lane_util_unopt", r1.Stats.LaneUtilization(w))
+		o.observe("table4/"+shortName(g)+"/lane_util_opt", r2.Stats.LaneUtilization(w))
+		o.observe("table4/"+shortName(g)+"/instr_reduction",
+			float64(r1.Stats.Instructions)/float64(r2.Stats.Instructions))
 		t.Rows = append(t.Rows, []string{
 			shortName(g),
 			fmt.Sprintf("%.0f%%", 100*r1.Stats.LaneUtilization(w)),
@@ -91,7 +95,11 @@ func Table5(o Options) []*Table {
 		if b.Prog.KernelByName("expand") != nil { // fiber-CC eligible
 			fiberCell = fmt.Sprintf("%d", r2.Stats.AtomicPushes)
 			extra = f1(float64(r1.Stats.AtomicPushes) / float64(r2.Stats.AtomicPushes))
+			o.observe("table5/"+b.Name+"/fiber_cc_extra_reduction",
+				float64(r1.Stats.AtomicPushes)/float64(r2.Stats.AtomicPushes))
 		}
+		o.observe("table5/"+b.Name+"/task_cc_push_reduction",
+			float64(r0.Stats.AtomicPushes)/float64(r1.Stats.AtomicPushes))
 		t.Rows = append(t.Rows, []string{
 			b.Name,
 			fmt.Sprintf("%d", r0.Stats.AtomicPushes),
@@ -143,6 +151,7 @@ func Fig5(o Options) []*Table {
 			t.Rows = append(t.Rows, row)
 		}
 	}
+	o.observe("fig5/geomean_all_opts_speedup", geomean(all))
 	t.Notes = append(t.Notes, fmt.Sprintf("geomean all-optimizations speedup: %.2fx (paper: 1.67x over plain SIMD)", geomean(all)))
 	return []*Table{t}
 }
@@ -184,6 +193,7 @@ func Fig6(o Options) []*Table {
 			mtSimd = append(mtSimd, serial/s3)
 			mtSimdOpt = append(mtSimdOpt, serial/s4)
 		}
+		o.observe("fig6/"+shortName(g)+"/mt_simd_opt_speedup", geomean(mtSimdOpt))
 		t.Rows = append(t.Rows, []string{
 			shortName(g), f2(geomean(simd)), f2(geomean(mt)),
 			f2(geomean(mtSimd)), f2(geomean(mtSimdOpt)),

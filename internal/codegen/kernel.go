@@ -73,7 +73,7 @@ func (kc *kernelCode) totalRegs() int { return kc.nI + kc.nF + kc.nM }
 // runTask executes the kernel for one task's slice of the domain. It is
 // called from both launch-per-iteration and outlined drivers.
 func (kc *kernelCode) runTask(in *Instance, tc *spmd.TaskCtx) {
-	in.E.MarkPhase(kc.k.Name)
+	tc.MarkPhase(kc.k.Name)
 	W := tc.Width
 	var n int32
 	if kc.k.Domain == ir.DomainNodes {

@@ -65,6 +65,35 @@ func (g *loopGuard) tick(watch bool) error {
 	return nil
 }
 
+// observe records this iteration for the observability layer: an iteration
+// span and metrics row keyed by the loop name, annotated with the
+// pipeline-in frontier when the program has a worklist. In outlined mode
+// only the task-0 guard replica calls it, from the single-writer window
+// between barriers.
+func (g *loopGuard) observe() {
+	var frontier, capacity int
+	if g.in.wl != nil {
+		frontier = int(g.in.wl.In.Size())
+		capacity = g.in.wl.In.Cap()
+	}
+	g.in.E.IterTick(g.loop, int64(g.iters), frontier, capacity)
+}
+
+// done closes the loop's last open iteration span at loop exit.
+func (g *loopGuard) done() {
+	g.in.E.IterDone(g.loop)
+}
+
+// tickHost runs the per-iteration checks and, on success, records the
+// iteration (host-driven loops).
+func (g *loopGuard) tickHost(watch bool) error {
+	if err := g.tick(watch); err != nil {
+		return err
+	}
+	g.observe()
+	return nil
+}
+
 // runHost executes the pipe with the default translation: every kernel
 // invocation is a fresh task launch and loop control runs on the host —
 // launch overhead lands on the critical path once per iteration.
@@ -88,7 +117,7 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 		case *ir.LoopWL:
 			g := in.newGuard("loop-wl")
 			for in.wl.In.Size() > 0 {
-				if err := g.tick(true); err != nil {
+				if err := g.tickHost(true); err != nil {
 					return err
 				}
 				if err := in.execHost(s.Body); err != nil {
@@ -96,12 +125,13 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 				}
 				in.wl.Swap()
 			}
+			g.done()
 
 		case *ir.LoopFlag:
 			flag := in.arrays[s.Flag]
 			g := in.newGuard("loop-flag")
 			for {
-				if err := g.tick(false); err != nil {
+				if err := g.tickHost(false); err != nil {
 					return err
 				}
 				flag.I[0] = 0
@@ -116,6 +146,7 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 					break
 				}
 			}
+			g.done()
 
 		case *ir.LoopFixed:
 			n := s.N
@@ -124,19 +155,20 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 			}
 			g := in.newGuard("loop-fixed")
 			for i := 0; i < n; i++ {
-				if err := g.tick(false); err != nil {
+				if err := g.tickHost(false); err != nil {
 					return err
 				}
 				if err := in.execHost(s.Body); err != nil {
 					return err
 				}
 			}
+			g.done()
 
 		case *ir.LoopConverge:
 			acc := in.arrays[s.Acc]
 			g := in.newGuard("loop-converge")
 			for it := 0; it < s.MaxIter; it++ {
-				if err := g.tick(false); err != nil {
+				if err := g.tickHost(false); err != nil {
 					return err
 				}
 				acc.F[0] = 0
@@ -147,17 +179,18 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 					break
 				}
 			}
+			g.done()
 
 		case *ir.LoopNearFar:
 			kc := in.M.kernels[s.Kernel]
 			outer := in.newGuard("loop-nearfar")
 			inner := in.newGuard("loop-nearfar-inner")
 			for {
-				if err := outer.tick(false); err != nil {
+				if err := outer.tickHost(false); err != nil {
 					return err
 				}
 				for in.wl.In.Size() > 0 {
-					if err := inner.tick(true); err != nil {
+					if err := inner.tickHost(true); err != nil {
 						return err
 					}
 					err := in.E.LaunchNoBarrier(0, func(tc *spmd.TaskCtx) { kc.runTask(in, tc) })
@@ -166,6 +199,7 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 					}
 					in.wl.Swap()
 				}
+				inner.done()
 				if in.far.Size() == 0 {
 					break
 				}
@@ -173,6 +207,7 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 					return err
 				}
 			}
+			outer.done()
 
 		case *ir.SwapWL:
 			in.wl.Swap()
@@ -180,7 +215,7 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 		case *ir.LoopHybrid:
 			g := in.newGuard("loop-hybrid")
 			for in.wl.In.Size() > 0 {
-				if err := g.tick(true); err != nil {
+				if err := g.tickHost(true); err != nil {
 					return err
 				}
 				var err error
@@ -197,6 +232,7 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 					in.Params[s.IncParam]++
 				}
 			}
+			g.done()
 
 		default:
 			panic(fmt.Sprintf("codegen: unknown pipe statement %T", s))
@@ -231,9 +267,23 @@ func (in *Instance) runOutlined() error {
 }
 
 // tickTask is the outlined-mode guard check: a violation unwinds the task.
+// Only the task-0 replica records the iteration — between barriers, task 0
+// is the sole writer of shared loop state, so the recording points satisfy
+// the tracer's single-writer contract and the modeled timeline is identical
+// to a host-driven run of the same schedule.
 func (g *loopGuard) tickTask(tc *spmd.TaskCtx, watch bool) {
 	if err := g.tick(watch); err != nil {
 		tc.Fail(err)
+	}
+	if tc.Index == 0 {
+		g.observe()
+	}
+}
+
+// doneTask closes the loop's spans at outlined loop exit (task 0 only).
+func (g *loopGuard) doneTask(tc *spmd.TaskCtx) {
+	if tc.Index == 0 {
+		g.done()
 	}
 }
 
@@ -257,6 +307,7 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 				}
 				tc.Barrier()
 			}
+			g.doneTask(tc)
 
 		case *ir.LoopFlag:
 			flag := in.arrays[s.Flag]
@@ -278,6 +329,7 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 					break
 				}
 			}
+			g.doneTask(tc)
 
 		case *ir.LoopFixed:
 			n := s.N
@@ -289,6 +341,7 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 				g.tickTask(tc, false)
 				in.execTask(s.Body, tc)
 			}
+			g.doneTask(tc)
 
 		case *ir.LoopConverge:
 			acc := in.arrays[s.Acc]
@@ -306,6 +359,7 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 					break
 				}
 			}
+			g.doneTask(tc)
 
 		case *ir.LoopNearFar:
 			kc := in.M.kernels[s.Kernel]
@@ -325,6 +379,7 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 					}
 					tc.Barrier()
 				}
+				inner.doneTask(tc)
 				empty := in.far.Size() == 0
 				tc.Barrier() // everyone has read the far size
 				if empty {
@@ -337,6 +392,7 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 				}
 				tc.Barrier()
 			}
+			outer.doneTask(tc)
 
 		case *ir.SwapWL:
 			if tc.Index == 0 {
@@ -364,6 +420,7 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 				}
 				tc.Barrier()
 			}
+			g.doneTask(tc)
 
 		default:
 			panic(fmt.Sprintf("codegen: unknown pipe statement %T", s))

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/spmd"
 	"repro/internal/vec"
@@ -52,7 +53,7 @@ const (
 
 // resolveExec maps the config knob to an engine mode. Programs marked
 // LiveAtomics need cross-task atomic visibility within a segment and always
-// run live; fault injection and profiling are downgraded engine-side (see
+// run live; fault injection is downgraded engine-side (see
 // spmd.Engine.DeferredExec). envDefault is the engine's EGACS_HOST_EXEC
 // resolution, kept when the knob is HostAuto.
 func resolveExec(h HostExec, prog *ir.Program, envDefault spmd.Exec) spmd.Exec {
@@ -94,17 +95,26 @@ type Config struct {
 	Params map[string]int32
 	// Pager, when set, attaches the virtual-memory simulator.
 	Pager spmd.Pager
-	// ProfileKernels enables per-kernel phase attribution; read the result
-	// via Result.Engine.Profile() or WriteProfile.
+	// ProfileKernels enables per-kernel phase attribution in every
+	// execution mode; read the result via Result.Engine.Profile() or
+	// WriteProfile.
 	ProfileKernels bool
+	// Trace attaches a span tracer recording kernel launches, barriers,
+	// per-task segments, pipe-loop iterations and worklist swaps on the
+	// modeled and host clocks; export with Tracer.Export or WriteFile.
+	Trace *obs.Tracer
+	// Metrics attaches a per-iteration metrics ring (frontier size, lane
+	// utilization, cache hits, ...); export with Metrics.WriteJSONL.
+	Metrics *obs.Metrics
 	// Budget bounds the run (iteration cap, modeled-cycle cap, stall
 	// watchdog, wall-clock deadline). The zero value disables all limits.
 	Budget fault.Budget
 	// Inject attaches a deterministic fault injector to the run's engine.
 	Inject *fault.Injector
 	// HostExec selects the execution strategy (parallel host execution by
-	// default; see the HostExec constants). Fault injection, profiling and
-	// LiveAtomics programs fall back to the live cooperative scheduler.
+	// default; see the HostExec constants). Fault injection and
+	// LiveAtomics programs fall back to the live cooperative scheduler;
+	// profiling, tracing and metrics work in every mode.
 	HostExec HostExec
 }
 
@@ -189,6 +199,8 @@ func Run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
 	if cfg.ProfileKernels {
 		e.EnableProfiling()
 	}
+	e.Trace = cfg.Trace
+	e.Metrics = cfg.Metrics
 
 	inst, err := mod.Bind(e, g, runParams(b, g, cfg))
 	if err != nil {

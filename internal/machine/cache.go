@@ -115,6 +115,28 @@ func (mm *MemModel) Reset() {
 	mm.Accesses = 0
 }
 
+// MemCounters is a value snapshot of the hierarchy's access counters; the
+// observability layer subtracts consecutive snapshots to get per-iteration
+// hit/miss deltas.
+type MemCounters struct {
+	Accesses int64
+	Hits     [NumLevels]int64
+}
+
+// Counters snapshots the current access counters.
+func (mm *MemModel) Counters() MemCounters {
+	return MemCounters{Accesses: mm.Accesses, Hits: mm.Hits}
+}
+
+// Sub returns c - o field-wise.
+func (c MemCounters) Sub(o MemCounters) MemCounters {
+	c.Accesses -= o.Accesses
+	for i := range c.Hits {
+		c.Hits[i] -= o.Hits[i]
+	}
+	return c
+}
+
 // HitRate returns the fraction of accesses satisfied at the given level.
 func (mm *MemModel) HitRate(lvl Level) float64 {
 	if mm.Accesses == 0 {

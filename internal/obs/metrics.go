@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// IterSample is one row of the per-iteration time series: a snapshot taken at
+// a pipe-loop iteration boundary. Counter fields are deltas since the
+// previous sample (so each row describes one iteration); Cycles is the
+// absolute modeled clock at the boundary. Every field derives from modeled
+// state, so the series is identical across host-execution modes.
+type IterSample struct {
+	Loop         string  `json:"loop"`
+	Iter         int64   `json:"iter"`
+	Cycles       float64 `json:"cycles"`
+	Frontier     int64   `json:"frontier"`
+	WorklistCap  int64   `json:"worklist_cap,omitempty"`
+	Occupancy    float64 `json:"occupancy,omitempty"`
+	Instructions int64   `json:"instructions"`
+	VectorOps    int64   `json:"vector_ops"`
+	ScalarOps    int64   `json:"scalar_ops"`
+	Atomics      int64   `json:"atomics"`
+	AtomicPushes int64   `json:"atomic_pushes"`
+	WorkItems    int64   `json:"work_items"`
+	LaneUtil     float64 `json:"lane_utilization"`
+	MemAccesses  int64   `json:"mem_accesses"`
+	L1Hits       int64   `json:"l1_hits"`
+	L2Hits       int64   `json:"l2_hits"`
+	L3Hits       int64   `json:"l3_hits"`
+	MemMisses    int64   `json:"mem_misses"`
+	PageFaults   int64   `json:"page_faults"`
+}
+
+// DefaultMetricsCapacity bounds the ring for capacity <= 0; graph-analytics
+// pipe loops converge in far fewer rounds than this on evaluation inputs.
+const DefaultMetricsCapacity = 1 << 14
+
+// Metrics is a pre-sized ring of iteration samples. When full, the oldest
+// row is overwritten (and counted) rather than growing the buffer, so the
+// append path never allocates. Like Tracer it relies on the engine's
+// single-writer recording points instead of internal locking.
+type Metrics struct {
+	rows    []IterSample
+	next    int // ring head, meaningful once full
+	full    bool
+	dropped int64
+}
+
+// NewMetrics creates a ring holding capacity samples (DefaultMetricsCapacity
+// when <= 0).
+func NewMetrics(capacity int) *Metrics {
+	if capacity <= 0 {
+		capacity = DefaultMetricsCapacity
+	}
+	return &Metrics{rows: make([]IterSample, 0, capacity)}
+}
+
+// Append records one sample, overwriting the oldest when the ring is full.
+func (m *Metrics) Append(s IterSample) {
+	if len(m.rows) < cap(m.rows) {
+		m.rows = append(m.rows, s)
+		return
+	}
+	m.rows[m.next] = s
+	m.next = (m.next + 1) % len(m.rows)
+	m.full = true
+	m.dropped++
+}
+
+// Len returns the number of retained samples.
+func (m *Metrics) Len() int { return len(m.rows) }
+
+// Dropped returns how many old samples were overwritten by ring wraparound.
+func (m *Metrics) Dropped() int64 { return m.dropped }
+
+// Rows returns the retained samples in chronological order (copied).
+func (m *Metrics) Rows() []IterSample {
+	if !m.full {
+		return append([]IterSample(nil), m.rows...)
+	}
+	out := make([]IterSample, 0, len(m.rows))
+	out = append(out, m.rows[m.next:]...)
+	out = append(out, m.rows[:m.next]...)
+	return out
+}
+
+// WriteJSONL emits one JSON object per line in chronological order.
+func (m *Metrics) WriteJSONL(w io.Writer) error {
+	for _, row := range m.Rows() {
+		b, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the JSONL series to path.
+func (m *Metrics) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestExportValidateRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Complete(ProcModeled, TidEngine, "launch", 0, 12.5)
+	tr.CompleteArg(ProcModeled, TidTask0, "bfs", 12.5, 3.25, "stall_cycles", 7)
+	tr.Counter(ProcModeled, TidPipe, "frontier", 15.75, 42)
+	tr.Instant(ProcModeled, TidPipe, "worklist-swap", 16, "frontier", 42)
+	tr.Complete(ProcHost, TidHost, "launch", 100, 50)
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if err := Validate(out); err != nil {
+		t.Fatalf("own export fails validation: %v", err)
+	}
+
+	// The export must be plain JSON a generic decoder agrees with.
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 5 events + metadata (2 process names, 4 distinct tracks).
+	if len(doc.TraceEvents) != 5+6 {
+		t.Errorf("traceEvents = %d, want 11", len(doc.TraceEvents))
+	}
+	// Metadata precedes events and is sorted by (pid, tid).
+	if doc.TraceEvents[0]["ph"] != "M" || doc.TraceEvents[0]["name"] != "process_name" {
+		t.Errorf("first entry is not process metadata: %v", doc.TraceEvents[0])
+	}
+	s := string(out)
+	for _, want := range []string{
+		`"engine"`, `"pipe-loop"`, `"task 0"`, `"host-scheduler"`,
+		`"modeled (simulated time)"`, `"host (wall time)"`,
+		`"args":{"stall_cycles":7}`, `"s":"t"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("export missing %s", want)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{"traceEvents":[`,
+		"no events":    `{"foo":1}`,
+		"bad phase":    `{"traceEvents":[{"name":"x","ph":"Q","pid":1,"tid":0,"ts":0}]}`,
+		"empty name":   `{"traceEvents":[{"name":"","ph":"X","pid":1,"tid":0,"ts":0,"dur":1}]}`,
+		"missing ts":   `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":0,"dur":1}]}`,
+		"negative dur": `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":0,"ts":0,"dur":-1}]}`,
+		"string pid":   `{"traceEvents":[{"name":"x","ph":"i","pid":"a","tid":0,"ts":0}]}`,
+	}
+	for label, data := range cases {
+		if Validate([]byte(data)) == nil {
+			t.Errorf("%s: Validate accepted %s", label, data)
+		}
+	}
+	if err := Validate([]byte(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty traceEvents should validate: %v", err)
+	}
+}
+
+func TestTracerDropsWhenFull(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Complete(ProcModeled, TidEngine, "e", float64(i), 1)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", tr.Dropped())
+	}
+	// The retained events are the first two — recording never reallocates.
+	if evs := tr.Events(); evs[0].Ts != 0 || evs[1].Ts != 1 {
+		t.Errorf("retained events: %+v", evs)
+	}
+}
+
+func TestTracerRecordPathDoesNotAllocate(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	per := testing.AllocsPerRun(200, func() {
+		tr.Complete(ProcModeled, TidEngine, "launch", 1, 2)
+		tr.CompleteArg(ProcModeled, TidTask0, "seg", 3, 4, "stall_cycles", 5)
+		tr.Counter(ProcModeled, TidPipe, "frontier", 5, 6)
+		tr.Instant(ProcModeled, TidPipe, "worklist-swap", 7, "frontier", 8)
+	})
+	if per != 0 {
+		t.Errorf("record path allocates %v times per batch, want 0", per)
+	}
+}
+
+func TestModeledEventsFiltersHostClock(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Complete(ProcHost, TidHost, "h", 0, 1)
+	tr.Complete(ProcModeled, TidEngine, "m1", 0, 1)
+	tr.Complete(ProcHost, TidHost, "h2", 2, 1)
+	tr.Counter(ProcModeled, TidPipe, "m2", 3, 4)
+	got := tr.ModeledEvents()
+	if len(got) != 2 || got[0].Name != "m1" || got[1].Name != "m2" {
+		t.Errorf("ModeledEvents = %+v", got)
+	}
+}
+
+func TestMetricsRingWraparound(t *testing.T) {
+	m := NewMetrics(3)
+	for i := 1; i <= 5; i++ {
+		m.Append(IterSample{Loop: "l", Iter: int64(i)})
+	}
+	if m.Len() != 3 {
+		t.Errorf("len = %d, want 3", m.Len())
+	}
+	if m.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", m.Dropped())
+	}
+	rows := m.Rows()
+	if len(rows) != 3 || rows[0].Iter != 3 || rows[1].Iter != 4 || rows[2].Iter != 5 {
+		t.Errorf("rows after wraparound: %+v", rows)
+	}
+}
+
+func TestMetricsAppendDoesNotAllocate(t *testing.T) {
+	m := NewMetrics(4)
+	per := testing.AllocsPerRun(100, func() {
+		m.Append(IterSample{Loop: "l", Iter: 1, Frontier: 10})
+	})
+	if per != 0 {
+		t.Errorf("append allocates %v times per call, want 0", per)
+	}
+}
+
+func TestMetricsJSONL(t *testing.T) {
+	m := NewMetrics(4)
+	m.Append(IterSample{Loop: "loop-wl", Iter: 1, Frontier: 17, LaneUtil: 0.5})
+	m.Append(IterSample{Loop: "loop-wl", Iter: 2, Frontier: 9})
+	var buf bytes.Buffer
+	if err := m.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	var row IterSample
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatalf("row 0 not JSON: %v", err)
+	}
+	if row.Loop != "loop-wl" || row.Iter != 1 || row.Frontier != 17 || row.LaneUtil != 0.5 {
+		t.Errorf("row 0 = %+v", row)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("lane_util", 0.75)
+	r.Add("pushes", 2)
+	r.Add("pushes", 3)
+	if v, ok := r.Get("lane_util"); !ok || v != 0.75 {
+		t.Errorf("lane_util = %v, %v", v, ok)
+	}
+	if v, _ := r.Get("pushes"); v != 5 {
+		t.Errorf("pushes = %v, want 5", v)
+	}
+	if r.Len() != 2 {
+		t.Errorf("len = %d", r.Len())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"name\":\"lane_util\",\"value\":0.75}\n{\"name\":\"pushes\",\"value\":5}\n"
+	if buf.String() != want {
+		t.Errorf("registry JSONL:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+// TestTraceFileValid validates an on-disk trace named by EGACS_TRACE_FILE:
+// the `make trace-smoke` target runs egacs with -trace and then this test
+// against the produced file, closing the loop from CLI flag to loadable
+// Perfetto JSON.
+func TestTraceFileValid(t *testing.T) {
+	path := os.Getenv("EGACS_TRACE_FILE")
+	if path == "" {
+		t.Skip("EGACS_TRACE_FILE not set (run via make trace-smoke)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if !bytes.Contains(data, []byte(`"pipe-loop"`)) {
+		t.Errorf("%s: missing pipe-loop track metadata", path)
+	}
+}

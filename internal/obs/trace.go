@@ -1,0 +1,320 @@
+// Package obs is the observability layer: a zero-overhead-when-disabled span
+// tracer, a per-iteration metrics ring, and a named-value registry.
+//
+// The tracer records execution spans on two clocks at once. The *modeled*
+// clock is the engine's simulated time (cycles converted to microseconds by
+// the caller): every event on it derives exclusively from modeled quantities,
+// so the modeled timeline of a run is bit-identical across repeated runs and
+// across all host-execution modes. The *host* clock is real wall time and
+// documents what the host scheduler actually did; it differs run to run.
+// Events export as Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing: one process per clock, one track per modeled task plus
+// engine, pipe-loop and host-scheduler tracks.
+//
+// All buffers are pre-sized at construction. Recording an event into a full
+// tracer drops it (counted) instead of allocating; the steady-state record
+// path performs zero heap allocations.
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Process ids: one trace-event "process" per clock.
+const (
+	// ProcModeled carries events timestamped in modeled (simulated) time.
+	ProcModeled = 1
+	// ProcHost carries events timestamped in host wall time.
+	ProcHost = 2
+)
+
+// Track (thread) ids within a process.
+const (
+	// TidEngine is the modeled engine/scheduler track: kernel launches and
+	// barrier costs.
+	TidEngine = 0
+	// TidPipe is the modeled pipe-loop track: per-iteration spans, frontier
+	// counters and worklist swaps.
+	TidPipe = 1
+	// TidTask0 is the track of modeled task 0; task i maps to TidTask0 + i.
+	TidTask0 = 2
+	// TidHost is the host-scheduler track on ProcHost.
+	TidHost = 0
+)
+
+// DefaultTraceCapacity is the event-buffer size NewTracer uses for
+// capacity <= 0: roomy enough for full runs on the evaluation inputs while
+// bounding memory to a few megabytes.
+const DefaultTraceCapacity = 1 << 18
+
+// Event is one recorded trace event. Timestamps and durations are in
+// microseconds on the owning process's clock. At most one numeric argument is
+// attached (ArgKey == "" means none); names and keys are expected to be
+// static or interned strings so recording never allocates.
+type Event struct {
+	Name   string
+	Ph     byte // 'X' complete, 'i' instant, 'C' counter
+	Pid    int32
+	Tid    int32
+	Ts     float64
+	Dur    float64 // 'X' only
+	ArgKey string
+	ArgVal int64
+}
+
+// Tracer accumulates events into a fixed-capacity buffer. It is not
+// internally synchronized: the engine guarantees single-threaded access by
+// recording only at points where exactly one goroutine owns the engine
+// (launch boundaries, segment merges, host/task-0 loop control).
+type Tracer struct {
+	events  []Event
+	dropped int64
+	epoch   time.Time
+}
+
+// NewTracer creates a tracer whose event buffer holds capacity events
+// (DefaultTraceCapacity when <= 0). The host clock starts at construction.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{events: make([]Event, 0, capacity), epoch: time.Now()}
+}
+
+// HostNow returns the current host-clock timestamp in microseconds since the
+// tracer was created.
+func (t *Tracer) HostNow() float64 {
+	return float64(time.Since(t.epoch)) / 1e3
+}
+
+func (t *Tracer) emit(ev Event) {
+	if len(t.events) == cap(t.events) {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Complete records a complete ('X') span.
+func (t *Tracer) Complete(pid, tid int, name string, tsUS, durUS float64) {
+	t.emit(Event{Name: name, Ph: 'X', Pid: int32(pid), Tid: int32(tid), Ts: tsUS, Dur: durUS})
+}
+
+// CompleteArg records a complete span with one numeric argument.
+func (t *Tracer) CompleteArg(pid, tid int, name string, tsUS, durUS float64, key string, val int64) {
+	t.emit(Event{Name: name, Ph: 'X', Pid: int32(pid), Tid: int32(tid), Ts: tsUS, Dur: durUS, ArgKey: key, ArgVal: val})
+}
+
+// Instant records an instant ('i') event with one numeric argument.
+func (t *Tracer) Instant(pid, tid int, name string, tsUS float64, key string, val int64) {
+	t.emit(Event{Name: name, Ph: 'i', Pid: int32(pid), Tid: int32(tid), Ts: tsUS, ArgKey: key, ArgVal: val})
+}
+
+// Counter records a counter ('C') sample, rendered by Perfetto as a stepped
+// time series.
+func (t *Tracer) Counter(pid, tid int, name string, tsUS float64, val int64) {
+	t.emit(Event{Name: name, Ph: 'C', Pid: int32(pid), Tid: int32(tid), Ts: tsUS, ArgKey: name, ArgVal: val})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Dropped returns how many events were discarded because the buffer was full.
+func (t *Tracer) Dropped() int64 { return t.dropped }
+
+// Events returns the recorded events in record order (aliasing storage).
+func (t *Tracer) Events() []Event { return t.events }
+
+// ModeledEvents returns only the events on the modeled clock, in record
+// order. This is the determinism surface: for a given program and input it is
+// bit-identical across repeated runs and across host-execution modes.
+func (t *Tracer) ModeledEvents() []Event {
+	out := make([]Event, 0, len(t.events))
+	for _, ev := range t.events {
+		if ev.Pid == ProcModeled {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// trackName labels known (pid, tid) pairs for the exported metadata.
+func trackName(pid, tid int32) string {
+	if pid == ProcHost {
+		return "host-scheduler"
+	}
+	switch tid {
+	case TidEngine:
+		return "engine"
+	case TidPipe:
+		return "pipe-loop"
+	default:
+		return fmt.Sprintf("task %d", tid-TidTask0)
+	}
+}
+
+func procName(pid int32) string {
+	if pid == ProcHost {
+		return "host (wall time)"
+	}
+	return "modeled (simulated time)"
+}
+
+// Export writes the trace as Chrome trace-event JSON ("JSON Object Format"):
+// a traceEvents array preceded by process/thread name metadata. The output
+// loads directly in Perfetto (ui.perfetto.dev) and chrome://tracing.
+func (t *Tracer) Export(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+
+	// Metadata: name every (pid, tid) pair present, in sorted order so the
+	// header is deterministic regardless of event interleaving.
+	type track struct{ pid, tid int32 }
+	seen := map[track]bool{}
+	for _, ev := range t.events {
+		seen[track{ev.Pid, ev.Tid}] = true
+	}
+	tracks := make([]track, 0, len(seen))
+	for tr := range seen {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	first := true
+	meta := func(pid, tid int32, kind, name string) {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&buf, "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":%q,\"args\":{\"name\":%q}}",
+			pid, tid, kind, name)
+	}
+	prevPid := int32(-1)
+	for _, tr := range tracks {
+		if tr.pid != prevPid {
+			meta(tr.pid, 0, "process_name", procName(tr.pid))
+			prevPid = tr.pid
+		}
+		meta(tr.pid, tr.tid, "thread_name", trackName(tr.pid, tr.tid))
+	}
+
+	for i := range t.events {
+		ev := &t.events[i]
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		buf.WriteString("{\"name\":")
+		buf.WriteString(strconv.Quote(ev.Name))
+		buf.WriteString(",\"ph\":\"")
+		buf.WriteByte(ev.Ph)
+		buf.WriteString("\",\"pid\":")
+		buf.WriteString(strconv.FormatInt(int64(ev.Pid), 10))
+		buf.WriteString(",\"tid\":")
+		buf.WriteString(strconv.FormatInt(int64(ev.Tid), 10))
+		buf.WriteString(",\"ts\":")
+		buf.WriteString(strconv.FormatFloat(ev.Ts, 'f', 3, 64))
+		if ev.Ph == 'X' {
+			buf.WriteString(",\"dur\":")
+			buf.WriteString(strconv.FormatFloat(ev.Dur, 'f', 3, 64))
+		}
+		if ev.Ph == 'i' {
+			buf.WriteString(",\"s\":\"t\"")
+		}
+		if ev.ArgKey != "" {
+			buf.WriteString(",\"args\":{")
+			buf.WriteString(strconv.Quote(ev.ArgKey))
+			buf.WriteByte(':')
+			buf.WriteString(strconv.FormatInt(ev.ArgVal, 10))
+			buf.WriteByte('}')
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteString("]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteFile exports the trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Validate checks data against the trace-event schema this package emits: a
+// JSON object with a traceEvents array whose members carry a name, a known
+// phase, numeric pid/tid, a numeric ts (metadata excepted) and, for complete
+// events, a non-negative dur. Used by the trace-smoke CI step.
+func Validate(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	num := func(ev map[string]json.RawMessage, key string) (float64, error) {
+		raw, ok := ev[key]
+		if !ok {
+			return 0, fmt.Errorf("missing %q", key)
+		}
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return 0, fmt.Errorf("non-numeric %q", key)
+		}
+		return v, nil
+	}
+	for i, ev := range doc.TraceEvents {
+		var ph, name string
+		if raw, ok := ev["ph"]; !ok || json.Unmarshal(raw, &ph) != nil {
+			return fmt.Errorf("obs: event %d: missing or invalid ph", i)
+		}
+		if raw, ok := ev["name"]; !ok || json.Unmarshal(raw, &name) != nil || name == "" {
+			return fmt.Errorf("obs: event %d: missing or empty name", i)
+		}
+		if _, err := num(ev, "pid"); err != nil {
+			return fmt.Errorf("obs: event %d (%s): %v", i, name, err)
+		}
+		if _, err := num(ev, "tid"); err != nil {
+			return fmt.Errorf("obs: event %d (%s): %v", i, name, err)
+		}
+		switch ph {
+		case "M":
+			// Metadata events carry no timestamp.
+		case "X":
+			if ts, err := num(ev, "ts"); err != nil || ts < 0 {
+				return fmt.Errorf("obs: event %d (%s): bad ts", i, name)
+			}
+			if dur, err := num(ev, "dur"); err != nil || dur < 0 {
+				return fmt.Errorf("obs: event %d (%s): bad dur", i, name)
+			}
+		case "i", "C":
+			if ts, err := num(ev, "ts"); err != nil || ts < 0 {
+				return fmt.Errorf("obs: event %d (%s): bad ts", i, name)
+			}
+		default:
+			return fmt.Errorf("obs: event %d (%s): unknown phase %q", i, name, ph)
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -61,6 +62,60 @@ func TestDeferredHotPathAllocationFree(t *testing.T) {
 	tc.def.reset()
 	if allocs := testing.AllocsPerRun(200, work); allocs != 0 {
 		t.Errorf("deferred hot path allocates %.1f objects per op sequence, want 0", allocs)
+	}
+}
+
+// TestTracingAddsNoAllocations pins both halves of the observability
+// overhead contract at the launch level. The tc-level hot path is
+// allocation-free (previous test); here a full launch round — launch spans
+// on both clocks, iteration span + metrics row, swap instant — must cost
+// exactly the same number of objects with observability attached as
+// without: with it disabled the hooks bail on a nil check, and with it
+// enabled every event lands in the pre-sized buffers (a full buffer drops
+// and counts, never grows). The round uses the goroutine-free
+// LaunchNoBarrier inline path so the per-round allocation count is
+// deterministic; barrier-span recording is a plain ring write covered by
+// the obs package's own zero-alloc test.
+func TestTracingAddsNoAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is nondeterministic under the race detector")
+	}
+	measure := func(traced bool) float64 {
+		e := newModeEngine(4, ExecDeferred)
+		if traced {
+			e.Trace = obs.NewTracer(1 << 14)
+			e.Metrics = obs.NewMetrics(1 << 8)
+		}
+		a := e.AllocI("a", 64)
+		m := vec.FullMask(16)
+		body := func(tc *TaskCtx) {
+			idx := vec.Iota()
+			v := tc.GatherI(a, idx, m, vec.Vec{}, false)
+			tc.ScatterI(a, idx, v, m)
+			tc.OpN(vec.ClassALU, false, 8)
+		}
+		round := func() {
+			if err := e.LaunchNoBarrier(4, body); err != nil {
+				t.Fatal(err)
+			}
+			e.IterTick("loop", 1, 16, 64)
+			e.IterDone("loop")
+			e.NoteSwap(16)
+		}
+		for i := 0; i < 50; i++ {
+			round()
+		}
+		allocs := testing.AllocsPerRun(100, round)
+		if traced && e.Trace.Len() == 0 {
+			t.Error("tracer recorded nothing")
+		}
+		return allocs
+	}
+	base := measure(false)
+	traced := measure(true)
+	if traced > base {
+		t.Errorf("tracing adds allocations: %.1f per round traced vs %.1f untraced",
+			traced, base)
 	}
 }
 

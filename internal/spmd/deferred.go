@@ -205,6 +205,11 @@ type deferredCtx struct {
 	dedupShift uint
 
 	serialAtomics float64
+
+	// phLog records this task's phase transitions during the segment when
+	// profiling is on; the profiler folds and clears it at the merge
+	// boundary. Capacity persists across segments via the pool.
+	phLog []phaseEntry
 }
 
 // shadowFor returns the task's shadow for a, creating it lazily sized to the
@@ -250,6 +255,7 @@ func (d *deferredCtx) reset() {
 	d.ops = d.ops[:0]
 	d.acc = d.acc[:0]
 	d.serialAtomics = 0
+	d.phLog = d.phLog[:0]
 }
 
 // loadI reads one element under the task's view: its own pending write if
@@ -501,6 +507,9 @@ func (e *Engine) mergeSegment(tcs []*TaskCtx) error {
 		e.replayAccesses(tc)
 		for i := range d.ops {
 			applyOp(&d.ops[i])
+		}
+		if e.prof != nil {
+			e.prof.foldTask(e, tc)
 		}
 		e.Stats.Add(&tc.shard)
 		tc.shard = Stats{}

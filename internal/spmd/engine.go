@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -17,8 +18,8 @@ type Exec uint8
 const (
 	// ExecLive is the legacy mode: deterministic cooperative scheduling
 	// with immediate effects — every Op, memory access and atomic mutates
-	// shared engine state as it executes. Required by fault injection and
-	// kernel profiling, and the mode all baseline engines run in.
+	// shared engine state as it executes. Required by fault injection,
+	// and the mode all baseline engines run in.
 	ExecLive Exec = iota
 	// ExecDeferred runs the same cooperative schedule with deferred
 	// effects: tasks observe segment-start state plus their own writes,
@@ -53,8 +54,9 @@ type Engine struct {
 	// below 1 to reflect latency hiding by high warp occupancy.
 	StallScale float64
 
-	// Exec selects the execution strategy. Fault injection and profiling
-	// force ExecLive regardless of this setting (see execMode).
+	// Exec selects the execution strategy. Fault injection forces
+	// ExecLive regardless of this setting (see execMode); profiling,
+	// tracing and metrics work in every mode.
 	Exec Exec
 
 	Mem   *machine.MemModel
@@ -69,6 +71,16 @@ type Engine struct {
 	Inject *fault.Injector
 
 	Stats Stats
+
+	// Trace, when non-nil, records kernel launches, barriers, per-task
+	// segment spans, pipe-loop iterations and worklist swaps on the
+	// modeled and host clocks. Attach before the first launch; all
+	// recording points are single-writer by the engine's scheduling
+	// structure, so the tracer needs no locking.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives one sample per pipe-loop iteration
+	// (frontier size, lane utilization, cache hits, ...).
+	Metrics *obs.Metrics
 
 	phase atomic.Pointer[string] // current kernel phase, attached to failure context
 	iter  atomic.Int64           // current pipe iteration, attached to failure context
@@ -95,6 +107,9 @@ type Engine struct {
 	aggScratch []float64
 
 	prof *profiler // nil unless EnableProfiling was called
+
+	obsOpen []iterSpan // open pipe-loop iteration spans, outermost first
+	obsBase iterBase   // counter snapshot behind the previous metrics row
 }
 
 // ExecFromEnv returns the execution mode selected by the EGACS_HOST_EXEC
@@ -203,14 +218,17 @@ func (e *Engine) ResetTime() {
 	e.transferNS = 0
 	e.faultNS = 0
 	e.Stats = Stats{}
+	e.obsOpen = e.obsOpen[:0]
+	e.obsBase.stats = Stats{}
 }
 
 // execMode resolves the effective execution mode for the next launch. Fault
 // injection corrupts state mid-segment (deferred replay would observe the
-// corruption at the wrong time), and kernel profiling reads global stats at
-// phase boundaries mid-launch; both force the live cooperative path.
+// corruption at the wrong time), so it forces the live cooperative path.
+// Profiling attributes through per-task phase logs in the deferred modes
+// (see profiler.foldTask) and no longer constrains the mode.
 func (e *Engine) execMode() Exec {
-	if e.Inject != nil || e.prof != nil {
+	if e.Inject != nil {
 		return ExecLive
 	}
 	return e.Exec
@@ -369,15 +387,25 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) error {
 	if n <= 0 {
 		n = e.NumTasks
 	}
+	var launchCyc, launchHost float64
+	if e.Trace != nil {
+		launchCyc, launchHost = e.cycles, e.Trace.HostNow()
+	}
 	e.Stats.Launches++
 	e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false))
 	e.setActiveThreads(n)
 
 	mode := e.execMode()
+	var err error
 	if mode == ExecParallel {
-		return e.runParallel(n, body)
+		err = e.runParallel(n, body)
+	} else {
+		err = e.runCooperative(n, mode, body)
 	}
-	return e.runCooperative(n, mode, body)
+	if e.Trace != nil {
+		e.traceLaunch(launchCyc, launchHost, n)
+	}
+	return err
 }
 
 // runCooperative executes a launch on the deterministic cooperative
@@ -447,8 +475,7 @@ func (e *Engine) runCooperative(n int, mode Exec, body func(*TaskCtx)) error {
 			}
 		}
 		if running > 0 {
-			e.Stats.Barriers++
-			e.cycles += e.Machine.BarrierCost(n)
+			e.chargeBarrier(n)
 		}
 	}
 	return nil
@@ -470,6 +497,10 @@ func (e *Engine) LaunchNoBarrier(n int, body func(*TaskCtx)) error {
 	}
 	if n <= 0 {
 		n = e.NumTasks
+	}
+	var launchCyc, launchHost float64
+	if e.Trace != nil {
+		launchCyc, launchHost = e.cycles, e.Trace.HostNow()
 	}
 	e.Stats.Launches++
 	e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false))
@@ -526,6 +557,9 @@ func (e *Engine) LaunchNoBarrier(n int, body func(*TaskCtx)) error {
 		}
 	}
 	e.cycles += e.aggregateSegment(tcs)
+	if e.Trace != nil {
+		e.traceLaunch(launchCyc, launchHost, n)
+	}
 	return nil
 }
 
@@ -546,7 +580,23 @@ func (e *Engine) aggregateSegment(tcs []*TaskCtx) float64 {
 	}
 	coreCompute := e.aggScratch[:cores]
 	coreThreadMax := e.aggScratch[cores : 2*cores]
+	tr := e.Trace
+	var segPhase string
+	if tr != nil {
+		if segPhase = e.phaseName(); segPhase == "" {
+			segPhase = "task"
+		}
+	}
 	for _, tc := range tcs {
+		if tr != nil {
+			// Per-task segment span: starts at the segment-start clock,
+			// lasts the task's own compute+stall. Both are pure modeled
+			// quantities, identical in every execution mode.
+			if d := tc.compute + tc.stall; d > 0 {
+				tr.CompleteArg(obs.ProcModeled, obs.TidTask0+tc.Index, segPhase,
+					e.usCycles(e.cycles), e.usCycles(d), "stall_cycles", int64(tc.stall))
+			}
+		}
 		coreCompute[tc.core] += tc.compute
 		if t := tc.compute + tc.stall; t > coreThreadMax[tc.core] {
 			coreThreadMax[tc.core] = t

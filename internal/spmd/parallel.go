@@ -43,8 +43,7 @@ func (p *phaser) boundary(tasksRemain bool) {
 	}
 	e.cycles += e.aggregateSegment(p.tcs)
 	if tasksRemain {
-		e.Stats.Barriers++
-		e.cycles += e.Machine.BarrierCost(p.n)
+		e.chargeBarrier(p.n)
 	}
 }
 

@@ -7,15 +7,36 @@ import (
 )
 
 // Phase profiling attributes engine statistics and modeled cycles to named
-// phases (the compiled kernels). Attribution is snapshot-based: MarkPhase
-// closes the running phase and opens the next, so the per-op hot paths pay
-// nothing. Cooperative scheduling guarantees all tasks pass a kernel
-// boundary before any proceeds, so phase transitions are globally ordered.
+// phases (the compiled kernels). It works in every execution mode and
+// produces identical per-phase sums in all of them:
+//
+//   - Live mode is snapshot-based: a task's MarkPhase closes the running
+//     phase by attributing the global stat/cycle deltas since the previous
+//     mark, so the per-op hot paths pay nothing. Cooperative scheduling
+//     guarantees phase transitions are globally ordered.
+//   - Deferred and parallel modes cannot read global state mid-segment
+//     (tasks only own their private shard), so MarkPhase instead appends a
+//     (name, shard-snapshot) entry to the task's pooled phase log. At every
+//     merge boundary foldTask replays the log in task order — the same order
+//     the live scheduler would have executed the marks — attributing shard
+//     deltas to phases and advancing the snapshot baseline so nothing is
+//     counted twice.
+//
+// Modeled cycles only advance at launch and barrier boundaries, where all
+// modes agree on the clock, so per-phase cycle attribution is bit-identical
+// across modes as well (the differential test in internal/core pins this).
 type profiler struct {
 	phases   map[string]*PhaseStats
 	current  string
 	lastStat Stats
 	lastCyc  float64
+}
+
+// phaseEntry is one deferred-mode phase transition: the task entered phase
+// name when its private shard held base.
+type phaseEntry struct {
+	name string
+	base Stats
 }
 
 // PhaseStats is one phase's share of a run. Visits counts task-level
@@ -28,23 +49,32 @@ type PhaseStats struct {
 }
 
 // EnableProfiling turns on phase attribution (small constant overhead per
-// kernel invocation).
+// kernel invocation, in every execution mode).
 func (e *Engine) EnableProfiling() {
 	e.prof = &profiler{phases: map[string]*PhaseStats{}}
 }
 
-// MarkPhase records entry into a named phase; the interval since the last
-// mark is attributed to the previous phase. The phase name is always
-// retained for failure context (stored atomically — parallel launches mark
-// phases from concurrent tasks); statistics attribution needs profiling on,
-// which forces the live cooperative scheduler.
+// MarkPhase records entry into a named phase from the host side. The phase
+// name is always retained for failure context; live-mode statistics
+// attribution happens here too. Task bodies should use TaskCtx.MarkPhase,
+// which also attributes correctly in the deferred and parallel modes.
 func (e *Engine) MarkPhase(name string) {
 	e.phase.Store(&name)
 	p := e.prof
 	if p == nil {
 		return
 	}
+	if e.execMode() != ExecLive {
+		// Deferred-mode attribution is task-scoped (TaskCtx.MarkPhase);
+		// a host-side mark only updates failure context.
+		return
+	}
 	p.flush(e)
+	p.enter(name)
+}
+
+// enter opens phase name and counts the visit.
+func (p *profiler) enter(name string) {
 	p.current = name
 	ps := p.phases[name]
 	if ps == nil {
@@ -54,6 +84,8 @@ func (e *Engine) MarkPhase(name string) {
 	ps.Visits++
 }
 
+// flush attributes the global stat and cycle deltas since the last snapshot
+// to the running phase and re-snapshots.
 func (p *profiler) flush(e *Engine) {
 	if p.current != "" {
 		ps := p.phases[p.current]
@@ -64,6 +96,51 @@ func (p *profiler) flush(e *Engine) {
 	}
 	p.lastStat = e.Stats
 	p.lastCyc = e.cycles
+}
+
+// flushCycles attributes only the cycle delta (deferred folding attributes
+// stats from shards, not global snapshots).
+func (p *profiler) flushCycles(e *Engine) {
+	if p.current != "" {
+		p.phases[p.current].Cycles += e.cycles - p.lastCyc
+	}
+	p.lastCyc = e.cycles
+}
+
+// attribute adds a shard-derived stat delta to the running phase.
+func (p *profiler) attribute(d *Stats) {
+	if p.current == "" {
+		return
+	}
+	p.phases[p.current].Stats.Add(d)
+}
+
+// foldTask folds one deferred task's phase log into the profile at a merge
+// boundary, before the caller adds tc.shard to the global stats. The global
+// flush first attributes engine-side counters (launches, barriers) pending
+// since the previous boundary — exactly what the live scheduler would have
+// attributed at this task's first mark — then shard deltas between
+// consecutive log entries go to the phase running at the time. lastStat is
+// pre-advanced by the full shard because the caller merges it into e.Stats
+// immediately after, keeping the final Profile flush from double counting.
+func (p *profiler) foldTask(e *Engine, tc *TaskCtx) {
+	d := tc.def
+	p.flush(e)
+	var prev Stats
+	for i := range d.phLog {
+		ent := &d.phLog[i]
+		delta := ent.base
+		deltaSub(&delta, &prev)
+		p.attribute(&delta)
+		p.flushCycles(e)
+		p.enter(ent.name)
+		prev = ent.base
+	}
+	last := tc.shard
+	deltaSub(&last, &prev)
+	p.attribute(&last)
+	p.lastStat.Add(&tc.shard)
+	d.phLog = d.phLog[:0]
 }
 
 // deltaSub computes a - b in place (counters only grow, so deltas are

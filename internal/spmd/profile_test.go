@@ -13,10 +13,10 @@ func TestProfileAttributesPhases(t *testing.T) {
 	e := New(machine.Intel8(), vec.TargetAVX512x16, 2)
 	e.EnableProfiling()
 	e.Launch(2, func(tc *TaskCtx) {
-		e.MarkPhase("light")
+		tc.MarkPhase("light")
 		tc.OpN(vec.ClassALU, false, 10)
 		tc.Barrier()
-		e.MarkPhase("heavy")
+		tc.MarkPhase("heavy")
 		tc.OpN(vec.ClassALU, false, 100000)
 	})
 	phases := e.Profile()
@@ -41,6 +41,48 @@ func TestProfileAttributesPhases(t *testing.T) {
 	}
 }
 
+// TestProfileIdenticalAcrossModes: the per-phase attribution (stats, cycles,
+// visits) must be bit-identical whether tasks run live, deferred-cooperative
+// or on real goroutines — profiling no longer forces the live scheduler.
+func TestProfileIdenticalAcrossModes(t *testing.T) {
+	run := func(mode Exec) []*PhaseStats {
+		e := New(machine.Intel8(), vec.TargetAVX512x16, 4)
+		e.Exec = mode
+		e.EnableProfiling()
+		acc := e.AllocI("acc", 64)
+		err := e.Launch(4, func(tc *TaskCtx) {
+			tc.MarkPhase("init")
+			tc.OpN(vec.ClassALU, false, 50+tc.Index)
+			tc.Barrier()
+			tc.MarkPhase("relax")
+			tc.OpN(vec.ClassGather, false, 2000)
+			tc.AtomicAddScalar(acc, int32(tc.Index), 1, false)
+			tc.Barrier()
+			tc.MarkPhase("compact")
+			tc.OpN(vec.ClassALU, false, 10*(tc.Index+1))
+		})
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		return e.Profile()
+	}
+	ref := run(ExecLive)
+	for _, mode := range []Exec{ExecDeferred, ExecParallel} {
+		got := run(mode)
+		if len(got) != len(ref) {
+			t.Fatalf("mode %d: %d phases, want %d", mode, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].Name != ref[i].Name || got[i].Visits != ref[i].Visits ||
+				got[i].Stats != ref[i].Stats || got[i].Cycles != ref[i].Cycles {
+				t.Errorf("mode %d phase %q: %+v cycles=%v visits=%d\nlive %q: %+v cycles=%v visits=%d",
+					mode, got[i].Name, got[i].Stats, got[i].Cycles, got[i].Visits,
+					ref[i].Name, ref[i].Stats, ref[i].Cycles, ref[i].Visits)
+			}
+		}
+	}
+}
+
 func TestProfileDisabledIsNil(t *testing.T) {
 	e := New(machine.Intel8(), vec.TargetAVX512x16, 1)
 	e.MarkPhase("x") // no-op
@@ -58,7 +100,7 @@ func TestWriteProfileRenders(t *testing.T) {
 	e := New(machine.Intel8(), vec.TargetAVX512x16, 1)
 	e.EnableProfiling()
 	e.Launch(1, func(tc *TaskCtx) {
-		e.MarkPhase("work")
+		tc.MarkPhase("work")
 		tc.OpN(vec.ClassALU, false, 5)
 	})
 	var buf bytes.Buffer

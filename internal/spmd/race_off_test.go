@@ -1,0 +1,5 @@
+//go:build !race
+
+package spmd
+
+const raceEnabled = false

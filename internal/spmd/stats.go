@@ -88,8 +88,9 @@ func (s *Stats) LaneUtilization(width int) float64 {
 }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf("instrs=%d vops=%d sops=%d atomics=%d pushes=%d launches=%d barriers=%d",
-		s.Instructions, s.VectorOps, s.ScalarOps, s.Atomics, s.AtomicPushes, s.Launches, s.Barriers)
+	return fmt.Sprintf("instrs=%d vops=%d sops=%d atomics=%d pushes=%d launches=%d barriers=%d work=%d faults=%d",
+		s.Instructions, s.VectorOps, s.ScalarOps, s.Atomics, s.AtomicPushes, s.Launches, s.Barriers,
+		s.WorkItems, s.PageFaults)
 }
 
 // Pager is the hook the virtual-memory simulator (internal/vmem) implements.

@@ -1,0 +1,36 @@
+package spmd
+
+import "testing"
+
+func TestStatsString(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Stats
+		want string
+	}{
+		{
+			name: "zero",
+			s:    Stats{},
+			want: "instrs=0 vops=0 sops=0 atomics=0 pushes=0 launches=0 barriers=0 work=0 faults=0",
+		},
+		{
+			name: "all fields",
+			s: Stats{
+				Instructions: 1234, VectorOps: 1000, ScalarOps: 200,
+				Atomics: 34, AtomicPushes: 12, Launches: 3, Barriers: 7,
+				WorkItems: 560, PageFaults: 2,
+			},
+			want: "instrs=1234 vops=1000 sops=200 atomics=34 pushes=12 launches=3 barriers=7 work=560 faults=2",
+		},
+		{
+			name: "work and faults only",
+			s:    Stats{WorkItems: 9, PageFaults: 1},
+			want: "instrs=0 vops=0 sops=0 atomics=0 pushes=0 launches=0 barriers=0 work=9 faults=1",
+		},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("%s:\n got %q\nwant %q", c.name, got, c.want)
+		}
+	}
+}

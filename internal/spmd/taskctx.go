@@ -106,6 +106,27 @@ func (tc *TaskCtx) checkLane(op string, a *Array, lane int, idx int32) {
 	}
 }
 
+// MarkPhase records entry into a named profiling phase from inside a task
+// body (compiled kernels call it on kernel entry). The name is always stored
+// for failure context. With profiling enabled, live tasks attribute through
+// the engine-level snapshot profiler directly; deferred and parallel tasks
+// append to their private phase log, which the profiler folds into the same
+// per-phase sums at the next merge boundary.
+func (tc *TaskCtx) MarkPhase(name string) {
+	e := tc.E
+	e.phase.Store(&name)
+	p := e.prof
+	if p == nil {
+		return
+	}
+	if tc.def == nil {
+		p.flush(e)
+		p.enter(name)
+		return
+	}
+	tc.def.phLog = append(tc.def.phLog, phaseEntry{name: name, base: tc.shard})
+}
+
 // Barrier synchronizes all live tasks of the current launch. Calling it from
 // a LaunchNoBarrier body is a kernel bug and fails the task.
 func (tc *TaskCtx) Barrier() {

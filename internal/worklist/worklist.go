@@ -281,8 +281,12 @@ func NewPair(e *spmd.Engine, name string, capacity int) *Pair {
 	}
 }
 
-// Swap exchanges in and out and clears the new out.
+// Swap exchanges in and out and clears the new out, recording the swap (with
+// the new frontier size) on the engine's trace when one is attached. Swaps
+// happen at single-writer points — the host pipeline or the task-0 control
+// segment of an outlined program — so the unsynchronized note is safe.
 func (p *Pair) Swap() {
 	p.In, p.Out = p.Out, p.In
 	p.Out.Clear()
+	p.In.e.NoteSwap(int(p.In.Size()))
 }
