@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel fuzz bench bench-smoke trace-smoke profile ci clean
+.PHONY: build vet test race race-parallel fuzz bench bench-smoke trace-smoke chaos profile ci clean
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s ./internal/graph
 
 # Wall-clock cooperative-vs-parallel comparison per kernel, with allocation
-# stats and observability annotations (lane utilization, L1 hit rate, trace
-# event / metric row counts); writes BENCH_4.json and embeds the ns/op delta
-# against the BENCH_3.json baseline in the report note.
+# stats, observability annotations (lane utilization, L1 hit rate, trace
+# event / metric row counts) and recovery counters from one instrumented
+# checkpointing run; writes BENCH_5.json and embeds the ns/op delta against
+# the BENCH_4.json baseline in the report note.
 bench:
-	BENCH_OUT=$(CURDIR)/BENCH_4.json BENCH_BASELINE=$(CURDIR)/BENCH_3.json \
+	BENCH_OUT=$(CURDIR)/BENCH_5.json BENCH_BASELINE=$(CURDIR)/BENCH_4.json \
 		$(GO) test -run '^$$' -bench '^BenchmarkHostExec$$' -benchtime 3x -benchmem .
 
 # One-iteration pass over every benchmark in the repo: catches benchmarks that
@@ -46,6 +47,14 @@ trace-smoke:
 	EGACS_TRACE_FILE=$(CURDIR)/trace-smoke.json \
 		$(GO) test -run '^TestTraceFileValid$$' -v ./internal/obs
 	@rm -f $(CURDIR)/trace-smoke.json $(CURDIR)/trace-smoke.jsonl
+
+# Nightly-style chaos sweep: every kernel through RunResilientVerified under
+# every corruption class at escalating rates with checkpointing and invariant
+# verification on. EGACS_CHAOS=full widens the seed list from the CI-sized
+# default. Every run must end in a verified output or a typed error — never a
+# panic or silent corruption.
+chaos:
+	EGACS_CHAOS=full $(GO) test -run '^TestChaos$$' -v -timeout 30m ./internal/core
 
 # CPU+heap profile of the flagship kernel under the parallel scheduler.
 profile:

@@ -1,0 +1,20 @@
+package main
+
+import "errors"
+
+// flagCompatErr validates the observability × fault-injection flag pairings.
+// Only -fault-inject with -trace is rejected: index-corruption injection
+// forces the live scheduler and perturbs the modeled timeline, so the trace
+// would not be the deterministic timeline -trace promises. -metrics composes
+// with -fault-inject (iteration metrics of a faulting run are exactly what
+// one wants to inspect), and -trace composes with -metrics. The
+// window-deterministic corruption classes (-flip-inject, -transient-inject)
+// preserve the modeled timeline under recovery and restrict nothing.
+func flagCompatErr(faultProb float64, tracePath, metricsPath string) error {
+	if faultProb > 0 && tracePath != "" {
+		return errors.New("-fault-inject and -trace are incompatible: fault injection " +
+			"forces the live scheduler and perturbs the modeled timeline, so the trace " +
+			"would not be the deterministic timeline -trace promises")
+	}
+	return nil
+}

@@ -59,11 +59,16 @@ func main() {
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file after the run")
 
 		faultProb = flag.Float64("fault-inject", 0, "per-access probability of injected gather/scatter index faults")
+		flipProb  = flag.Float64("flip-inject", 0, "per-array, per-loop-window probability of silent bit flips in live state (pair with -verify-invariants to detect them)")
+		transProb = flag.Float64("transient-inject", 0, "per-loop-window probability of typed transient faults (recoverable with -checkpoint-every)")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault injector seed (same seed reproduces the same trace)")
 		maxIters  = flag.Int("max-iters", 0, "abort any pipe loop after this many iterations (0 = unlimited)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock deadline for the run, e.g. 30s (0 = none)")
 		stallWin  = flag.Int("stall-window", 0, "identical-frontier iterations before declaring non-convergence (0 = off)")
 		fallback  = flag.Bool("fallback", false, "degrade gracefully: retry, then scalar baselines, then serial reference")
+		ckEvery   = flag.Int("checkpoint-every", 0, "checkpoint pipe loops every N iterations and roll back on recoverable faults (0 = off)")
+		maxRB     = flag.Int("max-rollbacks", 0, "re-executions per checkpoint before the fault escalates (0 = default 3)")
+		verifyInv = flag.Bool("verify-invariants", false, "validate kernel invariants before each checkpoint (detects silent corruption)")
 	)
 	flag.Parse()
 
@@ -121,17 +126,18 @@ func main() {
 		defer cancel()
 		cfg.Budget.Ctx = ctx
 	}
-	if *faultProb > 0 {
-		if *traceOut != "" {
-			fail(errors.New("-fault-inject and -trace are incompatible: fault injection " +
-				"forces the live scheduler and perturbs the modeled timeline, so the trace " +
-				"would not be the deterministic timeline -trace promises"))
-		}
+	fail(flagCompatErr(*faultProb, *traceOut, *metricsOut))
+	if *faultProb > 0 || *flipProb > 0 || *transProb > 0 {
 		cfg.Inject = fault.NewInjector(*faultSeed, fault.Config{
 			GatherIndex:  *faultProb,
 			ScatterIndex: *faultProb,
+			BitFlip:      *flipProb,
+			Transient:    *transProb,
 		})
 	}
+	cfg.CheckpointEvery = *ckEvery
+	cfg.MaxRollbacks = *maxRB
+	cfg.VerifyInvariants = *verifyInv
 	if *traceOut != "" {
 		cfg.Trace = obs.NewTracer(0)
 	}
@@ -162,8 +168,10 @@ func main() {
 	if err != nil && cfg.Inject != nil && !*jsonOut {
 		fmt.Fprintf(os.Stderr, "fault trace:\n%s", cfg.Inject.TraceString())
 	}
-	fail(err)
+	// Export before failing: the metrics rows collected up to a fault are the
+	// artifact the -fault-inject + -metrics pairing exists to deliver.
 	exportObs(cfg, *traceOut, *metricsOut, *jsonOut)
+	fail(err)
 
 	if *jsonOut {
 		verr := ""
@@ -188,6 +196,11 @@ func main() {
 		s.Launches, s.Barriers, s.WorkItems)
 	if w := res.Engine.Width(); w > 1 {
 		fmt.Printf("lane util: %.1f%% (width %d)\n", 100*s.LaneUtilization(w), w)
+	}
+	if *ckEvery > 0 {
+		fmt.Printf("recovery:  %d checkpoints, %d rollbacks (%d rejected by invariants), %.0f wasted cycles\n",
+			res.Recovery.Checkpoints, res.Recovery.Rollbacks,
+			res.Recovery.BadCheckpoints, res.Recovery.WastedCycles)
 	}
 
 	if *profile {
@@ -256,6 +269,21 @@ func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonO
 		for _, aerr := range res.Attempts {
 			rep.Attempts = append(rep.Attempts, aerr.Error())
 		}
+		for _, a := range res.History {
+			h := attemptReport{
+				Path:         a.Path,
+				Cycles:       a.Cycles,
+				WallNS:       a.WallNS,
+				Checkpoints:  a.Recovery.Checkpoints,
+				Rollbacks:    a.Recovery.Rollbacks,
+				BadCkpts:     a.Recovery.BadCheckpoints,
+				WastedCycles: a.Recovery.WastedCycles,
+			}
+			if a.Err != nil {
+				h.Error = a.Err.Error()
+			}
+			rep.History = append(rep.History, h)
+		}
 		if cfg.Inject != nil {
 			rep.FaultTrace = cfg.Inject.TraceString()
 		}
@@ -263,10 +291,19 @@ func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonO
 		fail(err)
 		fmt.Println(string(out))
 	} else {
-		for i, aerr := range res.Attempts {
-			fmt.Printf("attempt %d: %v\n", i+1, aerr)
+		for i, a := range res.History {
+			status := "served"
+			if a.Err != nil {
+				status = a.Err.Error()
+			}
+			fmt.Printf("attempt %d: %-12s cycles=%.0f wall=%dus rollbacks=%d: %s\n",
+				i+1, a.Path, a.Cycles, a.WallNS/1000, a.Recovery.Rollbacks, status)
 		}
 		fmt.Printf("served by: %s (degraded=%v)\n", res.Path, res.Degraded())
+		if rec := res.TotalRecovery(); rec.Checkpoints > 0 || rec.Rollbacks > 0 {
+			fmt.Printf("recovery:  %d checkpoints, %d rollbacks (%d rejected by invariants), %.0f wasted cycles\n",
+				rec.Checkpoints, rec.Rollbacks, rec.BadCheckpoints, rec.WastedCycles)
+		}
 		if verr != "" {
 			fmt.Fprintf(os.Stderr, "VERIFY FAILED: %v\n", verr)
 		} else if verify {
@@ -280,14 +317,28 @@ func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonO
 
 // resilientReport is the -json output schema under -fallback.
 type resilientReport struct {
-	Benchmark   string   `json:"benchmark"`
-	Graph       string   `json:"graph"`
-	ServedPath  string   `json:"served_path"`
-	Degraded    bool     `json:"degraded"`
-	Attempts    []string `json:"attempt_errors,omitempty"`
-	FaultTrace  string   `json:"fault_trace,omitempty"`
-	VerifyError string   `json:"verify_error,omitempty"`
-	Verified    bool     `json:"verified"`
+	Benchmark   string          `json:"benchmark"`
+	Graph       string          `json:"graph"`
+	ServedPath  string          `json:"served_path"`
+	Degraded    bool            `json:"degraded"`
+	Attempts    []string        `json:"attempt_errors,omitempty"`
+	History     []attemptReport `json:"history,omitempty"`
+	FaultTrace  string          `json:"fault_trace,omitempty"`
+	VerifyError string          `json:"verify_error,omitempty"`
+	Verified    bool            `json:"verified"`
+}
+
+// attemptReport is one entry of the degradation history: every path tried
+// with its cost and recovery counters.
+type attemptReport struct {
+	Path         string  `json:"path"`
+	Error        string  `json:"error,omitempty"`
+	Cycles       float64 `json:"cycles,omitempty"`
+	WallNS       int64   `json:"wall_ns"`
+	Checkpoints  int     `json:"checkpoints,omitempty"`
+	Rollbacks    int     `json:"rollbacks,omitempty"`
+	BadCkpts     int     `json:"bad_checkpoints,omitempty"`
+	WastedCycles float64 `json:"wasted_cycles,omitempty"`
 }
 
 // runReport is the -json output schema.
@@ -311,6 +362,10 @@ type runReport struct {
 	Barriers     int64   `json:"barriers"`
 	WorkItems    int64   `json:"work_items"`
 	LaneUtil     float64 `json:"lane_utilization"`
+	Checkpoints  int     `json:"checkpoints,omitempty"`
+	Rollbacks    int     `json:"rollbacks,omitempty"`
+	BadCkpts     int     `json:"bad_checkpoints,omitempty"`
+	WastedCycles float64 `json:"wasted_cycles,omitempty"`
 	VerifyError  string  `json:"verify_error,omitempty"`
 	Verified     bool    `json:"verified"`
 }
@@ -337,6 +392,10 @@ func emitJSON(benchName string, g *graph.CSR, cfg core.Config, opts opt.Options,
 		Barriers:     st.Barriers,
 		WorkItems:    st.WorkItems,
 		LaneUtil:     st.LaneUtilization(res.Engine.Width()),
+		Checkpoints:  res.Recovery.Checkpoints,
+		Rollbacks:    res.Recovery.Rollbacks,
+		BadCkpts:     res.Recovery.BadCheckpoints,
+		WastedCycles: res.Recovery.WastedCycles,
 		VerifyError:  verifyErr,
 		Verified:     verifyErr == "",
 	}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestFlagCompat pins the observability × injection pairing rules: only
+// -fault-inject with -trace is rejected; -fault-inject composes with
+// -metrics, and -trace composes with -metrics.
+func TestFlagCompat(t *testing.T) {
+	cases := []struct {
+		name      string
+		faultProb float64
+		trace     string
+		metrics   string
+		wantErr   bool
+	}{
+		{"fault+trace", 0.1, "t.json", "", true},
+		{"fault+metrics", 0.1, "", "m.jsonl", false},
+		{"trace+metrics", 0, "t.json", "m.jsonl", false},
+		{"fault+trace+metrics", 0.1, "t.json", "m.jsonl", true},
+		{"none", 0, "", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := flagCompatErr(tc.faultProb, tc.trace, tc.metrics)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("flagCompatErr(%v, %q, %q) = %v, want error=%v",
+					tc.faultProb, tc.trace, tc.metrics, err, tc.wantErr)
+			}
+		})
+	}
+}

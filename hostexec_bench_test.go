@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/machine"
@@ -45,6 +46,13 @@ type hostExecSample struct {
 	L1HitRate     float64 `json:"l1_hit_rate,omitempty"`
 	TraceEvents   int     `json:"trace_events,omitempty"`
 	MetricRows    int     `json:"metric_rows,omitempty"`
+	// Recovery counters from one instrumented checkpointing run under
+	// transient-fault injection (untimed; the timed loops above run with
+	// checkpointing off).
+	Checkpoints  int     `json:"recovery_checkpoints,omitempty"`
+	Rollbacks    int     `json:"recovery_rollbacks,omitempty"`
+	BadCkpts     int     `json:"recovery_bad_checkpoints,omitempty"`
+	WastedCycles float64 `json:"recovery_wasted_cycles,omitempty"`
 }
 
 var hostExecResults = struct {
@@ -96,6 +104,20 @@ func recordHostExecObs(kernel, graphName string, laneUtil, l1Rate float64, trace
 	s.L1HitRate = l1Rate
 	s.TraceEvents = traceEvents
 	s.MetricRows = metricRows
+}
+
+func recordHostExecRecovery(kernel, graphName string, checkpoints, rollbacks, badCkpts int, wasted float64) {
+	hostExecResults.Lock()
+	defer hostExecResults.Unlock()
+	s := hostExecResults.byKernel[kernel]
+	if s == nil {
+		s = &hostExecSample{Kernel: kernel, Graph: graphName}
+		hostExecResults.byKernel[kernel] = s
+	}
+	s.Checkpoints = checkpoints
+	s.Rollbacks = rollbacks
+	s.BadCkpts = badCkpts
+	s.WastedCycles = wasted
 }
 
 // loadBaseline reads the previous benchmark report (BENCH_BASELINE, default
@@ -217,6 +239,22 @@ func BenchmarkHostExec(b *testing.B) {
 			recordHostExecObs(k.Name, g.Name,
 				res.Stats.LaneUtilization(res.Engine.Width()), l1,
 				icfg.Trace.Len(), icfg.Metrics.Len())
+		}
+		// One instrumented recovery run per kernel (untimed): checkpointing
+		// plus invariant verification under transient-fault injection, so the
+		// report surfaces how many checkpoints the run took and how many
+		// rollbacks the injected faults cost. The timed loops below stay
+		// checkpoint-free.
+		rcfg := cfg
+		rcfg.HostExec = core.HostCooperative
+		rcfg.CheckpointEvery = 2
+		rcfg.MaxRollbacks = 200
+		rcfg.VerifyInvariants = true
+		rcfg.Inject = fault.NewInjector(42, fault.Config{Transient: 0.05})
+		if res, err := core.Run(k, g, rcfg); err == nil {
+			recordHostExecRecovery(k.Name, g.Name,
+				res.Recovery.Checkpoints, res.Recovery.Rollbacks,
+				res.Recovery.BadCheckpoints, res.Recovery.WastedCycles)
 		}
 		for _, mode := range modes {
 			cfg.HostExec = mode.exec

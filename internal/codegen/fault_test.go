@@ -52,6 +52,23 @@ func TestStallWatchdog(t *testing.T) {
 	}
 }
 
+// TestStallWindowOne: the tightest window must trip on the very first
+// repeated frontier signature — iteration 2 of a spin loop — in both
+// translations.
+func TestStallWindowOne(t *testing.T) {
+	for _, outline := range []ir.Outlining{ir.LaunchPerIteration, ir.Outlined} {
+		in := bindStalled(t, outline, fault.Budget{StallWindow: 1})
+		err := in.Run()
+		var ce *fault.ConvergenceError
+		if !errors.As(err, &ce) {
+			t.Fatalf("outline=%v: stalled loop returned %v", outline, err)
+		}
+		if ce.Window != 1 || ce.Iterations != 2 {
+			t.Errorf("outline=%v: window-1 watchdog tripped at %+v, want iteration 2", outline, ce)
+		}
+	}
+}
+
 func TestIterationBudget(t *testing.T) {
 	for _, outline := range []ir.Outlining{ir.LaunchPerIteration, ir.Outlined} {
 		in := bindStalled(t, outline, fault.Budget{MaxIters: 10})
@@ -63,6 +80,40 @@ func TestIterationBudget(t *testing.T) {
 		if !errors.As(err, &be) || be.Resource != "iterations" {
 			t.Errorf("outline=%v: detail = %+v", outline, be)
 		}
+	}
+}
+
+// TestWhileTripCap: an intra-kernel while loop that never converges (as
+// corrupted state can cause — e.g. a bit flip forming a union-find cycle)
+// must abort with a typed recoverable fault instead of hanging. The pipe-loop
+// budgets cannot see inside a kernel body; the interpreter's trip cap is the
+// backstop.
+func TestWhileTripCap(t *testing.T) {
+	prog := &ir.Program{
+		Name:   "spinwhile",
+		Arrays: []ir.ArrayDecl{{Name: "x", T: ir.I32, Size: ir.SizeNodes}},
+		Kernels: []*ir.Kernel{{
+			Name: "spin", Domain: ir.DomainNodes, ItemVar: "n",
+			Body: []ir.Stmt{
+				// while x[n] == 0 {} — x is never written, so every active
+				// lane spins forever.
+				ir.WhileS(ir.EqE(ir.Ld("x", ir.V("n")), ir.CI(0))),
+			},
+		}},
+		Pipe: []ir.PipeStmt{&ir.Invoke{Kernel: "spin"}},
+	}
+	m := MustCompile(prog)
+	e := newEngine()
+	in, err := m.Bind(e, graph.Road(4, 4, 4, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = in.Run()
+	if !errors.Is(err, fault.ErrKernelPanic) {
+		t.Fatalf("diverging while loop returned %v, want typed kernel fault", err)
+	}
+	if !fault.Recoverable(err) {
+		t.Error("while trip-cap fault is not recoverable; rollback cannot heal runaway loops")
 	}
 }
 

@@ -13,6 +13,7 @@ package codegen
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/spmd"
@@ -66,6 +67,11 @@ type Instance struct {
 
 	wl  *worklist.Pair // pipeline in/out pair ("out" role)
 	far *worklist.WL   // SSSP far list
+
+	// Recovery, when non-nil, enables barrier-consistent checkpointing of
+	// top-level pipe loops and rollback re-execution of recoverable faults
+	// (see recovery.go). Attach before Run.
+	Recovery *Recovery
 }
 
 // Bind instantiates the module on an engine and graph. params may be nil;
@@ -238,14 +244,34 @@ func hash32(x int32) int32 {
 
 // Run initializes state and executes the pipe, advancing the engine's
 // modeled clock and statistics. Failures — bounds violations, worklist
-// overflows, budget exhaustion, stalled loops, recovered kernel panics —
-// surface as typed errors matching the internal/fault taxonomy.
+// overflows, budget exhaustion, stalled loops, recovered kernel panics,
+// invariant violations — surface as typed errors matching the internal/fault
+// taxonomy. With Recovery attached, recoverable faults roll back to the last
+// verified checkpoint and re-execute (bounded per checkpoint) before the
+// error escapes to the caller.
 func (in *Instance) Run() error {
 	if err := in.initState(); err != nil {
 		return err
 	}
-	if in.M.Prog.Outline == ir.Outlined {
-		return in.runOutlined()
+	if rec := in.Recovery; rec != nil {
+		rec.reset()
 	}
-	return in.runHost()
+	var rc resumeCursor
+	for {
+		err := in.runPipe(rc)
+		if err == nil {
+			return nil
+		}
+		if !in.canRecover() || !fault.Recoverable(err) {
+			return err
+		}
+		rc = in.rollback()
+	}
+}
+
+func (in *Instance) runPipe(rc resumeCursor) error {
+	if in.M.Prog.Outline == ir.Outlined {
+		return in.runOutlined(rc)
+	}
+	return in.runHost(rc)
 }

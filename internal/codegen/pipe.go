@@ -96,13 +96,29 @@ func (g *loopGuard) tickHost(watch bool) error {
 
 // runHost executes the pipe with the default translation: every kernel
 // invocation is a fresh task launch and loop control runs on the host —
-// launch overhead lands on the critical path once per iteration.
-func (in *Instance) runHost() error {
-	return in.execHost(in.M.Prog.Pipe)
+// launch overhead lands on the critical path once per iteration. rc, when
+// active, resumes execution at a checkpoint's cursor after a rollback.
+func (in *Instance) runHost(rc resumeCursor) error {
+	return in.execHost(in.M.Prog.Pipe, rc, true)
 }
 
-func (in *Instance) execHost(stmts []ir.PipeStmt) error {
-	for _, s := range stmts {
+// execHost interprets a pipe statement list on the host. top marks the
+// program's top-level statement list: only top-level loop heads take
+// checkpoints (nested loops roll up into their enclosing iteration), and the
+// resume cursor indexes top-level statements. Fault windows sit at the
+// single-writer control points after each loop's shared-state mutation,
+// mirroring the task-0 windows of outlined execution.
+func (in *Instance) execHost(stmts []ir.PipeStmt, rc resumeCursor, top bool) error {
+	for si, s := range stmts {
+		var res resumeCursor
+		if top && rc.active {
+			if si < rc.stmtIdx {
+				continue // completed before the checkpoint was taken
+			}
+			if si == rc.stmtIdx {
+				res = rc
+			}
+		}
 		switch s := s.(type) {
 		case *ir.Invoke:
 			kc := in.M.kernels[s.Kernel]
@@ -116,29 +132,56 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 
 		case *ir.LoopWL:
 			g := in.newGuard("loop-wl")
+			if res.active {
+				g.restore(res.outer)
+			}
 			for in.wl.In.Size() > 0 {
+				if top {
+					err := in.hostCheckpoint(g, resumeCursor{stmtIdx: si, outer: g.state()})
+					if err != nil {
+						return err
+					}
+				}
 				if err := g.tickHost(true); err != nil {
 					return err
 				}
-				if err := in.execHost(s.Body); err != nil {
+				if err := in.execHost(s.Body, resumeCursor{}, false); err != nil {
 					return err
 				}
 				in.wl.Swap()
+				if err := in.faultWindow("loop-wl"); err != nil {
+					return err
+				}
 			}
 			g.done()
 
 		case *ir.LoopFlag:
 			flag := in.arrays[s.Flag]
 			g := in.newGuard("loop-flag")
+			if res.active {
+				g.restore(res.outer)
+			}
 			for {
+				if top {
+					err := in.hostCheckpoint(g, resumeCursor{stmtIdx: si, outer: g.state()})
+					if err != nil {
+						return err
+					}
+				}
 				if err := g.tickHost(false); err != nil {
 					return err
 				}
 				flag.I[0] = 0
-				if err := in.execHost(s.Body); err != nil {
+				if err := in.execHost(s.Body, resumeCursor{}, false); err != nil {
 					return err
 				}
 				done := flag.I[0] == 0
+				// Fault window at iteration end: corruption lands after the
+				// body, so the next loop-head validation sees it before any
+				// kernel consumes it.
+				if err := in.faultWindow("loop-flag"); err != nil {
+					return err
+				}
 				if s.IncParam != "" {
 					in.Params[s.IncParam]++
 				}
@@ -154,11 +197,22 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 				n = int(in.Params[s.NParam])
 			}
 			g := in.newGuard("loop-fixed")
-			for i := 0; i < n; i++ {
+			i0 := 0
+			if res.active {
+				g.restore(res.outer)
+				i0 = res.ctl
+			}
+			for i := i0; i < n; i++ {
+				if top {
+					err := in.hostCheckpoint(g, resumeCursor{stmtIdx: si, outer: g.state(), ctl: i})
+					if err != nil {
+						return err
+					}
+				}
 				if err := g.tickHost(false); err != nil {
 					return err
 				}
-				if err := in.execHost(s.Body); err != nil {
+				if err := in.execHost(s.Body, resumeCursor{}, false); err != nil {
 					return err
 				}
 			}
@@ -167,15 +221,33 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 		case *ir.LoopConverge:
 			acc := in.arrays[s.Acc]
 			g := in.newGuard("loop-converge")
-			for it := 0; it < s.MaxIter; it++ {
+			it0 := 0
+			if res.active {
+				g.restore(res.outer)
+				it0 = res.ctl
+			}
+			for it := it0; it < s.MaxIter; it++ {
+				if top {
+					err := in.hostCheckpoint(g, resumeCursor{stmtIdx: si, outer: g.state(), ctl: it})
+					if err != nil {
+						return err
+					}
+				}
 				if err := g.tickHost(false); err != nil {
 					return err
 				}
 				acc.F[0] = 0
-				if err := in.execHost(s.Body); err != nil {
+				if err := in.execHost(s.Body, resumeCursor{}, false); err != nil {
 					return err
 				}
-				if acc.F[0] <= s.Eps {
+				done := acc.F[0] <= s.Eps
+				// Fault window at iteration end (after the convergence read,
+				// matching the outlined schedule): corruption lands after the
+				// body, so the next loop-head validation sees it first.
+				if err := in.faultWindow("loop-converge"); err != nil {
+					return err
+				}
+				if done {
 					break
 				}
 			}
@@ -185,11 +257,28 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 			kc := in.M.kernels[s.Kernel]
 			outer := in.newGuard("loop-nearfar")
 			inner := in.newGuard("loop-nearfar-inner")
+			skipOuterTick := false
+			if res.active {
+				outer.restore(res.outer)
+				inner.restore(res.inner)
+				skipOuterTick = res.atInner
+			}
 			for {
-				if err := outer.tickHost(false); err != nil {
-					return err
+				if !skipOuterTick {
+					if err := outer.tickHost(false); err != nil {
+						return err
+					}
 				}
+				skipOuterTick = false
 				for in.wl.In.Size() > 0 {
+					if top {
+						err := in.hostCheckpoint(inner, resumeCursor{
+							stmtIdx: si, outer: outer.state(), inner: inner.state(), atInner: true,
+						})
+						if err != nil {
+							return err
+						}
+					}
 					if err := inner.tickHost(true); err != nil {
 						return err
 					}
@@ -198,6 +287,9 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 						return err
 					}
 					in.wl.Swap()
+					if err := in.faultWindow("loop-nearfar"); err != nil {
+						return err
+					}
 				}
 				inner.done()
 				if in.far.Size() == 0 {
@@ -214,15 +306,24 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 
 		case *ir.LoopHybrid:
 			g := in.newGuard("loop-hybrid")
+			if res.active {
+				g.restore(res.outer)
+			}
 			for in.wl.In.Size() > 0 {
+				if top {
+					err := in.hostCheckpoint(g, resumeCursor{stmtIdx: si, outer: g.state()})
+					if err != nil {
+						return err
+					}
+				}
 				if err := g.tickHost(true); err != nil {
 					return err
 				}
 				var err error
 				if int(in.wl.In.Size())*s.ThreshDenom < int(in.G.NumNodes()) {
-					err = in.execHost(s.Small)
+					err = in.execHost(s.Small, resumeCursor{}, false)
 				} else {
-					err = in.execHost(s.Big)
+					err = in.execHost(s.Big, resumeCursor{}, false)
 				}
 				if err != nil {
 					return err
@@ -230,6 +331,9 @@ func (in *Instance) execHost(stmts []ir.PipeStmt) error {
 				in.wl.Swap()
 				if s.IncParam != "" {
 					in.Params[s.IncParam]++
+				}
+				if err := in.faultWindow("loop-hybrid"); err != nil {
+					return err
 				}
 			}
 			g.done()
@@ -260,10 +364,18 @@ func (in *Instance) promoteFar(deltaParam string) error {
 // task 0 in a dedicated barrier-delimited segment so every task observes a
 // consistent view. Guard violations unwind through TaskCtx.Fail, so the
 // launch returns the same typed errors as host-mode execution.
-func (in *Instance) runOutlined() error {
-	return in.E.Launch(0, func(tc *spmd.TaskCtx) {
-		in.execTask(in.M.Prog.Pipe, tc)
-	})
+//
+// A rollback resume re-enters through ResumeLaunch, which skips the launch
+// accounting the restored checkpoint already contains; every task replica
+// restores its loop control from the same by-value cursor.
+func (in *Instance) runOutlined(rc resumeCursor) error {
+	body := func(tc *spmd.TaskCtx) {
+		in.execTask(in.M.Prog.Pipe, tc, rc, true)
+	}
+	if rc.active {
+		return in.E.ResumeLaunch(0, body)
+	}
+	return in.E.Launch(0, body)
 }
 
 // tickTask is the outlined-mode guard check: a violation unwinds the task.
@@ -287,8 +399,22 @@ func (g *loopGuard) doneTask(tc *spmd.TaskCtx) {
 	}
 }
 
-func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
-	for _, s := range stmts {
+// execTask interprets a pipe statement list inside an outlined launch. Like
+// execHost, top marks the top-level statement list where checkpoints are
+// taken and the resume cursor applies; rc arrives by value, so each replica
+// restores its private guard state without shared mutation. Checkpoints and
+// fault windows run in task 0's single-writer windows only.
+func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx, rc resumeCursor, top bool) {
+	for si, s := range stmts {
+		var res resumeCursor
+		if top && rc.active {
+			if si < rc.stmtIdx {
+				continue // completed before the checkpoint was taken
+			}
+			if si == rc.stmtIdx {
+				res = rc
+			}
+		}
 		switch s := s.(type) {
 		case *ir.Invoke:
 			in.M.kernels[s.Kernel].runTask(in, tc)
@@ -296,14 +422,21 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 
 		case *ir.LoopWL:
 			g := in.newGuard("loop-wl")
+			if res.active {
+				g.restore(res.outer)
+			}
 			for {
 				if in.wl.In.Size() == 0 {
 					break
 				}
+				if top {
+					in.taskCheckpoint(tc, g, resumeCursor{stmtIdx: si, outer: g.state()})
+				}
 				g.tickTask(tc, true)
-				in.execTask(s.Body, tc)
+				in.execTask(s.Body, tc, resumeCursor{}, false)
 				if tc.Index == 0 {
 					in.wl.Swap()
+					in.taskFaultWindow(tc, "loop-wl")
 				}
 				tc.Barrier()
 			}
@@ -312,17 +445,30 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 		case *ir.LoopFlag:
 			flag := in.arrays[s.Flag]
 			g := in.newGuard("loop-flag")
+			if res.active {
+				g.restore(res.outer)
+			}
 			for {
+				if top {
+					in.taskCheckpoint(tc, g, resumeCursor{stmtIdx: si, outer: g.state()})
+				}
 				g.tickTask(tc, false)
 				if tc.Index == 0 {
 					flag.I[0] = 0
 				}
 				tc.Barrier()
-				in.execTask(s.Body, tc)
+				in.execTask(s.Body, tc, resumeCursor{}, false)
 				done := flag.I[0] == 0
 				tc.Barrier() // everyone has read the flag
-				if tc.Index == 0 && s.IncParam != "" {
-					in.Params[s.IncParam]++
+				if tc.Index == 0 {
+					// Fault window at iteration end (single-writer: the other
+					// tasks wait at the next barrier): corruption lands after
+					// the body, so the next loop-head validation sees it
+					// before any kernel consumes it.
+					in.taskFaultWindow(tc, "loop-flag")
+					if s.IncParam != "" {
+						in.Params[s.IncParam]++
+					}
 				}
 				tc.Barrier() // parameter bump visible before next round
 				if done {
@@ -337,24 +483,45 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 				n = int(in.Params[s.NParam])
 			}
 			g := in.newGuard("loop-fixed")
-			for i := 0; i < n; i++ {
+			i0 := 0
+			if res.active {
+				g.restore(res.outer)
+				i0 = res.ctl
+			}
+			for i := i0; i < n; i++ {
+				if top {
+					in.taskCheckpoint(tc, g, resumeCursor{stmtIdx: si, outer: g.state(), ctl: i})
+				}
 				g.tickTask(tc, false)
-				in.execTask(s.Body, tc)
+				in.execTask(s.Body, tc, resumeCursor{}, false)
 			}
 			g.doneTask(tc)
 
 		case *ir.LoopConverge:
 			acc := in.arrays[s.Acc]
 			g := in.newGuard("loop-converge")
-			for it := 0; it < s.MaxIter; it++ {
+			it0 := 0
+			if res.active {
+				g.restore(res.outer)
+				it0 = res.ctl
+			}
+			for it := it0; it < s.MaxIter; it++ {
+				if top {
+					in.taskCheckpoint(tc, g, resumeCursor{stmtIdx: si, outer: g.state(), ctl: it})
+				}
 				g.tickTask(tc, false)
 				if tc.Index == 0 {
 					acc.F[0] = 0
 				}
 				tc.Barrier()
-				in.execTask(s.Body, tc)
+				in.execTask(s.Body, tc, resumeCursor{}, false)
 				done := acc.F[0] <= s.Eps
 				tc.Barrier() // everyone has read the accumulator
+				if tc.Index == 0 {
+					// Fault window at iteration end, after every task has read
+					// the accumulator (see LoopFlag above).
+					in.taskFaultWindow(tc, "loop-converge")
+				}
 				if done {
 					break
 				}
@@ -365,17 +532,32 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 			kc := in.M.kernels[s.Kernel]
 			outer := in.newGuard("loop-nearfar")
 			inner := in.newGuard("loop-nearfar-inner")
+			skipOuterTick := false
+			if res.active {
+				outer.restore(res.outer)
+				inner.restore(res.inner)
+				skipOuterTick = res.atInner
+			}
 			for {
-				outer.tickTask(tc, false)
+				if !skipOuterTick {
+					outer.tickTask(tc, false)
+				}
+				skipOuterTick = false
 				for {
 					if in.wl.In.Size() == 0 {
 						break
+					}
+					if top {
+						in.taskCheckpoint(tc, inner, resumeCursor{
+							stmtIdx: si, outer: outer.state(), inner: inner.state(), atInner: true,
+						})
 					}
 					inner.tickTask(tc, true)
 					kc.runTask(in, tc)
 					tc.Barrier()
 					if tc.Index == 0 {
 						in.wl.Swap()
+						in.taskFaultWindow(tc, "loop-nearfar")
 					}
 					tc.Barrier()
 				}
@@ -402,21 +584,28 @@ func (in *Instance) execTask(stmts []ir.PipeStmt, tc *spmd.TaskCtx) {
 
 		case *ir.LoopHybrid:
 			g := in.newGuard("loop-hybrid")
+			if res.active {
+				g.restore(res.outer)
+			}
 			for {
 				if in.wl.In.Size() == 0 {
 					break
 				}
+				if top {
+					in.taskCheckpoint(tc, g, resumeCursor{stmtIdx: si, outer: g.state()})
+				}
 				g.tickTask(tc, true)
 				if int(in.wl.In.Size())*s.ThreshDenom < int(in.G.NumNodes()) {
-					in.execTask(s.Small, tc)
+					in.execTask(s.Small, tc, resumeCursor{}, false)
 				} else {
-					in.execTask(s.Big, tc)
+					in.execTask(s.Big, tc, resumeCursor{}, false)
 				}
 				if tc.Index == 0 {
 					in.wl.Swap()
 					if s.IncParam != "" {
 						in.Params[s.IncParam]++
 					}
+					in.taskFaultWindow(tc, "loop-hybrid")
 				}
 				tc.Barrier()
 			}

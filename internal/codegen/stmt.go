@@ -1,6 +1,9 @@
 package codegen
 
 import (
+	"fmt"
+
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/vec"
 	"repro/internal/worklist"
@@ -171,11 +174,24 @@ func (c *kcompiler) compileStmt(s ir.Stmt) (exec, error) {
 			return nil, err
 		}
 		return func(fr *frame, m vec.Mask) {
+			// Trip cap: every legitimate while in the kernel suite is bounded
+			// by the graph size (pointer jumping <= n hops, adjacency merges
+			// <= 2 degrees), but corrupted state can make one diverge — a
+			// bit flip forming a union-find cycle spins comp[comp[n]] forever.
+			// The cap turns that hang into a typed recoverable fault, so
+			// checkpoint rollback (or the fallback ladder) can heal it. It is
+			// host-side only: no modeled ops are charged, and it cannot fire
+			// on uncorrupted runs.
+			limit := 4*(int64(fr.in.G.NumNodes())+int64(fr.in.G.NumEdges())) + 64
 			act := m
-			for {
+			for trips := int64(0); ; trips++ {
 				act &= cond(fr, act)
 				if act.None() {
 					return
+				}
+				if trips >= limit {
+					fr.tc.Fail(fmt.Errorf("while loop exceeded %d trips (likely corrupt state): %w",
+						limit, fault.ErrKernelPanic))
 				}
 				body(fr, act)
 			}

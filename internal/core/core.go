@@ -116,6 +116,20 @@ type Config struct {
 	// LiveAtomics programs fall back to the live cooperative scheduler;
 	// profiling, tracing and metrics work in every mode.
 	HostExec HostExec
+	// CheckpointEvery, when positive, snapshots engine-visible state at
+	// top-level pipe-loop heads every that many iterations and rolls back to
+	// the last checkpoint on a recoverable typed fault instead of failing the
+	// run. Recovery is ignored when a Pager is attached (residency state is
+	// not checkpointed). Zero disables checkpointing.
+	CheckpointEvery int
+	// MaxRollbacks bounds re-executions per checkpoint before the fault
+	// escalates (default 3 when zero). Only meaningful with CheckpointEvery.
+	MaxRollbacks int
+	// VerifyInvariants runs the kernel's invariant validators (see
+	// kernels.InvariantFor) against live state before each checkpoint, so
+	// silently corrupted state is detected, rejected and rolled back rather
+	// than becoming a recovery point. Only meaningful with CheckpointEvery.
+	VerifyInvariants bool
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +163,10 @@ type Result struct {
 	// Engine and Instance allow output inspection and re-runs.
 	Engine   *spmd.Engine
 	Instance *codegen.Instance
+	// Recovery reports checkpoint/rollback activity when Config.CheckpointEvery
+	// was set (zero otherwise). Kept outside Stats so recovered runs stay
+	// bit-identical to undisturbed ones.
+	Recovery codegen.RecoveryStats
 }
 
 // PrepareGraph returns the input in the form the benchmark requires:
@@ -179,7 +197,18 @@ func runParams(b *kernels.Benchmark, g *graph.CSR, cfg Config) map[string]int32 
 // Run compiles the benchmark under cfg and executes it on g. The graph must
 // already be prepared (see PrepareGraph).
 func Run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+	res, err := run(b, g, cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// run is Run on an already-defaulted config, returning the partial Result
+// alongside the error when the failure happened during execution (so callers
+// like RunResilient can account the cost and recovery counters of failed
+// attempts). Compile/bind failures return a nil Result.
+func run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
 	prog, err := opt.Apply(b.Prog, *cfg.Opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
@@ -206,15 +235,29 @@ func Run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
 	}
-	if err := inst.Run(); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
+	if cfg.CheckpointEvery > 0 && cfg.Pager == nil {
+		rec := &codegen.Recovery{Every: cfg.CheckpointEvery, MaxRollbacks: cfg.MaxRollbacks}
+		if cfg.VerifyInvariants {
+			if inv := kernels.InvariantFor(b.Name); inv != nil {
+				rec.Verify = func(v *codegen.StateView) error { return inv(v) }
+			}
+		}
+		inst.Recovery = rec
 	}
-	return &Result{
+	runErr := inst.Run()
+	res := &Result{
 		TimeMS:   e.TimeMS(),
 		Stats:    e.Stats,
 		Engine:   e,
 		Instance: inst,
-	}, nil
+	}
+	if inst.Recovery != nil {
+		res.Recovery = inst.Recovery.Stats
+	}
+	if runErr != nil {
+		return res, fmt.Errorf("core: %s: %w", b.Name, runErr)
+	}
+	return res, nil
 }
 
 // Verify checks a run's outputs against the benchmark's serial reference.

@@ -1,31 +1,74 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/baselines"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 )
 
 // RunResilient executes a benchmark with graceful degradation: the vector
-// engine first (retried once, since injected faults are drawn per-access and
-// may clear on a second attempt), then each scalar baseline framework that
-// implements the benchmark, then the benchmark's serial reference. The
-// result reports which path served and the error of every failed attempt.
+// engine first (which, with Config.CheckpointEvery set, absorbs recoverable
+// faults via checkpoint rollback before giving up; retried once since
+// injected faults are drawn per-site and may clear), then each scalar
+// baseline framework that implements the benchmark, then the benchmark's
+// serial reference. The result reports which path served, the error of every
+// failed attempt, and per-attempt cost (modeled cycles, wall time,
+// checkpoint/rollback counters).
 //
 // The graph must already be prepared (see PrepareGraph). Budget and injector
 // settings in cfg apply to the vector attempts only — fallbacks exist
 // precisely to survive them.
 func RunResilient(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*kernels.ResilientResult, error) {
+	return runResilient(b, g, cfg, false)
+}
+
+// RunResilientVerified is RunResilient with the vector output additionally
+// checked against the benchmark's serial reference before it may serve:
+// corruption that slipped past the invariant validators fails the attempt and
+// degrades to the fallback ladder instead of serving silently wrong results.
+// This is the chaos-testing entry point — every run ends in a verified output
+// or a typed error.
+func RunResilientVerified(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*kernels.ResilientResult, error) {
+	return runResilient(b, g, cfg, true)
+}
+
+func runResilient(b *kernels.Benchmark, g *graph.CSR, cfg Config, verified bool) (*kernels.ResilientResult, error) {
 	cfg = cfg.withDefaults()
-	vector := func() (*kernels.RunOutput, error) {
-		res, err := Run(b, g, cfg)
+	vector := func() (*kernels.RunOutput, kernels.Cost, error) {
+		res, err := run(b, g, cfg)
+		cost := costOf(res)
 		if err != nil {
-			return nil, err
+			return nil, cost, err
 		}
-		return outputOf(b, res), nil
+		out := outputOf(b, res)
+		if verified {
+			if verr := out.Verify(b, g, res.Instance.Params["src"]); verr != nil {
+				return nil, cost, fmt.Errorf("output verification: %w", verr)
+			}
+		}
+		return out, cost, nil
 	}
 	return kernels.RunResilient(b, g, runParams(b, g, cfg), cfg.Src,
 		vector, baselineFallbacks(b, cfg))
+}
+
+// costOf maps a (possibly partial) run result to the attempt cost RunResilient
+// records. A nil result (compile/bind failure) costs zero.
+func costOf(res *Result) kernels.Cost {
+	if res == nil {
+		return kernels.Cost{}
+	}
+	return kernels.Cost{
+		Cycles: res.Engine.TimeCycles(),
+		Recovery: kernels.RecoveryCounts{
+			Checkpoints:    res.Recovery.Checkpoints,
+			Rollbacks:      res.Recovery.Rollbacks,
+			BadCheckpoints: res.Recovery.BadCheckpoints,
+			WastedCycles:   res.Recovery.WastedCycles,
+		},
+	}
 }
 
 // outputOf collects a run's declared output arrays into a RunOutput.

@@ -10,6 +10,7 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 )
 
@@ -34,7 +35,29 @@ var (
 	// ErrKernelPanic: a task body panicked with a value the engine does not
 	// recognize as a typed failure; the panic was recovered into an error.
 	ErrKernelPanic = fmt.Errorf("kernel panic")
+	// ErrInvariantViolation: a checkpoint-time validator found live state
+	// inconsistent with the kernel's algorithmic invariants (e.g. a BFS
+	// level that increased) — the signature of silent data corruption.
+	ErrInvariantViolation = fmt.Errorf("invariant violation")
+	// ErrTransientFault: an injected detected-but-uncorrupting soft error
+	// (the model of an ECC machine-check abort): the affected execution must
+	// be discarded, but no state was corrupted.
+	ErrTransientFault = fmt.Errorf("transient fault")
 )
+
+// Recoverable reports whether a checkpointed run may retry the failed
+// execution from its last verified checkpoint. Transient classes — injected
+// or data-dependent faults that a re-execution can clear — are recoverable;
+// deterministic exhaustion (budgets, stalled loops) and structural input
+// corruption re-fail identically and escalate to the fallback ladder
+// directly.
+func Recoverable(err error) bool {
+	return errors.Is(err, ErrOutOfBounds) ||
+		errors.Is(err, ErrWorklistOverflow) ||
+		errors.Is(err, ErrInvariantViolation) ||
+		errors.Is(err, ErrTransientFault) ||
+		errors.Is(err, ErrKernelPanic)
+}
 
 // BoundsError reports an out-of-range memory-primitive index with lane
 // detail. Lane is -1 for uniform scalar accesses.
@@ -127,3 +150,42 @@ func (e *PanicError) Error() string {
 }
 
 func (e *PanicError) Unwrap() error { return ErrKernelPanic }
+
+// InvariantError reports a kernel-invariant violation found by a
+// checkpoint-time validator. Index is the offending element, -1 for
+// scalar or frontier-level violations.
+type InvariantError struct {
+	Kernel string // benchmark name, e.g. "bfs-wl"
+	Rule   string // violated rule, e.g. "lvl-monotone"
+	Array  string // array the rule constrains, "" for frontier rules
+	Index  int    // offending element index, -1 when not element-addressed
+	Detail string // human-readable specifics (values involved)
+}
+
+func (e *InvariantError) Error() string {
+	where := e.Array
+	if where == "" {
+		where = "frontier"
+	}
+	if e.Index >= 0 {
+		where = fmt.Sprintf("%s[%d]", where, e.Index)
+	}
+	return fmt.Sprintf("%s: rule %s at %s: %s: %v",
+		e.Kernel, e.Rule, where, e.Detail, ErrInvariantViolation)
+}
+
+func (e *InvariantError) Unwrap() error { return ErrInvariantViolation }
+
+// TransientError is an injected soft error raised at a pipe-loop fault
+// window: detected by the (modeled) hardware, corrupting nothing, and
+// clearing on re-execution — the canonical checkpoint/rollback customer.
+type TransientError struct {
+	Site string // pipe-loop window that raised it
+	Seq  int    // injection sequence number
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("injected transient fault #%d at %s: %v", e.Seq, e.Site, ErrTransientFault)
+}
+
+func (e *TransientError) Unwrap() error { return ErrTransientFault }

@@ -18,6 +18,16 @@ type InjectorConfig struct {
 	// Overflow is the per-check probability that a worklist room check is
 	// forced to report overflow.
 	Overflow float64
+	// BitFlip is the per-array, per-fault-window probability that one bit of
+	// one live array element is flipped upward — silent corruption that no
+	// error path reports, detectable only by invariant validation. Flips are
+	// applied at barrier-consistent single-writer windows, so they are
+	// deterministic in every execution mode.
+	BitFlip float64
+	// Transient is the per-fault-window probability of raising a typed
+	// transient fault (a modeled ECC machine-check): detected, uncorrupting,
+	// and clearing on re-execution.
+	Transient float64
 }
 
 // Event is one injected fault, in injection order.
@@ -150,6 +160,73 @@ func (in *Injector) ForceOverflow(site string) bool {
 	}
 	in.record("overflow", site, -1, 0, 0)
 	return true
+}
+
+// FlipBits possibly flips one clear low bit (bits 0..29) of one element of
+// vals, strictly increasing the stored value — the silent-corruption class.
+// The bit range keeps flipped values above the element's true value but lets
+// them land either side of the Inf = 1<<30 sentinel, so both range and
+// monotonicity invariants get exercised. Returns the flipped index and
+// whether a flip happened. Call only from single-writer windows: the flip
+// mutates vals in place without synchronization.
+func (in *Injector) FlipBits(site string, vals []int32) (int, bool) {
+	if in == nil || in.icfg.BitFlip <= 0 || len(vals) == 0 {
+		return 0, false
+	}
+	if !in.chance(in.icfg.BitFlip) {
+		return 0, false
+	}
+	idx := int(in.next() % uint64(len(vals)))
+	old := vals[idx]
+	bit := uint(in.next() % 30)
+	flipped := old
+	for tries := 0; tries < 30; tries++ {
+		if flipped&(1<<bit) == 0 {
+			flipped |= 1 << bit
+			break
+		}
+		bit = (bit + 1) % 30
+	}
+	if flipped == old {
+		// All 30 low bits already set: push past the Inf sentinel instead.
+		flipped |= 1 << 30
+	}
+	if flipped == old {
+		return 0, false
+	}
+	vals[idx] = flipped
+	in.record("bitflip", site, idx, old, flipped)
+	return idx, true
+}
+
+// TransientFault possibly raises a typed transient fault at a pipe-loop
+// fault window. The returned error (nil when nothing fired) corrupts no
+// state; a rolled-back re-execution draws fresh variates and typically
+// proceeds.
+func (in *Injector) TransientFault(site string) error {
+	if in == nil || in.icfg.Transient <= 0 {
+		return nil
+	}
+	if !in.chance(in.icfg.Transient) {
+		return nil
+	}
+	in.record("transient", site, -1, 0, 0)
+	return &TransientError{Site: site, Seq: len(in.trace) - 1}
+}
+
+// LiveOnly reports whether the configuration injects mid-segment faults that
+// require the live scheduler. Gather/scatter index corruption draws one
+// variate per memory access, so the draw order depends on intra-segment
+// execution order — only the live cooperative schedule makes that
+// deterministic. Overflow checks draw at segment boundaries (worklist
+// materialization runs in task order in every mode), and bit-flip/transient
+// windows are single-writer by construction, so those classes keep the
+// configured execution mode.
+func (in *Injector) LiveOnly() bool {
+	if in == nil {
+		return false
+	}
+	return in.icfg.GatherIndex > 0 || in.icfg.ScatterIndex > 0
 }
 
 // CorruptCSR flips row-pointer entries of the given arrays in place with the

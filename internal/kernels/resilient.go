@@ -3,6 +3,7 @@ package kernels
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -43,6 +44,41 @@ type FallbackRunner struct {
 	Run func(b *Benchmark, g *graph.CSR, src int32) (*RunOutput, error)
 }
 
+// RecoveryCounts reports checkpoint/rollback activity of one vector attempt,
+// mirroring codegen.RecoveryStats without importing that package.
+type RecoveryCounts struct {
+	// Checkpoints is the number of verified checkpoints taken.
+	Checkpoints int
+	// Rollbacks is the number of rollback re-executions performed.
+	Rollbacks int
+	// BadCheckpoints counts checkpoint attempts rejected by invariant
+	// validation (detected silent corruption).
+	BadCheckpoints int
+	// WastedCycles is the modeled work discarded by rollbacks.
+	WastedCycles float64
+}
+
+// Cost quantifies what one vector attempt consumed — modeled cycles
+// (including work later discarded by rollbacks) and its recovery activity.
+// Reported even for failed attempts, so degradation cost is measurable.
+type Cost struct {
+	Cycles   float64
+	Recovery RecoveryCounts
+}
+
+// Attempt is one entry of a resilient run's execution history: every path
+// tried (including the one that served), its error (nil for the serving
+// attempt), its modeled cycles where the path models time (vector attempts;
+// scalar fallbacks and the reference report zero), host wall time, and the
+// attempt's checkpoint/rollback counters.
+type Attempt struct {
+	Path     string
+	Err      error
+	Cycles   float64
+	WallNS   int64
+	Recovery RecoveryCounts
+}
+
 // ResilientResult reports which path of the degradation chain served a
 // resilient run, with the errors of every failed attempt.
 type ResilientResult struct {
@@ -52,6 +88,9 @@ type ResilientResult struct {
 	// Attempts holds the error of each failed attempt, in order; empty when
 	// the first vector attempt succeeded.
 	Attempts []error
+	// History records every attempt in order — failed and serving alike —
+	// with per-attempt modeled cycles, wall time and recovery counters.
+	History []Attempt
 }
 
 // Degraded reports whether a non-vector path served the result.
@@ -59,40 +98,71 @@ func (r *ResilientResult) Degraded() bool {
 	return r.Path != "vector" && r.Path != "vector-retry"
 }
 
+// TotalRecovery sums the recovery counters across all attempts.
+func (r *ResilientResult) TotalRecovery() RecoveryCounts {
+	var t RecoveryCounts
+	for _, a := range r.History {
+		t.Checkpoints += a.Recovery.Checkpoints
+		t.Rollbacks += a.Recovery.Rollbacks
+		t.BadCheckpoints += a.Recovery.BadCheckpoints
+		t.WastedCycles += a.Recovery.WastedCycles
+	}
+	return t
+}
+
 // RunResilient executes a benchmark with graceful degradation: the vector
-// attempt is retried once on failure (transient injected faults may clear),
-// then each fallback runs in order, and finally the benchmark's serial
-// Reference serves the result. Every failure is recorded in Attempts; an
-// error returns only when every path is exhausted.
+// attempt — which may itself absorb faults via checkpoint rollback before
+// failing — is retried once on failure (injected faults draw fresh variates
+// and may clear), then each fallback runs in order, and finally the
+// benchmark's serial Reference serves the result. Every attempt is recorded
+// in History with its cost; failures additionally land in Attempts. An error
+// returns only when every path is exhausted.
 func RunResilient(b *Benchmark, g *graph.CSR, params map[string]int32, src int32,
-	vector func() (*RunOutput, error), fallbacks []FallbackRunner) (*ResilientResult, error) {
+	vector func() (*RunOutput, Cost, error), fallbacks []FallbackRunner) (*ResilientResult, error) {
 	res := &ResilientResult{}
+	record := func(path string, err error, cost Cost, start time.Time) {
+		res.History = append(res.History, Attempt{
+			Path: path, Err: err, Cycles: cost.Cycles,
+			WallNS: time.Since(start).Nanoseconds(), Recovery: cost.Recovery,
+		})
+		if err != nil {
+			res.Attempts = append(res.Attempts, err)
+		}
+	}
 	for attempt := 0; attempt < 2; attempt++ {
-		out, err := vector()
+		path := "vector"
+		if attempt > 0 {
+			path = "vector-retry"
+		}
+		start := time.Now()
+		out, cost, err := vector()
+		record(path, err, cost, start)
 		if err == nil {
 			res.Output = out
-			res.Path = "vector"
-			if attempt > 0 {
-				res.Path = "vector-retry"
-			}
+			res.Path = path
 			return res, nil
 		}
-		res.Attempts = append(res.Attempts, err)
 	}
 	for _, fb := range fallbacks {
 		if fb.Run == nil {
 			continue
 		}
+		start := time.Now()
 		out, err := fb.Run(b, g, src)
+		if err != nil {
+			err = fmt.Errorf("%s: %w", fb.Name, err)
+		}
+		record(fb.Name, err, Cost{}, start)
 		if err == nil {
 			res.Output = out
 			res.Path = fb.Name
 			return res, nil
 		}
-		res.Attempts = append(res.Attempts, fmt.Errorf("%s: %w", fb.Name, err))
 	}
 	if b.Reference != nil {
+		start := time.Now()
 		res.Output = b.Reference(g, params, src)
+		record("reference", nil, Cost{}, start)
 		res.Path = "reference"
 		return res, nil
 	}

@@ -48,14 +48,14 @@ func TestRunResilientChain(t *testing.T) {
 	ok := &RunOutput{I: map[string][]int32{"lvl": RefBFS(g, 0)}}
 
 	calls := 0
-	failN := func(n int) func() (*RunOutput, error) {
+	failN := func(n int) func() (*RunOutput, Cost, error) {
 		calls = 0
-		return func() (*RunOutput, error) {
+		return func() (*RunOutput, Cost, error) {
 			calls++
 			if calls <= n {
-				return nil, fmt.Errorf("attempt %d: %w", calls, boom)
+				return nil, Cost{Cycles: 100}, fmt.Errorf("attempt %d: %w", calls, boom)
 			}
-			return ok, nil
+			return ok, Cost{Cycles: 1000}, nil
 		}
 	}
 
@@ -100,5 +100,109 @@ func TestRunResilientChain(t *testing.T) {
 	noRef := &Benchmark{Name: "stub"}
 	if _, err := RunResilient(noRef, g, nil, 0, failN(99), nil); !errors.Is(err, boom) {
 		t.Errorf("exhausted chain error %v does not wrap the cause", err)
+	}
+}
+
+// TestResilientHistory checks the per-attempt execution history: every path
+// tried appears in order with its error, modeled cycles, wall time, and
+// recovery counters — including failed vector attempts that absorbed
+// rollbacks before giving up.
+func TestResilientHistory(t *testing.T) {
+	b, err := ByName("bfs-wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := path4()
+	boom := errors.New("vector blew up")
+	ok := &RunOutput{I: map[string][]int32{"lvl": RefBFS(g, 0)}}
+	failCost := Cost{Cycles: 500, Recovery: RecoveryCounts{Checkpoints: 2, Rollbacks: 3, BadCheckpoints: 1, WastedCycles: 120}}
+	okCost := Cost{Cycles: 900, Recovery: RecoveryCounts{Checkpoints: 4, Rollbacks: 1, WastedCycles: 40}}
+
+	brokenFB := FallbackRunner{Name: "broken", Run: func(*Benchmark, *graph.CSR, int32) (*RunOutput, error) {
+		return nil, errors.New("also down")
+	}}
+	okFB := FallbackRunner{Name: "scalar", Run: func(*Benchmark, *graph.CSR, int32) (*RunOutput, error) {
+		return ok, nil
+	}}
+
+	cases := []struct {
+		name      string
+		failFirst int // vector attempts that fail before one succeeds
+		fallbacks []FallbackRunner
+		wantPaths []string
+		wantErrs  []bool // per history entry: entry has a non-nil error
+	}{
+		{"first-try", 0, nil, []string{"vector"}, []bool{false}},
+		{"retry-serves", 1, nil, []string{"vector", "vector-retry"}, []bool{true, false}},
+		{"fallback-serves", 99, []FallbackRunner{brokenFB, okFB},
+			[]string{"vector", "vector-retry", "broken", "scalar"}, []bool{true, true, true, false}},
+		{"reference-serves", 99, nil,
+			[]string{"vector", "vector-retry", "reference"}, []bool{true, true, false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			calls := 0
+			vector := func() (*RunOutput, Cost, error) {
+				calls++
+				if calls <= tc.failFirst {
+					return nil, failCost, fmt.Errorf("attempt %d: %w", calls, boom)
+				}
+				return ok, okCost, nil
+			}
+			res, err := RunResilient(b, g, nil, 0, vector, tc.fallbacks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.History) != len(tc.wantPaths) {
+				t.Fatalf("history has %d entries, want %d: %+v", len(res.History), len(tc.wantPaths), res.History)
+			}
+			for i, a := range res.History {
+				if a.Path != tc.wantPaths[i] {
+					t.Errorf("history[%d].Path = %q, want %q", i, a.Path, tc.wantPaths[i])
+				}
+				if (a.Err != nil) != tc.wantErrs[i] {
+					t.Errorf("history[%d].Err = %v, want error=%v", i, a.Err, tc.wantErrs[i])
+				}
+				if a.WallNS < 0 {
+					t.Errorf("history[%d].WallNS = %d, want >= 0", i, a.WallNS)
+				}
+				vectorAttempt := a.Path == "vector" || a.Path == "vector-retry"
+				wantCost := Cost{}
+				if vectorAttempt {
+					wantCost = okCost
+					if a.Err != nil {
+						wantCost = failCost
+					}
+				}
+				if a.Cycles != wantCost.Cycles {
+					t.Errorf("history[%d].Cycles = %v, want %v", i, a.Cycles, wantCost.Cycles)
+				}
+				if a.Recovery != wantCost.Recovery {
+					t.Errorf("history[%d].Recovery = %+v, want %+v", i, a.Recovery, wantCost.Recovery)
+				}
+			}
+			// Attempts (failed-only view) must agree with the history errors.
+			nFail := 0
+			for _, e := range tc.wantErrs {
+				if e {
+					nFail++
+				}
+			}
+			if len(res.Attempts) != nFail {
+				t.Errorf("Attempts has %d errors, want %d", len(res.Attempts), nFail)
+			}
+			// Totals aggregate over every attempt's recovery counters.
+			tot := res.TotalRecovery()
+			wantTot := RecoveryCounts{}
+			for _, a := range res.History {
+				wantTot.Checkpoints += a.Recovery.Checkpoints
+				wantTot.Rollbacks += a.Recovery.Rollbacks
+				wantTot.BadCheckpoints += a.Recovery.BadCheckpoints
+				wantTot.WastedCycles += a.Recovery.WastedCycles
+			}
+			if tot != wantTot {
+				t.Errorf("TotalRecovery() = %+v, want %+v", tot, wantTot)
+			}
+		})
 	}
 }

@@ -115,6 +115,53 @@ func (mm *MemModel) Reset() {
 	mm.Accesses = 0
 }
 
+// MemSnapshot is a reusable deep copy of a MemModel's tag arrays and
+// counters. The checkpoint layer restores it on rollback so the re-executed
+// iterations see exactly the cache state of the original execution —
+// hit/miss sequences, and therefore modeled stall cycles, replay
+// bit-identically. Buffers are reused across Snapshot calls, so steady-state
+// checkpointing allocates nothing.
+type MemSnapshot struct {
+	l1, l2   [][]int64
+	l3       []int64
+	hits     [NumLevels]int64
+	accesses int64
+}
+
+func copyTags(dst *[]int64, src []int64) {
+	if cap(*dst) < len(src) {
+		*dst = make([]int64, len(src))
+	}
+	*dst = (*dst)[:len(src)]
+	copy(*dst, src)
+}
+
+// Snapshot deep-copies the hierarchy's tags and counters into s.
+func (mm *MemModel) Snapshot(s *MemSnapshot) {
+	if len(s.l1) != len(mm.l1) {
+		s.l1 = make([][]int64, len(mm.l1))
+		s.l2 = make([][]int64, len(mm.l2))
+	}
+	for i := range mm.l1 {
+		copyTags(&s.l1[i], mm.l1[i].tags)
+		copyTags(&s.l2[i], mm.l2[i].tags)
+	}
+	copyTags(&s.l3, mm.l3.tags)
+	s.hits = mm.Hits
+	s.accesses = mm.Accesses
+}
+
+// Restore rewinds the hierarchy to a previous Snapshot of the same model.
+func (mm *MemModel) Restore(s *MemSnapshot) {
+	for i := range mm.l1 {
+		copy(mm.l1[i].tags, s.l1[i])
+		copy(mm.l2[i].tags, s.l2[i])
+	}
+	copy(mm.l3.tags, s.l3)
+	mm.Hits = s.hits
+	mm.Accesses = s.accesses
+}
+
 // MemCounters is a value snapshot of the hierarchy's access counters; the
 // observability layer subtracts consecutive snapshots to get per-iteration
 // hit/miss deltas.
@@ -171,3 +218,13 @@ func (as *AddrSpace) Alloc(sizeBytes int64) int64 {
 
 // Footprint returns the total bytes allocated so far.
 func (as *AddrSpace) Footprint() int64 { return as.next - as.pageSize }
+
+// Mark returns the current allocation cursor. Pair with Rewind so a rolled-
+// back execution that re-allocates the same sequence of arrays (e.g. a
+// re-executed worklist growth) receives identical synthetic base addresses,
+// keeping cache simulation bit-identical to the original execution.
+func (as *AddrSpace) Mark() int64 { return as.next }
+
+// Rewind moves the allocation cursor back to a previous Mark, releasing every
+// allocation made after it.
+func (as *AddrSpace) Rewind(mark int64) { as.next = mark }

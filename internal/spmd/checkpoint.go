@@ -1,0 +1,154 @@
+package spmd
+
+import "repro/internal/machine"
+
+// Checkpoint is a reusable barrier-consistent snapshot of all engine-visible
+// execution state: every registered array (program arrays, graph bindings and
+// worklist storage alike — the dense id-ordered registry), the modeled clocks,
+// statistics, iteration counter, address-space cursor, cache-model tags and
+// the observability baselines. Taking one at a pipe-loop iteration boundary
+// and restoring it later replays the remainder of the run bit-identically.
+//
+// All buffers are reused across Checkpoint calls, so steady-state
+// checkpointing of a fixed array population allocates nothing.
+type Checkpoint struct {
+	valid bool
+
+	cycles           float64
+	transferNS       float64
+	faultNS          float64
+	segSerialAtomics float64
+	stats            Stats
+	iter             int64
+
+	nArrays  int32
+	nPush    int32
+	addrMark int64
+
+	arrI [][]int32
+	arrF [][]float32
+
+	mem machine.MemSnapshot
+
+	obsBase iterBase
+	obsOpen []iterSpan
+}
+
+// Valid reports whether the checkpoint holds a snapshot.
+func (cp *Checkpoint) Valid() bool { return cp != nil && cp.valid }
+
+// Invalidate marks the checkpoint empty without releasing its buffers.
+func (cp *Checkpoint) Invalidate() { cp.valid = false }
+
+// Cycles returns the modeled clock at snapshot time.
+func (cp *Checkpoint) Cycles() float64 { return cp.cycles }
+
+// Iteration returns the pipe-loop iteration counter at snapshot time.
+func (cp *Checkpoint) Iteration() int64 { return cp.iter }
+
+// ArrayI returns the snapshotted int32 contents of the array with the given
+// dense id, nil when that array held no int data.
+func (cp *Checkpoint) ArrayI(id int32) []int32 {
+	if id < 0 || int(id) >= len(cp.arrI) || len(cp.arrI[id]) == 0 {
+		return nil
+	}
+	return cp.arrI[id]
+}
+
+// ArrayF returns the snapshotted float32 contents of the array with the given
+// dense id, nil when that array held no float data.
+func (cp *Checkpoint) ArrayF(id int32) []float32 {
+	if id < 0 || int(id) >= len(cp.arrF) || len(cp.arrF[id]) == 0 {
+		return nil
+	}
+	return cp.arrF[id]
+}
+
+func copyI32(dst *[]int32, src []int32) {
+	if cap(*dst) < len(src) {
+		*dst = make([]int32, len(src))
+	}
+	*dst = (*dst)[:len(src)]
+	copy(*dst, src)
+}
+
+func copyF32(dst *[]float32, src []float32) {
+	if cap(*dst) < len(src) {
+		*dst = make([]float32, len(src))
+	}
+	*dst = (*dst)[:len(src)]
+	copy(*dst, src)
+}
+
+// Checkpoint snapshots the engine into cp. Call only at a pipe-loop iteration
+// boundary (immediately after a barrier): those are consistent cuts in every
+// execution mode — live mode has run every task to the barrier, and the
+// deferred modes mutate shared state only at barrier merges — so a plain
+// read of the arrays races with nothing.
+func (e *Engine) Checkpoint(cp *Checkpoint) {
+	cp.cycles = e.cycles
+	cp.transferNS = e.transferNS
+	cp.faultNS = e.faultNS
+	cp.segSerialAtomics = e.segSerialAtomics
+	cp.stats = e.Stats
+	cp.iter = e.iter.Load()
+	cp.nArrays = e.nArrays
+	cp.nPush = e.nPush
+	cp.addrMark = e.Addr.Mark()
+
+	if cap(cp.arrI) < len(e.arrays) {
+		cp.arrI = append(cp.arrI[:cap(cp.arrI)], make([][]int32, len(e.arrays)-cap(cp.arrI))...)
+		cp.arrF = append(cp.arrF[:cap(cp.arrF)], make([][]float32, len(e.arrays)-cap(cp.arrF))...)
+	}
+	cp.arrI = cp.arrI[:len(e.arrays)]
+	cp.arrF = cp.arrF[:len(e.arrays)]
+	for i, a := range e.arrays {
+		copyI32(&cp.arrI[i], a.I)
+		copyF32(&cp.arrF[i], a.F)
+	}
+
+	e.Mem.Snapshot(&cp.mem)
+
+	cp.obsBase = e.obsBase
+	if cap(cp.obsOpen) < len(e.obsOpen) {
+		cp.obsOpen = make([]iterSpan, len(e.obsOpen))
+	}
+	cp.obsOpen = cp.obsOpen[:len(e.obsOpen)]
+	copy(cp.obsOpen, e.obsOpen)
+
+	cp.valid = true
+}
+
+// Restore rewinds the engine to a previous Checkpoint. Arrays registered
+// after the snapshot (e.g. replacements allocated by worklist growth) are
+// dropped from the registry and their synthetic addresses released, so a
+// re-execution that re-allocates them receives identical ids and addresses.
+// Array contents are copied back in place; lengths are unchanged because
+// growth replaces arrays rather than resizing them.
+func (e *Engine) Restore(cp *Checkpoint) {
+	for i := int(cp.nArrays); i < len(e.arrays); i++ {
+		e.arrays[i] = nil
+	}
+	e.arrays = e.arrays[:cp.nArrays]
+	e.nArrays = cp.nArrays
+	e.nPush = cp.nPush
+	e.Addr.Rewind(cp.addrMark)
+
+	for i, a := range e.arrays {
+		copy(a.I, cp.arrI[i])
+		copy(a.F, cp.arrF[i])
+	}
+
+	e.Mem.Restore(&cp.mem)
+
+	e.cycles = cp.cycles
+	e.transferNS = cp.transferNS
+	e.faultNS = cp.faultNS
+	e.segSerialAtomics = cp.segSerialAtomics
+	e.Stats = cp.stats
+	e.iter.Store(cp.iter)
+
+	e.obsBase = cp.obsBase
+	e.obsOpen = e.obsOpen[:0]
+	e.obsOpen = append(e.obsOpen, cp.obsOpen...)
+}

@@ -54,9 +54,10 @@ type Engine struct {
 	// below 1 to reflect latency hiding by high warp occupancy.
 	StallScale float64
 
-	// Exec selects the execution strategy. Fault injection forces
-	// ExecLive regardless of this setting (see execMode); profiling,
-	// tracing and metrics work in every mode.
+	// Exec selects the execution strategy. Mid-segment fault injection
+	// (index corruption) forces ExecLive regardless of this setting (see
+	// execMode); boundary-drawn injection classes (overflow, bit-flip,
+	// transient), profiling, tracing and metrics work in every mode.
 	Exec Exec
 
 	Mem   *machine.MemModel
@@ -93,9 +94,11 @@ type Engine struct {
 	activeThreads    int     // for contention scaling, set per launch
 
 	// nArrays/nPush hand out the dense ids that deferred tasks use to
-	// direct-index shadow buffers and push-batch tables.
+	// direct-index shadow buffers and push-batch tables. arrays is the
+	// dense id-ordered registry the checkpoint layer snapshots.
 	nArrays int32
 	nPush   int32
+	arrays  []*Array
 
 	// defPool recycles deferredCtx objects across launches so shadow
 	// buffers, traces, logs and batches keep their capacity for the whole
@@ -157,6 +160,7 @@ func (e *Engine) Width() int { return e.Target.Width }
 func (e *Engine) register(a *Array) *Array {
 	a.id = e.nArrays
 	e.nArrays++
+	e.arrays = append(e.arrays, a)
 	return a
 }
 
@@ -222,13 +226,16 @@ func (e *Engine) ResetTime() {
 	e.obsBase.stats = Stats{}
 }
 
-// execMode resolves the effective execution mode for the next launch. Fault
-// injection corrupts state mid-segment (deferred replay would observe the
-// corruption at the wrong time), so it forces the live cooperative path.
-// Profiling attributes through per-task phase logs in the deferred modes
-// (see profiler.foldTask) and no longer constrains the mode.
+// execMode resolves the effective execution mode for the next launch.
+// Mid-segment index corruption draws one variate per memory access, so only
+// the live cooperative path keeps its draw order deterministic; that class
+// forces ExecLive. Boundary-drawn classes (overflow at worklist
+// materialization, bit-flip and transient faults at single-writer windows)
+// keep the configured mode. Profiling attributes through per-task phase logs
+// in the deferred modes (see profiler.foldTask) and no longer constrains the
+// mode.
 func (e *Engine) execMode() Exec {
-	if e.Inject != nil {
+	if e.Inject != nil && e.Inject.LiveOnly() {
 		return ExecLive
 	}
 	return e.Exec
@@ -378,6 +385,19 @@ func (e *Engine) taskError(tc *TaskCtx) error {
 // sites that predate the failure model may ignore the result: without a
 // budget or injector configured, the only error source is a kernel bug.
 func (e *Engine) Launch(n int, body func(*TaskCtx)) error {
+	return e.launch(n, body, true)
+}
+
+// ResumeLaunch is Launch without the launch-cost accounting: no Launches
+// increment and no launch-cost cycles. The recovery layer uses it to re-enter
+// an outlined pipe body after a rollback — the restored checkpoint already
+// contains the original launch's accounting, so charging again would diverge
+// modeled time from an undisturbed run.
+func (e *Engine) ResumeLaunch(n int, body func(*TaskCtx)) error {
+	return e.launch(n, body, false)
+}
+
+func (e *Engine) launch(n int, body func(*TaskCtx), charge bool) error {
 	if err := e.Budget.CheckCtx(); err != nil {
 		return err
 	}
@@ -391,8 +411,10 @@ func (e *Engine) Launch(n int, body func(*TaskCtx)) error {
 	if e.Trace != nil {
 		launchCyc, launchHost = e.cycles, e.Trace.HostNow()
 	}
-	e.Stats.Launches++
-	e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false))
+	if charge {
+		e.Stats.Launches++
+		e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false))
+	}
 	e.setActiveThreads(n)
 
 	mode := e.execMode()

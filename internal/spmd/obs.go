@@ -143,3 +143,24 @@ func (e *Engine) NoteSwap(frontier int) {
 			e.usCycles(e.cycles), "frontier", int64(frontier))
 	}
 }
+
+// NoteCheckpoint records a verified checkpoint as an instant event on the
+// pipe track, annotated with the pipe iteration it covers.
+func (e *Engine) NoteCheckpoint(iter int64) {
+	if tr := e.Trace; tr != nil {
+		tr.Instant(obs.ProcModeled, obs.TidPipe, "checkpoint",
+			e.usCycles(e.cycles), "iter", iter)
+	}
+}
+
+// NoteRollback records a rollback to the last verified checkpoint as an
+// instant event on the pipe track, annotated with the modeled cycles the
+// discarded execution wasted. Emitted after the engine state is restored, so
+// the event lands at the checkpoint's own timestamp where the re-execution
+// resumes.
+func (e *Engine) NoteRollback(wasted float64) {
+	if tr := e.Trace; tr != nil {
+		tr.Instant(obs.ProcModeled, obs.TidPipe, "rollback",
+			e.usCycles(e.cycles), "wasted_cycles", int64(wasted))
+	}
+}

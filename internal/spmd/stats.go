@@ -114,6 +114,10 @@ type Array struct {
 	id   int32
 }
 
+// ID returns the dense engine-scoped array id assigned at registration. The
+// checkpoint layer uses it to index snapshot tables.
+func (a *Array) ID() int32 { return a.id }
+
 // Len returns the element count.
 func (a *Array) Len() int {
 	if a.I != nil {
