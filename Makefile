@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel fuzz bench bench-smoke trace-smoke chaos profile ci clean
+.PHONY: build vet test race race-parallel fuzz bench bench-smoke trace-smoke serve-smoke serve-load chaos profile ci clean
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,13 @@ race:
 race-parallel:
 	EGACS_HOST_EXEC=parallel $(GO) test -race ./internal/spmd/... ./internal/worklist/...
 
-# Short fuzz pass over the graph readers (satellite of the robustness layer).
+# Short fuzz pass over the graph readers and the service request decoder
+# (satellites of the robustness layer).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadDIMACS$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime 10s ./internal/serve
 
 # Wall-clock cooperative-vs-parallel comparison per kernel, with allocation
 # stats, observability annotations (lane utilization, L1 hit rate, trace
@@ -48,6 +50,21 @@ trace-smoke:
 		$(GO) test -run '^TestTraceFileValid$$' -v ./internal/obs
 	@rm -f $(CURDIR)/trace-smoke.json $(CURDIR)/trace-smoke.jsonl
 
+# End-to-end daemon check: build the real egacs-serve binary, boot it on an
+# ephemeral port with fault injection armed, hit it from concurrent clients
+# with mixed query kinds, then SIGTERM it and require a clean graceful drain
+# (CI job).
+serve-smoke:
+	$(GO) test -run '^TestServeSmoke$$' -v ./cmd/egacs-serve
+
+# Chaos-load harness against the in-process server: concurrent tenants with
+# fault injection armed plus a synchronized overload burst; asserts zero
+# panics, zero silent corruption and correct 429/503 backpressure, and writes
+# QPS/p50/p99 to BENCH_6.json.
+serve-load:
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_6.json \
+		$(GO) test -run '^TestChaosLoad$$' -v ./internal/serve
+
 # Nightly-style chaos sweep: every kernel through RunResilientVerified under
 # every corruption class at escalating rates with checkpointing and invariant
 # verification on. EGACS_CHAOS=full widens the seed list from the CI-sized
@@ -62,7 +79,7 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof
 	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
-ci: vet build race race-parallel bench-smoke trace-smoke
+ci: vet build race race-parallel bench-smoke trace-smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,162 @@
+// Command egacs-serve is a long-lived multi-tenant graph-query daemon: it
+// loads one graph into a shared read-only CSR and serves concurrent kernel
+// queries (BFS/SSSP from arbitrary sources, PageRank top-k, component
+// lookups) over HTTP/JSON. Every request runs on a pooled engine through the
+// resilient execution chain with its own deadline and budget; admission
+// control bounds the work queue with per-tenant caps, and under overload the
+// server degrades gracefully (shed verification, then serve scalar, then
+// reject with 429/503) instead of falling over.
+//
+// Examples:
+//
+//	egacs-serve -addr :8080 -input road -scale small
+//	egacs-serve -addr :8080 -graph web.el -max-inflight 8 -tenant-cap 2
+//	curl 'localhost:8080/query?kind=bfs&src=0&node=25'
+//	curl 'localhost:8080/query?kind=pr&k=10'
+//	curl -X POST localhost:8080/query -d '{"kind":"sssp","src":3,"tenant":"alice"}'
+//
+// SIGINT/SIGTERM triggers a graceful drain: readiness flips, new queries get
+// 503, in-flight ones finish (up to -drain-timeout, then their budgets are
+// cancelled), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+		input     = flag.String("input", "road", "generated input family: road|rmat|random")
+		scale     = flag.String("scale", "small", "generated input scale: test|small|bench|large")
+		graphFile = flag.String("graph", "", "load graph from file instead (binary CSR, edge list or DIMACS .gr)")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		machName  = flag.String("machine", "intel", "machine model queries execute on: intel|amd|phi|gpu")
+		tasks     = flag.Int("tasks", 0, "engine task count per request (0 = machine default)")
+
+		maxInflight = flag.Int("max-inflight", 4, "concurrently executing queries")
+		queueDepth  = flag.Int("queue-depth", 8, "queries allowed to wait for a slot before 503")
+		tenantCap   = flag.Int("tenant-cap", 0, "in-flight+queued queries per tenant (0 = max-inflight, -1 = unlimited)")
+
+		reqTimeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		maxIters   = flag.Int("max-iters", 1<<20, "iteration budget per pipe loop")
+		stallWin   = flag.Int("stall-window", 256, "identical-frontier iterations before non-convergence")
+		ckEvery    = flag.Int("checkpoint-every", 16, "checkpoint pipe loops every N iterations (recoverable faults roll back)")
+		shedAt     = flag.Float64("shed-verify-at", 0.5, "occupancy at which output verification is shed")
+		scalarAt   = flag.Float64("scalar-at", 0.8, "occupancy at which queries serve from the scalar ladder")
+
+		flipProb   = flag.Float64("flip-inject", 0, "chaos: per-request silent bit-flip probability")
+		transProb  = flag.Float64("transient-inject", 0, "chaos: per-request transient-fault probability")
+		injectSeed = flag.Uint64("inject-seed", 1, "chaos injector seed (per-request seeds derive from it)")
+
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain window before in-flight queries are cancelled")
+		metricsOut = flag.String("metrics", "", "write the service counter registry as JSONL to this file on shutdown")
+		traceOut   = flag.String("trace", "", "write per-request spans as a Chrome trace-event file on shutdown")
+	)
+	flag.Parse()
+
+	m, err := machine.ByName(*machName)
+	fail(err)
+	g, err := graph.Load(*graphFile, *input, *scale, *seed)
+	fail(err)
+	g.SortAdjacency()
+
+	opts := serve.Options{
+		Machine:         m,
+		Tasks:           *tasks,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *queueDepth,
+		TenantCap:       *tenantCap,
+		RequestTimeout:  *reqTimeout,
+		MaxIters:        *maxIters,
+		StallWindow:     *stallWin,
+		CheckpointEvery: *ckEvery,
+		ShedVerifyAt:    *shedAt,
+		ScalarAt:        *scalarAt,
+		InjectSeed:      *injectSeed,
+	}
+	if *flipProb > 0 || *transProb > 0 {
+		opts.Inject = &fault.InjectorConfig{BitFlip: *flipProb, Transient: *transProb}
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(1 << 18)
+		opts.Trace = tracer
+	}
+
+	s, err := serve.New(g, opts)
+	fail(err)
+
+	fmt.Fprintf(os.Stderr, "egacs-serve: graph %s (%d nodes, %d edges) on %s, self-check...\n",
+		g.Name, g.NumNodes(), g.NumEdges(), m.Name)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	err = s.SelfCheck(ctx)
+	cancel()
+	fail(err)
+
+	ln, err := net.Listen("tcp", *addr)
+	fail(err)
+	// The bound address on stdout is the daemon's readiness handshake: with
+	// -addr :0 the harness reads the ephemeral port from here.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "egacs-serve: %v, draining (timeout %v)\n", got, *drainTO)
+	case err := <-serveErr:
+		fail(err)
+	}
+
+	// Drain: stop admitting, let in-flight queries finish, hard-stop
+	// stragglers via their budget contexts, then close the listener.
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTO)
+	if err := s.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "egacs-serve: %v\n", err)
+	}
+	dcancel()
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "egacs-serve: shutdown: %v\n", err)
+	}
+	scancel()
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		fail(err)
+		fail(s.Registry().WriteJSONL(f))
+		fail(f.Close())
+	}
+	if tracer != nil {
+		fail(tracer.WriteFile(*traceOut))
+	}
+	fmt.Fprintln(os.Stderr, "egacs-serve: drained, bye")
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egacs-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end daemon check: build the real binary, boot
+// it on an ephemeral port, hit it from concurrent clients with mixed query
+// kinds, then SIGTERM it and require a clean graceful drain (exit 0). This is
+// the `make serve-smoke` target.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon smoke test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "egacs-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	metrics := filepath.Join(t.TempDir(), "metrics.jsonl")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-input", "road", "-scale", "test",
+		"-max-inflight", "4", "-queue-depth", "8",
+		"-flip-inject", "0.01", "-transient-inject", "0.01",
+		"-metrics", metrics,
+		"-drain-timeout", "10s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The bound address is the readiness handshake on stdout.
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v\nstderr: %s", err, stderr.String())
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, "listening on "))
+	base := "http://" + addr
+	go io.Copy(io.Discard, stdout)
+
+	waitReady(t, base)
+
+	const clients = 8
+	kinds := []string{
+		"/query?kind=bfs&src=0&node=12",
+		"/query?kind=sssp&src=3",
+		"/query?kind=pr&k=5",
+		"/query?kind=cc&node=7",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*len(kinds))
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i, q := range kinds {
+				url := fmt.Sprintf("%s%s&tenant=client%d", base, q, c)
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- fmt.Errorf("client %d query %d: %v", c, i, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var m map[string]any
+					if err := json.Unmarshal(body, &m); err != nil {
+						errs <- fmt.Errorf("client %d: bad JSON %q: %v", c, body, err)
+						return
+					}
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+					http.StatusUnprocessableEntity:
+					// legal under load / injected faults
+				default:
+					errs <- fmt.Errorf("client %d: status %d body %s", c, resp.StatusCode, body)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon did not drain within 30s\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("expected drain message in stderr, got: %s", stderr.String())
+	}
+	if _, err := os.Stat(metrics); err != nil {
+		t.Errorf("metrics file not written: %v", err)
+	}
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("daemon never became ready")
+}

@@ -14,7 +14,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +74,7 @@ func main() {
 	bench, err := kernels.ByName(*benchName)
 	fail(err)
 
-	g, err := loadGraph(*graphFile, *input, *scale, *seed)
+	g, err := graph.Load(*graphFile, *input, *scale, *seed)
 	fail(err)
 	g = core.PrepareGraph(bench, g)
 
@@ -402,63 +401,6 @@ func emitJSON(benchName string, g *graph.CSR, cfg core.Config, opts opt.Options,
 	out, err := json.MarshalIndent(rep, "", "  ")
 	fail(err)
 	fmt.Println(string(out))
-}
-
-func loadGraph(file, input, scale string, seed uint64) (*graph.CSR, error) {
-	if file != "" {
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		// Format sniffing: fall through on a format mismatch, but stop on
-		// definite corruption — the file matched a format and is broken, and
-		// the next parser's error would only mask the real one.
-		g, err := graph.ReadBinary(f)
-		if err == nil {
-			return g, nil
-		}
-		if errors.Is(err, fault.ErrCorruptGraph) {
-			return nil, fmt.Errorf("%s: %w", file, err)
-		}
-		if _, err := f.Seek(0, 0); err != nil {
-			return nil, err
-		}
-		g, err = graph.ReadDIMACS(f)
-		if err == nil {
-			return g, nil
-		}
-		if errors.Is(err, fault.ErrCorruptGraph) {
-			return nil, fmt.Errorf("%s: %w", file, err)
-		}
-		if _, err := f.Seek(0, 0); err != nil {
-			return nil, err
-		}
-		return graph.ReadEdgeList(f)
-	}
-	var sc graph.Scale
-	switch scale {
-	case "test":
-		sc = graph.ScaleTest
-	case "small":
-		sc = graph.ScaleSmall
-	case "bench":
-		sc = graph.ScaleBench
-	case "large":
-		sc = graph.ScaleLarge
-	default:
-		return nil, fmt.Errorf("unknown scale %q", scale)
-	}
-	suite := graph.Suite(sc, seed)
-	switch input {
-	case "road":
-		return suite[0], nil
-	case "rmat":
-		return suite[1], nil
-	case "random":
-		return suite[2], nil
-	}
-	return nil, fmt.Errorf("unknown input %q (want road|rmat|random)", input)
 }
 
 // startCPUProfile brackets the run itself (not graph generation or

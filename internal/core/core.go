@@ -130,6 +130,13 @@ type Config struct {
 	// silently corrupted state is detected, rejected and rolled back rather
 	// than becoming a recovery point. Only meaningful with CheckpointEvery.
 	VerifyInvariants bool
+	// Engine, when non-nil and built for the same machine model, is fully
+	// reset (spmd.Engine.ResetAll) and reused for this run instead of
+	// allocating a fresh engine — the request-pool path of the serving
+	// layer. A machine mismatch falls back to a fresh engine. Output arrays
+	// of earlier runs on the engine remain valid snapshots; the reset
+	// guarantees this run can observe nothing of them.
+	Engine *spmd.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -218,7 +225,13 @@ func run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
 	}
 
-	e := spmd.New(cfg.Machine, cfg.Target, cfg.Tasks)
+	var e *spmd.Engine
+	if cfg.Engine != nil && cfg.Engine.Machine == cfg.Machine {
+		e = cfg.Engine
+		e.ResetAll(cfg.Target, cfg.Tasks)
+	} else {
+		e = spmd.New(cfg.Machine, cfg.Target, cfg.Tasks)
+	}
 	e.TaskSys = *cfg.TaskSys
 	e.NoSMT = cfg.NoSMT
 	e.Pager = cfg.Pager

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+// countingCtx is a fake context whose Err flips to Canceled after n checks —
+// a deterministic stand-in for "the client hung up mid-kernel". Counting the
+// checks also proves the engine polls the context from inside the run, not
+// just at attempt boundaries.
+type countingCtx struct {
+	context.Context
+	n     int64
+	calls atomic.Int64
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newCountingCtx(n int64) *countingCtx {
+	return &countingCtx{Context: context.Background(), n: n, done: make(chan struct{})}
+}
+
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) > c.n {
+		c.once.Do(func() { close(c.done) })
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countingCtx) Done() <-chan struct{} { return c.done }
+
+// TestCancelDuringIteration is the satellite regression for mid-kernel
+// cancellation: a context that goes done after a fixed number of budget polls
+// stops a PageRank run inside its pipe loop — the run had already burned
+// modeled cycles — with a typed deadline BudgetError, and the degradation
+// chain is abandoned rather than falling back (nobody is left to serve).
+func TestCancelDuringIteration(t *testing.T) {
+	b, err := kernels.ByName("pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Random(300, 2400, 16, 5)
+	g.SortAdjacency()
+
+	// Baseline: how many polls does an undisturbed run make?
+	probe := newCountingCtx(1 << 60)
+	if _, err := RunResilientCtx(probe, b, g, Config{}); err != nil {
+		t.Fatalf("probe run failed: %v", err)
+	}
+	polls := probe.calls.Load()
+	if polls < 8 {
+		t.Fatalf("undisturbed run polled the context only %d times; cannot cancel mid-run", polls)
+	}
+
+	// Cancel halfway through the polls the run would make.
+	ctx := newCountingCtx(polls / 2)
+	res, err := RunResilientCtx(ctx, b, g, Config{})
+	if err == nil {
+		t.Fatalf("run served (path %s) despite mid-kernel cancellation", res.Path)
+	}
+	if !errors.Is(err, fault.ErrBudgetExceeded) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation surfaced as %v, want deadline BudgetError wrapping Canceled", err)
+	}
+	var be *fault.BudgetError
+	if !errors.As(err, &be) || be.Resource != "deadline" {
+		t.Errorf("error %v lacks the deadline resource", err)
+	}
+	// Only the interrupted vector attempt may appear; no fallback ran after
+	// the caller was gone.
+	if len(res.History) != 1 || res.History[0].Path != "vector" {
+		t.Fatalf("history after cancellation = %+v, want the one vector attempt", res.History)
+	}
+	if res.History[0].Cycles <= 0 {
+		t.Errorf("interrupted attempt recorded no modeled cycles; cancellation did not land mid-run")
+	}
+	if res.Output != nil {
+		t.Error("cancelled run still produced output")
+	}
+}
+
+// TestCancelConfigCtxPrecedence pins that an explicit Budget.Ctx in the
+// config wins over the call context, so callers can decouple the chain gate
+// from the per-run watchdog.
+func TestCancelConfigCtxPrecedence(t *testing.T) {
+	b, err := kernels.ByName("bfs-wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Road(8, 8, 4, 1)
+
+	inner, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunResilientCtx(context.Background(), b, g, Config{Budget: fault.Budget{Ctx: inner}})
+	// The vector attempts die on the cancelled budget ctx, but the chain ctx
+	// is live, so the scalar ladder serves.
+	if err != nil {
+		t.Fatalf("live chain ctx did not rescue a dead budget ctx: %v", err)
+	}
+	if !res.Degraded() {
+		t.Fatalf("vector path served under a cancelled budget ctx (path %s)", res.Path)
+	}
+	if err := res.Output.Verify(b, g, 0); err != nil {
+		t.Errorf("degraded result incorrect: %v", err)
+	}
+}
+
+// TestConcurrentBudgets is the satellite race test: many engines run in
+// parallel, each with its own deadline, iteration cap and stall window. Under
+// -race this pins that per-request budgets, injectors and engines share no
+// state. Every run must either serve a verified result or fail typed.
+func TestConcurrentBudgets(t *testing.T) {
+	names := []string{"bfs-wl", "sssp-nf", "pr", "cc"}
+	base := graph.Random(200, 1400, 16, 11)
+	base.SortAdjacency()
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := kernels.ByName(names[w%len(names)])
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			g := PrepareGraph(b, base)
+			cfg := Config{Src: int32(w % 50)}
+			ctx := context.Background()
+			switch w % 4 {
+			case 0: // tight iteration cap — vector dies typed, fallback serves
+				cfg.Budget = fault.Budget{MaxIters: 1 + w%3}
+			case 1: // generous budget with stall watchdog
+				cfg.Budget = fault.Budget{MaxIters: 1 << 20, StallWindow: 64}
+			case 2: // per-request deadline, generous enough to finish
+				c, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				ctx = c
+			case 3: // transient injection — retry or fallback must absorb it
+				cfg.Inject = fault.NewInjector(uint64(w), fault.Config{Transient: 0.005})
+			}
+			res, err := RunResilientVerifiedCtx(ctx, b, g, cfg)
+			if err != nil {
+				if !typed(err) {
+					errs[w] = err
+				}
+				return
+			}
+			if verr := res.Output.Verify(b, g, cfg.Src); verr != nil {
+				errs[w] = verr
+			}
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// TestEngineReuseMatchesFresh is the request-pool regression at the driver
+// level: a sequence of different kernels run back-to-back on ONE pooled
+// engine (Config.Engine) must produce outputs and modeled times identical to
+// fresh-engine runs — a request can never observe a prior tenant.
+func TestEngineReuseMatchesFresh(t *testing.T) {
+	m := machine.Intel8()
+	pooled := spmd.New(m, m.PreferredTarget, m.DefaultTasks)
+	base := graph.Random(250, 1800, 16, 3)
+	base.SortAdjacency()
+
+	for _, name := range []string{"bfs-wl", "pr", "sssp-nf", "cc", "bfs-wl"} {
+		b, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := PrepareGraph(b, base)
+
+		fresh, err := RunVerified(b, g, Config{Machine: m})
+		if err != nil {
+			t.Fatalf("%s fresh: %v", name, err)
+		}
+		reused, err := RunVerified(b, g, Config{Machine: m, Engine: pooled})
+		if err != nil {
+			t.Fatalf("%s reused: %v", name, err)
+		}
+		if reused.Engine != pooled {
+			t.Fatalf("%s: config engine was not reused", name)
+		}
+		if reused.TimeMS != fresh.TimeMS {
+			t.Errorf("%s: reused engine modeled %v ms, fresh %v ms", name, reused.TimeMS, fresh.TimeMS)
+		}
+		if reused.Stats != fresh.Stats {
+			t.Errorf("%s: stats diverge on reuse:\nreused %+v\nfresh  %+v", name, reused.Stats, fresh.Stats)
+		}
+		for _, d := range b.Prog.Arrays {
+			fi, ri := fresh.Instance.ArrayI(d.Name), reused.Instance.ArrayI(d.Name)
+			for i := range fi {
+				if fi[i] != ri[i] {
+					t.Fatalf("%s: %s[%d] = %d on reused engine, %d fresh", name, d.Name, i, ri[i], fi[i])
+				}
+			}
+			ff, rf := fresh.Instance.ArrayF(d.Name), reused.Instance.ArrayF(d.Name)
+			for i := range ff {
+				if ff[i] != rf[i] {
+					t.Fatalf("%s: %s[%d] = %v on reused engine, %v fresh", name, d.Name, i, rf[i], ff[i])
+				}
+			}
+		}
+	}
+
+	// A machine mismatch must fall back to a fresh engine, not misuse the pool.
+	arm := machine.ARM64()
+	b, _ := kernels.ByName("bfs-wl")
+	res, err := RunVerified(b, base, Config{Machine: arm, Engine: pooled})
+	if err != nil {
+		t.Fatalf("mismatched-machine run: %v", err)
+	}
+	if res.Engine == pooled {
+		t.Error("engine pooled for another machine model was reused")
+	}
+}

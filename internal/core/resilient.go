@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baselines"
@@ -21,7 +22,7 @@ import (
 // settings in cfg apply to the vector attempts only — fallbacks exist
 // precisely to survive them.
 func RunResilient(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*kernels.ResilientResult, error) {
-	return runResilient(b, g, cfg, false)
+	return RunResilientCtx(context.Background(), b, g, cfg)
 }
 
 // RunResilientVerified is RunResilient with the vector output additionally
@@ -31,26 +32,59 @@ func RunResilient(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*kernels.Resi
 // This is the chaos-testing entry point — every run ends in a verified output
 // or a typed error.
 func RunResilientVerified(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*kernels.ResilientResult, error) {
-	return runResilient(b, g, cfg, true)
+	return RunResilientVerifiedCtx(context.Background(), b, g, cfg)
 }
 
-func runResilient(b *kernels.Benchmark, g *graph.CSR, cfg Config, verified bool) (*kernels.ResilientResult, error) {
+// RunResilientCtx is RunResilient under a caller context: unless the config
+// already carries its own budget context, ctx becomes the run's wall-clock
+// budget (fault.Budget.Ctx), which the pipe-loop guards check every
+// iteration — so a caller deadline or a disconnected client stops a run
+// mid-kernel with a typed deadline error, not at the next attempt boundary.
+// The degradation chain also stops between attempts once ctx is done. This
+// is the serving layer's per-request entry point.
+func RunResilientCtx(ctx context.Context, b *kernels.Benchmark, g *graph.CSR, cfg Config) (*kernels.ResilientResult, error) {
+	return runResilient(ctx, b, g, cfg, false, true)
+}
+
+// RunResilientVerifiedCtx is RunResilientVerified under a caller context
+// (see RunResilientCtx).
+func RunResilientVerifiedCtx(ctx context.Context, b *kernels.Benchmark, g *graph.CSR, cfg Config) (*kernels.ResilientResult, error) {
+	return runResilient(ctx, b, g, cfg, true, true)
+}
+
+// RunFallbacks serves the benchmark from the scalar ladder only — baseline
+// frameworks in presentation order, then the serial reference — without
+// compiling or running the vector engine at all. This is the overload
+// degradation path of the serving layer: scalar baselines cost a small
+// fraction of a simulated vector run's wall-clock time, so a saturated
+// server sheds load by serving scalarly rather than rejecting.
+func RunFallbacks(ctx context.Context, b *kernels.Benchmark, g *graph.CSR, cfg Config) (*kernels.ResilientResult, error) {
+	return runResilient(ctx, b, g, cfg, false, false)
+}
+
+func runResilient(ctx context.Context, b *kernels.Benchmark, g *graph.CSR, cfg Config, verified, withVector bool) (*kernels.ResilientResult, error) {
 	cfg = cfg.withDefaults()
-	vector := func() (*kernels.RunOutput, kernels.Cost, error) {
-		res, err := run(b, g, cfg)
-		cost := costOf(res)
-		if err != nil {
-			return nil, cost, err
-		}
-		out := outputOf(b, res)
-		if verified {
-			if verr := out.Verify(b, g, res.Instance.Params["src"]); verr != nil {
-				return nil, cost, fmt.Errorf("output verification: %w", verr)
-			}
-		}
-		return out, cost, nil
+	if ctx != nil && cfg.Budget.Ctx == nil {
+		cfg.Budget.Ctx = ctx
 	}
-	return kernels.RunResilient(b, g, runParams(b, g, cfg), cfg.Src,
+	var vector func() (*kernels.RunOutput, kernels.Cost, error)
+	if withVector {
+		vector = func() (*kernels.RunOutput, kernels.Cost, error) {
+			res, err := run(b, g, cfg)
+			cost := costOf(res)
+			if err != nil {
+				return nil, cost, err
+			}
+			out := outputOf(b, res)
+			if verified {
+				if verr := out.Verify(b, g, res.Instance.Params["src"]); verr != nil {
+					return nil, cost, fmt.Errorf("output verification: %w", verr)
+				}
+			}
+			return out, cost, nil
+		}
+	}
+	return kernels.RunResilient(ctx, b, g, runParams(b, g, cfg), cfg.Src,
 		vector, baselineFallbacks(b, cfg))
 }
 

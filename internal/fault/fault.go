@@ -133,7 +133,16 @@ func (e *BudgetError) Error() string {
 	return fmt.Sprintf("%s budget: used %g of %g: %v", e.Resource, e.Used, e.Limit, ErrBudgetExceeded)
 }
 
-func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+// Unwrap exposes both the sentinel and, for deadline violations, the
+// underlying context error — so errors.Is can distinguish an expired
+// deadline (context.DeadlineExceeded) from a caller hang-up
+// (context.Canceled), which a serving layer maps to different statuses.
+func (e *BudgetError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrBudgetExceeded, e.Cause}
+	}
+	return []error{ErrBudgetExceeded}
+}
 
 // PanicError is a recovered task panic, carrying the task index, the kernel
 // (phase) being executed and the pipe iteration at the time of the panic.

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/fault"
+)
+
+// LoadFile reads a graph from path, sniffing the format: binary CSR first,
+// then DIMACS .gr, then plain edge list. A format mismatch falls through to
+// the next parser, but definite corruption (the file matched a format and is
+// broken) stops immediately — the next parser's error would only mask the
+// real one.
+func LoadFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadBinary(f)
+	if err == nil {
+		return g, nil
+	}
+	if errors.Is(err, fault.ErrCorruptGraph) {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	g, err = ReadDIMACS(f)
+	if err == nil {
+		return g, nil
+	}
+	if errors.Is(err, fault.ErrCorruptGraph) {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return ReadEdgeList(f)
+}
+
+// ParseScale maps the CLI scale names to Scale values.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "test":
+		return ScaleTest, nil
+	case "small":
+		return ScaleSmall, nil
+	case "bench":
+		return ScaleBench, nil
+	case "large":
+		return ScaleLarge, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want test|small|bench|large)", name)
+}
+
+// Load resolves the shared graph-selection CLI contract of the cmd binaries:
+// a file path wins (format-sniffed via LoadFile); otherwise input names a
+// generated family (road|rmat|random) at the given scale and seed.
+func Load(file, input, scale string, seed uint64) (*CSR, error) {
+	if file != "" {
+		return LoadFile(file)
+	}
+	sc, err := ParseScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	suite := Suite(sc, seed)
+	switch input {
+	case "road":
+		return suite[0], nil
+	case "rmat":
+		return suite[1], nil
+	case "random":
+		return suite[2], nil
+	}
+	return nil, fmt.Errorf("unknown input %q (want road|rmat|random)", input)
+}

@@ -1,10 +1,12 @@
 package kernels
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -117,7 +119,18 @@ func (r *ResilientResult) TotalRecovery() RecoveryCounts {
 // benchmark's serial Reference serves the result. Every attempt is recorded
 // in History with its cost; failures additionally land in Attempts. An error
 // returns only when every path is exhausted.
-func RunResilient(b *Benchmark, g *graph.CSR, params map[string]int32, src int32,
+//
+// ctx gates the chain between attempts: once it is done (a caller deadline
+// expired, or the client behind a request disconnected) no further path is
+// tried — there is nobody left to serve — and the run returns a typed
+// deadline BudgetError alongside the history so far. Mid-kernel cancellation
+// is the budget layer's job: callers that want a run stopped inside a pipe
+// loop arm fault.Budget.Ctx, which the loop guards check every iteration.
+// A nil ctx disables the gate.
+//
+// A nil vector func skips the vector attempts entirely and serves from the
+// scalar ladder — the overload-degradation path of the serving layer.
+func RunResilient(ctx context.Context, b *Benchmark, g *graph.CSR, params map[string]int32, src int32,
 	vector func() (*RunOutput, Cost, error), fallbacks []FallbackRunner) (*ResilientResult, error) {
 	res := &ResilientResult{}
 	record := func(path string, err error, cost Cost, start time.Time) {
@@ -129,23 +142,41 @@ func RunResilient(b *Benchmark, g *graph.CSR, params map[string]int32, src int32
 			res.Attempts = append(res.Attempts, err)
 		}
 	}
-	for attempt := 0; attempt < 2; attempt++ {
-		path := "vector"
-		if attempt > 0 {
-			path = "vector-retry"
+	cancelled := func() error {
+		if ctx == nil {
+			return nil
 		}
-		start := time.Now()
-		out, cost, err := vector()
-		record(path, err, cost, start)
-		if err == nil {
-			res.Output = out
-			res.Path = path
-			return res, nil
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("kernels: %s: degradation chain abandoned: %w",
+				b.Name, &fault.BudgetError{Resource: "deadline", Cause: err})
+		}
+		return nil
+	}
+	if vector != nil {
+		for attempt := 0; attempt < 2; attempt++ {
+			if cerr := cancelled(); cerr != nil {
+				return res, cerr
+			}
+			path := "vector"
+			if attempt > 0 {
+				path = "vector-retry"
+			}
+			start := time.Now()
+			out, cost, err := vector()
+			record(path, err, cost, start)
+			if err == nil {
+				res.Output = out
+				res.Path = path
+				return res, nil
+			}
 		}
 	}
 	for _, fb := range fallbacks {
 		if fb.Run == nil {
 			continue
+		}
+		if cerr := cancelled(); cerr != nil {
+			return res, cerr
 		}
 		start := time.Now()
 		out, err := fb.Run(b, g, src)
@@ -160,6 +191,9 @@ func RunResilient(b *Benchmark, g *graph.CSR, params map[string]int32, src int32
 		}
 	}
 	if b.Reference != nil {
+		if cerr := cancelled(); cerr != nil {
+			return res, cerr
+		}
 		start := time.Now()
 		res.Output = b.Reference(g, params, src)
 		record("reference", nil, Cost{}, start)

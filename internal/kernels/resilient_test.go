@@ -1,10 +1,12 @@
 package kernels
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -59,12 +61,12 @@ func TestRunResilientChain(t *testing.T) {
 		}
 	}
 
-	res, err := RunResilient(b, g, nil, 0, failN(0), nil)
+	res, err := RunResilient(context.Background(), b, g, nil, 0, failN(0), nil)
 	if err != nil || res.Path != "vector" || len(res.Attempts) != 0 {
 		t.Errorf("clean run: path=%s attempts=%d err=%v", res.Path, len(res.Attempts), err)
 	}
 
-	res, err = RunResilient(b, g, nil, 0, failN(1), nil)
+	res, err = RunResilient(context.Background(), b, g, nil, 0, failN(1), nil)
 	if err != nil || res.Path != "vector-retry" || len(res.Attempts) != 1 {
 		t.Errorf("retry run: path=%s attempts=%d err=%v", res.Path, len(res.Attempts), err)
 	}
@@ -80,7 +82,7 @@ func TestRunResilientChain(t *testing.T) {
 			return ok, nil
 		}},
 	}
-	res, err = RunResilient(b, g, nil, 0, failN(99), fb)
+	res, err = RunResilient(context.Background(), b, g, nil, 0, failN(99), fb)
 	if err != nil || res.Path != "scalar" || !res.Degraded() {
 		t.Errorf("fallback run: path=%s err=%v", res.Path, err)
 	}
@@ -89,7 +91,7 @@ func TestRunResilientChain(t *testing.T) {
 		t.Errorf("fallback run recorded %d attempts, want 3", len(res.Attempts))
 	}
 
-	res, err = RunResilient(b, g, nil, 0, failN(99), nil)
+	res, err = RunResilient(context.Background(), b, g, nil, 0, failN(99), nil)
 	if err != nil || res.Path != "reference" {
 		t.Errorf("reference run: path=%s err=%v", res.Path, err)
 	}
@@ -98,7 +100,7 @@ func TestRunResilientChain(t *testing.T) {
 	}
 
 	noRef := &Benchmark{Name: "stub"}
-	if _, err := RunResilient(noRef, g, nil, 0, failN(99), nil); !errors.Is(err, boom) {
+	if _, err := RunResilient(context.Background(), noRef, g, nil, 0, failN(99), nil); !errors.Is(err, boom) {
 		t.Errorf("exhausted chain error %v does not wrap the cause", err)
 	}
 }
@@ -149,7 +151,7 @@ func TestResilientHistory(t *testing.T) {
 				}
 				return ok, okCost, nil
 			}
-			res, err := RunResilient(b, g, nil, 0, vector, tc.fallbacks)
+			res, err := RunResilient(context.Background(), b, g, nil, 0, vector, tc.fallbacks)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -204,5 +206,90 @@ func TestResilientHistory(t *testing.T) {
 				t.Errorf("TotalRecovery() = %+v, want %+v", tot, wantTot)
 			}
 		})
+	}
+}
+
+// TestRunResilientCtxGate checks the between-attempt cancellation gate: once
+// the caller context is done, no further path runs — there is nobody left to
+// serve — and the chain returns a typed deadline BudgetError wrapping the
+// context's cause.
+func TestRunResilientCtxGate(t *testing.T) {
+	b, err := ByName("bfs-wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := path4()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	vectorRan, fbRan := false, false
+	vector := func() (*RunOutput, Cost, error) {
+		vectorRan = true
+		return nil, Cost{}, errors.New("should never run")
+	}
+	fb := []FallbackRunner{{Name: "scalar", Run: func(*Benchmark, *graph.CSR, int32) (*RunOutput, error) {
+		fbRan = true
+		return nil, errors.New("should never run")
+	}}}
+
+	res, err := RunResilient(ctx, b, g, nil, 0, vector, fb)
+	if vectorRan || fbRan {
+		t.Errorf("cancelled chain still ran paths: vector=%v fallback=%v", vectorRan, fbRan)
+	}
+	if !errors.Is(err, fault.ErrBudgetExceeded) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled chain error %v is not a deadline BudgetError wrapping Canceled", err)
+	}
+	var be *fault.BudgetError
+	if !errors.As(err, &be) || be.Resource != "deadline" {
+		t.Errorf("cancelled chain error %v lacks deadline resource", err)
+	}
+	if res == nil || len(res.History) != 0 || res.Output != nil {
+		t.Errorf("cancelled chain produced history/output: %+v", res)
+	}
+
+	// Cancellation mid-chain: the vector attempt runs (and fails), then the
+	// cancel lands before any fallback is tried.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	fbRan = false
+	vector2 := func() (*RunOutput, Cost, error) {
+		cancel2()
+		return nil, Cost{Cycles: 10}, errors.New("died while client hung up")
+	}
+	res, err = RunResilient(ctx2, b, g, nil, 0, vector2, fb)
+	if fbRan {
+		t.Error("fallback ran after mid-chain cancellation")
+	}
+	if !errors.Is(err, fault.ErrBudgetExceeded) {
+		t.Errorf("mid-chain cancellation error %v not typed", err)
+	}
+	if len(res.History) != 1 || res.History[0].Path != "vector" {
+		t.Errorf("history should hold the one vector attempt: %+v", res.History)
+	}
+}
+
+// TestRunResilientScalarOnly checks the overload-degradation entry: a nil
+// vector func serves straight from the fallback ladder.
+func TestRunResilientScalarOnly(t *testing.T) {
+	b, err := ByName("bfs-wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := path4()
+	ok := &RunOutput{I: map[string][]int32{"lvl": RefBFS(g, 0)}}
+	fb := []FallbackRunner{{Name: "scalar", Run: func(*Benchmark, *graph.CSR, int32) (*RunOutput, error) {
+		return ok, nil
+	}}}
+	res, err := RunResilient(context.Background(), b, g, nil, 0, nil, fb)
+	if err != nil || res.Path != "scalar" || !res.Degraded() {
+		t.Errorf("scalar-only run: path=%s err=%v", res.Path, err)
+	}
+	if len(res.History) != 1 {
+		t.Errorf("scalar-only run recorded %d history entries, want 1", len(res.History))
+	}
+
+	// Without fallbacks the reference still serves.
+	res, err = RunResilient(context.Background(), b, g, nil, 0, nil, nil)
+	if err != nil || res.Path != "reference" {
+		t.Errorf("scalar-only reference run: path=%s err=%v", res.Path, err)
 	}
 }

@@ -228,3 +228,7 @@ func (as *AddrSpace) Mark() int64 { return as.next }
 // Rewind moves the allocation cursor back to a previous Mark, releasing every
 // allocation made after it.
 func (as *AddrSpace) Rewind(mark int64) { as.next = mark }
+
+// Reset releases every allocation, returning the space to its post-New state
+// so a reused engine hands out the same base addresses a fresh one would.
+func (as *AddrSpace) Reset() { as.next = as.pageSize }

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestAdmissionCaps(t *testing.T) {
+	a := newAdmission(2, 1, 0) // 2 slots, 1 queue spot, no tenant cap
+
+	if err := a.acquire(context.Background(), "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background(), "t2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third request queues; fourth finds the queue full.
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(ctx, "t3") }()
+	waitFor(t, func() bool { _, q := a.depth(); return q == 1 })
+
+	if err := a.acquire(context.Background(), "t4"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("fourth acquire: %v, want ErrQueueFull", err)
+	}
+
+	// Releasing a slot admits the queued request.
+	a.release("t1")
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	cancel()
+
+	// Occupancy: 2 slots busy, no queue -> load 1.0.
+	if l := a.load(); l != 1.0 {
+		t.Fatalf("load = %v, want 1.0", l)
+	}
+	a.release("t2")
+	a.release("t3")
+	if l := a.load(); l != 0 {
+		t.Fatalf("drained load = %v, want 0", l)
+	}
+}
+
+func TestAdmissionTenantCap(t *testing.T) {
+	a := newAdmission(4, 4, 1)
+	if err := a.acquire(context.Background(), "greedy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background(), "greedy"); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("over-cap tenant admitted: %v", err)
+	}
+	// Other tenants are unaffected.
+	if err := a.acquire(context.Background(), "polite"); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	a.release("greedy")
+	if err := a.acquire(context.Background(), "greedy"); err != nil {
+		t.Fatalf("tenant slot not reclaimed after release: %v", err)
+	}
+	a.release("greedy")
+	a.release("polite")
+}
+
+func TestAdmissionQueueCancel(t *testing.T) {
+	a := newAdmission(1, 2, 0)
+	if err := a.acquire(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() { res <- a.acquire(ctx, "t") }()
+	waitFor(t, func() bool { _, q := a.depth(); return q == 1 })
+	cancel()
+	if err := <-res; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queue wait returned %v", err)
+	}
+	// The abandoned queue spot and tenant reservation are reclaimed.
+	waitFor(t, func() bool { _, q := a.depth(); return q == 0 })
+	a.release("t")
+	if err := a.acquire(context.Background(), "t"); err != nil {
+		t.Fatalf("slot leaked by cancelled waiter: %v", err)
+	}
+	a.release("t")
+}
+
+// TestAdmissionConcurrency hammers the controller from many goroutines under
+// -race: counts must balance and capacity must never be exceeded.
+func TestAdmissionConcurrency(t *testing.T) {
+	const slots, queue, workers = 3, 3, 24
+	a := newAdmission(slots, queue, 0)
+	var mu sync.Mutex
+	inflight, maxSeen := 0, 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				err := a.acquire(ctx, "t")
+				cancel()
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				inflight++
+				if inflight > maxSeen {
+					maxSeen = inflight
+				}
+				if inflight > slots {
+					t.Errorf("inflight %d exceeds capacity %d", inflight, slots)
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				inflight--
+				mu.Unlock()
+				a.release("t")
+			}
+		}()
+	}
+	wg.Wait()
+	if fl, q := a.depth(); fl != 0 || q != 0 {
+		t.Fatalf("leaked admission state: inflight=%d queued=%d", fl, q)
+	}
+	if maxSeen == 0 {
+		t.Fatal("no request ever ran")
+	}
+}
+
+func TestLevelLadder(t *testing.T) {
+	cases := []struct {
+		load float64
+		want Level
+	}{
+		{0, LevelNormal}, {0.49, LevelNormal},
+		{0.5, LevelShedVerify}, {0.79, LevelShedVerify},
+		{0.8, LevelScalar}, {2.0, LevelScalar},
+	}
+	for _, tc := range cases {
+		if got := levelFor(tc.load, 0.5, 0.8); got != tc.want {
+			t.Errorf("levelFor(%v) = %v, want %v", tc.load, got, tc.want)
+		}
+	}
+	// Zero thresholds disable rungs.
+	if got := levelFor(5, 0, 0); got != LevelNormal {
+		t.Errorf("disabled ladder engaged: %v", got)
+	}
+}
+
+func TestStatusTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{ErrBadRequest, http.StatusBadRequest},
+		{ErrTenantLimit, http.StatusTooManyRequests},
+		{ErrQueueFull, http.StatusServiceUnavailable},
+		{ErrDraining, http.StatusServiceUnavailable},
+		{ErrNotReady, http.StatusServiceUnavailable},
+		{&fault.BudgetError{Resource: "deadline", Cause: context.DeadlineExceeded}, http.StatusGatewayTimeout},
+		{&fault.BudgetError{Resource: "deadline", Cause: context.Canceled}, http.StatusGatewayTimeout},
+		{&fault.BudgetError{Resource: "iterations", Limit: 10, Used: 11}, http.StatusUnprocessableEntity},
+		{&fault.BudgetError{Resource: "cycles", Limit: 1, Used: 2}, http.StatusUnprocessableEntity},
+		{fault.ErrNonConvergence, http.StatusUnprocessableEntity},
+		{fault.ErrKernelPanic, http.StatusInternalServerError},
+		{fault.ErrCorruptGraph, http.StatusInternalServerError},
+		{errors.New("mystery"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+	if !retryAfter(http.StatusTooManyRequests) || !retryAfter(http.StatusServiceUnavailable) {
+		t.Error("backpressure statuses must carry Retry-After")
+	}
+	if retryAfter(http.StatusInternalServerError) {
+		t.Error("500 must not advertise Retry-After")
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

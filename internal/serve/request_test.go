@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseQueryForms(t *testing.T) {
+	cases := []struct {
+		name     string
+		rawQuery string
+		body     string
+		want     Query
+		wantErr  bool
+	}{
+		{"get-bfs", "kind=bfs&src=3", "", Query{Kind: "bfs", Src: 3, Node: -1, TopK: 10, Tenant: "default"}, false},
+		{"get-pr-topk", "kind=pr&k=5&tenant=alice", "", Query{Kind: "pr", Node: -1, TopK: 5, Tenant: "alice"}, false},
+		{"get-cc-node", "kind=cc&node=0", "", Query{Kind: "cc", Node: 0, HasNode: true, TopK: 10, Tenant: "default"}, false},
+		{"body-sssp", "", `{"kind":"sssp","src":7,"node":2,"tenant":"bob"}`,
+			Query{Kind: "sssp", Src: 7, Node: 2, HasNode: true, TopK: 10, Tenant: "bob"}, false},
+		{"body-overrides-query", "kind=bfs&src=1", `{"kind":"pr","k":3}`,
+			Query{Kind: "pr", Src: 1, Node: -1, TopK: 3, Tenant: "default"}, false},
+		{"unknown-kind", "kind=mincut", "", Query{}, true},
+		{"missing-kind", "src=4", "", Query{}, true},
+		{"bad-src", "kind=bfs&src=banana", "", Query{}, true},
+		{"negative-src", "kind=bfs&src=-1", "", Query{}, true},
+		{"src-overflow", "kind=bfs&src=99999999999999", "", Query{}, true},
+		{"k-zero", "kind=pr&k=0", "", Query{}, true},
+		{"k-huge", "kind=pr&k=100000", "", Query{}, true},
+		{"bad-json", "kind=bfs", `{"kind":`, Query{}, true},
+		{"json-unknown-field", "", `{"kind":"bfs","frobnicate":1}`, Query{}, true},
+		{"json-not-object", "", `[1,2,3]`, Query{}, true},
+		{"tenant-too-long", "kind=bfs&tenant=" + strings.Repeat("x", 65), "", Query{}, true},
+		{"bad-query-escape", "kind=%zz", "", Query{}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := ParseQuery(tc.rawQuery, []byte(tc.body))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parsed %+v, want error", q)
+				}
+				if !errors.Is(err, ErrBadRequest) {
+					t.Fatalf("error %v does not wrap ErrBadRequest", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *q != tc.want {
+				t.Fatalf("parsed %+v, want %+v", *q, tc.want)
+			}
+		})
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	q := &Query{Kind: "bfs", Src: 9}
+	if err := q.Validate(10); err != nil {
+		t.Fatalf("src 9 of 10 rejected: %v", err)
+	}
+	if err := q.Validate(9); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("src 9 of 9 accepted: %v", err)
+	}
+	q = &Query{Kind: "cc", Node: 5, HasNode: true}
+	if err := q.Validate(5); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("node 5 of 5 accepted: %v", err)
+	}
+}
+
+// FuzzParseQuery is the satellite fuzz target: malformed input — any
+// combination of query string and body bytes — must produce either a parsed
+// query or an ErrBadRequest, never a panic and never an unvalidated kind. The
+// daemon's request decoder is the only parser exposed to untrusted bytes.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []struct{ raw, body string }{
+		{"kind=bfs&src=3", ""},
+		{"kind=pr&k=5&tenant=alice", ""},
+		{"kind=cc&node=0", ""},
+		{"kind=sssp&src=2147483646", ""},
+		{"", `{"kind":"sssp","src":7,"node":2,"tenant":"bob"}`},
+		{"kind=bfs", `{"kind":`},
+		{"kind=%zz&src=1", ""},
+		{"kind=bfs&src=-9223372036854775808", ""},
+		{"", `{"kind":"pr","k":-1}`},
+		{"", `[null]`},
+		{"kind=bfs&kind=pr", ""},
+		{"a=b&&&=&kind=bfs", ""},
+		{"", `{"kind":"bfs","src":1e300}`},
+	}
+	for _, s := range seeds {
+		f.Add(s.raw, []byte(s.body))
+	}
+	f.Fuzz(func(t *testing.T, raw string, body []byte) {
+		q, err := ParseQuery(raw, body)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("non-client error from parser: %v", err)
+			}
+			return
+		}
+		if _, ok := kindKernel[q.Kind]; !ok {
+			t.Fatalf("parser accepted unknown kind %q", q.Kind)
+		}
+		if q.Src < 0 || q.TopK < 1 || q.TopK > maxTopK || len(q.Tenant) == 0 || len(q.Tenant) > maxTenant {
+			t.Fatalf("parser accepted out-of-contract query %+v", q)
+		}
+		if q.HasNode && q.Node < 0 {
+			t.Fatalf("parser accepted negative node lookup %+v", q)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/fault"
+)
+
+// Server-state rejections. Both map to 503: the condition is temporary and
+// retrying elsewhere (or later) is the right client move.
+var (
+	// ErrDraining rejects new work while the server is shutting down.
+	ErrDraining = errors.New("server draining")
+	// ErrNotReady rejects work before the startup self-check has passed.
+	ErrNotReady = errors.New("server not ready")
+)
+
+// statusFor maps the failure taxonomy to HTTP statuses — the service
+// contract documented in DESIGN.md:
+//
+//	400  malformed request (parse failure, unknown kind, node out of range)
+//	429  the tenant is over its own concurrency cap
+//	503  the server cannot take the work right now (queue full, draining,
+//	     not yet ready) — retry later, Retry-After is set
+//	504  the request's deadline expired (or the client disconnected) before
+//	     any execution path could serve
+//	422  the run exceeded its compute budget (iteration/cycle caps, stall
+//	     watchdog) on every permitted path — the query is too expensive at
+//	     current limits, not a server fault
+//	500  everything else: kernel panics, exhausted degradation chains,
+//	     detected-but-unrecoverable corruption
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrTenantLimit):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining), errors.Is(err, ErrNotReady):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// Deadline BudgetErrors wrap their context cause, so this catches
+		// both a mid-kernel watchdog stop and an abandoned degradation
+		// chain.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, fault.ErrBudgetExceeded), errors.Is(err, fault.ErrNonConvergence):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// retryAfter reports whether the status warrants a Retry-After header.
+func retryAfter(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// errClass buckets an error for metrics and the JSON error payload.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrBadRequest):
+		return "bad-request"
+	case errors.Is(err, ErrTenantLimit):
+		return "tenant-limit"
+	case errors.Is(err, ErrQueueFull):
+		return "queue-full"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrNotReady):
+		return "not-ready"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "deadline"
+	case errors.Is(err, fault.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, fault.ErrNonConvergence):
+		return "non-convergence"
+	case errors.Is(err, fault.ErrKernelPanic):
+		return "kernel-panic"
+	case errors.Is(err, fault.ErrCorruptGraph), errors.Is(err, fault.ErrInvariantViolation):
+		return "corruption"
+	default:
+		return "internal"
+	}
+}

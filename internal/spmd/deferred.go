@@ -210,6 +210,28 @@ type deferredCtx struct {
 	// profiling is on; the profiler folds and clears it at the merge
 	// boundary. Capacity persists across segments via the pool.
 	phLog []phaseEntry
+
+	// gen is the engine reuse generation this context's dense-id-keyed
+	// state was built under (see Engine.gen / Engine.ResetAll).
+	gen uint64
+}
+
+// dropLayout discards the context's layout-dependent state: shadow buffers
+// and the batch table, both direct-indexed by dense engine-assigned ids that
+// a reused engine reissues from 0. Called on first acquisition after an
+// Engine.ResetAll; layout-independent capacity (ops, traces, pooled batch
+// item slices) survives. Stale pointers are nilled before truncation so they
+// can never resurface through a later in-place append over the same backing
+// array.
+func (d *deferredCtx) dropLayout() {
+	for i := range d.shadows {
+		d.shadows[i] = nil
+	}
+	d.shadows = d.shadows[:0]
+	for i := range d.batchTab {
+		d.batchTab[i] = nil
+	}
+	d.batchTab = d.batchTab[:0]
 }
 
 // shadowFor returns the task's shadow for a, creating it lazily sized to the

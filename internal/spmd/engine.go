@@ -105,6 +105,15 @@ type Engine struct {
 	// kernel pipeline instead of reallocating per launch.
 	defPool sync.Pool
 
+	// gen is the engine's reuse generation, bumped by ResetAll. Pooled
+	// deferred contexts stamp the generation they were built under; a
+	// context acquired under a newer generation drops its layout-dependent
+	// state (shadow tables and batch tables keyed by dense ids that the new
+	// run reissues) before first use, so a reused engine can never surface a
+	// prior run's pending writes — or trip the foreign-array check — through
+	// a recycled shadow buffer.
+	gen uint64
+
 	// aggScratch holds aggregateSegment's per-core accumulators, reused
 	// across segments (aggregation always runs single-threaded).
 	aggScratch []float64
@@ -226,6 +235,65 @@ func (e *Engine) ResetTime() {
 	e.obsBase.stats = Stats{}
 }
 
+// ResetAll returns the engine to its post-New state so it can be reused for a
+// new, unrelated run — the request-pool path of the serving layer. Where
+// ResetTime keeps caches warm for the same bound instance, ResetAll forgets
+// everything a prior run could leak into the next one: the array registry is
+// cleared (dense ids restart at 0 and no prior arrays remain reachable), the
+// synthetic address space and cache tags reset, the clocks, statistics,
+// budget, injector, pager and observability attachments drop, and pooled
+// deferred contexts from earlier runs are invalidated by a generation bump
+// (their shadow and batch tables are keyed by dense ids the new run will
+// reissue). Layout-independent buffer capacity — op logs, access traces,
+// batch item slots, aggregation scratch — is retained, which is the point of
+// pooling the engine at all.
+//
+// The machine model is fixed at New; target and tasks are reconfigurable per
+// reuse (tasks <= 0 selects the machine default). Slices handed out by a
+// previous run (result arrays) remain valid snapshots: a fresh run allocates
+// fresh backing arrays and never touches them.
+func (e *Engine) ResetAll(target vec.Target, tasks int) {
+	if tasks <= 0 {
+		tasks = e.Machine.DefaultTasks
+	}
+	e.Target = target
+	e.TaskSys = Pthread
+	e.NumTasks = tasks
+	e.NoSMT = false
+	e.PinStride = 0
+	if e.StallScale = e.Machine.StallHideFactor; e.StallScale == 0 {
+		e.StallScale = 1
+	}
+	e.Exec = ExecFromEnv()
+	e.Pager = nil
+	e.Budget = fault.Budget{}
+	e.Inject = nil
+	e.Trace = nil
+	e.Metrics = nil
+	e.prof = nil
+
+	e.cycles = 0
+	e.transferNS = 0
+	e.faultNS = 0
+	e.segSerialAtomics = 0
+	e.activeThreads = 0
+	e.Stats = Stats{}
+	e.phase.Store(nil)
+	e.iter.Store(0)
+	e.obsOpen = e.obsOpen[:0]
+	e.obsBase = iterBase{}
+
+	for i := range e.arrays {
+		e.arrays[i] = nil
+	}
+	e.arrays = e.arrays[:0]
+	e.nArrays = 0
+	e.nPush = 0
+	e.Addr.Reset()
+	e.Mem.Reset()
+	e.gen++
+}
+
 // execMode resolves the effective execution mode for the next launch.
 // Mid-segment index corruption draws one variate per memory access, so only
 // the live cooperative path keeps its draw order deterministic; that class
@@ -317,10 +385,15 @@ func (e *Engine) newTask(i, n int, mode Exec, withChans bool) *TaskCtx {
 // getDeferredCtx acquires a pooled deferred-effect context. Trace
 // compression (line-level access dedup) is enabled only when no pager is
 // attached: with demand paging every access must replay at its own address.
+// A context pooled before the last ResetAll drops its dense-id-keyed state
+// first (see Engine.gen).
 func (e *Engine) getDeferredCtx() *deferredCtx {
 	d, _ := e.defPool.Get().(*deferredCtx)
 	if d == nil {
-		d = &deferredCtx{}
+		d = &deferredCtx{gen: e.gen}
+	} else if d.gen != e.gen {
+		d.dropLayout()
+		d.gen = e.gen
 	}
 	if e.Pager == nil {
 		d.dedupShift = e.Mem.LineShift()
