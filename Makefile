@@ -27,19 +27,29 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime 10s ./internal/serve
 
-# Wall-clock cooperative-vs-parallel comparison per kernel, with allocation
-# stats, observability annotations (lane utilization, L1 hit rate, trace
-# event / metric row counts) and recovery counters from one instrumented
-# checkpointing run; writes BENCH_5.json and embeds the ns/op delta against
-# the BENCH_4.json baseline in the report note.
+# Wall-clock cooperative-vs-parallel comparison per kernel and graph layout
+# (csr vs forced sell where the layout applies), with allocation stats,
+# observability annotations (lane utilization — overall and SELL-dense-path
+# only — L1 hit rate, padding overhead, fallback ratio) and recovery counters
+# from one instrumented checkpointing run; writes BENCH_7.json with the
+# per-family CSR-vs-SELL modeled-cycles geomeans in the note, embeds the
+# ns/op delta against the BENCH_5.json baseline, and validates the written
+# report against the bench schema.
 bench:
-	BENCH_OUT=$(CURDIR)/BENCH_5.json BENCH_BASELINE=$(CURDIR)/BENCH_4.json \
+	BENCH_OUT=$(CURDIR)/BENCH_7.json BENCH_BASELINE=$(CURDIR)/BENCH_5.json \
 		$(GO) test -run '^$$' -bench '^BenchmarkHostExec$$' -benchtime 3x -benchmem .
+	EGACS_BENCH_FILE=$(CURDIR)/BENCH_7.json \
+		$(GO) test -run '^TestValidateBenchFile$$' -v ./internal/obs
 
 # One-iteration pass over every benchmark in the repo: catches benchmarks that
 # no longer compile or crash without paying for real measurement (CI job).
+# The trailing egacs run exercises the SELL-C-σ layout end to end on a
+# dense-sweep kernel and validates the committed bench report's schema.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/egacs -bench cc -input rmat -scale test -layout sell
+	EGACS_BENCH_FILE=$(CURDIR)/BENCH_7.json \
+		$(GO) test -run '^TestValidateBenchFile$$' ./internal/obs
 
 # End-to-end trace check: run a kernel with -trace, then validate the written
 # file against the Chrome trace-event schema (CI job).

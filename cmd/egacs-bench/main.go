@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -29,6 +30,9 @@ func main() {
 		exp        = flag.String("exp", "", "experiment id (table2..table6, table9, fig4..fig10) or 'all'")
 		scale      = flag.String("scale", "small", "input scale: test|small|bench")
 		quick      = flag.Bool("quick", false, "restrict to three benchmarks for a fast pass")
+		layoutStr  = flag.String("layout", "", "comparison arm of the layout experiment: csr|sell|auto (default sell; paper tables always run calibrated csr)")
+		sellC      = flag.Int("sell-c", 0, "SELL slice height C for the layout experiment (0 = vector width)")
+		sellSigma  = flag.Int("sell-sigma", 0, "SELL degree-sort window σ for the layout experiment (0 = default, negative = whole graph)")
 		seed       = flag.Uint64("seed", 42, "graph generator seed")
 		outFile    = flag.String("o", "", "write results to file (default stdout)")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -62,7 +66,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "egacs-bench: unknown scale %q\n", *scale)
 		os.Exit(1)
 	}
-	opts := bench.Options{Scale: sc, Seed: *seed, Quick: *quick}
+	layout, err := core.ParseLayout(*layoutStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+		os.Exit(1)
+	}
+	opts := bench.Options{
+		Scale: sc, Seed: *seed, Quick: *quick,
+		Layout: layout, SellC: *sellC, SellSigma: *sellSigma,
+	}
 	if *metricsOut != "" {
 		opts.Registry = obs.NewRegistry()
 	}

@@ -44,6 +44,9 @@ func main() {
 		noSMT      = flag.Bool("nosmt", false, "pin one task per core")
 		taskSys    = flag.String("tasksys", "pthread", "tasking system: pthread|pthread_fs|cilk|openmp|tbb")
 		optStr     = flag.String("opts", "all", "optimizations: none|all|io+np+cc+fibers+fibercc")
+		layoutStr  = flag.String("layout", "auto", "graph layout policy: csr|sell|auto (auto attaches SELL-C-σ where the machine's gathers are slower than unit-stride loads; order-sensitive float kernels always run csr)")
+		sellC      = flag.Int("sell-c", 0, "SELL slice height C (0 = vector width)")
+		sellSigma  = flag.Int("sell-sigma", 0, "SELL degree-sort window σ (0 = default, negative = whole graph)")
 		src        = flag.Int("src", -1, "source node (-1 = max-degree node)")
 		seed       = flag.Uint64("seed", 42, "generator seed")
 		verify     = flag.Bool("verify", true, "check output against the serial reference")
@@ -103,6 +106,11 @@ func main() {
 	if *serial {
 		cfg = core.SerialConfig(m)
 	}
+	layout, err := core.ParseLayout(*layoutStr)
+	fail(err)
+	cfg.Layout = layout
+	cfg.SellC = *sellC
+	cfg.SellSigma = *sellSigma
 	if *hostPar {
 		cfg.HostExec = core.HostParallel
 	} else {
@@ -195,6 +203,13 @@ func main() {
 		s.Launches, s.Barriers, s.WorkItems)
 	if w := res.Engine.Width(); w > 1 {
 		fmt.Printf("lane util: %.1f%% (width %d)\n", 100*s.LaneUtilization(w), w)
+	}
+	if sl := res.Sell; sl != nil {
+		fmt.Printf("layout:    sell (C=%d sigma=%d, %.1f%% padding, %.3fx edges, %d dense columns, %.1f%% edges on csr fallback)\n",
+			sl.C, sl.Sigma, 100*sl.PaddingRatio(), sl.Overhead(), s.SellColumns,
+			100*sl.FallbackRatio())
+	} else {
+		fmt.Printf("layout:    csr\n")
 	}
 	if *ckEvery > 0 {
 		fmt.Printf("recovery:  %d checkpoints, %d rollbacks (%d rejected by invariants), %.0f wasted cycles\n",
@@ -361,6 +376,12 @@ type runReport struct {
 	Barriers     int64   `json:"barriers"`
 	WorkItems    int64   `json:"work_items"`
 	LaneUtil     float64 `json:"lane_utilization"`
+	Layout       string  `json:"layout"`
+	SellC        int32   `json:"sell_c,omitempty"`
+	SellSigma    int32   `json:"sell_sigma,omitempty"`
+	SellPadding  float64 `json:"sell_padding_ratio,omitempty"`
+	SellColumns  int64   `json:"sell_columns,omitempty"`
+	SellFallback float64 `json:"sell_fallback_ratio,omitempty"`
 	Checkpoints  int     `json:"checkpoints,omitempty"`
 	Rollbacks    int     `json:"rollbacks,omitempty"`
 	BadCkpts     int     `json:"bad_checkpoints,omitempty"`
@@ -391,12 +412,20 @@ func emitJSON(benchName string, g *graph.CSR, cfg core.Config, opts opt.Options,
 		Barriers:     st.Barriers,
 		WorkItems:    st.WorkItems,
 		LaneUtil:     st.LaneUtilization(res.Engine.Width()),
+		Layout:       res.Layout,
 		Checkpoints:  res.Recovery.Checkpoints,
 		Rollbacks:    res.Recovery.Rollbacks,
 		BadCkpts:     res.Recovery.BadCheckpoints,
 		WastedCycles: res.Recovery.WastedCycles,
 		VerifyError:  verifyErr,
 		Verified:     verifyErr == "",
+	}
+	if sl := res.Sell; sl != nil {
+		rep.SellC = sl.C
+		rep.SellSigma = sl.Sigma
+		rep.SellPadding = sl.PaddingRatio()
+		rep.SellColumns = st.SellColumns
+		rep.SellFallback = sl.FallbackRatio()
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	fail(err)

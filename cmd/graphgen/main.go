@@ -28,9 +28,11 @@ func main() {
 		edges   = flag.Int("edges", 640000, "random: edge count")
 		maxW    = flag.Int("maxw", 64, "maximum edge weight")
 		seed    = flag.Uint64("seed", 42, "generator seed")
-		format  = flag.String("format", "gr", "output format: gr (DIMACS) | el (edge list) | bin (binary CSR)")
-		outFile = flag.String("o", "", "output file (default stdout)")
-		stats   = flag.Bool("stats", false, "print graph statistics to stderr")
+		format    = flag.String("format", "gr", "output format: gr (DIMACS) | el (edge list) | bin (binary CSR)")
+		outFile   = flag.String("o", "", "output file (default stdout)")
+		stats     = flag.Bool("stats", false, "print graph statistics to stderr")
+		sellC     = flag.Int("sell-c", 16, "stats: SELL slice height C for the padding estimate")
+		sellSigma = flag.Int("sell-sigma", 0, "stats: SELL sort window σ (0 = default, negative = whole graph)")
 	)
 	flag.Parse()
 
@@ -51,8 +53,16 @@ func main() {
 	}
 
 	if *stats {
+		d := g.DegreeSummary()
 		fmt.Fprintf(os.Stderr, "%s: avg degree %.2f, max degree %d (node %d)\n",
 			g, g.AvgDegree(), g.MaxDegree(), g.MaxDegreeNode())
+		fmt.Fprintf(os.Stderr, "degrees: min %d, median %d, p99 %d, max %d\n",
+			d.Min, d.Median, d.P99, d.Max)
+		if s, err := graph.BuildSellCS(g, int32(*sellC), int32(*sellSigma)); err == nil {
+			fmt.Fprintf(os.Stderr, "sell-%d-σ%d: %.1f%% padding (%.2fx cells), %d slices\n",
+				*sellC, *sellSigma, 100*s.PaddingRatio(), s.Overhead(),
+				len(s.SlicePtr)-1)
+		}
 	}
 
 	out := os.Stdout

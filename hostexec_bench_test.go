@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -28,11 +29,17 @@ import (
 	"repro/internal/obs"
 )
 
-// hostExecSample accumulates both modes' timings for one kernel, plus the
-// observability annotations from one instrumented (untimed) run.
+// hostExecSample accumulates both modes' timings for one kernel and graph
+// layout, plus the observability annotations from one instrumented (untimed)
+// run. Layout "csr" rows are the calibrated paper configuration; "sell" rows
+// rerun the kernel with the SELL-C-σ layout forced, so the report carries a
+// per-kernel CSR-vs-SELL comparison (kernels where the layout cannot apply —
+// order-sensitive float kernels, worklist-driven programs — have no sell
+// row).
 type hostExecSample struct {
 	Kernel        string  `json:"kernel"`
 	Graph         string  `json:"graph"`
+	Layout        string  `json:"layout,omitempty"`
 	ModeledCycles float64 `json:"modeled_cycles"`
 	CoopWallNsOp  float64 `json:"cooperative_wall_ns_per_op"`
 	ParWallNsOp   float64 `json:"parallel_wall_ns_per_op"`
@@ -46,6 +53,13 @@ type hostExecSample struct {
 	L1HitRate     float64 `json:"l1_hit_rate,omitempty"`
 	TraceEvents   int     `json:"trace_events,omitempty"`
 	MetricRows    int     `json:"metric_rows,omitempty"`
+	// SELL-specific columns, set on layout "sell" rows (pointers so a
+	// legitimate zero — a sweep that never went dense — still serializes,
+	// as the schema validator requires).
+	SellLaneUtil *float64 `json:"sell_lane_utilization,omitempty"`
+	SellPadding  *float64 `json:"sell_padding_overhead,omitempty"`
+	SellFallback *float64 `json:"sell_fallback_ratio,omitempty"`
+	SellColumns  *int64   `json:"sell_columns,omitempty"`
 	// Recovery counters from one instrumented checkpointing run under
 	// transient-fault injection (untimed; the timed loops above run with
 	// checkpointing off).
@@ -60,25 +74,41 @@ var hostExecResults = struct {
 	byKernel map[string]*hostExecSample
 }{byKernel: map[string]*hostExecSample{}}
 
-// hostExecReport is the BENCH_2.json schema.
+// hostExecReport is the BENCH_2.json schema (extended with per-layout rows
+// and the per-family CSR-vs-SELL cycle deltas since BENCH_7).
 type hostExecReport struct {
-	Generated   string           `json:"generated"`
-	GoVersion   string           `json:"go_version"`
-	NumCPU      int              `json:"num_cpu"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	Note        string           `json:"note"`
-	Kernels     []hostExecSample `json:"kernels"`
-	GeomeanWall float64          `json:"geomean_wall_speedup"`
+	Generated      string             `json:"generated"`
+	GoVersion      string             `json:"go_version"`
+	NumCPU         int                `json:"num_cpu"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	Note           string             `json:"note"`
+	Kernels        []hostExecSample   `json:"kernels"`
+	GeomeanWall    float64            `json:"geomean_wall_speedup"`
+	LayoutGeomeans map[string]float64 `json:"layout_cycles_geomean_by_family,omitempty"`
 }
 
-func recordHostExec(kernel, graphName, mode string, cycles, nsPerOp, allocsOp, bytesOp float64) {
+// layoutFamilyGeomeans holds the untimed per-family modeled-cycles sweep:
+// family name -> geomean of csr_cycles/sell_cycles over the dense-sweep
+// kernels (>1 means SELL is faster).
+var layoutFamilyGeomeans = struct {
+	sync.Mutex
+	byFamily map[string]float64
+}{byFamily: map[string]float64{}}
+
+func hostExecRow(kernel, graphName, layout string) *hostExecSample {
+	key := kernel + "/" + layout
+	s := hostExecResults.byKernel[key]
+	if s == nil {
+		s = &hostExecSample{Kernel: kernel, Graph: graphName, Layout: layout}
+		hostExecResults.byKernel[key] = s
+	}
+	return s
+}
+
+func recordHostExec(kernel, graphName, layout, mode string, cycles, nsPerOp, allocsOp, bytesOp float64) {
 	hostExecResults.Lock()
 	defer hostExecResults.Unlock()
-	s := hostExecResults.byKernel[kernel]
-	if s == nil {
-		s = &hostExecSample{Kernel: kernel, Graph: graphName}
-		hostExecResults.byKernel[kernel] = s
-	}
+	s := hostExecRow(kernel, graphName, layout)
 	s.ModeledCycles = cycles
 	switch mode {
 	case "cooperative":
@@ -92,28 +122,30 @@ func recordHostExec(kernel, graphName, mode string, cycles, nsPerOp, allocsOp, b
 	}
 }
 
-func recordHostExecObs(kernel, graphName string, laneUtil, l1Rate float64, traceEvents, metricRows int) {
+func recordHostExecObs(kernel, graphName, layout string, laneUtil, l1Rate float64, traceEvents, metricRows int) {
 	hostExecResults.Lock()
 	defer hostExecResults.Unlock()
-	s := hostExecResults.byKernel[kernel]
-	if s == nil {
-		s = &hostExecSample{Kernel: kernel, Graph: graphName}
-		hostExecResults.byKernel[kernel] = s
-	}
+	s := hostExecRow(kernel, graphName, layout)
 	s.LaneUtil = laneUtil
 	s.L1HitRate = l1Rate
 	s.TraceEvents = traceEvents
 	s.MetricRows = metricRows
 }
 
-func recordHostExecRecovery(kernel, graphName string, checkpoints, rollbacks, badCkpts int, wasted float64) {
+func recordHostExecSell(kernel, graphName string, laneUtil, padding, fallback float64, columns int64) {
 	hostExecResults.Lock()
 	defer hostExecResults.Unlock()
-	s := hostExecResults.byKernel[kernel]
-	if s == nil {
-		s = &hostExecSample{Kernel: kernel, Graph: graphName}
-		hostExecResults.byKernel[kernel] = s
-	}
+	s := hostExecRow(kernel, graphName, "sell")
+	s.SellLaneUtil = &laneUtil
+	s.SellPadding = &padding
+	s.SellFallback = &fallback
+	s.SellColumns = &columns
+}
+
+func recordHostExecRecovery(kernel, graphName, layout string, checkpoints, rollbacks, badCkpts int, wasted float64) {
+	hostExecResults.Lock()
+	defer hostExecResults.Unlock()
+	s := hostExecRow(kernel, graphName, layout)
 	s.Checkpoints = checkpoints
 	s.Rollbacks = rollbacks
 	s.BadCkpts = badCkpts
@@ -138,7 +170,11 @@ func loadBaseline() map[string]hostExecSample {
 	}
 	base := make(map[string]hostExecSample, len(rep.Kernels))
 	for _, s := range rep.Kernels {
-		base[s.Kernel] = s
+		lay := s.Layout
+		if lay == "" {
+			lay = "csr" // pre-BENCH_7 reports carry no layout tag
+		}
+		base[s.Kernel+"/"+lay] = s
 	}
 	return base
 }
@@ -175,27 +211,53 @@ func writeHostExecReport() {
 			logProd *= s.Speedup
 			n++
 		}
-		if b, ok := base[s.Kernel]; ok && b.CoopWallNsOp > 0 && s.CoopWallNsOp > 0 {
+		if b, ok := base[s.Kernel+"/"+s.Layout]; ok && b.CoopWallNsOp > 0 && s.CoopWallNsOp > 0 {
 			s.CoopNsVsBase = s.CoopWallNsOp / b.CoopWallNsOp
 			baseProd *= s.CoopNsVsBase
 			nBase++
 		}
 		rep.Kernels = append(rep.Kernels, *s)
 	}
-	sort.Slice(rep.Kernels, func(i, j int) bool { return rep.Kernels[i].Kernel < rep.Kernels[j].Kernel })
+	sort.Slice(rep.Kernels, func(i, j int) bool {
+		if rep.Kernels[i].Kernel != rep.Kernels[j].Kernel {
+			return rep.Kernels[i].Kernel < rep.Kernels[j].Kernel
+		}
+		return rep.Kernels[i].Layout < rep.Kernels[j].Layout
+	})
 	if n > 0 {
 		rep.GeomeanWall = math.Pow(logProd, 1/float64(n))
 	}
 	if nBase > 0 {
-		rep.Note += fmt.Sprintf("; geomean cooperative ns/op vs baseline (%d kernels): %.3fx",
+		rep.Note += fmt.Sprintf("; geomean cooperative ns/op vs baseline (%d rows): %.3fx",
 			nBase, math.Pow(baseProd, 1/float64(nBase)))
 	}
+	layoutFamilyGeomeans.Lock()
+	if len(layoutFamilyGeomeans.byFamily) > 0 {
+		rep.LayoutGeomeans = layoutFamilyGeomeans.byFamily
+		fams := make([]string, 0, len(rep.LayoutGeomeans))
+		for f := range rep.LayoutGeomeans {
+			fams = append(fams, f)
+		}
+		sort.Strings(fams)
+		rep.Note += "; csr/sell modeled-cycles geomean over dense-sweep kernels:"
+		for _, f := range fams {
+			rep.Note += fmt.Sprintf(" %s %.3fx", f, rep.LayoutGeomeans[f])
+		}
+		rep.Note += " (>1 = sell faster)"
+	}
+	layoutFamilyGeomeans.Unlock()
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err == nil {
 		err = os.WriteFile(path, append(out, '\n'), 0o644)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "BENCH_OUT:", err)
+		return
+	}
+	// The committed report is a machine-readable artifact; gate it on the
+	// same structural validator CI applies via EGACS_BENCH_FILE.
+	if err := obs.ValidateBenchReport(out); err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_OUT: wrote %s but it FAILED validation: %v\n", path, err)
 	}
 }
 
@@ -219,64 +281,142 @@ func BenchmarkHostExec(b *testing.B) {
 		{"cooperative", core.HostCooperative},
 		{"parallel", core.HostParallel},
 	}
+	layouts := []struct {
+		name string
+		lay  core.Layout
+	}{
+		{"csr", core.LayoutCSR},
+		{"sell", core.LayoutSell},
+	}
 	for _, k := range kernels.All() {
 		g := core.PrepareGraph(k, raw)
-		cfg := core.Config{Src: g.MaxDegreeNode()}
-		// One instrumented run per kernel, outside the timed loops, annotates
-		// the report row with observability numbers. The modeled timeline is
-		// mode-invariant across the deferred schedulers, so one cooperative
-		// run speaks for both timed modes.
-		icfg := cfg
-		icfg.HostExec = core.HostCooperative
-		icfg.Trace = obs.NewTracer(0)
-		icfg.Metrics = obs.NewMetrics(0)
-		if res, err := core.Run(k, g, icfg); err == nil {
-			mc := res.Engine.Mem.Counters()
-			l1 := 0.0
-			if mc.Accesses > 0 {
-				l1 = float64(mc.Hits[machine.L1]) / float64(mc.Accesses)
+		for _, lt := range layouts {
+			cfg := core.Config{Src: g.MaxDegreeNode(), Layout: lt.lay}
+			// One instrumented run per kernel and layout, outside the timed
+			// loops, annotates the report row with observability numbers. The
+			// modeled timeline is mode-invariant across the deferred
+			// schedulers, so one cooperative run speaks for both timed modes.
+			// It also decides whether the sell arm applies at all: kernels
+			// the layout policy pins to CSR (float-order-sensitive, worklist
+			// programs without a dense path) get no sell row.
+			icfg := cfg
+			icfg.HostExec = core.HostCooperative
+			icfg.Trace = obs.NewTracer(0)
+			icfg.Metrics = obs.NewMetrics(0)
+			res, err := core.Run(k, g, icfg)
+			if err == nil && lt.name == "sell" && res.Layout != "sell" {
+				break
 			}
-			recordHostExecObs(k.Name, g.Name,
-				res.Stats.LaneUtilization(res.Engine.Width()), l1,
-				icfg.Trace.Len(), icfg.Metrics.Len())
-		}
-		// One instrumented recovery run per kernel (untimed): checkpointing
-		// plus invariant verification under transient-fault injection, so the
-		// report surfaces how many checkpoints the run took and how many
-		// rollbacks the injected faults cost. The timed loops below stay
-		// checkpoint-free.
-		rcfg := cfg
-		rcfg.HostExec = core.HostCooperative
-		rcfg.CheckpointEvery = 2
-		rcfg.MaxRollbacks = 200
-		rcfg.VerifyInvariants = true
-		rcfg.Inject = fault.NewInjector(42, fault.Config{Transient: 0.05})
-		if res, err := core.Run(k, g, rcfg); err == nil {
-			recordHostExecRecovery(k.Name, g.Name,
-				res.Recovery.Checkpoints, res.Recovery.Rollbacks,
-				res.Recovery.BadCheckpoints, res.Recovery.WastedCycles)
-		}
-		for _, mode := range modes {
-			cfg.HostExec = mode.exec
-			b.Run(k.Name+"/"+mode.name, func(b *testing.B) {
-				b.ReportAllocs()
-				var cycles float64
-				var ms0, ms1 runtime.MemStats
-				runtime.ReadMemStats(&ms0)
-				for i := 0; i < b.N; i++ {
-					res, err := core.Run(k, g, cfg)
-					if err != nil {
-						b.Fatal(err)
-					}
-					cycles = res.Engine.TimeCycles()
+			if err == nil {
+				mc := res.Engine.Mem.Counters()
+				l1 := 0.0
+				if mc.Accesses > 0 {
+					l1 = float64(mc.Hits[machine.L1]) / float64(mc.Accesses)
 				}
-				runtime.ReadMemStats(&ms1)
-				b.ReportMetric(cycles, "modeled-cycles")
-				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
-				allocsOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
-				bytesOp := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N)
-				recordHostExec(k.Name, g.Name, mode.name, cycles, nsPerOp, allocsOp, bytesOp)
-			})
+				recordHostExecObs(k.Name, g.Name, lt.name,
+					res.Stats.LaneUtilization(res.Engine.Width()), l1,
+					icfg.Trace.Len(), icfg.Metrics.Len())
+				if lt.name == "sell" && res.Sell != nil {
+					recordHostExecSell(k.Name, g.Name,
+						res.Stats.SellLaneUtilization(res.Engine.Width()),
+						res.Sell.Overhead(), res.Sell.FallbackRatio(),
+						res.Stats.SellColumns)
+				}
+			}
+			if lt.name == "csr" {
+				// One instrumented recovery run per kernel (untimed):
+				// checkpointing plus invariant verification under
+				// transient-fault injection, so the report surfaces how many
+				// checkpoints the run took and how many rollbacks the
+				// injected faults cost. The timed loops below stay
+				// checkpoint-free.
+				rcfg := cfg
+				rcfg.HostExec = core.HostCooperative
+				rcfg.CheckpointEvery = 2
+				rcfg.MaxRollbacks = 200
+				rcfg.VerifyInvariants = true
+				rcfg.Inject = fault.NewInjector(42, fault.Config{Transient: 0.05})
+				if res, err := core.Run(k, g, rcfg); err == nil {
+					recordHostExecRecovery(k.Name, g.Name, lt.name,
+						res.Recovery.Checkpoints, res.Recovery.Rollbacks,
+						res.Recovery.BadCheckpoints, res.Recovery.WastedCycles)
+				}
+			}
+			for _, mode := range modes {
+				cfg.HostExec = mode.exec
+				b.Run(k.Name+"/"+lt.name+"/"+mode.name, func(b *testing.B) {
+					b.ReportAllocs()
+					var cycles float64
+					var ms0, ms1 runtime.MemStats
+					runtime.ReadMemStats(&ms0)
+					for i := 0; i < b.N; i++ {
+						res, err := core.Run(k, g, cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cycles = res.Engine.TimeCycles()
+					}
+					runtime.ReadMemStats(&ms1)
+					b.ReportMetric(cycles, "modeled-cycles")
+					nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+					allocsOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+					bytesOp := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N)
+					recordHostExec(k.Name, g.Name, lt.name, mode.name, cycles, nsPerOp, allocsOp, bytesOp)
+				})
+			}
 		}
 	}
+	sweepLayoutFamilies(b)
+}
+
+// sweepLayoutFamilies runs the dense-sweep kernels once per graph family and
+// layout (untimed, modeled cycles only) and records the per-family geomean of
+// csr/sell cycles for the report note — the headline CSR-vs-SELL delta.
+func sweepLayoutFamilies(b *testing.B) {
+	fams := []*graph.CSR{
+		graph.RMAT(12, 8, 16, 42),
+		graph.Road(64, 64, 16, 42),
+		graph.Random(1<<12, 8, 16, 43),
+	}
+	for _, raw := range fams {
+		var ratios []float64
+		for _, k := range kernels.All() {
+			if !k.DenseSweep {
+				continue
+			}
+			g := core.PrepareGraph(k, raw)
+			var cycles [2]float64
+			for i, lay := range []core.Layout{core.LayoutCSR, core.LayoutSell} {
+				res, err := core.Run(k, g, core.Config{Src: g.MaxDegreeNode(), Layout: lay})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles[i] = res.Engine.TimeCycles()
+			}
+			if cycles[1] > 0 {
+				ratios = append(ratios, cycles[0]/cycles[1])
+			}
+		}
+		if len(ratios) == 0 {
+			continue
+		}
+		prod := 1.0
+		for _, r := range ratios {
+			prod *= r
+		}
+		layoutFamilyGeomeans.Lock()
+		layoutFamilyGeomeans.byFamily[familyOf(raw.Name)] = math.Pow(prod, 1/float64(len(ratios)))
+		layoutFamilyGeomeans.Unlock()
+	}
+}
+
+// familyOf shortens generated graph names (rmat12, road-64x64, ...) to their
+// family for the report's geomean map.
+func familyOf(name string) string {
+	for _, f := range []string{"road", "rmat", "random"} {
+		if strings.HasPrefix(name, f) {
+			return f
+		}
+	}
+	return name
 }

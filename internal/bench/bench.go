@@ -91,6 +91,12 @@ type Options struct {
 	// "<experiment>/<detail>" names so reports like BENCH_*.json can carry
 	// them next to the wall-clock rows.
 	Registry *obs.Registry
+	// Layout, SellC and SellSigma configure the comparison arm of the
+	// layout experiment (see LayoutExp); the paper-reproduction tables
+	// always run the calibrated CSR configuration regardless.
+	Layout    core.Layout
+	SellC     int
+	SellSigma int
 }
 
 // observe records a headline number into the attached registry; without one
@@ -154,6 +160,7 @@ func Experiments() []Experiment {
 		{"fig9", "CPU vs GPU", Fig9},
 		{"fig10", "SMT effect", Fig10},
 		{"table9", "virtual memory: footprint and limited-memory slowdown", Table9},
+		{"layout", "graph layouts: CSR vs SELL-C-sigma per kernel and family (extension)", LayoutExp},
 		{"ablation", "design-knob ablations: NP threshold, fiber cap, SSSP delta (extension)", Ablation},
 		{"ext-neon", "ARM NEON target evaluation (the paper's future work, as an extension)", NeonExt},
 	}

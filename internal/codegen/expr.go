@@ -20,6 +20,17 @@ type frame struct {
 	regF []vec.FVec
 	regM []vec.Mask
 
+	// chunkBase is the W-aligned domain position of the chunk being
+	// executed; with a SELL layout attached it identifies the slice whose
+	// rows occupy the lanes (position base+lane holds vertex Perm[base+lane]).
+	chunkBase int32
+
+	// cellDst/cellWt hold the current SELL slice column, dense-loaded by the
+	// SELL edge loop; cell-mode EdgeDst/EdgeWt closures read them in place
+	// of per-lane gathers.
+	cellDst vec.Vec
+	cellWt  vec.Vec
+
 	// resPos is the fiber-level cooperative-conversion write cursor,
 	// shared across permuted frame copies.
 	resPos *int32
@@ -84,6 +95,11 @@ func (fr *frame) permuted(src vec.Vec) *frame {
 		fr.scratch = out
 	}
 	out.in, out.tc, out.W, out.resPos = fr.in, fr.tc, fr.W, fr.resPos
+	out.chunkBase = fr.chunkBase
+	for l := 0; l < fr.W; l++ {
+		out.cellDst[l] = fr.cellDst[src[l]]
+		out.cellWt[l] = fr.cellWt[src[l]]
+	}
 	for r := range fr.regI {
 		var v vec.Vec
 		for l := 0; l < fr.W; l++ {
@@ -130,6 +146,19 @@ type kcompiler struct {
 	// NP edge loop currently being compiled; assignments to them are
 	// rejected because permuted-frame writes are discarded.
 	npOuter map[string]bool
+
+	// sellEdge, while non-empty, is the edge variable of the ForEdges body
+	// being compiled in SELL cell mode: EdgeDst/EdgeWt of exactly that
+	// variable read the dense-loaded slice column instead of gathering.
+	sellEdge string
+	// sellWtUsed/sellEdgeUsed record whether the cell-mode body consumed
+	// the weight column or the raw edge id, so the SELL loop only loads
+	// what the body needs.
+	sellWtUsed   bool
+	sellEdgeUsed bool
+	// hasSell records that at least one edge loop of this kernel compiled a
+	// SELL variant (the per-kernel layout policy keys off it).
+	hasSell bool
 }
 
 func (c *kcompiler) errf(format string, args ...any) error {
@@ -246,6 +275,11 @@ func (c *kcompiler) compileI(e ir.Expr) (evalI, error) {
 			return vec.Splat(fr.in.G.NumNodes())
 		}, nil
 	case *ir.Var:
+		if c.sellEdge != "" && e.Name == c.sellEdge {
+			// The body consumes the raw edge id (beyond EdgeDst/EdgeWt),
+			// so the SELL loop must materialize the edge-id column.
+			c.sellEdgeUsed = true
+		}
 		slot, ok := c.slotI[e.Name]
 		if !ok {
 			return nil, c.errf("int variable %q not in scope", e.Name)
@@ -297,6 +331,11 @@ func (c *kcompiler) compileI(e ir.Expr) (evalI, error) {
 			return fr.tc.GatherI(fr.in.rowPtr, n1, m, vec.Vec{}, inner)
 		}, nil
 	case *ir.EdgeDst:
+		if v, ok := e.Edge.(*ir.Var); ok && c.sellEdge != "" && v.Name == c.sellEdge {
+			// Cell mode: the loop's own edge destinations were dense-loaded
+			// with the slice column; no gather, no extra cost here.
+			return func(fr *frame, m vec.Mask) vec.Vec { return fr.cellDst }, nil
+		}
 		edge, err := c.compileI(e.Edge)
 		if err != nil {
 			return nil, err
@@ -306,6 +345,10 @@ func (c *kcompiler) compileI(e ir.Expr) (evalI, error) {
 			return fr.tc.GatherI(fr.in.edgeDs, edge(fr, m), m, vec.Vec{}, inner)
 		}, nil
 	case *ir.EdgeWt:
+		if v, ok := e.Edge.(*ir.Var); ok && c.sellEdge != "" && v.Name == c.sellEdge {
+			c.sellWtUsed = true
+			return func(fr *frame, m vec.Mask) vec.Vec { return fr.cellWt }, nil
+		}
 		edge, err := c.compileI(e.Edge)
 		if err != nil {
 			return nil, err

@@ -26,6 +26,12 @@ type kernelCode struct {
 	nI, nF, nM int
 	itemSlot   int
 
+	// sellCapable is true when at least one ForEdges of this kernel
+	// compiled a SELL-C-σ dense variant (domain sweep over its own item
+	// variable); the layout policy only attaches a SELL layout to programs
+	// with at least one such kernel.
+	sellCapable bool
+
 	body exec
 
 	// frames pools register frames across tasks and launches; register
@@ -62,8 +68,9 @@ func compileKernel(prog *ir.Program, k *ir.Kernel) (*kernelCode, error) {
 	return &kernelCode{
 		prog: prog, k: k,
 		nI: c.nI, nF: c.nF, nM: c.nM,
-		itemSlot: itemSlot,
-		body:     body,
+		itemSlot:    itemSlot,
+		sellCapable: c.hasSell,
+		body:        body,
 	}, nil
 }
 
@@ -161,8 +168,16 @@ func (kc *kernelCode) sumDegrees(in *Instance, tc *spmd.TaskCtx, fr *frame, star
 
 // loadItems produces the item vector for a chunk: node ids for topology
 // kernels, worklist items (a unit-stride vector load) for worklist kernels.
+// With a SELL layout attached, topology sweeps iterate positions in the
+// layout's degree-sorted order — the item vector is a unit-stride load of
+// the permutation, so lane l of a W-aligned chunk holds the vertex whose
+// neighbors occupy lane l of the chunk's slice. Only the processing order
+// changes; vertex ids, state arrays and outputs stay in the original space.
 func (kc *kernelCode) loadItems(in *Instance, tc *spmd.TaskCtx, base int32, m vec.Mask) vec.Vec {
 	if kc.k.Domain == ir.DomainNodes {
+		if in.sellPerm != nil {
+			return tc.LoadVecI(in.sellPerm, base, m, vec.Vec{})
+		}
 		tc.Op(vec.ClassALU, false)
 		return vec.Bin(vec.OpAdd, vec.Splat(base), vec.Iota(), m, tc.Width)
 	}
@@ -181,6 +196,7 @@ func (kc *kernelCode) runChunk(in *Instance, tc *spmd.TaskCtx, fr *frame, base, 
 	m := vec.FullMask(int(cnt))
 	items := kc.loadItems(in, tc, base, m)
 	fr.regI[kc.itemSlot] = items
+	fr.chunkBase = base
 	tc.Work(int(cnt))
 	kc.body(fr, m)
 }
@@ -218,10 +234,131 @@ func (c *kcompiler) compileForEdges(s *ir.ForEdges) (exec, error) {
 		return nil, err
 	}
 
+	var csrLoop exec
 	if s.Sched == ir.SchedNP {
-		return c.buildNPLoop(node, edgeSlot, body), nil
+		csrLoop = c.buildNPLoop(node, edgeSlot, body)
+	} else {
+		csrLoop = c.buildSerialLoop(node, edgeSlot, body)
 	}
-	return c.buildSerialLoop(node, edgeSlot, body), nil
+	if !c.sellEligible(s, savedInner) {
+		return csrLoop, nil
+	}
+
+	// Compile the body a second time in SELL cell mode: EdgeDst/EdgeWt of
+	// the loop's own edge variable read the dense-loaded slice column
+	// instead of gathering, and the compile records whether the body needs
+	// the weight or raw-edge-id columns at all. Slot tables are shared with
+	// the first compile (declare is idempotent), so both variants agree on
+	// the register layout.
+	c.inner = true
+	c.sellEdge, c.sellWtUsed, c.sellEdgeUsed = s.EdgeVar, false, false
+	sellBody, err := c.compileStmts(s.Body)
+	c.sellEdge = ""
+	c.inner = savedInner
+	if err != nil {
+		return nil, err
+	}
+	c.hasSell = true
+	sellLoop := c.buildSellLoop(edgeSlot, sellBody, c.sellWtUsed, c.sellEdgeUsed)
+
+	// Runtime dispatch, per chunk: the SELL path needs an attached layout
+	// whose slice height matches the vector width (chunks are W-aligned by
+	// the task dealer, so the chunk base then identifies one whole slice),
+	// and a dense-enough active mask — a sparse mask (e.g. few lanes at the
+	// current BFS level) gathers fewer words through CSR than a full-width
+	// column load would touch, so sparse phases stay on CSR. This is the
+	// per-phase heuristic: sparse frontier → CSR, dense sweep → SELL.
+	return func(fr *frame, m vec.Mask) {
+		if sl := fr.in.sell; sl != nil && int(sl.C) == fr.W && !sl.IsFallback(fr.chunkBase/sl.C) {
+			fr.tc.ScalarOps(1) // density test on the chunk mask
+			if 2*m.PopCount() >= fr.W {
+				sellLoop(fr, m)
+				return
+			}
+		}
+		csrLoop(fr, m)
+	}, nil
+}
+
+// sellEligible reports whether a ForEdges loop can take the SELL dense
+// path: a top-level edge loop of a node-domain kernel sweeping the kernel's
+// own item variable, with neither the item nor the edge variable mutated in
+// the body — the SELL loop identifies the slice from the chunk base, which
+// is only valid while lane l still holds the vertex the layout placed at
+// position base+l.
+func (c *kcompiler) sellEligible(s *ir.ForEdges, nested bool) bool {
+	if nested || c.k.Domain != ir.DomainNodes {
+		return false
+	}
+	v, ok := s.Node.(*ir.Var)
+	if !ok || v.Name != c.k.ItemVar {
+		return false
+	}
+	ok = true
+	ir.WalkStmts(c.k.Body, func(st ir.Stmt) {
+		switch st := st.(type) {
+		case *ir.Assign:
+			if st.Name == c.k.ItemVar || st.Name == s.EdgeVar {
+				ok = false
+			}
+		case *ir.Decl:
+			if st.Name == c.k.ItemVar || st.Name == s.EdgeVar {
+				ok = false
+			}
+		case *ir.ForEdges:
+			if st != s && st.EdgeVar == s.EdgeVar {
+				ok = false // nested reuse of the edge slot
+			}
+		}
+	})
+	return ok
+}
+
+// buildSellLoop sweeps one slice of the SELL layout column by column: each
+// column is a full-width unit-stride load of the C destinations (and, when
+// the body needs them, edge ids and weights), the active mask is the sign
+// test of the destinations (SlimSell's negative padding) intersected with
+// the chunk mask, and because a row's live columns are a prefix, the mask
+// only shrinks — the loop exits at the first all-inactive column.
+func (c *kcompiler) buildSellLoop(edgeSlot int, body exec, useWt, useEid bool) exec {
+	return func(fr *frame, m vec.Mask) {
+		if m.None() {
+			return
+		}
+		tc := fr.tc
+		sl := fr.in.sell
+		W := fr.W
+		s := fr.chunkBase / sl.C
+		start := sl.SlicePtr[s]
+		height := (sl.SlicePtr[s+1] - start) / sl.C
+		full := vec.FullMask(W)
+		tc.ScalarOps(2) // slice bounds from SlicePtr
+		for j := int32(0); j < height; j++ {
+			off := start + j*sl.C
+			dst := tc.LoadVecI(fr.in.sellDst, off, full, vec.Vec{})
+			tc.Op(vec.ClassCmp, false)
+			act := m & vec.CmpMask(vec.OpGe, dst, vec.Splat(0), full, W)
+			tc.InnerTally(act.PopCount())
+			if act.None() {
+				return
+			}
+			tc.NoteSellColumn(act.PopCount())
+			fr.cellDst = dst
+			if useWt {
+				if fr.in.sellWt != nil {
+					fr.cellWt = tc.LoadVecI(fr.in.sellWt, off, full, vec.Vec{})
+				} else {
+					fr.cellWt = vec.Splat(1)
+				}
+			}
+			if useEid {
+				eid := tc.LoadVecI(fr.in.sellEid, off, full, vec.Vec{})
+				tc.Op(vec.ClassBlend, true)
+				fr.regI[edgeSlot] = vec.Blend(act, eid, fr.regI[edgeSlot], W)
+			}
+			body(fr, act)
+		}
+	}
 }
 
 // buildSerialLoop: each lane walks its own edge range in lockstep. Lane

@@ -65,6 +65,16 @@ type Instance struct {
 	edgeDs *spmd.Array
 	edgeWt *spmd.Array // nil when unweighted
 
+	// sell and the sell* arrays are set by AttachSell: an optional second
+	// layout of the same graph. CSR stays bound — row extents and arbitrary
+	// edge-index gathers (e.g. MST's union phase) keep reading it; the SELL
+	// arrays serve topology sweeps whose edge loops took the dense path.
+	sell     *graph.SellCS
+	sellPerm *spmd.Array
+	sellDst  *spmd.Array
+	sellEid  *spmd.Array
+	sellWt   *spmd.Array // nil when unweighted
+
 	wl  *worklist.Pair // pipeline in/out pair ("out" role)
 	far *worklist.WL   // SSSP far list
 
@@ -134,6 +144,52 @@ func (m *Module) Bind(e *spmd.Engine, g *graph.CSR, params map[string]int32) (*I
 	return in, nil
 }
 
+// HasSellPath reports whether any kernel of the module compiled a SELL
+// dense edge loop — i.e. whether attaching a SELL layout can change how the
+// program executes at all.
+func (m *Module) HasSellPath() bool {
+	for _, kc := range m.kernels {
+		if kc.sellCapable {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachSell binds a SELL-C-σ layout of the instance's graph so eligible
+// edge loops can take the dense-column path. Call between Bind and Run; the
+// binding participates in checkpoint/restore like every other registered
+// array (it is registered before the first checkpoint cut, so rollbacks
+// never drop it), and ResetAll-based engine reuse simply rebinds on the
+// next Bind/AttachSell pair. Attaching a layout whose C differs from the
+// engine's vector width is allowed but inert: the runtime dispatch falls
+// back to CSR. Passing nil detaches.
+func (in *Instance) AttachSell(s *graph.SellCS) error {
+	if s == nil {
+		in.sell, in.sellPerm, in.sellDst, in.sellEid, in.sellWt = nil, nil, nil, nil, nil
+		return nil
+	}
+	if s.NumNodes() != in.G.NumNodes() {
+		return fmt.Errorf("codegen: attach sell: layout has %d nodes, graph %d",
+			s.NumNodes(), in.G.NumNodes())
+	}
+	if s.LiveCells()+s.FallbackEdges() != int64(in.G.NumEdges()) {
+		return fmt.Errorf("codegen: attach sell: layout covers %d edges, graph %d",
+			s.LiveCells()+s.FallbackEdges(), in.G.NumEdges())
+	}
+	in.sell = s
+	in.sellPerm = in.E.BindI("graph.sell.perm", s.Perm)
+	in.sellDst = in.E.BindI("graph.sell.dst", s.Dst)
+	in.sellEid = in.E.BindI("graph.sell.eid", s.EdgeID)
+	if s.Wt != nil {
+		in.sellWt = in.E.BindI("graph.sell.wt", s.Wt)
+	}
+	return nil
+}
+
+// Sell returns the attached SELL layout, nil when running pure CSR.
+func (in *Instance) Sell() *graph.SellCS { return in.sell }
+
 // Array returns a bound data array by name (for reading results).
 func (in *Instance) Array(name string) *spmd.Array { return in.arrays[name] }
 
@@ -159,6 +215,9 @@ func (in *Instance) ArrayF(name string) []float32 {
 // Table IX limits physical memory against.
 func (in *Instance) FootprintBytes() int64 {
 	total := in.G.FootprintBytes()
+	if in.sell != nil {
+		total += in.sell.FootprintBytes()
+	}
 	for _, a := range in.arrays {
 		total += a.Bytes()
 	}

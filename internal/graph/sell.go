@@ -1,0 +1,591 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SellCS is the SELL-C-σ sliced-ELLPACK layout (Kreutzer et al., adapted for
+// graphs by SlimSell, Besta et al.): vertices are reordered by descending
+// degree inside σ-sized windows, grouped into slices of C consecutive rows,
+// and each slice is padded to its tallest row and stored column-major. With
+// C equal to the SIMD width, the j-th neighbor of all C rows of a slice is
+// one unit-stride vector load instead of a per-lane gather, and rows of
+// similar degree share a slice so few lanes idle.
+//
+// Padding cells hold -1 in both Dst and EdgeID — the SlimSell trick: a lane
+// is live at column j iff its destination is non-negative, so one sign
+// compare replaces per-lane degree bookkeeping, and because a row's live
+// columns are a prefix, the per-column active mask only ever shrinks.
+//
+// The layout is a reordering of processing, not a renumbering: Dst holds
+// original vertex ids and EdgeID holds original CSR edge indices, so kernel
+// state arrays, worklist items and outputs all stay in the original id
+// space and need no inverse permutation at the end of a run.
+type SellCS struct {
+	C     int32 // rows per slice (the vector path requires C == SIMD width)
+	Sigma int32 // degree-sorting window in rows
+
+	// Perm maps slice position -> original vertex id; InvPerm inverts it.
+	Perm    []int32
+	InvPerm []int32
+
+	// SlicePtr[s] is the cell offset of slice s (len numSlices+1). A slice
+	// with height h spans h*C cells; cell (slice s, column j, row r) lives
+	// at SlicePtr[s] + j*C + r.
+	SlicePtr []int32
+
+	// Dst, EdgeID and Wt are the column-major cell arrays. Dst and EdgeID
+	// are -1 in padding cells; Wt is nil for unweighted graphs.
+	Dst    []int32
+	EdgeID []int32
+	Wt     []int32
+
+	// Fallback, when non-nil, flags hybrid-layout slices that carry at least
+	// one heavy row (degree >= the build's heavy cap): their cells are not
+	// materialized (SlicePtr span is zero) and the runtime dispatch routes
+	// them to the CSR loop, whose big-row broadcast already sweeps such
+	// adjacency row-major at full lane occupancy — the dense column path has
+	// nothing to add there, while materializing a 16-hub slice would both
+	// explode padding and concentrate several tasks' worth of edges into one
+	// indivisible chunk. nil means every slice is materialized (pure SELL).
+	Fallback []bool
+
+	n             int32 // vertex count (may not be a multiple of C)
+	edges         int64 // live (non-padding) materialized cells
+	fallbackEdges int64 // edges of fallback-slice rows (kept in CSR only)
+
+	// Spans records how many contiguous slice spans the sorted slices were
+	// load-balanced across at build time (1 = plain SELL-C-σ slice order);
+	// HeavyCap the degree at which rows were diverted to fallback slices
+	// (0 = none, pure SELL).
+	Spans    int32
+	HeavyCap int32
+}
+
+// DefaultSigma is the degree-sorting window used when none is requested:
+// wide enough to act as a full sort on the benchmark-scale graphs while
+// keeping reorder locality bounded on larger ones.
+const DefaultSigma = 4096
+
+// BuildSellCS converts a CSR graph into SELL-C-σ form. c must be positive;
+// sigma <= 0 selects a full-graph sort window. The CSR is not modified and
+// stays the authority for row extents and arbitrary edge-index lookups.
+func BuildSellCS(g *CSR, c, sigma int32) (*SellCS, error) {
+	return BuildSellCSDealt(g, c, sigma, 1, 0)
+}
+
+// BuildSellCSDealt builds the hybrid, load-balanced SELL-C-σ layout the
+// execution engine attaches:
+//
+//   - heavyCap > 0 diverts rows of at least that degree into fallback
+//     slices (see SellCS.Fallback). Heavy rows are packed a few per slice
+//     under a per-slice work cap — never all hubs into one slice — and the
+//     remaining seats are filled with the lightest rows, so no fallback
+//     slice concentrates more than a fraction of a task's fair share of
+//     edges. heavyCap <= 0 materializes everything (pure SELL-C-σ).
+//
+//   - spans > 1 load-balances slices across spans contiguous slice ranges,
+//     one per worker task of the eventual launch. Degree sorting
+//     concentrates the tall slices at the front of each σ window; a
+//     barrier-synchronized launch dealing contiguous chunk ranges to tasks
+//     would hand all of them to the first task and stall the rest at every
+//     barrier. Dealing reassigns whole slices — greedy longest-processing-
+//     time on estimated slice work — so every range carries a near-equal
+//     share. Slice membership (and hence padding) is untouched; only the
+//     order slices appear in memory changes, which the slice-local cell
+//     addressing makes free.
+//
+// A final partial slice (n not a multiple of C) is pinned to the last
+// position so every other slice keeps exactly C rows.
+func BuildSellCSDealt(g *CSR, c, sigma, spans, heavyCap int32) (*SellCS, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graph: sell: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: sell: %w", err)
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("graph: sell: slice height C must be positive, got %d", c)
+	}
+	n := g.NumNodes()
+	if sigma <= 0 {
+		sigma = n
+		if sigma < 1 {
+			sigma = 1
+		}
+	}
+	s := &SellCS{
+		C:       c,
+		Sigma:   sigma,
+		Perm:    make([]int32, n),
+		InvPerm: make([]int32, n),
+		n:       n,
+		edges:   int64(g.NumEdges()),
+	}
+	for i := int32(0); i < n; i++ {
+		s.Perm[i] = i
+	}
+	// Stable descending-degree sort inside each σ window keeps the layout
+	// deterministic (equal degrees preserve id order) and bounds how far a
+	// vertex can move from its original position.
+	for w := int32(0); w < n; w += sigma {
+		hi := w + sigma
+		if hi > n {
+			hi = n
+		}
+		win := s.Perm[w:hi]
+		sort.SliceStable(win, func(a, b int) bool {
+			return g.Degree(win[a]) > g.Degree(win[b])
+		})
+	}
+	if spans < 1 {
+		spans = 1
+	}
+	s.Spans = spans
+	if heavyCap < 0 {
+		heavyCap = 0
+	}
+	s.HeavyCap = heavyCap
+
+	groups := sliceGroups(g, s.Perm, c, spans, heavyCap)
+	if spans > 1 {
+		groups = dealGroups(groups, spans, c)
+	}
+	anyFB := false
+	flat := make([]int32, 0, n)
+	for _, gr := range groups {
+		flat = append(flat, gr.rows...)
+		if gr.fb {
+			anyFB = true
+		}
+	}
+	copy(s.Perm, flat)
+	if anyFB {
+		s.Fallback = make([]bool, len(groups))
+		for i, gr := range groups {
+			s.Fallback[i] = gr.fb
+		}
+	}
+	for p, u := range s.Perm {
+		s.InvPerm[u] = int32(p)
+	}
+
+	numSlices := len(groups)
+	s.SlicePtr = make([]int32, numSlices+1)
+	var cells int64
+	for sl := 0; sl < numSlices; sl++ {
+		if s.IsFallback(int32(sl)) {
+			for _, u := range groups[sl].rows {
+				s.fallbackEdges += int64(g.Degree(u))
+			}
+			s.SlicePtr[sl+1] = int32(cells)
+			continue
+		}
+		var h int32
+		for _, u := range groups[sl].rows {
+			if d := g.Degree(u); d > h {
+				h = d
+			}
+		}
+		cells += int64(h) * int64(c)
+		if cells > math.MaxInt32 {
+			return nil, fmt.Errorf("graph: sell: padded layout exceeds %d cells", math.MaxInt32)
+		}
+		s.SlicePtr[sl+1] = int32(cells)
+	}
+	s.edges = int64(g.NumEdges()) - s.fallbackEdges
+
+	s.Dst = make([]int32, cells)
+	s.EdgeID = make([]int32, cells)
+	for i := range s.Dst {
+		s.Dst[i] = -1
+		s.EdgeID[i] = -1
+	}
+	if g.Weighted() {
+		s.Wt = make([]int32, cells)
+	}
+	for p := int32(0); p < n; p++ {
+		sl := p / c
+		if s.IsFallback(sl) {
+			continue // adjacency stays in the CSR only
+		}
+		u := s.Perm[p]
+		r := p - sl*c
+		cell := s.SlicePtr[sl] + r
+		for e := g.RowPtr[u]; e < g.RowPtr[u+1]; e++ {
+			s.Dst[cell] = g.EdgeDst[e]
+			s.EdgeID[cell] = e
+			if s.Wt != nil {
+				s.Wt[cell] = g.Weight[e]
+			}
+			cell += c // next column, same row
+		}
+	}
+	return s, nil
+}
+
+// sellGroup is one slice-to-be during construction: its rows (C of them,
+// except at most one partial group), the estimated per-sweep work the slice
+// will cost its task — padded cells for a materialized slice, live edges
+// for a fallback slice — and whether it falls back to the CSR loop.
+type sellGroup struct {
+	rows []int32
+	cost int64
+	fb   bool
+}
+
+// sliceGroups partitions the window-sorted perm into slice groups. With
+// heavyCap <= 0 the groups are simply consecutive C-row runs. Otherwise
+// rows of degree >= heavyCap become fallback groups: each takes heavy rows
+// (in sorted order) until a per-group work cap — half a span's fair share
+// of edges — would be exceeded, then fills its remaining seats with the
+// lightest rows available, so hub work spreads across many dealable slices
+// instead of concentrating in one. Light rows keep their sorted order and
+// form the materialized groups.
+func sliceGroups(g *CSR, perm []int32, c, spans, heavyCap int32) []sellGroup {
+	var groups []sellGroup
+	addLight := func(rows []int32) {
+		var h int32
+		for _, u := range rows {
+			if d := g.Degree(u); d > h {
+				h = d
+			}
+		}
+		gr := sellGroup{rows: append([]int32(nil), rows...), cost: int64(h) * int64(c)}
+		groups = append(groups, gr)
+	}
+
+	light := perm
+	if heavyCap > 0 {
+		var heavy []int32
+		light = make([]int32, 0, len(perm))
+		for _, u := range perm {
+			if g.Degree(u) >= heavyCap {
+				heavy = append(heavy, u)
+			} else {
+				light = append(light, u)
+			}
+		}
+		if len(heavy) > 0 {
+			costCap := int64(g.NumEdges()) / int64(2*spans)
+			if costCap < 1 {
+				costCap = 1
+			}
+			// Every fallback group consumes C permutation seats, filling
+			// spare ones with light rows that then lose their dense
+			// materialization. On small graphs the half-fair-share cap can
+			// demand more groups than there are slices, degenerating the
+			// whole layout to CSR — so bound fallback groups to half the
+			// slices and widen the cap to fit the heavy edges in.
+			var heavyEdges int64
+			for _, u := range heavy {
+				heavyEdges += int64(g.Degree(u))
+			}
+			if maxGroups := int64(len(perm)) / int64(2*c); maxGroups >= 1 &&
+				heavyEdges/costCap+1 > maxGroups {
+				costCap = heavyEdges/maxGroups + 1
+			}
+			lt := len(light)
+			for hi := 0; hi < len(heavy); {
+				gr := sellGroup{fb: true}
+				gr.rows = append(gr.rows, heavy[hi])
+				gr.cost = int64(g.Degree(heavy[hi]))
+				hi++
+				for int32(len(gr.rows)) < c && hi < len(heavy) &&
+					gr.cost+int64(g.Degree(heavy[hi])) <= costCap {
+					gr.rows = append(gr.rows, heavy[hi])
+					gr.cost += int64(g.Degree(heavy[hi]))
+					hi++
+				}
+				for int32(len(gr.rows)) < c && lt > 0 {
+					lt--
+					gr.rows = append(gr.rows, light[lt])
+					gr.cost += int64(g.Degree(light[lt]))
+				}
+				for int32(len(gr.rows)) < c && hi < len(heavy) {
+					// Light rows ran out: top up with heavy rows past the
+					// cap rather than leave a mid-layout partial slice.
+					gr.rows = append(gr.rows, heavy[hi])
+					gr.cost += int64(g.Degree(heavy[hi]))
+					hi++
+				}
+				groups = append(groups, gr)
+			}
+			light = light[:lt]
+		}
+	}
+	for lo := 0; lo < len(light); lo += int(c) {
+		hi := lo + int(c)
+		if hi > len(light) {
+			hi = len(light)
+		}
+		addLight(light[lo:hi])
+	}
+	return groups
+}
+
+// dealGroups load-balances slice groups across spans contiguous ranges that
+// mirror the launch's chunk dealing (ceil(total/spans) slices per range):
+// groups are taken costliest-first and each goes to the least-loaded range
+// with free slots (ties to the lowest range id, so the result is
+// deterministic). The partial group, if any, is pinned to the final slot so
+// slice boundaries stay C-aligned.
+func dealGroups(groups []sellGroup, spans, c int32) []sellGroup {
+	total := int32(len(groups))
+	if total <= spans {
+		return groups
+	}
+	partial := -1
+	order := make([]int, 0, total)
+	for i, gr := range groups {
+		if int32(len(gr.rows)) < c {
+			partial = i
+			continue
+		}
+		order = append(order, i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return groups[order[a]].cost > groups[order[b]].cost
+	})
+
+	per := (total + spans - 1) / spans
+	caps := make([]int32, spans)
+	for b := int32(0); b < spans; b++ {
+		lo, hi := b*per, (b+1)*per
+		if hi > total {
+			hi = total
+		}
+		if lo > hi {
+			lo = hi
+		}
+		caps[b] = hi - lo
+	}
+	if partial >= 0 {
+		for b := spans - 1; b >= 0; b-- {
+			if caps[b] > 0 {
+				caps[b]--
+				break
+			}
+		}
+	}
+
+	buckets := make([][]int, spans)
+	sums := make([]int64, spans)
+	for _, gi := range order {
+		best := int32(-1)
+		for b := int32(0); b < spans; b++ {
+			if caps[b] == 0 {
+				continue
+			}
+			if best < 0 || sums[b] < sums[best] {
+				best = b
+			}
+		}
+		buckets[best] = append(buckets[best], gi)
+		sums[best] += groups[gi].cost
+		caps[best]--
+	}
+
+	out := make([]sellGroup, 0, total)
+	for _, bucket := range buckets {
+		for _, gi := range bucket {
+			out = append(out, groups[gi])
+		}
+	}
+	if partial >= 0 {
+		out = append(out, groups[partial])
+	}
+	return out
+}
+
+// NumNodes returns the vertex count.
+func (s *SellCS) NumNodes() int32 { return s.n }
+
+// NumSlices returns the slice count (the last slice may cover virtual
+// all-padding rows when NumNodes is not a multiple of C).
+func (s *SellCS) NumSlices() int32 { return int32(len(s.SlicePtr)) - 1 }
+
+// Height returns the column count (padded max degree) of slice sl.
+func (s *SellCS) Height(sl int32) int32 {
+	return (s.SlicePtr[sl+1] - s.SlicePtr[sl]) / s.C
+}
+
+// Cells returns the total cell count including padding.
+func (s *SellCS) Cells() int64 { return int64(len(s.Dst)) }
+
+// LiveCells returns the non-padding materialized cell count. For a pure
+// layout this is the directed edge count; a hybrid layout keeps fallback-
+// slice edges in the CSR only (see FallbackEdges).
+func (s *SellCS) LiveCells() int64 { return s.edges }
+
+// IsFallback reports whether slice sl routes to the CSR loop (hybrid
+// layouts only; always false for pure layouts).
+func (s *SellCS) IsFallback(sl int32) bool { return s.Fallback != nil && s.Fallback[sl] }
+
+// FallbackEdges returns the edges living in fallback slices (zero for pure
+// layouts); LiveCells + FallbackEdges equals the graph's edge count.
+func (s *SellCS) FallbackEdges() int64 { return s.fallbackEdges }
+
+// FallbackRatio returns the fraction of edges diverted to fallback slices.
+func (s *SellCS) FallbackRatio() float64 {
+	total := s.edges + s.fallbackEdges
+	if total == 0 {
+		return 0
+	}
+	return float64(s.fallbackEdges) / float64(total)
+}
+
+// PaddingRatio returns the fraction of cells that are padding, in [0, 1).
+func (s *SellCS) PaddingRatio() float64 {
+	if len(s.Dst) == 0 {
+		return 0
+	}
+	return float64(s.Cells()-s.edges) / float64(s.Cells())
+}
+
+// Overhead returns cells per live edge (the storage multiplier vs CSR's
+// edge array); 1.0 means zero padding.
+func (s *SellCS) Overhead() float64 {
+	if s.edges == 0 {
+		if s.Cells() == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(s.Cells()) / float64(s.edges)
+}
+
+// FootprintBytes returns the memory footprint of the layout's arrays.
+func (s *SellCS) FootprintBytes() int64 {
+	total := int64(len(s.Perm)+len(s.InvPerm)+len(s.SlicePtr)+len(s.Dst)+len(s.EdgeID)) * 4
+	total += int64(len(s.Wt)) * 4
+	return total
+}
+
+// Validate checks the layout's structural invariants against its source CSR:
+// Perm/InvPerm are mutually inverse permutations, slice extents are
+// C-aligned and monotone, every row's live cells are a prefix of its columns
+// carrying exactly the CSR adjacency (same order, same edge ids, same
+// weights), and padding cells are -1. Errors wrap fault.ErrCorruptGraph.
+func (s *SellCS) Validate(g *CSR) error {
+	if s.n != g.NumNodes() {
+		return corruptf("sell: node count %d != graph %d", s.n, g.NumNodes())
+	}
+	if s.C <= 0 {
+		return corruptf("sell: non-positive C %d", s.C)
+	}
+	if len(s.Perm) != int(s.n) || len(s.InvPerm) != int(s.n) {
+		return corruptf("sell: permutation length %d/%d != %d", len(s.Perm), len(s.InvPerm), s.n)
+	}
+	for p, u := range s.Perm {
+		if u < 0 || u >= s.n {
+			return corruptf("sell: perm[%d] = %d out of range", p, u)
+		}
+		if s.InvPerm[u] != int32(p) {
+			return corruptf("sell: invperm[%d] = %d, want %d", u, s.InvPerm[u], p)
+		}
+	}
+	numSlices := int((s.n + s.C - 1) / s.C)
+	if len(s.SlicePtr) != numSlices+1 {
+		return corruptf("sell: sliceptr length %d, want %d", len(s.SlicePtr), numSlices+1)
+	}
+	if s.SlicePtr[0] != 0 {
+		return corruptf("sell: sliceptr[0] = %d", s.SlicePtr[0])
+	}
+	if s.Fallback != nil && len(s.Fallback) != numSlices {
+		return corruptf("sell: fallback flags for %d slices, want %d", len(s.Fallback), numSlices)
+	}
+	for sl := 0; sl < numSlices; sl++ {
+		span := s.SlicePtr[sl+1] - s.SlicePtr[sl]
+		if span < 0 || span%s.C != 0 {
+			return corruptf("sell: slice %d spans %d cells, not a multiple of C=%d", sl, span, s.C)
+		}
+		if s.IsFallback(int32(sl)) && span != 0 {
+			return corruptf("sell: fallback slice %d materializes %d cells", sl, span)
+		}
+	}
+	if int(s.SlicePtr[numSlices]) != len(s.Dst) || len(s.EdgeID) != len(s.Dst) {
+		return corruptf("sell: cell arrays %d/%d cells, sliceptr says %d",
+			len(s.Dst), len(s.EdgeID), s.SlicePtr[numSlices])
+	}
+	if s.Wt != nil && len(s.Wt) != len(s.Dst) {
+		return corruptf("sell: weight cells %d != %d", len(s.Wt), len(s.Dst))
+	}
+	var live, fbLive int64
+	for p := int32(0); p < s.n; p++ {
+		u := s.Perm[p]
+		sl := p / s.C
+		if s.IsFallback(sl) {
+			fbLive += int64(g.Degree(u))
+			continue
+		}
+		h := s.Height(sl)
+		deg := g.Degree(u)
+		if deg > h {
+			return corruptf("sell: row %d (vertex %d) degree %d exceeds slice height %d", p, u, deg, h)
+		}
+		cell := s.SlicePtr[sl] + (p - sl*s.C)
+		for j := int32(0); j < h; j++ {
+			dst, eid := s.Dst[cell], s.EdgeID[cell]
+			if j < deg {
+				e := g.RowPtr[u] + j
+				if eid != e {
+					return corruptf("sell: vertex %d column %d edge id %d, want %d", u, j, eid, e)
+				}
+				if dst != g.EdgeDst[e] {
+					return corruptf("sell: vertex %d column %d dst %d, want %d", u, j, dst, g.EdgeDst[e])
+				}
+				if s.Wt != nil && s.Wt[cell] != g.Weight[e] {
+					return corruptf("sell: vertex %d column %d weight %d, want %d", u, j, s.Wt[cell], g.Weight[e])
+				}
+				live++
+			} else if dst != -1 || eid != -1 {
+				return corruptf("sell: vertex %d padding column %d holds %d/%d", u, j, dst, eid)
+			}
+			cell += s.C
+		}
+	}
+	if live != s.edges {
+		return corruptf("sell: %d live cells, want %d", live, s.edges)
+	}
+	if fbLive != s.fallbackEdges {
+		return corruptf("sell: %d fallback edges, want %d", fbLive, s.fallbackEdges)
+	}
+	if live+fbLive != int64(g.NumEdges()) {
+		return corruptf("sell: %d+%d cells cover %d graph edges", live, fbLive, g.NumEdges())
+	}
+	return nil
+}
+
+// DegreeSummary describes a graph's degree distribution; the layout layer
+// uses it to explain padding and slice-height behavior from the CLI.
+type DegreeSummary struct {
+	Min, Median, P99, Max int32
+	Avg                   float64
+}
+
+// DegreeSummary computes min/median/p99/max/avg degree.
+func (g *CSR) DegreeSummary() DegreeSummary {
+	n := g.NumNodes()
+	if n == 0 {
+		return DegreeSummary{}
+	}
+	degs := make([]int32, n)
+	for i := int32(0); i < n; i++ {
+		degs[i] = g.Degree(i)
+	}
+	sort.Slice(degs, func(a, b int) bool { return degs[a] < degs[b] })
+	p99 := int(n) * 99 / 100
+	if p99 >= int(n) {
+		p99 = int(n) - 1
+	}
+	return DegreeSummary{
+		Min:    degs[0],
+		Median: degs[n/2],
+		P99:    degs[p99],
+		Max:    degs[n-1],
+		Avg:    float64(g.NumEdges()) / float64(n),
+	}
+}

@@ -1,0 +1,337 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// sellRow reconstructs row u's adjacency (dsts and CSR edge ids, in order)
+// from the SELL cell arrays — the round-trip contract the dense path relies
+// on.
+func sellRow(s *SellCS, u int32) (dst, eid []int32) {
+	p := s.InvPerm[u]
+	sl := p / s.C
+	cell := s.SlicePtr[sl] + (p - sl*s.C)
+	for j := int32(0); j < s.Height(sl); j++ {
+		if s.Dst[cell] < 0 {
+			break
+		}
+		dst = append(dst, s.Dst[cell])
+		eid = append(eid, s.EdgeID[cell])
+		cell += s.C
+	}
+	return dst, eid
+}
+
+func checkRoundTrip(t *testing.T, g *CSR, s *SellCS) {
+	t.Helper()
+	for u := int32(0); u < g.NumNodes(); u++ {
+		dst, eid := sellRow(s, u)
+		want := g.Neighbors(u)
+		if len(dst) != len(want) {
+			t.Fatalf("vertex %d: sell row has %d neighbors, csr %d", u, len(dst), len(want))
+		}
+		for j := range want {
+			if dst[j] != want[j] {
+				t.Fatalf("vertex %d neighbor %d: sell %d, csr %d", u, j, dst[j], want[j])
+			}
+			if e := g.RowPtr[u] + int32(j); eid[j] != e {
+				t.Fatalf("vertex %d neighbor %d: edge id %d, want %d", u, j, eid[j], e)
+			}
+		}
+	}
+}
+
+func TestBuildSellCSKnownGraph(t *testing.T) {
+	// Degrees 1, 3, 0, 2 over 4 nodes; C=2 makes two slices. The full-graph
+	// sort window orders rows [1 3 0 2], so slice 0 holds degrees {3,2}
+	// (height 3) and slice 1 holds {1,0} (height 1).
+	edges := []Edge{
+		{Src: 0, Dst: 1},
+		{Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 1, Dst: 3},
+		{Src: 3, Dst: 0}, {Src: 3, Dst: 2},
+	}
+	g, err := FromEdges(4, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSellCS(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Perm, []int32{1, 3, 0, 2}; len(got) != 4 ||
+		got[0] != want[0] || got[1] != want[1] || got[2] != want[2] || got[3] != want[3] {
+		t.Fatalf("perm = %v, want %v", got, want)
+	}
+	if s.NumSlices() != 2 || s.Height(0) != 3 || s.Height(1) != 1 {
+		t.Fatalf("slices/heights = %d / %d,%d, want 2 / 3,1",
+			s.NumSlices(), s.Height(0), s.Height(1))
+	}
+	if s.Cells() != 8 || s.LiveCells() != 6 {
+		t.Fatalf("cells = %d live %d, want 8 live 6", s.Cells(), s.LiveCells())
+	}
+	// Slice 0 column-major: col j holds rows {1,3}'s j-th neighbors.
+	wantDst := []int32{0, 0, 2, 2, 3, -1, 1, -1}
+	for i, w := range wantDst {
+		if s.Dst[i] != w {
+			t.Fatalf("dst[%d] = %d, want %d (full %v)", i, s.Dst[i], w, s.Dst)
+		}
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	checkRoundTrip(t, g, s)
+	if got := s.PaddingRatio(); got != 0.25 {
+		t.Fatalf("padding ratio = %g, want 0.25", got)
+	}
+	if got := s.Overhead(); got != 8.0/6.0 {
+		t.Fatalf("overhead = %g, want %g", got, 8.0/6.0)
+	}
+}
+
+// Every suite graph (weighted generators), plus a symmetrized one, round-trips
+// through SELL for several (C, σ) choices, including C not dividing n and a
+// window smaller than the graph.
+func TestSellSuiteRoundTrip(t *testing.T) {
+	graphs := Suite(ScaleTest, 1)
+	graphs = append(graphs, graphs[1].Symmetrize())
+	for _, g := range graphs {
+		for _, c := range []int32{1, 3, 8, 16} {
+			for _, sigma := range []int32{0, 64, DefaultSigma} {
+				s, err := BuildSellCS(g, c, sigma)
+				if err != nil {
+					t.Fatalf("%s C=%d sigma=%d: %v", g.Name, c, sigma, err)
+				}
+				if err := s.Validate(g); err != nil {
+					t.Fatalf("%s C=%d sigma=%d: %v", g.Name, c, sigma, err)
+				}
+				checkRoundTrip(t, g, s)
+				if s.LiveCells() != int64(g.NumEdges()) {
+					t.Fatalf("%s C=%d: %d live cells, want %d", g.Name, c, s.LiveCells(), g.NumEdges())
+				}
+				if pr := s.PaddingRatio(); pr < 0 || pr >= 1 {
+					t.Fatalf("%s C=%d: padding ratio %g out of range", g.Name, c, pr)
+				}
+				if s.Overhead() < 1 {
+					t.Fatalf("%s C=%d: overhead %g < 1", g.Name, c, s.Overhead())
+				}
+			}
+		}
+	}
+}
+
+// A sorted window never increases padding vs no sorting; with a full-graph
+// window on a skewed graph it should strictly help.
+func TestSellSortingReducesPadding(t *testing.T) {
+	g := RMAT(8, 8, 64, 7)
+	sorted, err := BuildSellCS(g, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ=1 windows are singletons: the identity permutation, i.e. no sorting.
+	unsorted, err := BuildSellCS(g, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < g.NumNodes(); i++ {
+		if unsorted.Perm[i] != i {
+			t.Fatalf("sigma=1 perm[%d] = %d, want identity", i, unsorted.Perm[i])
+		}
+	}
+	if sorted.Cells() >= unsorted.Cells() {
+		t.Fatalf("full sort cells %d, unsorted %d: sorting should shrink padding on rmat",
+			sorted.Cells(), unsorted.Cells())
+	}
+}
+
+func TestSellEdgeCases(t *testing.T) {
+	empty, err := FromEdges(0, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSellCS(empty, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSlices() != 0 || s.Cells() != 0 || s.PaddingRatio() != 0 || s.Overhead() != 1 {
+		t.Fatalf("empty graph: slices=%d cells=%d pad=%g ovh=%g",
+			s.NumSlices(), s.Cells(), s.PaddingRatio(), s.Overhead())
+	}
+	single, err := FromEdges(1, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = BuildSellCS(single, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(single); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSlices() != 1 || s.Height(0) != 0 {
+		t.Fatalf("single isolated node: slices=%d height=%d", s.NumSlices(), s.Height(0))
+	}
+
+	if _, err := BuildSellCS(single, 0, 0); err == nil {
+		t.Fatal("C=0 accepted")
+	}
+	if _, err := BuildSellCS(nil, 8, 0); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestSellValidateDetectsCorruption(t *testing.T) {
+	g := Road(8, 8, 16, 3)
+	s, err := BuildSellCS(g, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*SellCS){
+		func(s *SellCS) { s.Perm[0], s.Perm[1] = s.Perm[1], s.Perm[0] },
+		func(s *SellCS) { s.Dst[0] = -1 },
+		func(s *SellCS) { s.EdgeID[0]++ },
+		func(s *SellCS) { s.Wt[0] ^= 1 },
+		func(s *SellCS) { s.SlicePtr[1] -= int32(s.C) },
+	}
+	for i, mutate := range mutations {
+		c, err := BuildSellCS(g, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(c)
+		verr := c.Validate(g)
+		if verr == nil {
+			t.Fatalf("mutation %d not detected", i)
+		}
+		if !errors.Is(verr, fault.ErrCorruptGraph) {
+			t.Fatalf("mutation %d: error %v does not wrap ErrCorruptGraph", i, verr)
+		}
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatalf("pristine layout rejected: %v", err)
+	}
+}
+
+func TestDegreeSummary(t *testing.T) {
+	edges := []Edge{
+		{Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 1, Dst: 3},
+		{Src: 2, Dst: 0},
+		{Src: 3, Dst: 0}, {Src: 3, Dst: 1},
+	}
+	g, err := FromEdges(4, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.DegreeSummary()
+	if ds.Min != 0 || ds.Max != 3 || ds.Median != 2 || ds.P99 != 3 || ds.Avg != 1.5 {
+		t.Fatalf("degree summary = %+v", ds)
+	}
+	if (&CSR{RowPtr: []int32{0}}).DegreeSummary() != (DegreeSummary{}) {
+		t.Fatal("empty graph summary not zero")
+	}
+}
+
+// FuzzSellRoundTrip drives SELL construction with arbitrary edge lists and
+// (C, σ) choices: whatever parses into a valid CSR must build a layout that
+// passes Validate and reproduces every row's adjacency exactly.
+func FuzzSellRoundTrip(f *testing.F) {
+	f.Add(uint8(8), uint8(0), []byte{0, 1, 1, 2, 2, 0})
+	f.Add(uint8(1), uint8(1), []byte{3, 3, 3, 3})
+	f.Add(uint8(16), uint8(4), []byte{0, 0})
+	f.Add(uint8(4), uint8(255), []byte{})
+	f.Fuzz(func(t *testing.T, c, sigma uint8, data []byte) {
+		const n = 13 // prime, so C rarely divides it
+		var edges []Edge
+		for i := 0; i+1 < len(data) && i < 256; i += 2 {
+			edges = append(edges, Edge{
+				Src: int32(data[i]) % n,
+				Dst: int32(data[i+1]) % n,
+				W:   int32(data[i]) + 1,
+			})
+		}
+		g, err := FromEdges(n, edges, true)
+		if err != nil {
+			return
+		}
+		s, err := BuildSellCS(g, int32(c), int32(sigma))
+		if err != nil {
+			if c == 0 {
+				return // rejected non-positive C is the contract
+			}
+			t.Fatalf("C=%d sigma=%d: %v", c, sigma, err)
+		}
+		if verr := s.Validate(g); verr != nil {
+			t.Fatalf("C=%d sigma=%d: %v", c, sigma, verr)
+		}
+		checkRoundTrip(t, g, s)
+	})
+}
+
+// TestSellHybridFallback checks the load-balanced hybrid construction: every
+// row at or above the heavy cap lands in an unmaterialized fallback slice,
+// materialized slices stay pure SELL (round-trippable, C-aligned), and the
+// two edge populations exactly partition the graph.
+func TestSellHybridFallback(t *testing.T) {
+	g := RMAT(10, 8, 64, 7)
+	const c, spans, heavyCap = 8, 8, 32
+	s, err := BuildSellCSDealt(g, c, -1, spans, heavyCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.FallbackEdges() == 0 {
+		t.Fatalf("rmat10 with cap %d produced no fallback slices", heavyCap)
+	}
+	if r := s.FallbackRatio(); r <= 0 || r >= 1 {
+		t.Fatalf("fallback ratio = %v, want in (0,1)", r)
+	}
+	if s.LiveCells()+s.FallbackEdges() != int64(g.NumEdges()) {
+		t.Fatalf("materialized %d + fallback %d edges != graph %d",
+			s.LiveCells(), s.FallbackEdges(), g.NumEdges())
+	}
+	numSlices := int32(len(s.SlicePtr)) - 1
+	partials := 0
+	for sl := int32(0); sl < numSlices; sl++ {
+		lo, hi := sl*s.C, (sl+1)*s.C
+		if hi > g.NumNodes() {
+			hi = g.NumNodes()
+			partials++
+			if sl != numSlices-1 {
+				t.Fatalf("partial slice %d not pinned last of %d", sl, numSlices)
+			}
+		}
+		for p := lo; p < hi; p++ {
+			deg := g.Degree(s.Perm[p])
+			if s.IsFallback(sl) {
+				continue
+			}
+			if deg >= heavyCap {
+				t.Fatalf("slice %d: materialized row %d has degree %d >= cap %d",
+					sl, s.Perm[p], deg, heavyCap)
+			}
+		}
+		if s.IsFallback(sl) && s.SlicePtr[sl+1] != s.SlicePtr[sl] {
+			t.Fatalf("fallback slice %d materializes %d cells",
+				sl, s.SlicePtr[sl+1]-s.SlicePtr[sl])
+		}
+	}
+	if partials > 1 {
+		t.Fatalf("%d partial slices, want at most 1", partials)
+	}
+	// Materialized rows still round-trip through the cell arrays.
+	for u := int32(0); u < g.NumNodes(); u++ {
+		p := s.InvPerm[u]
+		if s.IsFallback(p / s.C) {
+			continue
+		}
+		dst, _ := sellRow(s, u)
+		want := g.Neighbors(u)
+		if len(dst) != len(want) {
+			t.Fatalf("vertex %d: sell row has %d neighbors, csr %d", u, len(dst), len(want))
+		}
+	}
+}

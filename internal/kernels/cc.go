@@ -60,6 +60,7 @@ func CC() *Benchmark {
 		Name:           "cc",
 		Prog:           prog,
 		NeedsSymmetric: true,
+		DenseSweep:     true,
 		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
 			return &RunOutput{I: map[string][]int32{"comp": RefCC(g)}}
 		},

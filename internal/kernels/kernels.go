@@ -25,6 +25,20 @@ type Benchmark struct {
 	// NeedsSymmetric marks algorithms defined on undirected graphs (cc,
 	// tri, mis, mst); the harness symmetrizes inputs for them.
 	NeedsSymmetric bool
+	// OrderSensitive marks algorithms whose outputs depend on the order
+	// nodes are processed in — float accumulation rounds differently under
+	// a reordering. The layout policy pins them to CSR: a SELL layout's
+	// degree-sorted sweep order would change their bits. Integer fixpoint
+	// kernels (BFS levels, components, MIS, MST, triangle counts) converge
+	// to order-independent results and stay eligible.
+	OrderSensitive bool
+	// DenseSweep marks kernels whose dominant edge loop sweeps the whole
+	// domain at full occupancy every round (cc, tri, mst): the static
+	// per-kernel minimum on the calibrated machine model, measured by the
+	// layout bench experiment. The auto layout policy attaches SELL-C-σ
+	// only to these; frontier-driven and convergence-order-sensitive
+	// kernels keep CSR (forcing -layout=sell still overrides).
+	DenseSweep bool
 	// Params returns input-specific parameter defaults (e.g. SSSP delta).
 	Params func(g *graph.CSR) map[string]int32
 	// Verify checks outputs (by bound array) against the serial reference.

@@ -98,6 +98,7 @@ func MST() *Benchmark {
 		Name:           "mst",
 		Prog:           prog,
 		NeedsSymmetric: true,
+		DenseSweep:     true,
 		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
 			return &RunOutput{I: map[string][]int32{
 				"mstwt": {RefMST(g)},

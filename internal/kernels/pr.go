@@ -70,6 +70,9 @@ func PR() *Benchmark {
 	return &Benchmark{
 		Name: "pr",
 		Prog: prog,
+		// Float contributions accumulate into nextin in processing order;
+		// a layout permutation changes the rounding. CSR only.
+		OrderSensitive: true,
 		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
 			return &RunOutput{F: map[string][]float32{"rank": RefPR(g)}}
 		},

@@ -75,6 +75,8 @@ func PRDelta() *Benchmark {
 	return &Benchmark{
 		Name: "pr-delta",
 		Prog: prog,
+		// Float residual folding is processing-order-dependent; CSR only.
+		OrderSensitive: true,
 		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
 			return &RunOutput{F: map[string][]float32{"rank": RefPRDelta(g)}}
 		},

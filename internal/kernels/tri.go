@@ -54,6 +54,7 @@ func TRI() *Benchmark {
 		Name:           "tri",
 		Prog:           prog,
 		NeedsSymmetric: true,
+		DenseSweep:     true,
 		Reference: func(g *graph.CSR, _ map[string]int32, _ int32) *RunOutput {
 			return &RunOutput{I: map[string][]int32{"count": {RefTRI(g)}}}
 		},

@@ -346,6 +346,27 @@ func (c *Config) GatherCost(lvl Level, activeThreads int) float64 {
 	return cost
 }
 
+// UnitStrideBenefit estimates how much cheaper one W-lane unit-stride
+// vector load is than one W-lane hardware gather satisfied at the same
+// cache level: the ratio of the gather's total lane stalls to the
+// unit-stride load's stall (one scalar-cost leading access — the trailing
+// lanes stream from the already-touched line and stall nothing, which is
+// how the memory model accounts AccStream hits). Values above 1 mean the
+// machine rewards the SELL-C-σ dense layout; the layout policy uses the L1
+// figure because slice cells are consumed sequentially and stay resident.
+func (c *Config) UnitStrideBenefit(width int, lvl Level) float64 {
+	if width <= 0 {
+		return 1
+	}
+	stride := c.ScalarLoadCost[lvl]
+	if stride <= 0 {
+		// Fully hidden scalar loads: any non-zero gather cost is a win;
+		// report the raw gather stall as the benefit.
+		return 1 + c.GatherLaneCost[lvl]*float64(width)
+	}
+	return c.GatherLaneCost[lvl] * float64(width) / stride
+}
+
 // BarrierCost returns the modeled cost in cycles of one barrier across tasks.
 func (c *Config) BarrierCost(tasks int) float64 {
 	return c.BarrierBaseCycles + c.BarrierPerTaskCycles*float64(tasks)

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateBenchReport structurally validates a BENCH_*.json host-execution
+// report (the schema written by the repo's `make bench` harness; see
+// hostexec_bench_test.go). It works on raw JSON so report writers and CI
+// checks share one gate without importing the test package: required
+// top-level fields, at least one kernel row, per-row required fields, and
+// range checks on the per-layout columns added by the SELL-C-σ experiment
+// (layout tag, lane utilizations in [0,1], padding overhead ≥ 1x). Rows are
+// keyed by kernel+layout and must be unique.
+func ValidateBenchReport(raw []byte) error {
+	var rep struct {
+		Generated string `json:"generated"`
+		GoVersion string `json:"go_version"`
+		Kernels   []struct {
+			Kernel        string   `json:"kernel"`
+			Graph         string   `json:"graph"`
+			Layout        string   `json:"layout"`
+			ModeledCycles float64  `json:"modeled_cycles"`
+			CoopWallNsOp  float64  `json:"cooperative_wall_ns_per_op"`
+			ParWallNsOp   float64  `json:"parallel_wall_ns_per_op"`
+			Speedup       float64  `json:"wall_speedup"`
+			LaneUtil      float64  `json:"lane_utilization"`
+			L1HitRate     float64  `json:"l1_hit_rate"`
+			SellLaneUtil  *float64 `json:"sell_lane_utilization"`
+			SellPadding   *float64 `json:"sell_padding_overhead"`
+			SellFallback  *float64 `json:"sell_fallback_ratio"`
+			SellColumns   *int64   `json:"sell_columns"`
+		} `json:"kernels"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("bench report: %w", err)
+	}
+	if rep.Generated == "" {
+		return fmt.Errorf("bench report: missing generated timestamp")
+	}
+	if rep.GoVersion == "" {
+		return fmt.Errorf("bench report: missing go_version")
+	}
+	if len(rep.Kernels) == 0 {
+		return fmt.Errorf("bench report: no kernel rows")
+	}
+	seen := make(map[string]bool, len(rep.Kernels))
+	for i, k := range rep.Kernels {
+		row := fmt.Sprintf("row %d (%s/%s)", i, k.Kernel, k.Layout)
+		if k.Kernel == "" {
+			return fmt.Errorf("bench report: row %d: missing kernel name", i)
+		}
+		if k.Graph == "" {
+			return fmt.Errorf("bench report: %s: missing graph name", row)
+		}
+		switch k.Layout {
+		case "", "csr", "sell":
+		default:
+			return fmt.Errorf("bench report: %s: unknown layout %q", row, k.Layout)
+		}
+		key := k.Kernel + "/" + k.Layout
+		if seen[key] {
+			return fmt.Errorf("bench report: duplicate row for %s", key)
+		}
+		seen[key] = true
+		if k.ModeledCycles <= 0 {
+			return fmt.Errorf("bench report: %s: modeled_cycles = %v, want > 0", row, k.ModeledCycles)
+		}
+		if k.CoopWallNsOp < 0 || k.ParWallNsOp < 0 || k.Speedup < 0 {
+			return fmt.Errorf("bench report: %s: negative wall-clock fields", row)
+		}
+		if k.LaneUtil < 0 || k.LaneUtil > 1 {
+			return fmt.Errorf("bench report: %s: lane_utilization = %v, want [0,1]", row, k.LaneUtil)
+		}
+		if k.L1HitRate < 0 || k.L1HitRate > 1 {
+			return fmt.Errorf("bench report: %s: l1_hit_rate = %v, want [0,1]", row, k.L1HitRate)
+		}
+		if k.Layout == "sell" {
+			if k.SellLaneUtil == nil || k.SellColumns == nil {
+				return fmt.Errorf("bench report: %s: sell row missing sell_lane_utilization/sell_columns", row)
+			}
+		}
+		if k.SellLaneUtil != nil && (*k.SellLaneUtil < 0 || *k.SellLaneUtil > 1) {
+			return fmt.Errorf("bench report: %s: sell_lane_utilization = %v, want [0,1]", row, *k.SellLaneUtil)
+		}
+		if k.SellPadding != nil && *k.SellPadding < 1 {
+			return fmt.Errorf("bench report: %s: sell_padding_overhead = %v, want >= 1", row, *k.SellPadding)
+		}
+		if k.SellFallback != nil && (*k.SellFallback < 0 || *k.SellFallback > 1) {
+			return fmt.Errorf("bench report: %s: sell_fallback_ratio = %v, want [0,1]", row, *k.SellFallback)
+		}
+		if k.SellColumns != nil && *k.SellColumns < 0 {
+			return fmt.Errorf("bench report: %s: sell_columns = %d, want >= 0", row, *k.SellColumns)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const validReport = `{
+  "generated": "2026-08-08T00:00:00Z",
+  "go_version": "go1.24",
+  "kernels": [
+    {"kernel": "cc", "graph": "rmat12", "layout": "csr", "modeled_cycles": 100,
+     "lane_utilization": 0.9, "l1_hit_rate": 0.95},
+    {"kernel": "cc", "graph": "rmat12", "layout": "sell", "modeled_cycles": 90,
+     "lane_utilization": 0.9, "sell_lane_utilization": 0.98,
+     "sell_padding_overhead": 1.05, "sell_fallback_ratio": 0.3, "sell_columns": 123},
+    {"kernel": "pr", "graph": "rmat12", "modeled_cycles": 200}
+  ]
+}`
+
+func TestValidateBenchReport(t *testing.T) {
+	if err := ValidateBenchReport([]byte(validReport)); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	bad := []struct {
+		name, from, to, want string
+	}{
+		{"missing generated", `"generated": "2026-08-08T00:00:00Z"`, `"generated": ""`, "generated"},
+		{"zero cycles", `"modeled_cycles": 200`, `"modeled_cycles": 0`, "modeled_cycles"},
+		{"bad layout", `"layout": "csr"`, `"layout": "coo"`, "unknown layout"},
+		{"util range", `"sell_lane_utilization": 0.98`, `"sell_lane_utilization": 1.5`, "sell_lane_utilization"},
+		{"padding range", `"sell_padding_overhead": 1.05`, `"sell_padding_overhead": 0.5`, "sell_padding_overhead"},
+		{"fallback range", `"sell_fallback_ratio": 0.3`, `"sell_fallback_ratio": -0.1`, "sell_fallback_ratio"},
+		{"sell row incomplete", `"sell_columns": 123`, `"sell_columns_x": 123`, "sell row missing"},
+		{"duplicate", `"layout": "sell"`, `"layout": "csr"`, "duplicate"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := strings.Replace(validReport, tc.from, tc.to, 1)
+			if doc == validReport {
+				t.Fatalf("mutation %q did not apply", tc.from)
+			}
+			err := ValidateBenchReport([]byte(doc))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+	if err := ValidateBenchReport([]byte(`{"generated":"x","go_version":"y","kernels":[]}`)); err == nil {
+		t.Fatal("empty kernels accepted")
+	}
+	if err := ValidateBenchReport([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}
+
+// TestValidateBenchFile validates a committed report when EGACS_BENCH_FILE
+// points at one (CI runs it against the repo's BENCH_7.json).
+func TestValidateBenchFile(t *testing.T) {
+	path := os.Getenv("EGACS_BENCH_FILE")
+	if path == "" {
+		t.Skip("EGACS_BENCH_FILE not set")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(raw); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}

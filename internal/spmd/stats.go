@@ -58,6 +58,14 @@ type Stats struct {
 
 	// PageFaults counts demand-paging faults when a pager is attached.
 	PageFaults int64
+
+	// SellColumns counts slice columns executed through the SELL-C-σ dense
+	// neighborhood path (one unit-stride load replacing a gather per count).
+	// Zero means every edge loop ran over CSR. SellActiveLanes accumulates
+	// the live (non-padding) lanes of those columns, so the pair isolates
+	// the dense path's occupancy from whatever mix of CSR work ran besides.
+	SellColumns     int64
+	SellActiveLanes int64
 }
 
 // Add accumulates other into s.
@@ -76,6 +84,19 @@ func (s *Stats) Add(other *Stats) {
 	s.Barriers += other.Barriers
 	s.WorkItems += other.WorkItems
 	s.PageFaults += other.PageFaults
+	s.SellColumns += other.SellColumns
+	s.SellActiveLanes += other.SellActiveLanes
+}
+
+// SellLaneUtilization returns the lane occupancy of SELL dense-path columns
+// alone at the given width, in [0,1]: live cells over total cells touched.
+// Unlike LaneUtilization it excludes CSR-path inner ops, so it measures how
+// well the degree sort packed the slices that actually executed densely.
+func (s *Stats) SellLaneUtilization(width int) float64 {
+	if s.SellColumns == 0 || width == 0 {
+		return 0
+	}
+	return float64(s.SellActiveLanes) / float64(s.SellColumns*int64(width))
 }
 
 // LaneUtilization returns the measured SIMD lane utilization of inner-loop

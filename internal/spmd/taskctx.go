@@ -180,6 +180,22 @@ func (tc *TaskCtx) InnerOp(class vec.OpClass, masked bool, active int) {
 	tc.st.InnerActiveLanes += int64(active)
 }
 
+// InnerTally records one inner-loop vector op's lane occupancy without
+// charging instructions — the issuing site already charged the op itself
+// (e.g. a dense SELL column load accounted as a ClassVLoad). Keeps the lane
+// utilization metric honest when a load replaces a per-lane gather.
+func (tc *TaskCtx) InnerTally(active int) {
+	tc.st.InnerVectorOps++
+	tc.st.InnerActiveLanes += int64(active)
+}
+
+// NoteSellColumn records one slice column executed through the SELL dense
+// neighborhood path, with its count of live (non-padding) lanes.
+func (tc *TaskCtx) NoteSellColumn(active int) {
+	tc.st.SellColumns++
+	tc.st.SellActiveLanes += int64(active)
+}
+
 // ScalarOps records n uniform scalar ALU instructions.
 func (tc *TaskCtx) ScalarOps(n int) {
 	if n <= 0 {
