@@ -1,9 +1,20 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel fuzz bench bench-smoke trace-smoke serve-smoke serve-load chaos profile ci clean
+.PHONY: build vet test race race-parallel fuzz gen gen-drift bench bench-smoke trace-smoke serve-smoke serve-load chaos profile ci clean
 
 build:
 	$(GO) build ./...
+
+# Regenerate the checked-in compiled kernel backend (internal/compiled) from
+# the kernel IR. Run after touching kernel programs, the IR lowering, or the
+# generator itself, and commit the result; gen-drift gates it in CI.
+gen:
+	$(GO) generate ./...
+
+# Drift gate: the committed generated sources must match what the generator
+# emits from the current tree (CI job).
+gen-drift: gen
+	git diff --exit-code -- internal/compiled
 
 vet:
 	$(GO) vet ./...
@@ -14,31 +25,38 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Race-check the scheduler and staging layers with parallel host execution
-# forced on for every engine the tests construct.
+# Race-check the scheduler and staging layers — and the generated kernel
+# backend, which drives the same deferred merge machinery — with parallel
+# host execution forced on for every engine the tests construct. (The scalar
+# baselines in internal/baselines assume serial-immediate semantics and are
+# NOT covered by this override; see DESIGN.md.)
 race-parallel:
 	EGACS_HOST_EXEC=parallel $(GO) test -race ./internal/spmd/... ./internal/worklist/...
+	EGACS_HOST_EXEC=parallel $(GO) test -race ./internal/compiled/... ./internal/codegen/...
 
-# Short fuzz pass over the graph readers and the service request decoder
-# (satellites of the robustness layer).
+# Short fuzz pass over the graph readers, the service request decoder, and
+# the interp-vs-compiled backend differential (random graph/kernel/config
+# draws must stay bit-identical across backends).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadDIMACS$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime 10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzBackendDifferential$$' -fuzztime 10s ./internal/core
 
 # Wall-clock cooperative-vs-parallel comparison per kernel and graph layout
 # (csr vs forced sell where the layout applies), with allocation stats,
 # observability annotations (lane utilization — overall and SELL-dense-path
 # only — L1 hit rate, padding overhead, fallback ratio) and recovery counters
-# from one instrumented checkpointing run; writes BENCH_7.json with the
-# per-family CSR-vs-SELL modeled-cycles geomeans in the note, embeds the
-# ns/op delta against the BENCH_5.json baseline, and validates the written
-# report against the bench schema.
+# from one instrumented checkpointing run; writes BENCH_8.json with per-kernel
+# interp-vs-compiled backend wall columns and their geomean, the per-family
+# CSR-vs-SELL modeled-cycles geomeans in the note, the ns/op delta against the
+# BENCH_7.json baseline, and validates the written report against the bench
+# schema.
 bench:
-	BENCH_OUT=$(CURDIR)/BENCH_7.json BENCH_BASELINE=$(CURDIR)/BENCH_5.json \
+	BENCH_OUT=$(CURDIR)/BENCH_8.json BENCH_BASELINE=$(CURDIR)/BENCH_7.json \
 		$(GO) test -run '^$$' -bench '^BenchmarkHostExec$$' -benchtime 3x -benchmem .
-	EGACS_BENCH_FILE=$(CURDIR)/BENCH_7.json \
+	EGACS_BENCH_FILE=$(CURDIR)/BENCH_8.json \
 		$(GO) test -run '^TestValidateBenchFile$$' -v ./internal/obs
 
 # One-iteration pass over every benchmark in the repo: catches benchmarks that
@@ -48,7 +66,8 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/egacs -bench cc -input rmat -scale test -layout sell
-	EGACS_BENCH_FILE=$(CURDIR)/BENCH_7.json \
+	$(GO) run ./cmd/egacs -bench cc -input rmat -scale test -backend interp
+	EGACS_BENCH_FILE=$(CURDIR)/BENCH_8.json \
 		$(GO) test -run '^TestValidateBenchFile$$' ./internal/obs
 
 # End-to-end trace check: run a kernel with -trace, then validate the written
@@ -89,7 +108,7 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof
 	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
-ci: vet build race race-parallel bench-smoke trace-smoke serve-smoke
+ci: vet build gen-drift race race-parallel bench-smoke trace-smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -48,6 +49,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "generator seed")
 		machName  = flag.String("machine", "intel", "machine model queries execute on: intel|amd|phi|gpu")
 		tasks     = flag.Int("tasks", 0, "engine task count per request (0 = machine default)")
+		backend   = flag.String("backend", "auto", "kernel backend for vector attempts: interp|compiled|auto (auto prefers generated Go and degrades to the interpreter; responses report which backend served)")
 
 		maxInflight = flag.Int("max-inflight", 4, "concurrently executing queries")
 		queueDepth  = flag.Int("queue-depth", 8, "queries allowed to wait for a slot before 503")
@@ -72,6 +74,8 @@ func main() {
 
 	m, err := machine.ByName(*machName)
 	fail(err)
+	be, err := core.ParseBackend(*backend)
+	fail(err)
 	g, err := graph.Load(*graphFile, *input, *scale, *seed)
 	fail(err)
 	g.SortAdjacency()
@@ -79,6 +83,7 @@ func main() {
 	opts := serve.Options{
 		Machine:         m,
 		Tasks:           *tasks,
+		Backend:         be,
 		MaxInflight:     *maxInflight,
 		MaxQueue:        *queueDepth,
 		TenantCap:       *tenantCap,

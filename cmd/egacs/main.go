@@ -44,6 +44,7 @@ func main() {
 		noSMT      = flag.Bool("nosmt", false, "pin one task per core")
 		taskSys    = flag.String("tasksys", "pthread", "tasking system: pthread|pthread_fs|cilk|openmp|tbb")
 		optStr     = flag.String("opts", "all", "optimizations: none|all|io+np+cc+fibers+fibercc")
+		backendStr = flag.String("backend", "auto", "kernel backend: interp|compiled|auto (auto prefers the generated-Go backend and degrades to the interpreter for uncovered programs; output reports which ran)")
 		layoutStr  = flag.String("layout", "auto", "graph layout policy: csr|sell|auto (auto attaches SELL-C-σ where the machine's gathers are slower than unit-stride loads; order-sensitive float kernels always run csr)")
 		sellC      = flag.Int("sell-c", 0, "SELL slice height C (0 = vector width)")
 		sellSigma  = flag.Int("sell-sigma", 0, "SELL degree-sort window σ (0 = default, negative = whole graph)")
@@ -109,6 +110,9 @@ func main() {
 	layout, err := core.ParseLayout(*layoutStr)
 	fail(err)
 	cfg.Layout = layout
+	be, err := core.ParseBackend(*backendStr)
+	fail(err)
+	cfg.Backend = be
 	cfg.SellC = *sellC
 	cfg.SellSigma = *sellSigma
 	if *hostPar {
@@ -211,6 +215,7 @@ func main() {
 	} else {
 		fmt.Printf("layout:    csr\n")
 	}
+	fmt.Printf("backend:   %s\n", res.Backend)
 	if *ckEvery > 0 {
 		fmt.Printf("recovery:  %d checkpoints, %d rollbacks (%d rejected by invariants), %.0f wasted cycles\n",
 			res.Recovery.Checkpoints, res.Recovery.Rollbacks,
@@ -276,6 +281,7 @@ func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonO
 			Benchmark:   bench.Name,
 			Graph:       g.Name,
 			ServedPath:  res.Path,
+			Backend:     res.ServingBackend(),
 			Degraded:    res.Degraded(),
 			VerifyError: verr,
 			Verified:    verr == "",
@@ -286,6 +292,7 @@ func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonO
 		for _, a := range res.History {
 			h := attemptReport{
 				Path:         a.Path,
+				Backend:      a.Backend,
 				Cycles:       a.Cycles,
 				WallNS:       a.WallNS,
 				Checkpoints:  a.Recovery.Checkpoints,
@@ -313,7 +320,11 @@ func runResilient(bench *kernels.Benchmark, g *graph.CSR, cfg core.Config, jsonO
 			fmt.Printf("attempt %d: %-12s cycles=%.0f wall=%dus rollbacks=%d: %s\n",
 				i+1, a.Path, a.Cycles, a.WallNS/1000, a.Recovery.Rollbacks, status)
 		}
-		fmt.Printf("served by: %s (degraded=%v)\n", res.Path, res.Degraded())
+		if be := res.ServingBackend(); be != "" {
+			fmt.Printf("served by: %s (backend=%s, degraded=%v)\n", res.Path, be, res.Degraded())
+		} else {
+			fmt.Printf("served by: %s (degraded=%v)\n", res.Path, res.Degraded())
+		}
 		if rec := res.TotalRecovery(); rec.Checkpoints > 0 || rec.Rollbacks > 0 {
 			fmt.Printf("recovery:  %d checkpoints, %d rollbacks (%d rejected by invariants), %.0f wasted cycles\n",
 				rec.Checkpoints, rec.Rollbacks, rec.BadCheckpoints, rec.WastedCycles)
@@ -334,6 +345,7 @@ type resilientReport struct {
 	Benchmark   string          `json:"benchmark"`
 	Graph       string          `json:"graph"`
 	ServedPath  string          `json:"served_path"`
+	Backend     string          `json:"backend,omitempty"`
 	Degraded    bool            `json:"degraded"`
 	Attempts    []string        `json:"attempt_errors,omitempty"`
 	History     []attemptReport `json:"history,omitempty"`
@@ -346,6 +358,7 @@ type resilientReport struct {
 // with its cost and recovery counters.
 type attemptReport struct {
 	Path         string  `json:"path"`
+	Backend      string  `json:"backend,omitempty"`
 	Error        string  `json:"error,omitempty"`
 	Cycles       float64 `json:"cycles,omitempty"`
 	WallNS       int64   `json:"wall_ns"`
@@ -377,6 +390,7 @@ type runReport struct {
 	WorkItems    int64   `json:"work_items"`
 	LaneUtil     float64 `json:"lane_utilization"`
 	Layout       string  `json:"layout"`
+	Backend      string  `json:"backend"`
 	SellC        int32   `json:"sell_c,omitempty"`
 	SellSigma    int32   `json:"sell_sigma,omitempty"`
 	SellPadding  float64 `json:"sell_padding_ratio,omitempty"`
@@ -413,6 +427,7 @@ func emitJSON(benchName string, g *graph.CSR, cfg core.Config, opts opt.Options,
 		WorkItems:    st.WorkItems,
 		LaneUtil:     st.LaneUtilization(res.Engine.Width()),
 		Layout:       res.Layout,
+		Backend:      res.Backend,
 		Checkpoints:  res.Recovery.Checkpoints,
 		Rollbacks:    res.Recovery.Rollbacks,
 		BadCkpts:     res.Recovery.BadCheckpoints,

@@ -49,10 +49,18 @@ type hostExecSample struct {
 	ParAllocsOp   float64 `json:"parallel_allocs_per_op"`
 	ParBytesOp    float64 `json:"parallel_bytes_per_op"`
 	CoopNsVsBase  float64 `json:"cooperative_ns_ratio_vs_baseline,omitempty"`
-	LaneUtil      float64 `json:"lane_utilization,omitempty"`
-	L1HitRate     float64 `json:"l1_hit_rate,omitempty"`
-	TraceEvents   int     `json:"trace_events,omitempty"`
-	MetricRows    int     `json:"metric_rows,omitempty"`
+	// Backend comparison (csr rows): the same kernel and cooperative
+	// scheduler timed once with the interpreter pinned and once with the
+	// generated-Go backend pinned. Both produce bit-identical modeled output
+	// (the differential suite in internal/core enforces it); only wall-clock
+	// differs, and backend_wall_speedup = interp/compiled.
+	InterpWallNsOp   float64 `json:"interp_wall_ns_per_op,omitempty"`
+	CompiledWallNsOp float64 `json:"compiled_wall_ns_per_op,omitempty"`
+	BackendSpeedup   float64 `json:"backend_wall_speedup,omitempty"`
+	LaneUtil         float64 `json:"lane_utilization,omitempty"`
+	L1HitRate        float64 `json:"l1_hit_rate,omitempty"`
+	TraceEvents      int     `json:"trace_events,omitempty"`
+	MetricRows       int     `json:"metric_rows,omitempty"`
 	// SELL-specific columns, set on layout "sell" rows (pointers so a
 	// legitimate zero — a sweep that never went dense — still serializes,
 	// as the schema validator requires).
@@ -84,6 +92,7 @@ type hostExecReport struct {
 	Note           string             `json:"note"`
 	Kernels        []hostExecSample   `json:"kernels"`
 	GeomeanWall    float64            `json:"geomean_wall_speedup"`
+	BackendGeomean float64            `json:"backend_wall_geomean,omitempty"`
 	LayoutGeomeans map[string]float64 `json:"layout_cycles_geomean_by_family,omitempty"`
 }
 
@@ -119,6 +128,18 @@ func recordHostExec(kernel, graphName, layout, mode string, cycles, nsPerOp, all
 		s.ParWallNsOp = nsPerOp
 		s.ParAllocsOp = allocsOp
 		s.ParBytesOp = bytesOp
+	}
+}
+
+func recordHostExecBackend(kernel, graphName, layout, backend string, nsPerOp float64) {
+	hostExecResults.Lock()
+	defer hostExecResults.Unlock()
+	s := hostExecRow(kernel, graphName, layout)
+	switch backend {
+	case "interp":
+		s.InterpWallNsOp = nsPerOp
+	case "compiled":
+		s.CompiledWallNsOp = nsPerOp
 	}
 }
 
@@ -205,11 +226,18 @@ func writeHostExecReport() {
 	n := 0
 	baseProd := 1.0
 	nBase := 0
+	beProd := 1.0
+	nBe := 0
 	for _, s := range hostExecResults.byKernel {
 		if s.CoopWallNsOp > 0 && s.ParWallNsOp > 0 {
 			s.Speedup = s.CoopWallNsOp / s.ParWallNsOp
 			logProd *= s.Speedup
 			n++
+		}
+		if s.InterpWallNsOp > 0 && s.CompiledWallNsOp > 0 {
+			s.BackendSpeedup = s.InterpWallNsOp / s.CompiledWallNsOp
+			beProd *= s.BackendSpeedup
+			nBe++
 		}
 		if b, ok := base[s.Kernel+"/"+s.Layout]; ok && b.CoopWallNsOp > 0 && s.CoopWallNsOp > 0 {
 			s.CoopNsVsBase = s.CoopWallNsOp / b.CoopWallNsOp
@@ -226,6 +254,11 @@ func writeHostExecReport() {
 	})
 	if n > 0 {
 		rep.GeomeanWall = math.Pow(logProd, 1/float64(n))
+	}
+	if nBe > 0 {
+		rep.BackendGeomean = math.Pow(beProd, 1/float64(nBe))
+		rep.Note += fmt.Sprintf("; interp-vs-compiled backend wall geomean (%d kernels, cooperative/csr): %.2fx",
+			nBe, rep.BackendGeomean)
 	}
 	if nBase > 0 {
 		rep.Note += fmt.Sprintf("; geomean cooperative ns/op vs baseline (%d rows): %.3fx",
@@ -340,6 +373,34 @@ func BenchmarkHostExec(b *testing.B) {
 					recordHostExecRecovery(k.Name, g.Name, lt.name,
 						res.Recovery.Checkpoints, res.Recovery.Rollbacks,
 						res.Recovery.BadCheckpoints, res.Recovery.WastedCycles)
+				}
+			}
+			if lt.name == "csr" {
+				// Backend comparison rows: interpreter vs generated Go, both
+				// under the cooperative scheduler on the calibrated CSR
+				// configuration. BackendInterp pins the oracle; BackendCompiled
+				// degrades to the interpreter only for uncovered programs, and
+				// Result.Backend records which one actually ran.
+				for _, be := range []struct {
+					name string
+					sel  core.Backend
+				}{
+					{"interp", core.BackendInterp},
+					{"compiled", core.BackendCompiled},
+				} {
+					bcfg := cfg
+					bcfg.HostExec = core.HostCooperative
+					bcfg.Backend = be.sel
+					b.Run(k.Name+"/"+lt.name+"/backend-"+be.name, func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							if _, err := core.Run(k, g, bcfg); err != nil {
+								b.Fatal(err)
+							}
+						}
+						nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+						recordHostExecBackend(k.Name, g.Name, lt.name, be.name, nsPerOp)
+					})
 				}
 			}
 			for _, mode := range modes {

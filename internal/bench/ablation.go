@@ -32,7 +32,7 @@ func Ablation(o Options) []*Table {
 	defFactor := codegen.BigDegreeFactor
 	for _, f := range []int{1, 2, 4, 8} {
 		codegen.BigDegreeFactor = f
-		res, err := core.Run(bfs, g, core.Config{Machine: m, Src: src})
+		res, err := core.Run(bfs, g, core.Config{Backend: o.Backend, Machine: m, Src: src})
 		if err != nil {
 			codegen.BigDegreeFactor = defFactor
 			panic(err)
@@ -65,7 +65,7 @@ func Ablation(o Options) []*Table {
 	defFibers := codegen.MaxFibersPerTask
 	for _, cap := range []int32{1, 16, 256, 4096} {
 		codegen.MaxFibersPerTask = cap
-		res, err := core.Run(cx, road, core.Config{Machine: m, Src: rsrc})
+		res, err := core.Run(cx, road, core.Config{Backend: o.Backend, Machine: m, Src: rsrc})
 		if err != nil {
 			codegen.MaxFibersPerTask = defFibers
 			panic(err)
@@ -93,7 +93,7 @@ func Ablation(o Options) []*Table {
 			Notes:  []string{"too small: many promotion rounds; too large: excess re-relaxation — the shipped default is maxWeight/2"},
 		}
 		for _, d := range []int32{4, 16, 32, 64, 256} {
-			res, err := core.Run(sssp, road, core.Config{
+			res, err := core.Run(sssp, road, core.Config{Backend: o.Backend,
 				Machine: m, Src: rsrc, Params: map[string]int32{"delta": d},
 			})
 			if err != nil {
@@ -134,9 +134,9 @@ func NeonExt(o Options) []*Table {
 			armSerial := sc.ms(arm, b, gg, src)
 			intelSerial := sc.ms(intel, b, gg, src)
 			// Plain SIMD (no optimizations), matching Fig. 6's +SIMD column.
-			neon1 := runMS(b, gg, core.Config{Machine: arm, Tasks: 1, NoSMT: true, Opts: &none, Src: src})
-			neonMT := runMS(b, gg, core.Config{Machine: arm, Src: src})
-			avxMT := runMS(b, gg, core.Config{Machine: intel, Src: src})
+			neon1 := runMS(b, gg, core.Config{Backend: o.Backend, Machine: arm, Tasks: 1, NoSMT: true, Opts: &none, Src: src})
+			neonMT := runMS(b, gg, core.Config{Backend: o.Backend, Machine: arm, Src: src})
+			avxMT := runMS(b, gg, core.Config{Backend: o.Backend, Machine: intel, Src: src})
 			t.Rows = append(t.Rows, []string{
 				b.Name, shortName(g),
 				f2(armSerial / neon1), f2(armSerial / neonMT), f2(intelSerial / avxMT),

@@ -97,6 +97,12 @@ type Options struct {
 	Layout    core.Layout
 	SellC     int
 	SellSigma int
+	// Backend selects the kernel backend for every simulated run (default
+	// auto). Modeled numbers are backend-invariant by construction — the
+	// differential suite in internal/core enforces bit-identity — so this
+	// only changes how long table regeneration takes; pin "interp" to
+	// regenerate on the oracle.
+	Backend core.Backend
 }
 
 // observe records a headline number into the attached registry; without one

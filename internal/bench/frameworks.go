@@ -41,7 +41,7 @@ func fig4Machine(o Options, m *machine.Config) []*Table {
 			gg := pc.graph(b, g)
 			src := gg.MaxDegreeNode()
 			serial := sc.ms(m, b, gg, src)
-			egacs := runMS(b, gg, core.Config{Machine: m, Src: src})
+			egacs := runMS(b, gg, core.Config{Backend: o.Backend, Machine: m, Src: src})
 			speedRow := []string{b.Name, shortName(g), f2(serial / egacs)}
 			rawRow := []string{b.Name, shortName(g), f3(serial), f3(egacs)}
 			best := "egacs"

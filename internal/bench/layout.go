@@ -40,13 +40,13 @@ func LayoutExp(o Options) []*Table {
 		var ratios []float64
 		for _, b := range o.benchSet() {
 			gg := pc.graph(b, g)
-			csr, err := core.Run(b, gg, core.Config{
+			csr, err := core.Run(b, gg, core.Config{Backend: o.Backend,
 				Machine: m, Src: src, Layout: core.LayoutCSR, Budget: RunBudget,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("bench: layout: %s on %s csr: %v", b.Name, g.Name, err))
 			}
-			sell, err := core.Run(b, gg, core.Config{
+			sell, err := core.Run(b, gg, core.Config{Backend: o.Backend,
 				Machine: m, Src: src, Budget: RunBudget,
 				Layout: arm, SellC: o.SellC, SellSigma: o.SellSigma,
 			})

@@ -75,8 +75,8 @@ func Table3(o Options) []*Table {
 	withIO := opt.Options{NP: true, CC: true, IO: true}
 	for _, ts := range spmd.TaskSystems() {
 		ts := ts
-		base := runMS(bfs, g, core.Config{Machine: m, TaskSys: &ts, Opts: &noIO, Src: src})
-		outl := runMS(bfs, g, core.Config{Machine: m, TaskSys: &ts, Opts: &withIO, Src: src})
+		base := runMS(bfs, g, core.Config{Backend: o.Backend, Machine: m, TaskSys: &ts, Opts: &noIO, Src: src})
+		outl := runMS(bfs, g, core.Config{Backend: o.Backend, Machine: m, TaskSys: &ts, Opts: &withIO, Src: src})
 		t.Rows = append(t.Rows, []string{ts.Name, f3(base), f3(outl), f3(base - outl)})
 	}
 	return []*Table{t}

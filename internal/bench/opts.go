@@ -29,11 +29,11 @@ func Table4(o Options) []*Table {
 	w := m.PreferredTarget.Width
 	for _, g := range o.graphs()[:2] { // road, rmat
 		src := g.MaxDegreeNode()
-		r1, err := core.Run(bfs, g, core.Config{Machine: m, Opts: &unopt, Src: src})
+		r1, err := core.Run(bfs, g, core.Config{Backend: o.Backend, Machine: m, Opts: &unopt, Src: src})
 		if err != nil {
 			panic(err)
 		}
-		r2, err := core.Run(bfs, g, core.Config{Machine: m, Opts: &all, Src: src})
+		r2, err := core.Run(bfs, g, core.Config{Backend: o.Backend, Machine: m, Opts: &all, Src: src})
 		if err != nil {
 			panic(err)
 		}
@@ -75,18 +75,18 @@ func Table5(o Options) []*Table {
 		unopt := opt.Options{NP: true, IO: true}
 		taskCC := opt.Options{NP: true, IO: true, CC: true}
 		fiberCC := opt.All()
-		r0, err := core.Run(b, gg, core.Config{Machine: m, Opts: &unopt, Src: src})
+		r0, err := core.Run(b, gg, core.Config{Backend: o.Backend, Machine: m, Opts: &unopt, Src: src})
 		if err != nil {
 			panic(err)
 		}
 		if r0.Stats.AtomicPushes == 0 {
 			continue // no worklist pushes in this benchmark
 		}
-		r1, err := core.Run(b, gg, core.Config{Machine: m, Opts: &taskCC, Src: src})
+		r1, err := core.Run(b, gg, core.Config{Backend: o.Backend, Machine: m, Opts: &taskCC, Src: src})
 		if err != nil {
 			panic(err)
 		}
-		r2, err := core.Run(b, gg, core.Config{Machine: m, Opts: &fiberCC, Src: src})
+		r2, err := core.Run(b, gg, core.Config{Backend: o.Backend, Machine: m, Opts: &fiberCC, Src: src})
 		if err != nil {
 			panic(err)
 		}
@@ -137,11 +137,11 @@ func Fig5(o Options) []*Table {
 		for _, g := range o.graphs() {
 			gg := pc.graph(b, g)
 			src := gg.MaxDegreeNode()
-			base := runMS(b, gg, core.Config{Machine: m, Src: src, Opts: &configs[0].Opts})
+			base := runMS(b, gg, core.Config{Backend: o.Backend, Machine: m, Src: src, Opts: &configs[0].Opts})
 			row := []string{b.Name, shortName(g)}
 			for _, c := range configs[1:] {
 				c := c
-				ms := runMS(b, gg, core.Config{Machine: m, Src: src, Opts: &c.Opts})
+				ms := runMS(b, gg, core.Config{Backend: o.Backend, Machine: m, Src: src, Opts: &c.Opts})
 				sp := base / ms
 				row = append(row, f2(sp))
 				if c.Name == "io+cc+np+fibers" {
@@ -181,13 +181,13 @@ func Fig6(o Options) []*Table {
 			src := gg.MaxDegreeNode()
 			serial := sc.ms(m, b, gg, src)
 			// +SIMD: one task, vector target, no optimizations.
-			s1 := runMS(b, gg, core.Config{Machine: m, Tasks: 1, NoSMT: true, Opts: &none, Src: src})
+			s1 := runMS(b, gg, core.Config{Backend: o.Backend, Machine: m, Tasks: 1, NoSMT: true, Opts: &none, Src: src})
 			// +MT: 16 tasks, scalar target.
-			s2 := runMS(b, gg, core.Config{Machine: m, Target: vec.TargetScalar, Opts: &none, Src: src})
+			s2 := runMS(b, gg, core.Config{Backend: o.Backend, Machine: m, Target: vec.TargetScalar, Opts: &none, Src: src})
 			// +MT+SIMD.
-			s3 := runMS(b, gg, core.Config{Machine: m, Opts: &none, Src: src})
+			s3 := runMS(b, gg, core.Config{Backend: o.Backend, Machine: m, Opts: &none, Src: src})
 			// +MT+SIMD+Opt.
-			s4 := runMS(b, gg, core.Config{Machine: m, Opts: &allOpt, Src: src})
+			s4 := runMS(b, gg, core.Config{Backend: o.Backend, Machine: m, Opts: &allOpt, Src: src})
 			simd = append(simd, serial/s1)
 			mt = append(mt, serial/s2)
 			mtSimd = append(mtSimd, serial/s3)

@@ -35,7 +35,7 @@ func Fig8(o Options) []*Table {
 					gg := pc.graph(b, g)
 					src := gg.MaxDegreeNode()
 					serial := sc.ms(mc.m, b, gg, src)
-					ms := runMS(b, gg, core.Config{
+					ms := runMS(b, gg, core.Config{Backend: o.Backend,
 						Machine: mc.m, Tasks: cores, NoSMT: true, Src: src,
 					})
 					sp = append(sp, serial/ms)
@@ -83,10 +83,10 @@ func Fig10(o Options) []*Table {
 					// scales the way the paper's partial-machine runs do.
 					mm := *mc.m
 					mm.Cores = cores
-					off := runMS(b, gg, core.Config{
+					off := runMS(b, gg, core.Config{Backend: o.Backend,
 						Machine: &mm, Tasks: cores, NoSMT: true, Src: src,
 					})
-					on := runMS(b, gg, core.Config{
+					on := runMS(b, gg, core.Config{Backend: o.Backend,
 						Machine: &mm, Tasks: cores * mc.m.SMTWays, Src: src,
 					})
 					noSMT = append(noSMT, serial/off)

@@ -39,10 +39,10 @@ func Fig7(o Options) []*Table {
 				gg := pc.graph(b, g)
 				src := gg.MaxDegreeNode()
 				// Speedup: multi-task run.
-				ms := runMS(b, gg, core.Config{Machine: m, Target: tgt, Src: src})
+				ms := runMS(b, gg, core.Config{Backend: o.Backend, Machine: m, Target: tgt, Src: src})
 				// Instructions: single-task run, as the paper does to
 				// exclude barrier/launch/CAS-retry noise.
-				res, err := core.Run(b, gg, core.Config{
+				res, err := core.Run(b, gg, core.Config{Backend: o.Backend,
 					Machine: m, Target: tgt, Tasks: 1, NoSMT: true, Src: src,
 				})
 				if err != nil {

@@ -1,0 +1,68 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/compiled"
+	"repro/internal/ir"
+)
+
+// EnableCompiled switches the instance to the generated-Go kernel backend
+// (internal/compiled). Every kernel of the program must have generated code
+// for the engine's vector width and the program's exact post-optimization
+// fingerprint — selection is all-or-nothing, so a run never mixes backends
+// mid-pipe. On any gap it returns an error wrapping
+// compiled.ErrBackendUnsupported and leaves the instance on the interpreter.
+//
+// Call between Bind and Run; the choice is sticky for the instance's
+// lifetime. Generated kernels drive the same TaskCtx/worklist primitives in
+// the same order as the interpreter, so exec modes, checkpoint/rollback and
+// fault injection compose unchanged.
+func (in *Instance) EnableCompiled() error {
+	w := in.E.Width()
+	fp := ir.Fingerprint(in.M.Prog)
+	fns := make(map[string]compiled.Fn, len(in.M.Prog.Kernels))
+	for _, k := range in.M.Prog.Kernels {
+		fn := compiled.Lookup(fp, k.Name, w)
+		if fn == nil {
+			return fmt.Errorf("codegen: no generated code for program %q (fp %s) kernel %q width %d: %w",
+				in.M.Prog.Name, fp, k.Name, w, compiled.ErrBackendUnsupported)
+		}
+		fns[k.Name] = fn
+	}
+	in.compiledFns = fns
+	return nil
+}
+
+// CompiledEnabled reports whether the generated backend is active.
+func (in *Instance) CompiledEnabled() bool { return in.compiledFns != nil }
+
+// refreshBinding (re)builds the environment handed to generated kernels. It
+// runs at every pipe (re)entry — a single-threaded point after Bind,
+// AttachSell, parameter mutation and rollback, before any task executes.
+// Params and Arrays alias the live instance state, so host-side updates
+// between launches (e.g. the near-far threshold) are visible without another
+// refresh.
+func (in *Instance) refreshBinding() {
+	b := in.binding
+	if b == nil {
+		b = &compiled.Binding{}
+		in.binding = b
+	}
+	b.NumNodes = in.G.NumNodes()
+	b.NumEdges = in.G.NumEdges()
+	b.Params = in.Params
+	b.Arrays = in.arrays
+	b.RowPtr = in.rowPtr
+	b.EdgeDst = in.edgeDs
+	b.EdgeWt = in.edgeWt
+	b.Sell = in.sell
+	b.SellPerm = in.sellPerm
+	b.SellDst = in.sellDst
+	b.SellEid = in.sellEid
+	b.SellWt = in.sellWt
+	b.WL = in.wl
+	b.Far = in.far
+	b.MaxFibers = MaxFibersPerTask
+	b.BigDeg = int32(BigDegreeFactor * in.E.Width())
+}

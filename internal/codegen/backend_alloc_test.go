@@ -1,0 +1,73 @@
+package codegen
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/spmd"
+	"repro/internal/vec"
+)
+
+// TestCompiledTaskAllocationFree pins the generated backend's performance
+// contract at the task level, mirroring spmd's deferred hot-path test: once
+// worklists and engine buffers have grown to working size, executing a whole
+// generated kernel task — register locals, lane loops, gathers, scatters,
+// atomics — performs zero heap allocations. The interpreter pays pooled-frame
+// bookkeeping and closure indirection per node; the generated code must pay
+// nothing beyond the primitives themselves. A regression here means a closure
+// capture, interface box or map allocation crept into the emitted code.
+func TestCompiledTaskAllocationFree(t *testing.T) {
+	for _, name := range []string{"pr", "cc", "kcore"} {
+		b, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := opt.Apply(b.Prog, opt.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := MustCompile(prog)
+		e := spmd.New(machine.Intel8(), vec.TargetAVX512x16, 1)
+		e.Exec = spmd.ExecLive
+		in, err := mod.Bind(e, graph.Random(256, 2048, 8, 5), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.EnableCompiled(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := in.initState(); err != nil {
+			t.Fatal(err)
+		}
+		in.refreshBinding()
+
+		// Borrow a live TaskCtx from a real launch; live-mode contexts stay
+		// valid after the launch returns, so the kernel body can be measured
+		// without the launch machinery's own allocations in the way.
+		var tc *spmd.TaskCtx
+		if err := e.Launch(1, func(c *spmd.TaskCtx) { tc = c }); err != nil {
+			t.Fatal(err)
+		}
+
+		var knames []string
+		for kn := range in.compiledFns {
+			knames = append(knames, kn)
+		}
+		sort.Strings(knames)
+		for _, kn := range knames {
+			fn := in.compiledFns[kn]
+			work := func() { fn(in.binding, tc) }
+			for i := 0; i < 3; i++ {
+				work() // grow worklists/buffers to steady state
+			}
+			if allocs := testing.AllocsPerRun(20, work); allocs != 0 {
+				t.Errorf("%s/%s: compiled task allocates %.1f objects per run, want 0",
+					name, kn, allocs)
+			}
+		}
+	}
+}

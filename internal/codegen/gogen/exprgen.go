@@ -1,0 +1,822 @@
+package gogen
+
+// Expression and statement emission: each case mirrors the corresponding
+// closure in internal/codegen/expr.go and stmt.go, with the same evaluation
+// and cost-charging order. Vector arithmetic becomes inline lane loops with
+// the interpreter's merge-masking semantics; memory, atomic and worklist
+// operations call the TaskCtx pointer-variant primitives.
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ir"
+)
+
+// els switches an open if block to its else branch.
+func (c *kemit) els() {
+	c.ind--
+	c.w("} else {")
+	c.ind++
+}
+
+// emitCountOp mirrors kcompiler.countOp: inner-loop charges track lane
+// utilization, outer charges only maskedness.
+func (c *kemit) emitCountOp(class, m string) {
+	if c.inner {
+		c.w("tc.InnerOp(vec.%s, !%s.All(%d), %s.PopCount())", class, m, c.W, m)
+	} else {
+		c.w("tc.Op(vec.%s, !%s.All(%d))", class, m, c.W)
+	}
+}
+
+func (c *kemit) checkNPWrite(name string) error {
+	if c.npOuter != nil && c.npOuter[name] {
+		return c.errf("nested parallelism: assignment to %q declared outside the edge loop; NP bodies must write through arrays, atomics or pushes", name)
+	}
+	return nil
+}
+
+// --- i32 expressions ---
+
+func (c *kemit) genI(e ir.Expr, m string) (valI, error) {
+	switch e := e.(type) {
+	case *ir.ConstI:
+		return valI{scalar: fmt.Sprintf("int32(%d)", e.V)}, nil
+	case *ir.Param:
+		return valI{scalar: c.paramRef(e.Name)}, nil
+	case *ir.NumNodes:
+		return valI{scalar: "b.NumNodes"}, nil
+	case *ir.Var:
+		if c.sellEdge != "" && e.Name == c.sellEdge {
+			c.sellEdgeUsed = true
+		}
+		slot, ok := c.slotI[e.Name]
+		if !ok {
+			return valI{}, c.errf("int variable %q not in scope", e.Name)
+		}
+		return valI{vec: c.regI(slot)}, nil
+	case *ir.Bin:
+		return c.genBinI(e, m)
+	case *ir.Sel:
+		cond, err := c.genM(e.Cond, m)
+		if err != nil {
+			return valI{}, err
+		}
+		cm := c.newTmp("cm")
+		c.w("%s := %s", cm, cond)
+		c.emitCountOp("ClassBlend", m)
+		a, err := c.genI(e.A, m)
+		if err != nil {
+			return valI{}, err
+		}
+		bv, err := c.genI(e.B, m)
+		if err != nil {
+			return valI{}, err
+		}
+		t := c.newTmp("t")
+		c.w("var %s vec.Vec", t)
+		c.open("for i := 0; i < %d; i++ {", c.W)
+		c.open("if %s.Bit(i) {", cm)
+		c.w("%s[i] = %s", t, a.lane("i"))
+		c.els()
+		c.w("%s[i] = %s", t, bv.lane("i"))
+		c.close()
+		c.close()
+		return valI{vec: t}, nil
+	case *ir.Load:
+		a := c.prog.ArrayByName(e.Arr)
+		if a == nil || a.T != ir.I32 {
+			return valI{}, c.errf("load %q is not i32", e.Arr)
+		}
+		idx, err := c.genI(e.Idx, m)
+		if err != nil {
+			return valI{}, err
+		}
+		return c.gatherI(c.arrayRef(e.Arr), idx, m), nil
+	case *ir.RowStart:
+		node, err := c.genI(e.Node, m)
+		if err != nil {
+			return valI{}, err
+		}
+		return c.gatherI("b.RowPtr", node, m), nil
+	case *ir.RowEnd:
+		node, err := c.genI(e.Node, m)
+		if err != nil {
+			return valI{}, err
+		}
+		c.emitCountOp("ClassALU", m)
+		n1 := c.newTmp("t")
+		c.w("var %s vec.Vec", n1)
+		c.open("for i := 0; i < %d; i++ {", c.W)
+		c.open("if %s.Bit(i) {", m)
+		c.w("%s[i] = %s + 1", n1, node.lane("i"))
+		c.els()
+		c.w("%s[i] = %s", n1, node.lane("i"))
+		c.close()
+		c.close()
+		return c.gatherI("b.RowPtr", valI{vec: n1}, m), nil
+	case *ir.EdgeDst:
+		if v, ok := e.Edge.(*ir.Var); ok && c.sellEdge != "" && v.Name == c.sellEdge {
+			return valI{vec: c.cellName("cellDst")}, nil
+		}
+		edge, err := c.genI(e.Edge, m)
+		if err != nil {
+			return valI{}, err
+		}
+		return c.gatherI("b.EdgeDst", edge, m), nil
+	case *ir.EdgeWt:
+		if v, ok := e.Edge.(*ir.Var); ok && c.sellEdge != "" && v.Name == c.sellEdge {
+			c.sellWtUsed = true
+			return valI{vec: c.cellName("cellWt")}, nil
+		}
+		// Unweighted graphs splat 1 with no charge and no access, exactly
+		// like the interpreter's nil-edgeWt branch — the edge expression's
+		// side effects (its op charges) happen only on the weighted path.
+		t := c.newTmp("t")
+		c.w("var %s vec.Vec", t)
+		c.open("if b.EdgeWt != nil {")
+		edge, err := c.genI(e.Edge, m)
+		if err != nil {
+			return valI{}, err
+		}
+		ev := c.asVecI(edge)
+		c.w("tc.GatherIP(b.EdgeWt, &%s, %s, %s, &%s)", ev, m, boolLit(c.inner), t)
+		c.els()
+		c.open("for i := 0; i < %d; i++ {", c.W)
+		c.w("%s[i] = 1", t)
+		c.close()
+		c.close()
+		return valI{vec: t}, nil
+	case *ir.ToI:
+		a, err := c.genF(e.A, m)
+		if err != nil {
+			return valI{}, err
+		}
+		c.emitCountOp("ClassConvert", m)
+		t := c.newTmp("t")
+		c.w("var %s vec.Vec", t)
+		c.open("for i := 0; i < %d; i++ {", c.W)
+		c.w("%s[i] = int32(%s)", t, a.lane("i"))
+		c.close()
+		return valI{vec: t}, nil
+	}
+	return valI{}, c.errf("expression %T is not i32", e)
+}
+
+// gatherI emits a masked gather from arr (an emitted *spmd.Array expression)
+// into a fresh temp. Inactive lanes are zero, matching the interpreter's
+// merge onto vec.Vec{}.
+func (c *kemit) gatherI(arr string, idx valI, m string) valI {
+	iv := c.asVecI(idx)
+	t := c.newTmp("t")
+	c.w("var %s vec.Vec", t)
+	c.w("tc.GatherIP(%s, &%s, %s, %s, &%s)", arr, iv, m, boolLit(c.inner), t)
+	return valI{vec: t}
+}
+
+func boolLit(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+var binSymI = map[ir.BinOp]string{
+	ir.Add: "+", ir.Sub: "-", ir.Mul: "*",
+	ir.And: "&", ir.Or: "|", ir.Xor: "^",
+}
+
+var cmpSym = map[ir.BinOp]string{
+	ir.Eq: "==", ir.Ne: "!=", ir.Lt: "<", ir.Le: "<=", ir.Gt: ">", ir.Ge: ">=",
+}
+
+func (c *kemit) genBinI(e *ir.Bin, m string) (valI, error) {
+	if e.Op.IsLogical() {
+		return valI{}, c.errf("operator %v not valid on i32", e.Op)
+	}
+	a, err := c.genI(e.A, m)
+	if err != nil {
+		return valI{}, err
+	}
+	bv, err := c.genI(e.B, m)
+	if err != nil {
+		return valI{}, err
+	}
+	c.emitCountOp("ClassALU", m)
+	t := c.newTmp("t")
+	c.w("var %s vec.Vec", t)
+	c.open("for i := 0; i < %d; i++ {", c.W)
+	c.open("if %s.Bit(i) {", m)
+	if err := c.laneBinI(e.Op, t+"[i]", a.lane("i"), bv.lane("i")); err != nil {
+		return valI{}, err
+	}
+	c.els()
+	c.w("%s[i] = %s", t, a.lane("i"))
+	c.close()
+	c.close()
+	return valI{vec: t}, nil
+}
+
+// laneBinI emits the active-lane statement(s) for dst = a op b, replicating
+// vec.applyBin exactly (total division, shift-count masking, b2i compares).
+func (c *kemit) laneBinI(op ir.BinOp, dst, a, b string) error {
+	if sym, ok := binSymI[op]; ok {
+		c.w("%s = %s %s %s", dst, a, sym, b)
+		return nil
+	}
+	if sym, ok := cmpSym[op]; ok {
+		c.open("if %s %s %s {", a, sym, b)
+		c.w("%s = 1", dst)
+		c.els()
+		c.w("%s = 0", dst)
+		c.close()
+		return nil
+	}
+	switch op {
+	case ir.Div, ir.Rem:
+		sym := "/"
+		if op == ir.Rem {
+			sym = "%%"
+		}
+		d := c.newTmp("d")
+		c.open("if %s := %s; %s != 0 {", d, b, d)
+		c.w("%s = %s "+sym+" %s", dst, a, d)
+		c.els()
+		c.w("%s = 0", dst)
+		c.close()
+	case ir.Shl:
+		c.w("%s = %s << (uint32(%s) & 31)", dst, a, b)
+	case ir.Shr:
+		c.w("%s = %s >> (uint32(%s) & 31)", dst, a, b)
+	case ir.Min:
+		c.open("if %s < %s {", a, b)
+		c.w("%s = %s", dst, a)
+		c.els()
+		c.w("%s = %s", dst, b)
+		c.close()
+	case ir.Max:
+		c.open("if %s > %s {", a, b)
+		c.w("%s = %s", dst, a)
+		c.els()
+		c.w("%s = %s", dst, b)
+		c.close()
+	default:
+		return c.errf("operator %v not valid on i32", op)
+	}
+	return nil
+}
+
+// --- f32 expressions ---
+
+func (c *kemit) genF(e ir.Expr, m string) (valF, error) {
+	switch e := e.(type) {
+	case *ir.ConstF:
+		// Shortest round-trip decimal: the source literal reparses to the
+		// identical float32 bits.
+		return valF{scalar: "float32(" + strconv.FormatFloat(float64(e.V), 'g', -1, 32) + ")"}, nil
+	case *ir.Var:
+		slot, ok := c.slotF[e.Name]
+		if !ok {
+			return valF{}, c.errf("float variable %q not in scope", e.Name)
+		}
+		return valF{vec: c.regF(slot)}, nil
+	case *ir.Bin:
+		return c.genBinF(e, m)
+	case *ir.Sel:
+		cond, err := c.genM(e.Cond, m)
+		if err != nil {
+			return valF{}, err
+		}
+		cm := c.newTmp("cm")
+		c.w("%s := %s", cm, cond)
+		c.emitCountOp("ClassBlend", m)
+		a, err := c.genF(e.A, m)
+		if err != nil {
+			return valF{}, err
+		}
+		bv, err := c.genF(e.B, m)
+		if err != nil {
+			return valF{}, err
+		}
+		t := c.newTmp("t")
+		c.w("var %s vec.FVec", t)
+		c.open("for i := 0; i < %d; i++ {", c.W)
+		c.open("if %s.Bit(i) {", cm)
+		c.w("%s[i] = %s", t, a.lane("i"))
+		c.els()
+		c.w("%s[i] = %s", t, bv.lane("i"))
+		c.close()
+		c.close()
+		return valF{vec: t}, nil
+	case *ir.Load:
+		a := c.prog.ArrayByName(e.Arr)
+		if a == nil || a.T != ir.F32 {
+			return valF{}, c.errf("load %q is not f32", e.Arr)
+		}
+		idx, err := c.genI(e.Idx, m)
+		if err != nil {
+			return valF{}, err
+		}
+		iv := c.asVecI(idx)
+		t := c.newTmp("t")
+		c.w("var %s vec.FVec", t)
+		c.w("tc.GatherFP(%s, &%s, %s, %s, &%s)", c.arrayRef(e.Arr), iv, m, boolLit(c.inner), t)
+		return valF{vec: t}, nil
+	case *ir.ToF:
+		a, err := c.genI(e.A, m)
+		if err != nil {
+			return valF{}, err
+		}
+		c.emitCountOp("ClassConvert", m)
+		t := c.newTmp("t")
+		c.w("var %s vec.FVec", t)
+		c.open("for i := 0; i < %d; i++ {", c.W)
+		c.w("%s[i] = float32(%s)", t, a.lane("i"))
+		c.close()
+		return valF{vec: t}, nil
+	}
+	return valF{}, c.errf("expression %T is not f32", e)
+}
+
+func (c *kemit) genBinF(e *ir.Bin, m string) (valF, error) {
+	var sym string
+	switch e.Op {
+	case ir.Add:
+		sym = "+"
+	case ir.Sub:
+		sym = "-"
+	case ir.Mul:
+		sym = "*"
+	case ir.Div:
+		sym = "/"
+	case ir.Min, ir.Max:
+		sym = ""
+	default:
+		return valF{}, c.errf("operator %v not valid as f32 arithmetic", e.Op)
+	}
+	a, err := c.genF(e.A, m)
+	if err != nil {
+		return valF{}, err
+	}
+	bv, err := c.genF(e.B, m)
+	if err != nil {
+		return valF{}, err
+	}
+	c.emitCountOp("ClassALU", m)
+	t := c.newTmp("t")
+	c.w("var %s vec.FVec", t)
+	c.open("for i := 0; i < %d; i++ {", c.W)
+	c.open("if %s.Bit(i) {", m)
+	if sym != "" {
+		c.w("%s[i] = %s %s %s", t, a.lane("i"), sym, bv.lane("i"))
+	} else {
+		rel := "<"
+		if e.Op == ir.Max {
+			rel = ">"
+		}
+		c.open("if %s %s %s {", a.lane("i"), rel, bv.lane("i"))
+		c.w("%s[i] = %s", t, a.lane("i"))
+		c.els()
+		c.w("%s[i] = %s", t, bv.lane("i"))
+		c.close()
+	}
+	c.els()
+	c.w("%s[i] = %s", t, a.lane("i"))
+	c.close()
+	c.close()
+	return valF{vec: t}, nil
+}
+
+func (c *kemit) asVecF(v valF) string {
+	if v.vec != "" {
+		return v.vec
+	}
+	t := c.newTmp("t")
+	c.w("%s := vec.SplatF(%s)", t, v.scalar)
+	return t
+}
+
+// --- predicates ---
+
+// genM returns a side-effect-free mask expression (all evaluation side
+// effects are emitted in place, mirroring the interpreter's order). Callers
+// that use the result more than once must bind it to a temp first.
+func (c *kemit) genM(e ir.Expr, m string) (string, error) {
+	switch e := e.(type) {
+	case *ir.Var:
+		slot, ok := c.slotM[e.Name]
+		if !ok {
+			return "", c.errf("predicate variable %q not in scope", e.Name)
+		}
+		return fmt.Sprintf("(%s & %s)", c.regM(slot), m), nil
+	case *ir.Not:
+		c.w("tc.ScalarOps(1)")
+		a, err := c.genM(e.A, m)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s &^ %s)", m, a), nil
+	case *ir.Bin:
+		if e.Op.IsLogical() {
+			a, err := c.genM(e.A, m)
+			if err != nil {
+				return "", err
+			}
+			bv, err := c.genM(e.B, m)
+			if err != nil {
+				return "", err
+			}
+			c.w("tc.ScalarOps(1)")
+			if e.Op == ir.LAnd {
+				return fmt.Sprintf("(%s & %s)", a, bv), nil
+			}
+			return fmt.Sprintf("((%s | %s) & %s)", a, bv, m), nil
+		}
+		if !e.Op.IsCompare() {
+			return "", c.errf("operator %v does not yield a predicate", e.Op)
+		}
+		ta, err := c.typeOf(e.A)
+		if err != nil {
+			return "", err
+		}
+		sym := cmpSym[e.Op]
+		if ta == ir.F32 {
+			if e.Op == ir.Ne {
+				return "", c.errf("operator %v not valid as f32 compare", e.Op)
+			}
+			a, err := c.genF(e.A, m)
+			if err != nil {
+				return "", err
+			}
+			bv, err := c.genF(e.B, m)
+			if err != nil {
+				return "", err
+			}
+			return c.cmpLoop(sym, a.lane("i"), bv.lane("i"), m), nil
+		}
+		a, err := c.genI(e.A, m)
+		if err != nil {
+			return "", err
+		}
+		bv, err := c.genI(e.B, m)
+		if err != nil {
+			return "", err
+		}
+		return c.cmpLoop(sym, a.lane("i"), bv.lane("i"), m), nil
+	}
+	return "", c.errf("expression %T is not a predicate", e)
+}
+
+// cmpLoop emits the Cmp charge and a lane compare loop (CmpMask/FCmpMask:
+// bits set only within m), returning the result temp.
+func (c *kemit) cmpLoop(sym, laneA, laneB, m string) string {
+	c.emitCountOp("ClassCmp", m)
+	t := c.newTmp("k")
+	c.w("var %s vec.Mask", t)
+	c.open("for i := 0; i < %d; i++ {", c.W)
+	c.open("if %s.Bit(i) && %s %s %s {", m, laneA, sym, laneB)
+	c.w("%s = %s.Set(i)", t, t)
+	c.close()
+	c.close()
+	return t
+}
+
+// --- statements ---
+
+func (c *kemit) genStmts(ss []ir.Stmt, m string) error {
+	for _, s := range ss {
+		if err := c.genStmt(s, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// genAssignLike mirrors compileAssignLike + storeRegI/F/M: full-mask stores
+// skip the blend charge, partial stores charge one blend and merge.
+func (c *kemit) genAssignLike(name string, t ir.Type, val ir.Expr, m string) error {
+	if err := c.checkNPWrite(name); err != nil {
+		return err
+	}
+	slot := c.declare(name, t)
+	switch t {
+	case ir.I32:
+		v, err := c.genI(val, m)
+		if err != nil {
+			return err
+		}
+		return c.storeVecReg(c.regI(slot), v.lane("i"), m)
+	case ir.F32:
+		v, err := c.genF(val, m)
+		if err != nil {
+			return err
+		}
+		return c.storeVecReg(c.regF(slot), v.lane("i"), m)
+	default:
+		v, err := c.genM(val, m)
+		if err != nil {
+			return err
+		}
+		reg := c.regM(slot)
+		c.w("%s = (%s &^ %s) | (%s & %s)", reg, reg, m, v, m)
+		return nil
+	}
+}
+
+func (c *kemit) storeVecReg(reg, lane, m string) error {
+	c.open("if %s.All(%d) {", m, c.W)
+	c.open("for i := 0; i < %d; i++ {", c.W)
+	c.w("%s[i] = %s", reg, lane)
+	c.close()
+	c.els()
+	c.w("tc.Op(vec.ClassBlend, true)")
+	c.open("for i := 0; i < %d; i++ {", c.W)
+	c.open("if %s.Bit(i) {", m)
+	c.w("%s[i] = %s", reg, lane)
+	c.close()
+	c.close()
+	c.close()
+	return nil
+}
+
+func (c *kemit) genStmt(s ir.Stmt, m string) error {
+	switch s := s.(type) {
+	case *ir.Decl:
+		return c.genAssignLike(s.Name, s.T, s.Init, m)
+
+	case *ir.Assign:
+		var t ir.Type
+		switch {
+		case hasKey(c.slotI, s.Name):
+			t = ir.I32
+		case hasKey(c.slotF, s.Name):
+			t = ir.F32
+		case hasKey(c.slotM, s.Name):
+			t = ir.Bool
+		default:
+			return c.errf("assignment to undeclared %q", s.Name)
+		}
+		return c.genAssignLike(s.Name, t, s.Val, m)
+
+	case *ir.Store:
+		arr := c.prog.ArrayByName(s.Arr)
+		if arr == nil {
+			return c.errf("store to undeclared array %q", s.Arr)
+		}
+		c.open("if %s.Any() {", m)
+		idx, err := c.genI(s.Idx, m)
+		if err != nil {
+			return err
+		}
+		iv := c.asVecI(idx)
+		if arr.T == ir.F32 {
+			val, err := c.genF(s.Val, m)
+			if err != nil {
+				return err
+			}
+			c.w("tc.ScatterFP(%s, &%s, &%s, %s)", c.arrayRef(s.Arr), iv, c.asVecF(val), m)
+		} else {
+			val, err := c.genI(s.Val, m)
+			if err != nil {
+				return err
+			}
+			c.w("tc.ScatterIP(%s, &%s, &%s, %s)", c.arrayRef(s.Arr), iv, c.asVecI(val), m)
+		}
+		c.close()
+		return nil
+
+	case *ir.If:
+		cond, err := c.genM(s.Cond, m)
+		if err != nil {
+			return err
+		}
+		cm := c.newTmp("cm")
+		c.w("%s := %s", cm, cond)
+		tm := c.newTmp("tm")
+		c.open("if %s := %s & %s; %s.Any() {", tm, m, cm, tm)
+		if err := c.genStmts(s.Then, tm); err != nil {
+			return err
+		}
+		c.close()
+		if len(s.Else) > 0 {
+			em := c.newTmp("em")
+			c.open("if %s := %s &^ %s; %s.Any() {", em, m, cm, em)
+			if err := c.genStmts(s.Else, em); err != nil {
+				return err
+			}
+			c.close()
+		}
+		return nil
+
+	case *ir.While:
+		// Host-side trip cap, identical to the interpreter: corrupted state
+		// becomes a typed recoverable fault instead of a hang.
+		c.needImport("fmt")
+		c.needImport("repro/internal/fault")
+		lim := c.newTmp("lim")
+		act := c.newTmp("act")
+		trips := c.newTmp("n")
+		c.w("%s := 4*(int64(b.NumNodes)+int64(b.NumEdges)) + 64", lim)
+		c.w("%s := %s", act, m)
+		c.open("for %s := int64(0); ; %s++ {", trips, trips)
+		cond, err := c.genM(s.Cond, act)
+		if err != nil {
+			return err
+		}
+		c.w("%s &= %s", act, cond)
+		c.open("if %s.None() {", act)
+		c.w("break")
+		c.close()
+		c.open("if %s >= %s {", trips, lim)
+		c.w(`tc.Fail(fmt.Errorf("while loop exceeded %%d trips (likely corrupt state): %%w", %s, fault.ErrKernelPanic))`, lim)
+		c.close()
+		if err := c.genStmts(s.Body, act); err != nil {
+			return err
+		}
+		c.close()
+		return nil
+
+	case *ir.ForEdges:
+		return c.genForEdges(s, m)
+
+	case *ir.Push:
+		return c.genPush(s, m)
+
+	case *ir.AtomicMin:
+		succSlot := -1
+		if s.Success != "" {
+			succSlot = c.declare(s.Success, ir.Bool)
+		}
+		c.open("if %s.Any() {", m)
+		idx, err := c.genI(s.Idx, m)
+		if err != nil {
+			return err
+		}
+		iv := c.asVecI(idx)
+		val, err := c.genI(s.Val, m)
+		if err != nil {
+			return err
+		}
+		vv := c.asVecI(val)
+		won := c.newTmp("won")
+		c.w("%s := tc.AtomicMinLanesP(%s, &%s, &%s, %s)", won, c.arrayRef(s.Arr), iv, vv, m)
+		if succSlot >= 0 {
+			reg := c.regM(succSlot)
+			c.w("%s = (%s &^ %s) | (%s & %s)", reg, reg, m, won, m)
+		} else {
+			c.w("_ = %s", won)
+		}
+		c.close()
+		return nil
+
+	case *ir.AtomicCAS:
+		succSlot := -1
+		if s.Success != "" {
+			succSlot = c.declare(s.Success, ir.Bool)
+		}
+		c.open("if %s.Any() {", m)
+		idx, err := c.genI(s.Idx, m)
+		if err != nil {
+			return err
+		}
+		iv := c.asVecI(idx)
+		oldv, err := c.genI(s.Old, m)
+		if err != nil {
+			return err
+		}
+		ov := c.asVecI(oldv)
+		newv, err := c.genI(s.New, m)
+		if err != nil {
+			return err
+		}
+		nv := c.asVecI(newv)
+		won := c.newTmp("won")
+		c.w("%s := tc.AtomicCASLanesP(%s, &%s, &%s, &%s, %s)", won, c.arrayRef(s.Arr), iv, ov, nv, m)
+		if succSlot >= 0 {
+			reg := c.regM(succSlot)
+			c.w("%s = (%s &^ %s) | (%s & %s)", reg, reg, m, won, m)
+		} else {
+			c.w("_ = %s", won)
+		}
+		c.close()
+		return nil
+
+	case *ir.AtomicAdd:
+		arr := c.prog.ArrayByName(s.Arr)
+		if arr == nil {
+			return c.errf("atomic add to undeclared array %q", s.Arr)
+		}
+		c.open("if %s.Any() {", m)
+		idx, err := c.genI(s.Idx, m)
+		if err != nil {
+			return err
+		}
+		iv := c.asVecI(idx)
+		if arr.T == ir.F32 {
+			val, err := c.genF(s.Val, m)
+			if err != nil {
+				return err
+			}
+			c.w("tc.AtomicAddFLanesP(%s, &%s, &%s, %s)", c.arrayRef(s.Arr), iv, c.asVecF(val), m)
+		} else {
+			val, err := c.genI(s.Val, m)
+			if err != nil {
+				return err
+			}
+			c.w("tc.AtomicAddLanesP(%s, &%s, &%s, %s, false)", c.arrayRef(s.Arr), iv, c.asVecI(val), m)
+		}
+		c.close()
+		return nil
+
+	case *ir.AccumAdd:
+		arr := c.prog.ArrayByName(s.Acc)
+		if arr == nil {
+			return c.errf("accumulate to undeclared array %q", s.Acc)
+		}
+		c.open("if %s.Any() {", m)
+		if arr.T == ir.F32 {
+			val, err := c.genF(s.Val, m)
+			if err != nil {
+				return err
+			}
+			sum := c.newTmp("sum")
+			c.w("var %s float32", sum)
+			c.open("for i := 0; i < %d; i++ {", c.W)
+			c.open("if %s.Bit(i) {", m)
+			c.w("%s += %s", sum, val.lane("i"))
+			c.close()
+			c.close()
+			c.w("tc.AtomicAddFScalar(%s, 0, %s)", c.arrayRef(s.Acc), sum)
+		} else {
+			c.w("tc.Op(vec.ClassReduce, false)")
+			val, err := c.genI(s.Val, m)
+			if err != nil {
+				return err
+			}
+			sum := c.newTmp("sum")
+			c.w("var %s int32", sum)
+			c.open("for i := 0; i < %d; i++ {", c.W)
+			c.open("if %s.Bit(i) {", m)
+			c.w("%s += %s", sum, val.lane("i"))
+			c.close()
+			c.close()
+			c.w("tc.AtomicAddScalar(%s, 0, %s, false)", c.arrayRef(s.Acc), sum)
+		}
+		c.close()
+		return nil
+
+	case *ir.SetFlag:
+		c.open("if %s.Any() {", m)
+		c.w("tc.ScalarStoreI(%s, 0, 1)", c.arrayRef(s.Flag))
+		c.close()
+		return nil
+	}
+	return c.errf("unknown statement %T", s)
+}
+
+func (c *kemit) genPush(s *ir.Push, m string) error {
+	wl := "b.WL.Out"
+	if s.WL == "far" {
+		wl = "b.Far"
+	}
+	switch s.Mode {
+	case ir.PushUnopt:
+		c.open("if %s.Any() {", m)
+		val, err := c.genI(s.Val, m)
+		if err != nil {
+			return err
+		}
+		c.w("%s.PushLanes(tc, %s, %s)", wl, c.asVecI(val), m)
+		c.close()
+		return nil
+	case ir.PushCoop:
+		val, err := c.genI(s.Val, m)
+		if err != nil {
+			return err
+		}
+		c.w("%s.PushCoop(tc, %s, %s)", wl, c.asVecI(val), m)
+		return nil
+	case ir.PushReserved:
+		if !c.k.FiberCC {
+			return c.errf("reserved push outside a fiber-CC kernel")
+		}
+		c.usesRes = true
+		c.open("if %s.Any() {", m)
+		val, err := c.genI(s.Val, m)
+		if err != nil {
+			return err
+		}
+		n := c.newTmp("n")
+		c.w("%s := %s.WriteReserved(tc, resPos, %s, %s)", n, wl, c.asVecI(val), m)
+		c.w("resPos += %s", n)
+		c.close()
+		return nil
+	}
+	return c.errf("unknown push mode %d", s.Mode)
+}
+
+func hasKey[V any](m map[string]V, k string) bool {
+	_, ok := m[k]
+	return ok
+}

@@ -1,0 +1,59 @@
+// Command gen regenerates the checked-in generated-Go kernel backend
+// (internal/compiled). For every benchmark program it applies the full
+// optimization pipeline — the configuration the runtime executes by default —
+// and emits specialized kernel functions per vector width, keyed by the
+// optimized program's fingerprint.
+//
+// Run via `make gen` or `go generate ./...`; CI fails if the output drifts
+// from the committed files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codegen/gogen"
+	"repro/internal/kernels"
+	"repro/internal/opt"
+)
+
+func main() {
+	out := flag.String("out", ".", "directory to write z_*_gen.go files into")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string) error {
+	// Start from a clean slate so renamed or removed programs don't leave
+	// stale generated files behind.
+	old, err := filepath.Glob(filepath.Join(dir, "z_*_gen.go"))
+	if err != nil {
+		return err
+	}
+	for _, f := range old {
+		if err := os.Remove(f); err != nil {
+			return err
+		}
+	}
+	for _, b := range kernels.AllWithExtensions() {
+		prog, err := opt.Apply(b.Prog, opt.All())
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		src, err := gogen.EmitProgram(prog, nil)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		name := gogen.FileName(prog.Name)
+		if err := os.WriteFile(filepath.Join(dir, name), src, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("gen: wrote %s (%d bytes)\n", name, len(src))
+	}
+	return nil
+}

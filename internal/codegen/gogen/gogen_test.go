@@ -1,0 +1,81 @@
+package gogen
+
+import (
+	"bytes"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/opt"
+)
+
+// TestEmitDeterministic pins reproducible generation: emitting the same
+// program twice yields byte-identical source (the CI drift gate `go generate
+// && git diff --exit-code` depends on this), and the output is syntactically
+// valid gofmt'd Go that registers every kernel at every target width.
+func TestEmitDeterministic(t *testing.T) {
+	for _, b := range kernels.AllWithExtensions() {
+		prog, err := opt.Apply(b.Prog, opt.All())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		first, err := EmitProgram(prog, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		second, err := EmitProgram(prog, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: nondeterministic emission", b.Name)
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, FileName(prog.Name), first, 0); err != nil {
+			t.Errorf("%s: generated source does not parse: %v", b.Name, err)
+		}
+		src := string(first)
+		for _, k := range prog.Kernels {
+			for _, w := range Widths {
+				call := `Register("` + prog.Name
+				_ = call // fingerprint is embedded; check by kernel/width instead
+				want := `"` + k.Name + `", ` + itoa(w) + ","
+				if !strings.Contains(src, want) {
+					t.Errorf("%s: missing registration for kernel %q width %d", b.Name, k.Name, w)
+				}
+			}
+		}
+		if !strings.Contains(src, "DO NOT EDIT") {
+			t.Errorf("%s: missing generated-code marker", b.Name)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 8 {
+		return "8"
+	}
+	if n == 16 {
+		return "16"
+	}
+	return ""
+}
+
+// TestEmitUnknownWidthRejected: the emitter only targets the widths the
+// runtime dispatch can select; asking for others is an explicit error, not
+// silently wrong code.
+func TestEmitUnknownWidthRejected(t *testing.T) {
+	b, err := kernels.ByName("bfs-wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := opt.Apply(b.Prog, opt.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EmitProgram(prog, []int{7}); err == nil {
+		t.Error("width 7 accepted")
+	}
+}

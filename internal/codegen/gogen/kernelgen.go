@@ -1,0 +1,688 @@
+package gogen
+
+// Kernel skeleton and edge-loop emission: mirrors kernelCode.runTask,
+// sumDegrees, loadItems, runChunk and the three ForEdges loop builders in
+// internal/codegen/kernel.go. Register frames become function locals; the
+// nested-parallelism permuted frames become one extra local set per nesting
+// level (p1*, p2*, ...), copied with the interpreter's exact shuffle
+// accounting.
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// emit generates one kernel function. It runs the body emission twice: the
+// first pass discovers the final register counts (the NP lane-shuffle copies
+// and its OpN charge cover the whole frame, including slots declared later
+// in program order — the interpreter sizes frames after compiling the whole
+// kernel), the second pass emits the real text using those totals.
+func (c *kemit) emit(name string) error {
+	pass1 := &kemit{
+		pe: c.pe, prog: c.prog, k: c.k, W: c.W,
+		slotI: map[string]int{}, slotF: map[string]int{}, slotM: map[string]int{},
+		hoisted: map[string]bool{}, prefixes: map[string]bool{},
+		out: &bytes.Buffer{}, finalNI: -1,
+	}
+	if err := pass1.emitBody(); err != nil {
+		return err
+	}
+	c.finalNI, c.finalNF, c.finalNM = pass1.nI, pass1.nF, pass1.nM
+	if err := c.emitBody(); err != nil {
+		return err
+	}
+	return c.assembleFunc(name)
+}
+
+func (c *kemit) emitBody() error {
+	c.ind = 1
+	itemSlot := c.declare(c.k.ItemVar, ir.I32)
+
+	if c.k.FiberCC {
+		var bad bool
+		ir.WalkStmts(c.k.Body, func(s ir.Stmt) {
+			if p, ok := s.(*ir.Push); ok && p.WL != "out" {
+				bad = true
+			}
+		})
+		if bad {
+			return c.errf("fiber-level CC requires all pushes to target the pipeline worklist")
+		}
+	}
+
+	W := c.W
+	c.w("tc.MarkPhase(%q)", c.k.Name)
+	c.w("var n int32")
+	if c.k.Domain == ir.DomainNodes {
+		c.w("n = b.NumNodes")
+	} else {
+		c.w("n = b.WL.In.SizeCounted(tc)")
+	}
+	c.open("if n == 0 {")
+	c.w("return")
+	c.close()
+	c.w("chunksTotal := (n + %d) / %d", W-1, W)
+	c.w("chunksPer := (chunksTotal + int32(tc.Count) - 1) / int32(tc.Count)")
+	c.w("start := int32(tc.Index) * chunksPer * %d", W)
+	c.w("end := start + chunksPer*%d", W)
+	c.open("if end > n {")
+	c.w("end = n")
+	c.close()
+	c.open("if start >= end {")
+	c.w("return")
+	c.close()
+
+	if c.k.FiberCC {
+		c.genSumDegreesReserve(itemSlot)
+	}
+
+	c.w("chunks := (end - start + %d) / %d", W-1, W)
+	if c.k.Fibers {
+		c.w("fibers := (n + int32(%d*tc.Count) - 1) / int32(%d*tc.Count)", W, W)
+		c.open("if fibers > b.MaxFibers {")
+		c.w("fibers = b.MaxFibers")
+		c.close()
+		c.open("if fibers < 1 {")
+		c.w("fibers = 1")
+		c.close()
+		c.open("for f := int32(0); f < fibers; f++ {")
+		c.open("for ci := f; ci < chunks; ci += fibers {")
+		c.w("tc.ScalarOps(2)")
+		if err := c.genChunk(itemSlot); err != nil {
+			return err
+		}
+		c.close()
+		c.close()
+	} else {
+		c.open("for ci := int32(0); ci < chunks; ci++ {")
+		if err := c.genChunk(itemSlot); err != nil {
+			return err
+		}
+		c.close()
+	}
+	return nil
+}
+
+// genChunk mirrors runChunk: compute the chunk mask, load the item vector
+// into the item register, set the chunk base and run the body.
+func (c *kemit) genChunk(itemSlot int) error {
+	W := c.W
+	c.w("base := start + ci*%d", W)
+	c.w("cnt := end - base")
+	c.open("if cnt > %d {", W)
+	c.w("cnt = %d", W)
+	c.close()
+	c.open("if cnt <= 0 {")
+	c.w("continue")
+	c.close()
+	c.w("m0 := vec.FullMask(int(cnt))")
+	c.genLoadItems(c.regI(itemSlot), "base", "m0")
+	c.w("chunkBase = base")
+	c.w("tc.Work(int(cnt))")
+	return c.genStmts(c.k.Body, "m0")
+}
+
+// genLoadItems mirrors loadItems. dst must be an existing vec.Vec local;
+// inactive lanes are left stale, which is unobservable (the interpreter's
+// zeros there are equally never read — lane 0 of a chunk is always active).
+func (c *kemit) genLoadItems(dst, base, m string) {
+	if c.k.Domain == ir.DomainNodes {
+		c.open("if b.SellPerm != nil {")
+		c.w("tc.LoadVecIP(b.SellPerm, %s, %s, &%s)", base, m, dst)
+		c.els()
+		c.w("tc.Op(vec.ClassALU, false)")
+		c.open("for i := 0; i < %d; i++ {", c.W)
+		c.w("%s[i] = %s + int32(i)", dst, base)
+		c.close()
+		c.close()
+		return
+	}
+	c.w("tc.LoadVecIP(b.WL.In.Items, %s, %s, &%s)", base, m, dst)
+}
+
+// genSumDegreesReserve mirrors sumDegrees + the fiber-CC single reservation.
+func (c *kemit) genSumDegreesReserve(itemSlot int) {
+	W := c.W
+	c.usesRes = true
+	c.w("total := int32(0)")
+	c.open("for base := start; base < end; base += %d {", W)
+	c.w("cnt := end - base")
+	c.open("if cnt > %d {", W)
+	c.w("cnt = %d", W)
+	c.close()
+	c.w("md := vec.FullMask(int(cnt))")
+	c.w("var items vec.Vec")
+	c.genLoadItems("items", "base", "md")
+	c.w("var rs vec.Vec")
+	c.w("tc.GatherIP(b.RowPtr, &items, md, false, &rs)")
+	c.w("tc.Op(vec.ClassALU, false)")
+	c.w("var i1 vec.Vec")
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if md.Bit(i) {")
+	c.w("i1[i] = items[i] + 1")
+	c.els()
+	c.w("i1[i] = items[i]")
+	c.close()
+	c.close()
+	c.w("var re vec.Vec")
+	c.w("tc.GatherIP(b.RowPtr, &i1, md, false, &re)")
+	c.w("tc.Op(vec.ClassALU, false)")
+	c.w("var deg vec.Vec")
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if md.Bit(i) {")
+	c.w("deg[i] = re[i] - rs[i]")
+	c.els()
+	c.w("deg[i] = re[i]")
+	c.close()
+	c.close()
+	c.w("tc.Op(vec.ClassReduce, false)")
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if md.Bit(i) {")
+	c.w("total += deg[i]")
+	c.close()
+	c.close()
+	c.close()
+	c.w("resPos := b.WL.Out.Reserve(tc, total)")
+	c.w("_ = resPos")
+}
+
+// --- ForEdges ---
+
+func (c *kemit) genForEdges(s *ir.ForEdges, m string) error {
+	edgeSlot := c.declare(s.EdgeVar, ir.I32)
+	elig := c.sellEligible(s, c.inner)
+
+	savedOut, savedInd := c.out, c.ind
+
+	// CSR loop first (same body-compilation order as the interpreter, so
+	// declarations allocate the same slots), into a buffer; with a SELL
+	// variant it nests one level deeper inside the dispatch.
+	bufCSR := &bytes.Buffer{}
+	c.out = bufCSR
+	if elig {
+		c.ind = savedInd + 1
+	}
+	var err error
+	if s.Sched == ir.SchedNP {
+		err = c.genNPLoop(s, edgeSlot, m)
+	} else {
+		err = c.genSerialLoop(s, edgeSlot, m)
+	}
+	if err != nil {
+		c.out, c.ind = savedOut, savedInd
+		return err
+	}
+
+	if !elig {
+		c.out, c.ind = savedOut, savedInd
+		c.out.Write(bufCSR.Bytes())
+		return nil
+	}
+
+	bufSell := &bytes.Buffer{}
+	c.out = bufSell
+	c.ind = savedInd + 2
+	err = c.genSellLoop(s, edgeSlot, m)
+	c.out, c.ind = savedOut, savedInd
+	if err != nil {
+		return err
+	}
+
+	// Per-chunk dispatch: SELL needs an attached layout with slice height W
+	// (the chunk base then identifies one whole slice) and a dense-enough
+	// mask; sparse phases stay on CSR.
+	disp := c.newTmp("disp")
+	sl := c.newTmp("sl")
+	c.w("%s := false", disp)
+	c.open("if %s := b.Sell; %s != nil && int(%s.C) == %d && !%s.IsFallback(chunkBase/%s.C) {", sl, sl, sl, c.W, sl, sl)
+	c.w("tc.ScalarOps(1)")
+	c.open("if 2*%s.PopCount() >= %d {", m, c.W)
+	c.w("%s = true", disp)
+	c.out.Write(bufSell.Bytes())
+	c.close()
+	c.close()
+	c.open("if !%s {", disp)
+	c.out.Write(bufCSR.Bytes())
+	c.close()
+	return nil
+}
+
+// sellEligible mirrors kcompiler.sellEligible.
+func (c *kemit) sellEligible(s *ir.ForEdges, nested bool) bool {
+	if nested || c.k.Domain != ir.DomainNodes {
+		return false
+	}
+	v, ok := s.Node.(*ir.Var)
+	if !ok || v.Name != c.k.ItemVar {
+		return false
+	}
+	ok = true
+	ir.WalkStmts(c.k.Body, func(st ir.Stmt) {
+		switch st := st.(type) {
+		case *ir.Assign:
+			if st.Name == c.k.ItemVar || st.Name == s.EdgeVar {
+				ok = false
+			}
+		case *ir.Decl:
+			if st.Name == c.k.ItemVar || st.Name == s.EdgeVar {
+				ok = false
+			}
+		case *ir.ForEdges:
+			if st != s && st.EdgeVar == s.EdgeVar {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// genSellLoop mirrors buildSellLoop, compiling the body in cell mode. It is
+// emitted inside the dispatch block, where the slice variable from
+// genForEdges' dispatch header is NOT in scope — it re-reads b.Sell.
+func (c *kemit) genSellLoop(s *ir.ForEdges, edgeSlot int, m string) error {
+	W := c.W
+	c.usesCell = true
+	c.cellPfx("")
+
+	// Cell-mode body into a scratch buffer first: emission records whether
+	// the weight / edge-id columns are consumed at all.
+	savedInner := c.inner
+	savedSell, savedWt, savedEid := c.sellEdge, c.sellWtUsed, c.sellEdgeUsed
+	c.inner = true
+	c.sellEdge, c.sellWtUsed, c.sellEdgeUsed = s.EdgeVar, false, false
+
+	savedOut, savedInd := c.out, c.ind
+	bufBody := &bytes.Buffer{}
+	c.out = bufBody
+	c.ind = savedInd + 2
+	act := c.newTmp("act")
+	err := c.genStmts(s.Body, act)
+	c.out, c.ind = savedOut, savedInd
+	useWt, useEid := c.sellWtUsed, c.sellEdgeUsed
+	c.sellEdge, c.sellWtUsed, c.sellEdgeUsed = savedSell, savedWt, savedEid
+	c.inner = savedInner
+	if err != nil {
+		return err
+	}
+	c.hasSell = true
+
+	c.open("if %s.Any() {", m)
+	c.w("sell := b.Sell")
+	c.w("sli := chunkBase / sell.C")
+	c.w("sst := sell.SlicePtr[sli]")
+	c.w("sht := (sell.SlicePtr[sli+1] - sst) / sell.C")
+	c.w("fullM := vec.FullMask(%d)", W)
+	c.w("tc.ScalarOps(2)")
+	c.open("for j := int32(0); j < sht; j++ {")
+	c.w("off := sst + j*sell.C")
+	c.w("tc.LoadVecIP(b.SellDst, off, fullM, &cellDst)")
+	c.w("tc.Op(vec.ClassCmp, false)")
+	c.w("var %s vec.Mask", act)
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if cellDst[i] >= 0 {")
+	c.w("%s = %s.Set(i)", act, act)
+	c.close()
+	c.close()
+	c.w("%s &= %s", act, m)
+	c.w("tc.InnerTally(%s.PopCount())", act)
+	c.open("if %s.None() {", act)
+	c.w("break")
+	c.close()
+	c.w("tc.NoteSellColumn(%s.PopCount())", act)
+	if useWt {
+		c.open("if b.SellWt != nil {")
+		c.w("tc.LoadVecIP(b.SellWt, off, fullM, &cellWt)")
+		c.els()
+		c.open("for i := 0; i < %d; i++ {", W)
+		c.w("cellWt[i] = 1")
+		c.close()
+		c.close()
+	}
+	if useEid {
+		eid := c.newTmp("t")
+		c.w("var %s vec.Vec", eid)
+		c.w("tc.LoadVecIP(b.SellEid, off, fullM, &%s)", eid)
+		c.w("tc.Op(vec.ClassBlend, true)")
+		reg := c.regI(edgeSlot)
+		c.open("for i := 0; i < %d; i++ {", W)
+		c.open("if %s.Bit(i) {", act)
+		c.w("%s[i] = %s[i]", reg, eid)
+		c.close()
+		c.close()
+	}
+	c.out.Write(bufBody.Bytes())
+	c.close()
+	c.close()
+	return nil
+}
+
+// genSerialLoop mirrors buildSerialLoop: each lane walks its own edge range
+// in lockstep. rs doubles as the edge cursor (the interpreter's e := rs).
+func (c *kemit) genSerialLoop(s *ir.ForEdges, edgeSlot int, m string) error {
+	W := c.W
+	c.open("if %s.Any() {", m)
+	node, err := c.genI(s.Node, m)
+	if err != nil {
+		c.close()
+		return err
+	}
+	nv := c.asVecI(node)
+	rs := c.newTmp("rs")
+	re := c.newTmp("re")
+	n1 := c.newTmp("t")
+	c.w("var %s vec.Vec", rs)
+	c.w("tc.GatherIP(b.RowPtr, &%s, %s, false, &%s)", nv, m, rs)
+	c.w("tc.Op(vec.ClassALU, false)")
+	c.w("var %s vec.Vec", n1)
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if %s.Bit(i) {", m)
+	c.w("%s[i] = %s + 1", n1, node.lane("i"))
+	c.els()
+	c.w("%s[i] = %s", n1, node.lane("i"))
+	c.close()
+	c.close()
+	c.w("var %s vec.Vec", re)
+	c.w("tc.GatherIP(b.RowPtr, &%s, %s, false, &%s)", n1, m, re)
+
+	act := c.newTmp("act")
+	edge := c.regI(edgeSlot)
+	c.open("for {")
+	c.w("tc.InnerOp(vec.ClassCmp, true, %s.PopCount())", m)
+	c.w("var %s vec.Mask", act)
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if %s.Bit(i) && %s[i] < %s[i] {", m, rs, re)
+	c.w("%s = %s.Set(i)", act, act)
+	c.close()
+	c.close()
+	c.open("if %s.None() {", act)
+	c.w("break")
+	c.close()
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if %s.Bit(i) {", act)
+	c.w("%s[i] = %s[i]", edge, rs)
+	c.close()
+	c.close()
+
+	savedInner := c.inner
+	c.inner = true
+	err = c.genStmts(s.Body, act)
+	c.inner = savedInner
+	if err != nil {
+		return err
+	}
+
+	c.w("tc.InnerOp(vec.ClassALU, true, %s.PopCount())", act)
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if %s.Bit(i) {", act)
+	c.w("%s[i]++", rs)
+	c.close()
+	c.close()
+	c.close()
+	c.close()
+	return nil
+}
+
+// genNPLoop mirrors buildNPLoop: the inspector-executor nested-parallelism
+// scheduler. Permuted register frames become the next nesting level's local
+// set, copied with the interpreter's OpN(ALU, regs) shuffle charge.
+func (c *kemit) genNPLoop(s *ir.ForEdges, edgeSlot int, m string) error {
+	W := c.W
+	c.open("if %s.Any() {", m)
+	node, err := c.genI(s.Node, m)
+	if err != nil {
+		c.close()
+		return err
+	}
+	nv := c.asVecI(node)
+	rs, re, n1, deg := c.newTmp("rs"), c.newTmp("re"), c.newTmp("t"), c.newTmp("deg")
+	c.w("var %s vec.Vec", rs)
+	c.w("tc.GatherIP(b.RowPtr, &%s, %s, false, &%s)", nv, m, rs)
+	c.w("tc.Op(vec.ClassALU, false)")
+	c.w("var %s vec.Vec", n1)
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if %s.Bit(i) {", m)
+	c.w("%s[i] = %s + 1", n1, node.lane("i"))
+	c.els()
+	c.w("%s[i] = %s", n1, node.lane("i"))
+	c.close()
+	c.close()
+	c.w("var %s vec.Vec", re)
+	c.w("tc.GatherIP(b.RowPtr, &%s, %s, false, &%s)", n1, m, re)
+	c.w("tc.Op(vec.ClassALU, false)")
+	c.w("var %s vec.Vec", deg)
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if %s.Bit(i) {", m)
+	c.w("%s[i] = %s[i] - %s[i]", deg, re, rs)
+	c.els()
+	c.w("%s[i] = %s[i]", deg, re)
+	c.close()
+	c.close()
+
+	// Inspector: classify lanes against the big-degree threshold (snapshot
+	// of BigDegreeFactor*W in the binding).
+	c.w("tc.Op(vec.ClassCmp, false)")
+	big := c.newTmp("big")
+	small := c.newTmp("small")
+	c.w("var %s vec.Mask", big)
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if %s.Bit(i) && %s[i] >= b.BigDeg {", m, deg)
+	c.w("%s = %s.Set(i)", big, big)
+	c.close()
+	c.close()
+	c.w("%s := %s &^ %s", small, m, big)
+
+	// Save compile-mode state and prepare the body's NP context.
+	outer := make(map[string]bool, c.nI+c.nF+c.nM)
+	for name := range c.slotI {
+		outer[name] = true
+	}
+	for name := range c.slotF {
+		outer[name] = true
+	}
+	for name := range c.slotM {
+		outer[name] = true
+	}
+	delete(outer, s.EdgeVar)
+
+	srcPfx := c.regPrefix()
+	dstPfx := fmt.Sprintf("p%d", c.npDepth+1)
+	c.prefixes[dstPfx] = true
+	edgeDst := fmt.Sprintf("%sI%d", dstPfx, edgeSlot)
+
+	genBody := func(em string) error {
+		savedInner, savedOuter := c.inner, c.npOuter
+		c.inner = true
+		c.npOuter = outer
+		c.npDepth++
+		err := c.genStmts(s.Body, em)
+		c.npDepth--
+		c.inner, c.npOuter = savedInner, savedOuter
+		return err
+	}
+
+	// High/medium-degree lanes: broadcast one lane's context to the whole
+	// vector and sweep its edge range W at a time.
+	c.open("for l := 0; l < %d; l++ {", W)
+	c.open("if !%s.Bit(l) {", big)
+	c.w("continue")
+	c.close()
+	c.w("tc.ScalarOps(2)")
+	c.w("tc.OpN(vec.ClassALU, false, kregs)")
+	c.usesRegs = true
+	c.genPermuteBroadcast(srcPfx, dstPfx, "l")
+	bv, tv := c.newTmp("eb"), c.newTmp("et")
+	c.w("%s, %s := %s[l], %s[l]", bv, tv, rs, re)
+	c.open("for eb := %s; eb < %s; eb += %d {", bv, tv, W)
+	c.w("ec := %s - eb", tv)
+	c.open("if ec > %d {", W)
+	c.w("ec = %d", W)
+	c.close()
+	em := c.newTmp("em")
+	c.w("%s := vec.FullMask(int(ec))", em)
+	c.w("tc.InnerOp(vec.ClassALU, true, %s.PopCount())", em)
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if %s.Bit(i) {", em)
+	c.w("%s[i] = eb + int32(i)", edgeDst)
+	c.els()
+	c.w("%s[i] = eb", edgeDst)
+	c.close()
+	c.close()
+	if err := genBody(em); err != nil {
+		return err
+	}
+	c.close()
+	c.close()
+
+	// Low-degree lanes: pack (source lane, edge index) pairs with an
+	// exclusive scan and execute W at a time with permuted frames.
+	c.open("if %s.Any() {", small)
+	c.w("tc.Op(vec.ClassScan, false)")
+	offs, total := c.newTmp("offs"), c.newTmp("tot")
+	c.w("var %s vec.Vec", offs)
+	c.w("%s := int32(0)", total)
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if %s.Bit(i) {", small)
+	c.w("%s[i] = %s", offs, total)
+	c.w("%s += %s[i]", total, deg)
+	c.close()
+	c.close()
+	c.open("if %s != 0 {", total)
+	sb, eb := c.newTmp("sbuf"), c.newTmp("ebuf")
+	c.w("var %s, %s [vec.MaxWidth * vec.MaxWidth]int32", sb, eb)
+	c.open("for l := 0; l < %d; l++ {", W)
+	c.open("if !%s.Bit(l) {", small)
+	c.w("continue")
+	c.close()
+	c.w("o := %s[l]", offs)
+	c.open("for j := int32(0); j < %s[l]; j++ {", deg)
+	c.w("%s[o+j] = int32(l)", sb)
+	c.w("%s[o+j] = %s[l] + j", eb, rs)
+	c.close()
+	c.close()
+	c.w("tc.OpN(vec.ClassVStore, false, (int(%s)+%d)/%d)", total, W-1, W)
+	c.open("for pb := int32(0); pb < %s; pb += %d {", total, W)
+	c.w("pc := %s - pb", total)
+	c.open("if pc > %d {", W)
+	c.w("pc = %d", W)
+	c.close()
+	pm := c.newTmp("em")
+	c.w("%s := vec.FullMask(int(pc))", pm)
+	c.w("tc.OpN(vec.ClassVLoad, false, 2)")
+	c.w("tc.OpN(vec.ClassALU, false, kregs)")
+	c.usesRegs = true
+	c.genPermutePacked(srcPfx, dstPfx, sb, "pb", "pc")
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.open("if int32(i) < pc {")
+	c.w("%s[i] = %s[pb+int32(i)]", edgeDst, eb)
+	c.els()
+	c.w("%s[i] = 0", edgeDst)
+	c.close()
+	c.close()
+	if err := genBody(pm); err != nil {
+		return err
+	}
+	c.close()
+	c.close()
+	c.close()
+	c.close()
+	return nil
+}
+
+// regCounts returns the frame-wide register counts the NP shuffle covers:
+// the final totals when known (pass 2), else the running totals (pass 1,
+// whose output is discarded).
+func (c *kemit) regCounts() (int, int, int) {
+	if c.finalNI >= 0 {
+		return c.finalNI, c.finalNF, c.finalNM
+	}
+	return c.nI, c.nF, c.nM
+}
+
+// genPermuteBroadcast emits frame.permuted(Splat(l)): every destination lane
+// reads source lane l. Masks become all-or-nothing; cell columns are copied
+// only in cell mode, the single context in which the body can observe them.
+func (c *kemit) genPermuteBroadcast(src, dst, l string) {
+	W := c.W
+	nI, nF, nM := c.regCounts()
+	if nI > 0 || nF > 0 || c.sellEdge != "" {
+		c.open("for i := 0; i < %d; i++ {", W)
+		for r := 0; r < nI; r++ {
+			c.w("%sI%d[i] = %sI%d[%s]", dst, r, src, r, l)
+		}
+		for r := 0; r < nF; r++ {
+			c.w("%sF%d[i] = %sF%d[%s]", dst, r, src, r, l)
+		}
+		if c.sellEdge != "" {
+			c.w("%s[i] = %s[%s]", c.cellAt(dst, "cellDst"), c.cellAt(src, "cellDst"), l)
+			c.w("%s[i] = %s[%s]", c.cellAt(dst, "cellWt"), c.cellAt(src, "cellWt"), l)
+		}
+		c.close()
+	}
+	for r := 0; r < nM; r++ {
+		c.open("if %sM%d.Bit(%s) {", src, r, l)
+		c.w("%sM%d = vec.FullMask(%d)", dst, r, W)
+		c.els()
+		c.w("%sM%d = 0", dst, r)
+		c.close()
+	}
+}
+
+// genPermutePacked emits frame.permuted(FromSlice(srcBuf[pb:pb+pc])): lane i
+// reads source lane srcBuf[pb+i], with zero-padding beyond pc (lane 0 is
+// always active in the outer chunk, so its values match the interpreter's).
+func (c *kemit) genPermutePacked(src, dst, sbuf, pb, pc string) {
+	W := c.W
+	nI, nF, nM := c.regCounts()
+	for r := 0; r < nM; r++ {
+		c.w("%sM%d = 0", dst, r)
+	}
+	c.open("for i := 0; i < %d; i++ {", W)
+	c.w("si := 0")
+	c.open("if int32(i) < %s {", pc)
+	c.w("si = int(%s[%s+int32(i)])", sbuf, pb)
+	c.close()
+	for r := 0; r < nI; r++ {
+		c.w("%sI%d[i] = %sI%d[si]", dst, r, src, r)
+	}
+	for r := 0; r < nF; r++ {
+		c.w("%sF%d[i] = %sF%d[si]", dst, r, src, r)
+	}
+	if c.sellEdge != "" {
+		c.w("%s[i] = %s[si]", c.cellAt(dst, "cellDst"), c.cellAt(src, "cellDst"))
+		c.w("%s[i] = %s[si]", c.cellAt(dst, "cellWt"), c.cellAt(src, "cellWt"))
+	}
+	for r := 0; r < nM; r++ {
+		c.open("if %sM%d.Bit(si) {", src, r)
+		c.w("%sM%d = %sM%d.Set(i)", dst, r, dst, r)
+		c.close()
+	}
+	c.close()
+}
+
+// cellName resolves the current nesting level's cell-column local.
+func (c *kemit) cellName(base string) string {
+	return c.cellAt(c.regPrefix(), base)
+}
+
+// cellAt resolves a cell-column local for an explicit register prefix; the
+// depth-0 prefix "r" uses the bare name.
+func (c *kemit) cellAt(pfx, base string) string {
+	name := base
+	if pfx != "r" {
+		name = pfx + base
+	}
+	c.cellPfx(pfx)
+	return name
+}
+
+func (c *kemit) cellPfx(pfx string) {
+	if c.cellPrefixes == nil {
+		c.cellPrefixes = map[string]bool{}
+	}
+	if pfx != "" {
+		c.cellPrefixes[pfx] = true
+	}
+	c.usesCell = true
+}

@@ -32,6 +32,12 @@ type kernelCode struct {
 	// with at least one such kernel.
 	sellCapable bool
 
+	// usesPush is true when the kernel body contains any worklist push.
+	// Push-free kernels are declared stage-free to the engine at launch
+	// (TaskCtx.MarkStageFree), letting cooperative deferred segments probe
+	// the cache during execution instead of recording an access trace.
+	usesPush bool
+
 	body exec
 
 	// frames pools register frames across tasks and launches; register
@@ -65,11 +71,18 @@ func compileKernel(prog *ir.Program, k *ir.Kernel) (*kernelCode, error) {
 			return nil, c.errf("fiber-level CC requires all pushes to target the pipeline worklist")
 		}
 	}
+	usesPush := false
+	ir.WalkStmts(k.Body, func(s ir.Stmt) {
+		if _, ok := s.(*ir.Push); ok {
+			usesPush = true
+		}
+	})
 	return &kernelCode{
 		prog: prog, k: k,
 		nI: c.nI, nF: c.nF, nM: c.nM,
 		itemSlot:    itemSlot,
 		sellCapable: c.hasSell,
+		usesPush:    usesPush,
 		body:        body,
 	}, nil
 }
@@ -80,6 +93,20 @@ func (kc *kernelCode) totalRegs() int { return kc.nI + kc.nF + kc.nM }
 // runTask executes the kernel for one task's slice of the domain. It is
 // called from both launch-per-iteration and outlined drivers.
 func (kc *kernelCode) runTask(in *Instance, tc *spmd.TaskCtx) {
+	if !kc.usesPush {
+		// Push-free kernel: this segment stages nothing, so cooperative
+		// deferred tasks may cost accesses immediately (see MarkStageFree).
+		// Declared here, before the first access of the segment, for both
+		// backends — the dispatch below shares the segment's costing mode.
+		tc.MarkStageFree()
+	}
+	if fn := in.compiledFns[kc.k.Name]; fn != nil {
+		// Generated backend: same phase marking, work accounting and
+		// primitive order as the interpreter path below, emitted as
+		// specialized straight-line Go (see internal/codegen/gogen).
+		fn(in.binding, tc)
+		return
+	}
 	tc.MarkPhase(kc.k.Name)
 	W := tc.Width
 	var n int32

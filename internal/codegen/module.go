@@ -13,6 +13,7 @@ package codegen
 import (
 	"fmt"
 
+	"repro/internal/compiled"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/ir"
@@ -82,6 +83,13 @@ type Instance struct {
 	// top-level pipe loops and rollback re-execution of recoverable faults
 	// (see recovery.go). Attach before Run.
 	Recovery *Recovery
+
+	// compiledFns, when non-nil, routes every kernel launch to the
+	// generated-Go backend (see EnableCompiled in backend.go). binding is the
+	// execution environment handed to generated kernels, refreshed at each
+	// pipe (re)entry.
+	compiledFns map[string]compiled.Fn
+	binding     *compiled.Binding
 }
 
 // Bind instantiates the module on an engine and graph. params may be nil;
@@ -329,6 +337,9 @@ func (in *Instance) Run() error {
 }
 
 func (in *Instance) runPipe(rc resumeCursor) error {
+	if in.compiledFns != nil {
+		in.refreshBinding()
+	}
 	if in.M.Prog.Outline == ir.Outlined {
 		return in.runOutlined(rc)
 	}

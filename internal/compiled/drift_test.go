@@ -1,0 +1,68 @@
+package compiled
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/codegen/gogen"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/opt"
+)
+
+// TestGeneratedFilesInSync re-emits every benchmark program and compares the
+// result byte-for-byte against the checked-in z_*_gen.go files, so ordinary
+// `go test ./...` catches a stale backend the moment kernels or the emitter
+// change — the same property CI enforces with `go generate && git diff
+// --exit-code`, available without git.
+func TestGeneratedFilesInSync(t *testing.T) {
+	for _, b := range kernels.AllWithExtensions() {
+		prog, err := opt.Apply(b.Prog, opt.All())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		want, err := gogen.EmitProgram(prog, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		name := gogen.FileName(prog.Name)
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: missing generated file (run `make gen`): %v", b.Name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: %s is stale — run `make gen` and commit the result", b.Name, name)
+		}
+	}
+}
+
+// TestRegistryCoverage pins the registry's shape: every kernel of every
+// benchmark program is registered at every generated width, and nothing else
+// is.
+func TestRegistryCoverage(t *testing.T) {
+	want := 0
+	for _, b := range kernels.AllWithExtensions() {
+		prog, err := opt.Apply(b.Prog, opt.All())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		want += len(prog.Kernels) * len(gogen.Widths)
+		fp := ir.Fingerprint(prog)
+		for _, k := range prog.Kernels {
+			for _, w := range gogen.Widths {
+				if Lookup(fp, k.Name, w) == nil {
+					t.Errorf("%s: kernel %q width %d not registered", b.Name, k.Name, w)
+				}
+			}
+		}
+		// Widths outside the generated set must miss, so the runtime falls
+		// back to the interpreter instead of running wrong-width code.
+		if Lookup(fp, prog.Kernels[0].Name, 32) != nil {
+			t.Errorf("%s: width 32 unexpectedly registered", b.Name)
+		}
+	}
+	if got := Count(); got != want {
+		t.Errorf("registry holds %d implementations, want %d", got, want)
+	}
+}

@@ -1,0 +1,95 @@
+// Package compiled holds the generated-Go kernel backend: for each benchmark
+// kernel, specialized straight-line masked-loop implementations per SIMD
+// width, emitted by internal/codegen/gogen (run `make gen` or `go generate
+// ./...` after changing kernels or the emitter). The files named z_*_gen.go
+// are machine-generated — do not edit them by hand.
+//
+// Generated kernels perform every memory, atomic and worklist operation
+// through the same spmd.TaskCtx / worklist primitives as the interpreter, in
+// the same order, so modeled cycles, statistics, access traces and fault-
+// injection draws are bit-identical; only expression arithmetic, register
+// management and loop control are specialized. The interpreter remains the
+// differential oracle (see internal/codegen difftests).
+package compiled
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/spmd"
+	"repro/internal/worklist"
+)
+
+//go:generate go run repro/internal/codegen/gogen/gen -out .
+
+// ErrBackendUnsupported reports that the generated backend has no code for a
+// requested (program, kernel, width) combination — e.g. a width the emitter
+// does not target, a custom IR program, or an optimization configuration
+// whose post-opt IR differs from what the checked-in code was generated
+// from. Callers degrade to the interpreter on it.
+var ErrBackendUnsupported = errors.New("compiled: backend unsupported for this kernel/width/layout")
+
+// Fn is one generated kernel task body: the compiled equivalent of the
+// interpreter's runTask for a fixed vector width.
+type Fn func(b *Binding, tc *spmd.TaskCtx)
+
+// Binding is the execution environment a generated kernel runs against —
+// the exported mirror of codegen.Instance's bound state. codegen builds one
+// per instance before a run and refreshes it when layouts attach.
+type Binding struct {
+	NumNodes int32
+	NumEdges int32
+
+	// Params holds the resolved uniform parameters; generated code hoists
+	// reads to task entry (parameters only change between launches).
+	Params map[string]int32
+
+	// Arrays maps IR array names to their engine bindings.
+	Arrays map[string]*spmd.Array
+
+	RowPtr  *spmd.Array
+	EdgeDst *spmd.Array
+	EdgeWt  *spmd.Array // nil when unweighted
+
+	// SELL-C-σ layout bindings; nil when running pure CSR. Generated dense
+	// paths check Sell at chunk granularity exactly like the interpreter.
+	Sell     *graph.SellCS
+	SellPerm *spmd.Array
+	SellDst  *spmd.Array
+	SellEid  *spmd.Array
+	SellWt   *spmd.Array // nil when unweighted
+
+	WL  *worklist.Pair
+	Far *worklist.WL
+
+	// MaxFibers and BigDeg snapshot the codegen tuning knobs
+	// (codegen.MaxFibersPerTask, BigDegreeFactor*W) at run start, so
+	// generated loops agree with what the interpreter would do.
+	MaxFibers int32
+	BigDeg    int32
+}
+
+type key struct {
+	fp     string
+	kernel string
+	w      int
+}
+
+var registry = map[key]Fn{}
+
+// Register installs a generated kernel implementation. Called from init
+// functions of generated files; fp is the ir.Fingerprint of the optimized
+// program the code was emitted from.
+func Register(fp, kernel string, w int, fn Fn) {
+	registry[key{fp, kernel, w}] = fn
+}
+
+// Lookup returns the generated implementation for (program fingerprint,
+// kernel, width), or nil if the combination was not generated.
+func Lookup(fp, kernel string, w int) Fn {
+	return registry[key{fp, kernel, w}]
+}
+
+// Count reports how many generated kernel implementations are registered
+// (diagnostics and coverage tests).
+func Count() int { return len(registry) }

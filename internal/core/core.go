@@ -12,9 +12,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/codegen"
+	"repro/internal/compiled"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/ir"
@@ -103,6 +105,54 @@ func ParseLayout(s string) (Layout, error) {
 	return LayoutDefault, fmt.Errorf("core: unknown layout %q (want csr, sell or auto)", s)
 }
 
+// Backend selects which kernel execution backend runs the program's tasks.
+// Both backends drive the same TaskCtx/worklist primitives in the same order,
+// so modeled time, statistics, outputs, traces and fault-injection draws are
+// bit-identical; they differ only in host wall-clock speed.
+type Backend int
+
+const (
+	// BackendAuto (the zero value) uses the generated-Go backend whenever it
+	// covers the program (post-optimization fingerprint, every kernel, the
+	// target width) and silently falls back to the interpreter otherwise —
+	// custom programs, non-generated widths and non-default optimization
+	// configurations keep working unchanged.
+	BackendAuto Backend = iota
+	// BackendInterp pins the closure-tree interpreter (the differential
+	// oracle).
+	BackendInterp
+	// BackendCompiled requests the generated-Go backend; when the program is
+	// not covered, core degrades to the interpreter (the typed
+	// compiled.ErrBackendUnsupported never escapes Run) and Result.Backend
+	// reports "interp".
+	BackendCompiled
+)
+
+// String returns the CLI spelling of the backend knob.
+func (b Backend) String() string {
+	switch b {
+	case BackendInterp:
+		return "interp"
+	case BackendCompiled:
+		return "compiled"
+	default:
+		return "auto"
+	}
+}
+
+// ParseBackend parses a -backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "interp":
+		return BackendInterp, nil
+	case "compiled":
+		return BackendCompiled, nil
+	}
+	return BackendAuto, fmt.Errorf("core: unknown backend %q (want interp, compiled or auto)", s)
+}
+
 // resolveExec maps the config knob to an engine mode. Programs marked
 // LiveAtomics need cross-task atomic visibility within a segment and always
 // run live; fault injection is downgraded engine-side (see
@@ -182,6 +232,9 @@ type Config struct {
 	// silently corrupted state is detected, rejected and rolled back rather
 	// than becoming a recovery point. Only meaningful with CheckpointEvery.
 	VerifyInvariants bool
+	// Backend selects the kernel execution backend (default auto: generated
+	// Go where available, interpreter otherwise; see the Backend constants).
+	Backend Backend
 	// Layout selects the graph layout policy (default CSR; see the Layout
 	// constants). SELL-C-σ construction is untimed preparation, like graph
 	// loading.
@@ -241,6 +294,10 @@ type Result struct {
 	// was set (zero otherwise). Kept outside Stats so recovered runs stay
 	// bit-identical to undisturbed ones.
 	Recovery codegen.RecoveryStats
+	// Backend is the kernel backend the run actually used: "compiled" only
+	// when the generated-Go backend covered the program, "interp" otherwise
+	// (including every BackendCompiled request that degraded).
+	Backend string
 	// Layout is the layout the run actually used: "sell" only when a
 	// SELL-C-σ layout was attached (policy enabled, module has a dense
 	// path, benchmark order-insensitive), "csr" otherwise.
@@ -384,6 +441,19 @@ func run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
 	}
+	backend := "interp"
+	if cfg.Backend != BackendInterp {
+		// Auto and compiled both try the generated backend; an uncovered
+		// combination (custom program, non-generated width, non-default opt
+		// configuration) degrades to the interpreter rather than failing the
+		// run — the two backends are bit-identical, only wall-clock differs.
+		switch err := inst.EnableCompiled(); {
+		case err == nil:
+			backend = "compiled"
+		case !errors.Is(err, compiled.ErrBackendUnsupported):
+			return nil, fmt.Errorf("core: %s: %w", b.Name, err)
+		}
+	}
 	if wantSell(b, mod, cfg) {
 		sell, err := sellFor(g, cfg)
 		if err != nil {
@@ -408,6 +478,7 @@ func run(b *kernels.Benchmark, g *graph.CSR, cfg Config) (*Result, error) {
 		Stats:    e.Stats,
 		Engine:   e,
 		Instance: inst,
+		Backend:  backend,
 		Layout:   "csr",
 		Sell:     inst.Sell(),
 	}

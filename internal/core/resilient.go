@@ -95,7 +95,8 @@ func costOf(res *Result) kernels.Cost {
 		return kernels.Cost{}
 	}
 	return kernels.Cost{
-		Cycles: res.Engine.TimeCycles(),
+		Cycles:  res.Engine.TimeCycles(),
+		Backend: res.Backend,
 		Recovery: kernels.RecoveryCounts{
 			Checkpoints:    res.Recovery.Checkpoints,
 			Rollbacks:      res.Recovery.Rollbacks,

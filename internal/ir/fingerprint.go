@@ -1,0 +1,168 @@
+package ir
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Fingerprint returns a stable 64-bit identity of a program's
+// codegen-relevant structure: array declarations, worklist setup and every
+// kernel (flags and full body). Pipe structure, default parameters and the
+// program name are deliberately excluded — they do not change what code a
+// kernel backend must emit, so a generated kernel stays usable across pipe
+// rewrites (e.g. iteration outlining on or off).
+//
+// The generated-Go backend embeds the fingerprint of the optimized IR it was
+// produced from; at bind time the runtime recomputes the fingerprint of the
+// IR it is about to execute and engages generated code only on an exact
+// match. Any drift — different optimization passes, edited kernels, a new
+// lowering — falls back to the interpreter instead of running stale code.
+func Fingerprint(p *Program) string {
+	h := fnv.New64a()
+	f := &fpWriter{w: h}
+	f.program(p)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fpWriter serializes IR nodes into a canonical byte stream. Every node kind
+// is tagged, every list is length-prefixed, so distinct trees cannot collide
+// by concatenation.
+type fpWriter struct {
+	w io.Writer
+}
+
+func (f *fpWriter) s(parts ...any) {
+	fmt.Fprintln(f.w, parts...)
+}
+
+func (f *fpWriter) program(p *Program) {
+	f.s("arrays", len(p.Arrays))
+	for _, a := range p.Arrays {
+		f.s("array", a.Name, int(a.T), int(a.Size))
+	}
+	f.s("wl", int(p.WLInit), p.WLCapEdges)
+	f.s("kernels", len(p.Kernels))
+	for _, k := range p.Kernels {
+		f.kernel(k)
+	}
+}
+
+func (f *fpWriter) kernel(k *Kernel) {
+	f.s("kernel", k.Name, int(k.Domain), k.ItemVar,
+		k.Fibers, k.FiberCC, k.PushCountComputable)
+	f.stmts(k.Body)
+}
+
+func (f *fpWriter) stmts(ss []Stmt) {
+	f.s("stmts", len(ss))
+	for _, s := range ss {
+		f.stmt(s)
+	}
+}
+
+func (f *fpWriter) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Decl:
+		f.s("decl", s.Name, int(s.T))
+		f.expr(s.Init)
+	case *Assign:
+		f.s("assign", s.Name)
+		f.expr(s.Val)
+	case *Store:
+		f.s("store", s.Arr)
+		f.expr(s.Idx)
+		f.expr(s.Val)
+	case *If:
+		f.s("if")
+		f.expr(s.Cond)
+		f.stmts(s.Then)
+		f.stmts(s.Else)
+	case *While:
+		f.s("while")
+		f.expr(s.Cond)
+		f.stmts(s.Body)
+	case *ForEdges:
+		f.s("foredges", s.EdgeVar, int(s.Sched))
+		f.expr(s.Node)
+		f.stmts(s.Body)
+	case *Push:
+		f.s("push", s.WL, int(s.Mode))
+		f.expr(s.Val)
+	case *AtomicMin:
+		f.s("atomicmin", s.Arr, s.Success)
+		f.expr(s.Idx)
+		f.expr(s.Val)
+	case *AtomicCAS:
+		f.s("atomiccas", s.Arr, s.Success)
+		f.expr(s.Idx)
+		f.expr(s.Old)
+		f.expr(s.New)
+	case *AtomicAdd:
+		f.s("atomicadd", s.Arr)
+		f.expr(s.Idx)
+		f.expr(s.Val)
+	case *AccumAdd:
+		f.s("accumadd", s.Acc)
+		f.expr(s.Val)
+	case *SetFlag:
+		f.s("setflag", s.Flag)
+	default:
+		f.s("stmt?", fmt.Sprintf("%T", s))
+	}
+}
+
+func (f *fpWriter) expr(e Expr) {
+	switch e := e.(type) {
+	case nil:
+		f.s("nilexpr")
+	case *ConstI:
+		f.s("consti", e.V)
+	case *ConstF:
+		// %b prints the exact bit-level mantissa/exponent form, so values
+		// that differ only past the shortest decimal representation still
+		// fingerprint apart.
+		f.s("constf", fmt.Sprintf("%b", e.V))
+	case *Param:
+		f.s("param", e.Name)
+	case *Var:
+		f.s("var", e.Name)
+	case *Bin:
+		f.s("bin", int(e.Op))
+		f.expr(e.A)
+		f.expr(e.B)
+	case *Not:
+		f.s("not")
+		f.expr(e.A)
+	case *Sel:
+		f.s("sel")
+		f.expr(e.Cond)
+		f.expr(e.A)
+		f.expr(e.B)
+	case *Load:
+		f.s("load", e.Arr)
+		f.expr(e.Idx)
+	case *NumNodes:
+		f.s("numnodes")
+	case *RowStart:
+		f.s("rowstart")
+		f.expr(e.Node)
+	case *RowEnd:
+		f.s("rowend")
+		f.expr(e.Node)
+	case *EdgeDst:
+		f.s("edgedst")
+		f.expr(e.Edge)
+	case *EdgeWt:
+		f.s("edgewt")
+		f.expr(e.Edge)
+	case *ToF:
+		f.s("tof")
+		f.expr(e.A)
+	case *ToI:
+		f.s("toi")
+		f.expr(e.A)
+	default:
+		f.s("expr?", fmt.Sprintf("%T", e))
+	}
+}

@@ -66,6 +66,9 @@ type RecoveryCounts struct {
 type Cost struct {
 	Cycles   float64
 	Recovery RecoveryCounts
+	// Backend names the kernel backend a vector attempt executed on
+	// ("interp" or "compiled"); scalar fallbacks leave it empty.
+	Backend string
 }
 
 // Attempt is one entry of a resilient run's execution history: every path
@@ -79,6 +82,9 @@ type Attempt struct {
 	Cycles   float64
 	WallNS   int64
 	Recovery RecoveryCounts
+	// Backend is the kernel backend of a vector attempt ("interp" or
+	// "compiled"); empty for scalar fallbacks and the reference.
+	Backend string
 }
 
 // ResilientResult reports which path of the degradation chain served a
@@ -98,6 +104,17 @@ type ResilientResult struct {
 // Degraded reports whether a non-vector path served the result.
 func (r *ResilientResult) Degraded() bool {
 	return r.Path != "vector" && r.Path != "vector-retry"
+}
+
+// ServingBackend returns the kernel backend of the attempt that served the
+// result ("interp" or "compiled"); empty when a scalar path served.
+func (r *ResilientResult) ServingBackend() string {
+	for i := len(r.History) - 1; i >= 0; i-- {
+		if a := r.History[i]; a.Err == nil && a.Path == r.Path {
+			return a.Backend
+		}
+	}
+	return ""
 }
 
 // TotalRecovery sums the recovery counters across all attempts.
@@ -137,6 +154,7 @@ func RunResilient(ctx context.Context, b *Benchmark, g *graph.CSR, params map[st
 		res.History = append(res.History, Attempt{
 			Path: path, Err: err, Cycles: cost.Cycles,
 			WallNS: time.Since(start).Nanoseconds(), Recovery: cost.Recovery,
+			Backend: cost.Backend,
 		})
 		if err != nil {
 			res.Attempts = append(res.Attempts, err)

@@ -75,17 +75,44 @@ func NewMemModel(cfg *Config) *MemModel {
 }
 
 // Access simulates one data access by the given core and returns the level
-// that satisfied it, updating all levels on the way.
+// that satisfied it, updating all levels on the way. The L1-hit check is kept
+// small enough to inline into callers' lane loops (the single hottest path in
+// the whole simulator); everything past an L1 miss is outlined in accessMiss.
 func (mm *MemModel) Access(core int, addr int64) Level {
 	mm.Accesses++
 	if core >= len(mm.l1) {
 		core %= len(mm.l1)
 	}
 	line := addr >> mm.lineShift
-	if mm.l1[core].probe(line) {
+	c := &mm.l1[core]
+	if c.tags[line&c.mask] == line {
 		mm.Hits[L1]++
 		return L1
 	}
+	return mm.accessMiss(core, line)
+}
+
+// L1View exposes core's direct-mapped L1 tag array and index mask so a fused
+// lane loop can perform the hit probe inline — Access itself is beyond the
+// cross-package inlining budget, and the probe dominates the simulator's
+// wall-clock. A caller that finds tags[(addr>>LineShift())&mask] == that line
+// must account the hit with RepeatHits(1); any other outcome must go through
+// Access, which re-probes and installs. The returned slice is the live tag
+// store and must be treated as read-only; Restore and Reset rewrite it in
+// place, so views must not be cached across snapshot boundaries.
+func (mm *MemModel) L1View(core int) ([]int64, int64) {
+	if core >= len(mm.l1) {
+		core %= len(mm.l1)
+	}
+	c := &mm.l1[core]
+	return c.tags, c.mask
+}
+
+// accessMiss is Access past an L1 miss: install the line in L1, then walk the
+// outer levels.
+func (mm *MemModel) accessMiss(core int, line int64) Level {
+	c := &mm.l1[core]
+	c.tags[line&c.mask] = line
 	if mm.l2[core].probe(line) {
 		mm.Hits[L2]++
 		return L2

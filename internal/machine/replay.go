@@ -46,6 +46,14 @@ func (mm *MemModel) ReplayAccess(core int, addr int64, kind AccessKind, threads 
 // one run-length word.
 func (mm *MemModel) LineShift() uint { return mm.lineShift }
 
+// RepeatHits advances the access counters for n guaranteed L1 hits without
+// probing tags — the counter-only half of ReplayRepeat, for callers that
+// charge stalls through a precomputed cost table.
+func (mm *MemModel) RepeatHits(n int) {
+	mm.Accesses += int64(n)
+	mm.Hits[L1] += int64(n)
+}
+
 // ReplayRepeat accounts n back-to-back repeats of an access whose line the
 // immediately preceding access installed: each repeat is a guaranteed L1 hit
 // (nothing intervened to evict it), so no tag probe is needed. Hit counters

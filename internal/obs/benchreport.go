@@ -15,9 +15,10 @@ import (
 // keyed by kernel+layout and must be unique.
 func ValidateBenchReport(raw []byte) error {
 	var rep struct {
-		Generated string `json:"generated"`
-		GoVersion string `json:"go_version"`
-		Kernels   []struct {
+		Generated      string  `json:"generated"`
+		GoVersion      string  `json:"go_version"`
+		BackendGeomean float64 `json:"backend_wall_geomean"`
+		Kernels        []struct {
 			Kernel        string   `json:"kernel"`
 			Graph         string   `json:"graph"`
 			Layout        string   `json:"layout"`
@@ -25,6 +26,9 @@ func ValidateBenchReport(raw []byte) error {
 			CoopWallNsOp  float64  `json:"cooperative_wall_ns_per_op"`
 			ParWallNsOp   float64  `json:"parallel_wall_ns_per_op"`
 			Speedup       float64  `json:"wall_speedup"`
+			InterpNsOp    float64  `json:"interp_wall_ns_per_op"`
+			CompiledNsOp  float64  `json:"compiled_wall_ns_per_op"`
+			BackendSpeed  float64  `json:"backend_wall_speedup"`
 			LaneUtil      float64  `json:"lane_utilization"`
 			L1HitRate     float64  `json:"l1_hit_rate"`
 			SellLaneUtil  *float64 `json:"sell_lane_utilization"`
@@ -46,6 +50,7 @@ func ValidateBenchReport(raw []byte) error {
 		return fmt.Errorf("bench report: no kernel rows")
 	}
 	seen := make(map[string]bool, len(rep.Kernels))
+	rowsWithBackend := 0
 	for i, k := range rep.Kernels {
 		row := fmt.Sprintf("row %d (%s/%s)", i, k.Kernel, k.Layout)
 		if k.Kernel == "" {
@@ -70,6 +75,23 @@ func ValidateBenchReport(raw []byte) error {
 		if k.CoopWallNsOp < 0 || k.ParWallNsOp < 0 || k.Speedup < 0 {
 			return fmt.Errorf("bench report: %s: negative wall-clock fields", row)
 		}
+		if k.InterpNsOp < 0 || k.CompiledNsOp < 0 || k.BackendSpeed < 0 {
+			return fmt.Errorf("bench report: %s: negative backend wall-clock fields", row)
+		}
+		if (k.InterpNsOp > 0) != (k.CompiledNsOp > 0) {
+			return fmt.Errorf("bench report: %s: backend columns must come in interp+compiled pairs", row)
+		}
+		if k.InterpNsOp > 0 {
+			if k.BackendSpeed <= 0 {
+				return fmt.Errorf("bench report: %s: backend row missing backend_wall_speedup", row)
+			}
+			want := k.InterpNsOp / k.CompiledNsOp
+			if r := k.BackendSpeed / want; r < 0.999 || r > 1.001 {
+				return fmt.Errorf("bench report: %s: backend_wall_speedup = %v, want interp/compiled = %v",
+					row, k.BackendSpeed, want)
+			}
+			rowsWithBackend++
+		}
 		if k.LaneUtil < 0 || k.LaneUtil > 1 {
 			return fmt.Errorf("bench report: %s: lane_utilization = %v, want [0,1]", row, k.LaneUtil)
 		}
@@ -93,6 +115,15 @@ func ValidateBenchReport(raw []byte) error {
 		if k.SellColumns != nil && *k.SellColumns < 0 {
 			return fmt.Errorf("bench report: %s: sell_columns = %d, want >= 0", row, *k.SellColumns)
 		}
+	}
+	if rep.BackendGeomean < 0 {
+		return fmt.Errorf("bench report: backend_wall_geomean = %v, want >= 0", rep.BackendGeomean)
+	}
+	if rep.BackendGeomean > 0 && rowsWithBackend == 0 {
+		return fmt.Errorf("bench report: backend_wall_geomean set but no row carries backend columns")
+	}
+	if rep.BackendGeomean == 0 && rowsWithBackend > 0 {
+		return fmt.Errorf("bench report: %d backend rows but no backend_wall_geomean summary", rowsWithBackend)
 	}
 	return nil
 }

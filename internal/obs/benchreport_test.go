@@ -9,9 +9,12 @@ import (
 const validReport = `{
   "generated": "2026-08-08T00:00:00Z",
   "go_version": "go1.24",
+  "backend_wall_geomean": 2.4,
   "kernels": [
     {"kernel": "cc", "graph": "rmat12", "layout": "csr", "modeled_cycles": 100,
-     "lane_utilization": 0.9, "l1_hit_rate": 0.95},
+     "lane_utilization": 0.9, "l1_hit_rate": 0.95,
+     "interp_wall_ns_per_op": 2000, "compiled_wall_ns_per_op": 1000,
+     "backend_wall_speedup": 2.0},
     {"kernel": "cc", "graph": "rmat12", "layout": "sell", "modeled_cycles": 90,
      "lane_utilization": 0.9, "sell_lane_utilization": 0.98,
      "sell_padding_overhead": 1.05, "sell_fallback_ratio": 0.3, "sell_columns": 123},
@@ -34,6 +37,15 @@ func TestValidateBenchReport(t *testing.T) {
 		{"fallback range", `"sell_fallback_ratio": 0.3`, `"sell_fallback_ratio": -0.1`, "sell_fallback_ratio"},
 		{"sell row incomplete", `"sell_columns": 123`, `"sell_columns_x": 123`, "sell row missing"},
 		{"duplicate", `"layout": "sell"`, `"layout": "csr"`, "duplicate"},
+		{"negative backend ns", `"interp_wall_ns_per_op": 2000`, `"interp_wall_ns_per_op": -1`, "negative backend"},
+		{"unpaired backend column", `"compiled_wall_ns_per_op": 1000`, `"compiled_wall_ns_per_op": 0`, "interp+compiled pairs"},
+		{"missing backend speedup", `"backend_wall_speedup": 2.0`, `"backend_wall_speedup": 0`, "missing backend_wall_speedup"},
+		{"inconsistent backend speedup", `"backend_wall_speedup": 2.0`, `"backend_wall_speedup": 3.0`, "want interp/compiled"},
+		{"geomean without rows", `"interp_wall_ns_per_op": 2000, "compiled_wall_ns_per_op": 1000,
+     "backend_wall_speedup": 2.0`, `"interp_wall_ns_per_op": 0, "compiled_wall_ns_per_op": 0,
+     "backend_wall_speedup": 0`, "no row carries backend columns"},
+		{"rows without geomean", `"backend_wall_geomean": 2.4`, `"backend_wall_geomean": 0`, "no backend_wall_geomean"},
+		{"negative geomean", `"backend_wall_geomean": 2.4`, `"backend_wall_geomean": -2.4`, "backend_wall_geomean"},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {

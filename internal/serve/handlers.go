@@ -80,6 +80,7 @@ type queryResponse struct {
 	Kind     string  `json:"kind"`
 	Src      int32   `json:"src"`
 	Path     string  `json:"path"`
+	Backend  string  `json:"backend,omitempty"` // kernel backend of the serving attempt
 	Level    string  `json:"level"`
 	Degraded bool    `json:"degraded"`
 	Attempts int     `json:"attempts"`
@@ -133,7 +134,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func buildResponse(res *Result) *queryResponse {
 	q := res.Query
 	resp := &queryResponse{
-		Kind: q.Kind, Src: q.Src, Path: res.Path, Level: res.Level.String(),
+		Kind: q.Kind, Src: q.Src, Path: res.Path, Backend: res.Backend,
+		Level: res.Level.String(),
 		Degraded: res.Degraded, Attempts: res.Attempts,
 		TimeMS: res.TimeMS, WallMS: res.WallMS,
 	}

@@ -24,6 +24,10 @@ type Options struct {
 	Machine *machine.Config
 	// Tasks is the engine launch width per request (default the machine's).
 	Tasks int
+	// Backend selects the kernel backend for vector attempts (default auto:
+	// generated Go where available, interpreter otherwise). The backend that
+	// actually served is reported per response.
+	Backend core.Backend
 
 	// MaxInflight bounds concurrently executing requests (default 4).
 	MaxInflight int
@@ -263,6 +267,7 @@ type Result struct {
 	Query    *Query
 	Level    Level
 	Path     string // which execution path served ("vector", a baseline, ...)
+	Backend  string // kernel backend of the serving attempt ("" on scalar paths)
 	Degraded bool
 	Attempts int     // failed attempts before the serving one
 	TimeMS   float64 // modeled kernel time (0 for scalar paths)
@@ -333,6 +338,7 @@ func (s *Server) Execute(ctx context.Context, q *Query) (*Result, error) {
 	cfg := core.Config{
 		Machine:          s.opts.Machine,
 		Tasks:            s.opts.Tasks,
+		Backend:          s.opts.Backend,
 		Src:              q.Src,
 		Budget:           fault.Budget{MaxIters: s.opts.MaxIters, MaxCycles: s.opts.MaxCycles, StallWindow: s.opts.StallWindow},
 		CheckpointEvery:  s.opts.CheckpointEvery,
@@ -374,6 +380,7 @@ func (s *Server) Execute(ctx context.Context, q *Query) (*Result, error) {
 		Query:    q,
 		Level:    level,
 		Path:     res.Path,
+		Backend:  res.ServingBackend(),
 		Degraded: res.Degraded(),
 		Attempts: len(res.Attempts),
 		WallMS:   wallMS,

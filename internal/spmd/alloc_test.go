@@ -53,6 +53,19 @@ func TestDeferredHotPathAllocationFree(t *testing.T) {
 		b := tc.Batch(sink)
 		off := b.StageMasked(val, m, tc.Width)
 		tc.NoteStaged(b, off, int32(m.PopCount()))
+		// Pointer-variant primitives (the generated backend's hot path) must
+		// hold the same zero-allocation bar as their by-value twins.
+		var pv vec.Vec
+		var pf vec.FVec
+		tc.GatherIP(a, &idx, m, false, &pv)
+		tc.ScatterIP(a, &idx, &pv, m)
+		tc.GatherFP(f, &idx, m, false, &pf)
+		tc.ScatterFP(f, &idx, &pf, m)
+		tc.LoadVecIP(a, 0, m, &pv)
+		tc.AtomicAddLanesP(a, &idx, &val, m, false)
+		tc.AtomicAddFLanesP(f, &idx, &pf, m)
+		tc.AtomicMinLanesP(a, &idx, &val, m)
+		tc.AtomicCASLanesP(a, &idx, &val, &val, m)
 	}
 	// Grow every buffer past what the measured runs will need, then reset to
 	// the (capacity-preserving) segment-start state.

@@ -2,6 +2,7 @@ package spmd
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/machine"
 	"repro/internal/vec"
@@ -36,25 +37,27 @@ import (
 // carried across segments and launches (Engine.defPool).
 
 // shadow is one task's pending-write view of one array: a direct-indexed
-// value buffer plus a per-element epoch stamp. An element holds a pending
-// write iff stamp[idx] == epoch, so clearing the whole shadow at a segment
-// boundary is a single counter bump — no per-element work, no map.
+// buffer of packed (epoch stamp, value bits) words. An element holds a
+// pending write iff sv[idx]>>32 == epoch, so clearing the whole shadow at a
+// segment boundary is a single counter bump — no per-element work, no map —
+// and a lookup or store touches ONE cache line per element instead of the
+// two a split stamp/value pair would cost (the deferred write path is the
+// hottest loop in the whole cost model). Value bits hold the int32 directly
+// or the float32's IEEE bits; the array's kind decides the interpretation.
 type shadow struct {
 	arr   *Array
-	stamp []uint32
-	valI  []int32   // non-nil iff arr.I is
-	valF  []float32 // non-nil iff arr.F is
+	sv    []uint64 // stamp<<32 | value bits
 	epoch uint32
 }
 
 // clear invalidates every pending element in O(1) by advancing the epoch.
-// On the (astronomically rare) wrap to 0 the stamps are rewritten so stale
-// entries can never alias a future epoch.
+// On the (astronomically rare) wrap to 0 the packed words are rewritten so
+// stale stamps can never alias a future epoch.
 func (sh *shadow) clear() {
 	sh.epoch++
 	if sh.epoch == 0 {
-		for i := range sh.stamp {
-			sh.stamp[i] = 0
+		for i := range sh.sv {
+			sh.sv[i] = 0
 		}
 		sh.epoch = 1
 	}
@@ -73,13 +76,17 @@ const (
 )
 
 // memOp is one logged write, applied to the committed arrays at merge time.
+// The array is carried as its dense engine-assigned id rather than a
+// pointer: the ops log is the largest per-segment stream the deferred path
+// appends to, and a pointer field would drag a GC write barrier into every
+// store/add/min/CAS on the hot path (and pad the struct to 32 bytes).
 type memOp struct {
-	a   *Array
 	idx int32
-	op  uint8
 	iv  int32   // value (store/add/min/CAS-new)
 	old int32   // CAS expected value
 	fv  float32 // float value
+	aid int32   // dense Array id (Engine.arrays index)
+	op  uint8
 }
 
 // Access-trace encoding: one int64 per event, carrying a repeat count so a
@@ -180,6 +187,25 @@ func (b *PushBatch) WriteAt(pos int32, val vec.Vec, m vec.Mask, width int) int32
 	return k - pos
 }
 
+// Segment costing modes. A segment starts undecided. The driver may mark it
+// stage-free (MarkStageFree) before its first access: stage-free cooperative
+// segments probe the memory hierarchy immediately during execution — tasks
+// run serially in task order, so the probe order is exactly the order a
+// trace replay would produce — and record only a packed cost byte per access
+// so the stall sum folds at the merge boundary in the same float order a
+// replay would use. Any access before a mark locks the segment into
+// recording mode, and parallel launches always record: concurrent tasks
+// cannot touch the shared hierarchy mid-segment.
+const (
+	segUndecided = uint8(iota)
+	segRecording
+	segImmediate
+)
+
+// The packed cost byte is kind<<2|level; this trips if the level count ever
+// outgrows the two bits the encoding gives it.
+var _ = [4]struct{}{}[machine.NumLevels-1]
+
 // deferredCtx is one task's private effect state for the current segment.
 // Contexts are pooled on the engine across launches, so the shadow buffers,
 // logs and batches below keep their capacity for the lifetime of a kernel
@@ -193,9 +219,22 @@ type deferredCtx struct {
 	ops []memOp
 	acc []int64
 
+	// mode is the segment's costing mode (segUndecided / segRecording /
+	// segImmediate); costs is the stage-free segment's packed trace — one
+	// kind*NumLevels+level byte per access, probed at execution time and
+	// folded through Engine.stallFlat at the merge boundary.
+	mode  uint8
+	costs []byte
+
 	batches  []*PushBatch
 	batchTab []*PushBatch // direct-indexed by PushTarget id
 	freeB    []*PushBatch
+
+	// lastA/lastSh memoize the most recent shadowFor resolution. Kernel
+	// inner loops hammer one array across consecutive lanes and ops, so the
+	// common case collapses to a single pointer compare.
+	lastA  *Array
+	lastSh *shadow
 
 	// dedupShift enables line-level trace compression when non-zero: two
 	// consecutive accesses with equal addr>>dedupShift share a cache line,
@@ -224,6 +263,7 @@ type deferredCtx struct {
 // can never resurface through a later in-place append over the same backing
 // array.
 func (d *deferredCtx) dropLayout() {
+	d.lastA, d.lastSh = nil, nil
 	for i := range d.shadows {
 		d.shadows[i] = nil
 	}
@@ -235,26 +275,26 @@ func (d *deferredCtx) dropLayout() {
 }
 
 // shadowFor returns the task's shadow for a, creating it lazily sized to the
-// array. Array ids are dense per engine, so the lookup is a slice index.
+// array. Array ids are dense per engine, so the slow path is a slice index;
+// the fast path is one pointer compare against the last resolution.
 func (d *deferredCtx) shadowFor(a *Array) *shadow {
+	if a == d.lastA {
+		return d.lastSh
+	}
 	id := int(a.id)
 	if id >= len(d.shadows) {
 		d.shadows = append(d.shadows, make([]*shadow, id+1-len(d.shadows))...)
 	}
 	sh := d.shadows[id]
 	if sh == nil {
-		sh = &shadow{arr: a, stamp: make([]uint32, a.Len()), epoch: 1}
-		if a.I != nil {
-			sh.valI = make([]int32, a.Len())
-		} else {
-			sh.valF = make([]float32, a.Len())
-		}
+		sh = &shadow{arr: a, sv: make([]uint64, a.Len()), epoch: 1}
 		d.shadows[id] = sh
 	} else if sh.arr != a {
 		// Ids are engine-scoped; a collision means an array from a foreign
 		// engine reached this engine's launch.
 		panic(fmt.Sprintf("spmd: array %q does not belong to this engine", a.Name))
 	}
+	d.lastA, d.lastSh = a, sh
 	return sh
 }
 
@@ -276,17 +316,21 @@ func (d *deferredCtx) reset() {
 	d.batches = d.batches[:0]
 	d.ops = d.ops[:0]
 	d.acc = d.acc[:0]
+	d.mode = segUndecided
+	d.costs = d.costs[:0]
 	d.serialAtomics = 0
 	d.phLog = d.phLog[:0]
 }
 
 // loadI reads one element under the task's view: its own pending write if
-// present, the segment-start committed value otherwise. The lookup is two
-// array indexes and an epoch compare — no hashing, no allocation.
+// present, the segment-start committed value otherwise. The lookup is one
+// packed-word read and an epoch compare — no hashing, no allocation.
 func (d *deferredCtx) loadI(a *Array, idx int32) int32 {
 	if id := int(a.id); id < len(d.shadows) {
-		if sh := d.shadows[id]; sh != nil && sh.stamp[idx] == sh.epoch {
-			return sh.valI[idx]
+		if sh := d.shadows[id]; sh != nil {
+			if w := sh.sv[idx]; uint32(w>>32) == sh.epoch {
+				return int32(uint32(w))
+			}
 		}
 	}
 	return a.I[idx]
@@ -294,8 +338,10 @@ func (d *deferredCtx) loadI(a *Array, idx int32) int32 {
 
 func (d *deferredCtx) loadF(a *Array, idx int32) float32 {
 	if id := int(a.id); id < len(d.shadows) {
-		if sh := d.shadows[id]; sh != nil && sh.stamp[idx] == sh.epoch {
-			return sh.valF[idx]
+		if sh := d.shadows[id]; sh != nil {
+			if w := sh.sv[idx]; uint32(w>>32) == sh.epoch {
+				return math.Float32frombits(uint32(w))
+			}
 		}
 	}
 	return a.F[idx]
@@ -303,77 +349,73 @@ func (d *deferredCtx) loadF(a *Array, idx int32) float32 {
 
 func (d *deferredCtx) storeI(a *Array, idx, v int32) {
 	sh := d.shadowFor(a)
-	sh.stamp[idx] = sh.epoch
-	sh.valI[idx] = v
-	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opStoreI, iv: v})
+	sh.sv[idx] = uint64(sh.epoch)<<32 | uint64(uint32(v))
+	d.ops = append(d.ops, memOp{aid: a.id, idx: idx, op: opStoreI, iv: v})
 }
 
 func (d *deferredCtx) storeF(a *Array, idx int32, v float32) {
 	sh := d.shadowFor(a)
-	sh.stamp[idx] = sh.epoch
-	sh.valF[idx] = v
-	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opStoreF, fv: v})
+	sh.sv[idx] = uint64(sh.epoch)<<32 | uint64(math.Float32bits(v))
+	d.ops = append(d.ops, memOp{aid: a.id, idx: idx, op: opStoreF, fv: v})
 }
 
 func (d *deferredCtx) addI(a *Array, idx, delta int32) int32 {
 	sh := d.shadowFor(a)
 	old := a.I[idx]
-	if sh.stamp[idx] == sh.epoch {
-		old = sh.valI[idx]
+	if w := sh.sv[idx]; uint32(w>>32) == sh.epoch {
+		old = int32(uint32(w))
 	}
-	sh.stamp[idx] = sh.epoch
-	sh.valI[idx] = old + delta
-	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opAddI, iv: delta})
+	sh.sv[idx] = uint64(sh.epoch)<<32 | uint64(uint32(old+delta))
+	d.ops = append(d.ops, memOp{aid: a.id, idx: idx, op: opAddI, iv: delta})
 	return old
 }
 
 func (d *deferredCtx) addF(a *Array, idx int32, delta float32) {
 	sh := d.shadowFor(a)
 	old := a.F[idx]
-	if sh.stamp[idx] == sh.epoch {
-		old = sh.valF[idx]
+	if w := sh.sv[idx]; uint32(w>>32) == sh.epoch {
+		old = math.Float32frombits(uint32(w))
 	}
-	sh.stamp[idx] = sh.epoch
-	sh.valF[idx] = old + delta
-	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opAddF, fv: delta})
+	sh.sv[idx] = uint64(sh.epoch)<<32 | uint64(math.Float32bits(old+delta))
+	d.ops = append(d.ops, memOp{aid: a.id, idx: idx, op: opAddF, fv: delta})
 }
 
 // minI lowers the task-local view and logs a min to merge against the live
 // value. Call only when v improves on loadI's result.
 func (d *deferredCtx) minI(a *Array, idx, v int32) {
 	sh := d.shadowFor(a)
-	sh.stamp[idx] = sh.epoch
-	sh.valI[idx] = v
-	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opMinI, iv: v})
+	sh.sv[idx] = uint64(sh.epoch)<<32 | uint64(uint32(v))
+	d.ops = append(d.ops, memOp{aid: a.id, idx: idx, op: opMinI, iv: v})
 }
 
 // casI records a compare-and-swap that succeeded under the task's view.
 func (d *deferredCtx) casI(a *Array, idx, old, v int32) {
 	sh := d.shadowFor(a)
-	sh.stamp[idx] = sh.epoch
-	sh.valI[idx] = v
-	d.ops = append(d.ops, memOp{a: a, idx: idx, op: opCASI, iv: v, old: old})
+	sh.sv[idx] = uint64(sh.epoch)<<32 | uint64(uint32(v))
+	d.ops = append(d.ops, memOp{aid: a.id, idx: idx, op: opCASI, iv: v, old: old})
 }
 
-// applyOp commits one logged write. Values were counted at execution time;
-// application is functional only.
-func applyOp(o *memOp) {
+// applyOp commits one logged write, resolving the array through the engine's
+// dense registry. Values were counted at execution time; application is
+// functional only.
+func applyOp(e *Engine, o *memOp) {
+	a := e.arrays[o.aid]
 	switch o.op {
 	case opStoreI:
-		o.a.I[o.idx] = o.iv
+		a.I[o.idx] = o.iv
 	case opStoreF:
-		o.a.F[o.idx] = o.fv
+		a.F[o.idx] = o.fv
 	case opAddI:
-		o.a.I[o.idx] += o.iv
+		a.I[o.idx] += o.iv
 	case opAddF:
-		o.a.F[o.idx] += o.fv
+		a.F[o.idx] += o.fv
 	case opMinI:
-		if o.iv < o.a.I[o.idx] {
-			o.a.I[o.idx] = o.iv
+		if o.iv < a.I[o.idx] {
+			a.I[o.idx] = o.iv
 		}
 	case opCASI:
-		if o.a.I[o.idx] == o.old {
-			o.a.I[o.idx] = o.iv
+		if a.I[o.idx] == o.old {
+			a.I[o.idx] = o.iv
 		}
 	}
 }
@@ -385,14 +427,35 @@ func applyOp(o *memOp) {
 // pushes instead of mutating shared tails.
 func (tc *TaskCtx) Deferred() bool { return tc.def != nil }
 
-// noteAccess accounts one memory access. Live mode pages and probes the
-// cache immediately; deferred mode appends a trace event replayed at the
-// segment boundary — folding the access into the previous trace word when
-// both hit the same cache line, so gather/scatter runs over hot lines cost
-// one word, not one per lane. Both paths cost through machine.ReplayAccess,
-// so stalls are identical by construction.
+// MarkStageFree declares that the current segment will stage no worklist
+// pushes, letting a cooperative deferred task probe the memory hierarchy
+// immediately instead of recording a full access trace. Tasks run serially
+// in task order in that mode, so immediate probes evolve the cache in
+// exactly the order a merge-time replay would, and the per-access cost
+// bytes fold into the stall sum at the merge boundary in the same float
+// order — modeled time, statistics and hit counters are bit-identical to a
+// recorded segment. The mark must precede the segment's first access (a
+// prior access locks recording mode) and is ignored in live mode (no
+// deferral) and parallel mode (concurrent tasks must not touch the shared
+// hierarchy mid-segment). Every task of a launch runs the same driver code,
+// so all tasks of a segment decide identically and the global probe order
+// is preserved.
+func (tc *TaskCtx) MarkStageFree() {
+	if d := tc.def; d != nil && tc.serialDef && d.mode == segUndecided {
+		d.mode = segImmediate
+	}
+}
+
+// noteAccess accounts one memory access. Live mode and stage-free
+// cooperative segments page and probe the cache immediately; recording mode
+// appends a trace event replayed at the segment boundary — folding the
+// access into the previous trace word when both hit the same cache line, so
+// gather/scatter runs over hot lines cost one word, not one per lane. All
+// paths charge through the same Mem.Access probe and the engine's
+// premultiplied stall table, so stalls are identical by construction.
 func (tc *TaskCtx) noteAccess(addr int64, kind machine.AccessKind) {
-	if d := tc.def; d != nil {
+	if d := tc.def; d != nil && d.mode != segImmediate {
+		d.mode = segRecording
 		if s := d.dedupShift; s != 0 {
 			if n := len(d.acc); n > 0 {
 				last := d.acc[n-1]
@@ -408,8 +471,19 @@ func (tc *TaskCtx) noteAccess(addr int64, kind machine.AccessKind) {
 		d.acc = append(d.acc, addr<<accAddrShift|int64(kind)<<accKindShift)
 		return
 	}
-	tc.touchPage(addr)
-	tc.addStall(tc.E.Mem.ReplayAccess(tc.core, addr, kind, tc.E.activeThreads))
+	e := tc.E
+	if e.Pager != nil {
+		tc.touchPage(addr)
+	}
+	lvl := e.Mem.Access(tc.core, addr)
+	if d := tc.def; d != nil {
+		// Stage-free segment: the probe happened now, in replay order; the
+		// stall folds at the merge boundary, after the task's execution-time
+		// stalls, exactly where a replay would have added it.
+		d.costs = append(d.costs, byte(kind)<<2|byte(lvl))
+		return
+	}
+	tc.stall += e.stallTab[kind][lvl]
 }
 
 // Batch returns the task's staging batch for the given push target, creating
@@ -418,6 +492,14 @@ func (tc *TaskCtx) noteAccess(addr int64, kind machine.AccessKind) {
 // through a dense-id table; batch objects are pooled across segments.
 func (tc *TaskCtx) Batch(t PushTarget) *PushBatch {
 	d := tc.def
+	if d.mode == segImmediate {
+		// The driver promised a stage-free segment (MarkStageFree) and the
+		// kernel staged anyway: its probes already hit the hierarchy, so
+		// recording can no longer reproduce the serial order. This is a
+		// driver bug (the push analysis missed a staging path), never a
+		// data-dependent condition — fail loudly.
+		panic("spmd: worklist push in a segment marked stage-free")
+	}
 	id := int(t.PushID())
 	if id < len(d.batchTab) {
 		if b := d.batchTab[id]; b != nil {
@@ -475,11 +557,23 @@ func (tc *TaskCtx) CountAtomics(n int, contended, push bool) {
 // replayAccesses replays one task's trace through the memory model and
 // pager, charging exposed stalls to the task. A committed word's repeats are
 // guaranteed L1 hits (the first access of the run installed the line and
-// nothing intervened), so they account through machine.ReplayRepeat without
+// nothing intervened), so they account through MemModel.RepeatHits without
 // re-probing; stalls still accumulate per access to keep the float sum
 // bit-identical to an uncompressed replay.
 func (e *Engine) replayAccesses(tc *TaskCtx) {
 	d := tc.def
+	mem := e.Mem
+	core := tc.core
+	paged := e.Pager != nil
+	ls := mem.LineShift()
+	tags, tmask := mem.L1View(core)
+	stall := tc.stall
+	// Stage-free segment: probes already ran in replay order during serial
+	// execution; fold the recorded per-access cost bytes in the same order.
+	// Exactly one of costs and acc is non-empty for any segment.
+	for _, c := range d.costs {
+		stall += e.stallFlat[c]
+	}
 	for _, ev := range d.acc {
 		kind := machine.AccessKind((ev >> accKindShift) & 3)
 		rep := int(ev >> accCountShift)
@@ -488,23 +582,38 @@ func (e *Engine) replayAccesses(tc *TaskCtx) {
 			off := int32((ev >> accAddrShift) & accOffMask)
 			for j := int32(0); j <= int32(rep); j++ {
 				addr := b.arr.Addr(b.start + off + j)
-				tc.touchPage(addr)
-				tc.addStall(e.Mem.ReplayAccess(tc.core, addr, kind, e.activeThreads))
+				if paged {
+					tc.touchPage(addr)
+				}
+				if line := addr >> ls; !paged && tags[line&tmask] == line {
+					mem.RepeatHits(1) // inline L1-hit probe
+					stall += e.stallTab[kind][machine.L1]
+				} else {
+					stall += e.stallTab[kind][mem.Access(core, addr)]
+				}
 			}
 			continue
 		}
 		addr := (ev >> accAddrShift) & accAddrMask
-		tc.touchPage(addr)
-		tc.addStall(e.Mem.ReplayAccess(tc.core, addr, kind, e.activeThreads))
+		if paged {
+			tc.touchPage(addr)
+		}
+		if line := addr >> ls; !paged && tags[line&tmask] == line {
+			mem.RepeatHits(1) // inline L1-hit probe
+			stall += e.stallTab[kind][machine.L1]
+		} else {
+			stall += e.stallTab[kind][mem.Access(core, addr)]
+		}
 		if rep > 0 {
-			c := e.Mem.ReplayRepeat(kind, e.activeThreads, rep)
-			if c != 0 {
+			mem.RepeatHits(rep)
+			if c := e.stallTab[kind][machine.L1]; c != 0 {
 				for j := 0; j < rep; j++ {
-					tc.addStall(c)
+					stall += c
 				}
 			}
 		}
 	}
+	tc.stall = stall
 }
 
 // mergeSegment commits all tasks' deferred state in task order: batches
@@ -528,7 +637,7 @@ func (e *Engine) mergeSegment(tcs []*TaskCtx) error {
 		}
 		e.replayAccesses(tc)
 		for i := range d.ops {
-			applyOp(&d.ops[i])
+			applyOp(e, &d.ops[i])
 		}
 		if e.prof != nil {
 			e.prof.foldTask(e, tc)

@@ -86,6 +86,11 @@ type Engine struct {
 	phase atomic.Pointer[string] // current kernel phase, attached to failure context
 	iter  atomic.Int64           // current pipe iteration, attached to failure context
 
+	// phaseNames interns phase-name pointers so MarkPhase — called once per
+	// task per kernel — stays allocation-free after the first launch of each
+	// kernel (pinned by the backend alloc-regression tests).
+	phaseNames sync.Map // string -> *string
+
 	cycles     float64 // modeled time in core cycles
 	transferNS float64 // host<->device transfers (GPU only)
 	faultNS    float64 // demand-paging stalls charged globally
@@ -117,6 +122,31 @@ type Engine struct {
 	// aggScratch holds aggregateSegment's per-core accumulators, reused
 	// across segments (aggregation always runs single-threaded).
 	aggScratch []float64
+
+	// stallTab caches the exposed stall charge of one memory access per
+	// (access kind, hit level), premultiplied by StallScale and the
+	// active-thread contention scale. The hot charge sites (live noteAccess,
+	// trace replay) reduce to a cache probe plus one table read and one add;
+	// each entry is computed once with exactly the operands the uncached
+	// ReplayAccess×StallScale path multiplied per access, so accumulated
+	// stalls stay bit-identical. Rebuilt by setActiveThreads (every launch),
+	// New and ResetAll.
+	stallTab [4][machine.NumLevels]float64
+	// stallFlat is stallTab flattened to kind*NumLevels+level, indexed by
+	// the packed cost bytes a stage-free cooperative segment records in
+	// place of a full access trace (see deferredCtx.costs).
+	stallFlat [4 * machine.NumLevels]float64
+
+	// opCost caches Target.Lower for every (class, masked) pair together
+	// with the per-op compute charge float64(instrs)/IPC, so the accounting
+	// hot path (Op/OpN, every memory primitive) is a table read plus counter
+	// adds instead of a lowering switch and a float division. The cached
+	// cycle value is computed once with the same operands the switch-based
+	// path used per call, so accumulated compute stays bit-identical.
+	// Rebuilt wherever Target is set: New and ResetAll.
+	opCost [vec.NumOpClasses][2]opCostEntry
+	// invIPC caches 1/Machine.IPC for the scalar-op charge.
+	invIPC float64
 
 	prof *profiler // nil unless EnableProfiling was called
 
@@ -150,7 +180,7 @@ func New(cfg *machine.Config, target vec.Target, tasks int) *Engine {
 	if scale == 0 {
 		scale = 1
 	}
-	return &Engine{
+	e := &Engine{
 		Exec:       ExecFromEnv(),
 		Machine:    cfg,
 		Target:     target,
@@ -160,6 +190,28 @@ func New(cfg *machine.Config, target vec.Target, tasks int) *Engine {
 		Mem:        machine.NewMemModel(cfg),
 		Addr:       machine.NewAddrSpace(cfg.PageSize),
 	}
+	e.buildOpCost()
+	e.buildStallTab()
+	return e
+}
+
+// opCostEntry is one cached lowering: dynamic instruction count and the
+// modeled compute cycles one such op charges.
+type opCostEntry struct {
+	instrs int64
+	cycles float64
+}
+
+// buildOpCost (re)derives the per-(class,masked) lowering cache from the
+// current target and machine. Must run after every Target change.
+func (e *Engine) buildOpCost() {
+	for c := vec.OpClass(0); c < vec.NumOpClasses; c++ {
+		for m := 0; m < 2; m++ {
+			n := int64(e.Target.Lower(c, m == 1))
+			e.opCost[c][m] = opCostEntry{instrs: n, cycles: float64(n) / e.Machine.IPC}
+		}
+	}
+	e.invIPC = 1 / e.Machine.IPC
 }
 
 // Width returns the SIMD width of the engine's target.
@@ -257,6 +309,7 @@ func (e *Engine) ResetAll(target vec.Target, tasks int) {
 		tasks = e.Machine.DefaultTasks
 	}
 	e.Target = target
+	e.buildOpCost()
 	e.TaskSys = Pthread
 	e.NumTasks = tasks
 	e.NoSMT = false
@@ -277,6 +330,7 @@ func (e *Engine) ResetAll(target vec.Target, tasks int) {
 	e.faultNS = 0
 	e.segSerialAtomics = 0
 	e.activeThreads = 0
+	e.buildStallTab()
 	e.Stats = Stats{}
 	e.phase.Store(nil)
 	e.iter.Store(0)
@@ -374,6 +428,10 @@ func (e *Engine) newTask(i, n int, mode Exec, withChans bool) *TaskCtx {
 	} else {
 		tc.st = &tc.shard
 		tc.def = e.getDeferredCtx()
+		// Cooperative deferred tasks run strictly serially in task order,
+		// so a segment the driver marks stage-free may probe the cache
+		// during execution instead of recording a trace (MarkStageFree).
+		tc.serialDef = mode == ExecDeferred
 	}
 	if withChans {
 		tc.resume = make(chan struct{})
@@ -427,6 +485,25 @@ func (e *Engine) setActiveThreads(n int) {
 	e.activeThreads = n
 	if e.activeThreads > hw {
 		e.activeThreads = hw
+	}
+	e.buildStallTab()
+}
+
+// buildStallTab (re)derives the per-(kind, level) stall-charge cache from the
+// current machine, StallScale and active-thread count. AccPlain's row stays
+// zero (stores retire through the write buffer); AccStream stalls only when
+// the line is not already in L1.
+func (e *Engine) buildStallTab() {
+	for lvl := machine.Level(0); lvl < machine.NumLevels; lvl++ {
+		e.stallTab[machine.AccLoad][lvl] = e.Machine.LoadCost(lvl, e.activeThreads) * e.StallScale
+		e.stallTab[machine.AccGather][lvl] = e.Machine.GatherCost(lvl, e.activeThreads) * e.StallScale
+		e.stallTab[machine.AccStream][lvl] = e.Machine.LoadCost(lvl, e.activeThreads) * e.StallScale
+	}
+	e.stallTab[machine.AccStream][machine.L1] = 0
+	for kind := 0; kind < 4; kind++ {
+		for lvl := machine.Level(0); lvl < machine.NumLevels; lvl++ {
+			e.stallFlat[kind*int(machine.NumLevels)+int(lvl)] = e.stallTab[kind][lvl]
+		}
 	}
 }
 

@@ -145,8 +145,8 @@ func TestResetAllEpochWrap(t *testing.T) {
 		// claiming validity under the current epoch — the most adversarial
 		// aliasing setup the wrap handling must defuse.
 		sh.epoch = math.MaxUint32
-		for i := range sh.stamp {
-			sh.stamp[i] = math.MaxUint32
+		for i := range sh.sv {
+			sh.sv[i] = uint64(math.MaxUint32) << 32
 		}
 	}
 	d.reset() // segment clear at the boundary: wraps to epoch 1, stamps rewritten
@@ -157,8 +157,8 @@ func TestResetAllEpochWrap(t *testing.T) {
 		if sh.epoch != 1 {
 			t.Fatalf("epoch after wrap = %d, want 1", sh.epoch)
 		}
-		for i, s := range sh.stamp {
-			if s == sh.epoch {
+		for i, w := range sh.sv {
+			if uint32(w>>32) == sh.epoch {
 				t.Fatalf("stamp[%d] aliases the post-wrap epoch: stale write resurfaces", i)
 			}
 		}

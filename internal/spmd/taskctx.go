@@ -38,6 +38,10 @@ type TaskCtx struct {
 
 	// def holds the task's private deferred-effect state; nil in live mode.
 	def *deferredCtx
+	// serialDef marks a cooperative deferred task (ExecDeferred): tasks run
+	// one at a time in task order, so stage-free segments may probe the
+	// cache immediately (MarkStageFree) without racing or reordering.
+	serialDef bool
 	// ph is the barrier phaser of a parallel launch; nil otherwise.
 	ph *phaser
 
@@ -114,7 +118,13 @@ func (tc *TaskCtx) checkLane(op string, a *Array, lane int, idx int32) {
 // per-phase sums at the next merge boundary.
 func (tc *TaskCtx) MarkPhase(name string) {
 	e := tc.E
-	e.phase.Store(&name)
+	if p, ok := e.phaseNames.Load(name); ok {
+		e.phase.Store(p.(*string))
+	} else {
+		n := name
+		e.phaseNames.Store(name, &n)
+		e.phase.Store(&n)
+	}
 	p := e.prof
 	if p == nil {
 		return
@@ -150,13 +160,14 @@ func (tc *TaskCtx) Aborted() bool { return tc.abort }
 // --- Instruction accounting ---
 
 // Op records one logical vector operation of the given class, lowering it to
-// the target's dynamic instruction count.
+// the target's dynamic instruction count (via the engine's lowering cache;
+// the charged cycles are the exact values the uncached switch produced).
 func (tc *TaskCtx) Op(class vec.OpClass, masked bool) {
-	n := int64(tc.E.Target.Lower(class, masked))
-	tc.st.Instructions += n
-	tc.st.ByClass[class] += n
+	c := &tc.E.opCost[class][b2u(masked)]
+	tc.st.Instructions += c.instrs
+	tc.st.ByClass[class] += c.instrs
 	tc.st.VectorOps++
-	tc.compute += float64(n) / tc.E.Machine.IPC
+	tc.compute += c.cycles
 }
 
 // OpN records n logical vector operations of the given class.
@@ -164,11 +175,18 @@ func (tc *TaskCtx) OpN(class vec.OpClass, masked bool, n int) {
 	if n <= 0 {
 		return
 	}
-	in := int64(tc.E.Target.Lower(class, masked)) * int64(n)
+	in := tc.E.opCost[class][b2u(masked)].instrs * int64(n)
 	tc.st.Instructions += in
 	tc.st.ByClass[class] += in
 	tc.st.VectorOps += int64(n)
 	tc.compute += float64(in) / tc.E.Machine.IPC
+}
+
+func b2u(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // InnerOp records one vector operation inside a kernel's inner (edge) loop
@@ -410,7 +428,7 @@ func (tc *TaskCtx) ScalarLoadI(a *Array, idx int32) int32 {
 	tc.st.Instructions++
 	tc.st.ByClass[vec.ClassScalarLoad]++
 	tc.st.ScalarOps++
-	tc.compute += 1 / tc.E.Machine.IPC
+	tc.compute += tc.E.invIPC
 	tc.noteAccess(a.Addr(idx), machine.AccLoad)
 	if d := tc.def; d != nil {
 		return d.loadI(a, idx)
@@ -424,7 +442,7 @@ func (tc *TaskCtx) ScalarStoreI(a *Array, idx int32, v int32) {
 	tc.st.Instructions++
 	tc.st.ByClass[vec.ClassScalarStore]++
 	tc.st.ScalarOps++
-	tc.compute += 1 / tc.E.Machine.IPC
+	tc.compute += tc.E.invIPC
 	tc.noteAccess(a.Addr(idx), machine.AccPlain)
 	if d := tc.def; d != nil {
 		d.storeI(a, idx, v)
@@ -439,7 +457,7 @@ func (tc *TaskCtx) ScalarLoadF(a *Array, idx int32) float32 {
 	tc.st.Instructions++
 	tc.st.ByClass[vec.ClassScalarLoad]++
 	tc.st.ScalarOps++
-	tc.compute += 1 / tc.E.Machine.IPC
+	tc.compute += tc.E.invIPC
 	tc.noteAccess(a.Addr(idx), machine.AccLoad)
 	if d := tc.def; d != nil {
 		return d.loadF(a, idx)
@@ -453,7 +471,7 @@ func (tc *TaskCtx) ScalarStoreF(a *Array, idx int32, v float32) {
 	tc.st.Instructions++
 	tc.st.ByClass[vec.ClassScalarStore]++
 	tc.st.ScalarOps++
-	tc.compute += 1 / tc.E.Machine.IPC
+	tc.compute += tc.E.invIPC
 	tc.noteAccess(a.Addr(idx), machine.AccPlain)
 	if d := tc.def; d != nil {
 		d.storeF(a, idx, v)

@@ -1,0 +1,1051 @@
+package spmd
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/machine"
+	"repro/internal/vec"
+)
+
+// Pointer-variant memory and atomic primitives for the generated-Go kernel
+// backend (internal/compiled). Each is the exact accounting twin of its
+// by-value counterpart in taskctx.go — same bounds-check, trace-note,
+// injection-draw and counter order — but reads operands and writes results
+// through pointers, so the 128-byte vec.Vec values stay in the caller's
+// stack frame instead of being copied per call (the interpreter's dominant
+// wall-clock cost). Results use the same merge semantics: only active lanes
+// of *dst are written.
+//
+// Beyond the calling convention, these variants specialize the two hottest
+// costing configurations into fused single-pass lane loops with all
+// loop-invariant state hoisted (shadow buffer, epoch, cache model, cost
+// table): a stage-free cooperative segment (segImmediate, pager off) probes
+// the hierarchy and records one cost byte per access, and live mode charges
+// stalls directly. Recording mode and pager-attached runs take the generic
+// path through noteAccess and the deferredCtx accessors. Active lanes are
+// walked by clearing set bits of the mask, so per-lane order — and with it
+// every trace, cost-byte, op-log and stall append — is exactly the
+// ascending-lane order of the generic loops: modeled output is bit-identical
+// across all paths by construction.
+//
+// Any change here must be mirrored against taskctx.go and is guarded by the
+// interp-vs-compiled differential tests.
+
+// recAccess appends one committed-access trace event to acc with the same
+// line-level run folding noteAccess performs (same staged-bit, kind, count
+// and line checks, in the same order), operating on a caller-hoisted slice so
+// fused recording loops stay call-free per lane. ds must be non-zero (the
+// engine disables folding under a pager by zeroing dedupShift, and those runs
+// take the generic noteAccess path).
+func recAccess(acc []int64, addr, k64 int64, ds uint) []int64 {
+	if n := len(acc) - 1; n >= 0 {
+		last := acc[n]
+		if last&accStagedBit == 0 &&
+			(last>>accKindShift)&3 == k64 &&
+			last>>accCountShift < accMaxCount &&
+			((last>>accAddrShift)&accAddrMask)>>ds == addr>>ds {
+			acc[n] = last + 1<<accCountShift
+			return acc
+		}
+	}
+	return append(acc, addr<<accAddrShift|k64<<accKindShift)
+}
+
+// shadowView returns the task's pending-write view of a for lane loads: the
+// packed stamp|value words and current epoch, or a nil slice when the task
+// has no shadow for a (then committed values are authoritative).
+func (d *deferredCtx) shadowView(a *Array) ([]uint64, uint32) {
+	if id := int(a.id); id < len(d.shadows) {
+		if sh := d.shadows[id]; sh != nil {
+			return sh.sv, sh.epoch
+		}
+	}
+	return nil, 0
+}
+
+// GatherIP is GatherI writing into *dst (active lanes only).
+func (tc *TaskCtx) GatherIP(a *Array, idx *vec.Vec, m vec.Mask, inner bool, dst *vec.Vec) {
+	if tc.E.Inject != nil {
+		tmp := tc.corruptIdx("gather", a, *idx, m)
+		idx = &tmp
+	}
+	if inner {
+		tc.InnerOp(vec.ClassGather, true, m.PopCount())
+	} else {
+		tc.Op(vec.ClassGather, true)
+	}
+	kind := tc.gatherKind()
+	e := tc.E
+	w := tc.Width
+	d := tc.def
+	if d != nil && d.mode == segImmediate && e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		kb := byte(kind) << 2
+		sv, ep := d.shadowView(a)
+		src := a.I
+		costs := d.costs
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("gather", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; kb|L1 == kb (L1 is level 0)
+				costs = append(costs, kb)
+			} else {
+				costs = append(costs, kb|byte(mm.Access(core, addr)))
+			}
+			v := src[ii]
+			if sv != nil {
+				if wd := sv[ii]; uint32(wd>>32) == ep {
+					v = int32(uint32(wd))
+				}
+			}
+			dst[i] = v
+		}
+		d.costs = costs
+		return
+	}
+	if d != nil && d.dedupShift != 0 {
+		// Fused recording loop: one pass per lane, trace words folded inline
+		// (recAccess mirrors noteAccess exactly) and the shadow view hoisted.
+		// The generic path notes all lanes then loads all lanes; loads append
+		// nothing, so interleaving them lane-by-lane leaves the trace and the
+		// loaded values bit-identical.
+		base := a.Base
+		un := uint32(a.Len())
+		ds, k64 := d.dedupShift, int64(kind)
+		sv, ep := d.shadowView(a)
+		src := a.I
+		d.mode = segRecording
+		acc := d.acc
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				d.acc = acc
+				tc.checkLane("gather", a, i, ii)
+			}
+			acc = recAccess(acc, base+int64(ii)*4, k64, ds)
+			v := src[ii]
+			if sv != nil {
+				if wd := sv[ii]; uint32(wd>>32) == ep {
+					v = int32(uint32(wd))
+				}
+			}
+			dst[i] = v
+		}
+		d.acc = acc
+		return
+	}
+	if d != nil {
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				tc.checkLane("gather", a, i, idx[i])
+				tc.noteAccess(a.Addr(idx[i]), kind)
+			}
+		}
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				dst[i] = d.loadI(a, idx[i])
+			}
+		}
+		return
+	}
+	if e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		tab := &e.stallTab[kind]
+		l1c := tab[machine.L1]
+		src := a.I
+		stall := tc.stall
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.stall = stall
+				tc.checkLane("gather", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1)
+				stall += l1c
+			} else {
+				stall += tab[mm.Access(core, addr)]
+			}
+			dst[i] = src[ii]
+		}
+		tc.stall = stall
+		return
+	}
+	src := a.I
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			tc.checkLane("gather", a, i, idx[i])
+			tc.noteAccess(a.Addr(idx[i]), kind)
+			dst[i] = src[idx[i]]
+		}
+	}
+}
+
+// GatherFP is GatherF writing into *dst (active lanes only).
+func (tc *TaskCtx) GatherFP(a *Array, idx *vec.Vec, m vec.Mask, inner bool, dst *vec.FVec) {
+	if tc.E.Inject != nil {
+		tmp := tc.corruptIdx("gather", a, *idx, m)
+		idx = &tmp
+	}
+	if inner {
+		tc.InnerOp(vec.ClassGather, true, m.PopCount())
+	} else {
+		tc.Op(vec.ClassGather, true)
+	}
+	kind := tc.gatherKind()
+	e := tc.E
+	w := tc.Width
+	d := tc.def
+	if d != nil && d.mode == segImmediate && e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		kb := byte(kind) << 2
+		sv, ep := d.shadowView(a)
+		src := a.F
+		costs := d.costs
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("gather", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; kb|L1 == kb (L1 is level 0)
+				costs = append(costs, kb)
+			} else {
+				costs = append(costs, kb|byte(mm.Access(core, addr)))
+			}
+			v := src[ii]
+			if sv != nil {
+				if wd := sv[ii]; uint32(wd>>32) == ep {
+					v = math.Float32frombits(uint32(wd))
+				}
+			}
+			dst[i] = v
+		}
+		d.costs = costs
+		return
+	}
+	if d != nil && d.dedupShift != 0 {
+		base := a.Base
+		un := uint32(a.Len())
+		ds, k64 := d.dedupShift, int64(kind)
+		sv, ep := d.shadowView(a)
+		src := a.F
+		d.mode = segRecording
+		acc := d.acc
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				d.acc = acc
+				tc.checkLane("gather", a, i, ii)
+			}
+			acc = recAccess(acc, base+int64(ii)*4, k64, ds)
+			v := src[ii]
+			if sv != nil {
+				if wd := sv[ii]; uint32(wd>>32) == ep {
+					v = math.Float32frombits(uint32(wd))
+				}
+			}
+			dst[i] = v
+		}
+		d.acc = acc
+		return
+	}
+	if d != nil {
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				tc.checkLane("gather", a, i, idx[i])
+				tc.noteAccess(a.Addr(idx[i]), kind)
+			}
+		}
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				dst[i] = d.loadF(a, idx[i])
+			}
+		}
+		return
+	}
+	if e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		tab := &e.stallTab[kind]
+		l1c := tab[machine.L1]
+		src := a.F
+		stall := tc.stall
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.stall = stall
+				tc.checkLane("gather", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1)
+				stall += l1c
+			} else {
+				stall += tab[mm.Access(core, addr)]
+			}
+			dst[i] = src[ii]
+		}
+		tc.stall = stall
+		return
+	}
+	src := a.F
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			tc.checkLane("gather", a, i, idx[i])
+			tc.noteAccess(a.Addr(idx[i]), kind)
+			dst[i] = src[idx[i]]
+		}
+	}
+}
+
+// ScatterIP is ScatterI with pointer operands.
+func (tc *TaskCtx) ScatterIP(a *Array, idx, val *vec.Vec, m vec.Mask) {
+	if tc.E.Inject != nil {
+		tmp := tc.corruptIdx("scatter", a, *idx, m)
+		idx = &tmp
+	}
+	tc.Op(vec.ClassScatter, true)
+	e := tc.E
+	w := tc.Width
+	d := tc.def
+	if d != nil && d.mode == segImmediate && e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		sh := d.shadowFor(a)
+		sv, epHi := sh.sv, uint64(sh.epoch)<<32
+		aid := a.id
+		ops := d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("scatter", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; AccPlain: no stall
+			} else {
+				mm.Access(core, addr)
+			}
+			sv[ii] = epHi | uint64(uint32(val[i]))
+			ops = append(ops, memOp{aid: aid, idx: ii, op: opStoreI, iv: val[i]})
+		}
+		d.ops = ops
+		return
+	}
+	if d != nil && d.dedupShift != 0 {
+		base := a.Base
+		un := uint32(a.Len())
+		ds, k64 := d.dedupShift, int64(machine.AccPlain)
+		sh := d.shadowFor(a)
+		sv, epHi := sh.sv, uint64(sh.epoch)<<32
+		aid := a.id
+		d.mode = segRecording
+		acc, ops := d.acc, d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				d.acc = acc
+				tc.checkLane("scatter", a, i, ii)
+			}
+			acc = recAccess(acc, base+int64(ii)*4, k64, ds)
+			sv[ii] = epHi | uint64(uint32(val[i]))
+			ops = append(ops, memOp{aid: aid, idx: ii, op: opStoreI, iv: val[i]})
+		}
+		d.acc, d.ops = acc, ops
+		return
+	}
+	if d != nil {
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				tc.checkLane("scatter", a, i, idx[i])
+				tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+			}
+		}
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				d.storeI(a, idx[i], val[i])
+			}
+		}
+		return
+	}
+	if e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		dst := a.I
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("scatter", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; AccPlain: no stall
+			} else {
+				mm.Access(core, addr)
+			}
+			dst[ii] = val[i]
+		}
+		return
+	}
+	dst := a.I
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			tc.checkLane("scatter", a, i, idx[i])
+			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+			dst[idx[i]] = val[i]
+		}
+	}
+}
+
+// ScatterFP is ScatterF with pointer operands.
+func (tc *TaskCtx) ScatterFP(a *Array, idx *vec.Vec, val *vec.FVec, m vec.Mask) {
+	if tc.E.Inject != nil {
+		tmp := tc.corruptIdx("scatter", a, *idx, m)
+		idx = &tmp
+	}
+	tc.Op(vec.ClassScatter, true)
+	e := tc.E
+	w := tc.Width
+	d := tc.def
+	if d != nil && d.mode == segImmediate && e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		sh := d.shadowFor(a)
+		sv, epHi := sh.sv, uint64(sh.epoch)<<32
+		aid := a.id
+		ops := d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("scatter", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; AccPlain: no stall
+			} else {
+				mm.Access(core, addr)
+			}
+			sv[ii] = epHi | uint64(math.Float32bits(val[i]))
+			ops = append(ops, memOp{aid: aid, idx: ii, op: opStoreF, fv: val[i]})
+		}
+		d.ops = ops
+		return
+	}
+	if d != nil && d.dedupShift != 0 {
+		base := a.Base
+		un := uint32(a.Len())
+		ds, k64 := d.dedupShift, int64(machine.AccPlain)
+		sh := d.shadowFor(a)
+		sv, epHi := sh.sv, uint64(sh.epoch)<<32
+		aid := a.id
+		d.mode = segRecording
+		acc, ops := d.acc, d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				d.acc = acc
+				tc.checkLane("scatter", a, i, ii)
+			}
+			acc = recAccess(acc, base+int64(ii)*4, k64, ds)
+			sv[ii] = epHi | uint64(math.Float32bits(val[i]))
+			ops = append(ops, memOp{aid: aid, idx: ii, op: opStoreF, fv: val[i]})
+		}
+		d.acc, d.ops = acc, ops
+		return
+	}
+	if d != nil {
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				tc.checkLane("scatter", a, i, idx[i])
+				tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+			}
+		}
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				d.storeF(a, idx[i], val[i])
+			}
+		}
+		return
+	}
+	if e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		dst := a.F
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("scatter", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; AccPlain: no stall
+			} else {
+				mm.Access(core, addr)
+			}
+			dst[ii] = val[i]
+		}
+		return
+	}
+	dst := a.F
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			tc.checkLane("scatter", a, i, idx[i])
+			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+			dst[idx[i]] = val[i]
+		}
+	}
+}
+
+// LoadVecIP is LoadVecI writing into *dst (active lanes only).
+func (tc *TaskCtx) LoadVecIP(a *Array, start int32, m vec.Mask, dst *vec.Vec) {
+	tc.Op(vec.ClassVLoad, m != vec.FullMask(tc.Width))
+	e := tc.E
+	w := tc.Width
+	d := tc.def
+	if d != nil && d.mode == segImmediate && e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		sv, ep := d.shadowView(a)
+		src := a.I
+		costs := d.costs
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := start + int32(i)
+			if uint32(ii) >= un {
+				tc.checkLane("vload", a, i, ii)
+			}
+			kb := byte(machine.AccStream) << 2
+			if i == 0 {
+				kb = byte(machine.AccLoad) << 2
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; kb|L1 == kb (L1 is level 0)
+				costs = append(costs, kb)
+			} else {
+				costs = append(costs, kb|byte(mm.Access(core, addr)))
+			}
+			v := src[ii]
+			if sv != nil {
+				if wd := sv[ii]; uint32(wd>>32) == ep {
+					v = int32(uint32(wd))
+				}
+			}
+			dst[i] = v
+		}
+		d.costs = costs
+		return
+	}
+	if d != nil && d.dedupShift != 0 {
+		base := a.Base
+		un := uint32(a.Len())
+		ds := d.dedupShift
+		sv, ep := d.shadowView(a)
+		src := a.I
+		d.mode = segRecording
+		acc := d.acc
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := start + int32(i)
+			if uint32(ii) >= un {
+				d.acc = acc
+				tc.checkLane("vload", a, i, ii)
+			}
+			k64 := int64(machine.AccStream)
+			if i == 0 {
+				k64 = int64(machine.AccLoad)
+			}
+			acc = recAccess(acc, base+int64(ii)*4, k64, ds)
+			v := src[ii]
+			if sv != nil {
+				if wd := sv[ii]; uint32(wd>>32) == ep {
+					v = int32(uint32(wd))
+				}
+			}
+			dst[i] = v
+		}
+		d.acc = acc
+		return
+	}
+	if d != nil {
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				tc.checkLane("vload", a, i, start+int32(i))
+				kind := machine.AccStream
+				if i == 0 {
+					kind = machine.AccLoad
+				}
+				tc.noteAccess(a.Addr(start+int32(i)), kind)
+			}
+		}
+		for i := 0; i < w; i++ {
+			if m.Bit(i) {
+				dst[i] = d.loadI(a, start+int32(i))
+			}
+		}
+		return
+	}
+	if e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		src := a.I
+		stall := tc.stall
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := start + int32(i)
+			if uint32(ii) >= un {
+				tc.stall = stall
+				tc.checkLane("vload", a, i, ii)
+			}
+			kind := machine.AccStream
+			if i == 0 {
+				kind = machine.AccLoad
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1)
+				stall += e.stallTab[kind][machine.L1]
+			} else {
+				stall += e.stallTab[kind][mm.Access(core, addr)]
+			}
+			dst[i] = src[ii]
+		}
+		tc.stall = stall
+		return
+	}
+	src := a.I
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			tc.checkLane("vload", a, i, start+int32(i))
+			kind := machine.AccStream
+			if i == 0 {
+				kind = machine.AccLoad
+			}
+			tc.noteAccess(a.Addr(start+int32(i)), kind)
+			dst[i] = src[start+int32(i)]
+		}
+	}
+}
+
+// AtomicMinLanesP is AtomicMinLanes with pointer operands.
+func (tc *TaskCtx) AtomicMinLanesP(a *Array, idx, val *vec.Vec, m vec.Mask) vec.Mask {
+	if tc.E.Inject != nil {
+		tmp := tc.corruptIdx("scatter", a, *idx, m)
+		idx = &tmp
+	}
+	var improved vec.Mask
+	e := tc.E
+	d := tc.def
+	w := tc.Width
+	if d != nil && d.mode == segImmediate && e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		sh := d.shadowFor(a)
+		sv, ep := sh.sv, sh.epoch
+		epHi := uint64(ep) << 32
+		aid := a.id
+		src := a.I
+		ops := d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("atomic-min", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; AccPlain: no stall
+			} else {
+				mm.Access(core, addr)
+			}
+			cur := src[ii]
+			if wd := sv[ii]; uint32(wd>>32) == ep {
+				cur = int32(uint32(wd))
+			}
+			if val[i] < cur {
+				sv[ii] = epHi | uint64(uint32(val[i]))
+				ops = append(ops, memOp{aid: aid, idx: ii, op: opMinI, iv: val[i]})
+				improved = improved.Set(i)
+			}
+		}
+		d.ops = ops
+		tc.countAtomics(m.PopCount(), false, false)
+		return improved
+	}
+	if d != nil && d.dedupShift != 0 {
+		base := a.Base
+		un := uint32(a.Len())
+		ds, k64 := d.dedupShift, int64(machine.AccPlain)
+		sh := d.shadowFor(a)
+		sv, ep := sh.sv, sh.epoch
+		epHi := uint64(ep) << 32
+		aid := a.id
+		src := a.I
+		d.mode = segRecording
+		acc, ops := d.acc, d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				d.acc, d.ops = acc, ops
+				tc.checkLane("atomic-min", a, i, ii)
+			}
+			acc = recAccess(acc, base+int64(ii)*4, k64, ds)
+			cur := src[ii]
+			if wd := sv[ii]; uint32(wd>>32) == ep {
+				cur = int32(uint32(wd))
+			}
+			if val[i] < cur {
+				sv[ii] = epHi | uint64(uint32(val[i]))
+				ops = append(ops, memOp{aid: aid, idx: ii, op: opMinI, iv: val[i]})
+				improved = improved.Set(i)
+			}
+		}
+		d.acc, d.ops = acc, ops
+		tc.countAtomics(m.PopCount(), false, false)
+		return improved
+	}
+	n := 0
+	for i := 0; i < w; i++ {
+		if !m.Bit(i) {
+			continue
+		}
+		n++
+		tc.checkLane("atomic-min", a, i, idx[i])
+		tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+		if d != nil {
+			if val[i] < d.loadI(a, idx[i]) {
+				d.minI(a, idx[i], val[i])
+				improved = improved.Set(i)
+			}
+		} else if val[i] < a.I[idx[i]] {
+			a.I[idx[i]] = val[i]
+			improved = improved.Set(i)
+		}
+	}
+	tc.countAtomics(n, false, false)
+	return improved
+}
+
+// AtomicCASLanesP is AtomicCASLanes with pointer operands.
+func (tc *TaskCtx) AtomicCASLanesP(a *Array, idx, old, new *vec.Vec, m vec.Mask) vec.Mask {
+	if tc.E.Inject != nil {
+		tmp := tc.corruptIdx("scatter", a, *idx, m)
+		idx = &tmp
+	}
+	var won vec.Mask
+	e := tc.E
+	d := tc.def
+	w := tc.Width
+	if d != nil && d.mode == segImmediate && e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		sh := d.shadowFor(a)
+		sv, ep := sh.sv, sh.epoch
+		epHi := uint64(ep) << 32
+		aid := a.id
+		src := a.I
+		ops := d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("atomic-cas", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; AccPlain: no stall
+			} else {
+				mm.Access(core, addr)
+			}
+			cur := src[ii]
+			if wd := sv[ii]; uint32(wd>>32) == ep {
+				cur = int32(uint32(wd))
+			}
+			if cur == old[i] {
+				sv[ii] = epHi | uint64(uint32(new[i]))
+				ops = append(ops, memOp{aid: aid, idx: ii, op: opCASI, iv: new[i], old: old[i]})
+				won = won.Set(i)
+			}
+		}
+		d.ops = ops
+		tc.countAtomics(m.PopCount(), false, false)
+		return won
+	}
+	if d != nil && d.dedupShift != 0 {
+		base := a.Base
+		un := uint32(a.Len())
+		ds, k64 := d.dedupShift, int64(machine.AccPlain)
+		sh := d.shadowFor(a)
+		sv, ep := sh.sv, sh.epoch
+		epHi := uint64(ep) << 32
+		aid := a.id
+		src := a.I
+		d.mode = segRecording
+		acc, ops := d.acc, d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				d.acc, d.ops = acc, ops
+				tc.checkLane("atomic-cas", a, i, ii)
+			}
+			acc = recAccess(acc, base+int64(ii)*4, k64, ds)
+			cur := src[ii]
+			if wd := sv[ii]; uint32(wd>>32) == ep {
+				cur = int32(uint32(wd))
+			}
+			if cur == old[i] {
+				sv[ii] = epHi | uint64(uint32(new[i]))
+				ops = append(ops, memOp{aid: aid, idx: ii, op: opCASI, iv: new[i], old: old[i]})
+				won = won.Set(i)
+			}
+		}
+		d.acc, d.ops = acc, ops
+		tc.countAtomics(m.PopCount(), false, false)
+		return won
+	}
+	n := 0
+	for i := 0; i < w; i++ {
+		if !m.Bit(i) {
+			continue
+		}
+		n++
+		tc.checkLane("atomic-cas", a, i, idx[i])
+		tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+		if d != nil {
+			if d.loadI(a, idx[i]) == old[i] {
+				d.casI(a, idx[i], old[i], new[i])
+				won = won.Set(i)
+			}
+		} else if a.I[idx[i]] == old[i] {
+			a.I[idx[i]] = new[i]
+			won = won.Set(i)
+		}
+	}
+	tc.countAtomics(n, false, false)
+	return won
+}
+
+// AtomicAddLanesP is AtomicAddLanes with pointer operands.
+func (tc *TaskCtx) AtomicAddLanesP(a *Array, idx, val *vec.Vec, m vec.Mask, push bool) {
+	if tc.E.Inject != nil {
+		tmp := tc.corruptIdx("scatter", a, *idx, m)
+		idx = &tmp
+	}
+	n := m.PopCount()
+	e := tc.E
+	d := tc.def
+	w := tc.Width
+	if d != nil && d.mode == segImmediate && e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		sh := d.shadowFor(a)
+		sv, ep := sh.sv, sh.epoch
+		epHi := uint64(ep) << 32
+		aid := a.id
+		src := a.I
+		ops := d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("atomic-add", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; AccPlain: no stall
+			} else {
+				mm.Access(core, addr)
+			}
+			old := src[ii]
+			if wd := sv[ii]; uint32(wd>>32) == ep {
+				old = int32(uint32(wd))
+			}
+			sv[ii] = epHi | uint64(uint32(old+val[i]))
+			ops = append(ops, memOp{aid: aid, idx: ii, op: opAddI, iv: val[i]})
+		}
+		d.ops = ops
+		tc.countAtomics(n, false, push)
+		return
+	}
+	if d != nil && d.dedupShift != 0 {
+		base := a.Base
+		un := uint32(a.Len())
+		ds, k64 := d.dedupShift, int64(machine.AccPlain)
+		sh := d.shadowFor(a)
+		sv, ep := sh.sv, sh.epoch
+		epHi := uint64(ep) << 32
+		aid := a.id
+		src := a.I
+		d.mode = segRecording
+		acc, ops := d.acc, d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				d.acc, d.ops = acc, ops
+				tc.checkLane("atomic-add", a, i, ii)
+			}
+			acc = recAccess(acc, base+int64(ii)*4, k64, ds)
+			old := src[ii]
+			if wd := sv[ii]; uint32(wd>>32) == ep {
+				old = int32(uint32(wd))
+			}
+			sv[ii] = epHi | uint64(uint32(old+val[i]))
+			ops = append(ops, memOp{aid: aid, idx: ii, op: opAddI, iv: val[i]})
+		}
+		d.acc, d.ops = acc, ops
+		tc.countAtomics(n, false, push)
+		return
+	}
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			tc.checkLane("atomic-add", a, i, idx[i])
+			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+			if d != nil {
+				d.addI(a, idx[i], val[i])
+			} else {
+				a.I[idx[i]] += val[i]
+			}
+		}
+	}
+	tc.countAtomics(n, false, push)
+}
+
+// AtomicAddFLanesP is AtomicAddFLanes with pointer operands.
+func (tc *TaskCtx) AtomicAddFLanesP(a *Array, idx *vec.Vec, val *vec.FVec, m vec.Mask) {
+	if tc.E.Inject != nil {
+		tmp := tc.corruptIdx("scatter", a, *idx, m)
+		idx = &tmp
+	}
+	n := m.PopCount()
+	e := tc.E
+	d := tc.def
+	w := tc.Width
+	if d != nil && d.mode == segImmediate && e.Pager == nil {
+		mm, core, base := e.Mem, tc.core, a.Base
+		ls := mm.LineShift()
+		tags, tmask := mm.L1View(core)
+		un := uint32(a.Len())
+		sh := d.shadowFor(a)
+		sv, ep := sh.sv, sh.epoch
+		epHi := uint64(ep) << 32
+		aid := a.id
+		src := a.F
+		ops := d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				tc.checkLane("atomic-add", a, i, ii)
+			}
+			addr := base + int64(ii)*4
+			if line := addr >> ls; tags[line&tmask] == line {
+				mm.RepeatHits(1) // inline L1-hit probe; AccPlain: no stall
+			} else {
+				mm.Access(core, addr)
+			}
+			old := src[ii]
+			if wd := sv[ii]; uint32(wd>>32) == ep {
+				old = math.Float32frombits(uint32(wd))
+			}
+			sv[ii] = epHi | uint64(math.Float32bits(old+val[i]))
+			ops = append(ops, memOp{aid: aid, idx: ii, op: opAddF, fv: val[i]})
+		}
+		d.ops = ops
+		tc.countAtomics(n, false, false)
+		return
+	}
+	if d != nil && d.dedupShift != 0 {
+		base := a.Base
+		un := uint32(a.Len())
+		ds, k64 := d.dedupShift, int64(machine.AccPlain)
+		sh := d.shadowFor(a)
+		sv, ep := sh.sv, sh.epoch
+		epHi := uint64(ep) << 32
+		aid := a.id
+		src := a.F
+		d.mode = segRecording
+		acc, ops := d.acc, d.ops
+		for bs := uint32(m); bs != 0; bs &= bs - 1 {
+			i := bits.TrailingZeros32(bs)
+			ii := idx[i]
+			if uint32(ii) >= un {
+				d.acc, d.ops = acc, ops
+				tc.checkLane("atomic-add", a, i, ii)
+			}
+			acc = recAccess(acc, base+int64(ii)*4, k64, ds)
+			old := src[ii]
+			if wd := sv[ii]; uint32(wd>>32) == ep {
+				old = math.Float32frombits(uint32(wd))
+			}
+			sv[ii] = epHi | uint64(math.Float32bits(old+val[i]))
+			ops = append(ops, memOp{aid: aid, idx: ii, op: opAddF, fv: val[i]})
+		}
+		d.acc, d.ops = acc, ops
+		tc.countAtomics(n, false, false)
+		return
+	}
+	for i := 0; i < w; i++ {
+		if m.Bit(i) {
+			tc.checkLane("atomic-add", a, i, idx[i])
+			tc.noteAccess(a.Addr(idx[i]), machine.AccPlain)
+			if d != nil {
+				d.addF(a, idx[i], val[i])
+			} else {
+				a.F[idx[i]] += val[i]
+			}
+		}
+	}
+	tc.countAtomics(n, false, false)
+}

@@ -12,6 +12,7 @@ package vec
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -49,12 +50,8 @@ func (m Mask) Clear(i int) Mask { return m &^ (1 << uint(i)) }
 
 // PopCount returns the number of active lanes.
 func (m Mask) PopCount() int {
-	// Hacker's Delight population count; Mask is 32 bits.
-	x := uint32(m)
-	x -= (x >> 1) & 0x55555555
-	x = (x & 0x33333333) + ((x >> 2) & 0x33333333)
-	x = (x + (x >> 4)) & 0x0f0f0f0f
-	return int((x * 0x01010101) >> 24)
+	// math/bits lowers to a single POPCNT on amd64/arm64.
+	return bits.OnesCount32(uint32(m))
 }
 
 // Any reports whether any lane is active.
