@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel fuzz gen gen-drift bench bench-smoke trace-smoke serve-smoke serve-load chaos profile ci clean
+.PHONY: build vet test race race-parallel fuzz gen gen-drift bench bench-diff bench-smoke trace-smoke serve-smoke serve-load chaos profile ci clean
 
 build:
 	$(GO) build ./...
@@ -48,16 +48,25 @@ fuzz:
 # (csr vs forced sell where the layout applies), with allocation stats,
 # observability annotations (lane utilization — overall and SELL-dense-path
 # only — L1 hit rate, padding overhead, fallback ratio) and recovery counters
-# from one instrumented checkpointing run; writes BENCH_8.json with per-kernel
-# interp-vs-compiled backend wall columns and their geomean, the per-family
-# CSR-vs-SELL modeled-cycles geomeans in the note, the ns/op delta against the
-# BENCH_7.json baseline, and validates the written report against the bench
-# schema.
+# from one instrumented checkpointing run; writes BENCH_9.json (schema v2:
+# per-row cycle_attribution class totals that re-fold to modeled_cycles
+# bit-exactly) with per-kernel interp-vs-compiled backend wall columns and
+# their geomean, the per-family CSR-vs-SELL modeled-cycles geomeans in the
+# note, the ns/op delta against the BENCH_8.json baseline, and validates the
+# written report against the bench schema.
 bench:
-	BENCH_OUT=$(CURDIR)/BENCH_8.json BENCH_BASELINE=$(CURDIR)/BENCH_7.json \
+	BENCH_OUT=$(CURDIR)/BENCH_9.json BENCH_BASELINE=$(CURDIR)/BENCH_8.json \
 		$(GO) test -run '^$$' -bench '^BenchmarkHostExec$$' -benchtime 3x -benchmem .
-	EGACS_BENCH_FILE=$(CURDIR)/BENCH_8.json \
+	EGACS_BENCH_FILE=$(CURDIR)/BENCH_9.json \
 		$(GO) test -run '^TestValidateBenchFile$$' -v ./internal/obs
+
+# Drift-free regression gate: replay the perfhist trajectory over every
+# committed BENCH_*.json, then re-measure HEAD's deterministic series
+# (modeled cycles per class, allocs/op) and fail on >2% regression against
+# the last accepted report unless BENCH_ALLOWLIST.json waives the specific
+# kernel/layout/metric (CI job).
+bench-diff:
+	$(GO) test -run '^TestBenchDiff' -v ./internal/obs/perfhist
 
 # One-iteration pass over every benchmark in the repo: catches benchmarks that
 # no longer compile or crash without paying for real measurement (CI job).
@@ -67,7 +76,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/egacs -bench cc -input rmat -scale test -layout sell
 	$(GO) run ./cmd/egacs -bench cc -input rmat -scale test -backend interp
-	EGACS_BENCH_FILE=$(CURDIR)/BENCH_8.json \
+	EGACS_BENCH_FILE=$(CURDIR)/BENCH_9.json \
 		$(GO) test -run '^TestValidateBenchFile$$' ./internal/obs
 
 # End-to-end trace check: run a kernel with -trace, then validate the written
@@ -108,7 +117,7 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof
 	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
-ci: vet build gen-drift race race-parallel bench-smoke trace-smoke serve-smoke
+ci: vet build gen-drift race race-parallel bench-smoke bench-diff trace-smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

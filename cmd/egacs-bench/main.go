@@ -22,6 +22,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/kernels"
 	"repro/internal/obs"
 )
 
@@ -41,8 +42,17 @@ func main() {
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file after the runs")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of experiment wall times to this file")
 		metricsOut = flag.String("metrics", "", "write each experiment's headline numbers (registry) as JSONL to this file")
+		attribOut  = flag.String("attrib", "", "write a collapsed-stack (flamegraph) cycle-attribution profile of the whole benchmark suite to this file and exit; stacks are kernel/graph;phase;cost-class, '-' prints to stdout")
 	)
 	flag.Parse()
+
+	if *attribOut != "" {
+		if err := writeSuiteAttrib(*attribOut, *scale, *seed, *backendStr, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -167,8 +177,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metrics: %d observations -> %s\n", opts.Registry.Len(), *metricsOut)
 	}
 
-	if *memProf != "" {
-		f, err := os.Create(*memProf)
+	writeMem(*memProf)
+}
+
+// writeSuiteAttrib runs every benchmark of the evaluation on every generated
+// input family and folds the per-phase per-cost-class cycle attribution of
+// each run into one collapsed-stack profile, stacks rooted at kernel/graph.
+// The runs use the cooperative reference scheduler, so the profile is
+// bit-reproducible across invocations and machines.
+func writeSuiteAttrib(path, scale string, seed uint64, backendStr string, quick bool) error {
+	var sc graph.Scale
+	switch scale {
+	case "test":
+		sc = graph.ScaleTest
+	case "small":
+		sc = graph.ScaleSmall
+	case "bench":
+		sc = graph.ScaleBench
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	backend, err := core.ParseBackend(backendStr)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	benches := kernels.All()
+	if quick {
+		benches = benches[:3]
+	}
+	stacks := 0
+	for _, b := range benches {
+		for _, raw := range graph.Suite(sc, seed) {
+			g := core.PrepareGraph(b, raw)
+			res, err := core.Run(b, g, core.Config{Tasks: 4, HostExec: core.HostCooperative, Backend: backend})
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", b.Name, raw.Name, err)
+			}
+			attr := res.Engine.Attribution()
+			attr.Wasted = res.Recovery.WastedCycles
+			attr.WriteCollapsed(out, b.Name+"/"+raw.Name)
+			stacks += len(attr.Phases)
+		}
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "attrib: %d phase stacks -> %s\n", stacks, path)
+	}
+	return nil
+}
+
+func writeMem(memProf string) {
+	if memProf != "" {
+		f, err := os.Create(memProf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "egacs-bench:", err)
 			os.Exit(1)

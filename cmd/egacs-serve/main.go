@@ -11,8 +11,10 @@
 //
 //	egacs-serve -addr :8080 -input road -scale small
 //	egacs-serve -addr :8080 -graph web.el -max-inflight 8 -tenant-cap 2
+//	egacs-serve -addr :8080 -request-log requests.jsonl
 //	curl 'localhost:8080/query?kind=bfs&src=0&node=25'
 //	curl 'localhost:8080/query?kind=pr&k=10'
+//	curl 'localhost:8080/metrics'    # Prometheus text exposition
 //	curl -X POST localhost:8080/query -d '{"kind":"sssp","src":3,"tenant":"alice"}'
 //
 // SIGINT/SIGTERM triggers a graceful drain: readiness flips, new queries get
@@ -69,6 +71,7 @@ func main() {
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain window before in-flight queries are cancelled")
 		metricsOut = flag.String("metrics", "", "write the service counter registry as JSONL to this file on shutdown")
 		traceOut   = flag.String("trace", "", "write per-request spans as a Chrome trace-event file on shutdown")
+		reqLog     = flag.String("request-log", "", "append one structured JSON line per request to this file (\"-\" = stderr); live Prometheus metrics are always at /metrics")
 	)
 	flag.Parse()
 
@@ -102,6 +105,16 @@ func main() {
 	if *traceOut != "" {
 		tracer = obs.NewTracer(1 << 18)
 		opts.Trace = tracer
+	}
+	var logFile *os.File
+	switch *reqLog {
+	case "":
+	case "-":
+		opts.RequestLog = os.Stderr
+	default:
+		logFile, err = os.OpenFile(*reqLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		fail(err)
+		opts.RequestLog = logFile
 	}
 
 	s, err := serve.New(g, opts)
@@ -155,6 +168,9 @@ func main() {
 	}
 	if tracer != nil {
 		fail(tracer.WriteFile(*traceOut))
+	}
+	if logFile != nil {
+		fail(logFile.Close())
 	}
 	fmt.Fprintln(os.Stderr, "egacs-serve: drained, bye")
 }

@@ -57,6 +57,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		hostPar    = flag.Bool("host-parallel", true, "run SPMD tasks concurrently on host cores (modeled time is unchanged); false selects the cooperative reference scheduler. -fault-inject forces the live scheduler; -profile works in every mode")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline (modeled + host clocks) to this file; open in Perfetto or chrome://tracing")
+		attribOut  = flag.String("attrib", "", "write the per-phase per-cost-class cycle attribution as a collapsed-stack (flamegraph) profile to this file; '-' prints it (with a per-class summary table) to stdout")
 		metricsOut = flag.String("metrics", "", "write per-iteration metrics (frontier, lane utilization, cache hits, ...) as JSONL to this file")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -184,6 +185,12 @@ func main() {
 	exportObs(cfg, *traceOut, *metricsOut, *jsonOut)
 	fail(err)
 
+	if *attribOut != "" {
+		attr := res.Engine.Attribution()
+		attr.Wasted = res.Recovery.WastedCycles
+		fail(writeAttrib(&attr, *attribOut, bench.Name, *jsonOut))
+	}
+
 	if *jsonOut {
 		verr := ""
 		if *verify {
@@ -254,6 +261,34 @@ func exportObs(cfg core.Config, tracePath, metricsPath string, jsonOut bool) {
 				cfg.Metrics.Len(), metricsPath)
 		}
 	}
+}
+
+// writeAttrib renders the cycle attribution as a collapsed-stack profile
+// (one "root;phase;class cycles" line per non-zero bucket, the folded format
+// flamegraph tooling consumes). Path "-" writes to stdout and appends the
+// human-readable per-class summary table.
+func writeAttrib(attr *obs.Attribution, path, root string, jsonOut bool) error {
+	if path == "-" {
+		attr.WriteCollapsed(os.Stdout, root)
+		if !jsonOut {
+			fmt.Println()
+			attr.WriteText(os.Stdout)
+		}
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	attr.WriteCollapsed(f, root)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !jsonOut {
+		fmt.Printf("attrib:    %d phases x %d cost classes -> %s\n",
+			len(attr.Phases), int(obs.NumCostClasses), path)
+	}
+	return nil
 }
 
 // runResilient executes with graceful degradation and reports which path

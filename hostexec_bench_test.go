@@ -75,6 +75,11 @@ type hostExecSample struct {
 	Rollbacks    int     `json:"recovery_rollbacks,omitempty"`
 	BadCkpts     int     `json:"recovery_bad_checkpoints,omitempty"`
 	WastedCycles float64 `json:"recovery_wasted_cycles,omitempty"`
+	// Per-cost-class modeled-cycle totals, captured from the same engine
+	// whose TimeCycles filled ModeledCycles (the cooperative timed loop's
+	// last run), so the canonical class-order re-fold reproduces
+	// modeled_cycles bit-exactly — the schema validator enforces it.
+	CycleAttribution map[string]float64 `json:"cycle_attribution,omitempty"`
 }
 
 var hostExecResults = struct {
@@ -85,6 +90,7 @@ var hostExecResults = struct {
 // hostExecReport is the BENCH_2.json schema (extended with per-layout rows
 // and the per-family CSR-vs-SELL cycle deltas since BENCH_7).
 type hostExecReport struct {
+	SchemaVersion  int                `json:"schema_version"`
 	Generated      string             `json:"generated"`
 	GoVersion      string             `json:"go_version"`
 	NumCPU         int                `json:"num_cpu"`
@@ -114,7 +120,7 @@ func hostExecRow(kernel, graphName, layout string) *hostExecSample {
 	return s
 }
 
-func recordHostExec(kernel, graphName, layout, mode string, cycles, nsPerOp, allocsOp, bytesOp float64) {
+func recordHostExec(kernel, graphName, layout, mode string, cycles, nsPerOp, allocsOp, bytesOp float64, attrib map[string]float64) {
 	hostExecResults.Lock()
 	defer hostExecResults.Unlock()
 	s := hostExecRow(kernel, graphName, layout)
@@ -124,6 +130,7 @@ func recordHostExec(kernel, graphName, layout, mode string, cycles, nsPerOp, all
 		s.CoopWallNsOp = nsPerOp
 		s.CoopAllocsOp = allocsOp
 		s.CoopBytesOp = bytesOp
+		s.CycleAttribution = attrib
 	case "parallel":
 		s.ParWallNsOp = nsPerOp
 		s.ParAllocsOp = allocsOp
@@ -213,7 +220,8 @@ func writeHostExecReport() {
 		return
 	}
 	rep := hostExecReport{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
+		SchemaVersion: obs.BenchSchemaVersion,
+		Generated:     time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -408,6 +416,7 @@ func BenchmarkHostExec(b *testing.B) {
 				b.Run(k.Name+"/"+lt.name+"/"+mode.name, func(b *testing.B) {
 					b.ReportAllocs()
 					var cycles float64
+					var last *core.Result
 					var ms0, ms1 runtime.MemStats
 					runtime.ReadMemStats(&ms0)
 					for i := 0; i < b.N; i++ {
@@ -416,13 +425,24 @@ func BenchmarkHostExec(b *testing.B) {
 							b.Fatal(err)
 						}
 						cycles = res.Engine.TimeCycles()
+						last = res
 					}
 					runtime.ReadMemStats(&ms1)
+					// Attribution must come from the same engine whose TimeCycles
+					// fills the row, so the report's per-class sums re-fold to
+					// modeled_cycles bit-exactly. Built after the MemStats window:
+					// the report map must not perturb the allocs/op series the
+					// regression gate watches.
+					var attrib map[string]float64
+					if mode.name == "cooperative" {
+						attr := last.Engine.Attribution()
+						attrib = attr.ClassMap()
+					}
 					b.ReportMetric(cycles, "modeled-cycles")
 					nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 					allocsOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
 					bytesOp := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N)
-					recordHostExec(k.Name, g.Name, lt.name, mode.name, cycles, nsPerOp, allocsOp, bytesOp)
+					recordHostExec(k.Name, g.Name, lt.name, mode.name, cycles, nsPerOp, allocsOp, bytesOp, attrib)
 				})
 			}
 		}

@@ -5,6 +5,12 @@ import (
 	"fmt"
 )
 
+// BenchSchemaVersion is the current BENCH_*.json schema version. Version 2
+// added the per-row cycle_attribution map (per-cost-class modeled-cycle
+// totals that must re-fold to modeled_cycles bit-exactly). Reports written
+// before versioning carry no schema_version field and validate as legacy.
+const BenchSchemaVersion = 2
+
 // ValidateBenchReport structurally validates a BENCH_*.json host-execution
 // report (the schema written by the repo's `make bench` harness; see
 // hostexec_bench_test.go). It works on raw JSON so report writers and CI
@@ -13,8 +19,17 @@ import (
 // range checks on the per-layout columns added by the SELL-C-σ experiment
 // (layout tag, lane utilizations in [0,1], padding overhead ≥ 1x). Rows are
 // keyed by kernel+layout and must be unique.
+//
+// The report is versioned: schema_version absent or ≤ 1 validates as legacy
+// (pre-attribution) — a version from the future is rejected rather than
+// silently accepted with its new fields ignored. Version 2 reports must
+// carry a cycle_attribution map on every row whose keys parse as cost
+// classes and whose canonical class-order re-fold reproduces modeled_cycles
+// bit-exactly (no epsilon: both sides are folds of the same buckets and
+// encoding/json round-trips float64 exactly).
 func ValidateBenchReport(raw []byte) error {
 	var rep struct {
+		SchemaVersion  int     `json:"schema_version"`
 		Generated      string  `json:"generated"`
 		GoVersion      string  `json:"go_version"`
 		BackendGeomean float64 `json:"backend_wall_geomean"`
@@ -35,10 +50,16 @@ func ValidateBenchReport(raw []byte) error {
 			SellPadding   *float64 `json:"sell_padding_overhead"`
 			SellFallback  *float64 `json:"sell_fallback_ratio"`
 			SellColumns   *int64   `json:"sell_columns"`
+
+			CycleAttribution map[string]float64 `json:"cycle_attribution"`
 		} `json:"kernels"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		return fmt.Errorf("bench report: %w", err)
+	}
+	if rep.SchemaVersion < 0 || rep.SchemaVersion > BenchSchemaVersion {
+		return fmt.Errorf("bench report: unknown schema_version %d (this build understands <= %d)",
+			rep.SchemaVersion, BenchSchemaVersion)
 	}
 	if rep.Generated == "" {
 		return fmt.Errorf("bench report: missing generated timestamp")
@@ -114,6 +135,27 @@ func ValidateBenchReport(raw []byte) error {
 		}
 		if k.SellColumns != nil && *k.SellColumns < 0 {
 			return fmt.Errorf("bench report: %s: sell_columns = %d, want >= 0", row, *k.SellColumns)
+		}
+		if rep.SchemaVersion >= 2 {
+			if len(k.CycleAttribution) == 0 {
+				return fmt.Errorf("bench report: %s: schema_version %d row missing cycle_attribution",
+					row, rep.SchemaVersion)
+			}
+			for name, v := range k.CycleAttribution {
+				if _, ok := ParseCostClass(name); !ok {
+					return fmt.Errorf("bench report: %s: unknown cost class %q in cycle_attribution", row, name)
+				}
+				if v < 0 {
+					return fmt.Errorf("bench report: %s: cycle_attribution[%q] = %v, want >= 0", row, name, v)
+				}
+			}
+			if got := SumClassMap(k.CycleAttribution); got != k.ModeledCycles {
+				return fmt.Errorf("bench report: %s: cycle_attribution sums to %v, modeled_cycles = %v (must match bit-exactly)",
+					row, got, k.ModeledCycles)
+			}
+		} else if len(k.CycleAttribution) != 0 {
+			return fmt.Errorf("bench report: %s: cycle_attribution present but schema_version %d predates it",
+				row, rep.SchemaVersion)
 		}
 	}
 	if rep.BackendGeomean < 0 {

@@ -67,6 +67,62 @@ func TestValidateBenchReport(t *testing.T) {
 	}
 }
 
+// validReportV2 is a schema_version 2 report: every row carries a
+// cycle_attribution map whose class totals sum to modeled_cycles exactly.
+const validReportV2 = `{
+  "schema_version": 2,
+  "generated": "2026-08-08T00:00:00Z",
+  "go_version": "go1.24",
+  "kernels": [
+    {"kernel": "cc", "graph": "rmat12", "layout": "csr", "modeled_cycles": 100,
+     "cycle_attribution": {"valu": 60, "barrier": 40}},
+    {"kernel": "pr", "graph": "rmat12", "modeled_cycles": 200.5,
+     "cycle_attribution": {"gather_scatter": 150.25, "launch": 50.25}}
+  ]
+}`
+
+// TestValidateBenchReportVersioned mutation-tests the schema-version gate
+// and the per-row attribution checks added in version 2: a future version is
+// rejected (not silently accepted with its fields ignored), version 2 rows
+// must carry attribution with known class names, non-negative values and a
+// bit-exact re-fold to modeled_cycles, and legacy reports must not smuggle
+// attribution in without declaring the version.
+func TestValidateBenchReportVersioned(t *testing.T) {
+	if err := ValidateBenchReport([]byte(validReportV2)); err != nil {
+		t.Fatalf("valid v2 report rejected: %v", err)
+	}
+	bad := []struct {
+		name, from, to, want string
+	}{
+		{"future version", `"schema_version": 2`, `"schema_version": 3`, "unknown schema_version"},
+		{"negative version", `"schema_version": 2`, `"schema_version": -1`, "unknown schema_version"},
+		{"missing attribution", `"cycle_attribution": {"valu": 60, "barrier": 40}`,
+			`"cycle_attribution_x": {"valu": 60, "barrier": 40}`, "missing cycle_attribution"},
+		{"unknown class", `"valu": 60`, `"warp_divergence": 60`, "unknown cost class"},
+		{"negative class total", `"barrier": 40`, `"barrier": -40`, "want >= 0"},
+		{"sum mismatch", `"barrier": 40`, `"barrier": 40.5`, "must match bit-exactly"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := strings.Replace(validReportV2, tc.from, tc.to, 1)
+			if doc == validReportV2 {
+				t.Fatalf("mutation %q did not apply", tc.from)
+			}
+			err := ValidateBenchReport([]byte(doc))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+	// A legacy (unversioned) report carrying attribution is inconsistent.
+	doc := strings.Replace(validReport, `"modeled_cycles": 200}`,
+		`"modeled_cycles": 200, "cycle_attribution": {"valu": 200}}`, 1)
+	err := ValidateBenchReport([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "predates") {
+		t.Fatalf("legacy report with attribution: err = %v, want version mismatch", err)
+	}
+}
+
 // TestValidateBenchFile validates a committed report when EGACS_BENCH_FILE
 // points at one (CI runs it against the repo's BENCH_7.json).
 func TestValidateBenchFile(t *testing.T) {

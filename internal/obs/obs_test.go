@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -187,6 +188,91 @@ func TestRegistry(t *testing.T) {
 	want := "{\"name\":\"lane_util\",\"value\":0.75}\n{\"name\":\"pushes\",\"value\":5}\n"
 	if buf.String() != want {
 		t.Errorf("registry JSONL:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+// TestExportCarriesDropCount checks a truncated trace says so: the export
+// gains a top-level traceDropped field (ignored by Perfetto, read by /statz
+// consumers) and still passes schema validation.
+func TestExportCarriesDropCount(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Complete(ProcModeled, TidEngine, "e", float64(i), 1)
+	}
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("export with drops fails validation: %v", err)
+	}
+	var doc struct {
+		TraceDropped int64 `json:"traceDropped"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceDropped != 3 {
+		t.Errorf("traceDropped = %d, want 3", doc.TraceDropped)
+	}
+}
+
+// TestRegistrySnapshotUnderConcurrentAdd hammers the registry from many
+// goroutines while snapshots stream out: every WriteJSONL page must stay
+// internally consistent — sorted by name, valid JSON per line — and the final
+// totals must account for every Add.
+func TestRegistrySnapshotUnderConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"serve.requests", "serve.ok", "serve.errors", "serve.rollbacks"}
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Add(names[(g+i)%len(names)], 1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var buf bytes.Buffer
+		if err := r.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		prev := ""
+		for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			if line == "" {
+				continue
+			}
+			var row struct {
+				Name  string  `json:"name"`
+				Value float64 `json:"value"`
+			}
+			if err := json.Unmarshal([]byte(line), &row); err != nil {
+				t.Fatalf("snapshot line not JSON under concurrent Add: %q: %v", line, err)
+			}
+			if row.Name <= prev {
+				t.Fatalf("snapshot not sorted: %q after %q", row.Name, prev)
+			}
+			prev = row.Name
+		}
+		select {
+		case <-done:
+			total := 0.0
+			for _, n := range names {
+				v, _ := r.Get(n)
+				total += v
+			}
+			if total != 8*perG {
+				t.Fatalf("lost adds: total %v, want %d", total, 8*perG)
+			}
+			return
+		default:
+		}
 	}
 }
 

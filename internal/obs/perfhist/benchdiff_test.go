@@ -1,0 +1,60 @@
+package perfhist
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestBenchDiff is the drift-free regression gate behind `make bench-diff`:
+// load every committed BENCH_*.json, print the trajectory, re-measure the
+// deterministic series (modeled cycles with per-class attribution,
+// allocs/op) from the working tree, and fail on any >2% regression against
+// the last accepted report that BENCH_ALLOWLIST.json does not waive.
+//
+// Because the modeled series are bit-reproducible, an unchanged tree passes
+// on any machine — no runner calibration, no flaky tolerance games. The
+// allocs/op gate is skipped (loudly) when the baseline was written by a
+// different Go toolchain, since allocation counts are a property of the
+// compiler as much as of this repo's code.
+func TestBenchDiff(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	hist, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest := hist.Latest()
+	if latest == nil {
+		t.Fatal("no host-execution bench reports found at the repo root")
+	}
+	var buf strings.Builder
+	hist.WriteTrajectory(&buf)
+	t.Logf("performance trajectory (%d reports):\n%s", len(hist.Reports), buf.String())
+
+	if latest.SchemaVersion < 2 {
+		t.Fatalf("latest report %s has schema_version %d; the gate needs the v2 cycle_attribution columns — run `make bench`",
+			filepath.Base(latest.Path), latest.SchemaVersion)
+	}
+	allow, err := LoadAllowlist(filepath.Join(root, "BENCH_ALLOWLIST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := MeasureHead(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{}
+	if latest.GoVersion != runtime.Version() {
+		opts.SkipAllocs = true
+		t.Logf("allocs/op gate skipped: baseline written by %s, this toolchain is %s",
+			latest.GoVersion, runtime.Version())
+	}
+	if raceEnabled {
+		opts.SkipAllocs = true
+		t.Log("allocs/op gate skipped: race-detector instrumentation allocates")
+	}
+	for _, r := range Compare(latest, head, allow, opts) {
+		t.Errorf("regression vs %s: %s", filepath.Base(latest.Path), r)
+	}
+}

@@ -1,0 +1,167 @@
+package perfhist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// AllowEntry waives one expected regression: the named metric of one
+// kernel/layout row may exceed the threshold. Reason is mandatory — the
+// allowlist is the audit trail for accepted regressions.
+type AllowEntry struct {
+	Kernel string `json:"kernel"`
+	Layout string `json:"layout"`
+	Metric string `json:"metric"`
+	Reason string `json:"reason"`
+}
+
+// Allowlist is the parsed BENCH_ALLOWLIST.json.
+type Allowlist struct {
+	Entries []AllowEntry `json:"entries"`
+}
+
+// LoadAllowlist reads the allowlist; a missing file is an empty allowlist.
+func LoadAllowlist(path string) (*Allowlist, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Allowlist{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("perfhist: %w", err)
+	}
+	var a Allowlist
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, fmt.Errorf("perfhist: %s: %w", path, err)
+	}
+	for i, e := range a.Entries {
+		if e.Kernel == "" || e.Metric == "" || e.Reason == "" {
+			return nil, fmt.Errorf("perfhist: %s: entry %d must carry kernel, metric and reason", path, i)
+		}
+	}
+	return &a, nil
+}
+
+// allows reports whether the allowlist waives metric on the given row.
+func (a *Allowlist) allows(kernel, layout, metric string) (string, bool) {
+	for _, e := range a.Entries {
+		if e.Kernel == kernel && e.Metric == metric && (e.Layout == "" || e.Layout == layout) {
+			return e.Reason, true
+		}
+	}
+	return "", false
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Kernel string
+	Layout string
+	Metric string
+	Base   float64
+	Head   float64
+	// Class names the cost class with the largest attributed-cycle increase
+	// when the metric is modeled_cycles and both sides carry attribution.
+	Class string
+	// ClassDelta is that class's attributed-cycle increase.
+	ClassDelta float64
+}
+
+func (r Regression) String() string {
+	s := fmt.Sprintf("%s/%s: %s regressed %.2f%%: %v -> %v",
+		r.Kernel, r.Layout, r.Metric, 100*(r.Head/r.Base-1), r.Base, r.Head)
+	if r.Class != "" {
+		s += fmt.Sprintf(" (largest class increase: %s, +%.0f cycles)", r.Class, r.ClassDelta)
+	}
+	return s
+}
+
+// Options tunes Compare.
+type Options struct {
+	// Tol is the relative regression threshold (default 0.02 = 2%).
+	Tol float64
+	// AllocEps is the absolute allocs/op slack added on top of Tol; alloc
+	// counts carry a few objects of runtime noise (GC timing) per run.
+	AllocEps float64
+	// SkipAllocs disables the allocs/op gate (set when the baseline was
+	// written by a different Go toolchain: allocation counts are a property
+	// of the compiler as much as the code).
+	SkipAllocs bool
+}
+
+func (o *Options) defaults() {
+	if o.Tol == 0 {
+		o.Tol = 0.02
+	}
+	if o.AllocEps == 0 {
+		o.AllocEps = 8
+	}
+}
+
+// Compare gates head against base on the deterministic series only: modeled
+// cycles (with a per-cost-class diff naming the class that grew most) and
+// cooperative allocs/op. Rows present in base but missing from head are
+// regressions too — coverage silently disappearing must not pass the gate.
+// Waived regressions are dropped; the returned slice is sorted by row key.
+func Compare(base, head *Report, allow *Allowlist, opts Options) []Regression {
+	opts.defaults()
+	if allow == nil {
+		allow = &Allowlist{}
+	}
+	var regs []Regression
+	add := func(r Regression) {
+		if _, ok := allow.allows(r.Kernel, r.Layout, r.Metric); !ok {
+			regs = append(regs, r)
+		}
+	}
+	keys := make([]string, 0, len(base.Rows))
+	for key := range base.Rows {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		b := base.Rows[key]
+		h, ok := head.Rows[key]
+		if !ok {
+			add(Regression{Kernel: b.Kernel, Layout: b.Layout, Metric: "row", Base: b.ModeledCycles})
+			continue
+		}
+		if b.ModeledCycles > 0 && h.ModeledCycles > b.ModeledCycles*(1+opts.Tol) {
+			r := Regression{
+				Kernel: b.Kernel, Layout: b.Layout, Metric: "modeled_cycles",
+				Base: b.ModeledCycles, Head: h.ModeledCycles,
+			}
+			r.Class, r.ClassDelta = worstClass(b.Attribution, h.Attribution)
+			add(r)
+		}
+		if !opts.SkipAllocs && b.CoopAllocsOp > 0 &&
+			h.CoopAllocsOp > b.CoopAllocsOp*(1+opts.Tol)+opts.AllocEps {
+			add(Regression{
+				Kernel: b.Kernel, Layout: b.Layout, Metric: "cooperative_allocs_per_op",
+				Base: b.CoopAllocsOp, Head: h.CoopAllocsOp,
+			})
+		}
+	}
+	return regs
+}
+
+// worstClass returns the cost class whose attributed cycles grew most from
+// base to head, with the increase; empty when either side lacks attribution
+// or nothing grew.
+func worstClass(base, head map[string]float64) (string, float64) {
+	if len(base) == 0 || len(head) == 0 {
+		return "", 0
+	}
+	names := make([]string, 0, len(head))
+	for name := range head {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	worst, delta := "", 0.0
+	for _, name := range names {
+		if d := head[name] - base[name]; d > delta {
+			worst, delta = name, d
+		}
+	}
+	return worst, delta
+}

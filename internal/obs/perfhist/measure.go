@@ -1,0 +1,70 @@
+package perfhist
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// MeasureHead re-measures the deterministic series of the committed
+// benchmark configuration — every paper kernel on RMAT(12, 8, 16, 42), the
+// cooperative scheduler, csr and (where the baseline has a row) forced sell
+// layout — directly from the working tree. Modeled cycles and their
+// attribution are bit-reproducible, so comparing the result against the
+// last accepted report needs no benchmark runner, no repeated sampling and
+// no wall-clock at all: any difference is a real change in the code.
+//
+// Allocs/op mimics the harness (runtime.MemStats around three back-to-back
+// runs, after a warm-up run outside the window so lazily-initialized
+// package state is not billed to the first sample).
+func MeasureHead(baseline *Report) (*Report, error) {
+	raw := graph.RMAT(12, 8, 16, 42)
+	head := &Report{GoVersion: runtime.Version(), Rows: map[string]Row{}}
+	layouts := []struct {
+		name string
+		lay  core.Layout
+	}{
+		{"csr", core.LayoutCSR},
+		{"sell", core.LayoutSell},
+	}
+	for _, k := range kernels.All() {
+		g := core.PrepareGraph(k, raw)
+		for _, lt := range layouts {
+			if _, ok := baseline.Rows[k.Name+"/"+lt.name]; !ok {
+				// The baseline has no such row (e.g. the sell layout does not
+				// apply to this kernel); nothing to gate.
+				continue
+			}
+			cfg := core.Config{Src: g.MaxDegreeNode(), Layout: lt.lay, HostExec: core.HostCooperative}
+			if _, err := core.Run(k, g, cfg); err != nil {
+				return nil, fmt.Errorf("perfhist: %s/%s: %w", k.Name, lt.name, err)
+			}
+			const runs = 3
+			var last *core.Result
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for i := 0; i < runs; i++ {
+				res, err := core.Run(k, g, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("perfhist: %s/%s: %w", k.Name, lt.name, err)
+				}
+				last = res
+			}
+			runtime.ReadMemStats(&ms1)
+			attr := last.Engine.Attribution()
+			row := Row{
+				Kernel:        k.Name,
+				Layout:        lt.name,
+				ModeledCycles: last.Engine.TimeCycles(),
+				CoopAllocsOp:  float64(ms1.Mallocs-ms0.Mallocs) / runs,
+				LaneUtil:      last.Stats.LaneUtilization(last.Engine.Width()),
+				Attribution:   attr.ClassMap(),
+			}
+			head.Rows[row.Key()] = row
+		}
+	}
+	return head, nil
+}

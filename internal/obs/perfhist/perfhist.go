@@ -1,0 +1,253 @@
+// Package perfhist turns the repo's committed BENCH_*.json reports into a
+// performance trajectory and a drift-free regression gate.
+//
+// The central idea: the reports mix two kinds of series. Deterministic
+// series — modeled cycles (and their per-cost-class attribution), allocs/op,
+// lane utilization, L1 hit rate — are properties of the code alone and are
+// bit-reproducible on any machine, so a change between two reports is a real
+// change in the program. Wall-clock series (ns/op) additionally embed the
+// speed of whatever runner happened to execute `make bench` that day, so
+// comparing them raw across reports measures the hardware as much as the
+// code. perfhist separates the two: it gates regressions ONLY on
+// deterministic series, and it normalizes wall series by a per-report drift
+// anchor — the geomean ns-per-modeled-cycle over the rows two reports share —
+// which quantifies runner drift and makes the normalized wall trajectory
+// meaningful across runners.
+package perfhist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// Row is one kernel/layout point of one report: the deterministic series
+// plus the raw wall-clock columns.
+type Row struct {
+	Kernel        string
+	Layout        string
+	ModeledCycles float64
+	CoopWallNsOp  float64
+	ParWallNsOp   float64
+	CoopAllocsOp  float64
+	ParAllocsOp   float64
+	LaneUtil      float64
+	L1HitRate     float64
+	// Attribution holds the per-cost-class modeled-cycle totals (schema v2
+	// reports; nil before that).
+	Attribution map[string]float64
+}
+
+// Key is the row's identity across reports.
+func (r *Row) Key() string { return r.Kernel + "/" + r.Layout }
+
+// Report is one parsed BENCH_N.json host-execution report.
+type Report struct {
+	Seq           int
+	Path          string
+	SchemaVersion int
+	Generated     string
+	GoVersion     string
+	Rows          map[string]Row
+}
+
+// History is the ordered sequence of host-execution reports found in a
+// directory, plus the BENCH files skipped because they follow another schema
+// (e.g. the serve-load latency report).
+type History struct {
+	Reports []Report
+	Skipped []string
+}
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// Load reads every BENCH_<n>.json in dir, in ascending n. Files without a
+// kernels array are recorded in Skipped, not errors: the BENCH_ prefix is
+// shared with other report families.
+func Load(dir string) (*History, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("perfhist: %w", err)
+	}
+	h := &History{}
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		seq := 0
+		fmt.Sscanf(m[1], "%d", &seq)
+		path := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("perfhist: %w", err)
+		}
+		rep, ok, err := parseReport(raw)
+		if err != nil {
+			return nil, fmt.Errorf("perfhist: %s: %w", e.Name(), err)
+		}
+		if !ok {
+			h.Skipped = append(h.Skipped, e.Name())
+			continue
+		}
+		rep.Seq = seq
+		rep.Path = path
+		h.Reports = append(h.Reports, rep)
+	}
+	sort.Slice(h.Reports, func(i, j int) bool { return h.Reports[i].Seq < h.Reports[j].Seq })
+	sort.Strings(h.Skipped)
+	return h, nil
+}
+
+// parseReport decodes one report; ok=false when the file is valid JSON but
+// not a host-execution report (no kernels array).
+func parseReport(raw []byte) (Report, bool, error) {
+	var doc struct {
+		SchemaVersion int    `json:"schema_version"`
+		Generated     string `json:"generated"`
+		GoVersion     string `json:"go_version"`
+		Kernels       []struct {
+			Kernel           string             `json:"kernel"`
+			Layout           string             `json:"layout"`
+			ModeledCycles    float64            `json:"modeled_cycles"`
+			CoopWallNsOp     float64            `json:"cooperative_wall_ns_per_op"`
+			ParWallNsOp      float64            `json:"parallel_wall_ns_per_op"`
+			CoopAllocsOp     float64            `json:"cooperative_allocs_per_op"`
+			ParAllocsOp      float64            `json:"parallel_allocs_per_op"`
+			LaneUtil         float64            `json:"lane_utilization"`
+			L1HitRate        float64            `json:"l1_hit_rate"`
+			CycleAttribution map[string]float64 `json:"cycle_attribution"`
+		} `json:"kernels"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return Report{}, false, err
+	}
+	if len(doc.Kernels) == 0 {
+		return Report{}, false, nil
+	}
+	rep := Report{
+		SchemaVersion: doc.SchemaVersion,
+		Generated:     doc.Generated,
+		GoVersion:     doc.GoVersion,
+		Rows:          make(map[string]Row, len(doc.Kernels)),
+	}
+	for _, k := range doc.Kernels {
+		lay := k.Layout
+		if lay == "" {
+			lay = "csr" // pre-layout reports carry no tag
+		}
+		row := Row{
+			Kernel:        k.Kernel,
+			Layout:        lay,
+			ModeledCycles: k.ModeledCycles,
+			CoopWallNsOp:  k.CoopWallNsOp,
+			ParWallNsOp:   k.ParWallNsOp,
+			CoopAllocsOp:  k.CoopAllocsOp,
+			ParAllocsOp:   k.ParAllocsOp,
+			LaneUtil:      k.LaneUtil,
+			L1HitRate:     k.L1HitRate,
+			Attribution:   k.CycleAttribution,
+		}
+		rep.Rows[row.Key()] = row
+	}
+	return rep, true, nil
+}
+
+// Latest returns the highest-numbered report, nil on an empty history.
+func (h *History) Latest() *Report {
+	if len(h.Reports) == 0 {
+		return nil
+	}
+	return &h.Reports[len(h.Reports)-1]
+}
+
+// anchor is the drift anchor between two reports: the geomean, over the rows
+// both carry with timed cooperative columns, of ns-per-modeled-cycle in cur
+// divided by ns-per-modeled-cycle in prev. Modeled cycles cancel per row
+// when the code is unchanged, so the anchor isolates runner speed; when the
+// code did change, it still measures relative runner throughput because the
+// modeled clock moves with the real work. Returns 0 when no row is shared.
+func anchor(prev, cur *Report) float64 {
+	prod, n := 1.0, 0
+	for key, c := range cur.Rows {
+		p, ok := prev.Rows[key]
+		if !ok || p.CoopWallNsOp <= 0 || c.CoopWallNsOp <= 0 ||
+			p.ModeledCycles <= 0 || c.ModeledCycles <= 0 {
+			continue
+		}
+		prod *= (c.CoopWallNsOp / c.ModeledCycles) / (p.CoopWallNsOp / p.ModeledCycles)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// geomeanRatio folds the per-row cur/prev ratio of one deterministic series
+// over the shared rows. sel extracts the series; rows where either side is
+// non-positive are skipped.
+func geomeanRatio(prev, cur *Report, sel func(*Row) float64) (float64, int) {
+	prod, n := 1.0, 0
+	for key, c := range cur.Rows {
+		p, ok := prev.Rows[key]
+		if !ok {
+			continue
+		}
+		pv, cv := sel(&p), sel(&c)
+		if pv <= 0 || cv <= 0 {
+			continue
+		}
+		prod *= cv / pv
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Pow(prod, 1/float64(n)), n
+}
+
+// WriteTrajectory renders the history as a table: one line per report with
+// its deterministic-series geomean ratios against the previous report, the
+// runner-drift anchor, and the drift-normalized wall ratio (wall ratio ÷
+// anchor — what the wall trend looks like after the runner is factored out).
+func (h *History) WriteTrajectory(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %-10s %5s %9s %9s %9s %9s %9s\n",
+		"report", "go", "rows", "cycles", "allocs", "wall-raw", "drift", "wall-norm")
+	for i := range h.Reports {
+		r := &h.Reports[i]
+		if i == 0 {
+			fmt.Fprintf(w, "%-14s %-10s %5d %9s %9s %9s %9s %9s\n",
+				filepath.Base(r.Path), r.GoVersion, len(r.Rows),
+				"-", "-", "-", "-", "-")
+			continue
+		}
+		prev := &h.Reports[i-1]
+		cyc, _ := geomeanRatio(prev, r, func(x *Row) float64 { return x.ModeledCycles })
+		al, _ := geomeanRatio(prev, r, func(x *Row) float64 { return x.CoopAllocsOp })
+		wall, _ := geomeanRatio(prev, r, func(x *Row) float64 { return x.CoopWallNsOp })
+		drift := anchor(prev, r)
+		norm := 0.0
+		if drift > 0 && wall > 0 {
+			norm = wall / drift
+		}
+		fmt.Fprintf(w, "%-14s %-10s %5d %9s %9s %9s %9s %9s\n",
+			filepath.Base(r.Path), r.GoVersion, len(r.Rows),
+			ratioStr(cyc), ratioStr(al), ratioStr(wall), ratioStr(drift), ratioStr(norm))
+	}
+	if len(h.Skipped) > 0 {
+		fmt.Fprintf(w, "skipped (other schema): %v\n", h.Skipped)
+	}
+}
+
+func ratioStr(r float64) string {
+	if r <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(r-1))
+}

@@ -1,0 +1,153 @@
+package perfhist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const histV1 = `{
+  "generated": "2026-01-01T00:00:00Z", "go_version": "go1.24.0",
+  "kernels": [
+    {"kernel": "bfs", "modeled_cycles": 1000, "cooperative_wall_ns_per_op": 2000,
+     "cooperative_allocs_per_op": 100},
+    {"kernel": "cc", "layout": "csr", "modeled_cycles": 500,
+     "cooperative_wall_ns_per_op": 1000, "cooperative_allocs_per_op": 50}
+  ]
+}`
+
+// Same code, runner twice as slow: wall doubles, deterministic series hold.
+const histV2 = `{
+  "schema_version": 2,
+  "generated": "2026-02-01T00:00:00Z", "go_version": "go1.24.0",
+  "kernels": [
+    {"kernel": "bfs", "layout": "csr", "modeled_cycles": 1000,
+     "cooperative_wall_ns_per_op": 4000, "cooperative_allocs_per_op": 100,
+     "cycle_attribution": {"valu": 600, "barrier": 400}},
+    {"kernel": "cc", "layout": "csr", "modeled_cycles": 500,
+     "cooperative_wall_ns_per_op": 2000, "cooperative_allocs_per_op": 50,
+     "cycle_attribution": {"gather_scatter": 500}}
+  ]
+}`
+
+func TestLoadAndTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "BENCH_1.json", histV1)
+	writeFile(t, dir, "BENCH_2.json", histV2)
+	writeFile(t, dir, "BENCH_3.json", `{"p50_ms": 1.5, "classes": {}}`) // serve-load schema
+	writeFile(t, dir, "OTHER.json", `{}`)
+
+	hist, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(hist.Reports))
+	}
+	if len(hist.Skipped) != 1 || hist.Skipped[0] != "BENCH_3.json" {
+		t.Fatalf("skipped = %v, want [BENCH_3.json]", hist.Skipped)
+	}
+	// The untagged legacy row normalizes to layout csr, so the two reports
+	// share both rows.
+	if hist.Latest().Seq != 2 {
+		t.Fatalf("latest seq = %d, want 2", hist.Latest().Seq)
+	}
+	if _, ok := hist.Reports[0].Rows["bfs/csr"]; !ok {
+		t.Fatal("legacy untagged row did not normalize to bfs/csr")
+	}
+
+	var buf strings.Builder
+	hist.WriteTrajectory(&buf)
+	out := buf.String()
+	// Runner drift: wall doubled while modeled cycles held, so the raw wall
+	// ratio and the drift anchor are both +100% and the normalized wall is
+	// +0.0% — the trajectory says "slower runner, same code".
+	for _, want := range []string{"BENCH_2.json", "+100.0%", "+0.0%", "BENCH_3.json"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareInjectedRegression injects a ≥2% modeled-cycle regression into
+// a synthetic head and checks the gate fails naming the kernel AND the cost
+// class that grew, while the unchanged head passes, sub-threshold noise
+// passes, and an allowlist entry waives the failure.
+func TestCompareInjectedRegression(t *testing.T) {
+	base := &Report{Rows: map[string]Row{
+		"bfs/csr": {Kernel: "bfs", Layout: "csr", ModeledCycles: 100000,
+			CoopAllocsOp: 1000,
+			Attribution:  map[string]float64{"valu": 60000, "barrier": 40000}},
+	}}
+	clean := &Report{Rows: map[string]Row{
+		"bfs/csr": {Kernel: "bfs", Layout: "csr", ModeledCycles: 100000,
+			CoopAllocsOp: 1004, // inside Tol+AllocEps
+			Attribution:  map[string]float64{"valu": 60000, "barrier": 40000}},
+	}}
+	if regs := Compare(base, clean, nil, Options{}); len(regs) != 0 {
+		t.Fatalf("clean head flagged: %v", regs)
+	}
+
+	regressed := &Report{Rows: map[string]Row{
+		"bfs/csr": {Kernel: "bfs", Layout: "csr", ModeledCycles: 103000,
+			CoopAllocsOp: 1000,
+			Attribution:  map[string]float64{"valu": 60000, "barrier": 43000}},
+	}}
+	regs := Compare(base, regressed, nil, Options{})
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	msg := regs[0].String()
+	for _, want := range []string{"bfs/csr", "modeled_cycles", "barrier"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("regression %q does not name %q", msg, want)
+		}
+	}
+
+	allow := &Allowlist{Entries: []AllowEntry{{
+		Kernel: "bfs", Layout: "csr", Metric: "modeled_cycles",
+		Reason: "accepted: new barrier accounting",
+	}}}
+	if regs := Compare(base, regressed, allow, Options{}); len(regs) != 0 {
+		t.Fatalf("allowlisted regression still flagged: %v", regs)
+	}
+}
+
+func TestCompareAllocAndMissingRow(t *testing.T) {
+	base := &Report{Rows: map[string]Row{
+		"bfs/csr": {Kernel: "bfs", Layout: "csr", ModeledCycles: 1000, CoopAllocsOp: 1000},
+		"cc/csr":  {Kernel: "cc", Layout: "csr", ModeledCycles: 1000, CoopAllocsOp: 1000},
+	}}
+	head := &Report{Rows: map[string]Row{
+		"bfs/csr": {Kernel: "bfs", Layout: "csr", ModeledCycles: 1000, CoopAllocsOp: 1100},
+	}}
+	regs := Compare(base, head, nil, Options{})
+	if len(regs) != 2 {
+		t.Fatalf("got %v, want alloc regression + missing row", regs)
+	}
+	if regs[0].Metric != "cooperative_allocs_per_op" || regs[1].Metric != "row" {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if regs := Compare(base, head, nil, Options{SkipAllocs: true}); len(regs) != 1 {
+		t.Fatalf("SkipAllocs still gates allocs: %v", regs)
+	}
+}
+
+func TestAllowlistValidation(t *testing.T) {
+	dir := t.TempDir()
+	if a, err := LoadAllowlist(filepath.Join(dir, "absent.json")); err != nil || len(a.Entries) != 0 {
+		t.Fatalf("missing allowlist: a=%v err=%v, want empty", a, err)
+	}
+	writeFile(t, dir, "bad.json", `{"entries": [{"kernel": "bfs", "metric": "modeled_cycles"}]}`)
+	if _, err := LoadAllowlist(filepath.Join(dir, "bad.json")); err == nil {
+		t.Fatal("entry without reason accepted")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package perfhist
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package perfhist
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocs/op gate skips under it because race instrumentation allocates.
+const raceEnabled = true

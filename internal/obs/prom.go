@@ -1,0 +1,547 @@
+// Prometheus-style instrumentation: a fixed-bucket histogram, a text
+// exposition writer and a strict validator for the format it emits.
+//
+// The repo deliberately carries no metrics dependency — the exposition format
+// (version 0.0.4 text) is a handful of line shapes, and writing both sides by
+// hand means the serving daemon's /metrics endpoint can be validated in tests
+// by an independent parser instead of trusting the writer about itself.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Histogram is a concurrency-safe fixed-bucket histogram. Bucket upper
+// bounds are set at construction; observations land in the first bucket whose
+// bound is >= the value, or in the implicit +Inf overflow bucket. Observe
+// performs no allocation, so the serving hot path can record per-request
+// latencies without GC pressure.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing, finite
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram with the given upper bounds, which must be
+// finite and strictly increasing. The bounds slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	b := append([]float64(nil), bounds...)
+	for i, v := range b {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			panic("obs: histogram bounds must be finite (+Inf is implicit)")
+		}
+		if i > 0 && v <= b[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state. Counts are
+// per-bucket (not cumulative); Counts[len(Bounds)] is the +Inf overflow.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram state under its lock.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// PromName maps an internal dotted metric name to a legal Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit gets a '_' prefix.
+func PromName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, r := range s {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !legal {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// PromWriter accumulates one text-exposition page. Call Family once per
+// metric family (it emits the # HELP / # TYPE header), then Sample or
+// WriteHistogram for its series; Bytes returns the page.
+type PromWriter struct {
+	buf   bytes.Buffer
+	typed map[string]string
+}
+
+// NewPromWriter creates an empty exposition page.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{typed: map[string]string{}}
+}
+
+// Family announces a metric family. typ is counter, gauge or histogram; a
+// family may be announced only once and samples may only follow their
+// family's announcement — the writer enforces what the validator checks.
+func (p *PromWriter) Family(name, help, typ string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	switch typ {
+	case "counter", "gauge", "histogram":
+	default:
+		panic(fmt.Sprintf("obs: invalid metric type %q", typ))
+	}
+	if _, dup := p.typed[name]; dup {
+		panic(fmt.Sprintf("obs: family %q announced twice", name))
+	}
+	p.typed[name] = typ
+	fmt.Fprintf(&p.buf, "# HELP %s %s\n", name, strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(help))
+	fmt.Fprintf(&p.buf, "# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line for an announced counter or gauge family.
+func (p *PromWriter) Sample(name string, labels []Label, v float64) {
+	if _, ok := p.typed[name]; !ok {
+		panic(fmt.Sprintf("obs: sample for unannounced family %q", name))
+	}
+	p.sampleLine(name, labels, v)
+}
+
+func (p *PromWriter) sampleLine(name string, labels []Label, v float64) {
+	p.buf.WriteString(name)
+	if len(labels) > 0 {
+		p.buf.WriteByte('{')
+		for i, l := range labels {
+			if !validLabelName(l.Name) {
+				panic(fmt.Sprintf("obs: invalid label name %q", l.Name))
+			}
+			if i > 0 {
+				p.buf.WriteByte(',')
+			}
+			p.buf.WriteString(l.Name)
+			p.buf.WriteString(`="`)
+			p.buf.WriteString(escapeLabelValue(l.Value))
+			p.buf.WriteByte('"')
+		}
+		p.buf.WriteByte('}')
+	}
+	p.buf.WriteByte(' ')
+	p.buf.WriteString(formatPromValue(v))
+	p.buf.WriteByte('\n')
+}
+
+// WriteHistogram emits the _bucket/_sum/_count series of one histogram
+// snapshot under an announced histogram family. Buckets are written
+// cumulatively with an explicit +Inf bucket equal to _count, as the format
+// requires.
+func (p *PromWriter) WriteHistogram(name string, labels []Label, s HistogramSnapshot) {
+	if typ := p.typed[name]; typ != "histogram" {
+		panic(fmt.Sprintf("obs: family %q is %q, not histogram", name, typ))
+	}
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		p.sampleLine(name+"_bucket", append(labels, Label{"le", formatPromValue(bound)}), float64(cum))
+	}
+	p.sampleLine(name+"_bucket", append(labels, Label{"le", "+Inf"}), float64(s.Count))
+	p.sampleLine(name+"_sum", labels, s.Sum)
+	p.sampleLine(name+"_count", labels, float64(s.Count))
+}
+
+// Bytes returns the exposition page accumulated so far.
+func (p *PromWriter) Bytes() []byte { return p.buf.Bytes() }
+
+// WriteTo writes the page to w.
+func (p *PromWriter) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(p.buf.Bytes())
+	return int64(n), err
+}
+
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabelValue(s string) string {
+	return strings.NewReplacer("\\", `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// ValidatePrometheus parses data as Prometheus text exposition (version
+// 0.0.4) and reports the first violation: malformed metric or label names,
+// broken label quoting, non-numeric values, samples preceding their # TYPE,
+// duplicate # TYPE lines, and — for histogram families — missing +Inf
+// buckets, cumulative bucket counts that decrease as le grows, or a +Inf
+// bucket disagreeing with the series' _count. The serve chaos test runs the
+// live /metrics page through this, so a writer regression fails CI rather
+// than silently feeding scrapers garbage.
+func ValidatePrometheus(data []byte) error {
+	types := map[string]string{}
+	var samples []promSample
+	for ln, line := range strings.Split(string(data), "\n") {
+		ln++ // 1-based for messages
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) < 4 {
+					return fmt.Errorf("obs: line %d: malformed # TYPE", ln)
+				}
+				name, typ := fields[2], strings.TrimSpace(fields[3])
+				if !validMetricName(name) {
+					return fmt.Errorf("obs: line %d: invalid metric name %q in # TYPE", ln, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("obs: line %d: unknown metric type %q", ln, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("obs: line %d: duplicate # TYPE for %q", ln, name)
+				}
+				for _, s := range samples {
+					if familyOf(s.name, typ) == name {
+						return fmt.Errorf("obs: line %d: # TYPE for %q after its samples (line %d)", ln, name, s.line)
+					}
+				}
+				types[name] = typ
+			case "HELP":
+				if len(fields) < 3 || !validMetricName(fields[2]) {
+					return fmt.Errorf("obs: line %d: malformed # HELP", ln)
+				}
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: %w", ln, err)
+		}
+		s.line = ln
+		samples = append(samples, s)
+	}
+	return checkPromHistograms(types, samples)
+}
+
+// familyOf maps a sample name to its family under the given declared type:
+// histogram samples drop the _bucket/_sum/_count suffix.
+func familyOf(sample, typ string) string {
+	if typ != "histogram" && typ != "summary" {
+		return sample
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(sample, suf) {
+			return strings.TrimSuffix(sample, suf)
+		}
+	}
+	return sample
+}
+
+// parsePromSample parses `name{l="v",...} value [timestamp]`.
+func parsePromSample(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameByte(line[i], i == 0) {
+		i++
+	}
+	s.name = line[:i]
+	if !validMetricName(s.name) {
+		return s, fmt.Errorf("invalid metric name at %q", line)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && line[i] == ' ' {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) {
+				return s, fmt.Errorf("unterminated label in %q", line)
+			}
+			lname := strings.TrimSpace(line[i:j])
+			if !validLabelName(lname) {
+				return s, fmt.Errorf("invalid label name %q", lname)
+			}
+			i = j + 1
+			if i >= len(line) || line[i] != '"' {
+				return s, fmt.Errorf("label %s: value not quoted", lname)
+			}
+			i++
+			var val strings.Builder
+			closed := false
+			for i < len(line) {
+				c := line[i]
+				if c == '\\' {
+					if i+1 >= len(line) {
+						return s, fmt.Errorf("label %s: dangling escape", lname)
+					}
+					switch line[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("label %s: bad escape \\%c", lname, line[i+1])
+					}
+					i += 2
+					continue
+				}
+				if c == '"' {
+					closed = true
+					i++
+					break
+				}
+				val.WriteByte(c)
+				i++
+			}
+			if !closed {
+				return s, fmt.Errorf("label %s: unterminated value", lname)
+			}
+			if _, dup := s.labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %q", lname)
+			}
+			s.labels[lname] = val.String()
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	rest := strings.Fields(line[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return s, fmt.Errorf("want `value [timestamp]` after name, got %q", strings.TrimSpace(line[i:]))
+	}
+	v, err := strconv.ParseFloat(rest[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("non-numeric value %q", rest[0])
+	}
+	s.value = v
+	if len(rest) == 2 {
+		if _, err := strconv.ParseInt(rest[1], 10, 64); err != nil {
+			return s, fmt.Errorf("non-integer timestamp %q", rest[1])
+		}
+	}
+	return s, nil
+}
+
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// checkPromHistograms verifies every declared histogram family: per series
+// (identified by its non-le labels), cumulative bucket counts must be
+// non-decreasing in le, a +Inf bucket must exist, and it must equal _count.
+func checkPromHistograms(types map[string]string, samples []promSample) error {
+	type series struct {
+		buckets map[float64]float64 // le -> cumulative count
+		inf     *float64
+		count   *float64
+	}
+	hists := map[string]map[string]*series{} // family -> series key -> data
+	for name, typ := range types {
+		if typ == "histogram" {
+			hists[name] = map[string]*series{}
+		}
+	}
+	get := func(fam, key string) *series {
+		sr := hists[fam][key]
+		if sr == nil {
+			sr = &series{buckets: map[float64]float64{}}
+			hists[fam][key] = sr
+		}
+		return sr
+	}
+	for _, s := range samples {
+		for fam := range hists {
+			switch s.name {
+			case fam + "_bucket":
+				le, ok := s.labels["le"]
+				if !ok {
+					return fmt.Errorf("obs: line %d: %s without le label", s.line, s.name)
+				}
+				sr := get(fam, seriesKey(s.labels, "le"))
+				if le == "+Inf" || le == "Inf" {
+					v := s.value
+					sr.inf = &v
+					continue
+				}
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("obs: line %d: non-numeric le %q", s.line, le)
+				}
+				sr.buckets[b] = s.value
+			case fam + "_count":
+				sr := get(fam, seriesKey(s.labels, ""))
+				v := s.value
+				sr.count = &v
+			}
+		}
+	}
+	fams := make([]string, 0, len(hists))
+	for fam := range hists {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		keys := make([]string, 0, len(hists[fam]))
+		for k := range hists[fam] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			sr := hists[fam][key]
+			if sr.inf == nil {
+				return fmt.Errorf("obs: histogram %s{%s} has no +Inf bucket", fam, key)
+			}
+			les := make([]float64, 0, len(sr.buckets))
+			for le := range sr.buckets {
+				les = append(les, le)
+			}
+			sort.Float64s(les)
+			prev := 0.0
+			for _, le := range les {
+				if sr.buckets[le] < prev {
+					return fmt.Errorf("obs: histogram %s{%s}: bucket le=%v count %v below previous %v (not cumulative)",
+						fam, key, le, sr.buckets[le], prev)
+				}
+				prev = sr.buckets[le]
+			}
+			if *sr.inf < prev {
+				return fmt.Errorf("obs: histogram %s{%s}: +Inf bucket %v below le=%v", fam, key, *sr.inf, prev)
+			}
+			if sr.count != nil && *sr.count != *sr.inf {
+				return fmt.Errorf("obs: histogram %s{%s}: _count %v != +Inf bucket %v", fam, key, *sr.count, *sr.inf)
+			}
+		}
+	}
+	return nil
+}
+
+// seriesKey renders the labels (minus skip) as a stable identity string.
+func seriesKey(labels map[string]string, skip string) string {
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		if n != skip {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString("=")
+		b.WriteString(labels[n])
+	}
+	return b.String()
+}

@@ -168,11 +168,13 @@ func procName(pid int32) string {
 }
 
 // Export writes the trace as Chrome trace-event JSON ("JSON Object Format"):
-// a traceEvents array preceded by process/thread name metadata. The output
-// loads directly in Perfetto (ui.perfetto.dev) and chrome://tracing.
+// a traceEvents array preceded by process/thread name metadata, plus a
+// top-level traceDropped count so a truncated trace is distinguishable from a
+// complete one after the fact. The output loads directly in Perfetto
+// (ui.perfetto.dev) and chrome://tracing, which ignore unknown top-level keys.
 func (t *Tracer) Export(w io.Writer) error {
 	var buf bytes.Buffer
-	buf.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	fmt.Fprintf(&buf, "{\"displayTimeUnit\":\"ms\",\"traceDropped\":%d,\"traceEvents\":[", t.dropped)
 
 	// Metadata: name every (pid, tid) pair present, in sorted order so the
 	// header is deterministic regardless of event interleaving.
@@ -246,8 +248,14 @@ func (t *Tracer) Export(w io.Writer) error {
 	return err
 }
 
-// WriteFile exports the trace to path.
+// WriteFile exports the trace to path, warning on stderr when the ring
+// overflowed: a silently truncated trace reads as "the run did less than it
+// did", which is worse than no trace at all.
 func (t *Tracer) WriteFile(path string) error {
+	if t.dropped > 0 {
+		fmt.Fprintf(os.Stderr, "obs: trace ring overflowed: %d events dropped from %s (raise the tracer capacity)\n",
+			t.dropped, path)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

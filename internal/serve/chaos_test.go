@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 )
 
 // chaosClients returns the concurrency of the chaos-load run: the CI-sized
@@ -258,6 +259,31 @@ func TestChaosLoad(t *testing.T) {
 	}
 	if v, _ := s.Registry().Get("serve.panics"); v != 0 {
 		t.Fatalf("daemon recorded %v panics", v)
+	}
+
+	// Telemetry consistency after the storm: the live /metrics page must
+	// parse under the independent exposition validator (the nightly chaos job
+	// fails on any format regression), and the latency histogram must have
+	// recorded exactly one observation per request — the Execute invariant —
+	// so histogram counts and the counter registry agree.
+	mresp, err := srv.client.Get(srv.base + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics scrape: %v", err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err := obs.ValidatePrometheus(page); err != nil {
+		t.Errorf("/metrics fails exposition validation under chaos: %v", err)
+	}
+	if reqs, _ := s.Registry().Get("serve.requests"); sumLatencyCount(t, string(page)) != reqs {
+		t.Errorf("latency histogram count %v != serve.requests %v", sumLatencyCount(t, string(page)), reqs)
+	}
+	var statz map[string]float64
+	if code := getJSON(t, srv.base+"/statz", &statz); code != 200 {
+		t.Fatalf("statz after storm: %d", code)
+	}
+	if statz["serve.requests"] == 0 || statz["serve.ok"] == 0 {
+		t.Errorf("statz counters flat after storm: %v", statz)
 	}
 
 	// Graceful drain after the storm.

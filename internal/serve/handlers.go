@@ -19,9 +19,12 @@ const maxBodyBytes = 1 << 16
 //	GET      /healthz  liveness: 200 while the process serves at all
 //	GET      /readyz   readiness: 200 after the self-check, 503 once draining
 //	GET      /statz    JSON snapshot of the service counters
+//	GET      /metrics  Prometheus text exposition: counters, gauges and
+//	                   per-tenant/per-kernel latency histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.recoverWrap(s.handleQuery))
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -42,12 +45,25 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// recoverWrap is the panic-isolation middleware: a panic anywhere in the
-// request path — including inside a kernel on a path the engine's own task
-// recovery does not cover — becomes a typed 500 response, never a daemon
-// crash. One request's blowup cannot take down other tenants.
+// maxRequestIDLen bounds accepted client-supplied X-Request-ID values;
+// longer ones are replaced, not truncated, so an ID is never ambiguous.
+const maxRequestIDLen = 128
+
+// recoverWrap is the panic-isolation and request-identity middleware. A panic
+// anywhere in the request path — including inside a kernel on a path the
+// engine's own task recovery does not cover — becomes a typed 500 response,
+// never a daemon crash; one request's blowup cannot take down other tenants.
+// Every request also gets an X-Request-ID: the client's value is echoed back
+// (and carried into the request log and error envelope), or one is generated,
+// so a failing request can be correlated across client, log and response.
 func (s *Server) recoverWrap(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > maxRequestIDLen {
+			id = s.nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(withRequestID(r.Context(), id))
 		defer func() {
 			if v := recover(); v != nil {
 				s.opts.Registry.Add("serve.panics", 1)
@@ -60,8 +76,9 @@ func (s *Server) recoverWrap(h http.HandlerFunc) http.HandlerFunc {
 
 // errorBody is the JSON error envelope of every non-200 response.
 type errorBody struct {
-	Error string `json:"error"` // stable class, see errClass
-	Cause string `json:"cause"` // human-readable detail
+	Error     string `json:"error"` // stable class, see errClass
+	Cause     string `json:"cause"` // human-readable detail
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, err error) {
@@ -71,7 +88,11 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorBody{Error: errClass(err), Cause: err.Error()})
+	json.NewEncoder(w).Encode(errorBody{
+		Error:     errClass(err),
+		Cause:     err.Error(),
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
 }
 
 // queryResponse is the JSON shape of a served /query. Kind-specific payload
@@ -193,13 +214,16 @@ func buildResponse(res *Result) *queryResponse {
 	return resp
 }
 
-// handleStatz dumps the counter registry plus live queue depth.
+// handleStatz dumps the counter registry plus live queue depth and the
+// trace-ring drop count (observability about the observability: a truncated
+// trace must be visible, not silent).
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	inflight, queued := s.adm.depth()
 	snap := s.opts.Registry.Snapshot()
 	snap["serve.inflight"] = float64(inflight)
 	snap["serve.queued"] = float64(queued)
 	snap["serve.load"] = s.adm.load()
+	snap["trace_dropped"] = float64(s.traceDropped())
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap)
 }

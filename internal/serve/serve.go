@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +70,11 @@ type Options struct {
 	// Trace, when set, records one span per request on the host clock.
 	// The server serializes access — obs.Tracer itself is single-writer.
 	Trace *obs.Tracer
+	// RequestLog, when set, receives one structured JSON line per executed
+	// request (request ID, tenant, kernel, backend, status, modeled cycles,
+	// rollbacks, degradation rung). Lines are serialized; the writer need not
+	// be concurrency-safe.
+	RequestLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +154,15 @@ type Server struct {
 	rootStop context.CancelFunc
 
 	traceMu sync.Mutex
+	logMu   sync.Mutex // serializes request-log lines
+
+	// latency holds per-{tenant, kernel} request-latency histograms; qdepth
+	// the admission-queue depth sampled at each arrival. Both feed /metrics.
+	latency *labeledHist
+	qdepth  *obs.Histogram
+
+	idBase string        // process-unique prefix for generated request IDs
+	idSeq  atomic.Uint64 // sequence for generated request IDs
 }
 
 // New builds a Server for g. The graph must outlive the server and must not
@@ -157,9 +173,12 @@ func New(g *graph.CSR, opts Options) (*Server, error) {
 	}
 	o := opts.withDefaults()
 	s := &Server{
-		opts:  o,
-		graph: g,
-		adm:   newAdmission(o.MaxInflight, o.MaxQueue, o.TenantCap),
+		opts:    o,
+		graph:   g,
+		adm:     newAdmission(o.MaxInflight, o.MaxQueue, o.TenantCap),
+		latency: newLabeledHist(latencyBoundsMS),
+		qdepth:  obs.NewHistogram(queueDepthBounds),
+		idBase:  strconv.FormatInt(time.Now().UnixNano(), 36),
 	}
 	s.engines.New = func() any {
 		return spmd.New(o.Machine, o.Machine.PreferredTarget, o.Tasks)
@@ -271,6 +290,7 @@ type Result struct {
 	Degraded bool
 	Attempts int     // failed attempts before the serving one
 	TimeMS   float64 // modeled kernel time (0 for scalar paths)
+	Cycles   float64 // modeled cycles of the serving attempt (0 for scalar paths)
 	WallMS   float64
 	Output   *kernels.RunOutput
 	Recovery kernels.RecoveryCounts
@@ -279,10 +299,18 @@ type Result struct {
 // Execute runs one parsed query end to end: admission, degradation-level
 // selection, pooled-engine execution through the resilient chain, release.
 // It is the transport-independent core of the /query handler (tests drive it
-// directly).
-func (s *Server) Execute(ctx context.Context, q *Query) (*Result, error) {
+// directly). Telemetry invariant: the latency histogram records exactly one
+// observation per Execute — on every path, including rejections — so its
+// total count equals the serve.requests counter.
+func (s *Server) Execute(ctx context.Context, q *Query) (out *Result, err error) {
 	reg := s.opts.Registry
 	reg.Add("serve.requests", 1)
+	arrival := time.Now()
+	defer func() {
+		ms := float64(time.Since(arrival).Microseconds()) / 1e3
+		s.latency.observe(q.Tenant, q.Kernel(), ms)
+		s.logRequest(ctx, q, out, err, ms)
+	}()
 
 	if err := q.Validate(s.graph.NumNodes()); err != nil {
 		reg.Add("serve.rejected_400", 1)
@@ -306,6 +334,10 @@ func (s *Server) Execute(ctx context.Context, q *Query) (*Result, error) {
 	// Hard-stop path: a drain deadline cancels in-flight requests too.
 	stop := context.AfterFunc(s.rootCtx, cancel)
 	defer stop()
+
+	// Arrival-sampled queue depth: what this request saw when it showed up.
+	_, arrivalQueued := s.adm.depth()
+	s.qdepth.Observe(float64(arrivalQueued))
 
 	if err := s.adm.acquire(ctx, q.Tenant); err != nil {
 		switch {
@@ -376,7 +408,7 @@ func (s *Server) Execute(ctx context.Context, q *Query) (*Result, error) {
 		return nil, err
 	}
 
-	out := &Result{
+	out = &Result{
 		Query:    q,
 		Level:    level,
 		Path:     res.Path,
@@ -389,6 +421,7 @@ func (s *Server) Execute(ctx context.Context, q *Query) (*Result, error) {
 	}
 	for _, a := range res.History {
 		if a.Err == nil && a.Cycles > 0 {
+			out.Cycles = a.Cycles
 			out.TimeMS = s.opts.Machine.CyclesToNS(a.Cycles) / 1e6
 		}
 	}

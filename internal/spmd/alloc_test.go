@@ -132,6 +132,60 @@ func TestTracingAddsNoAllocations(t *testing.T) {
 	}
 }
 
+// TestAttributionAddsNoAllocations pins the attribution overhead contract:
+// a launch round whose task bodies mark phases must cost exactly the same
+// number of objects per round as one whose bodies never mark. At steady
+// state a mark is a map hit moving the int32 cursor (deferred bodies append
+// to the pooled, capacity-retaining phase log), a charge is an indexed add
+// into a fixed-size array, and the boundary refold touches only
+// pre-registered slots — nothing on the path may allocate. Both variants
+// pay the host-side Engine.MarkPhase (whose failure-context pointer store
+// predates attribution and boxes one string per call), so the measured
+// difference isolates the per-task attribution path.
+func TestAttributionAddsNoAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is nondeterministic under the race detector")
+	}
+	measure := func(marked bool) float64 {
+		e := newModeEngine(4, ExecDeferred)
+		a := e.AllocI("a", 64)
+		m := vec.FullMask(16)
+		body := func(tc *TaskCtx) {
+			if marked {
+				tc.MarkPhase("gather")
+			}
+			idx := vec.Iota()
+			v := tc.GatherI(a, idx, m, vec.Vec{}, false)
+			if marked {
+				tc.MarkPhase("scatter")
+			}
+			tc.ScatterI(a, idx, v, m)
+			tc.OpN(vec.ClassALU, false, 8)
+		}
+		round := func() {
+			e.MarkPhase("host")
+			if err := e.LaunchNoBarrier(4, body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			round()
+		}
+		allocs := testing.AllocsPerRun(100, round)
+		attr := e.Attribution()
+		if got, want := attr.Total(), e.TimeCycles(); got != want {
+			t.Errorf("marked=%v: attribution total %v != cycles %v", marked, got, want)
+		}
+		return allocs
+	}
+	base := measure(false)
+	marked := measure(true)
+	if marked > base {
+		t.Errorf("attribution adds allocations: %.1f per round marked vs %.1f unmarked",
+			marked, base)
+	}
+}
+
 // TestPoolReuseAcrossLaunches drives many launches through one engine so
 // deferred contexts, shadows and batches are recycled from the pool, and
 // checks the results stay bit-identical to live execution and across repeated

@@ -30,6 +30,17 @@ type Checkpoint struct {
 
 	mem machine.MemSnapshot
 
+	// attrCur/attrN/attrVals snapshot the attribution buckets. Phase
+	// registrations are NOT snapshotted: they are append-only and replayed
+	// deterministically by re-execution, so Restore only rolls the bucket
+	// values back (zeroing slots registered after the snapshot) and rewinds
+	// the cursor. The clock then re-derives by the canonical refold, which
+	// reproduces cycles exactly (later-registered slots contribute exact
+	// zeros).
+	attrCur  int32
+	attrN    int
+	attrVals []costVec
+
 	obsBase iterBase
 	obsOpen []iterSpan
 }
@@ -109,6 +120,14 @@ func (e *Engine) Checkpoint(cp *Checkpoint) {
 
 	e.Mem.Snapshot(&cp.mem)
 
+	cp.attrCur = e.attr.cur
+	cp.attrN = len(e.attr.vals)
+	if cap(cp.attrVals) < cp.attrN {
+		cp.attrVals = make([]costVec, cp.attrN)
+	}
+	cp.attrVals = cp.attrVals[:cp.attrN]
+	copy(cp.attrVals, e.attr.vals)
+
 	cp.obsBase = e.obsBase
 	if cap(cp.obsOpen) < len(e.obsOpen) {
 		cp.obsOpen = make([]iterSpan, len(e.obsOpen))
@@ -141,7 +160,16 @@ func (e *Engine) Restore(cp *Checkpoint) {
 
 	e.Mem.Restore(&cp.mem)
 
-	e.cycles = cp.cycles
+	// Roll the attribution buckets back and re-derive the clock from them.
+	// The refold reproduces cp.cycles bit-exactly: the restored slots hold
+	// the snapshotted values and slots registered after the snapshot are
+	// zeroed, contributing exact-zero terms to the fold.
+	copy(e.attr.vals[:cp.attrN], cp.attrVals)
+	for i := cp.attrN; i < len(e.attr.vals); i++ {
+		e.attr.vals[i] = costVec{}
+	}
+	e.attr.cur = cp.attrCur
+	e.refoldCycles()
 	e.transferNS = cp.transferNS
 	e.faultNS = cp.faultNS
 	e.segSerialAtomics = cp.segSerialAtomics

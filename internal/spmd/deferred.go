@@ -245,9 +245,10 @@ type deferredCtx struct {
 
 	serialAtomics float64
 
-	// phLog records this task's phase transitions during the segment when
-	// profiling is on; the profiler folds and clears it at the merge
-	// boundary. Capacity persists across segments via the pool.
+	// phLog records this task's phase transitions during the segment; the
+	// merge boundary replays it through the attribution cursor (and the
+	// profiler, when enabled) and reset clears it. Capacity persists across
+	// segments via the pool.
 	phLog []phaseEntry
 
 	// gen is the engine reuse generation this context's dense-id-keyed
@@ -483,7 +484,7 @@ func (tc *TaskCtx) noteAccess(addr int64, kind machine.AccessKind) {
 		d.costs = append(d.costs, byte(kind)<<2|byte(lvl))
 		return
 	}
-	tc.stall += e.stallTab[kind][lvl]
+	tc.stl[accCostClass[kind]] += e.stallTab[kind][lvl]
 }
 
 // Batch returns the task's staging batch for the given push target, creating
@@ -560,6 +561,13 @@ func (tc *TaskCtx) CountAtomics(n int, contended, push bool) {
 // nothing intervened), so they account through MemModel.RepeatHits without
 // re-probing; stalls still accumulate per access to keep the float sum
 // bit-identical to an uncompressed replay.
+//
+// Stalls accumulate in per-kind locals (replay order within each kind) and
+// fold into the task's per-class buckets at the end. During deferred
+// execution the access-stall classes receive nothing — atomic stalls live in
+// their own classes — so each class bucket is zero here and the final add
+// reproduces exactly the sum a live run accumulated in place (0 + x == x;
+// every charge is non-negative, so no -0 can arise).
 func (e *Engine) replayAccesses(tc *TaskCtx) {
 	d := tc.def
 	mem := e.Mem
@@ -567,12 +575,12 @@ func (e *Engine) replayAccesses(tc *TaskCtx) {
 	paged := e.Pager != nil
 	ls := mem.LineShift()
 	tags, tmask := mem.L1View(core)
-	stall := tc.stall
+	var st [4]float64
 	// Stage-free segment: probes already ran in replay order during serial
 	// execution; fold the recorded per-access cost bytes in the same order.
 	// Exactly one of costs and acc is non-empty for any segment.
 	for _, c := range d.costs {
-		stall += e.stallFlat[c]
+		st[c>>2] += e.stallFlat[c]
 	}
 	for _, ev := range d.acc {
 		kind := machine.AccessKind((ev >> accKindShift) & 3)
@@ -587,9 +595,9 @@ func (e *Engine) replayAccesses(tc *TaskCtx) {
 				}
 				if line := addr >> ls; !paged && tags[line&tmask] == line {
 					mem.RepeatHits(1) // inline L1-hit probe
-					stall += e.stallTab[kind][machine.L1]
+					st[kind] += e.stallTab[kind][machine.L1]
 				} else {
-					stall += e.stallTab[kind][mem.Access(core, addr)]
+					st[kind] += e.stallTab[kind][mem.Access(core, addr)]
 				}
 			}
 			continue
@@ -600,20 +608,22 @@ func (e *Engine) replayAccesses(tc *TaskCtx) {
 		}
 		if line := addr >> ls; !paged && tags[line&tmask] == line {
 			mem.RepeatHits(1) // inline L1-hit probe
-			stall += e.stallTab[kind][machine.L1]
+			st[kind] += e.stallTab[kind][machine.L1]
 		} else {
-			stall += e.stallTab[kind][mem.Access(core, addr)]
+			st[kind] += e.stallTab[kind][mem.Access(core, addr)]
 		}
 		if rep > 0 {
 			mem.RepeatHits(rep)
 			if c := e.stallTab[kind][machine.L1]; c != 0 {
 				for j := 0; j < rep; j++ {
-					stall += c
+					st[kind] += c
 				}
 			}
 		}
 	}
-	tc.stall = stall
+	for k := 0; k < 4; k++ {
+		tc.stl[accCostClass[k]] += st[k]
+	}
 }
 
 // mergeSegment commits all tasks' deferred state in task order: batches
@@ -638,6 +648,14 @@ func (e *Engine) mergeSegment(tcs []*TaskCtx) error {
 		e.replayAccesses(tc)
 		for i := range d.ops {
 			applyOp(e, &d.ops[i])
+		}
+		// Replay the task's phase transitions through the attribution cursor
+		// in task order — the order live execution would have moved it — so
+		// the segment cost aggregated after this merge charges to the same
+		// phase in every mode. Registration order is also reproduced, which
+		// keeps bucket slot ids mode-invariant.
+		for i := range d.phLog {
+			e.attrMark(d.phLog[i].name)
 		}
 		if e.prof != nil {
 			e.prof.foldTask(e, tc)

@@ -150,6 +150,11 @@ type Engine struct {
 
 	prof *profiler // nil unless EnableProfiling was called
 
+	// attr holds the per-(phase, cost class) cycle buckets the modeled clock
+	// is defined over (see attr.go). cycles above is always the canonical
+	// fold of these buckets.
+	attr attrTable
+
 	obsOpen []iterSpan // open pipe-loop iteration spans, outermost first
 	obsBase iterBase   // counter snapshot behind the previous metrics row
 }
@@ -192,6 +197,7 @@ func New(cfg *machine.Config, target vec.Target, tasks int) *Engine {
 	}
 	e.buildOpCost()
 	e.buildStallTab()
+	e.attr.init()
 	return e
 }
 
@@ -273,13 +279,15 @@ func (e *Engine) AddTransferBytes(bytes int64) {
 }
 
 // AddCycles charges raw cycles to the global clock (used for modeled
-// sequential host work between launches).
-func (e *Engine) AddCycles(c float64) { e.cycles += c }
+// sequential host work between launches), attributed to the host cost class
+// under the current phase.
+func (e *Engine) AddCycles(c float64) { e.chargeCycles(obs.CostHost, c) }
 
 // ResetTime clears the clock and statistics but keeps caches warm, matching
 // the paper's methodology of timing the algorithm after graph loading.
 func (e *Engine) ResetTime() {
-	e.cycles = 0
+	e.attr.zero()
+	e.refoldCycles()
 	e.transferNS = 0
 	e.faultNS = 0
 	e.Stats = Stats{}
@@ -325,7 +333,8 @@ func (e *Engine) ResetAll(target vec.Target, tasks int) {
 	e.Metrics = nil
 	e.prof = nil
 
-	e.cycles = 0
+	e.attr.reset()
+	e.refoldCycles()
 	e.transferNS = 0
 	e.faultNS = 0
 	e.segSerialAtomics = 0
@@ -403,7 +412,7 @@ func (e *Engine) LaunchEmpty(n int) {
 		n = e.NumTasks
 	}
 	e.Stats.Launches++
-	e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, true))
+	e.chargeCycles(obs.CostLaunch, e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, true)))
 }
 
 // MarkIteration records the current pipe-loop iteration for failure context.
@@ -563,7 +572,7 @@ func (e *Engine) launch(n int, body func(*TaskCtx), charge bool) error {
 	}
 	if charge {
 		e.Stats.Launches++
-		e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false))
+		e.chargeCycles(obs.CostLaunch, e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false)))
 	}
 	e.setActiveThreads(n)
 
@@ -639,7 +648,7 @@ func (e *Engine) runCooperative(n int, mode Exec, body func(*TaskCtx)) error {
 				return err
 			}
 		}
-		e.cycles += e.aggregateSegment(tcs)
+		e.aggregateSegment(tcs)
 		running = 0
 		for _, tc := range tcs {
 			if !tc.done {
@@ -675,7 +684,7 @@ func (e *Engine) LaunchNoBarrier(n int, body func(*TaskCtx)) error {
 		launchCyc, launchHost = e.cycles, e.Trace.HostNow()
 	}
 	e.Stats.Launches++
-	e.cycles += e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false))
+	e.chargeCycles(obs.CostLaunch, e.Machine.NSToCycles(e.TaskSys.LaunchCostNS(n, false)))
 	e.setActiveThreads(n)
 
 	mode := e.execMode()
@@ -728,7 +737,7 @@ func (e *Engine) LaunchNoBarrier(n int, body func(*TaskCtx)) error {
 			return err
 		}
 	}
-	e.cycles += e.aggregateSegment(tcs)
+	e.aggregateSegment(tcs)
 	if e.Trace != nil {
 		e.traceLaunch(launchCyc, launchHost, n)
 	}
@@ -741,7 +750,18 @@ func (e *Engine) LaunchNoBarrier(n int, body func(*TaskCtx)) error {
 // (compute adds) but overlap memory stalls (stall maxes with the co-resident
 // thread's compute). Contended atomics additionally impose a global
 // serialization floor.
-func (e *Engine) aggregateSegment(tcs []*TaskCtx) float64 {
+//
+// The segment's cost is charged into the attribution buckets of the current
+// phase, decomposed by cost class along whatever bound the winning core: the
+// serial-atomic floor charges whole to CostAtomicSerial, a stall-bound core
+// charges its slowest thread's per-class compute+stall parts, and a
+// compute-bound core charges the per-class sum of its tasks' issue cycles.
+// The clock then re-derives from the buckets (refoldCycles), so the per-class
+// decomposition sums to the clock bit-exactly by construction. All selection
+// arithmetic runs on canonical per-task folds (foldClasses), which are
+// mode-invariant, so the winner — and with it the whole decomposition — is
+// identical across execution modes and backends.
+func (e *Engine) aggregateSegment(tcs []*TaskCtx) {
 	cores := e.Machine.Cores
 	if len(e.aggScratch) < 2*cores {
 		e.aggScratch = make([]float64, 2*cores)
@@ -760,22 +780,24 @@ func (e *Engine) aggregateSegment(tcs []*TaskCtx) float64 {
 		}
 	}
 	for _, tc := range tcs {
+		comp := foldClasses(&tc.comp)
+		stall := foldClasses(&tc.stl)
 		if tr != nil {
 			// Per-task segment span: starts at the segment-start clock,
 			// lasts the task's own compute+stall. Both are pure modeled
 			// quantities, identical in every execution mode.
-			if d := tc.compute + tc.stall; d > 0 {
+			if d := comp + stall; d > 0 {
 				tr.CompleteArg(obs.ProcModeled, obs.TidTask0+tc.Index, segPhase,
-					e.usCycles(e.cycles), e.usCycles(d), "stall_cycles", int64(tc.stall))
+					e.usCycles(e.cycles), e.usCycles(d), "stall_cycles", int64(stall))
 			}
 		}
-		coreCompute[tc.core] += tc.compute
-		if t := tc.compute + tc.stall; t > coreThreadMax[tc.core] {
+		coreCompute[tc.core] += comp
+		if t := comp + stall; t > coreThreadMax[tc.core] {
 			coreThreadMax[tc.core] = t
 		}
-		tc.compute, tc.stall = 0, 0
 	}
 	var seg float64
+	segCore := -1
 	for c := 0; c < cores; c++ {
 		t := coreCompute[c]
 		if coreThreadMax[c] > t {
@@ -783,11 +805,52 @@ func (e *Engine) aggregateSegment(tcs []*TaskCtx) float64 {
 		}
 		if t > seg {
 			seg = t
+			segCore = c
 		}
 	}
+	var parts costVec
 	if e.segSerialAtomics > seg {
-		seg = e.segSerialAtomics
+		parts[obs.CostAtomicSerial] = e.segSerialAtomics
+	} else if segCore >= 0 {
+		if coreThreadMax[segCore] > coreCompute[segCore] {
+			// Stall-bound: the segment lasts as long as the winning core's
+			// slowest thread. Re-find it with the same strict-max, first-wins
+			// scan that built coreThreadMax, and charge that task's parts.
+			var best *TaskCtx
+			var bt float64
+			for _, tc := range tcs {
+				if tc.core != segCore {
+					continue
+				}
+				if t := foldClasses(&tc.comp) + foldClasses(&tc.stl); t > bt {
+					bt = t
+					best = tc
+				}
+			}
+			for k := range parts {
+				parts[k] = best.comp[k] + best.stl[k]
+			}
+		} else {
+			// Compute-bound: issue bandwidth serializes the core's tasks, so
+			// the segment is the per-class sum of their issue cycles.
+			for _, tc := range tcs {
+				if tc.core != segCore {
+					continue
+				}
+				for k := range parts {
+					parts[k] += tc.comp[k]
+				}
+			}
+		}
 	}
 	e.segSerialAtomics = 0
-	return seg
+	for _, tc := range tcs {
+		tc.comp = costVec{}
+		tc.stl = costVec{}
+	}
+	slot := &e.attr.vals[e.attr.cur]
+	for k := range parts {
+		slot[k] += parts[k]
+	}
+	e.refoldCycles()
 }

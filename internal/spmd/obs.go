@@ -57,7 +57,7 @@ func (e *Engine) chargeBarrier(n int) {
 		tr.Complete(obs.ProcModeled, obs.TidEngine, "barrier",
 			e.usCycles(e.cycles), e.usCycles(c))
 	}
-	e.cycles += c
+	e.chargeCycles(obs.CostBarrier, c)
 }
 
 // IterTick records a pipe-loop iteration boundary: it closes the previous

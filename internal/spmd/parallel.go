@@ -41,7 +41,7 @@ func (p *phaser) boundary(tasksRemain bool) {
 		p.aborted = true
 		return
 	}
-	e.cycles += e.aggregateSegment(p.tcs)
+	e.aggregateSegment(p.tcs)
 	if tasksRemain {
 		e.chargeBarrier(p.n)
 	}

@@ -60,6 +60,10 @@ func (e *Engine) EnableProfiling() {
 // which also attributes correctly in the deferred and parallel modes.
 func (e *Engine) MarkPhase(name string) {
 	e.phase.Store(&name)
+	// The attribution cursor always follows host-side marks: MarkPhase runs
+	// between launches on the host goroutine, which is single-threaded in
+	// every execution mode.
+	e.attrMark(name)
 	p := e.prof
 	if p == nil {
 		return

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -45,8 +46,13 @@ type TaskCtx struct {
 	// ph is the barrier phaser of a parallel launch; nil otherwise.
 	ph *phaser
 
-	compute float64 // cycles of issued instructions since last barrier
-	stall   float64 // cycles of exposed memory/atomic stalls since last barrier
+	// comp/stl accumulate this task's issued-instruction and exposed-stall
+	// cycles since the last barrier, broken down by cost class (attr.go).
+	// The scalars the SMT aggregation needs are derived by folding the
+	// blocks in class index order (foldClasses) at the segment boundary, so
+	// per-charge cost stays one indexed add.
+	comp costVec
+	stl  costVec
 
 	resume, yield chan struct{}
 	done          bool
@@ -125,15 +131,19 @@ func (tc *TaskCtx) MarkPhase(name string) {
 		e.phaseNames.Store(name, &n)
 		e.phase.Store(&n)
 	}
-	p := e.prof
-	if p == nil {
-		return
-	}
 	if tc.def == nil {
-		p.flush(e)
-		p.enter(name)
+		// Live tasks run one at a time on the cooperative scheduler, so the
+		// attribution cursor moves in global execution order.
+		e.attrMark(name)
+		if p := e.prof; p != nil {
+			p.flush(e)
+			p.enter(name)
+		}
 		return
 	}
+	// Deferred/parallel tasks cannot touch shared state mid-segment; the log
+	// replays through attrMark (and the profiler, when enabled) at the merge
+	// boundary in task order — the order live execution would have used.
 	tc.def.phLog = append(tc.def.phLog, phaseEntry{name: name, base: tc.shard})
 }
 
@@ -167,7 +177,7 @@ func (tc *TaskCtx) Op(class vec.OpClass, masked bool) {
 	tc.st.Instructions += c.instrs
 	tc.st.ByClass[class] += c.instrs
 	tc.st.VectorOps++
-	tc.compute += c.cycles
+	tc.comp[opCostClass[class]] += c.cycles
 }
 
 // OpN records n logical vector operations of the given class.
@@ -179,7 +189,7 @@ func (tc *TaskCtx) OpN(class vec.OpClass, masked bool, n int) {
 	tc.st.Instructions += in
 	tc.st.ByClass[class] += in
 	tc.st.VectorOps += int64(n)
-	tc.compute += float64(in) / tc.E.Machine.IPC
+	tc.comp[opCostClass[class]] += float64(in) / tc.E.Machine.IPC
 }
 
 func b2u(b bool) int {
@@ -222,14 +232,14 @@ func (tc *TaskCtx) ScalarOps(n int) {
 	tc.st.Instructions += int64(n)
 	tc.st.ByClass[vec.ClassScalar] += int64(n)
 	tc.st.ScalarOps += int64(n)
-	tc.compute += float64(n) / tc.E.Machine.IPC
+	tc.comp[obs.CostScalar] += float64(n) / tc.E.Machine.IPC
 }
 
 // Work records processed worklist items (a useful-work proxy).
 func (tc *TaskCtx) Work(n int) { tc.st.WorkItems += int64(n) }
 
-func (tc *TaskCtx) addStall(cycles float64) {
-	tc.stall += cycles * tc.E.StallScale
+func (tc *TaskCtx) addStall(cls obs.CostClass, cycles float64) {
+	tc.stl[cls] += cycles * tc.E.StallScale
 }
 
 // touchPage runs one address through the pager. It executes only while the
@@ -428,7 +438,7 @@ func (tc *TaskCtx) ScalarLoadI(a *Array, idx int32) int32 {
 	tc.st.Instructions++
 	tc.st.ByClass[vec.ClassScalarLoad]++
 	tc.st.ScalarOps++
-	tc.compute += tc.E.invIPC
+	tc.comp[obs.CostScalar] += tc.E.invIPC
 	tc.noteAccess(a.Addr(idx), machine.AccLoad)
 	if d := tc.def; d != nil {
 		return d.loadI(a, idx)
@@ -442,7 +452,7 @@ func (tc *TaskCtx) ScalarStoreI(a *Array, idx int32, v int32) {
 	tc.st.Instructions++
 	tc.st.ByClass[vec.ClassScalarStore]++
 	tc.st.ScalarOps++
-	tc.compute += tc.E.invIPC
+	tc.comp[obs.CostScalar] += tc.E.invIPC
 	tc.noteAccess(a.Addr(idx), machine.AccPlain)
 	if d := tc.def; d != nil {
 		d.storeI(a, idx, v)
@@ -457,7 +467,7 @@ func (tc *TaskCtx) ScalarLoadF(a *Array, idx int32) float32 {
 	tc.st.Instructions++
 	tc.st.ByClass[vec.ClassScalarLoad]++
 	tc.st.ScalarOps++
-	tc.compute += tc.E.invIPC
+	tc.comp[obs.CostScalar] += tc.E.invIPC
 	tc.noteAccess(a.Addr(idx), machine.AccLoad)
 	if d := tc.def; d != nil {
 		return d.loadF(a, idx)
@@ -471,7 +481,7 @@ func (tc *TaskCtx) ScalarStoreF(a *Array, idx int32, v float32) {
 	tc.st.Instructions++
 	tc.st.ByClass[vec.ClassScalarStore]++
 	tc.st.ScalarOps++
-	tc.compute += tc.E.invIPC
+	tc.comp[obs.CostScalar] += tc.E.invIPC
 	tc.noteAccess(a.Addr(idx), machine.AccPlain)
 	if d := tc.def; d != nil {
 		d.storeF(a, idx, v)
@@ -493,10 +503,12 @@ func (tc *TaskCtx) countAtomics(n int, contended, push bool) {
 	tc.st.Atomics += int64(n)
 	tc.st.Instructions += int64(n)
 	tc.st.ByClass[vec.ClassAtomic] += int64(n)
+	cls := obs.CostAtomic
 	if push {
 		tc.st.AtomicPushes += int64(n)
+		cls = obs.CostWorklist
 	}
-	tc.addStall(tc.E.Machine.AtomicCycles * float64(n))
+	tc.addStall(cls, tc.E.Machine.AtomicCycles*float64(n))
 	if contended {
 		if d := tc.def; d != nil {
 			d.serialAtomics += tc.E.Machine.SerialAtomicCost() * float64(n)

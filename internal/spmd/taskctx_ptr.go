@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -165,13 +166,14 @@ func (tc *TaskCtx) GatherIP(a *Array, idx *vec.Vec, m vec.Mask, inner bool, dst 
 		un := uint32(a.Len())
 		tab := &e.stallTab[kind]
 		l1c := tab[machine.L1]
+		cls := accCostClass[kind]
 		src := a.I
-		stall := tc.stall
+		stall := tc.stl[cls]
 		for bs := uint32(m); bs != 0; bs &= bs - 1 {
 			i := bits.TrailingZeros32(bs)
 			ii := idx[i]
 			if uint32(ii) >= un {
-				tc.stall = stall
+				tc.stl[cls] = stall
 				tc.checkLane("gather", a, i, ii)
 			}
 			addr := base + int64(ii)*4
@@ -183,7 +185,7 @@ func (tc *TaskCtx) GatherIP(a *Array, idx *vec.Vec, m vec.Mask, inner bool, dst 
 			}
 			dst[i] = src[ii]
 		}
-		tc.stall = stall
+		tc.stl[cls] = stall
 		return
 	}
 	src := a.I
@@ -292,13 +294,14 @@ func (tc *TaskCtx) GatherFP(a *Array, idx *vec.Vec, m vec.Mask, inner bool, dst 
 		un := uint32(a.Len())
 		tab := &e.stallTab[kind]
 		l1c := tab[machine.L1]
+		cls := accCostClass[kind]
 		src := a.F
-		stall := tc.stall
+		stall := tc.stl[cls]
 		for bs := uint32(m); bs != 0; bs &= bs - 1 {
 			i := bits.TrailingZeros32(bs)
 			ii := idx[i]
 			if uint32(ii) >= un {
-				tc.stall = stall
+				tc.stl[cls] = stall
 				tc.checkLane("gather", a, i, ii)
 			}
 			addr := base + int64(ii)*4
@@ -310,7 +313,7 @@ func (tc *TaskCtx) GatherFP(a *Array, idx *vec.Vec, m vec.Mask, inner bool, dst 
 			}
 			dst[i] = src[ii]
 		}
-		tc.stall = stall
+		tc.stl[cls] = stall
 		return
 	}
 	src := a.F
@@ -632,12 +635,17 @@ func (tc *TaskCtx) LoadVecIP(a *Array, start int32, m vec.Mask, dst *vec.Vec) {
 		tags, tmask := mm.L1View(core)
 		un := uint32(a.Len())
 		src := a.I
-		stall := tc.stall
+		// Two class-split stall locals: the leading lane's full-latency load
+		// charges CostMemLoad, continuation lanes charge CostDenseStream.
+		// Both restore on the bounds-unwind path, mirroring the single-local
+		// pattern of the gather loops.
+		stLoad := tc.stl[obs.CostMemLoad]
+		stStream := tc.stl[obs.CostDenseStream]
 		for bs := uint32(m); bs != 0; bs &= bs - 1 {
 			i := bits.TrailingZeros32(bs)
 			ii := start + int32(i)
 			if uint32(ii) >= un {
-				tc.stall = stall
+				tc.stl[obs.CostMemLoad], tc.stl[obs.CostDenseStream] = stLoad, stStream
 				tc.checkLane("vload", a, i, ii)
 			}
 			kind := machine.AccStream
@@ -645,15 +653,21 @@ func (tc *TaskCtx) LoadVecIP(a *Array, start int32, m vec.Mask, dst *vec.Vec) {
 				kind = machine.AccLoad
 			}
 			addr := base + int64(ii)*4
+			var c float64
 			if line := addr >> ls; tags[line&tmask] == line {
 				mm.RepeatHits(1)
-				stall += e.stallTab[kind][machine.L1]
+				c = e.stallTab[kind][machine.L1]
 			} else {
-				stall += e.stallTab[kind][mm.Access(core, addr)]
+				c = e.stallTab[kind][mm.Access(core, addr)]
+			}
+			if i == 0 {
+				stLoad += c
+			} else {
+				stStream += c
 			}
 			dst[i] = src[ii]
 		}
-		tc.stall = stall
+		tc.stl[obs.CostMemLoad], tc.stl[obs.CostDenseStream] = stLoad, stStream
 		return
 	}
 	src := a.I

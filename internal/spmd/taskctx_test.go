@@ -206,7 +206,7 @@ func TestGatherCostExceedsScalarOnIntel(t *testing.T) {
 			}
 			start := e.TimeCycles()
 			_ = start
-			tc.compute, tc.stall = 0, 0
+			tc.comp, tc.stl = costVec{}, costVec{}
 			for i := 0; i < 100; i++ {
 				tc.GatherI(a, vec.Iota(), vec.FullMask(16), vec.Vec{}, false)
 			}
@@ -220,7 +220,7 @@ func TestGatherCostExceedsScalarOnIntel(t *testing.T) {
 			for p := int32(0); p < 256; p++ {
 				tc.ScalarLoadI(a, p)
 			}
-			tc.compute, tc.stall = 0, 0
+			tc.comp, tc.stl = costVec{}, costVec{}
 			for i := 0; i < 1600; i++ {
 				tc.ScalarLoadI(a, int32(i%256))
 			}
