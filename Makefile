@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel fuzz gen gen-drift bench bench-diff bench-smoke trace-smoke serve-smoke serve-load chaos profile ci clean
+.PHONY: build vet test race race-parallel fuzz gen gen-drift bench bench-diff bench-smoke trace-smoke serve-smoke serve-load chaos crash-chaos profile ci clean
 
 build:
 	$(GO) build ./...
@@ -34,13 +34,16 @@ race-parallel:
 	EGACS_HOST_EXEC=parallel $(GO) test -race ./internal/spmd/... ./internal/worklist/...
 	EGACS_HOST_EXEC=parallel $(GO) test -race ./internal/compiled/... ./internal/codegen/...
 
-# Short fuzz pass over the graph readers, the service request decoder, and
-# the interp-vs-compiled backend differential (random graph/kernel/config
-# draws must stay bit-identical across backends).
+# Short fuzz pass over the graph readers, the service request decoder, the
+# interp-vs-compiled backend differential (random graph/kernel/config draws
+# must stay bit-identical across backends), and the mutation delta log
+# (random op streams through Apply/Compact/WAL round-trip must fold
+# identically and recover from arbitrary truncation).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadDIMACS$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzDeltaLog$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime 10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzBackendDifferential$$' -fuzztime 10s ./internal/core
 
@@ -52,12 +55,17 @@ fuzz:
 # per-row cycle_attribution class totals that re-fold to modeled_cycles
 # bit-exactly) with per-kernel interp-vs-compiled backend wall columns and
 # their geomean, the per-family CSR-vs-SELL modeled-cycles geomeans in the
-# note, the ns/op delta against the BENCH_8.json baseline, and validates the
-# written report against the bench schema.
+# note, the ns/op delta against the BENCH_9.json baseline, and validates the
+# written report against the bench schema. The second step runs the
+# streaming-mutation experiment at small scale and folds its headline numbers
+# (query p99 under sustained mutation vs static, update throughput) into the
+# report as the schema-v3 mutation section.
 bench:
-	BENCH_OUT=$(CURDIR)/BENCH_9.json BENCH_BASELINE=$(CURDIR)/BENCH_8.json \
+	BENCH_OUT=$(CURDIR)/BENCH_10.json BENCH_BASELINE=$(CURDIR)/BENCH_9.json \
 		$(GO) test -run '^$$' -bench '^BenchmarkHostExec$$' -benchtime 3x -benchmem .
-	EGACS_BENCH_FILE=$(CURDIR)/BENCH_9.json \
+	BENCH_MUTATE_OUT=$(CURDIR)/BENCH_10.json \
+		$(GO) test -run '^TestMutateBench$$' -v -timeout 20m ./internal/bench
+	EGACS_BENCH_FILE=$(CURDIR)/BENCH_10.json \
 		$(GO) test -run '^TestValidateBenchFile$$' -v ./internal/obs
 
 # Drift-free regression gate: replay the perfhist trajectory over every
@@ -76,7 +84,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/egacs -bench cc -input rmat -scale test -layout sell
 	$(GO) run ./cmd/egacs -bench cc -input rmat -scale test -backend interp
-	EGACS_BENCH_FILE=$(CURDIR)/BENCH_9.json \
+	EGACS_BENCH_FILE=$(CURDIR)/BENCH_10.json \
 		$(GO) test -run '^TestValidateBenchFile$$' ./internal/obs
 
 # End-to-end trace check: run a kernel with -trace, then validate the written
@@ -110,6 +118,15 @@ serve-load:
 # panic or silent corruption.
 chaos:
 	EGACS_CHAOS=full $(GO) test -run '^TestChaos$$' -v -timeout 30m ./internal/core
+
+# Kill-anywhere crash-recovery harness: for every named point of the mutation
+# pipeline (WAL append, apply, compaction build/persist, snapshot rename,
+# segment rotate/prune, epoch swap) boot the real daemon, SIGKILL it there
+# mid-stream, restart on the same WAL directory, and require the recovered
+# graph to be bit-identical to replaying an acked-or-longer prefix of the
+# exact batches sent (nightly CI job).
+crash-chaos:
+	$(GO) test -run '^TestCrashRecoveryAnywhere$$' -v -timeout 20m ./cmd/egacs-serve
 
 # CPU+heap profile of the flagship kernel under the parallel scheduler.
 profile:

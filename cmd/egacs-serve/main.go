@@ -12,10 +12,20 @@
 //	egacs-serve -addr :8080 -input road -scale small
 //	egacs-serve -addr :8080 -graph web.el -max-inflight 8 -tenant-cap 2
 //	egacs-serve -addr :8080 -request-log requests.jsonl
+//	egacs-serve -addr :8080 -wal-dir /var/lib/egacs   # accept mutations
 //	curl 'localhost:8080/query?kind=bfs&src=0&node=25'
 //	curl 'localhost:8080/query?kind=pr&k=10'
 //	curl 'localhost:8080/metrics'    # Prometheus text exposition
 //	curl -X POST localhost:8080/query -d '{"kind":"sssp","src":3,"tenant":"alice"}'
+//	curl -X POST localhost:8080/mutate --data-binary $'+ 0 25 3\n- 7 12\n'
+//
+// With -wal-dir the daemon accepts streaming edge mutations on POST /mutate:
+// each batch is validated, appended to a crash-consistent write-ahead log,
+// and acked only once durable. Pending batches fold into a fresh serving
+// snapshot by periodic compaction (-compact-every), gated by sentinel-query
+// validation; queries keep serving the pinned epoch they started on. On boot
+// the daemon replays the log — repairing a torn tail, rejecting corruption
+// with typed errors — and recovers bit-identical state after any crash.
 //
 // SIGINT/SIGTERM triggers a graceful drain: readiness flips, new queries get
 // 503, in-flight ones finish (up to -drain-timeout, then their budgets are
@@ -31,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -68,6 +79,10 @@ func main() {
 		transProb  = flag.Float64("transient-inject", 0, "chaos: per-request transient-fault probability")
 		injectSeed = flag.Uint64("inject-seed", 1, "chaos injector seed (per-request seeds derive from it)")
 
+		walDir       = flag.String("wal-dir", "", "enable mutations: durable store directory (created on first boot, recovered on later ones; -input/-graph only seed the first)")
+		compactEvery = flag.Int("compact-every", 64, "fold the delta into a fresh snapshot every N mutation batches (<0 = manual /admin/compact only)")
+		fsyncEvery   = flag.Int("fsync-every", 1, "fsync the WAL every N batches (group commit; 1 = every batch durable at ack)")
+
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain window before in-flight queries are cancelled")
 		metricsOut = flag.String("metrics", "", "write the service counter registry as JSONL to this file on shutdown")
 		traceOut   = flag.String("trace", "", "write per-request spans as a Chrome trace-event file on shutdown")
@@ -79,11 +94,35 @@ func main() {
 	fail(err)
 	be, err := core.ParseBackend(*backend)
 	fail(err)
-	g, err := graph.Load(*graphFile, *input, *scale, *seed)
-	fail(err)
-	g.SortAdjacency()
+
+	// With -wal-dir an existing store is the source of truth: its snapshot +
+	// replayed WAL define the graph, and -input/-graph only seed a first boot.
+	var store *graph.MutStore
+	var g *graph.CSR
+	if *walDir != "" && storeExists(*walDir) {
+		store, err = graph.OpenMutStore(*walDir, graph.StoreOptions{FsyncEvery: *fsyncEvery})
+		fail(err)
+		g = store.Delta().Base()
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr,
+			"egacs-serve: recovered %s: epoch %d, seq %d, replayed %d batches (%d torn tails repaired, %d pending)\n",
+			*walDir, st.Epoch, st.LastSeq, st.Replayed, st.Truncated, st.Pending)
+	} else {
+		g, err = graph.Load(*graphFile, *input, *scale, *seed)
+		fail(err)
+		g.SortAdjacency()
+		if *walDir != "" {
+			fail(os.MkdirAll(*walDir, 0o755))
+			store, err = graph.CreateMutStore(*walDir, g, graph.StoreOptions{FsyncEvery: *fsyncEvery})
+			fail(err)
+			g = store.Delta().Base()
+			fmt.Fprintf(os.Stderr, "egacs-serve: created mutation store %s\n", *walDir)
+		}
+	}
 
 	opts := serve.Options{
+		Store:           store,
+		CompactEvery:    *compactEvery,
 		Machine:         m,
 		Tasks:           *tasks,
 		Backend:         be,
@@ -126,6 +165,17 @@ func main() {
 	err = s.SelfCheck(ctx)
 	cancel()
 	fail(err)
+
+	// Fold batches replayed from the WAL into the serving snapshot before
+	// taking traffic, so a recovered daemon serves (and /graphz reports) the
+	// full acked state, not the last compacted epoch.
+	if store != nil && store.Stats().Pending > 0 {
+		cctx, ccancel := context.WithTimeout(context.Background(), time.Minute)
+		epoch, err := s.Compact(cctx)
+		ccancel()
+		fail(err)
+		fmt.Fprintf(os.Stderr, "egacs-serve: boot compaction folded replayed batches, epoch %d\n", epoch)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	fail(err)
@@ -172,7 +222,17 @@ func main() {
 	if logFile != nil {
 		fail(logFile.Close())
 	}
+	if store != nil {
+		fail(store.Close())
+	}
 	fmt.Fprintln(os.Stderr, "egacs-serve: drained, bye")
+}
+
+// storeExists reports whether dir already holds a mutation store (its
+// snapshot file is the marker — an empty or absent dir means first boot).
+func storeExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, "snapshot.bin"))
+	return err == nil
 }
 
 func fail(err error) {

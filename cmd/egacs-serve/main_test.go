@@ -38,6 +38,7 @@ func TestServeSmoke(t *testing.T) {
 		"-max-inflight", "4", "-queue-depth", "8",
 		"-flip-inject", "0.01", "-transient-inject", "0.01",
 		"-metrics", metrics,
+		"-wal-dir", filepath.Join(t.TempDir(), "wal"), "-compact-every", "4",
 		"-drain-timeout", "10s",
 	)
 	stdout, err := cmd.StdoutPipe()
@@ -70,7 +71,30 @@ func TestServeSmoke(t *testing.T) {
 		"/query?kind=cc&node=7",
 	}
 	var wg sync.WaitGroup
-	errs := make(chan error, clients*len(kinds))
+	errs := make(chan error, clients*len(kinds)+16)
+
+	// One writer mutates the graph while the query clients run: every batch
+	// must ack durable, and the compactions it trips must never disturb an
+	// in-flight query (those hold their pinned snapshot).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			body := fmt.Sprintf("+ %d %d %d\n- %d %d\n", i, i+1, i%7+1, i, i+1)
+			resp, err := http.Post(base+"/mutate", "text/plain", strings.NewReader(body))
+			if err != nil {
+				errs <- fmt.Errorf("mutator batch %d: %v", i, err)
+				return
+			}
+			payload, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("mutator batch %d: status %d body %s", i, resp.StatusCode, payload)
+				return
+			}
+		}
+	}()
+
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {

@@ -48,6 +48,7 @@ func main() {
 		layoutStr  = flag.String("layout", "auto", "graph layout policy: csr|sell|auto (auto attaches SELL-C-σ where the machine's gathers are slower than unit-stride loads; order-sensitive float kernels always run csr)")
 		sellC      = flag.Int("sell-c", 0, "SELL slice height C (0 = vector width)")
 		sellSigma  = flag.Int("sell-sigma", 0, "SELL degree-sort window σ (0 = default, negative = whole graph)")
+		mutFile    = flag.String("mutations", "", "apply this edge-mutation stream (\"+ src dst [w]\" / \"- src dst\", graphgen -mutations format) to the graph before running")
 		src        = flag.Int("src", -1, "source node (-1 = max-degree node)")
 		seed       = flag.Uint64("seed", 42, "generator seed")
 		verify     = flag.Bool("verify", true, "check output against the serial reference")
@@ -81,6 +82,10 @@ func main() {
 
 	g, err := graph.Load(*graphFile, *input, *scale, *seed)
 	fail(err)
+	if *mutFile != "" {
+		g, err = applyMutations(g, *mutFile)
+		fail(err)
+	}
 	g = core.PrepareGraph(bench, g)
 
 	opts, err := opt.Parse(*optStr)
@@ -508,6 +513,33 @@ func writeMemProfile(path string) {
 	runtime.GC() // materialize the live heap before the snapshot
 	fail(pprof.WriteHeapProfile(f))
 	fail(f.Close())
+}
+
+// applyMutations folds an edge-mutation stream into the loaded graph through
+// the delta overlay — the same path the serving daemon uses — so a benchmark
+// can run against the post-mutation graph. The stream's final state is what
+// matters here; it is applied as one batch and compacted once.
+func applyMutations(g *graph.CSR, path string) (*graph.CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ops, err := graph.ParseMutations(f, g.NumNodes())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	d := graph.NewDelta(g, 0)
+	if err := d.Apply(graph.Batch{Seq: 1, Ops: ops}); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	mg, err := d.Compact()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "egacs: applied %d mutations (%d edges -> %d)\n",
+		len(ops), g.NumEdges(), mg.NumEdges())
+	return mg, nil
 }
 
 func fail(err error) {

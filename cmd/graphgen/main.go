@@ -7,6 +7,12 @@
 //	graphgen -family road -w 320 -h 320 -o road.gr
 //	graphgen -family rmat -scale 16 -edgefactor 8 -format el -o rmat16.el
 //	graphgen -family random -nodes 80000 -edges 640000 -o rand.gr
+//	graphgen -family road -o road.gr -mutations 5000 -mut-out road.mut
+//
+// With -mutations N it additionally emits a seeded, applicable edge-mutation
+// stream for the generated graph ("+ src dst [w]" / "- src dst", one op per
+// line) — the format POST /mutate and egacs -mutations consume. Deletes
+// always target edges that exist at their point in the stream.
 package main
 
 import (
@@ -19,20 +25,25 @@ import (
 
 func main() {
 	var (
-		family  = flag.String("family", "road", "graph family: road|rmat|random|smallworld|ba")
-		width   = flag.Int("w", 320, "road: grid width")
-		height  = flag.Int("h", 320, "road: grid height")
-		scale   = flag.Int("scale", 16, "rmat: log2 node count")
-		edgeF   = flag.Int("edgefactor", 8, "rmat: edges per node")
-		nodes   = flag.Int("nodes", 80000, "random: node count")
-		edges   = flag.Int("edges", 640000, "random: edge count")
-		maxW    = flag.Int("maxw", 64, "maximum edge weight")
-		seed    = flag.Uint64("seed", 42, "generator seed")
+		family    = flag.String("family", "road", "graph family: road|rmat|random|smallworld|ba")
+		width     = flag.Int("w", 320, "road: grid width")
+		height    = flag.Int("h", 320, "road: grid height")
+		scale     = flag.Int("scale", 16, "rmat: log2 node count")
+		edgeF     = flag.Int("edgefactor", 8, "rmat: edges per node")
+		nodes     = flag.Int("nodes", 80000, "random: node count")
+		edges     = flag.Int("edges", 640000, "random: edge count")
+		maxW      = flag.Int("maxw", 64, "maximum edge weight")
+		seed      = flag.Uint64("seed", 42, "generator seed")
 		format    = flag.String("format", "gr", "output format: gr (DIMACS) | el (edge list) | bin (binary CSR)")
 		outFile   = flag.String("o", "", "output file (default stdout)")
 		stats     = flag.Bool("stats", false, "print graph statistics to stderr")
 		sellC     = flag.Int("sell-c", 16, "stats: SELL slice height C for the padding estimate")
 		sellSigma = flag.Int("sell-sigma", 0, "stats: SELL sort window σ (0 = default, negative = whole graph)")
+
+		mutations = flag.Int("mutations", 0, "also emit N edge mutations applicable to the generated graph")
+		mutOut    = flag.String("mut-out", "", "mutation stream output file (default stdout; then the graph needs -o)")
+		mutDel    = flag.Float64("mut-delete-frac", 0.25, "mutations: fraction that delete a live edge")
+		mutSkew   = flag.Float64("mut-skew", 0, "mutations: endpoint skew in [0,1) (0 = uniform, higher = hub-heavy)")
 	)
 	flag.Parse()
 
@@ -65,6 +76,10 @@ func main() {
 		}
 	}
 
+	if *mutations > 0 && *outFile == "" && *mutOut == "" {
+		fail(fmt.Errorf("-mutations with both graph and stream on stdout; use -o or -mut-out"))
+	}
+
 	out := os.Stdout
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
@@ -81,6 +96,21 @@ func main() {
 		fail(graph.WriteBinary(out, g))
 	default:
 		fail(fmt.Errorf("unknown format %q", *format))
+	}
+
+	if *mutations > 0 {
+		ops, err := graph.GenMutations(g, *seed, graph.MutGenOptions{
+			Count: *mutations, DeleteFrac: *mutDel, Skew: *mutSkew, MaxWeight: int32(*maxW),
+		})
+		fail(err)
+		mout := os.Stdout
+		if *mutOut != "" {
+			f, err := os.Create(*mutOut)
+			fail(err)
+			defer f.Close()
+			mout = f
+		}
+		fail(graph.WriteMutations(mout, ops))
 	}
 }
 

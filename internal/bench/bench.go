@@ -169,6 +169,7 @@ func Experiments() []Experiment {
 		{"layout", "graph layouts: CSR vs SELL-C-sigma per kernel and family (extension)", LayoutExp},
 		{"ablation", "design-knob ablations: NP threshold, fiber cap, SSSP delta (extension)", Ablation},
 		{"ext-neon", "ARM NEON target evaluation (the paper's future work, as an extension)", NeonExt},
+		{"mutate", "streaming mutations: update throughput and query latency under sustained mutation (extension)", MutateExp},
 	}
 }
 

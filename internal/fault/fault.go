@@ -43,6 +43,12 @@ var (
 	// (the model of an ECC machine-check abort): the affected execution must
 	// be discarded, but no state was corrupted.
 	ErrTransientFault = fmt.Errorf("transient fault")
+	// ErrWALCorrupt: a write-ahead-log record failed structural validation
+	// during replay (checksum mismatch mid-log, bad op code, out-of-range
+	// node id, batch-sequence gap). Distinct from a torn tail, which is the
+	// expected signature of a crash mid-append and is repaired by
+	// truncation, not reported as corruption.
+	ErrWALCorrupt = fmt.Errorf("corrupt write-ahead log")
 )
 
 // Recoverable reports whether a checkpointed run may retry the failed
@@ -198,3 +204,20 @@ func (e *TransientError) Error() string {
 }
 
 func (e *TransientError) Unwrap() error { return ErrTransientFault }
+
+// WALError reports structural corruption found while replaying a
+// write-ahead delta log: the record that failed, where it sits in the file,
+// and which rule it broke. It wraps ErrWALCorrupt.
+type WALError struct {
+	Record int    // 0-based record index in the log
+	Offset int64  // byte offset of the record header
+	Rule   string // violated rule: "crc", "op", "range", "seq-gap", "length"
+	Detail string // human-readable specifics
+}
+
+func (e *WALError) Error() string {
+	return fmt.Sprintf("wal record %d at offset %d: rule %s: %s: %v",
+		e.Record, e.Offset, e.Rule, e.Detail, ErrWALCorrupt)
+}
+
+func (e *WALError) Unwrap() error { return ErrWALCorrupt }

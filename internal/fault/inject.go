@@ -28,6 +28,16 @@ type InjectorConfig struct {
 	// transient fault (a modeled ECC machine-check): detected, uncorrupting,
 	// and clearing on re-execution.
 	Transient float64
+	// WALTear, WALFlip, WALTrunc and WALDup are the write-ahead-log
+	// corruption classes, applied to encoded delta-log bytes by CorruptWAL:
+	// a torn final record (crash mid-append), a flipped bit inside a record
+	// (media corruption → CRC mismatch), a truncated tail (lost final
+	// sync), and a duplicated batch record (replayed append). Probabilities
+	// are per-call; classes are checked in that order and at most one fires.
+	WALTear  float64
+	WALFlip  float64
+	WALTrunc float64
+	WALDup   float64
 }
 
 // Event is one injected fault, in injection order.
@@ -249,4 +259,72 @@ func (in *Injector) CorruptCSR(rowPtr []int32, numEdges int32) int {
 		count++
 	}
 	return count
+}
+
+// WAL corruption class names, as reported by CorruptWAL and recorded in the
+// injection trace.
+const (
+	WALTornRecord = "wal-torn-record"
+	WALBitFlip    = "wal-bitflip"
+	WALTruncTail  = "wal-truncated-tail"
+	WALDupBatch   = "wal-duplicated-batch"
+)
+
+// CorruptWAL applies at most one configured WAL corruption class to a copy
+// of an encoded delta-log byte stream. offsets holds the start offset of
+// every record in data (ascending; the final record ends at len(data)).
+// Returns the corrupted copy and the class that fired ("" and the original
+// slice when none did). The classes model distinct failure signatures:
+//
+//	torn record     the final record is cut mid-bytes — the crash-mid-append
+//	                shape replay must repair by truncation, silently
+//	bit flip        one bit inside a record payload flips — replay must
+//	                surface a typed CRC error (or truncate, when the flip
+//	                lands in the final record and is indistinguishable from
+//	                a torn write)
+//	truncated tail  trailing bytes vanish — same repair contract as torn
+//	duplicated batch one full record appears twice in a row — replay must
+//	                apply it exactly once (idempotent by batch sequence)
+func (in *Injector) CorruptWAL(data []byte, offsets []int) ([]byte, string) {
+	if in == nil || len(data) == 0 || len(offsets) == 0 {
+		return data, ""
+	}
+	switch {
+	case in.chance(in.icfg.WALTear):
+		last := offsets[len(offsets)-1]
+		if last >= len(data)-1 {
+			return data, ""
+		}
+		cut := last + 1 + int(in.next()%uint64(len(data)-last-1))
+		in.record(WALTornRecord, "wal", -1, int32(len(data)), int32(cut))
+		return append([]byte(nil), data[:cut]...), WALTornRecord
+	case in.chance(in.icfg.WALFlip):
+		out := append([]byte(nil), data...)
+		i := int(in.next() % uint64(len(out)))
+		bit := byte(1) << (in.next() % 8)
+		out[i] ^= bit
+		in.record(WALBitFlip, "wal", i, int32(out[i]^bit), int32(out[i]))
+		return out, WALBitFlip
+	case in.chance(in.icfg.WALTrunc):
+		n := 1 + int(in.next()%8)
+		if n >= len(data) {
+			n = len(data) - 1
+		}
+		in.record(WALTruncTail, "wal", -1, int32(len(data)), int32(len(data)-n))
+		return append([]byte(nil), data[:len(data)-n]...), WALTruncTail
+	case in.chance(in.icfg.WALDup):
+		i := int(in.next() % uint64(len(offsets)))
+		end := len(data)
+		if i+1 < len(offsets) {
+			end = offsets[i+1]
+		}
+		rec := data[offsets[i]:end]
+		out := make([]byte, 0, len(data)+len(rec))
+		out = append(out, data[:end]...)
+		out = append(out, rec...)
+		out = append(out, data[end:]...)
+		in.record(WALDupBatch, "wal", i, int32(len(data)), int32(len(out)))
+		return out, WALDupBatch
+	}
+	return data, ""
 }

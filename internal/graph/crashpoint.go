@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Crash points: named sites in the mutation pipeline where the kill-anywhere
+// harness can SIGKILL the process. The environment variable
+//
+//	EGACS_CRASHPOINT=<name>:<count>
+//
+// arms one point; the process kills itself (un-catchably, as a real crash
+// would) on the count-th time execution reaches it. Points, in pipeline
+// order:
+//
+//	append-pre-write    before the record reaches the segment
+//	append-pre-sync     record written, not yet fsynced
+//	append-post-sync    record durable, batch not yet acked
+//	applied             batch applied to the in-memory overlay
+//	compact-built       folded CSR built, nothing persisted
+//	snapshot-written    snapshot temp file synced, not yet renamed
+//	snapshot-renamed    rename committed, directory synced
+//	compact-persisted   new snapshot durable, old segment still active
+//	rotate              fresh segment opened
+//	pruned              covered segments removed
+//
+// Unarmed (the normal case) the hook is one atomic load.
+var crashpoint struct {
+	once  sync.Once
+	name  string
+	count int64
+	mu    sync.Mutex
+	hits  int64
+}
+
+// Crashpoint possibly SIGKILLs the current process, per EGACS_CRASHPOINT.
+func Crashpoint(name string) {
+	crashpoint.once.Do(func() {
+		spec := os.Getenv("EGACS_CRASHPOINT")
+		if spec == "" {
+			return
+		}
+		point, countStr, ok := strings.Cut(spec, ":")
+		count := int64(1)
+		if ok {
+			if v, err := strconv.ParseInt(countStr, 10, 64); err == nil && v > 0 {
+				count = v
+			}
+		}
+		crashpoint.name, crashpoint.count = point, count
+	})
+	if crashpoint.name != name {
+		return
+	}
+	crashpoint.mu.Lock()
+	crashpoint.hits++
+	fire := crashpoint.hits == crashpoint.count
+	crashpoint.mu.Unlock()
+	if fire {
+		// SIGKILL, not os.Exit: no deferred cleanup, no atexit flushing —
+		// the closest software model of the machine losing power here.
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // unreachable; the signal is not deliverable to a handler
+	}
+}

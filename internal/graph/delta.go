@@ -1,0 +1,379 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Mutation ops. The delta layer supports edge inserts and deletes only: the
+// node set is fixed for the life of a served graph, which is what keeps the
+// SELL-C-σ reorder-not-renumber contract (and every cached per-node array in
+// the serving stack) valid across mutations.
+const (
+	OpInsert byte = 1
+	OpDelete byte = 2
+)
+
+// MutOp is one edge mutation. Insert appends the edge (Src,Dst) with weight
+// W to Src's adjacency row; Delete removes every (Src,Dst) edge currently
+// present. W is ignored (forced to 1) on deletes and on unweighted graphs.
+type MutOp struct {
+	Op  byte
+	Src int32
+	Dst int32
+	W   int32
+}
+
+func (op MutOp) String() string {
+	if op.Op == OpDelete {
+		return fmt.Sprintf("- %d %d", op.Src, op.Dst)
+	}
+	return fmt.Sprintf("+ %d %d %d", op.Src, op.Dst, op.W)
+}
+
+// Batch is one atomically-applied group of mutations. Seq is the batch's
+// position in the mutation stream: strictly increasing, assigned by the WAL
+// appender, and the idempotency key on replay.
+type Batch struct {
+	Seq uint64
+	Ops []MutOp
+}
+
+// dedge is one overlay adjacency entry.
+type dedge struct{ dst, w int32 }
+
+// Delta is a mutation overlay over an immutable base CSR: batched edge
+// inserts and deletes accumulate against the shared base without rebuilding
+// it, and Compact folds them into a fresh CSR off the serving path.
+//
+// Semantics are copy-on-touch: the first mutation against a source node
+// copies that node's base adjacency row into the overlay; later ops edit the
+// working row in order. Untouched rows alias the base. The final row
+// contents therefore depend only on the op sequence, not on when (or how
+// often) Compact is called — the property the kill-anywhere recovery tests
+// pin: replaying a WAL against a fresh Delta yields a bit-identical CSR no
+// matter where the original process was interrupted.
+//
+// Delta is not safe for concurrent use; callers serialize Apply/Compact.
+type Delta struct {
+	base *CSR
+	rows map[int32][]dedge // working rows, keyed by source node
+
+	baseSeq uint64 // batches ≤ baseSeq are already folded into base
+	lastSeq uint64 // last applied batch
+
+	batches   int
+	inserts   int
+	deletes   int // edges actually removed
+	noDeletes int // delete ops that matched nothing (no-ops, counted for telemetry)
+	edges     int64
+}
+
+// NewDelta returns an empty overlay for base. baseSeq is the last batch
+// sequence already folded into base (0 for a virgin graph); Apply rejects
+// batches at or below it.
+func NewDelta(base *CSR, baseSeq uint64) *Delta {
+	return &Delta{
+		base:    base,
+		rows:    make(map[int32][]dedge),
+		baseSeq: baseSeq,
+		lastSeq: baseSeq,
+		edges:   int64(base.NumEdges()),
+	}
+}
+
+// Base returns the CSR the overlay mutates against.
+func (d *Delta) Base() *CSR { return d.base }
+
+// LastSeq returns the last applied batch sequence.
+func (d *Delta) LastSeq() uint64 { return d.lastSeq }
+
+// Batches returns the number of applied (pending, unfolded) batches.
+func (d *Delta) Batches() int { return d.batches }
+
+// Pending returns the number of applied but not yet compacted ops.
+func (d *Delta) Pending() int { return d.inserts + d.deletes + d.noDeletes }
+
+// Inserts and Deletes return applied op counts; NoopDeletes the deletes
+// that matched no edge.
+func (d *Delta) Inserts() int     { return d.inserts }
+func (d *Delta) Deletes() int     { return d.deletes }
+func (d *Delta) NoopDeletes() int { return d.noDeletes }
+
+// NumEdges returns the edge count of the overlaid graph.
+func (d *Delta) NumEdges() int64 { return d.edges }
+
+// ValidateOp checks one mutation against the overlay's fixed node set.
+// Violations wrap fault.ErrCorruptGraph (the op references structure that
+// cannot exist).
+func (d *Delta) ValidateOp(op MutOp) error {
+	return ValidateMutOp(op, d.base.NumNodes())
+}
+
+// ValidateMutOp checks op codes and node ranges for a graph of n nodes.
+func ValidateMutOp(op MutOp, n int32) error {
+	if op.Op != OpInsert && op.Op != OpDelete {
+		return corruptf("graph: mutation op code %d (want %d insert / %d delete)", op.Op, OpInsert, OpDelete)
+	}
+	if op.Src < 0 || op.Src >= n || op.Dst < 0 || op.Dst >= n {
+		return corruptf("graph: mutation edge (%d,%d) outside node range [0,%d)", op.Src, op.Dst, n)
+	}
+	return nil
+}
+
+// row returns the working adjacency row for src, copying the base row on
+// first touch.
+func (d *Delta) row(src int32) []dedge {
+	if r, ok := d.rows[src]; ok {
+		return r
+	}
+	lo, hi := d.base.RowPtr[src], d.base.RowPtr[src+1]
+	r := make([]dedge, 0, (hi-lo)+4)
+	for e := lo; e < hi; e++ {
+		r = append(r, dedge{d.base.EdgeDst[e], d.base.EdgeWeight(e)})
+	}
+	return r
+}
+
+// Apply validates and applies one batch to the overlay. Batches must arrive
+// in strictly increasing Seq order; a batch at or below the last applied
+// sequence is rejected (the WAL replay layer, not Delta, is where duplicate
+// suppression lives). A validation failure applies nothing: the batch is
+// checked completely before the first op mutates the overlay.
+func (d *Delta) Apply(b Batch) error {
+	if b.Seq <= d.lastSeq {
+		return corruptf("graph: batch seq %d not above last applied %d", b.Seq, d.lastSeq)
+	}
+	for _, op := range b.Ops {
+		if err := d.ValidateOp(op); err != nil {
+			return fmt.Errorf("batch %d: %w", b.Seq, err)
+		}
+	}
+	for _, op := range b.Ops {
+		r := d.row(op.Src)
+		if op.Op == OpInsert {
+			w := op.W
+			if !d.base.Weighted() {
+				w = 1
+			}
+			r = append(r, dedge{op.Dst, w})
+			d.inserts++
+			d.edges++
+		} else {
+			removed := 0
+			kept := r[:0]
+			for _, e := range r {
+				if e.dst == op.Dst {
+					removed++
+					continue
+				}
+				kept = append(kept, e)
+			}
+			r = kept
+			if removed == 0 {
+				d.noDeletes++
+			} else {
+				d.deletes += removed
+				d.edges -= int64(removed)
+			}
+		}
+		d.rows[op.Src] = r
+	}
+	d.lastSeq = b.Seq
+	d.batches++
+	return nil
+}
+
+// Touched returns the sorted source nodes whose adjacency rows the overlay
+// has modified — the seed set for incremental recomputation (pr-delta).
+func (d *Delta) Touched() []int32 {
+	out := make([]int32, 0, len(d.rows))
+	for n := range d.rows {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the out-degree of n in the overlaid graph.
+func (d *Delta) Degree(n int32) int32 {
+	if r, ok := d.rows[n]; ok {
+		return int32(len(r))
+	}
+	return d.base.Degree(n)
+}
+
+// Neighbors returns the destination list of n in the overlaid graph. The
+// slice is freshly allocated for touched rows and aliases the base
+// otherwise; treat it as read-only.
+func (d *Delta) Neighbors(n int32) []int32 {
+	r, ok := d.rows[n]
+	if !ok {
+		return d.base.Neighbors(n)
+	}
+	out := make([]int32, len(r))
+	for i, e := range r {
+		out[i] = e.dst
+	}
+	return out
+}
+
+// Compact folds the overlay into a fresh CSR: untouched rows copy from the
+// base, touched rows materialize their working lists. The result validates
+// before returning; the overlay itself is unchanged (the caller decides when
+// to retire it), so a failed downstream gate can keep both the old base and
+// the pending delta.
+func (d *Delta) Compact() (*CSR, error) {
+	n := d.base.NumNodes()
+	if d.edges >= 1<<31 {
+		return nil, corruptf("graph: overlaid edge count %d exceeds the 32-bit index limit", d.edges)
+	}
+	rowPtr := make([]int32, n+1)
+	for i := int32(0); i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + d.Degree(i)
+	}
+	m := rowPtr[n]
+	dst := make([]int32, m)
+	var w []int32
+	if d.base.Weighted() {
+		w = make([]int32, m)
+	}
+	for i := int32(0); i < n; i++ {
+		p := rowPtr[i]
+		if r, ok := d.rows[i]; ok {
+			for _, e := range r {
+				dst[p] = e.dst
+				if w != nil {
+					w[p] = e.w
+				}
+				p++
+			}
+			continue
+		}
+		lo, hi := d.base.RowPtr[i], d.base.RowPtr[i+1]
+		copy(dst[p:], d.base.EdgeDst[lo:hi])
+		if w != nil {
+			copy(w[p:], d.base.Weight[lo:hi])
+		}
+	}
+	g := &CSR{Name: d.base.Name, RowPtr: rowPtr, EdgeDst: dst, Weight: w}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: compacted delta: %w", err)
+	}
+	return g, nil
+}
+
+// Hash returns a structural FNV-1a fingerprint of a CSR — the bit-identity
+// witness of the crash-recovery tests and the /graphz endpoint. Two CSRs
+// hash equal iff RowPtr, EdgeDst, Weight and the weighted flag match
+// exactly.
+func Hash(g *CSR) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	word := func(v int32) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:])
+	}
+	word(g.NumNodes())
+	for _, v := range g.RowPtr {
+		word(v)
+	}
+	for _, v := range g.EdgeDst {
+		word(v)
+	}
+	if g.Weight != nil {
+		word(1)
+		for _, v := range g.Weight {
+			word(v)
+		}
+	}
+	return h.Sum64()
+}
+
+// --- mutation-stream text format ---
+//
+// One op per line, '#' comments and blank lines ignored:
+//
+//	+ src dst [w]    insert edge (weight defaults to 1)
+//	- src dst        delete all (src,dst) edges
+//
+// The format is shared by graphgen -mutations, egacs -mutations and the
+// chaos/bench harnesses, so every consumer replays the same stream.
+
+// WriteMutations writes ops in the text mutation-stream format.
+func WriteMutations(w io.Writer, ops []MutOp) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		if _, err := fmt.Fprintln(bw, op.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxMutationOps bounds a parsed mutation stream; a corrupt or adversarial
+// file cannot demand unbounded memory.
+const maxMutationOps = 1 << 26
+
+// ParseMutations reads a text mutation stream, validating every op against
+// an n-node graph. Malformed lines and out-of-range ops wrap
+// fault.ErrCorruptGraph.
+func ParseMutations(r io.Reader, n int32) ([]MutOp, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var ops []MutOp
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(ops) >= maxMutationOps {
+			return nil, corruptf("graph: mutation stream longer than %d ops", maxMutationOps)
+		}
+		fields := strings.Fields(line)
+		op := MutOp{W: 1}
+		switch fields[0] {
+		case "+":
+			op.Op = OpInsert
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, corruptf("graph: mutation line %d: want '+ src dst [w]', got %q", lineNo, line)
+			}
+		case "-":
+			op.Op = OpDelete
+			if len(fields) != 3 {
+				return nil, corruptf("graph: mutation line %d: want '- src dst', got %q", lineNo, line)
+			}
+		default:
+			return nil, corruptf("graph: mutation line %d: unknown op %q", lineNo, fields[0])
+		}
+		vals := make([]int32, 0, 3)
+		for _, f := range fields[1:] {
+			var v int64
+			if _, err := fmt.Sscanf(f, "%d", &v); err != nil || v < -(1<<31) || v >= 1<<31 {
+				return nil, corruptf("graph: mutation line %d: bad number %q", lineNo, f)
+			}
+			vals = append(vals, int32(v))
+		}
+		op.Src, op.Dst = vals[0], vals[1]
+		if len(vals) == 3 {
+			op.W = vals[2]
+		}
+		if err := ValidateMutOp(op, n); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: mutation stream: %w", err)
+	}
+	return ops, nil
+}

@@ -1,0 +1,303 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// deltaTestGraph is a small weighted graph shared by the delta tests.
+func deltaTestGraph(t *testing.T) *CSR {
+	t.Helper()
+	g, err := FromEdges(6, []Edge{
+		{0, 1, 5}, {0, 2, 7}, {1, 2, 1}, {2, 3, 2}, {3, 0, 9}, {4, 5, 4},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDeltaApplyCompact(t *testing.T) {
+	g := deltaTestGraph(t)
+	d := NewDelta(g, 0)
+	err := d.Apply(Batch{Seq: 1, Ops: []MutOp{
+		{Op: OpInsert, Src: 5, Dst: 0, W: 3},
+		{Op: OpDelete, Src: 0, Dst: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NumEdges(); got != 6 {
+		t.Fatalf("NumEdges = %d, want 6", got)
+	}
+	if got := d.Degree(0); got != 1 {
+		t.Fatalf("Degree(0) = %d, want 1", got)
+	}
+	if got := d.Neighbors(5); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Neighbors(5) = %v, want [0]", got)
+	}
+	// Untouched row reads through to the base.
+	if got := d.Neighbors(2); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Neighbors(2) = %v, want [3]", got)
+	}
+	touched := d.Touched()
+	if len(touched) != 2 || touched[0] != 0 || touched[1] != 5 {
+		t.Fatalf("Touched = %v, want [0 5]", touched)
+	}
+
+	c, err := d.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 6 || c.NumEdges() != 6 {
+		t.Fatalf("compacted %d nodes %d edges, want 6/6", c.NumNodes(), c.NumEdges())
+	}
+	if got := c.Neighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("compacted Neighbors(0) = %v, want [1]", got)
+	}
+	if w := c.EdgeWeight(c.RowPtr[5]); w != 3 {
+		t.Fatalf("inserted edge weight = %d, want 3", w)
+	}
+	// Compact leaves the overlay intact: a second call folds identically.
+	c2, err := d.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(c) != Hash(c2) {
+		t.Fatal("repeated Compact diverged")
+	}
+}
+
+func TestDeltaDeleteAllParallelEdges(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1, 1}, {0, 1, 2}, {0, 2, 3}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta(g, 0)
+	if err := d.Apply(Batch{Seq: 1, Ops: []MutOp{{Op: OpDelete, Src: 0, Dst: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Deletes() != 2 {
+		t.Fatalf("Deletes = %d, want 2 (both parallel edges)", d.Deletes())
+	}
+	if err := d.Apply(Batch{Seq: 2, Ops: []MutOp{{Op: OpDelete, Src: 0, Dst: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NoopDeletes() != 1 {
+		t.Fatalf("NoopDeletes = %d, want 1", d.NoopDeletes())
+	}
+}
+
+func TestDeltaRejectsBadBatches(t *testing.T) {
+	g := deltaTestGraph(t)
+	d := NewDelta(g, 5)
+	// Seq at or below the floor.
+	if err := d.Apply(Batch{Seq: 5}); !errors.Is(err, fault.ErrCorruptGraph) {
+		t.Fatalf("stale seq: err = %v, want ErrCorruptGraph", err)
+	}
+	// Validation failure applies nothing, even for the valid prefix.
+	err := d.Apply(Batch{Seq: 6, Ops: []MutOp{
+		{Op: OpInsert, Src: 0, Dst: 1, W: 1},
+		{Op: OpInsert, Src: 0, Dst: 99, W: 1},
+	}})
+	if !errors.Is(err, fault.ErrCorruptGraph) {
+		t.Fatalf("out-of-range op: err = %v, want ErrCorruptGraph", err)
+	}
+	if d.Pending() != 0 || d.LastSeq() != 5 {
+		t.Fatalf("failed batch mutated overlay: pending=%d lastSeq=%d", d.Pending(), d.LastSeq())
+	}
+	if err := d.Apply(Batch{Seq: 6, Ops: []MutOp{{Op: 7, Src: 0, Dst: 1}}}); !errors.Is(err, fault.ErrCorruptGraph) {
+		t.Fatalf("bad op code: err = %v, want ErrCorruptGraph", err)
+	}
+}
+
+func TestDeltaUnweightedForcesWeightOne(t *testing.T) {
+	g, err := FromEdges(2, []Edge{{0, 1, 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta(g, 0)
+	if err := d.Apply(Batch{Seq: 1, Ops: []MutOp{{Op: OpInsert, Src: 1, Dst: 0, W: 42}}}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Weighted() {
+		t.Fatal("compacting an unweighted base grew a weight channel")
+	}
+}
+
+// TestDeltaOrderIndependentOfCompaction pins the bit-identity property the
+// kill-anywhere harness relies on: folding after every batch, folding once
+// at the end, or any mix, yields the same final CSR.
+func TestDeltaOrderIndependentOfCompaction(t *testing.T) {
+	g := Random(64, 256, 8, 99)
+	ops, err := GenMutations(g, 7, MutGenOptions{Count: 200, DeleteFrac: 0.4, Skew: 0.5, MaxWeight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path A: apply everything, fold once.
+	a := NewDelta(g, 0)
+	for i, op := range ops {
+		if err := a.Apply(Batch{Seq: uint64(i + 1), Ops: []MutOp{op}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ga, err := a.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path B: fold every 37 ops onto a fresh overlay.
+	base := g
+	b := NewDelta(base, 0)
+	for i, op := range ops {
+		if err := b.Apply(Batch{Seq: b.LastSeq() + 1, Ops: []MutOp{op}}); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%37 == 0 {
+			base, err = b.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b = NewDelta(base, b.LastSeq())
+		}
+	}
+	gb, err := b.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(ga) != Hash(gb) {
+		t.Fatalf("compaction schedule changed the graph: %x vs %x", Hash(ga), Hash(gb))
+	}
+}
+
+func TestHashDiscriminates(t *testing.T) {
+	g := deltaTestGraph(t)
+	h := Hash(g)
+	g2 := deltaTestGraph(t)
+	if Hash(g2) != h {
+		t.Fatal("identical graphs hash differently")
+	}
+	g2.Weight[0]++
+	if Hash(g2) == h {
+		t.Fatal("weight change did not move the hash")
+	}
+	unw, _ := FromEdges(g.NumNodes(), nil, false)
+	if Hash(unw) == Hash(g) {
+		t.Fatal("degenerate collision")
+	}
+}
+
+func TestMutationTextRoundTrip(t *testing.T) {
+	ops := []MutOp{
+		{Op: OpInsert, Src: 0, Dst: 1, W: 5},
+		{Op: OpDelete, Src: 3, Dst: 0, W: 1},
+		{Op: OpInsert, Src: 2, Dst: 2, W: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteMutations(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMutations(bytes.NewReader(buf.Bytes()), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("round trip %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestParseMutationsRejects(t *testing.T) {
+	for _, tc := range []string{
+		"* 0 1",                    // unknown op
+		"+ 0",                      // missing dst
+		"+ 0 1 2 3 4",              // too many fields
+		"- 0 1 2",                  // delete with weight
+		"+ 0 99",                   // out of range
+		"+ zero 1",                 // not a number
+		"+ 0 99999999999999999999", // overflow
+	} {
+		if _, err := ParseMutations(strings.NewReader(tc), 6); !errors.Is(err, fault.ErrCorruptGraph) {
+			t.Errorf("%q: err = %v, want ErrCorruptGraph", tc, err)
+		}
+	}
+	// Comments and blanks pass.
+	ops, err := ParseMutations(strings.NewReader("# header\n\n+ 0 1\n"), 6)
+	if err != nil || len(ops) != 1 {
+		t.Fatalf("comment stream: ops=%v err=%v", ops, err)
+	}
+}
+
+func TestGenMutationsDeterministicAndApplicable(t *testing.T) {
+	g := Random(128, 512, 4, 11)
+	opts := MutGenOptions{Count: 500, DeleteFrac: 0.3, Skew: 0.6, MaxWeight: 4}
+	a, err := GenMutations(g, 42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenMutations(g, 42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != opts.Count || len(b) != opts.Count {
+		t.Fatalf("lengths %d/%d, want %d", len(a), len(b), opts.Count)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged under one seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := GenMutations(g, 43, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical stream")
+	}
+	// The whole stream must apply cleanly, and deletes mostly hit.
+	d := NewDelta(g, 0)
+	for i, op := range a {
+		if err := d.Apply(Batch{Seq: uint64(i + 1), Ops: []MutOp{op}}); err != nil {
+			t.Fatalf("op %d failed to apply: %v", i, err)
+		}
+	}
+	if d.Deletes() == 0 {
+		t.Fatal("no delete ever landed")
+	}
+	if d.NoopDeletes() > d.Deletes() {
+		t.Fatalf("generator wasteful: %d no-op deletes vs %d real", d.NoopDeletes(), d.Deletes())
+	}
+	if _, err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenMutationsRejectsBadOptions(t *testing.T) {
+	g := deltaTestGraph(t)
+	for _, opts := range []MutGenOptions{
+		{Count: -1},
+		{Count: 1, DeleteFrac: 1.5},
+		{Count: 1, Skew: 1},
+	} {
+		if _, err := GenMutations(g, 1, opts); err == nil {
+			t.Errorf("options %+v accepted", opts)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package graph
+
+import "fmt"
+
+// MutGenOptions configure the reproducible mutation-stream generator shared
+// by graphgen -mutations, the mutate benchmark and the chaos harnesses —
+// one generator, so every consumer replays the same stream for a given
+// (seed, options) pair.
+type MutGenOptions struct {
+	// Count is the number of ops to emit.
+	Count int
+	// DeleteFrac in [0,1] is the fraction of ops that delete. Deletes pick
+	// an existing edge of the (evolving) graph when one exists, so most are
+	// effective rather than no-ops.
+	DeleteFrac float64
+	// Skew in [0,1) biases source-node choice toward low node ids with a
+	// power-law-ish rejection scheme; 0 is uniform. Skewed streams model
+	// hot-vertex update patterns (the hard case for compaction: the same
+	// rows churn repeatedly).
+	Skew float64
+	// MaxWeight bounds inserted edge weights for weighted graphs (≥1;
+	// default 1).
+	MaxWeight int32
+}
+
+// GenMutations emits a deterministic mutation stream against g: the same
+// seed, options and graph always produce the same ops. The stream is
+// internally consistent — deletes target edges that exist at that point in
+// the stream (base edges or earlier inserts) when any are available.
+func GenMutations(g *CSR, seed uint64, opts MutGenOptions) ([]MutOp, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("graph: mutation generator needs a non-empty graph")
+	}
+	if opts.Count < 0 || opts.DeleteFrac < 0 || opts.DeleteFrac > 1 || opts.Skew < 0 || opts.Skew >= 1 {
+		return nil, fmt.Errorf("graph: bad mutation-generator options %+v", opts)
+	}
+	maxW := opts.MaxWeight
+	if maxW < 1 {
+		maxW = 1
+	}
+	// Track the evolving graph through a Delta so deletes can target live
+	// edges; the overlay is discarded, only the op list survives.
+	d := NewDelta(g, 0)
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	unit := func() float64 { return float64(next()>>11) / (1 << 53) }
+	pick := func() int32 {
+		v := int32(next() % uint64(n))
+		if opts.Skew <= 0 {
+			return v
+		}
+		// Rejection toward low ids: resample while a skew-weighted coin
+		// keeps firing, halving the expected id each acceptance round.
+		for tries := 0; tries < 8 && unit() < opts.Skew; tries++ {
+			w := int32(next() % uint64(n))
+			if w < v {
+				v = w
+			}
+		}
+		return v
+	}
+	ops := make([]MutOp, 0, opts.Count)
+	seq := uint64(0)
+	for len(ops) < opts.Count {
+		var op MutOp
+		if unit() < opts.DeleteFrac {
+			// Delete a live edge: sample sources until one has degree > 0.
+			src := int32(-1)
+			for tries := 0; tries < 32; tries++ {
+				c := pick()
+				if d.Degree(c) > 0 {
+					src = c
+					break
+				}
+			}
+			if src < 0 {
+				// Graph (locally) drained; fall through to an insert.
+				op = MutOp{Op: OpInsert, Src: pick(), Dst: pick(), W: 1 + int32(next()%uint64(maxW))}
+			} else {
+				nbrs := d.Neighbors(src)
+				op = MutOp{Op: OpDelete, Src: src, Dst: nbrs[int(next()%uint64(len(nbrs)))], W: 1}
+			}
+		} else {
+			op = MutOp{Op: OpInsert, Src: pick(), Dst: pick(), W: 1 + int32(next()%uint64(maxW))}
+		}
+		seq++
+		if err := d.Apply(Batch{Seq: seq, Ops: []MutOp{op}}); err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}

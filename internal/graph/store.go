@@ -1,0 +1,493 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// MutStore is the durable half of the mutation pipeline: a directory holding
+// one graph snapshot plus a sequence of WAL segments, with crash-consistent
+// append, recovery, and compaction.
+//
+// Directory layout:
+//
+//	snapshot.bin          EGSN header (epoch, folded seq) + CSR1 graph
+//	wal-<firstseq>.log    delta-log segments, named by their first batch seq
+//
+// Durability contract:
+//
+//   - Append encodes the batch, writes it to the active segment, and —
+//     subject to the group-commit policy — fsyncs before returning. A batch
+//     is "acked" only after Append returns nil; kill-anywhere recovery
+//     asserts every acked batch survives, and an unacked tail batch either
+//     survives whole or truncates away.
+//   - Compact writes the folded snapshot to a temp file, fsyncs it, renames
+//     it over snapshot.bin, fsyncs the directory, then starts a fresh
+//     segment and prunes segments entirely at or below the folded seq. A
+//     crash between any two of those steps recovers: the rename is the
+//     atomic commit point, and replay skips folded batches by sequence.
+//   - Open replays snapshot + segments. A torn tail on the FINAL segment is
+//     repaired by truncation; any corruption elsewhere is a typed error
+//     (*fault.WALError or fault.ErrCorruptGraph) — never a panic, never a
+//     silently divergent graph.
+type MutStore struct {
+	mu  sync.Mutex
+	dir string
+
+	delta *Delta
+	epoch uint64 // snapshot generation, bumped by every Compact
+
+	seg       *os.File // active WAL segment
+	segStart  uint64   // first batch seq the active segment may hold
+	segBytes  int64
+	walBytes  int64 // bytes across all live segments
+	unsynced  int   // appended-but-not-fsynced batches
+	fsyncEach int   // group-commit knob: fsync every N appends (≥1)
+
+	appends  int64
+	syncs    int64
+	replayed int // batches replayed by Open
+	truncs   int // torn tails repaired by Open
+}
+
+// Snapshot file header, preceding the embedded CSR1 payload:
+//
+//	magic  [4]byte "EGSN"
+//	crc    uint32  CRC32-Castagnoli of the following 16 header bytes
+//	epoch  uint64
+//	seq    uint64  last batch folded into the embedded graph
+var snapMagic = [4]byte{'E', 'G', 'S', 'N'}
+
+const snapName = "snapshot.bin"
+
+// walSegName names the segment whose first batch is seq.
+func walSegName(seq uint64) string {
+	return fmt.Sprintf("wal-%016x.log", seq)
+}
+
+// parseSegName extracts the first-seq from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// StoreOptions configure a MutStore.
+type StoreOptions struct {
+	// FsyncEvery is the group-commit interval: fsync after every Nth
+	// appended batch. 1 (the default) syncs every append — full durability;
+	// larger values trade the tail of unsynced batches for throughput.
+	FsyncEvery int
+}
+
+// CreateMutStore initialises dir (which must be empty or absent) with a
+// snapshot of g at epoch 1, seq 0, and an empty first segment.
+func CreateMutStore(dir string, g *CSR, opts StoreOptions) (*MutStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("graph: mutstore: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mutstore: %w", err)
+	}
+	if len(entries) != 0 {
+		return nil, fmt.Errorf("graph: mutstore: directory %s not empty", dir)
+	}
+	s := &MutStore{dir: dir, epoch: 1, fsyncEach: opts.FsyncEvery}
+	if s.fsyncEach < 1 {
+		s.fsyncEach = 1
+	}
+	if err := s.writeSnapshot(g, 1, 0); err != nil {
+		return nil, err
+	}
+	s.delta = NewDelta(g, 0)
+	if err := s.openSegment(1); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenMutStore recovers a store from dir: the snapshot is loaded, every
+// segment is replayed in order (skipping batches already folded into the
+// snapshot), a torn tail on the final segment is truncated away, and the
+// store resumes appending where the log left off.
+func OpenMutStore(dir string, opts StoreOptions) (*MutStore, error) {
+	s := &MutStore{dir: dir, fsyncEach: opts.FsyncEvery}
+	if s.fsyncEach < 1 {
+		s.fsyncEach = 1
+	}
+	g, epoch, snapSeq, err := readSnapshot(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, err
+	}
+	s.epoch = epoch
+	s.delta = NewDelta(g, snapSeq)
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, seg := range segs {
+		path := filepath.Join(dir, seg.name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("graph: mutstore: %w", err)
+		}
+		rep, err := ReplayDeltaLog(data, g.NumNodes(), snapSeq)
+		if err != nil {
+			return nil, fmt.Errorf("graph: mutstore: segment %s: %w", seg.name, err)
+		}
+		if rep.Truncated {
+			// A torn tail is only a crash signature on the newest segment;
+			// anywhere else the log lost synced data.
+			if i != len(segs)-1 {
+				return nil, &fault.WALError{
+					Record: len(rep.Offsets), Offset: rep.ValidBytes, Rule: "length",
+					Detail: fmt.Sprintf("torn record in non-final segment %s", seg.name),
+				}
+			}
+			if err := os.Truncate(path, rep.ValidBytes); err != nil {
+				return nil, fmt.Errorf("graph: mutstore: repairing %s: %w", seg.name, err)
+			}
+			s.truncs++
+		}
+		for _, b := range rep.Batches {
+			if err := s.delta.Apply(b); err != nil {
+				return nil, fmt.Errorf("graph: mutstore: segment %s: %w", seg.name, err)
+			}
+			s.replayed++
+		}
+		s.walBytes += rep.ValidBytes
+	}
+	// Resume the newest segment, or start a fresh one when none exist (e.g.
+	// a crash between snapshot rename and segment creation during Compact).
+	if len(segs) == 0 {
+		if err := s.openSegment(s.delta.LastSeq() + 1); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mutstore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("graph: mutstore: %w", err)
+	}
+	s.seg, s.segStart, s.segBytes = f, last.seq, st.Size()
+	return s, nil
+}
+
+type segInfo struct {
+	name string
+	seq  uint64
+}
+
+// listSegments returns dir's WAL segments sorted by first-seq.
+func listSegments(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mutstore: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		if seq, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segInfo{e.Name(), seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// writeSnapshot atomically persists (g, epoch, seq) as snapshot.bin: temp
+// file, fsync, rename, directory fsync. The rename is the commit point.
+func (s *MutStore) writeSnapshot(g *CSR, epoch, seq uint64) error {
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("graph: mutstore: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	hdr := make([]byte, 24)
+	copy(hdr, snapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], epoch)
+	binary.LittleEndian.PutUint64(hdr[16:], seq)
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(hdr[8:24], walCRC))
+	if _, err := tmp.Write(hdr); err != nil {
+		tmp.Close()
+		return fmt.Errorf("graph: mutstore: %w", err)
+	}
+	if err := WriteBinary(tmp, g); err != nil {
+		tmp.Close()
+		return fmt.Errorf("graph: mutstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("graph: mutstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("graph: mutstore: %w", err)
+	}
+	Crashpoint("snapshot-written")
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("graph: mutstore: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	Crashpoint("snapshot-renamed")
+	return nil
+}
+
+// readSnapshot loads snapshot.bin, returning the graph, epoch and folded seq.
+func readSnapshot(path string) (*CSR, uint64, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("graph: mutstore: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, 0, 0, corruptf("graph: mutstore: snapshot header: %v", err)
+	}
+	if [4]byte(hdr[:4]) != snapMagic {
+		return nil, 0, 0, corruptf("graph: mutstore: snapshot magic %q", hdr[:4])
+	}
+	if got := crc32.Checksum(hdr[8:24], walCRC); got != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, 0, 0, corruptf("graph: mutstore: snapshot header checksum mismatch")
+	}
+	epoch := binary.LittleEndian.Uint64(hdr[8:])
+	seq := binary.LittleEndian.Uint64(hdr[16:])
+	g, err := ReadBinary(f)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("graph: mutstore: snapshot graph: %w", err)
+	}
+	return g, epoch, seq, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("graph: mutstore: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("graph: mutstore: %w", err)
+	}
+	return nil
+}
+
+// openSegment starts a fresh segment whose first batch will be seq.
+func (s *MutStore) openSegment(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, walSegName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("graph: mutstore: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.seg, s.segStart, s.segBytes = f, seq, 0
+	return nil
+}
+
+// Append assigns the next batch sequence to ops, writes the record to the
+// active segment, applies it to the in-memory overlay, and — per the
+// group-commit policy — fsyncs. On nil return the batch is acked: it is
+// applied in memory and (when the policy synced) durable.
+func (s *MutStore) Append(ops []MutOp) (Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := Batch{Seq: s.delta.LastSeq() + 1, Ops: ops}
+	// Validate before touching the log so a bad batch leaves no trace.
+	for _, op := range ops {
+		if err := s.delta.ValidateOp(op); err != nil {
+			return Batch{}, err
+		}
+	}
+	rec := EncodeBatch(b)
+	Crashpoint("append-pre-write")
+	if _, err := s.seg.Write(rec); err != nil {
+		return Batch{}, fmt.Errorf("graph: mutstore: append: %w", err)
+	}
+	s.segBytes += int64(len(rec))
+	s.walBytes += int64(len(rec))
+	s.unsynced++
+	s.appends++
+	Crashpoint("append-pre-sync")
+	if s.unsynced >= s.fsyncEach {
+		if err := s.seg.Sync(); err != nil {
+			return Batch{}, fmt.Errorf("graph: mutstore: sync: %w", err)
+		}
+		s.unsynced = 0
+		s.syncs++
+	}
+	Crashpoint("append-post-sync")
+	if err := s.delta.Apply(b); err != nil {
+		// Unreachable when validation above passed; surface rather than hide.
+		return Batch{}, err
+	}
+	Crashpoint("applied")
+	return b, nil
+}
+
+// Sync forces any unsynced appends to disk (the group-commit flush).
+func (s *MutStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *MutStore) syncLocked() error {
+	if s.unsynced == 0 {
+		return nil
+	}
+	if err := s.seg.Sync(); err != nil {
+		return fmt.Errorf("graph: mutstore: sync: %w", err)
+	}
+	s.unsynced = 0
+	s.syncs++
+	return nil
+}
+
+// Compact folds the pending delta into a fresh CSR, runs the optional gate
+// against it, persists it as the new snapshot (next epoch), rotates to a
+// fresh segment, and prunes segments wholly covered by the snapshot.
+// Returns the folded graph and its epoch. On any error — including a gate
+// rejection — the store is unchanged: nothing is persisted, the delta stays
+// pending, and the old snapshot plus WAL still recover every acked batch.
+func (s *MutStore) Compact(gate func(*CSR) error) (*CSR, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.syncLocked(); err != nil {
+		return nil, 0, err
+	}
+	g, err := s.delta.Compact()
+	if err != nil {
+		return nil, 0, err
+	}
+	Crashpoint("compact-built")
+	if gate != nil {
+		if err := gate(g); err != nil {
+			return nil, 0, err
+		}
+	}
+	seq := s.delta.LastSeq()
+	if err := s.writeSnapshot(g, s.epoch+1, seq); err != nil {
+		return nil, 0, err
+	}
+	s.epoch++
+	Crashpoint("compact-persisted")
+	// Rotate: later appends land in a segment that starts past the snapshot.
+	old := s.seg
+	if err := s.openSegment(seq + 1); err != nil {
+		s.seg = old // keep appending to the old segment; recovery still works
+		return nil, 0, err
+	}
+	old.Close()
+	Crashpoint("rotate")
+	// Prune segments whose every batch is ≤ seq: a segment is prunable when
+	// the NEXT segment starts at or below seq+1 (so it holds nothing newer).
+	segs, err := listSegments(s.dir)
+	if err == nil {
+		for i := 0; i+1 < len(segs); i++ {
+			if segs[i+1].seq <= seq+1 {
+				os.Remove(filepath.Join(s.dir, segs[i].name))
+			}
+		}
+	}
+	s.recountWALBytes()
+	Crashpoint("pruned")
+	s.delta = NewDelta(g, seq)
+	return g, s.epoch, nil
+}
+
+// recountWALBytes refreshes walBytes from the live segment files.
+func (s *MutStore) recountWALBytes() {
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return
+	}
+	var total int64
+	for _, seg := range segs {
+		if st, err := os.Stat(filepath.Join(s.dir, seg.name)); err == nil {
+			total += st.Size()
+		}
+	}
+	s.walBytes = total
+}
+
+// Delta returns the live overlay. Callers must not mutate it concurrently
+// with Append/Compact; the serving layer reads it only under its own swap
+// lock.
+func (s *MutStore) Delta() *Delta { return s.delta }
+
+// Epoch returns the snapshot generation (1 for a virgin store).
+func (s *MutStore) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Stats is a telemetry snapshot of the store.
+type Stats struct {
+	Epoch      uint64
+	LastSeq    uint64
+	Pending    int   // applied-but-uncompacted batches
+	WALBytes   int64 // bytes across live segments
+	Appends    int64
+	Syncs      int64
+	Replayed   int // batches replayed by Open
+	Truncated  int // torn tails repaired by Open
+	SegmentSeq uint64
+}
+
+// Stats returns current counters.
+func (s *MutStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Epoch:      s.epoch,
+		LastSeq:    s.delta.LastSeq(),
+		Pending:    s.delta.Batches(),
+		WALBytes:   s.walBytes,
+		Appends:    s.appends,
+		Syncs:      s.syncs,
+		Replayed:   s.replayed,
+		Truncated:  s.truncs,
+		SegmentSeq: s.segStart,
+	}
+}
+
+// Close syncs and releases the active segment.
+func (s *MutStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	err := s.syncLocked()
+	if cerr := s.seg.Close(); err == nil {
+		err = cerr
+	}
+	s.seg = nil
+	return err
+}

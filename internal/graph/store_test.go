@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func storeBatches(t *testing.T, g *CSR, n int) [][]MutOp {
+	t.Helper()
+	ops, err := GenMutations(g, 3, MutGenOptions{Count: n * 4, DeleteFrac: 0.3, MaxWeight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]MutOp, n)
+	for i := range out {
+		out[i] = ops[i*4 : (i+1)*4]
+	}
+	return out
+}
+
+func TestMutStoreCreateAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	g := Random(64, 256, 8, 17)
+	s, err := CreateMutStore(filepath.Join(dir, "store"), g, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := storeBatches(t, g, 10)
+	for _, ops := range batches {
+		if _, err := s.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := s.Delta().Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Appends != 10 || st.LastSeq != 10 || st.Epoch != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: replay must reconstruct the identical overlay.
+	s2, err := OpenMutStore(filepath.Join(dir, "store"), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Stats().Replayed != 10 {
+		t.Fatalf("replayed %d, want 10", s2.Stats().Replayed)
+	}
+	got, err := s2.Delta().Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(got) != Hash(want) {
+		t.Fatal("reopened store diverged from the acked state")
+	}
+	// And it keeps accepting appends with continuous sequences.
+	b, err := s2.Append([]MutOp{{Op: OpInsert, Src: 0, Dst: 1, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 11 {
+		t.Fatalf("resumed seq %d, want 11", b.Seq)
+	}
+}
+
+func TestMutStoreCompactPersistsAndPrunes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	g := Random(64, 256, 8, 18)
+	s, err := CreateMutStore(dir, g, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := storeBatches(t, g, 8)
+	for _, ops := range batches[:5] {
+		if _, err := s.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	folded, epoch, err := s.Compact(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("epoch %d, want 2", epoch)
+	}
+	if s.Delta().Base() != folded || s.Delta().Pending() != 0 {
+		t.Fatal("compaction did not reset the overlay")
+	}
+	// The old segment (fully covered) must be pruned, a fresh one active.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].seq != 6 {
+		t.Fatalf("segments after compact: %+v, want one starting at 6", segs)
+	}
+	for _, ops := range batches[5:] {
+		if _, err := s.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := s.Delta().Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenMutStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Epoch != 2 || st.LastSeq != 8 || st.Replayed != 3 {
+		t.Fatalf("recovered stats %+v", st)
+	}
+	got, err := s2.Delta().Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(got) != Hash(want) {
+		t.Fatal("post-compaction recovery diverged")
+	}
+}
+
+func TestMutStoreGateRejectionRollsBack(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	g := Random(32, 128, 4, 31)
+	s, err := CreateMutStore(dir, g, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ops := range storeBatches(t, g, 4) {
+		if _, err := s.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gateErr := errors.New("rejected by gate")
+	if _, _, err := s.Compact(func(*CSR) error { return gateErr }); !errors.Is(err, gateErr) {
+		t.Fatalf("gate error not surfaced: %v", err)
+	}
+	// Nothing persisted, delta still pending, epoch unchanged.
+	st := s.Stats()
+	if st.Epoch != 1 || st.Pending != 4 || st.LastSeq != 4 {
+		t.Fatalf("gate rejection mutated the store: %+v", st)
+	}
+	want, err := s.Delta().Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := OpenMutStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Delta().Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(got) != Hash(want) {
+		t.Fatal("WAL lost batches across a rejected compaction")
+	}
+	// A later compaction with a passing gate proceeds normally.
+	if _, epoch, err := s2.Compact(nil); err != nil || epoch != 2 {
+		t.Fatalf("recovering compaction: epoch=%d err=%v", epoch, err)
+	}
+}
+
+func TestMutStoreGroupCommit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	g := Random(32, 128, 4, 19)
+	s, err := CreateMutStore(dir, g, StoreOptions{FsyncEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, ops := range storeBatches(t, g, 8) {
+		if _, err := s.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Syncs != 2 {
+		t.Fatalf("syncs = %d under FsyncEvery=4 with 8 appends, want 2", st.Syncs)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutStoreTornTailRepairedOnOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	g := Random(32, 128, 4, 20)
+	s, err := CreateMutStore(dir, g, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := storeBatches(t, g, 6)
+	for _, ops := range batches {
+		if _, err := s.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Tear the final record: a crash mid-append.
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[len(segs)-1].name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenMutStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("torn tail must repair, got %v", err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Truncated != 1 || st.Replayed != 5 || st.LastSeq != 5 {
+		t.Fatalf("repair stats %+v", st)
+	}
+	// The file itself was truncated back to the intact prefix.
+	fixed, _ := os.ReadFile(path)
+	if rep, err := ReplayDeltaLog(fixed, g.NumNodes(), 0); err != nil || rep.Truncated {
+		t.Fatalf("repaired segment still dirty: err=%v", err)
+	}
+	// The unacked batch is gone; the next append reuses its sequence.
+	b, err := s2.Append(batches[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 6 {
+		t.Fatalf("post-repair seq %d, want 6", b.Seq)
+	}
+}
+
+func TestMutStoreMidLogCorruptionTyped(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	g := Random(32, 128, 4, 22)
+	s, err := CreateMutStore(dir, g, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ops := range storeBatches(t, g, 6) {
+		if _, err := s.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[0].name)
+	data, _ := os.ReadFile(path)
+	data[len(data)/3] ^= 0x40 // damage a non-final record
+	os.WriteFile(path, data, 0o644)
+	if _, err := OpenMutStore(dir, StoreOptions{}); !errors.Is(err, fault.ErrWALCorrupt) {
+		t.Fatalf("mid-log damage: err = %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestMutStoreSnapshotCorruptionTyped(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	g := Random(16, 64, 1, 23)
+	s, err := CreateMutStore(dir, g, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, snapName)
+	data, _ := os.ReadFile(path)
+	data[9] ^= 1 // damage the epoch under the header checksum
+	os.WriteFile(path, data, 0o644)
+	if _, err := OpenMutStore(dir, StoreOptions{}); !errors.Is(err, fault.ErrCorruptGraph) {
+		t.Fatalf("snapshot damage: err = %v, want ErrCorruptGraph", err)
+	}
+}
+
+func TestMutStoreRejectsNonEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "junk"), []byte("x"), 0o644)
+	if _, err := CreateMutStore(dir, Random(8, 16, 1, 1), StoreOptions{}); err == nil {
+		t.Fatal("CreateMutStore over a non-empty directory succeeded")
+	}
+}
+
+func TestMutStoreRejectsBadBatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	g := Random(8, 16, 1, 2)
+	s, err := CreateMutStore(dir, g, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append([]MutOp{{Op: OpInsert, Src: 0, Dst: 99, W: 1}}); !errors.Is(err, fault.ErrCorruptGraph) {
+		t.Fatalf("bad batch: err = %v", err)
+	}
+	if st := s.Stats(); st.Appends != 0 || st.WALBytes != 0 {
+		t.Fatalf("rejected batch left a trace: %+v", st)
+	}
+	if b, err := s.Append([]MutOp{{Op: OpInsert, Src: 0, Dst: 1, W: 1}}); err != nil || b.Seq != 1 {
+		t.Fatalf("append after rejection: b=%+v err=%v", b, err)
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// FuzzDeltaLog asserts the replay contract over arbitrary bytes: every
+// input either replays into batches that Apply cleanly to a delta (possibly
+// with a repaired torn tail and deduplicated records), or fails with a
+// typed error wrapping fault.ErrWALCorrupt — never a panic, never a batch
+// that violates the overlay's own validation.
+func FuzzDeltaLog(f *testing.F) {
+	const fuzzNodes = 64
+	seedBatches := []Batch{
+		{Seq: 1, Ops: []MutOp{{Op: OpInsert, Src: 0, Dst: 1, W: 5}, {Op: OpInsert, Src: 1, Dst: 2, W: 1}}},
+		{Seq: 2, Ops: []MutOp{{Op: OpDelete, Src: 0, Dst: 1, W: 1}}},
+		{Seq: 3, Ops: []MutOp{{Op: OpInsert, Src: 63, Dst: 0, W: 9}}},
+	}
+	clean := func() []byte {
+		var out []byte
+		for _, b := range seedBatches {
+			out = append(out, EncodeBatch(b)...)
+		}
+		return out
+	}
+	// A clean log, and the three corruption classes the satellite names.
+	f.Add(clean())
+	f.Add(clean()[:len(clean())-7]) // torn tail
+	flipped := clean()
+	flipped[len(flipped)/2] ^= 0x20 // CRC mismatch mid-log
+	f.Add(flipped)
+	dup := clean()
+	dup = append(dup, EncodeBatch(seedBatches[2])...) // duplicate batch
+	f.Add(dup)
+	// Adversarial headers: absurd length, zero bytes, header-only.
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Add(make([]byte, walHeaderBytes))
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := ReplayDeltaLog(data, fuzzNodes, 0)
+		if err != nil {
+			if !errors.Is(err, fault.ErrWALCorrupt) {
+				t.Fatalf("untyped replay error: %v", err)
+			}
+			var werr *fault.WALError
+			if !errors.As(err, &werr) || werr.Rule == "" {
+				t.Fatalf("replay error without rule detail: %v", err)
+			}
+			return
+		}
+		if rep.ValidBytes > int64(len(data)) || (rep.Truncated && rep.ValidBytes == int64(len(data))) {
+			t.Fatalf("inconsistent truncation report: %+v over %d bytes", rep, len(data))
+		}
+		// Accepted batches must apply cleanly, in order, against a fresh
+		// overlay — replay never hands back garbage.
+		d := NewDelta(Random(fuzzNodes, 128, 8, 1), 0)
+		for i, b := range rep.Batches {
+			if err := d.Apply(b); err != nil {
+				t.Fatalf("accepted batch %d does not apply: %v", i, err)
+			}
+		}
+		if _, err := d.Compact(); err != nil {
+			t.Fatalf("replayed overlay does not compact: %v", err)
+		}
+		// Replaying the valid prefix again is idempotent.
+		rep2, err := ReplayDeltaLog(data[:rep.ValidBytes], fuzzNodes, 0)
+		if err != nil || rep2.Truncated || len(rep2.Batches) != len(rep.Batches) {
+			t.Fatalf("valid prefix unstable: err=%v rep2=%+v", err, rep2)
+		}
+	})
+}

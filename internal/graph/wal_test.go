@@ -1,0 +1,308 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func walTestBatches(t *testing.T, g *CSR, nOps int) []Batch {
+	t.Helper()
+	ops, err := GenMutations(g, 13, MutGenOptions{Count: nOps, DeleteFrac: 0.3, MaxWeight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches []Batch
+	for i := 0; i < len(ops); i += 3 {
+		end := i + 3
+		if end > len(ops) {
+			end = len(ops)
+		}
+		batches = append(batches, Batch{Seq: uint64(len(batches) + 1), Ops: ops[i:end]})
+	}
+	return batches
+}
+
+func encodeLog(batches []Batch) []byte {
+	var buf bytes.Buffer
+	for _, b := range batches {
+		buf.Write(EncodeBatch(b))
+	}
+	return buf.Bytes()
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	g := Random(64, 256, 8, 5)
+	batches := walTestBatches(t, g, 60)
+	data := encodeLog(batches)
+	rep, err := ReplayDeltaLog(data, g.NumNodes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated || rep.Duplicates != 0 || rep.Skipped != 0 {
+		t.Fatalf("clean log replayed dirty: %+v", rep)
+	}
+	if len(rep.Batches) != len(batches) {
+		t.Fatalf("replayed %d batches, want %d", len(rep.Batches), len(batches))
+	}
+	if len(rep.Offsets) != len(batches) {
+		t.Fatalf("%d offsets, want %d", len(rep.Offsets), len(batches))
+	}
+	for i, b := range rep.Batches {
+		if b.Seq != batches[i].Seq || len(b.Ops) != len(batches[i].Ops) {
+			t.Fatalf("batch %d mismatch", i)
+		}
+		for j := range b.Ops {
+			if b.Ops[j] != batches[i].Ops[j] {
+				t.Fatalf("batch %d op %d: %+v != %+v", i, j, b.Ops[j], batches[i].Ops[j])
+			}
+		}
+	}
+	// Replay with a floor skips folded batches.
+	rep2, err := ReplayDeltaLog(data, g.NumNodes(), batches[4].Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Skipped != 5 || len(rep2.Batches) != len(batches)-5 {
+		t.Fatalf("floor replay: skipped=%d got=%d", rep2.Skipped, len(rep2.Batches))
+	}
+	if rep2.Batches[0].Seq != batches[5].Seq {
+		t.Fatalf("floor replay starts at seq %d", rep2.Batches[0].Seq)
+	}
+}
+
+// TestWALTruncationSweep is the in-process kill-anywhere core: every byte
+// prefix of a valid log must replay to a clean prefix of the batch stream —
+// never an error, never a partial batch.
+func TestWALTruncationSweep(t *testing.T) {
+	g := Random(32, 128, 4, 8)
+	batches := walTestBatches(t, g, 30)
+	data := encodeLog(batches)
+	ends := make(map[int]int) // record end offset → batches complete there
+	off := 0
+	for i, b := range batches {
+		off += len(EncodeBatch(b))
+		ends[off] = i + 1
+	}
+	ends[0] = 0 // the empty log is a clean zero-batch boundary
+	for cut := 0; cut <= len(data); cut++ {
+		rep, err := ReplayDeltaLog(data[:cut], g.NumNodes(), 0)
+		if err != nil {
+			t.Fatalf("cut %d: replay error %v (a torn tail must repair, not fail)", cut, err)
+		}
+		want, atBoundary := ends[cut]
+		if !atBoundary {
+			// Mid-record cut: the complete batches before the last boundary.
+			want = 0
+			for end, n := range ends {
+				if end <= cut && n > want {
+					want = n
+				}
+			}
+			if !rep.Truncated {
+				t.Fatalf("cut %d mid-record not reported truncated", cut)
+			}
+		} else if cut > 0 && rep.Truncated {
+			t.Fatalf("cut %d at record boundary reported truncated", cut)
+		}
+		if len(rep.Batches) != want {
+			t.Fatalf("cut %d: %d batches, want %d", cut, len(rep.Batches), want)
+		}
+		if rep.Truncated {
+			// The reported valid prefix must itself replay identically.
+			rep2, err := ReplayDeltaLog(data[:rep.ValidBytes], g.NumNodes(), 0)
+			if err != nil || rep2.Truncated || len(rep2.Batches) != want {
+				t.Fatalf("cut %d: repaired prefix not clean: err=%v trunc=%v n=%d",
+					cut, err, rep2 != nil && rep2.Truncated, len(rep2.Batches))
+			}
+		}
+	}
+}
+
+func TestWALMidLogCorruptionTyped(t *testing.T) {
+	g := Random(32, 128, 4, 9)
+	batches := walTestBatches(t, g, 30)
+	data := encodeLog(batches)
+
+	// Flip one payload byte of a middle record → typed crc error.
+	rep, err := ReplayDeltaLog(data, g.NumNodes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := rep.Offsets[len(rep.Offsets)/2]
+	corrupt := append([]byte(nil), data...)
+	corrupt[mid+walHeaderBytes+2] ^= 0x10
+	_, err = ReplayDeltaLog(corrupt, g.NumNodes(), 0)
+	var werr *fault.WALError
+	if !errors.As(err, &werr) || werr.Rule != "crc" {
+		t.Fatalf("mid-log flip: err = %v, want WALError{crc}", err)
+	}
+	if !errors.Is(err, fault.ErrWALCorrupt) {
+		t.Fatalf("WALError does not unwrap to ErrWALCorrupt: %v", err)
+	}
+
+	// Same flip on the FINAL record → indistinguishable from a torn write,
+	// repaired by truncation.
+	last := rep.Offsets[len(rep.Offsets)-1]
+	corrupt = append([]byte(nil), data...)
+	corrupt[last+walHeaderBytes+2] ^= 0x10
+	rep2, err := ReplayDeltaLog(corrupt, g.NumNodes(), 0)
+	if err != nil {
+		t.Fatalf("final-record flip: err = %v, want truncation repair", err)
+	}
+	if !rep2.Truncated || int(rep2.ValidBytes) != last || len(rep2.Batches) != len(batches)-1 {
+		t.Fatalf("final-record flip: trunc=%v valid=%d n=%d", rep2.Truncated, rep2.ValidBytes, len(rep2.Batches))
+	}
+
+	// Seq gap mid-log → typed seq-gap error.
+	gap := encodeLog([]Batch{batches[0], batches[2]})
+	_, err = ReplayDeltaLog(gap, g.NumNodes(), 0)
+	if !errors.As(err, &werr) || werr.Rule != "seq-gap" {
+		t.Fatalf("seq gap: err = %v, want WALError{seq-gap}", err)
+	}
+
+	// Out-of-range node in a correctly-checksummed record → range error.
+	bad := encodeLog([]Batch{{Seq: 1, Ops: []MutOp{{Op: OpInsert, Src: 0, Dst: 999, W: 1}}}})
+	_, err = ReplayDeltaLog(append(bad, encodeLog([]Batch{{Seq: 2}})...), g.NumNodes(), 0)
+	if !errors.As(err, &werr) || werr.Rule != "range" {
+		t.Fatalf("bad node: err = %v, want WALError{range}", err)
+	}
+
+	// Bad op code → op error.
+	bad = encodeLog([]Batch{{Seq: 1, Ops: []MutOp{{Op: 9, Src: 0, Dst: 1, W: 1}}}})
+	_, err = ReplayDeltaLog(append(bad, encodeLog([]Batch{{Seq: 2}})...), g.NumNodes(), 0)
+	if !errors.As(err, &werr) || werr.Rule != "op" {
+		t.Fatalf("bad op: err = %v, want WALError{op}", err)
+	}
+}
+
+func TestWALDuplicateBatchesApplyOnce(t *testing.T) {
+	g := Random(32, 128, 4, 10)
+	batches := walTestBatches(t, g, 30) // 10 batches of 3 ops
+	var buf bytes.Buffer
+	for i, b := range batches {
+		buf.Write(EncodeBatch(b))
+		if i == 2 || i == 7 {
+			buf.Write(EncodeBatch(b)) // duplicated append (replayed write)
+		}
+	}
+	rep, err := ReplayDeltaLog(buf.Bytes(), g.NumNodes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicates != 2 {
+		t.Fatalf("Duplicates = %d, want 2", rep.Duplicates)
+	}
+	if len(rep.Batches) != len(batches) {
+		t.Fatalf("%d batches after dedup, want %d", len(rep.Batches), len(batches))
+	}
+	for i, b := range rep.Batches {
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("batch %d has seq %d", i, b.Seq)
+		}
+	}
+}
+
+// TestWALInjectedCorruptionClasses drives the fault injector's WAL classes
+// end to end: each class must resolve to either a typed error or a clean
+// truncation repair with duplicates applied once — never a panic, never
+// silent divergence from the acked prefix.
+func TestWALInjectedCorruptionClasses(t *testing.T) {
+	g := Random(64, 256, 8, 21)
+	batches := walTestBatches(t, g, 45)
+	data := encodeLog(batches)
+	base, err := ReplayDeltaLog(data, g.NumNodes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final graph per intact batch prefix, for divergence checks.
+	prefixHash := make([]uint64, len(batches)+1)
+	d := NewDelta(g, 0)
+	cg, _ := d.Compact()
+	prefixHash[0] = Hash(cg)
+	for i, b := range batches {
+		if err := d.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		cg, err := d.Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefixHash[i+1] = Hash(cg)
+	}
+	classes := []struct {
+		name string
+		cfg  fault.Config
+	}{
+		{fault.WALTornRecord, fault.Config{WALTear: 1}},
+		{fault.WALBitFlip, fault.Config{WALFlip: 1}},
+		{fault.WALTruncTail, fault.Config{WALTrunc: 1}},
+		{fault.WALDupBatch, fault.Config{WALDup: 1}},
+	}
+	for _, tc := range classes {
+		for seed := uint64(0); seed < 40; seed++ {
+			in := fault.NewInjector(seed, tc.cfg)
+			corrupt, kind := in.CorruptWAL(data, base.Offsets)
+			if kind == "" {
+				continue
+			}
+			if kind != tc.name {
+				t.Fatalf("class %s fired as %s", tc.name, kind)
+			}
+			rep, err := ReplayDeltaLog(corrupt, g.NumNodes(), 0)
+			if err != nil {
+				if !errors.Is(err, fault.ErrWALCorrupt) {
+					t.Fatalf("%s seed %d: untyped error %v", tc.name, seed, err)
+				}
+				continue // typed rejection is a valid outcome for flips
+			}
+			switch tc.name {
+			case fault.WALDupBatch:
+				if rep.Duplicates != 1 || len(rep.Batches) != len(batches) {
+					t.Fatalf("%s seed %d: dup=%d n=%d", tc.name, seed, rep.Duplicates, len(rep.Batches))
+				}
+			case fault.WALTornRecord, fault.WALTruncTail:
+				if !rep.Truncated {
+					t.Fatalf("%s seed %d: tail loss not reported", tc.name, seed)
+				}
+			}
+			// Whatever survived must fold to a graph equal to SOME intact
+			// batch prefix — the no-silent-divergence contract.
+			rd := NewDelta(g, 0)
+			for _, b := range rep.Batches {
+				if err := rd.Apply(b); err != nil {
+					t.Fatalf("%s seed %d: surviving batch failed: %v", tc.name, seed, err)
+				}
+			}
+			rg, err := rd.Compact()
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+			}
+			if got := Hash(rg); got != prefixHash[len(rep.Batches)] {
+				t.Fatalf("%s seed %d: silent divergence at prefix %d", tc.name, seed, len(rep.Batches))
+			}
+		}
+	}
+}
+
+func TestWALOversizeLengthRejected(t *testing.T) {
+	g := Random(8, 16, 1, 3)
+	// A bounded-but-wrong length mid-log is typed corruption.
+	rec := EncodeBatch(Batch{Seq: 1, Ops: []MutOp{{Op: OpInsert, Src: 0, Dst: 1, W: 1}}})
+	bad := append([]byte(nil), rec...)
+	bad[0] = byte(walPayloadHeader - 4) // claims less than the fixed prefix
+	bad = append(bad, rec...)
+	var werr *fault.WALError
+	if _, err := ReplayDeltaLog(bad, g.NumNodes(), 0); !errors.As(err, &werr) || werr.Rule != "length" {
+		t.Fatalf("undersize length: err = %v, want WALError{length}", err)
+	}
+	// A length past EOF is a torn tail.
+	huge := append([]byte(nil), rec...)
+	huge[1] = 0x7f
+	rep, err := ReplayDeltaLog(huge, g.NumNodes(), 0)
+	if err != nil || !rep.Truncated || len(rep.Batches) != 0 {
+		t.Fatalf("past-EOF length: rep=%+v err=%v, want truncation", rep, err)
+	}
+}

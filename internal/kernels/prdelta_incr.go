@@ -1,0 +1,130 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Incremental pr-delta: residual PageRank over a mutating graph. The push
+// phase maintains, at every point of its execution, the static identity
+//
+//	resid[v] = 1/n + d·Σ_{u→v} rank[u]/deg(u) − rank[v]
+//
+// over the current graph. When an edge mutation changes node u's adjacency
+// row, only u's terms of that sum move, so the identity is restored for the
+// new graph by adjusting the residuals of u's old and new neighbors with
+// ±d·rank[u]/deg — no global recompute — and re-running the push loop from
+// the nodes whose residual magnitude crossed the threshold. Deletions drive
+// residuals negative; the loop folds signed residuals symmetrically, so rank
+// mass drains from subgraphs that lost edges just as it grows where edges
+// arrived.
+//
+// This is the serial reference-grade implementation: the serving layer runs
+// it at compaction gates as a sentinel (differential witness that the folded
+// CSR is the graph the mutation stream describes), and the differential
+// tests pin it against a from-scratch RefPRDelta on the mutated graph.
+type PRDeltaState struct {
+	Rank  []float32
+	Resid []float32
+}
+
+// NewPRDeltaState converges residual PageRank on g from scratch, retaining
+// the sub-threshold residuals that later incremental updates correct.
+func NewPRDeltaState(g *graph.CSR) *PRDeltaState {
+	n := int(g.NumNodes())
+	s := &PRDeltaState{Rank: make([]float32, n), Resid: make([]float32, n)}
+	inv := float32(1) / float32(n)
+	seeds := make([]int32, n)
+	for i := 0; i < n; i++ {
+		s.Resid[i] = inv
+		seeds[i] = int32(i)
+	}
+	s.push(g, seeds)
+	return s
+}
+
+// push runs the signed-residual push loop from the given seed nodes until
+// every residual magnitude is below the pr-delta threshold.
+func (s *PRDeltaState) push(g *graph.CSR, seeds []int32) {
+	eps := float32(prDeltaEpsMil) / 1e6
+	n := len(s.Rank)
+	active := make([]bool, n)
+	var queue []int32
+	for _, u := range seeds {
+		r := s.Resid[u]
+		if (r >= eps || r <= -eps) && !active[u] {
+			active[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if !active[u] {
+			continue
+		}
+		active[u] = false
+		r := s.Resid[u]
+		s.Resid[u] = 0
+		s.Rank[u] += r
+		deg := g.Degree(u)
+		if deg == 0 {
+			continue
+		}
+		share := PRDamping * r / float32(deg)
+		for _, v := range g.Neighbors(u) {
+			s.Resid[v] += share
+			rv := s.Resid[v]
+			if (rv >= eps || rv <= -eps) && !active[v] {
+				active[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// Update moves the state from oldG to newG, where touched lists the nodes
+// whose adjacency rows differ (graph.Delta.Touched()). Both graphs must
+// share the node set. Cost is proportional to the touched rows plus the
+// re-converged region, not the graph.
+func (s *PRDeltaState) Update(oldG, newG *graph.CSR, touched []int32) error {
+	if oldG.NumNodes() != newG.NumNodes() || int(oldG.NumNodes()) != len(s.Rank) {
+		return fmt.Errorf("pr-delta incremental: node sets differ (%d vs %d vs state %d)",
+			oldG.NumNodes(), newG.NumNodes(), len(s.Rank))
+	}
+	seeds := make([]int32, 0, 4*len(touched))
+	for _, u := range touched {
+		if u < 0 || u >= oldG.NumNodes() {
+			return fmt.Errorf("pr-delta incremental: touched node %d out of range", u)
+		}
+		if s.Rank[u] != 0 {
+			if dg := oldG.Degree(u); dg > 0 {
+				share := PRDamping * s.Rank[u] / float32(dg)
+				for _, v := range oldG.Neighbors(u) {
+					s.Resid[v] -= share
+					seeds = append(seeds, v)
+				}
+			}
+			if dg := newG.Degree(u); dg > 0 {
+				share := PRDamping * s.Rank[u] / float32(dg)
+				for _, v := range newG.Neighbors(u) {
+					s.Resid[v] += share
+					seeds = append(seeds, v)
+				}
+			}
+		}
+		seeds = append(seeds, u)
+	}
+	s.push(newG, seeds)
+	return nil
+}
+
+// Clone deep-copies the state, so a compaction gate can trial an update and
+// discard it on failure.
+func (s *PRDeltaState) Clone() *PRDeltaState {
+	return &PRDeltaState{
+		Rank:  append([]float32(nil), s.Rank...),
+		Resid: append([]float32(nil), s.Resid...),
+	}
+}

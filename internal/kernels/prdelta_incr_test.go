@@ -1,0 +1,125 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// incrTolerance mirrors the pr-delta Verify bound: threshold truncation
+// leaves up to ~eps/(1-d) abandoned mass per node, compounded slightly by
+// repeated incremental rounds.
+func incrClose(got, want float32) bool {
+	return math.Abs(float64(got-want)) <= 2.5e-3+3e-2*float64(want)
+}
+
+// TestIncrementalPRDeltaDifferential drives a mutation stream through
+// per-batch incremental updates and checks the final ranks against a
+// from-scratch recompute on the final graph — the differential the serve
+// compaction gate reuses as its sentinel.
+func TestIncrementalPRDeltaDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.CSR
+		del  float64
+	}{
+		{"random-insert-heavy", graph.Random(256, 1024, 4, 5), 0.2},
+		{"random-delete-heavy", graph.Random(256, 2048, 4, 6), 0.7},
+		{"road-ish", graph.Road(16, 16, 4, 7), 0.4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			st := NewPRDeltaState(g)
+			ops, err := graph.GenMutations(g, 77, graph.MutGenOptions{
+				Count: 300, DeleteFrac: tc.del, Skew: 0.4, MaxWeight: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := g
+			const batch = 50
+			for i := 0; i < len(ops); i += batch {
+				d := graph.NewDelta(cur, 0)
+				end := i + batch
+				if end > len(ops) {
+					end = len(ops)
+				}
+				if err := d.Apply(graph.Batch{Seq: 1, Ops: ops[i:end]}); err != nil {
+					t.Fatal(err)
+				}
+				next, err := d.Compact()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Update(cur, next, d.Touched()); err != nil {
+					t.Fatal(err)
+				}
+				cur = next
+			}
+			want := RefPRDelta(cur)
+			bad := 0
+			for i := range want {
+				if !incrClose(st.Rank[i], want[i]) {
+					bad++
+					if bad < 4 {
+						t.Errorf("node %d: incremental rank %g, full recompute %g", i, st.Rank[i], want[i])
+					}
+				}
+			}
+			if bad > 0 {
+				t.Fatalf("%d/%d nodes diverged", bad, len(want))
+			}
+		})
+	}
+}
+
+// TestIncrementalPRDeltaMatchesFreshState: updating through mutations must
+// agree with building the state directly on the final graph.
+func TestIncrementalPRDeltaMatchesFreshState(t *testing.T) {
+	g := graph.Random(128, 512, 1, 9)
+	st := NewPRDeltaState(g)
+	d := graph.NewDelta(g, 0)
+	ops, err := graph.GenMutations(g, 5, graph.MutGenOptions{Count: 100, DeleteFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(graph.Batch{Seq: 1, Ops: ops}); err != nil {
+		t.Fatal(err)
+	}
+	next, err := d.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Update(g, next, d.Touched()); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewPRDeltaState(next)
+	for i := range fresh.Rank {
+		if !incrClose(st.Rank[i], fresh.Rank[i]) {
+			t.Fatalf("node %d: updated %g vs fresh %g", i, st.Rank[i], fresh.Rank[i])
+		}
+	}
+}
+
+func TestIncrementalPRDeltaRejectsMismatch(t *testing.T) {
+	a := graph.Random(16, 32, 1, 1)
+	b := graph.Random(32, 64, 1, 1)
+	st := NewPRDeltaState(a)
+	if err := st.Update(a, b, nil); err == nil {
+		t.Fatal("node-set mismatch accepted")
+	}
+	if err := st.Update(a, a, []int32{99}); err == nil {
+		t.Fatal("out-of-range touched node accepted")
+	}
+}
+
+func TestPRDeltaStateClone(t *testing.T) {
+	g := graph.Random(32, 64, 1, 2)
+	st := NewPRDeltaState(g)
+	c := st.Clone()
+	c.Rank[0] += 1
+	if st.Rank[0] == c.Rank[0] {
+		t.Fatal("Clone shares storage")
+	}
+}

@@ -7,9 +7,11 @@ import (
 
 // BenchSchemaVersion is the current BENCH_*.json schema version. Version 2
 // added the per-row cycle_attribution map (per-cost-class modeled-cycle
-// totals that must re-fold to modeled_cycles bit-exactly). Reports written
-// before versioning carry no schema_version field and validate as legacy.
-const BenchSchemaVersion = 2
+// totals that must re-fold to modeled_cycles bit-exactly). Version 3 added
+// the optional top-level mutation section (streaming-mutation serving
+// latency and update throughput). Reports written before versioning carry no
+// schema_version field and validate as legacy.
+const BenchSchemaVersion = 3
 
 // ValidateBenchReport structurally validates a BENCH_*.json host-execution
 // report (the schema written by the repo's `make bench` harness; see
@@ -26,7 +28,12 @@ const BenchSchemaVersion = 2
 // carry a cycle_attribution map on every row whose keys parse as cost
 // classes and whose canonical class-order re-fold reproduces modeled_cycles
 // bit-exactly (no epsilon: both sides are folds of the same buckets and
-// encoding/json round-trips float64 exactly).
+// encoding/json round-trips float64 exactly). Version 3 reports may carry a
+// top-level mutation section (the streaming-mutation serving experiment);
+// when present it must be internally consistent — positive latencies, p99 at
+// or above p50 on both arms, a p99 ratio that matches the two arms' tails,
+// and positive throughput — and a report older than version 3 must not carry
+// one at all.
 func ValidateBenchReport(raw []byte) error {
 	var rep struct {
 		SchemaVersion  int     `json:"schema_version"`
@@ -53,6 +60,17 @@ func ValidateBenchReport(raw []byte) error {
 
 			CycleAttribution map[string]float64 `json:"cycle_attribution"`
 		} `json:"kernels"`
+		Mutation *struct {
+			Graph           string  `json:"graph"`
+			StaticP50MS     float64 `json:"static_p50_ms"`
+			StaticP99MS     float64 `json:"static_p99_ms"`
+			MutatingP50MS   float64 `json:"mutating_p50_ms"`
+			MutatingP99MS   float64 `json:"mutating_p99_ms"`
+			QueryP99Ratio   float64 `json:"query_p99_ratio"`
+			UpdateOpsPerSec float64 `json:"update_ops_per_sec"`
+			QueriesPerArm   int64   `json:"queries_per_arm"`
+			FinalEpoch      int64   `json:"final_epoch"`
+		} `json:"mutation"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		return fmt.Errorf("bench report: %w", err)
@@ -166,6 +184,39 @@ func ValidateBenchReport(raw []byte) error {
 	}
 	if rep.BackendGeomean == 0 && rowsWithBackend > 0 {
 		return fmt.Errorf("bench report: %d backend rows but no backend_wall_geomean summary", rowsWithBackend)
+	}
+	if m := rep.Mutation; m != nil {
+		if rep.SchemaVersion < 3 {
+			return fmt.Errorf("bench report: mutation section present but schema_version %d predates it",
+				rep.SchemaVersion)
+		}
+		if m.Graph == "" {
+			return fmt.Errorf("bench report: mutation: missing graph name")
+		}
+		if m.StaticP50MS <= 0 || m.StaticP99MS <= 0 || m.MutatingP50MS <= 0 || m.MutatingP99MS <= 0 {
+			return fmt.Errorf("bench report: mutation: latency percentiles must all be > 0 (static %v/%v, mutating %v/%v)",
+				m.StaticP50MS, m.StaticP99MS, m.MutatingP50MS, m.MutatingP99MS)
+		}
+		if m.StaticP99MS < m.StaticP50MS {
+			return fmt.Errorf("bench report: mutation: static p99 %v below p50 %v", m.StaticP99MS, m.StaticP50MS)
+		}
+		if m.MutatingP99MS < m.MutatingP50MS {
+			return fmt.Errorf("bench report: mutation: mutating p99 %v below p50 %v", m.MutatingP99MS, m.MutatingP50MS)
+		}
+		want := m.MutatingP99MS / m.StaticP99MS
+		if r := m.QueryP99Ratio / want; m.QueryP99Ratio <= 0 || r < 0.999 || r > 1.001 {
+			return fmt.Errorf("bench report: mutation: query_p99_ratio = %v, want mutating/static p99 = %v",
+				m.QueryP99Ratio, want)
+		}
+		if m.UpdateOpsPerSec <= 0 {
+			return fmt.Errorf("bench report: mutation: update_ops_per_sec = %v, want > 0", m.UpdateOpsPerSec)
+		}
+		if m.QueriesPerArm <= 0 {
+			return fmt.Errorf("bench report: mutation: queries_per_arm = %d, want > 0", m.QueriesPerArm)
+		}
+		if m.FinalEpoch < 1 {
+			return fmt.Errorf("bench report: mutation: final_epoch = %d, want >= 1 (at least one compaction)", m.FinalEpoch)
+		}
 	}
 	return nil
 }

@@ -94,7 +94,7 @@ func TestValidateBenchReportVersioned(t *testing.T) {
 	bad := []struct {
 		name, from, to, want string
 	}{
-		{"future version", `"schema_version": 2`, `"schema_version": 3`, "unknown schema_version"},
+		{"future version", `"schema_version": 2`, `"schema_version": 4`, "unknown schema_version"},
 		{"negative version", `"schema_version": 2`, `"schema_version": -1`, "unknown schema_version"},
 		{"missing attribution", `"cycle_attribution": {"valu": 60, "barrier": 40}`,
 			`"cycle_attribution_x": {"valu": 60, "barrier": 40}`, "missing cycle_attribution"},
@@ -120,6 +120,62 @@ func TestValidateBenchReportVersioned(t *testing.T) {
 	err := ValidateBenchReport([]byte(doc))
 	if err == nil || !strings.Contains(err.Error(), "predates") {
 		t.Fatalf("legacy report with attribution: err = %v, want version mismatch", err)
+	}
+}
+
+// validReportV3 is a schema_version 3 report carrying the optional mutation
+// section next to the kernel rows (query_p99_ratio = 4.2/3.0 exactly).
+const validReportV3 = `{
+  "schema_version": 3,
+  "generated": "2026-08-08T00:00:00Z",
+  "go_version": "go1.24",
+  "kernels": [
+    {"kernel": "cc", "graph": "rmat12", "layout": "csr", "modeled_cycles": 100,
+     "cycle_attribution": {"valu": 60, "barrier": 40}}
+  ],
+  "mutation": {
+    "graph": "road-64x64",
+    "static_p50_ms": 1.2, "static_p99_ms": 3.0,
+    "mutating_p50_ms": 1.5, "mutating_p99_ms": 4.2,
+    "query_p99_ratio": 1.4,
+    "update_ops_per_sec": 85000,
+    "queries_per_arm": 200,
+    "final_epoch": 12
+  }
+}`
+
+// TestValidateBenchReportMutation mutation-tests the version-3 mutation
+// section: internal consistency of the two latency arms, the derived p99
+// ratio, positive throughput and query counts, and the version gate (a
+// pre-v3 report must not carry the section).
+func TestValidateBenchReportMutation(t *testing.T) {
+	if err := ValidateBenchReport([]byte(validReportV3)); err != nil {
+		t.Fatalf("valid v3 report rejected: %v", err)
+	}
+	bad := []struct {
+		name, from, to, want string
+	}{
+		{"version gate", `"schema_version": 3`, `"schema_version": 2`, "predates"},
+		{"missing graph", `"graph": "road-64x64"`, `"graph": ""`, "missing graph"},
+		{"zero latency", `"static_p50_ms": 1.2`, `"static_p50_ms": 0`, "must all be > 0"},
+		{"static p99 below p50", `"static_p99_ms": 3.0`, `"static_p99_ms": 0.9`, "below p50"},
+		{"mutating p99 below p50", `"mutating_p99_ms": 4.2`, `"mutating_p99_ms": 1.1`, "below p50"},
+		{"inconsistent ratio", `"query_p99_ratio": 1.4`, `"query_p99_ratio": 2.8`, "want mutating/static"},
+		{"zero throughput", `"update_ops_per_sec": 85000`, `"update_ops_per_sec": 0`, "update_ops_per_sec"},
+		{"zero queries", `"queries_per_arm": 200`, `"queries_per_arm": 0`, "queries_per_arm"},
+		{"zero epoch", `"final_epoch": 12`, `"final_epoch": 0`, "final_epoch"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := strings.Replace(validReportV3, tc.from, tc.to, 1)
+			if doc == validReportV3 {
+				t.Fatalf("mutation %q did not apply", tc.from)
+			}
+			err := ValidateBenchReport([]byte(doc))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
 	}
 }
 

@@ -16,6 +16,11 @@ const maxBodyBytes = 1 << 16
 // Handler returns the server's HTTP mux:
 //
 //	POST|GET /query    run a graph query (kind, src, node, k, tenant)
+//	POST     /mutate   append one edge-mutation batch (text stream body);
+//	                   200 means the batch is WAL-durable and applied
+//	GET      /graphz   serving snapshot: epoch, sizes, structural hash,
+//	                   mutation-pipeline counters
+//	POST     /admin/compact  force fold+gate+swap of the pending delta
 //	GET      /healthz  liveness: 200 while the process serves at all
 //	GET      /readyz   readiness: 200 after the self-check, 503 once draining
 //	GET      /statz    JSON snapshot of the service counters
@@ -24,6 +29,9 @@ const maxBodyBytes = 1 << 16
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.recoverWrap(s.handleQuery))
+	mux.HandleFunc("/mutate", s.recoverWrap(s.handleMutate))
+	mux.HandleFunc("/graphz", s.handleGraphz)
+	mux.HandleFunc("/admin/compact", s.recoverWrap(s.handleCompact))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -156,7 +164,7 @@ func buildResponse(res *Result) *queryResponse {
 	q := res.Query
 	resp := &queryResponse{
 		Kind: q.Kind, Src: q.Src, Path: res.Path, Backend: res.Backend,
-		Level: res.Level.String(),
+		Level:    res.Level.String(),
 		Degraded: res.Degraded, Attempts: res.Attempts,
 		TimeMS: res.TimeMS, WallMS: res.WallMS,
 	}

@@ -148,6 +148,26 @@ func (s *Server) writeProm(w io.Writer) error {
 	p.Family("egacs_trace_dropped_total", "request spans dropped by the full trace ring", "counter")
 	p.Sample("egacs_trace_dropped_total", nil, float64(s.traceDropped()))
 
+	// Mutation-pipeline gauges: fixed cardinality (no labels), read live
+	// from the store and the serving snapshot at scrape time.
+	p.Family("egacs_mut_epoch", "serving snapshot epoch (advances at each compaction)", "gauge")
+	p.Sample("egacs_mut_epoch", nil, float64(s.Epoch()))
+	p.Family("egacs_mut_pinned_snapshots", "in-flight queries pinning the serving snapshot", "gauge")
+	p.Sample("egacs_mut_pinned_snapshots", nil, float64(s.PinnedSnapshots()))
+	if s.MutationsEnabled() {
+		st := s.MutStats()
+		p.Family("egacs_mut_wal_bytes", "bytes across live write-ahead-log segments", "gauge")
+		p.Sample("egacs_mut_wal_bytes", nil, float64(st.WALBytes))
+		p.Family("egacs_mut_pending_batches", "batches applied but not yet compacted", "gauge")
+		p.Sample("egacs_mut_pending_batches", nil, float64(st.Pending))
+		p.Family("egacs_mut_last_seq", "last acked write-ahead-log batch sequence", "gauge")
+		p.Sample("egacs_mut_last_seq", nil, float64(st.LastSeq))
+		p.Family("egacs_mut_replayed_batches_total", "batches replayed from the WAL at boot", "counter")
+		p.Sample("egacs_mut_replayed_batches_total", nil, float64(st.Replayed))
+		p.Family("egacs_mut_torn_tails_repaired_total", "torn WAL tails truncated during recovery", "counter")
+		p.Sample("egacs_mut_torn_tails_repaired_total", nil, float64(st.Truncated))
+	}
+
 	p.Family("egacs_serve_latency_ms", "request latency (admission to response) in milliseconds", "histogram")
 	keys, snaps := s.latency.snapshot()
 	for i, k := range keys {
@@ -209,6 +229,7 @@ type reqLogEntry struct {
 	Status    int     `json:"status"`
 	Error     string  `json:"error,omitempty"` // stable class, see errClass
 	Level     string  `json:"level,omitempty"` // degradation rung that served
+	Epoch     uint64  `json:"epoch,omitempty"` // snapshot epoch the query ran against
 	Cycles    float64 `json:"modeled_cycles,omitempty"`
 	Rollbacks int     `json:"rollbacks,omitempty"`
 	WallMS    float64 `json:"wall_ms"`
@@ -238,6 +259,7 @@ func (s *Server) logRequest(ctx context.Context, q *Query, out *Result, err erro
 		// The serve layer always builds the default layout, which is CSR.
 		e.Layout = "csr"
 		e.Level = out.Level.String()
+		e.Epoch = out.Epoch
 		e.Cycles = out.Cycles
 		e.Rollbacks = out.Recovery.Rollbacks
 	}

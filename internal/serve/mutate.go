@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// ErrMutationsDisabled rejects /mutate on a server without a mutation store
+// (a static-graph daemon). It is a client error: the deployment does not
+// accept writes, and retrying will not change that.
+var ErrMutationsDisabled = fmt.Errorf("%w: mutations disabled (no mutation store attached)", ErrBadRequest)
+
+// ErrGateFailed marks a compaction whose folded graph failed the validation
+// gate. The swap is rolled back: the previous snapshot keeps serving and the
+// WAL keeps every acked batch.
+var ErrGateFailed = errors.New("compaction gate failed")
+
+// snapshot is one served graph epoch. Queries pin the snapshot they execute
+// against; the pin count only feeds telemetry and tests (memory reclamation
+// is the garbage collector's job — a superseded snapshot lives exactly as
+// long as its last pinned query).
+type snapshot struct {
+	g     *graph.CSR
+	epoch uint64
+
+	symOnce sync.Once
+	sym     *graph.CSR // undirected view, built lazily per snapshot
+
+	pins atomic.Int64
+}
+
+func newSnapshot(g *graph.CSR, epoch uint64) *snapshot {
+	return &snapshot{g: g, epoch: epoch}
+}
+
+func (sn *snapshot) pin()   { sn.pins.Add(1) }
+func (sn *snapshot) unpin() { sn.pins.Add(-1) }
+
+// symmetrized returns the undirected view of this epoch's graph, building it
+// once on first use (cc needs it; the build is untimed, like graph loading).
+func (sn *snapshot) symmetrized() *graph.CSR {
+	sn.symOnce.Do(func() { sn.sym = sn.g.Symmetrize() })
+	return sn.sym
+}
+
+// PinnedSnapshots returns the number of in-flight queries holding a pin on
+// the CURRENT snapshot plus those still on superseded ones, approximated as
+// the current snapshot's pin count (superseded snapshots drain within one
+// request lifetime). Exported as the pinned-snapshot gauge.
+func (s *Server) PinnedSnapshots() int64 {
+	return s.snap.Load().pins.Load()
+}
+
+// MutateResult reports one accepted mutation batch.
+type MutateResult struct {
+	Seq       uint64 // WAL sequence assigned to the batch
+	Ops       int
+	Epoch     uint64 // serving epoch at ack time
+	Pending   int    // batches applied but not yet compacted
+	Compacted bool   // this batch tripped an automatic compaction
+}
+
+// Mutate appends one batch of edge mutations: validated, WAL-logged
+// (durable per the store's group-commit policy), applied to the delta
+// overlay, and — once enough batches accumulate — folded into the next
+// serving snapshot by automatic compaction. On a nil error the batch is
+// acked: it will survive any crash and appear in every later epoch.
+//
+// Mutations do not take admission slots: appends are micro-operations
+// compared to queries, and serializing them on mutMu bounds their
+// concurrency at one.
+func (s *Server) Mutate(ctx context.Context, ops []graph.MutOp) (*MutateResult, error) {
+	reg := s.opts.Registry
+	if s.store == nil {
+		reg.Add("serve.mut.rejected", 1)
+		return nil, ErrMutationsDisabled
+	}
+	if len(ops) == 0 {
+		reg.Add("serve.mut.rejected", 1)
+		return nil, fmt.Errorf("%w: empty mutation batch", ErrBadRequest)
+	}
+	if err := s.beginRequest(); err != nil {
+		reg.Add("serve.mut.rejected", 1)
+		return nil, err
+	}
+	defer s.endRequest()
+
+	s.mutMu.Lock()
+	b, err := s.store.Append(ops)
+	if err != nil {
+		s.mutMu.Unlock()
+		reg.Add("serve.mut.rejected", 1)
+		// Op validation failures are the client's fault; everything else
+		// (I/O, sync) is the server's.
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	pending := s.store.Delta().Batches()
+	auto := s.opts.CompactEvery > 0 && pending >= s.opts.CompactEvery
+	s.mutMu.Unlock()
+
+	reg.Add("serve.mut.applied", 1)
+	reg.Add("serve.mut.ops", float64(len(b.Ops)))
+
+	res := &MutateResult{Seq: b.Seq, Ops: len(b.Ops), Epoch: s.Epoch(), Pending: pending}
+	if auto {
+		if _, err := s.Compact(ctx); err != nil {
+			// The batch is acked and durable; compaction failing is a
+			// server-side condition reported on its own channel.
+			reg.Add("serve.mut.compact_errors", 1)
+			return res, nil
+		}
+		res.Compacted = true
+		res.Epoch = s.Epoch()
+		res.Pending = 0
+	}
+	return res, nil
+}
+
+// Compact folds the pending delta into a fresh CSR, runs the validation
+// gate, persists the new snapshot, and atomically swaps it into serving.
+// In-flight queries keep their pinned epoch; new queries see the new one. A
+// gate failure rolls back completely: the old snapshot keeps serving, the
+// WAL keeps the pending batches, and the store is untouched.
+func (s *Server) Compact(ctx context.Context) (uint64, error) {
+	reg := s.opts.Registry
+	if s.store == nil {
+		return 0, ErrMutationsDisabled
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+
+	delta := s.store.Delta()
+	if delta.Batches() == 0 {
+		return s.snap.Load().epoch, nil // nothing to fold
+	}
+	oldSn := s.snap.Load()
+	touched := delta.Touched()
+
+	var gated *kernels.PRDeltaState
+	folded, epoch, err := s.store.Compact(func(folded *graph.CSR) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st, err := s.gate(oldSn.g, folded, touched)
+		if err != nil {
+			return err
+		}
+		gated = st
+		return nil
+	})
+	if err != nil {
+		reg.Add("serve.mut.gate_failures", 1)
+		return 0, fmt.Errorf("%w: %v", ErrGateFailed, err)
+	}
+	s.prState = gated
+	s.snap.Store(newSnapshot(folded, epoch))
+	reg.Add("serve.mut.compactions", 1)
+	graph.Crashpoint("swap")
+	return epoch, nil
+}
+
+// gate is the compaction validation gate: beyond the structural
+// graph.Validate the fold already ran, it executes sentinel queries on the
+// folded graph and checks them with the per-kernel invariant validators,
+// and advances the incremental pr-delta state — a differential witness that
+// the folded CSR is the graph the mutation stream describes. It returns the
+// advanced pr-delta state for adoption after the swap; on any error the
+// caller discards everything.
+func (s *Server) gate(oldG, folded *graph.CSR, touched []int32) (*kernels.PRDeltaState, error) {
+	// Sentinel BFS from node 0 on the folded graph, checked by the bfs
+	// invariant catalog (level range; evolution rules need a prior
+	// checkpoint and are skipped).
+	lvl := kernels.RefBFS(folded, 0)
+	st := &gateState{g: folded, i: map[string][]int32{"lvl": lvl}}
+	if inv := kernels.InvariantFor("bfs-wl"); inv != nil {
+		if err := inv(st); err != nil {
+			return nil, fmt.Errorf("sentinel bfs: %w", err)
+		}
+	}
+	// Sentinel CC on the undirected view, checked by the cc catalog
+	// (labels in [0, i]).
+	comp := kernels.RefCC(folded.Symmetrize())
+	st = &gateState{g: folded, i: map[string][]int32{"comp": comp}}
+	if inv := kernels.InvariantFor("cc"); inv != nil {
+		if err := inv(st); err != nil {
+			return nil, fmt.Errorf("sentinel cc: %w", err)
+		}
+	}
+	// Incremental pr-delta across the epoch boundary. The state is built
+	// lazily on the first compaction and advanced by the touched rows on
+	// every later one; a node-set mismatch or divergent adjacency surfaces
+	// here before the swap.
+	var pr *kernels.PRDeltaState
+	if s.prState == nil {
+		pr = kernels.NewPRDeltaState(folded)
+	} else {
+		pr = s.prState.Clone()
+		if err := pr.Update(oldG, folded, touched); err != nil {
+			return nil, fmt.Errorf("sentinel pr-delta: %w", err)
+		}
+	}
+	if s.gateHook != nil {
+		if err := s.gateHook(folded); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}
+
+// gateState adapts sentinel reference outputs to the kernels.State interface
+// the invariant validators consume. Prev* are nil (no prior checkpoint, so
+// evolution rules are skipped) and there is no worklist.
+type gateState struct {
+	g *graph.CSR
+	i map[string][]int32
+}
+
+func (st *gateState) Graph() *graph.CSR          { return st.g }
+func (st *gateState) CurI(name string) []int32   { return st.i[name] }
+func (st *gateState) CurF(name string) []float32 { return nil }
+func (st *gateState) PrevI(string) []int32       { return nil }
+func (st *gateState) PrevF(string) []float32     { return nil }
+func (st *gateState) Frontier() int              { return -1 }
+func (st *gateState) FrontierCap() int           { return 0 }
+
+// MutStats exposes the mutation-store counters for /graphz and /metrics
+// (zero value when mutations are disabled).
+func (s *Server) MutStats() graph.Stats {
+	if s.store == nil {
+		return graph.Stats{}
+	}
+	return s.store.Stats()
+}
+
+// MutationsEnabled reports whether the server accepts /mutate.
+func (s *Server) MutationsEnabled() bool { return s.store != nil }

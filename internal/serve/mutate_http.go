@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/graph"
+)
+
+// maxMutateBodyBytes bounds the /mutate request body: generous enough for
+// bulk loads (a few hundred thousand text ops) while keeping one client from
+// buffering the daemon into the ground.
+const maxMutateBodyBytes = 8 << 20
+
+// mutateResponse is the JSON shape of an accepted /mutate batch.
+type mutateResponse struct {
+	Seq       uint64 `json:"seq"`
+	Ops       int    `json:"ops"`
+	Epoch     uint64 `json:"epoch"`
+	Pending   int    `json:"pending_batches"`
+	Compacted bool   `json:"compacted,omitempty"`
+}
+
+// handleMutate accepts one mutation batch in the shared text stream format
+// ("+ src dst [w]" / "- src dst", one op per line — the same format graphgen
+// -mutations emits), appends it to the WAL, and acks once durable.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.ready.Load() {
+		writeError(w, ErrNotReady)
+		return
+	}
+	if !s.MutationsEnabled() {
+		s.opts.Registry.Add("serve.mut.rejected", 1)
+		writeError(w, ErrMutationsDisabled)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxMutateBodyBytes)
+	ops, err := graph.ParseMutations(body, s.Graph().NumNodes())
+	if err != nil {
+		s.opts.Registry.Add("serve.mut.rejected", 1)
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	res, err := s.Mutate(r.Context(), ops)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(mutateResponse{
+		Seq: res.Seq, Ops: res.Ops, Epoch: res.Epoch,
+		Pending: res.Pending, Compacted: res.Compacted,
+	})
+}
+
+// graphzResponse describes the served snapshot and the mutation pipeline.
+type graphzResponse struct {
+	Epoch     uint64 `json:"epoch"`
+	Nodes     int32  `json:"nodes"`
+	Edges     int32  `json:"edges"`
+	Weighted  bool   `json:"weighted"`
+	Hash      string `json:"hash"` // FNV-1a structural fingerprint, hex
+	Mutations bool   `json:"mutations_enabled"`
+
+	LastSeq   uint64 `json:"last_seq,omitempty"`
+	Pending   int    `json:"pending_batches,omitempty"`
+	WALBytes  int64  `json:"wal_bytes,omitempty"`
+	Replayed  int    `json:"replayed_batches,omitempty"`
+	Truncated int    `json:"torn_tails_repaired,omitempty"`
+	Pinned    int64  `json:"pinned_snapshots"`
+}
+
+// handleGraphz reports the serving snapshot: epoch, sizes, the structural
+// hash (the bit-identity witness the crash-recovery harness compares), and
+// the mutation-pipeline counters.
+func (s *Server) handleGraphz(w http.ResponseWriter, _ *http.Request) {
+	sn := s.snap.Load()
+	resp := graphzResponse{
+		Epoch:     sn.epoch,
+		Nodes:     sn.g.NumNodes(),
+		Edges:     sn.g.NumEdges(),
+		Weighted:  sn.g.Weighted(),
+		Hash:      fmt.Sprintf("%016x", graph.Hash(sn.g)),
+		Mutations: s.MutationsEnabled(),
+		Pinned:    s.PinnedSnapshots(),
+	}
+	if s.MutationsEnabled() {
+		st := s.MutStats()
+		resp.LastSeq = st.LastSeq
+		resp.Pending = st.Pending
+		resp.WALBytes = st.WALBytes
+		resp.Replayed = st.Replayed
+		resp.Truncated = st.Truncated
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleCompact forces a compaction (POST /admin/compact): fold, gate, swap.
+// Responds with the resulting epoch, or the gate failure.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.MutationsEnabled() {
+		writeError(w, ErrMutationsDisabled)
+		return
+	}
+	epoch, err := s.Compact(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, fmt.Sprintf("{\"epoch\":%d}\n", epoch))
+}

@@ -75,6 +75,15 @@ type Options struct {
 	// rollbacks, degradation rung). Lines are serialized; the writer need not
 	// be concurrency-safe.
 	RequestLog io.Writer
+
+	// Store, when set, enables the mutation pipeline: /mutate appends to its
+	// WAL, and compaction folds the accumulated delta into the next serving
+	// snapshot. The server owns the store's delta lifecycle from then on.
+	Store *graph.MutStore
+	// CompactEvery triggers automatic compaction once that many batches are
+	// pending (default 64; negative disables auto-compaction — explicit
+	// Compact calls only).
+	CompactEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -120,20 +129,33 @@ func (o Options) withDefaults() Options {
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
 	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 64
+	}
 	return o
 }
 
-// Server owns one shared read-only graph and executes queries against it on
-// pooled per-request engines. It is safe for concurrent use. The graph is
+// Server executes queries against an immutable graph snapshot on pooled
+// per-request engines. It is safe for concurrent use. Each snapshot's CSR is
 // never mutated — engines allocate all writable state privately, and fault
 // injection (when armed) only ever targets engine-allocated arrays, so one
 // tenant's faults cannot corrupt what other tenants read.
+//
+// With a mutation store attached, the served snapshot advances by epoch:
+// mutations accumulate in a WAL-backed delta overlay, and compaction folds
+// them into the next snapshot, which replaces the current one atomically
+// after a validation gate. In-flight queries pin the snapshot they started
+// on, so a swap mid-query is invisible to them.
 type Server struct {
-	opts  Options
-	graph *graph.CSR
+	opts Options
+	snap atomic.Pointer[snapshot] // the currently-served epoch
 
-	symOnce sync.Once
-	sym     *graph.CSR // symmetrized view for undirected kernels, built lazily
+	// mutMu serializes the mutation pipeline: WAL appends, compaction and
+	// the snapshot swap. Queries never take it.
+	mutMu    sync.Mutex
+	store    *graph.MutStore
+	prState  *kernels.PRDeltaState  // incremental pr-delta sentinel state
+	gateHook func(*graph.CSR) error // test seam: extra compaction-gate check
 
 	adm     *admission
 	engines sync.Pool // *spmd.Engine, reused across requests via core.Config.Engine
@@ -166,7 +188,10 @@ type Server struct {
 }
 
 // New builds a Server for g. The graph must outlive the server and must not
-// be mutated while serving. Readiness requires SelfCheck.
+// be mutated while serving — all mutation flows through the attached store,
+// which produces fresh snapshots rather than editing served ones. When
+// Options.Store is set, g must be the store's base graph (pass
+// store.Delta().Base()). Readiness requires SelfCheck.
 func New(g *graph.CSR, opts Options) (*Server, error) {
 	if g == nil || g.NumNodes() <= 0 {
 		return nil, fmt.Errorf("serve: nil or empty graph")
@@ -174,12 +199,20 @@ func New(g *graph.CSR, opts Options) (*Server, error) {
 	o := opts.withDefaults()
 	s := &Server{
 		opts:    o,
-		graph:   g,
+		store:   o.Store,
 		adm:     newAdmission(o.MaxInflight, o.MaxQueue, o.TenantCap),
 		latency: newLabeledHist(latencyBoundsMS),
 		qdepth:  obs.NewHistogram(queueDepthBounds),
 		idBase:  strconv.FormatInt(time.Now().UnixNano(), 36),
 	}
+	epoch := uint64(1)
+	if s.store != nil {
+		if s.store.Delta().Base() != g {
+			return nil, fmt.Errorf("serve: graph is not the mutation store's base")
+		}
+		epoch = s.store.Epoch()
+	}
+	s.snap.Store(newSnapshot(g, epoch))
 	s.engines.New = func() any {
 		return spmd.New(o.Machine, o.Machine.PreferredTarget, o.Tasks)
 	}
@@ -190,15 +223,11 @@ func New(g *graph.CSR, opts Options) (*Server, error) {
 // Registry exposes the service counters.
 func (s *Server) Registry() *obs.Registry { return s.opts.Registry }
 
-// Graph returns the served graph.
-func (s *Server) Graph() *graph.CSR { return s.graph }
+// Graph returns the currently-served graph snapshot's CSR.
+func (s *Server) Graph() *graph.CSR { return s.snap.Load().g }
 
-// symmetrized returns the undirected view of the graph, building it once on
-// first use (cc needs it; the build is untimed, like graph loading).
-func (s *Server) symmetrized() *graph.CSR {
-	s.symOnce.Do(func() { s.sym = s.graph.Symmetrize() })
-	return s.sym
-}
+// Epoch returns the currently-served snapshot epoch.
+func (s *Server) Epoch() uint64 { return s.snap.Load().epoch }
 
 // SelfCheck runs one verified BFS from node 0 through the full execution
 // path and flips the server ready on success. Serving before a passing
@@ -285,6 +314,7 @@ func (s *Server) Drain(ctx context.Context) error {
 type Result struct {
 	Query    *Query
 	Level    Level
+	Epoch    uint64 // snapshot epoch the query executed against
 	Path     string // which execution path served ("vector", a baseline, ...)
 	Backend  string // kernel backend of the serving attempt ("" on scalar paths)
 	Degraded bool
@@ -312,7 +342,14 @@ func (s *Server) Execute(ctx context.Context, q *Query) (out *Result, err error)
 		s.logRequest(ctx, q, out, err, ms)
 	}()
 
-	if err := q.Validate(s.graph.NumNodes()); err != nil {
+	// Pin the serving snapshot for the whole request: a compaction swap
+	// mid-query must be invisible — every read this query performs sees one
+	// epoch's graph.
+	sn := s.snap.Load()
+	sn.pin()
+	defer sn.unpin()
+
+	if err := q.Validate(sn.g.NumNodes()); err != nil {
 		reg.Add("serve.rejected_400", 1)
 		return nil, err
 	}
@@ -362,9 +399,9 @@ func (s *Server) Execute(ctx context.Context, q *Query) (out *Result, err error)
 		reg.Add("serve.scalar_forced", 1)
 	}
 
-	g := s.graph
+	g := sn.g
 	if b.NeedsSymmetric {
-		g = s.symmetrized()
+		g = sn.symmetrized()
 	}
 
 	cfg := core.Config{
@@ -411,6 +448,7 @@ func (s *Server) Execute(ctx context.Context, q *Query) (out *Result, err error)
 	out = &Result{
 		Query:    q,
 		Level:    level,
+		Epoch:    sn.epoch,
 		Path:     res.Path,
 		Backend:  res.ServingBackend(),
 		Degraded: res.Degraded(),

@@ -49,6 +49,10 @@ func statusFor(err error) int {
 	case errors.Is(err, fault.ErrBudgetExceeded), errors.Is(err, fault.ErrNonConvergence):
 		return http.StatusUnprocessableEntity
 	default:
+		// Includes ErrGateFailed and fault.ErrWALCorrupt: a rejected
+		// compaction or damaged log is a server-side condition — the old
+		// snapshot keeps serving, so 500 with a stable class, not a lie
+		// about the client's request.
 		return http.StatusInternalServerError
 	}
 }
@@ -81,6 +85,10 @@ func errClass(err error) string {
 		return "non-convergence"
 	case errors.Is(err, fault.ErrKernelPanic):
 		return "kernel-panic"
+	case errors.Is(err, ErrGateFailed):
+		return "compaction-gate"
+	case errors.Is(err, fault.ErrWALCorrupt):
+		return "wal-corrupt"
 	case errors.Is(err, fault.ErrCorruptGraph), errors.Is(err, fault.ErrInvariantViolation):
 		return "corruption"
 	default:
