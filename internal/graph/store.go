@@ -28,9 +28,11 @@ import (
 //
 //   - Append encodes the batch, writes it to the active segment, and —
 //     subject to the group-commit policy — fsyncs before returning. A batch
-//     is "acked" only after Append returns nil; kill-anywhere recovery
-//     asserts every acked batch survives, and an unacked tail batch either
-//     survives whole or truncates away.
+//     is "acked" only after Append returns nil. With FsyncEvery=1 every ack
+//     implies an fsync, so kill-anywhere recovery asserts every acked batch
+//     survives and an unacked tail batch either survives whole or truncates
+//     away; larger intervals ack up to FsyncEvery-1 batches before their
+//     fsync (Synced reports the gap), trading that tail for throughput.
 //   - Compact writes the folded snapshot to a temp file, fsyncs it, renames
 //     it over snapshot.bin, fsyncs the directory, then starts a fresh
 //     segment and prunes segments entirely at or below the folded seq. A
@@ -75,6 +77,12 @@ func walSegName(seq uint64) string {
 	return fmt.Sprintf("wal-%016x.log", seq)
 }
 
+// isSnapTmp matches the CreateTemp pattern writeSnapshot uses for the
+// not-yet-committed snapshot.
+func isSnapTmp(name string) bool {
+	return strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".tmp")
+}
+
 // parseSegName extracts the first-seq from a segment file name.
 func parseSegName(name string) (uint64, bool) {
 	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
@@ -105,8 +113,18 @@ func CreateMutStore(dir string, g *CSR, opts StoreOptions) (*MutStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: mutstore: %w", err)
 	}
-	if len(entries) != 0 {
-		return nil, fmt.Errorf("graph: mutstore: directory %s not empty", dir)
+	for _, e := range entries {
+		// A crash during a previous creation attempt (after CreateTemp,
+		// before the rename commit point) leaves snapshot-*.tmp behind with
+		// no snapshot.bin. The temp file holds nothing durable, so clear it
+		// instead of refusing to start.
+		if isSnapTmp(e.Name()) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("graph: mutstore: %w", err)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("graph: mutstore: directory %s not empty (%s)", dir, e.Name())
 	}
 	s := &MutStore{dir: dir, epoch: 1, fsyncEach: opts.FsyncEvery}
 	if s.fsyncEach < 1 {
@@ -317,7 +335,13 @@ func (s *MutStore) Append(ops []MutOp) (Batch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := Batch{Seq: s.delta.LastSeq() + 1, Ops: ops}
-	// Validate before touching the log so a bad batch leaves no trace.
+	// Validate before touching the log so a bad batch leaves no trace. The
+	// size cap is load-bearing: a record above MaxWALBatchOps would encode,
+	// fsync and ack fine, but replay rejects its length as corruption —
+	// acking it would brick every later boot.
+	if len(ops) > MaxWALBatchOps {
+		return Batch{}, corruptf("graph: mutation batch of %d ops exceeds the WAL record limit %d", len(ops), MaxWALBatchOps)
+	}
 	for _, op := range ops {
 		if err := s.delta.ValidateOp(op); err != nil {
 			return Batch{}, err
@@ -347,6 +371,14 @@ func (s *MutStore) Append(ops []MutOp) (Batch, error) {
 	}
 	Crashpoint("applied")
 	return b, nil
+}
+
+// Synced reports whether every acked batch has reached disk — false only
+// between a group-commit interval's appends and its fsync (FsyncEvery > 1).
+func (s *MutStore) Synced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.unsynced == 0
 }
 
 // Sync forces any unsynced appends to disk (the group-commit flush).
@@ -455,6 +487,7 @@ type Stats struct {
 	WALBytes   int64 // bytes across live segments
 	Appends    int64
 	Syncs      int64
+	Unsynced   int // acked batches awaiting their group-commit fsync
 	Replayed   int // batches replayed by Open
 	Truncated  int // torn tails repaired by Open
 	SegmentSeq uint64
@@ -471,6 +504,7 @@ func (s *MutStore) Stats() Stats {
 		WALBytes:   s.walBytes,
 		Appends:    s.appends,
 		Syncs:      s.syncs,
+		Unsynced:   s.unsynced,
 		Replayed:   s.replayed,
 		Truncated:  s.truncs,
 		SegmentSeq: s.segStart,

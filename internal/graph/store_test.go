@@ -312,3 +312,111 @@ func TestMutStoreRejectsBadBatch(t *testing.T) {
 		t.Fatalf("append after rejection: b=%+v err=%v", b, err)
 	}
 }
+
+// TestMutStoreBatchSizeLimit pins the ack/replay agreement at the record
+// size boundary: a batch of exactly MaxWALBatchOps ops must ack AND replay
+// (an acked-but-unreplayable record would brick every later boot), while one
+// op more is rejected before anything touches the log.
+func TestMutStoreBatchSizeLimit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	n := int32(1 << 10)
+	g := Random(n, 2*int(n), 1, 31)
+	s, err := CreateMutStore(dir, g, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	over := make([]MutOp, MaxWALBatchOps+1)
+	for i := range over {
+		over[i] = MutOp{Op: OpInsert, Src: int32(i) % n, Dst: int32(i/int(n)) % n, W: 1}
+	}
+	if _, err := s.Append(over); !errors.Is(err, fault.ErrCorruptGraph) {
+		t.Fatalf("oversized batch: err = %v, want ErrCorruptGraph", err)
+	}
+	if st := s.Stats(); st.Appends != 0 || st.WALBytes != 0 {
+		t.Fatalf("rejected oversized batch left a trace: %+v", st)
+	}
+
+	atLimit := over[:MaxWALBatchOps]
+	if b, err := s.Append(atLimit); err != nil || b.Seq != 1 {
+		t.Fatalf("batch at the limit: b.Seq=%d err=%v", b.Seq, err)
+	}
+	want, err := s.Delta().Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenMutStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("reopen after a limit-sized acked batch: %v", err)
+	}
+	defer s2.Close()
+	if s2.Stats().Replayed != 1 {
+		t.Fatalf("replayed %d, want 1", s2.Stats().Replayed)
+	}
+	got, err := s2.Delta().Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(got) != Hash(want) {
+		t.Fatal("replay of the limit-sized batch diverged from the acked state")
+	}
+}
+
+func TestMutStoreCreateClearsLeftoverSnapshotTmp(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crash during a previous creation attempt: CreateTemp ran,
+	// the rename commit point did not.
+	tmp := filepath.Join(dir, "snapshot-1234.tmp")
+	os.WriteFile(tmp, []byte("partial"), 0o644)
+	s, err := CreateMutStore(dir, Random(8, 16, 1, 1), StoreOptions{})
+	if err != nil {
+		t.Fatalf("CreateMutStore over a leftover snapshot tmp: %v", err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("leftover snapshot tmp not removed")
+	}
+	// Anything that is not a stale temp snapshot still blocks creation.
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "snapshot.bin"), []byte("x"), 0o644)
+	if _, err := CreateMutStore(dir2, Random(8, 16, 1, 1), StoreOptions{}); err == nil {
+		t.Fatal("CreateMutStore over an existing snapshot succeeded")
+	}
+}
+
+func TestMutStoreSyncedGroupCommit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	g := Random(16, 64, 1, 7)
+	s, err := CreateMutStore(dir, g, StoreOptions{FsyncEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Synced() {
+		t.Fatal("virgin store reports unsynced")
+	}
+	for i, wantSynced := range []bool{false, false, true} {
+		if _, err := s.Append([]MutOp{{Op: OpInsert, Src: 0, Dst: int32(i + 1), W: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Synced(); got != wantSynced {
+			t.Fatalf("after append %d: Synced() = %v, want %v", i+1, got, wantSynced)
+		}
+	}
+	if _, err := s.Append([]MutOp{{Op: OpInsert, Src: 1, Dst: 2, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Unsynced != 1 {
+		t.Fatalf("Stats().Unsynced = %d, want 1", st.Unsynced)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Synced() {
+		t.Fatal("explicit Sync left the store unsynced")
+	}
+}

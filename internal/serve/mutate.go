@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 )
@@ -63,14 +64,19 @@ type MutateResult struct {
 	Ops       int
 	Epoch     uint64 // serving epoch at ack time
 	Pending   int    // batches applied but not yet compacted
+	Durable   bool   // the batch was fsynced before the ack
 	Compacted bool   // this batch tripped an automatic compaction
 }
 
-// Mutate appends one batch of edge mutations: validated, WAL-logged
-// (durable per the store's group-commit policy), applied to the delta
-// overlay, and — once enough batches accumulate — folded into the next
-// serving snapshot by automatic compaction. On a nil error the batch is
-// acked: it will survive any crash and appear in every later epoch.
+// Mutate appends one batch of edge mutations: validated, WAL-logged,
+// applied to the delta overlay, and — once enough batches accumulate —
+// folded into the next serving snapshot by automatic compaction. On a nil
+// error the batch is acked and will appear in every later epoch; durability
+// follows the store's group-commit policy. With -fsync-every=1 (the
+// default) the ack implies an fsync, so the batch survives any crash; a
+// larger interval acks up to that many batches before their shared fsync,
+// and MutateResult.Durable reports per batch which side of the gap it is
+// on.
 //
 // Mutations do not take admission slots: appends are micro-operations
 // compared to queries, and serializing them on mutMu bounds their
@@ -95,11 +101,19 @@ func (s *Server) Mutate(ctx context.Context, ops []graph.MutOp) (*MutateResult, 
 	b, err := s.store.Append(ops)
 	if err != nil {
 		s.mutMu.Unlock()
-		reg.Add("serve.mut.rejected", 1)
-		// Op validation failures are the client's fault; everything else
-		// (I/O, sync) is the server's.
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		// Op validation failures (bad op code, node out of range, oversized
+		// batch — all ErrCorruptGraph) are the client's fault and nothing
+		// touched the log. Everything else (write, fsync) is the server's:
+		// the batch was NOT made durable, which must surface as a 5xx, not
+		// as a complaint about the request.
+		if errors.Is(err, fault.ErrCorruptGraph) {
+			reg.Add("serve.mut.rejected", 1)
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		reg.Add("serve.mut.append_errors", 1)
+		return nil, err
 	}
+	durable := s.store.Synced()
 	pending := s.store.Delta().Batches()
 	auto := s.opts.CompactEvery > 0 && pending >= s.opts.CompactEvery
 	s.mutMu.Unlock()
@@ -107,7 +121,7 @@ func (s *Server) Mutate(ctx context.Context, ops []graph.MutOp) (*MutateResult, 
 	reg.Add("serve.mut.applied", 1)
 	reg.Add("serve.mut.ops", float64(len(b.Ops)))
 
-	res := &MutateResult{Seq: b.Seq, Ops: len(b.Ops), Epoch: s.Epoch(), Pending: pending}
+	res := &MutateResult{Seq: b.Seq, Ops: len(b.Ops), Epoch: s.Epoch(), Pending: pending, Durable: durable}
 	if auto {
 		if _, err := s.Compact(ctx); err != nil {
 			// The batch is acked and durable; compaction failing is a
@@ -116,6 +130,7 @@ func (s *Server) Mutate(ctx context.Context, ops []graph.MutOp) (*MutateResult, 
 			return res, nil
 		}
 		res.Compacted = true
+		res.Durable = true // Compact flushes the group-commit tail first
 		res.Epoch = s.Epoch()
 		res.Pending = 0
 	}
@@ -143,20 +158,32 @@ func (s *Server) Compact(ctx context.Context) (uint64, error) {
 	touched := delta.Touched()
 
 	var gated *kernels.PRDeltaState
+	var gateErr error
 	folded, epoch, err := s.store.Compact(func(folded *graph.CSR) error {
-		if err := ctx.Err(); err != nil {
-			return err
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
 		}
-		st, err := s.gate(oldSn.g, folded, touched)
-		if err != nil {
-			return err
+		st, verr := s.gate(oldSn.g, folded, touched)
+		if verr != nil {
+			gateErr = verr
+			return verr
 		}
 		gated = st
 		return nil
 	})
 	if err != nil {
-		reg.Add("serve.mut.gate_failures", 1)
-		return 0, fmt.Errorf("%w: %v", ErrGateFailed, err)
+		if gateErr != nil {
+			// The fold failed validation; the rollback is the feature and
+			// the count is the signal chaos tests watch.
+			reg.Add("serve.mut.gate_failures", 1)
+			return 0, fmt.Errorf("%w: %v", ErrGateFailed, gateErr)
+		}
+		// Everything else — fold overflow, snapshot-persist I/O, segment
+		// rotation, the request's context expiring — is not a validation
+		// rejection: keep it off the gate-failure signal and return it
+		// unwrapped so statusFor maps it honestly (500, or 504 for ctx).
+		reg.Add("serve.mut.compact_io_errors", 1)
+		return 0, err
 	}
 	s.prState = gated
 	s.snap.Store(newSnapshot(folded, epoch))

@@ -20,12 +20,15 @@ type mutateResponse struct {
 	Ops       int    `json:"ops"`
 	Epoch     uint64 `json:"epoch"`
 	Pending   int    `json:"pending_batches"`
+	Durable   bool   `json:"durable"`
 	Compacted bool   `json:"compacted,omitempty"`
 }
 
 // handleMutate accepts one mutation batch in the shared text stream format
 // ("+ src dst [w]" / "- src dst", one op per line — the same format graphgen
-// -mutations emits), appends it to the WAL, and acks once durable.
+// -mutations emits) and appends it to the WAL. The 200 ack means the batch
+// is applied and logged; "durable" reports whether it was also fsynced
+// (always true at the default -fsync-every=1).
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -55,7 +58,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(mutateResponse{
 		Seq: res.Seq, Ops: res.Ops, Epoch: res.Epoch,
-		Pending: res.Pending, Compacted: res.Compacted,
+		Pending: res.Pending, Durable: res.Durable, Compacted: res.Compacted,
 	})
 }
 

@@ -125,6 +125,60 @@ func TestMutateDisabledAndInvalid(t *testing.T) {
 	}
 }
 
+// TestMutateOversizedBatchRejected pins the durability/replay agreement at
+// the serving layer: a batch above the WAL record limit is a 400-class
+// rejection BEFORE anything is logged — acking it would write a record that
+// replay refuses, bricking every later boot.
+func TestMutateOversizedBatchRejected(t *testing.T) {
+	s, store, _ := newMutTestServer(t, Options{CompactEvery: -1})
+	n := s.Graph().NumNodes()
+	ops := make([]graph.MutOp, graph.MaxWALBatchOps+1)
+	for i := range ops {
+		ops[i] = graph.MutOp{Op: graph.OpInsert, Src: int32(i) % n, Dst: int32(i/int(n)) % n, W: 1}
+	}
+	_, err := s.Mutate(context.Background(), ops)
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized batch: err = %v, want ErrBadRequest", err)
+	}
+	if st := store.Stats(); st.Appends != 0 || st.WALBytes != 0 {
+		t.Fatalf("oversized batch reached the WAL: %+v", st)
+	}
+	// The store still takes normal batches afterwards.
+	if res, err := s.Mutate(context.Background(), ops[:4]); err != nil || res.Seq != 1 {
+		t.Fatalf("append after oversized rejection: res=%+v err=%v", res, err)
+	}
+}
+
+// TestMutateDurableIndicator checks the group-commit ack contract surfaced
+// to clients: under FsyncEvery=N only every Nth batch is acked synced, and
+// the MutateResult reports which side of the fsync the ack landed on.
+func TestMutateDurableIndicator(t *testing.T) {
+	g := graph.Random(64, 256, 8, 11)
+	g.SortAdjacency()
+	store, err := graph.CreateMutStore(filepath.Join(t.TempDir(), "store"), g, graph.StoreOptions{FsyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	s, err := New(store.Delta().Base(), Options{Store: store, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SelfCheck(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i, wantDurable := range []bool{false, true, false, true} {
+		res, err := s.Mutate(ctx, []graph.MutOp{{Op: graph.OpInsert, Src: int32(i), Dst: int32(i + 1), W: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Durable != wantDurable {
+			t.Fatalf("batch %d: Durable = %v, want %v", res.Seq, res.Durable, wantDurable)
+		}
+	}
+}
+
 func TestCompactGateFailureRollsBack(t *testing.T) {
 	s, store, _ := newMutTestServer(t, Options{CompactEvery: -1})
 	ctx := context.Background()
@@ -153,6 +207,45 @@ func TestCompactGateFailureRollsBack(t *testing.T) {
 	// Queries on the new epoch still pass through the normal path.
 	if _, err := s.Execute(ctx, &Query{Kind: "bfs", Src: 0, Node: -1, TopK: 3, Tenant: "t"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCompactErrorClassification splits the two compaction failure channels:
+// a gate rejection is ErrGateFailed and counts as a gate failure, while a
+// non-validation abort (here: the request's context already cancelled) must
+// be neither — the gate-failure signal stays clean for chaos monitors.
+func TestCompactErrorClassification(t *testing.T) {
+	s, _, _ := newMutTestServer(t, Options{CompactEvery: -1})
+	ctx := context.Background()
+	if _, err := s.Mutate(ctx, []graph.MutOp{{Op: graph.OpInsert, Src: 2, Dst: 3, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err := s.Compact(cancelled)
+	if err == nil || errors.Is(err, ErrGateFailed) {
+		t.Fatalf("cancelled compaction: err = %v, want a non-gate error", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled compaction: err = %v, want context.Canceled", err)
+	}
+	if gf, _ := s.Registry().Get("serve.mut.gate_failures"); gf != 0 {
+		t.Fatalf("cancellation counted as a gate failure (%v)", gf)
+	}
+	if io, _ := s.Registry().Get("serve.mut.compact_io_errors"); io != 1 {
+		t.Fatalf("serve.mut.compact_io_errors = %v, want 1", io)
+	}
+
+	s.gateHook = func(*graph.CSR) error { return errors.New("sentinel divergence") }
+	if _, err := s.Compact(ctx); !errors.Is(err, ErrGateFailed) {
+		t.Fatalf("gate rejection: err = %v, want ErrGateFailed", err)
+	}
+	if gf, _ := s.Registry().Get("serve.mut.gate_failures"); gf != 1 {
+		t.Fatalf("serve.mut.gate_failures = %v, want 1", gf)
+	}
+	if io, _ := s.Registry().Get("serve.mut.compact_io_errors"); io != 1 {
+		t.Fatalf("gate rejection leaked into compact_io_errors (%v)", io)
 	}
 }
 
@@ -255,7 +348,7 @@ func TestMutateHTTP(t *testing.T) {
 	var mr mutateResponse
 	json.NewDecoder(resp.Body).Decode(&mr)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || mr.Seq != 1 || mr.Ops != 2 {
+	if resp.StatusCode != http.StatusOK || mr.Seq != 1 || mr.Ops != 2 || !mr.Durable {
 		t.Fatalf("mutate: status=%d body=%+v", resp.StatusCode, mr)
 	}
 
